@@ -1,0 +1,53 @@
+//! Criterion micro-benchmarks for the APA engine: per-algorithm one-step
+//! multiplication vs the classical baseline, plus plan compilation.
+
+use apa_core::catalog;
+use apa_gemm::{gemm_st, Mat};
+use apa_matmul::{ApaMatmul, ExecPlan, Strategy};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn probe(n: usize, seed: u64) -> Mat<f32> {
+    let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+    Mat::from_fn(n, n, |_, _| {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (((state >> 32) as u32 as f64 / (1u64 << 31) as f64) - 1.0) as f32
+    })
+}
+
+fn bench_apa_vs_classical(c: &mut Criterion) {
+    let mut group = c.benchmark_group("apa_one_step");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    let n = 768; // divisible by 2, 3, 4 — every base shape gets its fast path
+    let a = probe(n, 1);
+    let b = probe(n, 2);
+    let mut out = Mat::<f32>::zeros(n, n);
+
+    group.bench_function("classical", |bench| {
+        bench.iter(|| gemm_st(1.0, a.as_ref(), b.as_ref(), 0.0, out.as_mut()));
+    });
+    for name in ["strassen", "bini322", "fast442", "fast444"] {
+        let mm = ApaMatmul::new(catalog::by_name(name).unwrap()).strategy(Strategy::Seq);
+        group.bench_with_input(BenchmarkId::new("apa", name), &name, |bench, _| {
+            bench.iter(|| mm.multiply_into(a.as_ref(), b.as_ref(), out.as_mut()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_plan_compile(c: &mut Criterion) {
+    let mut group = c.benchmark_group("plan_compile");
+    group.sample_size(20).measurement_time(Duration::from_secs(1));
+    for name in ["bini322", "fast444", "fast555"] {
+        let alg = catalog::by_name(name).unwrap();
+        group.bench_with_input(BenchmarkId::new("compile", name), &name, |bench, _| {
+            bench.iter(|| ExecPlan::compile(&alg, 1e-3));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_apa_vs_classical, bench_plan_compile);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Criterion micro-benchmarks for the GEMM substrate: blocked vs naive,
+//! packing, linear-combination kernels.
+
+use apa_gemm::{combine, combine_axpy, gemm_st, matmul_naive, Mat};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn probe(n: usize, seed: u64) -> Mat<f32> {
+    let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+    Mat::from_fn(n, n, |_, _| {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (((state >> 32) as u32 as f64 / (1u64 << 31) as f64) - 1.0) as f32
+    })
+}
+
+fn bench_gemm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gemm");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    for &n in &[128usize, 256, 512] {
+        let a = probe(n, 1);
+        let b = probe(n, 2);
+        let mut out = Mat::<f32>::zeros(n, n);
+        group.bench_with_input(BenchmarkId::new("blocked", n), &n, |bench, _| {
+            bench.iter(|| gemm_st(1.0, a.as_ref(), b.as_ref(), 0.0, out.as_mut()));
+        });
+        if n <= 256 {
+            group.bench_with_input(BenchmarkId::new("naive", n), &n, |bench, _| {
+                bench.iter(|| matmul_naive(a.as_ref(), b.as_ref()));
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_combine(c: &mut Criterion) {
+    let mut group = c.benchmark_group("combine");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    let n = 512;
+    let srcs: Vec<Mat<f32>> = (0..4).map(|s| probe(n, s + 10)).collect();
+    let terms: Vec<(f32, _)> = srcs.iter().map(|m| (0.5f32, m.as_ref())).collect();
+    let mut dst = Mat::<f32>::zeros(n, n);
+    group.bench_function("write_once_4term", |b| {
+        b.iter(|| combine(dst.as_mut(), false, &terms));
+    });
+    group.bench_function("chained_axpy_4term", |b| {
+        b.iter(|| combine_axpy(dst.as_mut(), false, &terms));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_gemm, bench_combine);
+criterion_main!(benches);

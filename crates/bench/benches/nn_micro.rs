@@ -1,0 +1,42 @@
+//! Criterion micro-benchmarks for the NN substrate: one training batch of
+//! the paper's accuracy network with classical vs APA middle layers.
+
+use apa_core::catalog;
+use apa_gemm::Mat;
+use apa_nn::{accuracy_network, apa, classical, Backend};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn batch(rows: usize, cols: usize) -> (Mat<f32>, Vec<u8>) {
+    let mut state = 0xB417u64;
+    let x = Mat::from_fn(rows, cols, |_, _| {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((state >> 40) as f32) / (1u64 << 24) as f32
+    });
+    let labels = (0..rows).map(|i| (i % 10) as u8).collect();
+    (x, labels)
+}
+
+fn bench_train_batch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mlp_train_batch");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    let (x, labels) = batch(300, 784);
+
+    let configs: Vec<(&str, Backend)> = vec![
+        ("classical", classical(1)),
+        ("bini322", apa(catalog::bini322(), 1)),
+        ("fast444", apa(catalog::fast444(), 1)),
+    ];
+    for (name, hidden) in configs {
+        let mut net = accuracy_network(hidden, 1, 7);
+        group.bench_with_input(BenchmarkId::new("hidden", name), &name, |bench, _| {
+            bench.iter(|| net.train_batch(&x, &labels, 0.05));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_train_batch);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Figure 2 — the hybrid parallelization schedule, rendered in ASCII.
+//!
+//! The paper's figure shows r = 10 (Bini's algorithm) on p = 4 threads:
+//! each thread computes q = 2 multiplications with single-threaded gemm,
+//! and the ℓ = 2 remainder multiplications run on all threads.
+//!
+//! Usage: `cargo run --release -p apa-bench --bin fig2 [--rank r] [--threads p]`
+
+use apa_bench::{banner, Args};
+use apa_matmul::{bfs_schedule, hybrid_schedule};
+
+fn main() {
+    let args = Args::parse();
+    let r = args.get("rank", 10usize);
+    let p = args.get("threads", 4usize);
+
+    banner(
+        "Figure 2: hybrid parallelization strategy",
+        &[&format!("r = {r} multiplications, p = {p} threads")],
+    );
+
+    let sched = hybrid_schedule(r, p);
+    println!(
+        "hybrid: q = {} per-thread multiplications, l = {} remainder",
+        sched.q, sched.l
+    );
+    println!();
+    println!("{}", sched.render());
+
+    println!("BFS alternative (remainder round occupies only l threads):");
+    for (i, list) in bfs_schedule(r, p).iter().enumerate() {
+        let cells: Vec<String> = list.iter().map(|t| format!("[M{:<2}]", t + 1)).collect();
+        println!("thread {i}: {}", cells.join(""));
+    }
+    println!();
+    println!("DFS alternative: every multiplication uses all {p} threads, in sequence.");
+}

@@ -1,0 +1,42 @@
+//! Figure 4 — the MLP network structure (descriptive figure; rendered as
+//! ASCII from the actual network objects so it cannot drift from the code).
+//!
+//! Usage: `cargo run --release -p apa-bench --bin fig4`
+
+use apa_bench::banner;
+use apa_core::catalog;
+use apa_nn::{accuracy_network, apa, performance_network};
+
+fn render(net: &apa_nn::Mlp, title: &str) {
+    println!("{title}");
+    let widths = net.widths();
+    let mut line = format!("  input[{}]", widths[0]);
+    for (i, layer) in net.layers.iter().enumerate() {
+        let act = if i + 1 == net.layers.len() { "softmax" } else { "relu" };
+        line.push_str(&format!(
+            " --{}-> {}[{}]",
+            layer.backend_name(),
+            act,
+            layer.outputs()
+        ));
+    }
+    println!("{line}\n");
+}
+
+fn main() {
+    banner(
+        "Figure 4: Multi-Layer Perceptron structures used in the experiments",
+        &["rendered from the live network objects (backend per layer shown on the arrows)"],
+    );
+
+    render(
+        &accuracy_network(apa(catalog::bini322(), 1), 1, 0),
+        "accuracy network (§4.2): 784-300-300-10, batch 300, APA on the middle layer",
+    );
+    render(
+        &performance_network(512, apa(catalog::fast444(), 1), 1, 0),
+        "performance network (§4.3, ParaDnn): 784-H-H-H-H-10 with H = batch = 512…8192",
+    );
+    println!("VGG-19 head (§5): 25088 -> 4096 -> 4096 -> 1000, all three layers swapped");
+    println!("between classical and <4,4,2> (see --bin fig7).");
+}

@@ -1,0 +1,106 @@
+//! Figure 6 — ParaDnn-style MLP training time relative to classical.
+//!
+//! Paper protocol (§4.3): 6-layer MLPs (4 hidden layers of width H), batch
+//! size matched to H so hidden-layer products are square ⟨H,H,H⟩; APA is
+//! used in the hidden layers in forward and backward propagation. The
+//! figure reports training time relative to the classical baseline at
+//! 1 / 6 / 12 threads.
+//!
+//! Timing here measures a fixed number of training batches per
+//! configuration (the network never needs to converge — "the purpose of
+//! these experiments was to measure the speed up … not … accuracy").
+//!
+//! Usage: `cargo run --release -p apa-bench --bin fig6
+//!           [--threads p] [--batches k] [--full] [--all]`
+//!   default widths: 512 1024 2048; --full adds 4096 8192.
+
+use apa_bench::{banner, print_csv, print_table, Args};
+use apa_core::catalog;
+use apa_gemm::Mat;
+use apa_nn::{apa, classical, performance_network, Backend, Mlp};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+fn synthetic_batch(batch: usize, features: usize, classes: usize, seed: u64) -> (Mat<f32>, Vec<u8>) {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let x = Mat::from_fn(batch, features, |_, _| rng.gen_range(0.0f32..1.0));
+    let labels = (0..batch).map(|_| rng.gen_range(0..classes) as u8).collect();
+    (x, labels)
+}
+
+fn time_training(net: &mut Mlp, h: usize, batches: usize) -> f64 {
+    let (x, labels) = synthetic_batch(h, 784, 10, 42);
+    // Warmup batch, then timed batches.
+    net.train_batch(&x, &labels, 0.01);
+    let t0 = std::time::Instant::now();
+    for _ in 0..batches {
+        net.train_batch(&x, &labels, 0.01);
+    }
+    t0.elapsed().as_secs_f64() / batches as f64
+}
+
+fn main() {
+    let args = Args::parse();
+    let threads = args.get("threads", 1usize);
+    let batches = args.get("batches", 3usize);
+    let mut widths = vec![512usize, 1024, 2048];
+    if args.flag("full") {
+        widths.extend([4096, 8192]);
+    }
+
+    banner(
+        &format!("Figure 6: MLP training time relative to classical, {threads} thread(s)"),
+        &[
+            "6-layer ParaDnn MLP (4 hidden layers, width H, batch = H)",
+            &format!("widths: {widths:?}; {batches} timed batches per point"),
+            "values < 1.0 mean the APA network trains faster than classical",
+        ],
+    );
+
+    let names: Vec<String> = if args.flag("all") {
+        catalog::paper_lineup().into_iter().map(|a| a.name).collect()
+    } else {
+        ["bini322", "apa422", "fast442", "fast444", "apa333"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect()
+    };
+
+    let mut header: Vec<String> = vec!["algorithm".into()];
+    header.extend(widths.iter().map(|h| format!("H={h}")));
+    let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+
+    // Classical baseline (absolute seconds per batch, shown for context).
+    let mut base_times = Vec::new();
+    let mut base_row = vec!["classical(s/batch)".to_string()];
+    for &h in &widths {
+        let mut net = performance_network(h, classical(threads), threads, 0xBEEF);
+        let t = time_training(&mut net, h, batches);
+        base_times.push(t);
+        base_row.push(format!("{t:.3}s"));
+        eprintln!("  classical H={h}: {t:.3}s/batch");
+    }
+    let mut rows = vec![base_row];
+
+    for name in &names {
+        let alg = catalog::by_name(name).unwrap_or_else(|| panic!("unknown algorithm {name}"));
+        let mut row = vec![name.clone()];
+        for (i, &h) in widths.iter().enumerate() {
+            let hidden: Backend = apa(alg.clone(), threads);
+            let mut net = performance_network(h, hidden, threads, 0xBEEF);
+            let t = time_training(&mut net, h, batches);
+            row.push(format!("{:.3}", t / base_times[i]));
+        }
+        eprintln!("  measured {name}");
+        rows.push(row);
+    }
+
+    print_table(&header_refs, &rows);
+    println!();
+    print_csv(&header_refs, &rows);
+    println!();
+    println!("expected shape (paper): sequential crossover below 1.0 from H≈1024, best");
+    println!("algorithm <4,4,4>-class reaching ~0.75 at H=8192 (ours bounded by rank 49");
+    println!("vs 46); at 6 threads best ~0.87; at 12 threads most algorithms >1.0 except");
+    println!("remainder-free ones (paper: <4,4,2> at ~0.93).");
+}

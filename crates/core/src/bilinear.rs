@@ -1,0 +1,329 @@
+//! Bilinear matrix-multiplication algorithms ⟨m,k,n⟩ of rank r.
+//!
+//! Conventions (BLAS-style): the base rule multiplies `A` of shape `m×k` by
+//! `B` of shape `k×n`, producing `C` of shape `m×n`. The paper writes
+//! ⟨m,n,k⟩ for `A: m×n`, `B: n×k`; its ⟨3,2,2⟩ is our ⟨3,2,2⟩ as well, with
+//! the middle number always the shared (contraction) dimension.
+//!
+//! Flattening is row-major: entry `A[i][a]` is row `i·k + a` of `U`,
+//! `B[a][j]` is row `a·n + j` of `V`, and `C[i][j]` is row `i·n + j` of `W`.
+//! The rule computes, for each multiplication `t < r`,
+//!
+//! ```text
+//! M_t = (Σ_{ia} U[(i,a),t] · A[i][a]) · (Σ_{aj} V[(a,j),t] · B[a][j])
+//! Ĉ[i][j] = Σ_t W[(i,j),t] · M_t
+//! ```
+//!
+//! with all coefficients Laurent polynomials in λ (paper §2.2, eq. (2)).
+
+use crate::coeffs::CoeffMatrix;
+use crate::laurent::Laurent;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Base-case dimensions ⟨m,k,n⟩: `A: m×k`, `B: k×n`, `C: m×n`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Dims {
+    pub m: usize,
+    pub k: usize,
+    pub n: usize,
+}
+
+impl Dims {
+    pub const fn new(m: usize, k: usize, n: usize) -> Self {
+        Self { m, k, n }
+    }
+
+    /// Multiplications performed by the classical rule (`m·k·n`).
+    pub fn classical_rank(&self) -> usize {
+        self.m * self.k * self.n
+    }
+
+    /// Flattened row index of `A[i][a]` in `U`.
+    #[inline]
+    pub fn a_index(&self, i: usize, a: usize) -> usize {
+        i * self.k + a
+    }
+
+    /// Flattened row index of `B[a][j]` in `V`.
+    #[inline]
+    pub fn b_index(&self, a: usize, j: usize) -> usize {
+        a * self.n + j
+    }
+
+    /// Flattened row index of `C[i][j]` in `W`.
+    #[inline]
+    pub fn c_index(&self, i: usize, j: usize) -> usize {
+        i * self.n + j
+    }
+}
+
+impl fmt::Display for Dims {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "<{},{},{}>", self.m, self.k, self.n)
+    }
+}
+
+/// A bilinear matrix-multiplication rule: dims, name and the (U, V, W)
+/// coefficient triple.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct BilinearAlgorithm {
+    /// Stable identifier, e.g. `"bini322"` or `"strassen"`.
+    pub name: String,
+    pub dims: Dims,
+    /// (m·k) × r combinations of entries of `A`.
+    pub u: CoeffMatrix,
+    /// (k·n) × r combinations of entries of `B`.
+    pub v: CoeffMatrix,
+    /// (m·n) × r contributions of each multiplication to `C`.
+    pub w: CoeffMatrix,
+}
+
+impl BilinearAlgorithm {
+    /// Construct and shape-check a rule.
+    pub fn new(name: impl Into<String>, dims: Dims, u: CoeffMatrix, v: CoeffMatrix, w: CoeffMatrix) -> Self {
+        assert_eq!(u.rows(), dims.m * dims.k, "U must have m*k rows");
+        assert_eq!(v.rows(), dims.k * dims.n, "V must have k*n rows");
+        assert_eq!(w.rows(), dims.m * dims.n, "W must have m*n rows");
+        assert_eq!(u.cols(), v.cols(), "U and V must agree on rank");
+        assert_eq!(u.cols(), w.cols(), "U and W must agree on rank");
+        Self {
+            name: name.into(),
+            dims,
+            u,
+            v,
+            w,
+        }
+    }
+
+    /// Number of multiplications (columns of U/V/W).
+    pub fn rank(&self) -> usize {
+        self.u.cols()
+    }
+
+    /// True iff every coefficient is λ-free (an exact algorithm).
+    pub fn is_exact_rule(&self) -> bool {
+        self.u.is_lambda_free() && self.v.is_lambda_free() && self.w.is_lambda_free()
+    }
+
+    /// Ideal single-step speedup over classical, `m·k·n / r − 1`
+    /// (paper §2.4/§2.5). Positive for genuinely fast rules.
+    pub fn ideal_speedup(&self) -> f64 {
+        self.dims.classical_rank() as f64 / self.rank() as f64 - 1.0
+    }
+
+    /// The roundoff parameter φ (paper §2.3): the largest, over all
+    /// multiplications `t`, of the sum of the most negative λ-exponent
+    /// magnitudes contributed by the `U`, `V` and `W` columns for `t`.
+    ///
+    /// For Bini's eq. (2) triplet this is `0 + 0 + 1 = 1`.
+    pub fn phi(&self) -> u32 {
+        (0..self.rank())
+            .map(|t| {
+                self.u.col_negative_degree(t)
+                    + self.v.col_negative_degree(t)
+                    + self.w.col_negative_degree(t)
+            })
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Total nonzero coefficients across U, V, W — a proxy for the
+    /// addition/memory-bandwidth overhead the paper discusses in §2.4.
+    pub fn nnz(&self) -> usize {
+        self.u.nnz() + self.v.nnz() + self.w.nnz()
+    }
+
+    /// Per-operand nonzero counts `(nnz(U), nnz(V), nnz(W))`.
+    pub fn nnz_split(&self) -> (usize, usize, usize) {
+        (self.u.nnz(), self.v.nnz(), self.w.nnz())
+    }
+
+    /// Reference execution of the rule *by definition* on `A` (m×k,
+    /// row-major) and `B` (k×n), in f64 at the given λ. This is
+    /// deliberately naive — it is the semantic ground truth that the
+    /// optimized execution engine in `apa-matmul` is tested against.
+    pub fn apply_base(&self, a: &[f64], b: &[f64], lambda: f64) -> Vec<f64> {
+        let Dims { m, k, n } = self.dims;
+        assert_eq!(a.len(), m * k);
+        assert_eq!(b.len(), k * n);
+        let u = self.u.eval(lambda);
+        let v = self.v.eval(lambda);
+        let w = self.w.eval(lambda);
+        let mut c = vec![0.0; m * n];
+        for t in 0..self.rank() {
+            let s: f64 = u[t].iter().map(|&(r, co)| co * a[r]).sum();
+            let q: f64 = v[t].iter().map(|&(r, co)| co * b[r]).sum();
+            let p = s * q;
+            for &(r, co) in &w[t] {
+                c[r] += co * p;
+            }
+        }
+        c
+    }
+
+    /// Rename (builder style).
+    pub fn with_name(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// A one-line human summary, e.g. `bini322 <3,2,2>:10 (APA, phi=1)`.
+    pub fn summary(&self) -> String {
+        let kind = if self.is_exact_rule() { "exact" } else { "APA" };
+        format!(
+            "{} {}:{} ({kind}, phi={}, nnz={})",
+            self.name,
+            self.dims,
+            self.rank(),
+            self.phi(),
+            self.nnz()
+        )
+    }
+}
+
+impl fmt::Display for BilinearAlgorithm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.summary())
+    }
+}
+
+/// Convenience constructor used by the hand-written catalog entries: build
+/// a rule from per-multiplication triplets of `(flat index, Laurent)` lists.
+pub struct RuleBuilder {
+    dims: Dims,
+    u: CoeffMatrix,
+    v: CoeffMatrix,
+    w: CoeffMatrix,
+    next: usize,
+}
+
+impl RuleBuilder {
+    pub fn new(dims: Dims, rank: usize) -> Self {
+        Self {
+            dims,
+            u: CoeffMatrix::zeros(dims.m * dims.k, rank),
+            v: CoeffMatrix::zeros(dims.k * dims.n, rank),
+            w: CoeffMatrix::zeros(dims.m * dims.n, rank),
+            next: 0,
+        }
+    }
+
+    /// Add one multiplication: `a_terms` index entries of `A` as `(i, a)`,
+    /// `b_terms` entries of `B` as `(a, j)` and `c_terms` entries of `C` as
+    /// `(i, j)` (all 0-based), each with a Laurent coefficient.
+    pub fn mult(
+        &mut self,
+        a_terms: &[(usize, usize, Laurent)],
+        b_terms: &[(usize, usize, Laurent)],
+        c_terms: &[(usize, usize, Laurent)],
+    ) -> &mut Self {
+        let t = self.next;
+        assert!(t < self.u.cols(), "more multiplications than declared rank");
+        for (i, a, p) in a_terms {
+            self.u.add(self.dims.a_index(*i, *a), t, p);
+        }
+        for (a, j, p) in b_terms {
+            self.v.add(self.dims.b_index(*a, *j), t, p);
+        }
+        for (i, j, p) in c_terms {
+            self.w.add(self.dims.c_index(*i, *j), t, p);
+        }
+        self.next += 1;
+        self
+    }
+
+    pub fn build(self, name: impl Into<String>) -> BilinearAlgorithm {
+        assert_eq!(
+            self.next,
+            self.u.cols(),
+            "declared rank {} but only {} multiplications given",
+            self.u.cols(),
+            self.next
+        );
+        BilinearAlgorithm::new(name, self.dims, self.u, self.v, self.w)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trivial_11n(n: usize) -> BilinearAlgorithm {
+        // <1,1,n>: C[0][j] = A[0][0] * B[0][j]; rank n, classical.
+        let dims = Dims::new(1, 1, n);
+        let mut b = RuleBuilder::new(dims, n);
+        for j in 0..n {
+            b.mult(
+                &[(0, 0, Laurent::one())],
+                &[(0, j, Laurent::one())],
+                &[(0, j, Laurent::one())],
+            );
+        }
+        b.build("trivial")
+    }
+
+    #[test]
+    fn dims_indexing() {
+        let d = Dims::new(3, 2, 4);
+        assert_eq!(d.a_index(2, 1), 5);
+        assert_eq!(d.b_index(1, 3), 7);
+        assert_eq!(d.c_index(2, 3), 11);
+        assert_eq!(d.classical_rank(), 24);
+        assert_eq!(d.to_string(), "<3,2,4>");
+    }
+
+    #[test]
+    fn trivial_rule_applies_correctly() {
+        let alg = trivial_11n(3);
+        assert_eq!(alg.rank(), 3);
+        assert!(alg.is_exact_rule());
+        assert_eq!(alg.phi(), 0);
+        let c = alg.apply_base(&[2.0], &[1.0, -1.0, 0.5], 0.1);
+        assert_eq!(c, vec![2.0, -2.0, 1.0]);
+    }
+
+    #[test]
+    fn ideal_speedup_zero_for_classical() {
+        let alg = trivial_11n(4);
+        assert_eq!(alg.ideal_speedup(), 0.0);
+    }
+
+    #[test]
+    fn phi_counts_triplet_negative_degrees() {
+        // One multiplication with λ in U, λ⁻¹ in V and λ⁻² in W → φ = 3.
+        let dims = Dims::new(1, 1, 1);
+        let mut b = RuleBuilder::new(dims, 1);
+        b.mult(
+            &[(0, 0, Laurent::monomial(1.0, 1))],
+            &[(0, 0, Laurent::monomial(1.0, -1))],
+            &[(0, 0, Laurent::monomial(1.0, -2))],
+        );
+        let alg = b.build("phi-test");
+        assert_eq!(alg.phi(), 3);
+        assert!(!alg.is_exact_rule());
+    }
+
+    #[test]
+    #[should_panic(expected = "more multiplications than declared rank")]
+    fn builder_rejects_extra_mults() {
+        let mut b = RuleBuilder::new(Dims::new(1, 1, 1), 1);
+        b.mult(
+            &[(0, 0, Laurent::one())],
+            &[(0, 0, Laurent::one())],
+            &[(0, 0, Laurent::one())],
+        );
+        b.mult(
+            &[(0, 0, Laurent::one())],
+            &[(0, 0, Laurent::one())],
+            &[(0, 0, Laurent::one())],
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "declared rank")]
+    fn builder_rejects_missing_mults() {
+        let b = RuleBuilder::new(Dims::new(1, 1, 1), 2);
+        let _ = b.build("incomplete");
+    }
+}

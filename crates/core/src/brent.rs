@@ -1,0 +1,349 @@
+//! Symbolic validation of bilinear rules via the Brent equations.
+//!
+//! A rule (U, V, W) for ⟨m,k,n⟩ computes matrix multiplication exactly iff
+//! for all `i,i' ∈ m`, `a,a' ∈ k`, `j,j' ∈ n`:
+//!
+//! ```text
+//! Σ_t U[(i,a),t] · V[(a',j),t] · W[(i',j'),t] = δ_{a,a'} δ_{i,i'} δ_{j,j'}
+//! ```
+//!
+//! For an APA rule the left side is a Laurent polynomial in λ and the
+//! requirement weakens to (paper §2.2–2.3):
+//!
+//! 1. no negative powers of λ survive in any equation (they must cancel);
+//! 2. the λ⁰ coefficient equals the Kronecker delta;
+//! 3. the residual (everything of positive degree) may be nonzero — its
+//!    minimal degree over all equations is the approximation-order σ.
+//!
+//! The check is performed sparsely: cost is `Σ_t nnz(U_t)·nnz(V_t)·nnz(W_t)`
+//! rather than `(mk)(kn)(mn)·r`, which keeps even the ⟨12,12,12;1000⟩
+//! Bini-cube validatable in well under a second.
+
+use crate::bilinear::BilinearAlgorithm;
+use crate::laurent::Laurent;
+use std::collections::HashMap;
+
+/// Outcome of a successful Brent validation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BrentReport {
+    /// True iff every equation holds with zero residual (exact algorithm).
+    pub exact: bool,
+    /// Minimal positive λ-degree of any residual term — the paper's σ.
+    /// `None` for exact algorithms.
+    pub sigma: Option<u32>,
+    /// Largest |coefficient| among residual (positive-degree) terms; a
+    /// bound on the entries of the error matrix polynomial.
+    pub max_residual_coeff: f64,
+    /// Number of Brent equations with nonzero residual.
+    pub residual_equations: usize,
+}
+
+/// Why validation failed.
+#[derive(Clone, Debug, PartialEq)]
+pub enum BrentError {
+    /// An equation retained a negative power of λ: the rule does not even
+    /// approximate matrix multiplication as λ→0.
+    NegativePower {
+        equation: (usize, usize, usize),
+        degree: i32,
+        coeff: f64,
+    },
+    /// The λ⁰ coefficient of an equation differs from the Kronecker delta.
+    WrongConstant {
+        equation: (usize, usize, usize),
+        expected: f64,
+        got: f64,
+    },
+}
+
+impl std::fmt::Display for BrentError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BrentError::NegativePower {
+                equation,
+                degree,
+                coeff,
+            } => write!(
+                f,
+                "Brent equation {equation:?} keeps a negative power λ^{degree} with coefficient {coeff}"
+            ),
+            BrentError::WrongConstant {
+                equation,
+                expected,
+                got,
+            } => write!(
+                f,
+                "Brent equation {equation:?} has constant term {got}, expected {expected}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for BrentError {}
+
+/// Numerical tolerance for cancellation checks. The catalog's coefficients
+/// are small integers, halves and quarters, so exact-in-f64 cancellation is
+/// expected; the tolerance only absorbs harmless accumulation order noise.
+pub const BRENT_TOL: f64 = 1e-9;
+
+/// Validate a rule against the (APA-relaxed) Brent equations.
+pub fn validate(alg: &BilinearAlgorithm) -> Result<BrentReport, BrentError> {
+    validate_with_tol(alg, BRENT_TOL)
+}
+
+/// [`validate`] with an explicit tolerance (useful for numerically
+/// discovered rules whose coefficients carry ALS noise).
+pub fn validate_with_tol(
+    alg: &BilinearAlgorithm,
+    tol: f64,
+) -> Result<BrentReport, BrentError> {
+    let d = alg.dims;
+    // Accumulate Σ_t U·V·W per (α, β, γ) key, sparsely.
+    let mut sums: HashMap<(usize, usize, usize), Laurent> = HashMap::new();
+    for t in 0..alg.rank() {
+        for (ra, pa) in alg.u.col(t) {
+            for (rb, pb) in alg.v.col(t) {
+                let pab = pa.mul(pb);
+                for (rc, pc) in alg.w.col(t) {
+                    let term = pab.mul(pc);
+                    sums.entry((*ra, *rb, *rc))
+                        .or_insert_with(Laurent::zero)
+                        .add_term_all(&term);
+                }
+            }
+        }
+    }
+
+    let mut sigma: Option<u32> = None;
+    let mut max_residual: f64 = 0.0;
+    let mut residual_eqs = 0usize;
+
+    // Check every equation that has any accumulated term.
+    for (&(ra, rb, rc), poly) in &sums {
+        let (i, a) = (ra / d.k, ra % d.k);
+        let (a2, j) = (rb / d.n, rb % d.n);
+        let (i2, j2) = (rc / d.n, rc % d.n);
+        let delta = if a == a2 && i == i2 && j == j2 { 1.0 } else { 0.0 };
+        check_equation((ra, rb, rc), poly, delta, tol, &mut sigma, &mut max_residual, &mut residual_eqs)?;
+    }
+
+    // Equations with no accumulated term must have delta = 0; the delta = 1
+    // equations must all be present, so verify they were visited.
+    for i in 0..d.m {
+        for a in 0..d.k {
+            for j in 0..d.n {
+                let key = (d.a_index(i, a), d.b_index(a, j), d.c_index(i, j));
+                let poly = sums.get(&key);
+                let present = poly.map(|p| (p.coeff(0) - 1.0).abs() <= tol).unwrap_or(false);
+                if !present {
+                    return Err(BrentError::WrongConstant {
+                        equation: key,
+                        expected: 1.0,
+                        got: poly.map(|p| p.coeff(0)).unwrap_or(0.0),
+                    });
+                }
+            }
+        }
+    }
+
+    Ok(BrentReport {
+        exact: residual_eqs == 0,
+        sigma,
+        max_residual_coeff: max_residual,
+        residual_equations: residual_eqs,
+    })
+}
+
+fn check_equation(
+    key: (usize, usize, usize),
+    poly: &Laurent,
+    delta: f64,
+    tol: f64,
+    sigma: &mut Option<u32>,
+    max_residual: &mut f64,
+    residual_eqs: &mut usize,
+) -> Result<(), BrentError> {
+    let mut has_residual = false;
+    for (e, c) in poly.iter() {
+        if c.abs() <= tol {
+            continue;
+        }
+        if e < 0 {
+            return Err(BrentError::NegativePower {
+                equation: key,
+                degree: e,
+                coeff: c,
+            });
+        }
+        if e == 0 {
+            if (c - delta).abs() > tol {
+                return Err(BrentError::WrongConstant {
+                    equation: key,
+                    expected: delta,
+                    got: c,
+                });
+            }
+        } else {
+            has_residual = true;
+            let deg = e as u32;
+            *sigma = Some(sigma.map_or(deg, |s| s.min(deg)));
+            if c.abs() > *max_residual {
+                *max_residual = c.abs();
+            }
+        }
+    }
+    // delta = 1 with no λ⁰ term at all is also a failure.
+    if delta != 0.0 && (poly.coeff(0) - delta).abs() > tol {
+        return Err(BrentError::WrongConstant {
+            equation: key,
+            expected: delta,
+            got: poly.coeff(0),
+        });
+    }
+    if has_residual {
+        *residual_eqs += 1;
+    }
+    Ok(())
+}
+
+impl Laurent {
+    /// Accumulate all terms of `other` into `self` (internal helper for the
+    /// Brent accumulator; public because `apa-discovery` reuses it).
+    pub fn add_term_all(&mut self, other: &Laurent) {
+        for (e, c) in other.iter() {
+            self.add_term(e, c);
+        }
+    }
+}
+
+/// Numeric spot-check: run the rule by definition on random ±1 inputs at
+/// two λ values and confirm the error against classical shrinks like λ^σ.
+/// This is the cheap complement to [`validate`] used in integration tests.
+pub fn numeric_consistency(alg: &BilinearAlgorithm, seed: u64) -> f64 {
+    let d = alg.dims;
+    // A tiny deterministic LCG avoids a rand dependency in this crate.
+    let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((state >> 32) as u32 as f64 / (1u64 << 31) as f64) - 1.0
+    };
+    let a: Vec<f64> = (0..d.m * d.k).map(|_| next()).collect();
+    let b: Vec<f64> = (0..d.k * d.n).map(|_| next()).collect();
+    let mut c_ref = vec![0.0; d.m * d.n];
+    for i in 0..d.m {
+        for a_ in 0..d.k {
+            for j in 0..d.n {
+                c_ref[d.c_index(i, j)] += a[d.a_index(i, a_)] * b[d.b_index(a_, j)];
+            }
+        }
+    }
+    let lambda = 1e-4;
+    let c_hat = alg.apply_base(&a, &b, lambda);
+    let num: f64 = c_hat
+        .iter()
+        .zip(&c_ref)
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum::<f64>()
+        .sqrt();
+    let den: f64 = c_ref.iter().map(|x| x * x).sum::<f64>().sqrt();
+    num / den.max(1e-300)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bilinear::{Dims, RuleBuilder};
+    use crate::laurent::Laurent;
+
+    fn classical_111() -> BilinearAlgorithm {
+        let mut b = RuleBuilder::new(Dims::new(1, 1, 1), 1);
+        b.mult(
+            &[(0, 0, Laurent::one())],
+            &[(0, 0, Laurent::one())],
+            &[(0, 0, Laurent::one())],
+        );
+        b.build("c111")
+    }
+
+    #[test]
+    fn classical_scalar_is_exact() {
+        let r = validate(&classical_111()).unwrap();
+        assert!(r.exact);
+        assert_eq!(r.sigma, None);
+        assert_eq!(r.residual_equations, 0);
+    }
+
+    #[test]
+    fn wrong_coefficient_detected() {
+        let mut b = RuleBuilder::new(Dims::new(1, 1, 1), 1);
+        b.mult(
+            &[(0, 0, Laurent::constant(2.0))],
+            &[(0, 0, Laurent::one())],
+            &[(0, 0, Laurent::one())],
+        );
+        let alg = b.build("bad");
+        match validate(&alg) {
+            Err(BrentError::WrongConstant { got, expected, .. }) => {
+                assert_eq!(got, 2.0);
+                assert_eq!(expected, 1.0);
+            }
+            other => panic!("expected WrongConstant, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn surviving_negative_power_detected() {
+        let mut b = RuleBuilder::new(Dims::new(1, 1, 1), 1);
+        b.mult(
+            &[(0, 0, Laurent::monomial(1.0, -1))],
+            &[(0, 0, Laurent::one())],
+            &[(0, 0, Laurent::from_terms([(1, 1.0), (0, 1.0)]))],
+        );
+        // product = λ⁻¹ + 1: negative power survives.
+        let alg = b.build("neg");
+        assert!(matches!(
+            validate(&alg),
+            Err(BrentError::NegativePower { degree: -1, .. })
+        ));
+    }
+
+    #[test]
+    fn apa_residual_yields_sigma() {
+        // Scalar rule computing a·b + λ·a·b: Ĉ = (1+λ)·M, M = a·b.
+        let mut b = RuleBuilder::new(Dims::new(1, 1, 1), 1);
+        b.mult(
+            &[(0, 0, Laurent::one())],
+            &[(0, 0, Laurent::one())],
+            &[(0, 0, Laurent::from_terms([(0, 1.0), (1, 1.0)]))],
+        );
+        let alg = b.build("apa-scalar");
+        let r = validate(&alg).unwrap();
+        assert!(!r.exact);
+        assert_eq!(r.sigma, Some(1));
+        assert_eq!(r.residual_equations, 1);
+    }
+
+    #[test]
+    fn missing_required_product_detected() {
+        // rank-1 rule for <1,1,2> can only cover one of the two outputs.
+        let mut b = RuleBuilder::new(Dims::new(1, 1, 2), 1);
+        b.mult(
+            &[(0, 0, Laurent::one())],
+            &[(0, 0, Laurent::one())],
+            &[(0, 0, Laurent::one())],
+        );
+        let alg = b.build("undersized");
+        assert!(matches!(
+            validate(&alg),
+            Err(BrentError::WrongConstant { expected, .. }) if expected == 1.0
+        ));
+    }
+
+    #[test]
+    fn numeric_consistency_small_for_valid_rule() {
+        let err = numeric_consistency(&classical_111(), 7);
+        assert!(err < 1e-12, "classical rule should be numerically exact, got {err}");
+    }
+}

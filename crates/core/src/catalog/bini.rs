@@ -1,0 +1,184 @@
+//! Bini's ⟨3,2,2;10⟩ APA rule [Bini, Capovani, Romani, Lotti 1979],
+//! transcribed verbatim from the paper's §2.2 (the only APA rule whose
+//! complete coefficients the paper prints).
+//!
+//! Transcription note: the OCR'd paper text lists the `B` factor of M₁₀ as
+//! identical to M₉'s (`B12 − λB22`), which cannot be right — it breaks the
+//! Ĉ₂₁ and Ĉ₃₁ formulas. The mirror symmetry of the rule (M₆…M₁₀ is the
+//! image of M₁…M₅ under A-row reversal and the B-index swap 11↔22, 12↔21)
+//! determines M₁₀ = (λA31 + A32)(λB21 + B11); with it every output formula
+//! expands to `C + O(λ)` as required. The Brent validator and the unit
+//! tests below machine-check that reconstruction (σ = 1, φ = 1, E₁₁ =
+//! −A12·B11 exactly as the paper states).
+
+use crate::bilinear::{BilinearAlgorithm, Dims, RuleBuilder};
+use crate::laurent::Laurent;
+
+fn c(v: f64) -> Laurent {
+    Laurent::constant(v)
+}
+
+fn lam(v: f64) -> Laurent {
+    Laurent::monomial(v, 1)
+}
+
+fn inv(v: f64) -> Laurent {
+    Laurent::monomial(v, -1)
+}
+
+/// Bini's rank-10 APA rule for A (3×2) · B (2×2): σ = 1, φ = 1,
+/// ideal single-step speedup 12/10 − 1 = 20%.
+pub fn bini322() -> BilinearAlgorithm {
+    let mut b = RuleBuilder::new(Dims::new(3, 2, 2), 10);
+    // Indices are 0-based: A11 ≡ (0,0), …, A32 ≡ (2,1); B11 ≡ (0,0), ….
+    // M1 = (A11 + A22)(λB11 + B22) → λ⁻¹·Ĉ11, Ĉ22
+    b.mult(
+        &[(0, 0, c(1.0)), (1, 1, c(1.0))],
+        &[(0, 0, lam(1.0)), (1, 1, c(1.0))],
+        &[(0, 0, inv(1.0)), (1, 1, c(1.0))],
+    );
+    // M2 = A22·(−B21 − B22) → λ⁻¹·Ĉ11
+    b.mult(
+        &[(1, 1, c(1.0))],
+        &[(1, 0, c(-1.0)), (1, 1, c(-1.0))],
+        &[(0, 0, inv(1.0))],
+    );
+    // M3 = A11·B22 → −λ⁻¹·Ĉ11, −λ⁻¹·Ĉ12
+    b.mult(
+        &[(0, 0, c(1.0))],
+        &[(1, 1, c(1.0))],
+        &[(0, 0, inv(-1.0)), (0, 1, inv(-1.0))],
+    );
+    // M4 = (λA12 + A22)(−λB11 + B21) → λ⁻¹·Ĉ11, Ĉ21
+    b.mult(
+        &[(0, 1, lam(1.0)), (1, 1, c(1.0))],
+        &[(0, 0, lam(-1.0)), (1, 0, c(1.0))],
+        &[(0, 0, inv(1.0)), (1, 0, c(1.0))],
+    );
+    // M5 = (A11 + λA12)(λB12 + B22) → λ⁻¹·Ĉ12, −Ĉ22
+    b.mult(
+        &[(0, 0, c(1.0)), (0, 1, lam(1.0))],
+        &[(0, 1, lam(1.0)), (1, 1, c(1.0))],
+        &[(0, 1, inv(1.0)), (1, 1, c(-1.0))],
+    );
+    // M6 = (A21 + A32)(B11 + λB22) → Ĉ21, λ⁻¹·Ĉ32
+    b.mult(
+        &[(1, 0, c(1.0)), (2, 1, c(1.0))],
+        &[(0, 0, c(1.0)), (1, 1, lam(1.0))],
+        &[(1, 0, c(1.0)), (2, 1, inv(1.0))],
+    );
+    // M7 = A21·(−B11 − B12) → λ⁻¹·Ĉ32
+    b.mult(
+        &[(1, 0, c(1.0))],
+        &[(0, 0, c(-1.0)), (0, 1, c(-1.0))],
+        &[(2, 1, inv(1.0))],
+    );
+    // M8 = A32·B11 → −λ⁻¹·Ĉ31, −λ⁻¹·Ĉ32
+    b.mult(
+        &[(2, 1, c(1.0))],
+        &[(0, 0, c(1.0))],
+        &[(2, 0, inv(-1.0)), (2, 1, inv(-1.0))],
+    );
+    // M9 = (A21 + λA31)(B12 − λB22) → Ĉ22, λ⁻¹·Ĉ32
+    b.mult(
+        &[(1, 0, c(1.0)), (2, 0, lam(1.0))],
+        &[(0, 1, c(1.0)), (1, 1, lam(-1.0))],
+        &[(1, 1, c(1.0)), (2, 1, inv(1.0))],
+    );
+    // M10 = (λA31 + A32)(λB21 + B11) → −Ĉ21, λ⁻¹·Ĉ31
+    b.mult(
+        &[(2, 0, lam(1.0)), (2, 1, c(1.0))],
+        &[(1, 0, lam(1.0)), (0, 0, c(1.0))],
+        &[(1, 0, c(-1.0)), (2, 0, inv(1.0))],
+    );
+    b.build("bini322")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brent::validate;
+
+    #[test]
+    fn bini_validates_with_sigma_one() {
+        let b = bini322();
+        assert_eq!(b.rank(), 10);
+        assert!(!b.is_exact_rule());
+        assert_eq!(b.phi(), 1, "paper Table 1: φ = 1 for Bini's rule");
+        let report = validate(&b).unwrap();
+        assert!(!report.exact);
+        assert_eq!(report.sigma, Some(1), "paper Table 1: σ = 1");
+    }
+
+    #[test]
+    fn bini_ideal_speedup_is_twenty_percent() {
+        let b = bini322();
+        assert!((b.ideal_speedup() - 0.20).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bini_error_term_matches_paper_c11() {
+        // Paper §2.2: Ĉ11 = A11·B11 + A12·B21 − λ·A12·B11, i.e. the error
+        // matrix entry E11 is ±A12·B11. Probe with A12 = B11 = 1, rest 0.
+        let b = bini322();
+        let mut a = [0.0; 6];
+        let mut bb = [0.0; 4];
+        a[1] = 1.0; // A12
+        bb[0] = 1.0; // B11
+        let lambda = 1e-3;
+        let c = b.apply_base(&a, &bb, lambda);
+        // C11 exact = 0 here, so Ĉ11 ≈ −λ · A12 · B11.
+        assert!(
+            (c[0] + lambda).abs() < 1e-9,
+            "Ĉ11 = {} but expected −λ = {}",
+            c[0],
+            -lambda
+        );
+    }
+
+    #[test]
+    fn bini_error_shrinks_linearly_in_lambda() {
+        let alg = bini322();
+        let a: Vec<f64> = (0..6).map(|i| (i as f64 * 0.7).sin()).collect();
+        let b: Vec<f64> = (0..4).map(|i| (i as f64 * 1.3).cos()).collect();
+        let mut c_ref = vec![0.0; 6];
+        for i in 0..3 {
+            for t in 0..2 {
+                for j in 0..2 {
+                    c_ref[i * 2 + j] += a[i * 2 + t] * b[t * 2 + j];
+                }
+            }
+        }
+        let err = |lambda: f64| -> f64 {
+            let c = alg.apply_base(&a, &b, lambda);
+            c.iter()
+                .zip(&c_ref)
+                .map(|(x, y)| (x - y).abs())
+                .fold(0.0, f64::max)
+        };
+        let e1 = err(1e-2);
+        let e2 = err(1e-4);
+        // Linear scaling: halving λ by 100× should cut the error ~100×.
+        assert!(e2 < e1 * 1e-1, "e(1e-2)={e1}, e(1e-4)={e2}");
+        assert!(e2 > 0.0, "APA error should be nonzero at finite λ");
+    }
+
+    #[test]
+    fn bini_exact_product_recovered_in_limit() {
+        let alg = bini322();
+        let a = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let b = [0.5, 1.5, -1.0, 2.0];
+        let c = alg.apply_base(&a, &b, 1e-8);
+        let mut expect = [0.0; 6];
+        for i in 0..3 {
+            for t in 0..2 {
+                for j in 0..2 {
+                    expect[i * 2 + j] += a[i * 2 + t] * b[t * 2 + j];
+                }
+            }
+        }
+        for (x, y) in c.iter().zip(expect.iter()) {
+            assert!((x - y).abs() < 1e-6, "{x} vs {y}");
+        }
+    }
+}

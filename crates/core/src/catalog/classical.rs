@@ -1,0 +1,65 @@
+//! The classical (cubic) rule generator: rank `m·k·n` for any base dims.
+
+use crate::bilinear::{BilinearAlgorithm, Dims};
+use crate::coeffs::CoeffMatrix;
+use crate::laurent::Laurent;
+
+/// The classical algorithm for arbitrary base dims: one multiplication per
+/// `(i, a, j)` triple, `C[i][j] += A[i][a] · B[a][j]`.
+pub fn classical(dims: Dims) -> BilinearAlgorithm {
+    let Dims { m, k, n } = dims;
+    let r = m * k * n;
+    let mut u = CoeffMatrix::zeros(m * k, r);
+    let mut v = CoeffMatrix::zeros(k * n, r);
+    let mut w = CoeffMatrix::zeros(m * n, r);
+    let mut t = 0;
+    for i in 0..m {
+        for a in 0..k {
+            for j in 0..n {
+                u.set(dims.a_index(i, a), t, Laurent::one());
+                v.set(dims.b_index(a, j), t, Laurent::one());
+                w.set(dims.c_index(i, j), t, Laurent::one());
+                t += 1;
+            }
+        }
+    }
+    BilinearAlgorithm::new(format!("classical{m}{k}{n}"), dims, u, v, w)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brent::validate;
+
+    #[test]
+    fn classical_has_full_rank_and_validates() {
+        for (m, k, n) in [(1, 1, 1), (2, 2, 2), (3, 2, 4), (1, 5, 2)] {
+            let alg = classical(Dims::new(m, k, n));
+            assert_eq!(alg.rank(), m * k * n);
+            assert!(alg.is_exact_rule());
+            assert_eq!(alg.phi(), 0);
+            assert_eq!(alg.ideal_speedup(), 0.0);
+            assert!(validate(&alg).unwrap().exact);
+        }
+    }
+
+    #[test]
+    fn classical_matches_triple_loop() {
+        let alg = classical(Dims::new(2, 3, 2));
+        let a = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0];
+        let b = [0.5, -1.0, 2.0, 0.0, 1.0, 3.0];
+        let c = alg.apply_base(&a, &b, 0.25);
+        // reference
+        let mut expect = [0.0; 4];
+        for i in 0..2 {
+            for t in 0..3 {
+                for j in 0..2 {
+                    expect[i * 2 + j] += a[i * 3 + t] * b[t * 2 + j];
+                }
+            }
+        }
+        for (x, y) in c.iter().zip(expect.iter()) {
+            assert!((x - y).abs() < 1e-12);
+        }
+    }
+}

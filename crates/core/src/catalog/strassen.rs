@@ -1,0 +1,157 @@
+//! Strassen's ⟨2,2,2;7⟩ exact fast rule [Strassen 1969] and the
+//! Strassen–Winograd variant (same rank, fewer additions in factored form).
+
+use crate::bilinear::{BilinearAlgorithm, Dims, RuleBuilder};
+use crate::laurent::Laurent;
+
+fn one() -> Laurent {
+    Laurent::one()
+}
+
+fn neg() -> Laurent {
+    Laurent::constant(-1.0)
+}
+
+/// Strassen's original rank-7 rule for 2×2 blocks.
+pub fn strassen() -> BilinearAlgorithm {
+    let mut b = RuleBuilder::new(Dims::new(2, 2, 2), 7);
+    // M1 = (A00 + A11)(B00 + B11) → C00, C11
+    b.mult(
+        &[(0, 0, one()), (1, 1, one())],
+        &[(0, 0, one()), (1, 1, one())],
+        &[(0, 0, one()), (1, 1, one())],
+    );
+    // M2 = (A10 + A11)·B00 → C10, −C11
+    b.mult(
+        &[(1, 0, one()), (1, 1, one())],
+        &[(0, 0, one())],
+        &[(1, 0, one()), (1, 1, neg())],
+    );
+    // M3 = A00·(B01 − B11) → C01, C11
+    b.mult(
+        &[(0, 0, one())],
+        &[(0, 1, one()), (1, 1, neg())],
+        &[(0, 1, one()), (1, 1, one())],
+    );
+    // M4 = A11·(B10 − B00) → C00, C10
+    b.mult(
+        &[(1, 1, one())],
+        &[(1, 0, one()), (0, 0, neg())],
+        &[(0, 0, one()), (1, 0, one())],
+    );
+    // M5 = (A00 + A01)·B11 → −C00, C01
+    b.mult(
+        &[(0, 0, one()), (0, 1, one())],
+        &[(1, 1, one())],
+        &[(0, 0, neg()), (0, 1, one())],
+    );
+    // M6 = (A10 − A00)(B00 + B01) → C11
+    b.mult(
+        &[(1, 0, one()), (0, 0, neg())],
+        &[(0, 0, one()), (0, 1, one())],
+        &[(1, 1, one())],
+    );
+    // M7 = (A01 − A11)(B10 + B11) → C00
+    b.mult(
+        &[(0, 1, one()), (1, 1, neg())],
+        &[(1, 0, one()), (1, 1, one())],
+        &[(0, 0, one())],
+    );
+    b.build("strassen")
+}
+
+/// The Strassen–Winograd rank-7 variant, written in expanded bilinear form.
+///
+/// The famous 15-addition count comes from factoring common subexpressions
+/// (S₁…S₄, T₁…T₄); as a bilinear rule it has denser U/V/W than Strassen's,
+/// which is exactly the addition-overhead trade-off the paper's §2.4
+/// discusses — and why the two are interesting to compare in the ablation
+/// benches.
+pub fn winograd() -> BilinearAlgorithm {
+    let mut b = RuleBuilder::new(Dims::new(2, 2, 2), 7);
+    // M1 = A00·B00 → C00, C01, C10, C11
+    b.mult(
+        &[(0, 0, one())],
+        &[(0, 0, one())],
+        &[(0, 0, one()), (0, 1, one()), (1, 0, one()), (1, 1, one())],
+    );
+    // M2 = A01·B10 → C00
+    b.mult(&[(0, 1, one())], &[(1, 0, one())], &[(0, 0, one())]);
+    // M3 = (A00 + A01 − A10 − A11)·B11 → C01
+    b.mult(
+        &[(0, 0, one()), (0, 1, one()), (1, 0, neg()), (1, 1, neg())],
+        &[(1, 1, one())],
+        &[(0, 1, one())],
+    );
+    // M4 = A11·(B00 − B01 − B10 + B11) → −C10
+    b.mult(
+        &[(1, 1, one())],
+        &[(0, 0, one()), (0, 1, neg()), (1, 0, neg()), (1, 1, one())],
+        &[(1, 0, neg())],
+    );
+    // M5 = (A10 + A11)(B01 − B00) → C01, C11
+    b.mult(
+        &[(1, 0, one()), (1, 1, one())],
+        &[(0, 1, one()), (0, 0, neg())],
+        &[(0, 1, one()), (1, 1, one())],
+    );
+    // M6 = (A10 + A11 − A00)(B00 − B01 + B11) → C01, C10, C11
+    b.mult(
+        &[(1, 0, one()), (1, 1, one()), (0, 0, neg())],
+        &[(0, 0, one()), (0, 1, neg()), (1, 1, one())],
+        &[(0, 1, one()), (1, 0, one()), (1, 1, one())],
+    );
+    // M7 = (A00 − A10)(B11 − B01) → C10, C11
+    b.mult(
+        &[(0, 0, one()), (1, 0, neg())],
+        &[(1, 1, one()), (0, 1, neg())],
+        &[(1, 0, one()), (1, 1, one())],
+    );
+    b.build("winograd")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brent::validate;
+
+    #[test]
+    fn strassen_validates_exactly() {
+        let s = strassen();
+        assert_eq!(s.rank(), 7);
+        assert!(s.is_exact_rule());
+        assert_eq!(s.phi(), 0);
+        assert!(validate(&s).unwrap().exact);
+        // ideal speedup 8/7 − 1 ≈ 14.3%
+        assert!((s.ideal_speedup() - (8.0 / 7.0 - 1.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn winograd_validates_exactly() {
+        let w = winograd();
+        assert_eq!(w.rank(), 7);
+        assert!(validate(&w).unwrap().exact);
+    }
+
+    #[test]
+    fn strassen_multiplies_2x2() {
+        let s = strassen();
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [5.0, 6.0, 7.0, 8.0];
+        let c = s.apply_base(&a, &b, 0.0);
+        assert_eq!(c, vec![19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn winograd_matches_strassen_numerically() {
+        let s = strassen();
+        let w = winograd();
+        let a = [0.5, -1.0, 2.0, 3.5];
+        let b = [1.0, 0.0, -2.0, 4.0];
+        let cs = s.apply_base(&a, &b, 0.0);
+        let cw = w.apply_base(&a, &b, 0.0);
+        for (x, y) in cs.iter().zip(cw.iter()) {
+            assert!((x - y).abs() < 1e-12);
+        }
+    }
+}

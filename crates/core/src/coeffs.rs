@@ -1,0 +1,341 @@
+//! Sparse coefficient matrices with Laurent-polynomial entries.
+//!
+//! A bilinear rule of rank `r` is encoded by three such matrices (paper
+//! eq. (2)): `U` ((m·k) × r) gives the linear combinations of entries of `A`
+//! fed into each multiplication, `V` ((k·n) × r) the combinations of entries
+//! of `B`, and `W` ((m·n) × r) the contributions of each multiplication to
+//! the output. Columns (one per multiplication) are the natural access
+//! pattern both for validation and for plan compilation, so storage is
+//! column-major sparse.
+
+use crate::laurent::{Laurent, COEFF_EPS};
+use serde::{Deserialize, Serialize};
+
+/// A sparse `rows × cols` matrix of [`Laurent`] entries, stored per column.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct CoeffMatrix {
+    rows: usize,
+    /// `cols[t]` lists `(row, coefficient)` pairs, sorted by row, for
+    /// multiplication `t`.
+    cols: Vec<Vec<(usize, Laurent)>>,
+}
+
+impl CoeffMatrix {
+    /// An all-zero matrix with `rows` rows and `cols` columns.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols: vec![Vec::new(); cols],
+        }
+    }
+
+    /// Number of rows (flattened matrix entries of the operand).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns (rank / multiplication count).
+    pub fn cols(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// Set entry `(row, col)`, replacing any existing value. Zero entries
+    /// are removed from the sparse structure.
+    pub fn set(&mut self, row: usize, col: usize, value: Laurent) {
+        assert!(row < self.rows, "row {row} out of bounds ({})", self.rows);
+        let column = &mut self.cols[col];
+        match column.binary_search_by_key(&row, |(r, _)| *r) {
+            Ok(pos) => {
+                if value.is_zero() {
+                    column.remove(pos);
+                } else {
+                    column[pos].1 = value;
+                }
+            }
+            Err(pos) => {
+                if !value.is_zero() {
+                    column.insert(pos, (row, value));
+                }
+            }
+        }
+    }
+
+    /// Add `value` into entry `(row, col)`.
+    pub fn add(&mut self, row: usize, col: usize, value: &Laurent) {
+        if value.is_zero() {
+            return;
+        }
+        let current = self.get(row, col);
+        self.set(row, col, current.add(value));
+    }
+
+    /// Entry `(row, col)` (zero polynomial if structurally absent).
+    pub fn get(&self, row: usize, col: usize) -> Laurent {
+        let column = &self.cols[col];
+        match column.binary_search_by_key(&row, |(r, _)| *r) {
+            Ok(pos) => column[pos].1.clone(),
+            Err(_) => Laurent::zero(),
+        }
+    }
+
+    /// Sparse view of one column: `(row, coefficient)` pairs sorted by row.
+    pub fn col(&self, col: usize) -> &[(usize, Laurent)] {
+        &self.cols[col]
+    }
+
+    /// Total number of structurally nonzero entries.
+    pub fn nnz(&self) -> usize {
+        self.cols.iter().map(|c| c.len()).sum()
+    }
+
+    /// Number of nonzero entries in column `col`.
+    pub fn col_nnz(&self, col: usize) -> usize {
+        self.cols[col].len()
+    }
+
+    /// Largest negative λ-degree appearing in column `col` (the per-operand
+    /// ingredient of the paper's roundoff parameter φ, §2.3).
+    pub fn col_negative_degree(&self, col: usize) -> u32 {
+        self.cols[col]
+            .iter()
+            .map(|(_, p)| p.negative_degree())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Evaluate every entry at a concrete λ, producing numeric sparse
+    /// columns suitable for plan compilation. Entries that evaluate below
+    /// `COEFF_EPS` in magnitude are kept (they may be legitimate tiny
+    /// coefficients like λ² at small λ).
+    pub fn eval(&self, lambda: f64) -> Vec<Vec<(usize, f64)>> {
+        self.cols
+            .iter()
+            .map(|col| {
+                col.iter()
+                    .map(|(r, p)| (*r, p.eval(lambda)))
+                    .filter(|(_, v)| v.abs() > 0.0)
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Build from a dense row-major slice of Laurent entries.
+    pub fn from_dense(rows: usize, cols: usize, entries: &[Laurent]) -> Self {
+        assert_eq!(entries.len(), rows * cols);
+        let mut m = Self::zeros(rows, cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                let e = &entries[r * cols + c];
+                if !e.is_zero() {
+                    m.set(r, c, e.clone());
+                }
+            }
+        }
+        m
+    }
+
+    /// Build from a dense row-major slice of plain numbers (degree-0 rules).
+    pub fn from_dense_f64(rows: usize, cols: usize, entries: &[f64]) -> Self {
+        let lp: Vec<Laurent> = entries.iter().map(|&c| Laurent::constant(c)).collect();
+        Self::from_dense(rows, cols, &lp)
+    }
+
+    /// Horizontally concatenate: `[self | other]` (row counts must match).
+    pub fn hcat(&self, other: &Self) -> Self {
+        assert_eq!(self.rows, other.rows, "hcat requires equal row counts");
+        let mut cols = self.cols.clone();
+        cols.extend(other.cols.iter().cloned());
+        Self {
+            rows: self.rows,
+            cols,
+        }
+    }
+
+    /// Apply a row-index permutation/injection: entry at row `r` moves to
+    /// row `map(r)` in a matrix with `new_rows` rows.
+    pub fn map_rows(&self, new_rows: usize, map: impl Fn(usize) -> usize) -> Self {
+        let mut out = Self::zeros(new_rows, self.cols());
+        for (t, col) in self.cols.iter().enumerate() {
+            for (r, p) in col {
+                out.add(map(*r), t, p);
+            }
+        }
+        out
+    }
+
+    /// Kronecker-style product used by the tensor product of algorithms:
+    /// output column `(t1 · other_cols + t2)` row `combine(r1, r2)` gets
+    /// `self[r1, t1] · other[r2, t2]`.
+    pub fn tensor(
+        &self,
+        other: &Self,
+        new_rows: usize,
+        combine: impl Fn(usize, usize) -> usize,
+    ) -> Self {
+        let mut out = Self::zeros(new_rows, self.cols() * other.cols());
+        for (t1, col1) in self.cols.iter().enumerate() {
+            for (t2, col2) in other.cols.iter().enumerate() {
+                let t = t1 * other.cols() + t2;
+                for (r1, p1) in col1 {
+                    for (r2, p2) in col2 {
+                        out.add(combine(*r1, *r2), t, &p1.mul(p2));
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Multiply every entry of column `col` by monomial `c·λ^e`.
+    pub fn scale_col(&mut self, col: usize, c: f64, e: i32) {
+        for (_, p) in &mut self.cols[col] {
+            *p = p.mul_monomial(c, e);
+        }
+        self.cols[col].retain(|(_, p)| !p.is_zero());
+    }
+
+    /// Drop entries whose largest |coefficient| is ≤ `tol`.
+    pub fn prune(&self, tol: f64) -> Self {
+        Self {
+            rows: self.rows,
+            cols: self
+                .cols
+                .iter()
+                .map(|col| {
+                    col.iter()
+                        .map(|(r, p)| (*r, p.prune(tol)))
+                        .filter(|(_, p)| !p.is_zero())
+                        .collect()
+                })
+                .collect(),
+        }
+    }
+
+    /// Largest |coefficient| over all entries and terms.
+    pub fn max_abs_coeff(&self) -> f64 {
+        self.cols
+            .iter()
+            .flat_map(|c| c.iter())
+            .fold(0.0_f64, |m, (_, p)| m.max(p.max_abs_coeff()))
+    }
+
+    /// True iff every entry is a degree-0 constant (an exact, λ-free rule).
+    pub fn is_lambda_free(&self) -> bool {
+        self.cols
+            .iter()
+            .flat_map(|c| c.iter())
+            .all(|(_, p)| p.is_constant())
+    }
+
+    /// Approximate structural equality within `tol` on every coefficient.
+    pub fn approx_eq(&self, other: &Self, tol: f64) -> bool {
+        if self.rows != other.rows || self.cols() != other.cols() {
+            return false;
+        }
+        for t in 0..self.cols() {
+            for r in 0..self.rows {
+                let d = self.get(r, t).sub(&other.get(r, t));
+                if d.max_abs_coeff() > tol {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+/// Helper: treat coefficients below `COEFF_EPS` as structurally zero.
+pub fn is_negligible(c: f64) -> bool {
+    c.abs() <= COEFF_EPS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_roundtrip() {
+        let mut m = CoeffMatrix::zeros(4, 3);
+        m.set(2, 1, Laurent::monomial(2.0, -1));
+        assert_eq!(m.get(2, 1), Laurent::monomial(2.0, -1));
+        assert_eq!(m.get(0, 0), Laurent::zero());
+        assert_eq!(m.nnz(), 1);
+        m.set(2, 1, Laurent::zero());
+        assert_eq!(m.nnz(), 0);
+    }
+
+    #[test]
+    fn add_accumulates_and_cancels() {
+        let mut m = CoeffMatrix::zeros(2, 1);
+        m.add(0, 0, &Laurent::one());
+        m.add(0, 0, &Laurent::one());
+        assert_eq!(m.get(0, 0), Laurent::constant(2.0));
+        m.add(0, 0, &Laurent::constant(-2.0));
+        assert_eq!(m.nnz(), 0);
+    }
+
+    #[test]
+    fn col_negative_degree_tracks_phi() {
+        let mut m = CoeffMatrix::zeros(3, 2);
+        m.set(0, 0, Laurent::monomial(1.0, -1));
+        m.set(1, 0, Laurent::one());
+        m.set(2, 1, Laurent::monomial(1.0, 2));
+        assert_eq!(m.col_negative_degree(0), 1);
+        assert_eq!(m.col_negative_degree(1), 0);
+    }
+
+    #[test]
+    fn eval_produces_numeric_columns() {
+        let mut m = CoeffMatrix::zeros(2, 1);
+        m.set(0, 0, Laurent::from_terms([(0, 1.0), (1, 1.0)]));
+        m.set(1, 0, Laurent::monomial(1.0, -1));
+        let cols = m.eval(0.5);
+        assert_eq!(cols[0], vec![(0, 1.5), (1, 2.0)]);
+    }
+
+    #[test]
+    fn hcat_concatenates() {
+        let a = CoeffMatrix::from_dense_f64(2, 1, &[1.0, 0.0]);
+        let b = CoeffMatrix::from_dense_f64(2, 2, &[0.0, 1.0, 1.0, 0.0]);
+        let c = a.hcat(&b);
+        assert_eq!(c.cols(), 3);
+        assert_eq!(c.get(0, 0), Laurent::one());
+        assert_eq!(c.get(1, 1), Laurent::one());
+        assert_eq!(c.get(0, 2), Laurent::one());
+    }
+
+    #[test]
+    fn map_rows_relocates() {
+        let a = CoeffMatrix::from_dense_f64(2, 1, &[1.0, 2.0]);
+        let b = a.map_rows(4, |r| r + 2);
+        assert_eq!(b.get(2, 0), Laurent::one());
+        assert_eq!(b.get(3, 0), Laurent::constant(2.0));
+        assert_eq!(b.get(0, 0), Laurent::zero());
+    }
+
+    #[test]
+    fn tensor_multiplies_supports() {
+        // [1; λ] ⊗ [1; 1] over rows, combine = r1*2 + r2
+        let a = CoeffMatrix::from_dense(
+            2,
+            1,
+            &[Laurent::one(), Laurent::monomial(1.0, 1)],
+        );
+        let b = CoeffMatrix::from_dense_f64(2, 1, &[1.0, 1.0]);
+        let t = a.tensor(&b, 4, |r1, r2| r1 * 2 + r2);
+        assert_eq!(t.cols(), 1);
+        assert_eq!(t.get(0, 0), Laurent::one());
+        assert_eq!(t.get(1, 0), Laurent::one());
+        assert_eq!(t.get(2, 0), Laurent::monomial(1.0, 1));
+        assert_eq!(t.get(3, 0), Laurent::monomial(1.0, 1));
+    }
+
+    #[test]
+    fn lambda_free_detection() {
+        let exact = CoeffMatrix::from_dense_f64(2, 2, &[1.0, 0.0, -1.0, 1.0]);
+        assert!(exact.is_lambda_free());
+        let mut apa = exact.clone();
+        apa.set(0, 0, Laurent::monomial(1.0, -1));
+        assert!(!apa.is_lambda_free());
+    }
+}

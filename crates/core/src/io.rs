@@ -1,0 +1,276 @@
+//! Algorithm-file I/O.
+//!
+//! Two formats are supported:
+//!
+//! * **JSON** (serde) — lossless round-trip of [`BilinearAlgorithm`];
+//! * **text** — a human-editable format in the spirit of the
+//!   Benson–Ballard framework's coefficient files, extended with Laurent
+//!   literals so APA rules (λ, λ⁻¹, …) can be expressed. This is the escape
+//!   hatch for plugging in externally obtained tensors (e.g. Smirnov's
+//!   supplementary data) without recompiling.
+//!
+//! Text grammar (line oriented, `#` starts a comment):
+//!
+//! ```text
+//! algorithm bini322
+//! dims 3 2 2
+//! rank 10
+//! mult 0
+//! A 0 0 1
+//! A 1 1 1
+//! B 0 0 L
+//! B 1 1 1
+//! C 0 0 L^-1
+//! C 1 1 1
+//! mult 1
+//! ...
+//! ```
+
+use crate::bilinear::{BilinearAlgorithm, Dims};
+use crate::coeffs::CoeffMatrix;
+use crate::laurent::Laurent;
+use std::fmt::Write as _;
+
+/// Serialize to JSON.
+pub fn to_json(alg: &BilinearAlgorithm) -> String {
+    serde_json::to_string_pretty(alg).expect("BilinearAlgorithm serializes infallibly")
+}
+
+/// Deserialize from JSON, re-checking shape invariants.
+pub fn from_json(s: &str) -> Result<BilinearAlgorithm, String> {
+    let alg: BilinearAlgorithm =
+        serde_json::from_str(s).map_err(|e| format!("JSON parse error: {e}"))?;
+    check_shapes(&alg)?;
+    Ok(alg)
+}
+
+fn check_shapes(alg: &BilinearAlgorithm) -> Result<(), String> {
+    let d = alg.dims;
+    if alg.u.rows() != d.m * d.k || alg.v.rows() != d.k * d.n || alg.w.rows() != d.m * d.n {
+        return Err(format!(
+            "inconsistent shapes for dims {}: U {}, V {}, W {}",
+            d,
+            alg.u.rows(),
+            alg.v.rows(),
+            alg.w.rows()
+        ));
+    }
+    if alg.u.cols() != alg.v.cols() || alg.u.cols() != alg.w.cols() {
+        return Err("U, V, W disagree on rank".into());
+    }
+    Ok(())
+}
+
+/// Serialize to the text format.
+pub fn to_text(alg: &BilinearAlgorithm) -> String {
+    let mut out = String::new();
+    let d = alg.dims;
+    writeln!(out, "algorithm {}", alg.name).unwrap();
+    writeln!(out, "dims {} {} {}", d.m, d.k, d.n).unwrap();
+    writeln!(out, "rank {}", alg.rank()).unwrap();
+    for t in 0..alg.rank() {
+        writeln!(out, "mult {t}").unwrap();
+        for (r, p) in alg.u.col(t) {
+            writeln!(out, "A {} {} {}", r / d.k, r % d.k, p).unwrap();
+        }
+        for (r, p) in alg.v.col(t) {
+            writeln!(out, "B {} {} {}", r / d.n, r % d.n, p).unwrap();
+        }
+        for (r, p) in alg.w.col(t) {
+            writeln!(out, "C {} {} {}", r / d.n, r % d.n, p).unwrap();
+        }
+    }
+    out
+}
+
+/// Parse the text format.
+pub fn from_text(s: &str) -> Result<BilinearAlgorithm, String> {
+    let mut name = String::from("unnamed");
+    let mut dims: Option<Dims> = None;
+    let mut rank: Option<usize> = None;
+    let mut u: Option<CoeffMatrix> = None;
+    let mut v: Option<CoeffMatrix> = None;
+    let mut w: Option<CoeffMatrix> = None;
+    let mut cur_mult: Option<usize> = None;
+    let mut seen_mults = 0usize;
+
+    for (lineno, raw) in s.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let tag = parts.next().unwrap();
+        let err = |msg: &str| format!("line {}: {msg}: {raw:?}", lineno + 1);
+        match tag {
+            "algorithm" => {
+                name = parts.next().ok_or_else(|| err("missing name"))?.to_string();
+            }
+            "dims" => {
+                let m: usize = parts
+                    .next()
+                    .and_then(|x| x.parse().ok())
+                    .ok_or_else(|| err("bad m"))?;
+                let k: usize = parts
+                    .next()
+                    .and_then(|x| x.parse().ok())
+                    .ok_or_else(|| err("bad k"))?;
+                let n: usize = parts
+                    .next()
+                    .and_then(|x| x.parse().ok())
+                    .ok_or_else(|| err("bad n"))?;
+                dims = Some(Dims::new(m, k, n));
+            }
+            "rank" => {
+                rank = Some(
+                    parts
+                        .next()
+                        .and_then(|x| x.parse().ok())
+                        .ok_or_else(|| err("bad rank"))?,
+                );
+                let d = dims.ok_or_else(|| err("rank before dims"))?;
+                let r = rank.unwrap();
+                u = Some(CoeffMatrix::zeros(d.m * d.k, r));
+                v = Some(CoeffMatrix::zeros(d.k * d.n, r));
+                w = Some(CoeffMatrix::zeros(d.m * d.n, r));
+            }
+            "mult" => {
+                let t: usize = parts
+                    .next()
+                    .and_then(|x| x.parse().ok())
+                    .ok_or_else(|| err("bad mult index"))?;
+                let r = rank.ok_or_else(|| err("mult before rank"))?;
+                if t >= r {
+                    return Err(err(&format!("mult index {t} >= rank {r}")));
+                }
+                cur_mult = Some(t);
+                seen_mults += 1;
+            }
+            "A" | "B" | "C" => {
+                let d = dims.ok_or_else(|| err("entry before dims"))?;
+                let t = cur_mult.ok_or_else(|| err("entry before any mult"))?;
+                let i: usize = parts
+                    .next()
+                    .and_then(|x| x.parse().ok())
+                    .ok_or_else(|| err("bad row index"))?;
+                let j: usize = parts
+                    .next()
+                    .and_then(|x| x.parse().ok())
+                    .ok_or_else(|| err("bad col index"))?;
+                let rest: Vec<&str> = parts.collect();
+                if rest.is_empty() {
+                    return Err(err("missing coefficient"));
+                }
+                let coeff = Laurent::parse(&rest.join(" ")).map_err(|e| err(&e))?;
+                match tag {
+                    "A" => {
+                        if i >= d.m || j >= d.k {
+                            return Err(err("A index out of range"));
+                        }
+                        u.as_mut().unwrap().add(d.a_index(i, j), t, &coeff);
+                    }
+                    "B" => {
+                        if i >= d.k || j >= d.n {
+                            return Err(err("B index out of range"));
+                        }
+                        v.as_mut().unwrap().add(d.b_index(i, j), t, &coeff);
+                    }
+                    _ => {
+                        if i >= d.m || j >= d.n {
+                            return Err(err("C index out of range"));
+                        }
+                        w.as_mut().unwrap().add(d.c_index(i, j), t, &coeff);
+                    }
+                }
+            }
+            other => return Err(err(&format!("unknown directive {other:?}"))),
+        }
+    }
+
+    let dims = dims.ok_or("missing dims line")?;
+    let rank = rank.ok_or("missing rank line")?;
+    if seen_mults != rank {
+        return Err(format!(
+            "declared rank {rank} but found {seen_mults} mult sections"
+        ));
+    }
+    Ok(BilinearAlgorithm::new(
+        name,
+        dims,
+        u.unwrap(),
+        v.unwrap(),
+        w.unwrap(),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brent::validate;
+    use crate::catalog;
+
+    #[test]
+    fn json_roundtrip_preserves_catalog() {
+        for alg in [catalog::strassen(), catalog::bini322(), catalog::apa332()] {
+            let s = to_json(&alg);
+            let back = from_json(&s).unwrap();
+            assert_eq!(back.name, alg.name);
+            assert_eq!(back.dims, alg.dims);
+            assert_eq!(back.rank(), alg.rank());
+            assert!(back.u.approx_eq(&alg.u, 0.0));
+            assert!(back.v.approx_eq(&alg.v, 0.0));
+            assert!(back.w.approx_eq(&alg.w, 0.0));
+        }
+    }
+
+    #[test]
+    fn text_roundtrip_preserves_bini() {
+        let alg = catalog::bini322();
+        let s = to_text(&alg);
+        let back = from_text(&s).unwrap();
+        assert_eq!(back.rank(), 10);
+        assert_eq!(back.dims, alg.dims);
+        assert!(back.u.approx_eq(&alg.u, 1e-12));
+        assert!(back.v.approx_eq(&alg.v, 1e-12));
+        assert!(back.w.approx_eq(&alg.w, 1e-12));
+        assert_eq!(validate(&back).unwrap().sigma, Some(1));
+    }
+
+    #[test]
+    fn text_roundtrip_preserves_every_catalog_entry() {
+        for alg in catalog::all() {
+            if alg.rank() > 120 {
+                continue; // the Bini cube round-trips too, just slowly
+            }
+            let back = from_text(&to_text(&alg))
+                .unwrap_or_else(|e| panic!("{}: {e}", alg.name));
+            assert_eq!(back.rank(), alg.rank(), "{}", alg.name);
+            assert!(back.w.approx_eq(&alg.w, 1e-12), "{}", alg.name);
+        }
+    }
+
+    #[test]
+    fn parse_errors_are_reported() {
+        assert!(from_text("").is_err());
+        assert!(from_text("dims 2 2 2").is_err()); // no rank
+        assert!(from_text("dims 2 2 2\nrank 1\nmult 0\nA 5 0 1").is_err()); // index range
+        assert!(from_text("dims 2 2 2\nrank 2\nmult 0\nA 0 0 1").is_err()); // missing mult
+        assert!(from_text("dims 2 2 2\nrank 1\nbogus").is_err());
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let s = "# a comment\nalgorithm t\n\ndims 1 1 1\nrank 1\nmult 0 # trailing\nA 0 0 1\nB 0 0 1\nC 0 0 1\n";
+        let alg = from_text(s).unwrap();
+        assert_eq!(alg.name, "t");
+        assert!(validate(&alg).unwrap().exact);
+    }
+
+    #[test]
+    fn json_rejects_inconsistent_shapes() {
+        let alg = catalog::strassen();
+        let mut v: serde_json::Value = serde_json::from_str(&to_json(&alg)).unwrap();
+        v["dims"]["m"] = serde_json::json!(3);
+        assert!(from_json(&v.to_string()).is_err());
+    }
+}

@@ -1,0 +1,432 @@
+//! Laurent polynomials in the APA approximation parameter λ.
+//!
+//! Every coefficient in an APA bilinear rule is a Laurent polynomial in λ
+//! (paper §2.2): a finite sum `Σ_e c_e λ^e` with integer exponents `e` that
+//! may be negative (e.g. the `λ⁻¹` pre-factors in Bini's output formulas).
+//! Exact fast algorithms (Strassen) are the special case where every
+//! coefficient is a degree-0 monomial.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Tolerance under which a floating-point coefficient is treated as zero.
+pub const COEFF_EPS: f64 = 1e-12;
+
+/// A Laurent polynomial `Σ_e c_e λ^e` with `e ∈ ℤ` and `c_e ∈ ℝ`.
+///
+/// Terms with |c| ≤ [`COEFF_EPS`] are pruned eagerly, so `is_zero` and the
+/// degree accessors reflect the numerically meaningful support.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct Laurent {
+    /// exponent → coefficient, sparse, sorted by exponent.
+    terms: BTreeMap<i32, f64>,
+}
+
+impl Laurent {
+    /// The zero polynomial.
+    pub fn zero() -> Self {
+        Self::default()
+    }
+
+    /// The constant polynomial `c`.
+    pub fn constant(c: f64) -> Self {
+        Self::monomial(c, 0)
+    }
+
+    /// The constant polynomial `1`.
+    pub fn one() -> Self {
+        Self::constant(1.0)
+    }
+
+    /// The monomial `c · λ^e`.
+    pub fn monomial(c: f64, e: i32) -> Self {
+        let mut terms = BTreeMap::new();
+        if c.abs() > COEFF_EPS {
+            terms.insert(e, c);
+        }
+        Self { terms }
+    }
+
+    /// Build from `(exponent, coefficient)` pairs; repeated exponents sum.
+    pub fn from_terms<I: IntoIterator<Item = (i32, f64)>>(it: I) -> Self {
+        let mut p = Self::zero();
+        for (e, c) in it {
+            p.add_term(e, c);
+        }
+        p
+    }
+
+    /// Add `c · λ^e` in place.
+    pub fn add_term(&mut self, e: i32, c: f64) {
+        if c.abs() <= COEFF_EPS {
+            return;
+        }
+        let entry = self.terms.entry(e).or_insert(0.0);
+        *entry += c;
+        if entry.abs() <= COEFF_EPS {
+            self.terms.remove(&e);
+        }
+    }
+
+    /// True iff every term has been pruned.
+    pub fn is_zero(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// True iff the polynomial is a single term `c·λ^e`.
+    pub fn is_monomial(&self) -> bool {
+        self.terms.len() == 1
+    }
+
+    /// True iff the polynomial is exactly a degree-0 constant (or zero).
+    pub fn is_constant(&self) -> bool {
+        self.terms.is_empty() || (self.terms.len() == 1 && self.terms.contains_key(&0))
+    }
+
+    /// Coefficient of `λ^e` (0.0 if absent).
+    pub fn coeff(&self, e: i32) -> f64 {
+        self.terms.get(&e).copied().unwrap_or(0.0)
+    }
+
+    /// Lowest exponent with a nonzero coefficient.
+    pub fn min_degree(&self) -> Option<i32> {
+        self.terms.keys().next().copied()
+    }
+
+    /// Highest exponent with a nonzero coefficient.
+    pub fn max_degree(&self) -> Option<i32> {
+        self.terms.keys().next_back().copied()
+    }
+
+    /// Magnitude of the most negative exponent, 0 if none are negative.
+    ///
+    /// This is the per-entry ingredient of the paper's roundoff parameter φ
+    /// (§2.3): the triplet in eq. (2) contributes `0 + 0 + 1` because its
+    /// `W` entry contains `λ⁻¹`.
+    pub fn negative_degree(&self) -> u32 {
+        match self.min_degree() {
+            Some(d) if d < 0 => (-d) as u32,
+            _ => 0,
+        }
+    }
+
+    /// Iterate over `(exponent, coefficient)` pairs in increasing exponent.
+    pub fn iter(&self) -> impl Iterator<Item = (i32, f64)> + '_ {
+        self.terms.iter().map(|(&e, &c)| (e, c))
+    }
+
+    /// Number of nonzero terms.
+    pub fn num_terms(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Evaluate at a concrete λ using `powi`.
+    pub fn eval(&self, lambda: f64) -> f64 {
+        self.terms
+            .iter()
+            .map(|(&e, &c)| c * lambda.powi(e))
+            .sum()
+    }
+
+    /// Largest |coefficient| over all terms (0.0 for the zero polynomial).
+    pub fn max_abs_coeff(&self) -> f64 {
+        self.terms.values().fold(0.0_f64, |m, c| m.max(c.abs()))
+    }
+
+    /// `self + other`.
+    pub fn add(&self, other: &Self) -> Self {
+        let mut out = self.clone();
+        for (&e, &c) in &other.terms {
+            out.add_term(e, c);
+        }
+        out
+    }
+
+    /// `self - other`.
+    pub fn sub(&self, other: &Self) -> Self {
+        let mut out = self.clone();
+        for (&e, &c) in &other.terms {
+            out.add_term(e, -c);
+        }
+        out
+    }
+
+    /// `-self`.
+    pub fn neg(&self) -> Self {
+        let mut out = self.clone();
+        for c in out.terms.values_mut() {
+            *c = -*c;
+        }
+        out
+    }
+
+    /// `self · other` (full convolution of the supports).
+    pub fn mul(&self, other: &Self) -> Self {
+        let mut out = Self::zero();
+        for (&e1, &c1) in &self.terms {
+            for (&e2, &c2) in &other.terms {
+                out.add_term(e1 + e2, c1 * c2);
+            }
+        }
+        out
+    }
+
+    /// `self · c λ^e` — cheaper than building a monomial and multiplying.
+    pub fn mul_monomial(&self, c: f64, e: i32) -> Self {
+        if c.abs() <= COEFF_EPS {
+            return Self::zero();
+        }
+        let mut out = Self::zero();
+        for (&e1, &c1) in &self.terms {
+            out.add_term(e1 + e, c1 * c);
+        }
+        out
+    }
+
+    /// Scale all coefficients by `s`.
+    pub fn scale(&self, s: f64) -> Self {
+        self.mul_monomial(s, 0)
+    }
+
+    /// Drop every term whose |coefficient| ≤ `tol`.
+    pub fn prune(&self, tol: f64) -> Self {
+        Self {
+            terms: self
+                .terms
+                .iter()
+                .filter(|(_, c)| c.abs() > tol)
+                .map(|(&e, &c)| (e, c))
+                .collect(),
+        }
+    }
+
+    /// Parse a compact textual form: terms separated by `+`/`-`, each term
+    /// `c`, `L^e`, `c*L^e`, or `c*L^-e` where `L` spells `lambda` or `L`.
+    ///
+    /// Examples accepted: `"1"`, `"-1"`, `"L"`, `"2*L^-1"`, `"1 - L + 0.5*L^2"`.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        let s = s.trim();
+        if s.is_empty() {
+            return Err("empty Laurent literal".into());
+        }
+        let mut out = Self::zero();
+        // Split into signed chunks.
+        let mut chunks: Vec<(f64, String)> = Vec::new();
+        let mut sign = 1.0;
+        let mut cur = String::new();
+        let mut depth_started = false;
+        for ch in s.chars() {
+            match ch {
+                '+' | '-' if depth_started && !cur.trim().is_empty() && !cur.trim_end().ends_with('^') && !cur.trim_end().ends_with('*') => {
+                    chunks.push((sign, cur.trim().to_string()));
+                    cur = String::new();
+                    sign = if ch == '-' { -1.0 } else { 1.0 };
+                }
+                '+' => {
+                    if !depth_started {
+                        depth_started = true;
+                    }
+                }
+                '-' if !depth_started => {
+                    sign = -sign;
+                    depth_started = true;
+                }
+                c if c.is_whitespace() => {
+                    if !cur.is_empty() {
+                        cur.push(c);
+                    }
+                }
+                c => {
+                    depth_started = true;
+                    cur.push(c);
+                }
+            }
+        }
+        if !cur.trim().is_empty() {
+            chunks.push((sign, cur.trim().to_string()));
+        }
+        if chunks.is_empty() {
+            return Err(format!("could not parse Laurent literal {s:?}"));
+        }
+        for (sgn, chunk) in chunks {
+            let (coeff, exp) = Self::parse_term(&chunk)?;
+            out.add_term(exp, sgn * coeff);
+        }
+        Ok(out)
+    }
+
+    fn parse_term(t: &str) -> Result<(f64, i32), String> {
+        let t = t.replace(' ', "");
+        let norm = t.replace("lambda", "L");
+        let (coeff_str, lam_str) = match norm.find('L') {
+            None => (norm.as_str(), None),
+            Some(pos) => {
+                let (c, l) = norm.split_at(pos);
+                (c.trim_end_matches('*'), Some(l))
+            }
+        };
+        let coeff: f64 = if coeff_str.is_empty() {
+            1.0
+        } else {
+            coeff_str
+                .parse()
+                .map_err(|_| format!("bad coefficient {coeff_str:?} in Laurent term {t:?}"))?
+        };
+        let exp: i32 = match lam_str {
+            None => 0,
+            Some(l) => {
+                let rest = &l[1..];
+                if rest.is_empty() {
+                    1
+                } else if let Some(e) = rest.strip_prefix('^') {
+                    e.parse()
+                        .map_err(|_| format!("bad exponent {e:?} in Laurent term {t:?}"))?
+                } else {
+                    return Err(format!("bad λ power syntax in Laurent term {t:?}"));
+                }
+            }
+        };
+        Ok((coeff, exp))
+    }
+}
+
+impl fmt::Display for Laurent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            return write!(f, "0");
+        }
+        let mut first = true;
+        for (&e, &c) in &self.terms {
+            let sign = if c < 0.0 { "-" } else if first { "" } else { "+" };
+            let mag = c.abs();
+            if !first {
+                write!(f, " {sign} ")?;
+            } else if c < 0.0 {
+                write!(f, "-")?;
+            }
+            first = false;
+            match e {
+                0 => write!(f, "{mag}")?,
+                1 if (mag - 1.0).abs() <= COEFF_EPS => write!(f, "L")?,
+                1 => write!(f, "{mag}*L")?,
+                _ if (mag - 1.0).abs() <= COEFF_EPS => write!(f, "L^{e}")?,
+                _ => write!(f, "{mag}*L^{e}")?,
+            }
+        }
+        Ok(())
+    }
+}
+
+impl From<f64> for Laurent {
+    fn from(c: f64) -> Self {
+        Self::constant(c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_and_constants() {
+        assert!(Laurent::zero().is_zero());
+        assert!(Laurent::monomial(0.0, 3).is_zero());
+        let one = Laurent::one();
+        assert!(one.is_constant());
+        assert_eq!(one.eval(0.37), 1.0);
+        assert_eq!(one.coeff(0), 1.0);
+        assert_eq!(one.coeff(1), 0.0);
+    }
+
+    #[test]
+    fn add_cancels() {
+        let a = Laurent::monomial(2.0, -1);
+        let b = Laurent::monomial(-2.0, -1);
+        assert!(a.add(&b).is_zero());
+        assert_eq!(a.sub(&a), Laurent::zero());
+    }
+
+    #[test]
+    fn mul_convolves_exponents() {
+        // (λ⁻¹ + 1)(λ - 1) = 1 + λ - λ⁻¹ - 1 = λ - λ⁻¹
+        let a = Laurent::from_terms([(-1, 1.0), (0, 1.0)]);
+        let b = Laurent::from_terms([(1, 1.0), (0, -1.0)]);
+        let p = a.mul(&b);
+        assert_eq!(p.coeff(1), 1.0);
+        assert_eq!(p.coeff(-1), -1.0);
+        assert_eq!(p.coeff(0), 0.0);
+        assert_eq!(p.num_terms(), 2);
+    }
+
+    #[test]
+    fn eval_matches_direct() {
+        let p = Laurent::from_terms([(-1, 2.0), (0, -3.0), (2, 0.5)]);
+        let l = 0.125;
+        let expect = 2.0 / l - 3.0 + 0.5 * l * l;
+        assert!((p.eval(l) - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degrees_and_negativity() {
+        let p = Laurent::from_terms([(-2, 1.0), (3, 4.0)]);
+        assert_eq!(p.min_degree(), Some(-2));
+        assert_eq!(p.max_degree(), Some(3));
+        assert_eq!(p.negative_degree(), 2);
+        assert_eq!(Laurent::one().negative_degree(), 0);
+        assert_eq!(Laurent::zero().min_degree(), None);
+    }
+
+    #[test]
+    fn mul_monomial_shifts() {
+        let p = Laurent::from_terms([(0, 1.0), (1, 1.0)]);
+        let q = p.mul_monomial(2.0, -1);
+        assert_eq!(q.coeff(-1), 2.0);
+        assert_eq!(q.coeff(0), 2.0);
+    }
+
+    #[test]
+    fn parse_simple() {
+        assert_eq!(Laurent::parse("1").unwrap(), Laurent::one());
+        assert_eq!(Laurent::parse("-1").unwrap(), Laurent::constant(-1.0));
+        assert_eq!(Laurent::parse("L").unwrap(), Laurent::monomial(1.0, 1));
+        assert_eq!(Laurent::parse("2*L^-1").unwrap(), Laurent::monomial(2.0, -1));
+        assert_eq!(
+            Laurent::parse("lambda^2").unwrap(),
+            Laurent::monomial(1.0, 2)
+        );
+    }
+
+    #[test]
+    fn parse_sums() {
+        let p = Laurent::parse("1 - L + 0.5*L^2").unwrap();
+        assert_eq!(p.coeff(0), 1.0);
+        assert_eq!(p.coeff(1), -1.0);
+        assert_eq!(p.coeff(2), 0.5);
+        let q = Laurent::parse("-L^-1+1").unwrap();
+        assert_eq!(q.coeff(-1), -1.0);
+        assert_eq!(q.coeff(0), 1.0);
+    }
+
+    #[test]
+    fn parse_roundtrip_display() {
+        for s in ["1", "-2*L^-1 + 1", "L - 1", "0.25*L^2"] {
+            let p = Laurent::parse(s).unwrap();
+            let q = Laurent::parse(&p.to_string()).unwrap();
+            assert_eq!(p, q, "roundtrip failed for {s}");
+        }
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(Laurent::parse("").is_err());
+        assert!(Laurent::parse("L^").is_err());
+        assert!(Laurent::parse("xyz").is_err());
+    }
+
+    #[test]
+    fn prune_drops_small_terms() {
+        let p = Laurent::from_terms([(0, 1.0), (1, 1e-9)]);
+        assert_eq!(p.prune(1e-6).num_terms(), 1);
+    }
+}

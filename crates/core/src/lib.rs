@@ -1,0 +1,53 @@
+//! # apa-core
+//!
+//! Bilinear (fast / APA) matrix-multiplication algorithm algebra for the
+//! reproduction of *"Accelerating Neural Network Training using Arbitrary
+//! Precision Approximating Matrix Multiplication Algorithms"* (Ballard,
+//! Weissenberger, Zhang — ICPP Workshops 2021).
+//!
+//! An APA algorithm multiplies an `m×k` matrix by a `k×n` matrix with
+//! `r < m·k·n` scalar multiplications, at the price of an `O(λ)` error
+//! controlled by the approximation parameter λ. This crate provides:
+//!
+//! * [`laurent`] — the Laurent-polynomial coefficient arithmetic;
+//! * [`coeffs`] — sparse coefficient matrices;
+//! * [`bilinear`] — the ⟨m,k,n⟩ rule representation and its metadata
+//!   (rank, ideal speedup, φ);
+//! * [`brent`] — symbolic validation against the (APA-relaxed) Brent
+//!   equations, yielding the approximation order σ;
+//! * [`transform`] — permutations, direct sums and tensor products that
+//!   derive new provably correct rules from old ones;
+//! * [`catalog`] — the concrete lineup mirroring the paper's Table 1;
+//! * [`error_model`] — optimal λ, error bounds and Table-1 rows;
+//! * [`io`] — JSON and Benson–Ballard-style text algorithm files.
+//!
+//! The execution engine that actually multiplies big matrices with these
+//! rules lives in the `apa-matmul` crate; this crate is the exact,
+//! dependency-light semantic core.
+//!
+//! ```
+//! use apa_core::{brent, catalog};
+//! // Bini's APA rule from the paper: rank 10, σ = 1, φ = 1.
+//! let bini = catalog::bini322();
+//! let report = brent::validate(&bini).unwrap();
+//! assert_eq!(report.sigma, Some(1));
+//! assert_eq!(bini.phi(), 1);
+//! assert!(bini.ideal_speedup() > 0.19);
+//! ```
+
+pub mod analysis;
+pub mod bilinear;
+pub mod brent;
+pub mod catalog;
+pub mod coeffs;
+pub mod derive;
+pub mod error_model;
+pub mod io;
+pub mod laurent;
+pub mod render;
+pub mod transform;
+
+pub use bilinear::{BilinearAlgorithm, Dims, RuleBuilder};
+pub use brent::{validate, BrentError, BrentReport};
+pub use coeffs::CoeffMatrix;
+pub use laurent::Laurent;

@@ -1,0 +1,179 @@
+//! Render a bilinear rule in the paper's M-formula notation:
+//!
+//! ```text
+//! M1 = (A11 + A22) * (L*B11 + B22)
+//! ...
+//! C11 = L^-1*M1 + L^-1*M2 - L^-1*M3 + L^-1*M4
+//! ```
+//!
+//! This is how the paper's §2.2 presents Bini's algorithm; the renderer
+//! makes any catalog or derived rule human-auditable in the same form.
+
+use crate::bilinear::BilinearAlgorithm;
+use crate::coeffs::CoeffMatrix;
+use crate::laurent::Laurent;
+use std::fmt::Write as _;
+
+/// Format a coefficient as a prefix for `entry` (e.g. `-`, `2*`, `L*`,
+/// `L^-1*`, or `(1 - L)*` for genuine polynomials).
+fn coeff_prefix(p: &Laurent) -> (bool, String) {
+    // Returns (negative, multiplier-string) for monomials; polynomials get
+    // parenthesized verbatim.
+    if p.is_monomial() {
+        let (e, c) = p.iter().next().expect("monomial has a term");
+        let neg = c < 0.0;
+        let mag = c.abs();
+        let mut s = String::new();
+        if (mag - 1.0).abs() > 1e-12 {
+            let _ = write!(s, "{mag}*");
+        }
+        match e {
+            0 => {}
+            1 => s.push_str("L*"),
+            _ => {
+                let _ = write!(s, "L^{e}*");
+            }
+        }
+        (neg, s)
+    } else {
+        (false, format!("({p})*"))
+    }
+}
+
+fn linear_combination(col: &[(usize, Laurent)], name: impl Fn(usize) -> String) -> String {
+    let mut out = String::new();
+    for (i, (row, p)) in col.iter().enumerate() {
+        let (neg, prefix) = coeff_prefix(p);
+        if i == 0 {
+            if neg {
+                out.push('-');
+            }
+        } else {
+            out.push_str(if neg { " - " } else { " + " });
+        }
+        out.push_str(&prefix);
+        out.push_str(&name(*row));
+    }
+    if out.is_empty() {
+        out.push('0');
+    }
+    out
+}
+
+fn operand_string(m: &CoeffMatrix, t: usize, cols: usize, letter: char) -> String {
+    let s = linear_combination(m.col(t), |row| {
+        format!("{letter}{}{}", row / cols + 1, row % cols + 1)
+    });
+    if m.col_nnz(t) > 1 || s.starts_with('-') || s.contains('*') {
+        format!("({s})")
+    } else {
+        s
+    }
+}
+
+/// Render the full rule: one `M_t` line per multiplication, then one line
+/// per output entry.
+pub fn render_rule(alg: &BilinearAlgorithm) -> String {
+    let d = alg.dims;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "# {} — {} rank {}{}",
+        alg.name,
+        d,
+        alg.rank(),
+        if alg.is_exact_rule() {
+            " (exact)".to_string()
+        } else {
+            format!(" (APA, phi = {})", alg.phi())
+        }
+    );
+    for t in 0..alg.rank() {
+        let a = operand_string(&alg.u, t, d.k, 'A');
+        let b = operand_string(&alg.v, t, d.n, 'B');
+        let _ = writeln!(out, "M{} = {a} * {b}", t + 1);
+    }
+    // Outputs: transpose W into per-entry sums over M_t.
+    for i in 0..d.m {
+        for j in 0..d.n {
+            let row = d.c_index(i, j);
+            let mut terms: Vec<(usize, Laurent)> = Vec::new();
+            for t in 0..alg.rank() {
+                let p = alg.w.get(row, t);
+                if !p.is_zero() {
+                    terms.push((t, p));
+                }
+            }
+            let s = linear_combination(&terms, |t| format!("M{}", t + 1));
+            let _ = writeln!(out, "C{}{} = {s}", i + 1, j + 1);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog;
+
+    #[test]
+    fn strassen_renders_the_textbook_formulas() {
+        let text = render_rule(&catalog::strassen());
+        assert!(text.contains("M1 = (A11 + A22) * (B11 + B22)"), "{text}");
+        assert!(text.contains("M2 = (A21 + A22) * B11"), "{text}");
+        assert!(text.contains("C11 = M1 + M4 - M5 + M7"), "{text}");
+        assert!(text.contains("C22 = M1 - M2 + M3 + M6"), "{text}");
+        assert!(text.contains("(exact)"));
+    }
+
+    #[test]
+    fn bini_renders_the_paper_formulas() {
+        let text = render_rule(&catalog::bini322());
+        // M1 = (A11 + A22)(λB11 + B22) — paper §2.2.
+        assert!(text.contains("M1 = (A11 + A22) * (L*B11 + B22)"), "{text}");
+        // Ĉ12 = λ⁻¹(−M3 + M5).
+        assert!(text.contains("C12 = -L^-1*M3 + L^-1*M5"), "{text}");
+        assert!(text.contains("(APA, phi = 1)"));
+    }
+
+    #[test]
+    fn classical_renders_plain_products() {
+        let text = render_rule(&catalog::classical(crate::bilinear::Dims::new(1, 2, 1)));
+        assert!(text.contains("M1 = A11 * B11"), "{text}");
+        assert!(text.contains("M2 = A12 * B21"), "{text}");
+        assert!(text.contains("C11 = M1 + M2"), "{text}");
+    }
+
+    #[test]
+    fn every_catalog_rule_renders_all_lines() {
+        for alg in catalog::all() {
+            if alg.rank() > 200 {
+                continue;
+            }
+            let text = render_rule(&alg);
+            let d = alg.dims;
+            let lines = text.lines().count();
+            assert_eq!(
+                lines,
+                1 + alg.rank() + d.m * d.n,
+                "{}: header + rank M-lines + m·n C-lines",
+                alg.name
+            );
+            assert!(!text.contains("= 0\n"), "{}: empty operand rendered", alg.name);
+        }
+    }
+
+    #[test]
+    fn fractional_coefficients_render_with_magnitude() {
+        use crate::bilinear::{Dims, RuleBuilder};
+        let mut b = RuleBuilder::new(Dims::new(1, 1, 1), 1);
+        b.mult(
+            &[(0, 0, Laurent::constant(0.5))],
+            &[(0, 0, Laurent::constant(-2.0))],
+            &[(0, 0, Laurent::one())],
+        );
+        let text = render_rule(&b.build("frac"));
+        assert!(text.contains("0.5*A11"), "{text}");
+        assert!(text.contains("(-2*B11)"), "{text}");
+    }
+}

@@ -1,0 +1,368 @@
+//! Correctness-preserving transformations of bilinear rules.
+//!
+//! The paper (§6) notes that an algorithm for ⟨m,n,k⟩ can be translated to
+//! any reordering of the dimensions; together with direct sums and tensor
+//! (Kronecker) products these transformations let us *derive* provably
+//! correct APA rules for every base shape in the paper's Table 1 starting
+//! from the two fully published rules (Bini ⟨3,2,2;10⟩ and Strassen
+//! ⟨2,2,2;7⟩). Every transformation output is machine-checkable with
+//! [`crate::brent::validate`], and the unit tests here do exactly that.
+
+use crate::bilinear::{BilinearAlgorithm, Dims};
+use crate::coeffs::CoeffMatrix;
+
+/// Cyclic rotation ⟨m,k,n⟩ → ⟨k,n,m⟩.
+///
+/// Follows from the symmetry of the trilinear form `tr(A·B·C)`: the roles
+/// (U, V, W) rotate to (V, W̃, Ũ) with the appropriate transposed index
+/// flattenings. φ is invariant (the per-triplet sum of negative degrees
+/// does not change when the triple is rotated).
+pub fn rotate(alg: &BilinearAlgorithm) -> BilinearAlgorithm {
+    let Dims { m, k, n } = alg.dims;
+    let new_dims = Dims::new(k, n, m);
+    let r = alg.rank();
+
+    // U' = V verbatim: A' (k×n) flattens (a,j) → a·n+j exactly like B did.
+    let u = alg.v.clone();
+    // V'[(j,i)] = W[(i,j)]: B' is n×m, row j·m+i ← W row i·n+j.
+    let mut v = CoeffMatrix::zeros(n * m, r);
+    for t in 0..r {
+        for (rw, p) in alg.w.col(t) {
+            let (i, j) = (rw / n, rw % n);
+            v.add(j * m + i, t, p);
+        }
+    }
+    // W'[(a,i)] = U[(i,a)]: C' is k×m, row a·m+i ← U row i·k+a.
+    let mut w = CoeffMatrix::zeros(k * m, r);
+    for t in 0..r {
+        for (ru, p) in alg.u.col(t) {
+            let (i, a) = (ru / k, ru % k);
+            w.add(a * m + i, t, p);
+        }
+    }
+    BilinearAlgorithm::new(format!("{}~rot", alg.name), new_dims, u, v, w)
+}
+
+/// Transpose dual ⟨m,k,n⟩ → ⟨n,k,m⟩ via `Cᵀ = Bᵀ·Aᵀ`.
+pub fn transpose_dual(alg: &BilinearAlgorithm) -> BilinearAlgorithm {
+    let Dims { m, k, n } = alg.dims;
+    let new_dims = Dims::new(n, k, m);
+    let r = alg.rank();
+
+    // U'[(j,a)] = V[(a,j)]: A' = Bᵀ is n×k.
+    let mut u = CoeffMatrix::zeros(n * k, r);
+    for t in 0..r {
+        for (rv, p) in alg.v.col(t) {
+            let (a, j) = (rv / n, rv % n);
+            u.add(j * k + a, t, p);
+        }
+    }
+    // V'[(a,i)] = U[(i,a)]: B' = Aᵀ is k×m.
+    let mut v = CoeffMatrix::zeros(k * m, r);
+    for t in 0..r {
+        for (ru, p) in alg.u.col(t) {
+            let (i, a) = (ru / k, ru % k);
+            v.add(a * m + i, t, p);
+        }
+    }
+    // W'[(j,i)] = W[(i,j)]: C' = Cᵀ is n×m.
+    let mut w = CoeffMatrix::zeros(n * m, r);
+    for t in 0..r {
+        for (rw, p) in alg.w.col(t) {
+            let (i, j) = (rw / n, rw % n);
+            w.add(j * m + i, t, p);
+        }
+    }
+    BilinearAlgorithm::new(format!("{}~T", alg.name), new_dims, u, v, w)
+}
+
+/// A permutation of the three dimensions, as positions of (m, k, n) in the
+/// target triple. `Perm::MKN` is the identity.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Perm {
+    Mkn,
+    Knm,
+    Nmk,
+    Nkm,
+    Mnk,
+    Kmn,
+}
+
+/// Apply an arbitrary dimension permutation by composing [`rotate`] and
+/// [`transpose_dual`]. The resulting dims are the source dims reordered.
+pub fn permute(alg: &BilinearAlgorithm, perm: Perm) -> BilinearAlgorithm {
+    match perm {
+        Perm::Mkn => alg.clone(),
+        Perm::Knm => rotate(alg),
+        Perm::Nmk => rotate(&rotate(alg)),
+        Perm::Nkm => transpose_dual(alg),
+        Perm::Kmn => rotate(&transpose_dual(alg)),
+        Perm::Mnk => rotate(&rotate(&transpose_dual(alg))),
+    }
+}
+
+/// Direct sum along m: given P for ⟨m1,k,n⟩ and Q for ⟨m2,k,n⟩, build the
+/// rule for ⟨m1+m2,k,n⟩ of rank r1+r2 that computes the two row-blocks of
+/// `C` independently (paper-style block splitting, used to pad shapes).
+pub fn direct_sum_m(p: &BilinearAlgorithm, q: &BilinearAlgorithm) -> BilinearAlgorithm {
+    assert_eq!(p.dims.k, q.dims.k, "direct_sum_m requires equal k");
+    assert_eq!(p.dims.n, q.dims.n, "direct_sum_m requires equal n");
+    let (m1, k, n) = (p.dims.m, p.dims.k, p.dims.n);
+    let m2 = q.dims.m;
+    let dims = Dims::new(m1 + m2, k, n);
+
+    let u1 = p.u.map_rows(dims.m * k, |r| r); // rows (i,a), i < m1: unchanged flattening
+    let u2 = q.u.map_rows(dims.m * k, |r| {
+        let (i, a) = (r / k, r % k);
+        (i + m1) * k + a
+    });
+    let v = p.v.hcat(&q.v);
+    let w1 = p.w.map_rows(dims.m * n, |r| r);
+    let w2 = q.w.map_rows(dims.m * n, |r| {
+        let (i, j) = (r / n, r % n);
+        (i + m1) * n + j
+    });
+    BilinearAlgorithm::new(
+        format!("{}+{}", p.name, q.name),
+        dims,
+        u1.hcat(&u2),
+        v,
+        w1.hcat(&w2),
+    )
+}
+
+/// Direct sum along n: ⟨m,k,n1⟩ ⊕ ⟨m,k,n2⟩ → ⟨m,k,n1+n2⟩ (column blocks of
+/// `B` and `C` computed independently).
+pub fn direct_sum_n(p: &BilinearAlgorithm, q: &BilinearAlgorithm) -> BilinearAlgorithm {
+    assert_eq!(p.dims.m, q.dims.m, "direct_sum_n requires equal m");
+    assert_eq!(p.dims.k, q.dims.k, "direct_sum_n requires equal k");
+    let (m, k, n1) = (p.dims.m, p.dims.k, p.dims.n);
+    let n2 = q.dims.n;
+    let n = n1 + n2;
+    let dims = Dims::new(m, k, n);
+
+    let u = p.u.hcat(&q.u);
+    let v1 = p.v.map_rows(k * n, |r| {
+        let (a, j) = (r / n1, r % n1);
+        a * n + j
+    });
+    let v2 = q.v.map_rows(k * n, |r| {
+        let (a, j) = (r / n2, r % n2);
+        a * n + j + n1
+    });
+    let w1 = p.w.map_rows(m * n, |r| {
+        let (i, j) = (r / n1, r % n1);
+        i * n + j
+    });
+    let w2 = q.w.map_rows(m * n, |r| {
+        let (i, j) = (r / n2, r % n2);
+        i * n + j + n1
+    });
+    BilinearAlgorithm::new(
+        format!("{}|{}", p.name, q.name),
+        dims,
+        u,
+        v1.hcat(&v2),
+        w1.hcat(&w2),
+    )
+}
+
+/// Direct sum along k: ⟨m,k1,n⟩ ⊕ ⟨m,k2,n⟩ → ⟨m,k1+k2,n⟩. Here the two
+/// partial products write into the *same* `C` and their contributions add.
+pub fn direct_sum_k(p: &BilinearAlgorithm, q: &BilinearAlgorithm) -> BilinearAlgorithm {
+    assert_eq!(p.dims.m, q.dims.m, "direct_sum_k requires equal m");
+    assert_eq!(p.dims.n, q.dims.n, "direct_sum_k requires equal n");
+    let (m, k1, n) = (p.dims.m, p.dims.k, p.dims.n);
+    let k2 = q.dims.k;
+    let k = k1 + k2;
+    let dims = Dims::new(m, k, n);
+
+    let u1 = p.u.map_rows(m * k, |r| {
+        let (i, a) = (r / k1, r % k1);
+        i * k + a
+    });
+    let u2 = q.u.map_rows(m * k, |r| {
+        let (i, a) = (r / k2, r % k2);
+        i * k + a + k1
+    });
+    let v1 = p.v.map_rows(k * n, |r| r); // rows (a,j), a < k1: unchanged
+    let v2 = q.v.map_rows(k * n, |r| {
+        let (a, j) = (r / n, r % n);
+        (a + k1) * n + j
+    });
+    let w = p.w.hcat(&q.w);
+    BilinearAlgorithm::new(
+        format!("{}&{}", p.name, q.name),
+        dims,
+        u1.hcat(&u2),
+        v1.hcat(&v2),
+        w,
+    )
+}
+
+/// Tensor (Kronecker) product: ⟨m1,k1,n1;r1⟩ ⊗ ⟨m2,k2,n2;r2⟩ →
+/// ⟨m1m2, k1k2, n1n2; r1r2⟩. Strassen ⊗ Strassen is the classic ⟨4,4,4;49⟩;
+/// Bini ⊗ its two rotations is the historic ⟨12,12,12;1000⟩ behind
+/// O(n^2.7799).
+pub fn tensor(p: &BilinearAlgorithm, q: &BilinearAlgorithm) -> BilinearAlgorithm {
+    let (d1, d2) = (p.dims, q.dims);
+    let dims = Dims::new(d1.m * d2.m, d1.k * d2.k, d1.n * d2.n);
+
+    let u = p.u.tensor(&q.u, dims.m * dims.k, |r1, r2| {
+        let (i1, a1) = (r1 / d1.k, r1 % d1.k);
+        let (i2, a2) = (r2 / d2.k, r2 % d2.k);
+        (i1 * d2.m + i2) * dims.k + (a1 * d2.k + a2)
+    });
+    let v = p.v.tensor(&q.v, dims.k * dims.n, |r1, r2| {
+        let (a1, j1) = (r1 / d1.n, r1 % d1.n);
+        let (a2, j2) = (r2 / d2.n, r2 % d2.n);
+        (a1 * d2.k + a2) * dims.n + (j1 * d2.n + j2)
+    });
+    let w = p.w.tensor(&q.w, dims.m * dims.n, |r1, r2| {
+        let (i1, j1) = (r1 / d1.n, r1 % d1.n);
+        let (i2, j2) = (r2 / d2.n, r2 % d2.n);
+        (i1 * d2.m + i2) * dims.n + (j1 * d2.n + j2)
+    });
+    BilinearAlgorithm::new(format!("{}x{}", p.name, q.name), dims, u, v, w)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::brent::validate;
+    use crate::catalog;
+
+    #[test]
+    fn rotate_classical_is_valid() {
+        let c = catalog::classical(Dims::new(2, 3, 4));
+        let r = rotate(&c);
+        assert_eq!(r.dims, Dims::new(3, 4, 2));
+        assert_eq!(r.rank(), c.rank());
+        assert!(validate(&r).unwrap().exact);
+    }
+
+    #[test]
+    fn rotate_three_times_is_identity_dims() {
+        let c = catalog::strassen();
+        let r3 = rotate(&rotate(&rotate(&c)));
+        assert_eq!(r3.dims, c.dims);
+        assert!(validate(&r3).unwrap().exact);
+    }
+
+    #[test]
+    fn transpose_dual_is_valid() {
+        let c = catalog::classical(Dims::new(2, 3, 4));
+        let t = transpose_dual(&c);
+        assert_eq!(t.dims, Dims::new(4, 3, 2));
+        assert!(validate(&t).unwrap().exact);
+    }
+
+    #[test]
+    fn all_six_permutations_of_bini_validate() {
+        let b = catalog::bini322();
+        for perm in [
+            Perm::Mkn,
+            Perm::Knm,
+            Perm::Nmk,
+            Perm::Nkm,
+            Perm::Mnk,
+            Perm::Kmn,
+        ] {
+            let p = permute(&b, perm);
+            let report = validate(&p)
+                .unwrap_or_else(|e| panic!("perm {perm:?} failed validation: {e}"));
+            assert_eq!(report.sigma, Some(1), "perm {perm:?} should stay σ=1");
+            assert_eq!(p.rank(), 10);
+            assert_eq!(p.phi(), b.phi(), "φ must be permutation-invariant");
+        }
+    }
+
+    #[test]
+    fn permutations_cover_expected_dims() {
+        // Use pairwise-distinct dims so every permutation is unambiguous.
+        let c = catalog::classical(Dims::new(2, 3, 4)); // (m,k,n) = (2,3,4)
+        assert_eq!(permute(&c, Perm::Mkn).dims, Dims::new(2, 3, 4));
+        assert_eq!(permute(&c, Perm::Knm).dims, Dims::new(3, 4, 2));
+        assert_eq!(permute(&c, Perm::Nmk).dims, Dims::new(4, 2, 3));
+        assert_eq!(permute(&c, Perm::Nkm).dims, Dims::new(4, 3, 2));
+        assert_eq!(permute(&c, Perm::Kmn).dims, Dims::new(3, 2, 4));
+        assert_eq!(permute(&c, Perm::Mnk).dims, Dims::new(2, 4, 3));
+        for p in [Perm::Knm, Perm::Nmk, Perm::Nkm, Perm::Kmn, Perm::Mnk] {
+            assert!(validate(&permute(&c, p)).unwrap().exact, "{p:?}");
+        }
+    }
+
+    #[test]
+    fn direct_sum_m_is_valid() {
+        let p = catalog::bini322();
+        let q = catalog::classical(Dims::new(1, 2, 2));
+        let s = direct_sum_m(&p, &q);
+        assert_eq!(s.dims, Dims::new(4, 2, 2));
+        assert_eq!(s.rank(), 14);
+        let r = validate(&s).unwrap();
+        assert_eq!(r.sigma, Some(1));
+    }
+
+    #[test]
+    fn direct_sum_n_is_valid() {
+        let p = catalog::classical(Dims::new(2, 2, 1));
+        let q = catalog::strassen();
+        let s = direct_sum_n(&p, &q);
+        assert_eq!(s.dims, Dims::new(2, 2, 3));
+        assert_eq!(s.rank(), 4 + 7);
+        assert!(validate(&s).unwrap().exact);
+    }
+
+    #[test]
+    fn direct_sum_k_is_valid() {
+        let p = catalog::strassen();
+        let q = catalog::classical(Dims::new(2, 1, 2));
+        let s = direct_sum_k(&p, &q);
+        assert_eq!(s.dims, Dims::new(2, 3, 2));
+        assert_eq!(s.rank(), 11);
+        assert!(validate(&s).unwrap().exact);
+    }
+
+    #[test]
+    fn direct_sum_k_with_bini_is_apa() {
+        let p = catalog::bini322();
+        let q = catalog::classical(Dims::new(3, 1, 2));
+        let s = direct_sum_k(&p, &q);
+        assert_eq!(s.dims, Dims::new(3, 3, 2));
+        assert_eq!(s.rank(), 16);
+        assert_eq!(validate(&s).unwrap().sigma, Some(1));
+    }
+
+    #[test]
+    fn tensor_strassen_strassen_is_444_49() {
+        let s = catalog::strassen();
+        let t = tensor(&s, &s);
+        assert_eq!(t.dims, Dims::new(4, 4, 4));
+        assert_eq!(t.rank(), 49);
+        assert!(validate(&t).unwrap().exact);
+        assert!(t.ideal_speedup() > 0.30 && t.ideal_speedup() < 0.31);
+    }
+
+    #[test]
+    fn tensor_bini_with_trivial_is_valid_apa() {
+        let b = catalog::bini322();
+        let t2 = catalog::classical(Dims::new(1, 1, 2));
+        let t = tensor(&b, &t2);
+        assert_eq!(t.dims, Dims::new(3, 2, 4));
+        assert_eq!(t.rank(), 20);
+        assert_eq!(validate(&t).unwrap().sigma, Some(1));
+    }
+
+    #[test]
+    fn tensor_of_two_apa_rules_validates() {
+        let b = catalog::bini322();
+        let rb = rotate(&b);
+        let t = tensor(&b, &rb);
+        assert_eq!(t.dims, Dims::new(6, 4, 6));
+        assert_eq!(t.rank(), 100);
+        let r = validate(&t).unwrap();
+        assert_eq!(r.sigma, Some(1));
+        // φ of a tensor product adds per-factor contributions.
+        assert!(t.phi() >= b.phi());
+    }
+}

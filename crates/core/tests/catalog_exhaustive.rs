@@ -1,0 +1,176 @@
+//! Exhaustive catalog validation: every entry × every transformation is
+//! Brent-validated, error parameters behave as the theory demands, and the
+//! file formats are lossless across the whole catalog.
+
+use apa_core::{brent, catalog, error_model, io, transform, BilinearAlgorithm, Dims};
+use apa_core::transform::Perm;
+
+const ALL_PERMS: [Perm; 6] = [
+    Perm::Mkn,
+    Perm::Knm,
+    Perm::Nmk,
+    Perm::Nkm,
+    Perm::Mnk,
+    Perm::Kmn,
+];
+
+fn check(alg: &BilinearAlgorithm, context: &str) {
+    let report = brent::validate(alg)
+        .unwrap_or_else(|e| panic!("{context}: {} failed validation: {e}", alg.name));
+    if alg.is_exact_rule() {
+        assert!(report.exact, "{context}: {} should be exact", alg.name);
+    } else {
+        assert_eq!(report.sigma, Some(1), "{context}: {}", alg.name);
+    }
+}
+
+#[test]
+fn all_permutations_of_all_entries_validate() {
+    for alg in catalog::all() {
+        if alg.rank() > 200 {
+            continue; // the Bini cube: permutations are cheap but 6× validation isn't needed
+        }
+        for perm in ALL_PERMS {
+            let p = transform::permute(&alg, perm);
+            check(&p, &format!("{perm:?}"));
+            assert_eq!(p.rank(), alg.rank());
+            assert_eq!(p.phi(), alg.phi(), "φ must be permutation-invariant");
+            let d = p.dims;
+            let mut dims = [d.m, d.k, d.n];
+            dims.sort_unstable();
+            let s = alg.dims;
+            let mut src = [s.m, s.k, s.n];
+            src.sort_unstable();
+            assert_eq!(dims, src, "permutation must preserve the dim multiset");
+        }
+    }
+}
+
+#[test]
+fn pairwise_direct_sums_validate() {
+    // Sum compatible catalog pairs along each axis.
+    let algs = catalog::all();
+    let mut checked = 0;
+    for p in &algs {
+        for q in &algs {
+            if p.rank() * q.rank() > 2000 {
+                continue;
+            }
+            if p.dims.k == q.dims.k && p.dims.n == q.dims.n {
+                check(&transform::direct_sum_m(p, q), "sum_m");
+                checked += 1;
+            }
+            if p.dims.m == q.dims.m && p.dims.k == q.dims.k {
+                check(&transform::direct_sum_n(p, q), "sum_n");
+                checked += 1;
+            }
+            if p.dims.m == q.dims.m && p.dims.n == q.dims.n {
+                check(&transform::direct_sum_k(p, q), "sum_k");
+                checked += 1;
+            }
+        }
+    }
+    assert!(checked > 20, "expected many compatible pairs, got {checked}");
+}
+
+#[test]
+fn small_tensor_products_validate() {
+    let small: Vec<BilinearAlgorithm> = catalog::all()
+        .into_iter()
+        .filter(|a| a.rank() <= 17)
+        .collect();
+    let mut checked = 0;
+    for p in &small {
+        for q in &small {
+            if p.rank() * q.rank() > 200 {
+                continue;
+            }
+            let t = transform::tensor(p, q);
+            check(&t, "tensor");
+            assert_eq!(t.rank(), p.rank() * q.rank());
+            checked += 1;
+        }
+    }
+    assert!(checked >= 9, "checked only {checked} tensor products");
+}
+
+#[test]
+fn error_model_is_monotone_in_phi_and_steps() {
+    for sigma in 1..=2u32 {
+        for phi in 0..=6u32 {
+            let e1 = error_model::error_bound(sigma, phi, 23, 1);
+            let e2 = error_model::error_bound(sigma, phi + 1, 23, 1);
+            assert!(e2 >= e1, "error must grow with φ");
+            let s2 = error_model::error_bound(sigma, phi, 23, 2);
+            assert!(s2 >= e1, "error must grow with steps");
+        }
+    }
+}
+
+#[test]
+fn table1_rows_are_internally_consistent() {
+    for alg in catalog::all() {
+        let row = error_model::table1_row(&alg);
+        assert_eq!(row.rank, alg.rank());
+        assert!(row.speedup_pct > 0.0, "{}: catalog entries are all fast", row.name);
+        if row.exact {
+            assert_eq!(row.phi, 0, "{}", row.name);
+        } else {
+            // σ=1 rules: predicted error = 2^(−23/(1+φ)).
+            let expect = (2.0f64).powf(-23.0 / (1.0 + row.phi as f64));
+            assert!((row.error - expect).abs() < 1e-12, "{}", row.name);
+        }
+    }
+}
+
+#[test]
+fn io_roundtrips_entire_catalog_json() {
+    for alg in catalog::all() {
+        let back = io::from_json(&io::to_json(&alg)).unwrap();
+        assert_eq!(back.rank(), alg.rank(), "{}", alg.name);
+        assert!(back.u.approx_eq(&alg.u, 0.0), "{}", alg.name);
+        assert!(back.v.approx_eq(&alg.v, 0.0), "{}", alg.name);
+        assert!(back.w.approx_eq(&alg.w, 0.0), "{}", alg.name);
+    }
+}
+
+#[test]
+fn classical_generator_is_never_apa() {
+    for (m, k, n) in [(1, 2, 3), (4, 4, 4), (2, 5, 1)] {
+        let alg = catalog::classical(Dims::new(m, k, n));
+        let r = brent::validate(&alg).unwrap();
+        assert!(r.exact);
+        assert_eq!(alg.nnz(), 3 * m * k * n);
+    }
+}
+
+#[test]
+fn apply_base_agrees_with_definition_for_random_entries() {
+    // Cross-check apply_base against a fully independent evaluation of the
+    // bilinear form for a couple of APA rules.
+    for name in ["bini322", "apa552"] {
+        let alg = catalog::by_name(name).unwrap();
+        let d = alg.dims;
+        let lambda = 1e-5;
+        let a: Vec<f64> = (0..d.m * d.k).map(|i| ((i * 37 + 11) % 17) as f64 * 0.21 - 1.5).collect();
+        let b: Vec<f64> = (0..d.k * d.n).map(|i| ((i * 53 + 7) % 19) as f64 * 0.17 - 1.4).collect();
+        let c = alg.apply_base(&a, &b, lambda);
+        // Independent evaluation.
+        let u = alg.u.eval(lambda);
+        let v = alg.v.eval(lambda);
+        let w = alg.w.eval(lambda);
+        let mut expect = vec![0.0f64; d.m * d.n];
+        for t in 0..alg.rank() {
+            let s: f64 = u[t].iter().map(|&(r, co)| co * a[r]).sum();
+            let q: f64 = v[t].iter().map(|&(r, co)| co * b[r]).sum();
+            for &(r, co) in &w[t] {
+                expect[r] += co * s * q;
+            }
+        }
+        for (x, y) in c.iter().zip(&expect) {
+            // λ⁻¹ ≈ 1e5 makes intermediate magnitudes large; compare
+            // relatively.
+            assert!((x - y).abs() < 1e-9 * (1.0 + y.abs()), "{x} vs {y}");
+        }
+    }
+}

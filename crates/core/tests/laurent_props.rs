@@ -1,0 +1,95 @@
+//! Property-based tests on the Laurent algebra — ring axioms, evaluation
+//! homomorphism and degree bookkeeping, all under random inputs.
+
+use apa_core::Laurent;
+use proptest::prelude::*;
+
+fn laurent() -> impl Strategy<Value = Laurent> {
+    proptest::collection::vec((-4i32..=4, -3.0f64..3.0), 0..6).prop_map(Laurent::from_terms)
+}
+
+fn close(a: f64, b: f64) -> bool {
+    (a - b).abs() <= 1e-9 * (1.0 + a.abs().max(b.abs()))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn addition_is_associative(a in laurent(), b in laurent(), c in laurent()) {
+        let lhs = a.add(&b).add(&c);
+        let rhs = a.add(&b.add(&c));
+        prop_assert!(lhs.sub(&rhs).max_abs_coeff() < 1e-12);
+    }
+
+    #[test]
+    fn multiplication_is_associative(a in laurent(), b in laurent(), c in laurent()) {
+        let lhs = a.mul(&b).mul(&c);
+        let rhs = a.mul(&b.mul(&c));
+        prop_assert!(lhs.sub(&rhs).max_abs_coeff() < 1e-9);
+    }
+
+    #[test]
+    fn multiplication_commutes(a in laurent(), b in laurent()) {
+        prop_assert!(a.mul(&b).sub(&b.mul(&a)).max_abs_coeff() < 1e-12);
+    }
+
+    #[test]
+    fn distributivity(a in laurent(), b in laurent(), c in laurent()) {
+        let lhs = a.mul(&b.add(&c));
+        let rhs = a.mul(&b).add(&a.mul(&c));
+        prop_assert!(lhs.sub(&rhs).max_abs_coeff() < 1e-9);
+    }
+
+    #[test]
+    fn one_is_multiplicative_identity(a in laurent()) {
+        prop_assert!(a.mul(&Laurent::one()).sub(&a).max_abs_coeff() < 1e-12);
+    }
+
+    #[test]
+    fn zero_annihilates(a in laurent()) {
+        prop_assert!(a.mul(&Laurent::zero()).is_zero());
+        prop_assert!(a.add(&Laurent::zero()).sub(&a).max_abs_coeff() < 1e-12);
+    }
+
+    #[test]
+    fn eval_is_ring_homomorphism(a in laurent(), b in laurent(), x in 0.05f64..4.0) {
+        prop_assert!(close(a.add(&b).eval(x), a.eval(x) + b.eval(x)));
+        prop_assert!(close(a.mul(&b).eval(x), a.eval(x) * b.eval(x)));
+        prop_assert!(close(a.neg().eval(x), -a.eval(x)));
+    }
+
+    #[test]
+    fn degree_bounds_respect_multiplication(a in laurent(), b in laurent()) {
+        let p = a.mul(&b);
+        if let (Some(da), Some(db), Some(dp)) = (a.max_degree(), b.max_degree(), p.max_degree()) {
+            prop_assert!(dp <= da + db, "max degree can only cancel downward");
+        }
+        if let (Some(da), Some(db), Some(dp)) = (a.min_degree(), b.min_degree(), p.min_degree()) {
+            prop_assert!(dp >= da + db, "min degree can only cancel upward");
+        }
+    }
+
+    #[test]
+    fn scale_matches_mul_by_constant(a in laurent(), s in -3.0f64..3.0) {
+        let lhs = a.scale(s);
+        let rhs = a.mul(&Laurent::constant(s));
+        prop_assert!(lhs.sub(&rhs).max_abs_coeff() < 1e-12);
+    }
+
+    #[test]
+    fn mul_monomial_is_shift_and_scale(a in laurent(), e in -3i32..=3, c in 0.1f64..2.0) {
+        let lhs = a.mul_monomial(c, e);
+        let rhs = a.mul(&Laurent::monomial(c, e));
+        prop_assert!(lhs.sub(&rhs).max_abs_coeff() < 1e-12);
+    }
+
+    #[test]
+    fn negative_degree_tracks_min_degree(a in laurent()) {
+        let nd = a.negative_degree();
+        match a.min_degree() {
+            Some(d) if d < 0 => prop_assert_eq!(nd, (-d) as u32),
+            _ => prop_assert_eq!(nd, 0),
+        }
+    }
+}

@@ -1,0 +1,414 @@
+//! CP-ALS over the matrix-multiplication tensor.
+//!
+//! A rank-r bilinear algorithm for ⟨m,k,n⟩ is exactly a rank-r CP
+//! decomposition of the (mk) × (kn) × (mn) matmul tensor
+//! `T[(i,a),(a',j),(i',j')] = δ_{a,a'} δ_{i,i'} δ_{j,j'}`. Smirnov's APA
+//! tensors — the ones the paper's Table 1 cites — were found with exactly
+//! this style of regularized numerical optimization [25–30]. This module
+//! reproduces the method: alternating least squares with Tikhonov
+//! regularization annealed toward zero, random restarts and a residual
+//! monitor; `rounding` snaps converged factors to exact rational
+//! coefficients and re-verifies them with `apa-core`'s Brent validator.
+
+use crate::linalg::{solve_rows, DMat};
+use apa_core::Dims;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// ALS hyperparameters.
+#[derive(Clone, Debug)]
+pub struct AlsConfig {
+    pub max_iters: usize,
+    /// Stop when the relative residual falls below this.
+    pub tol: f64,
+    /// Initial Tikhonov regularization (annealed ×`reg_decay` per sweep).
+    pub reg: f64,
+    pub reg_decay: f64,
+    /// Uniform init range.
+    pub init_scale: f64,
+}
+
+impl Default for AlsConfig {
+    fn default() -> Self {
+        Self {
+            max_iters: 500,
+            tol: 1e-8,
+            reg: 1e-2,
+            reg_decay: 0.97,
+            init_scale: 0.7,
+        }
+    }
+}
+
+/// Outcome of one ALS run.
+#[derive(Clone, Debug)]
+pub struct AlsResult {
+    pub dims: Dims,
+    pub rank: usize,
+    /// Factors: U (mk × r), V (kn × r), W (mn × r).
+    pub u: DMat,
+    pub v: DMat,
+    pub w: DMat,
+    /// Final relative residual ‖T − ⟦U,V,W⟧‖ / ‖T‖.
+    pub residual: f64,
+    pub iters: usize,
+    pub converged: bool,
+}
+
+/// Entries of the matmul tensor that equal one, as (α, β, γ) index triples.
+pub fn target_ones(dims: Dims) -> Vec<(usize, usize, usize)> {
+    let mut out = Vec::with_capacity(dims.m * dims.k * dims.n);
+    for i in 0..dims.m {
+        for a in 0..dims.k {
+            for j in 0..dims.n {
+                out.push((dims.a_index(i, a), dims.b_index(a, j), dims.c_index(i, j)));
+            }
+        }
+    }
+    out
+}
+
+/// Relative residual of a candidate decomposition against the matmul
+/// tensor: √(Σ_{αβγ} (Σ_t U V W − T)²) / √(m·k·n).
+pub fn relative_residual(dims: Dims, u: &DMat, v: &DMat, w: &DMat) -> f64 {
+    let (na, nb, nc) = (dims.m * dims.k, dims.k * dims.n, dims.m * dims.n);
+    let r = u.cols;
+    let ones = target_ones(dims);
+    let mut is_one = vec![false; na * nb * nc];
+    for &(a, b, c) in &ones {
+        is_one[(a * nb + b) * nc + c] = true;
+    }
+    let mut sq = 0.0f64;
+    // Dense sweep — base tensors are tiny (≤ 9×9×9 in practice).
+    for a in 0..na {
+        for b in 0..nb {
+            for c in 0..nc {
+                let mut s = 0.0;
+                for t in 0..r {
+                    s += u.at(a, t) * v.at(b, t) * w.at(c, t);
+                }
+                let target = if is_one[(a * nb + b) * nc + c] { 1.0 } else { 0.0 };
+                sq += (s - target) * (s - target);
+            }
+        }
+    }
+    (sq / ones.len() as f64).sqrt()
+}
+
+/// MTTKRP for the matmul tensor: `out[α, t] = Σ_{(α,β,γ) ∈ ones} V[β,t]·W[γ,t]`.
+/// The tensor has exactly m·k·n nonzeros, so this is O(mkn·r).
+fn mttkrp(
+    ones: &[(usize, usize, usize)],
+    select: impl Fn(&(usize, usize, usize)) -> (usize, usize, usize),
+    f1: &DMat,
+    f2: &DMat,
+    rows: usize,
+) -> DMat {
+    let r = f1.cols;
+    let mut out = DMat::zeros(rows, r);
+    for triple in ones {
+        let (row, b, c) = select(triple);
+        let (r1, r2) = (f1.row(b), f2.row(c));
+        let orow = out.row_mut(row);
+        for t in 0..r {
+            orow[t] += r1[t] * r2[t];
+        }
+    }
+    out
+}
+
+fn update_factor(
+    ones: &[(usize, usize, usize)],
+    select: impl Fn(&(usize, usize, usize)) -> (usize, usize, usize),
+    f1: &DMat,
+    f2: &DMat,
+    rows: usize,
+    reg: f64,
+) -> Option<DMat> {
+    let rhs = mttkrp(ones, select, f1, f2, rows);
+    let mut gram = f1.gram().hadamard(&f2.gram());
+    gram.add_diag(reg.max(1e-12));
+    solve_rows(gram, &rhs)
+}
+
+/// Run ALS from a random start.
+pub fn als_search(dims: Dims, rank: usize, config: &AlsConfig, seed: u64) -> AlsResult {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let s = config.init_scale;
+    let init = |rows: usize, rng: &mut ChaCha8Rng| {
+        DMat::from_fn(rows, rank, |_, _| rng.gen_range(-s..s))
+    };
+    let (na, nb, nc) = (dims.m * dims.k, dims.k * dims.n, dims.m * dims.n);
+    let u = init(na, &mut rng);
+    let v = init(nb, &mut rng);
+    let w = init(nc, &mut rng);
+    als_from(dims, u, v, w, config)
+}
+
+/// Run ALS from explicit starting factors (e.g. a perturbed known solution
+/// or a rounded candidate to re-polish).
+pub fn als_from(dims: Dims, mut u: DMat, mut v: DMat, mut w: DMat, config: &AlsConfig) -> AlsResult {
+    let rank = u.cols;
+    let (na, nb, nc) = (dims.m * dims.k, dims.k * dims.n, dims.m * dims.n);
+    assert_eq!(u.rows, na);
+    assert_eq!(v.rows, nb);
+    assert_eq!(w.rows, nc);
+    let ones = target_ones(dims);
+    let mut reg = config.reg;
+    let mut residual = relative_residual(dims, &u, &v, &w);
+    let mut iters = 0;
+
+    for it in 0..config.max_iters {
+        iters = it + 1;
+        // U update: rows indexed by α, contracting V (β) and W (γ).
+        if let Some(nu) = update_factor(&ones, |&(a, b, c)| (a, b, c), &v, &w, na, reg) {
+            u = nu;
+        } else {
+            break;
+        }
+        // V update: rows indexed by β.
+        if let Some(nv) = update_factor(&ones, |&(a, b, c)| (b, a, c), &u, &w, nb, reg) {
+            v = nv;
+        } else {
+            break;
+        }
+        // W update: rows indexed by γ.
+        if let Some(nw) = update_factor(&ones, |&(a, b, c)| (c, a, b), &u, &v, nc, reg) {
+            w = nw;
+        } else {
+            break;
+        }
+        reg *= config.reg_decay;
+        residual = relative_residual(dims, &u, &v, &w);
+        if residual < config.tol {
+            break;
+        }
+    }
+
+    AlsResult {
+        dims,
+        rank,
+        converged: residual < config.tol,
+        u,
+        v,
+        w,
+        residual,
+        iters,
+    }
+}
+
+/// Pattern-constrained update: like `update_factor`, but each row is
+/// solved only over its currently-nonzero columns — structural zeros stay
+/// zero. This is the polish step of sparsification: ALS restricted to the
+/// sparsity pattern cannot drift along the dense gauge orbit.
+fn update_factor_pattern(
+    ones: &[(usize, usize, usize)],
+    select: impl Fn(&(usize, usize, usize)) -> (usize, usize, usize),
+    f1: &DMat,
+    f2: &DMat,
+    current: &DMat,
+    reg: f64,
+) -> Option<DMat> {
+    let rows = current.rows;
+    let r = f1.cols;
+    let rhs = mttkrp(ones, select, f1, f2, rows);
+    let gram = f1.gram().hadamard(&f2.gram());
+    let mut out = DMat::zeros(rows, r);
+    for row in 0..rows {
+        let active: Vec<usize> = (0..r).filter(|&t| current.at(row, t) != 0.0).collect();
+        if active.is_empty() {
+            continue;
+        }
+        let na = active.len();
+        let mut sub = DMat::zeros(na, na);
+        for (i, &ti) in active.iter().enumerate() {
+            for (j, &tj) in active.iter().enumerate() {
+                sub.set(i, j, gram.at(ti, tj));
+            }
+        }
+        sub.add_diag(reg.max(1e-12));
+        let mut sub_rhs = DMat::zeros(1, na);
+        for (i, &ti) in active.iter().enumerate() {
+            sub_rhs.set(0, i, rhs.at(row, ti));
+        }
+        let solved = solve_rows(sub, &sub_rhs)?;
+        for (i, &ti) in active.iter().enumerate() {
+            out.set(row, ti, solved.at(0, i));
+        }
+    }
+    Some(out)
+}
+
+/// ALS polish restricted to the current sparsity pattern of the factors:
+/// entries that are zero stay structurally zero. Used by
+/// [`crate::sparsify`] so thresholded decompositions can be re-converged
+/// without the least-squares fill-in of unconstrained ALS.
+pub fn als_polish_pattern(
+    dims: Dims,
+    mut u: DMat,
+    mut v: DMat,
+    mut w: DMat,
+    config: &AlsConfig,
+) -> AlsResult {
+    let rank = u.cols;
+    let ones = target_ones(dims);
+    let mut reg = config.reg;
+    let mut residual = relative_residual(dims, &u, &v, &w);
+    let mut iters = 0;
+    for it in 0..config.max_iters {
+        iters = it + 1;
+        match update_factor_pattern(&ones, |&(a, b, c)| (a, b, c), &v, &w, &u, reg) {
+            Some(nu) => u = nu,
+            None => break,
+        }
+        match update_factor_pattern(&ones, |&(a, b, c)| (b, a, c), &u, &w, &v, reg) {
+            Some(nv) => v = nv,
+            None => break,
+        }
+        match update_factor_pattern(&ones, |&(a, b, c)| (c, a, b), &u, &v, &w, reg) {
+            Some(nw) => w = nw,
+            None => break,
+        }
+        reg *= config.reg_decay;
+        residual = relative_residual(dims, &u, &v, &w);
+        if residual < config.tol {
+            break;
+        }
+    }
+    AlsResult {
+        dims,
+        rank,
+        converged: residual < config.tol,
+        u,
+        v,
+        w,
+        residual,
+        iters,
+    }
+}
+
+/// Multi-restart driver: run [`als_search`] from `restarts` seeds, keep the
+/// best result.
+pub fn als_multi_restart(dims: Dims, rank: usize, config: &AlsConfig, restarts: usize, base_seed: u64) -> AlsResult {
+    let mut best: Option<AlsResult> = None;
+    for i in 0..restarts {
+        let result = als_search(dims, rank, config, base_seed.wrapping_add(i as u64 * 0x9E37));
+        let better = best
+            .as_ref()
+            .map(|b| result.residual < b.residual)
+            .unwrap_or(true);
+        if better {
+            let done = result.converged;
+            best = Some(result);
+            if done {
+                break;
+            }
+        }
+    }
+    best.expect("restarts >= 1")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn target_ones_count_is_mkn() {
+        let d = Dims::new(2, 3, 4);
+        let ones = target_ones(d);
+        assert_eq!(ones.len(), 24);
+        // All triples distinct.
+        let mut sorted = ones.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 24);
+    }
+
+    #[test]
+    fn residual_zero_for_classical_factors() {
+        // The classical algorithm as dense factors has residual 0.
+        let d = Dims::new(2, 2, 2);
+        let r = 8;
+        let ones = target_ones(d);
+        let mut u = DMat::zeros(4, r);
+        let mut v = DMat::zeros(4, r);
+        let mut w = DMat::zeros(4, r);
+        for (t, &(a, b, c)) in ones.iter().enumerate() {
+            u.set(a, t, 1.0);
+            v.set(b, t, 1.0);
+            w.set(c, t, 1.0);
+        }
+        assert!(relative_residual(d, &u, &v, &w) < 1e-15);
+    }
+
+    #[test]
+    fn als_converges_for_overparametrized_rank() {
+        // rank = mkn: trivially reachable; ALS must find it quickly.
+        let d = Dims::new(2, 2, 2);
+        let result = als_multi_restart(d, 8, &AlsConfig::default(), 3, 42);
+        assert!(
+            result.residual < 1e-6,
+            "residual {} after {} iters",
+            result.residual,
+            result.iters
+        );
+    }
+
+    #[test]
+    fn als_converges_rank2_for_121() {
+        // ⟨1,2,1⟩ has rank 2 exactly.
+        let d = Dims::new(1, 2, 1);
+        let result = als_multi_restart(d, 2, &AlsConfig::default(), 3, 7);
+        assert!(result.converged, "residual {}", result.residual);
+    }
+
+    #[test]
+    fn als_repolishes_perturbed_strassen() {
+        // Start from Strassen + noise: ALS must fall back into the exact
+        // solution — this validates the update equations at rank 7, below
+        // the classical rank.
+        let d = Dims::new(2, 2, 2);
+        let alg = apa_core::catalog::strassen();
+        let rng = ChaCha8Rng::seed_from_u64(5);
+        let to_dense = |m: &apa_core::CoeffMatrix, rows: usize| {
+            DMat::from_fn(rows, 7, |i, t| {
+                m.get(i, t).eval(0.0) + rng_noise(&mut rng.clone(), i, t)
+            })
+        };
+        // deterministic small noise
+        fn rng_noise(_rng: &mut ChaCha8Rng, i: usize, t: usize) -> f64 {
+            (((i * 31 + t * 17) % 13) as f64 - 6.0) * 0.004
+        }
+        let u = to_dense(&alg.u, 4);
+        let v = to_dense(&alg.v, 4);
+        let w = to_dense(&alg.w, 4);
+        let start_res = relative_residual(d, &u, &v, &w);
+        assert!(start_res > 1e-3, "perturbation should be visible: {start_res}");
+        let config = AlsConfig {
+            reg: 1e-6,
+            max_iters: 200,
+            ..AlsConfig::default()
+        };
+        let result = als_from(d, u, v, w, &config);
+        assert!(
+            result.residual < 1e-7,
+            "failed to re-polish Strassen: {} (iters {})",
+            result.residual,
+            result.iters
+        );
+    }
+
+    #[test]
+    fn als_rank7_search_makes_progress() {
+        // Cold-start rank-7 ⟨2,2,2⟩ search: full convergence is luck-of-
+        // the-seed (as in the literature), but the residual must drop well
+        // below the random-init level within a few hundred sweeps.
+        let d = Dims::new(2, 2, 2);
+        let result = als_multi_restart(d, 7, &AlsConfig::default(), 2, 1234);
+        assert!(
+            result.residual < 0.2,
+            "ALS made no progress: residual {}",
+            result.residual
+        );
+    }
+}

@@ -1,0 +1,27 @@
+//! # apa-discovery
+//!
+//! Numerical discovery of bilinear matrix-multiplication algorithms — the
+//! method behind the Smirnov tensors the reproduced paper curates
+//! (references [25–30] of the paper). A rank-r algorithm for ⟨m,k,n⟩ is a
+//! rank-r CP decomposition of the matmul tensor; this crate searches for
+//! them with regularized alternating least squares:
+//!
+//! * [`linalg`] — minimal dense solvers for the ALS normal equations;
+//! * [`als`] — CP-ALS with Tikhonov annealing, multi-restart, residual
+//!   monitoring, and warm starts from perturbed/known factors;
+//! * [`rounding`] — snap converged factors to the small-rational grid and
+//!   re-verify symbolically with `apa-core`'s Brent validator.
+//!
+//! The test suite demonstrates the full pipeline by re-polishing a
+//! perturbed Strassen decomposition back to an exact, Brent-verified
+//! rank-7 rule.
+
+pub mod als;
+pub mod linalg;
+pub mod rounding;
+pub mod sparsify;
+
+pub use als::{als_from, als_multi_restart, als_polish_pattern, als_search, relative_residual, AlsConfig, AlsResult};
+pub use linalg::{solve_rows, DMat};
+pub use rounding::{round_and_verify, snap, RoundOutcome};
+pub use sparsify::{nnz, sparsify, threshold_factor};

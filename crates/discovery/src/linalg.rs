@@ -1,0 +1,234 @@
+//! Minimal dense linear algebra for the ALS solver: small row-major
+//! matrices, Gram products and an LU solve with partial pivoting. The
+//! factor matrices involved are at most a few hundred rows by ~100 columns,
+//! so simplicity beats blocking here.
+
+/// Dense row-major f64 matrix.
+#[derive(Clone, Debug, PartialEq)]
+pub struct DMat {
+    pub rows: usize,
+    pub cols: usize,
+    pub data: Vec<f64>,
+}
+
+impl DMat {
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
+    }
+
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut m = Self::zeros(rows, cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                m.data[i * cols + j] = f(i, j);
+            }
+        }
+        m
+    }
+
+    #[inline]
+    pub fn at(&self, i: usize, j: usize) -> f64 {
+        self.data[i * self.cols + j]
+    }
+
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        self.data[i * self.cols + j] = v;
+    }
+
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// `selfᵀ · self` (`cols × cols` Gram matrix).
+    pub fn gram(&self) -> DMat {
+        let c = self.cols;
+        let mut g = DMat::zeros(c, c);
+        for i in 0..self.rows {
+            let row = self.row(i);
+            for a in 0..c {
+                let ra = row[a];
+                if ra == 0.0 {
+                    continue;
+                }
+                for b in a..c {
+                    g.data[a * c + b] += ra * row[b];
+                }
+            }
+        }
+        for a in 0..c {
+            for b in 0..a {
+                g.data[a * c + b] = g.data[b * c + a];
+            }
+        }
+        g
+    }
+
+    /// Elementwise (Hadamard) product — used for Khatri-Rao Gram identities.
+    pub fn hadamard(&self, other: &DMat) -> DMat {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        DMat {
+            rows: self.rows,
+            cols: self.cols,
+            data: self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(a, b)| a * b)
+                .collect(),
+        }
+    }
+
+    /// Frobenius norm.
+    pub fn norm(&self) -> f64 {
+        self.data.iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+
+    /// Add `reg` to the diagonal (Tikhonov).
+    pub fn add_diag(&mut self, reg: f64) {
+        let n = self.rows.min(self.cols);
+        for i in 0..n {
+            self.data[i * self.cols + i] += reg;
+        }
+    }
+}
+
+/// Solve `A · Xᵀ = Bᵀ` for X where A is `n × n` and B is `m × n`
+/// (i.e. each row of B is a right-hand side; the result has B's shape).
+/// LU with partial pivoting; A is consumed.
+pub fn solve_rows(mut a: DMat, b: &DMat) -> Option<DMat> {
+    let n = a.rows;
+    assert_eq!(a.cols, n, "A must be square");
+    assert_eq!(b.cols, n, "RHS width must match A");
+    let mut perm: Vec<usize> = (0..n).collect();
+
+    // LU factorization.
+    for col in 0..n {
+        // Pivot.
+        let (mut pivot_row, mut pivot_val) = (col, a.at(col, col).abs());
+        for r in col + 1..n {
+            let v = a.at(r, col).abs();
+            if v > pivot_val {
+                pivot_row = r;
+                pivot_val = v;
+            }
+        }
+        if pivot_val < 1e-14 {
+            return None; // singular
+        }
+        if pivot_row != col {
+            for j in 0..n {
+                let (x, y) = (a.at(col, j), a.at(pivot_row, j));
+                a.set(col, j, y);
+                a.set(pivot_row, j, x);
+            }
+            perm.swap(col, pivot_row);
+        }
+        let inv = 1.0 / a.at(col, col);
+        for r in col + 1..n {
+            let factor = a.at(r, col) * inv;
+            a.set(r, col, factor);
+            for j in col + 1..n {
+                let v = a.at(r, j) - factor * a.at(col, j);
+                a.set(r, j, v);
+            }
+        }
+    }
+
+    // Solve for each row of B.
+    let mut out = DMat::zeros(b.rows, n);
+    let mut y = vec![0.0f64; n];
+    for r in 0..b.rows {
+        let rhs = b.row(r);
+        // Forward substitution with permutation.
+        for i in 0..n {
+            let mut s = rhs[perm[i]];
+            for j in 0..i {
+                s -= a.at(i, j) * y[j];
+            }
+            y[i] = s;
+        }
+        // Back substitution.
+        for i in (0..n).rev() {
+            let mut s = y[i];
+            for j in i + 1..n {
+                s -= a.at(i, j) * out.at(r, j);
+            }
+            out.set(r, i, s / a.at(i, i));
+        }
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gram_is_symmetric_and_correct() {
+        let m = DMat::from_fn(3, 2, |i, j| (i + 2 * j) as f64);
+        let g = m.gram();
+        // column 0 = [0,1,2], column 1 = [2,3,4]
+        assert_eq!(g.at(0, 0), 5.0);
+        assert_eq!(g.at(1, 1), 29.0);
+        assert_eq!(g.at(0, 1), 11.0);
+        assert_eq!(g.at(1, 0), 11.0);
+    }
+
+    #[test]
+    fn solve_identity() {
+        let a = DMat::from_fn(3, 3, |i, j| if i == j { 1.0 } else { 0.0 });
+        let b = DMat::from_fn(2, 3, |i, j| (i * 3 + j) as f64);
+        let x = solve_rows(a, &b).unwrap();
+        assert_eq!(x, b);
+    }
+
+    #[test]
+    fn solve_random_system_roundtrip() {
+        // x·Aᵀ = b with known x: construct b = x·Aᵀ and recover x.
+        let a = DMat::from_fn(4, 4, |i, j| ((i * 7 + j * 3) % 5) as f64 + if i == j { 3.0 } else { 0.0 });
+        let x_true = DMat::from_fn(2, 4, |i, j| (i + j) as f64 * 0.5 - 1.0);
+        let mut b = DMat::zeros(2, 4);
+        for r in 0..2 {
+            for i in 0..4 {
+                let mut s = 0.0;
+                for j in 0..4 {
+                    s += a.at(i, j) * x_true.at(r, j);
+                }
+                b.set(r, i, s);
+            }
+        }
+        let x = solve_rows(a, &b).unwrap();
+        for r in 0..2 {
+            for j in 0..4 {
+                assert!((x.at(r, j) - x_true.at(r, j)).abs() < 1e-10);
+            }
+        }
+    }
+
+    #[test]
+    fn singular_matrix_detected() {
+        let a = DMat::from_fn(2, 2, |_, _| 1.0);
+        let b = DMat::from_fn(1, 2, |_, j| j as f64);
+        assert!(solve_rows(a, &b).is_none());
+    }
+
+    #[test]
+    fn hadamard_and_diag() {
+        let a = DMat::from_fn(2, 2, |i, j| (i + j) as f64);
+        let b = DMat::from_fn(2, 2, |_, _| 2.0);
+        let mut h = a.hadamard(&b);
+        assert_eq!(h.at(1, 1), 4.0);
+        h.add_diag(0.5);
+        assert_eq!(h.at(0, 0), 0.5);
+        assert_eq!(h.at(1, 1), 4.5);
+    }
+}

@@ -1,0 +1,136 @@
+//! Snap numerically discovered factors to exact rational coefficients and
+//! re-verify them symbolically.
+//!
+//! ALS converges to factors that are *numerically* a decomposition; useful
+//! algorithms have small rational coefficients (0, ±1, ±½, ±¼ dominate the
+//! published tensors). `round_factors` snaps every entry to the nearest
+//! value on that grid, builds a [`BilinearAlgorithm`] and runs the Brent
+//! validator — only a symbolically exact result is returned.
+
+use crate::als::AlsResult;
+use crate::linalg::DMat;
+use apa_core::{brent, BilinearAlgorithm, CoeffMatrix, Laurent};
+
+/// The coefficient grid used for snapping.
+pub const GRID: [f64; 9] = [0.0, 1.0, -1.0, 0.5, -0.5, 0.25, -0.25, 2.0, -2.0];
+
+/// Snap a value to the nearest grid point.
+pub fn snap(v: f64) -> f64 {
+    let mut best = GRID[0];
+    let mut dist = (v - GRID[0]).abs();
+    for &g in &GRID[1..] {
+        let d = (v - g).abs();
+        if d < dist {
+            dist = d;
+            best = g;
+        }
+    }
+    best
+}
+
+fn to_coeffs(m: &DMat) -> CoeffMatrix {
+    let mut out = CoeffMatrix::zeros(m.rows, m.cols);
+    for i in 0..m.rows {
+        for t in 0..m.cols {
+            let v = snap(m.at(i, t));
+            if v != 0.0 {
+                out.set(i, t, Laurent::constant(v));
+            }
+        }
+    }
+    out
+}
+
+/// Outcome of rounding a candidate decomposition.
+#[derive(Debug)]
+pub enum RoundOutcome {
+    /// The snapped factors satisfy the Brent equations exactly.
+    Exact(BilinearAlgorithm),
+    /// Snapping destroyed the decomposition (residual too irrational).
+    NotExact { brent_error: String },
+}
+
+/// Round an [`AlsResult`] and verify it.
+pub fn round_and_verify(result: &AlsResult, name: &str) -> RoundOutcome {
+    let alg = BilinearAlgorithm::new(
+        name,
+        result.dims,
+        to_coeffs(&result.u),
+        to_coeffs(&result.v),
+        to_coeffs(&result.w),
+    );
+    match brent::validate(&alg) {
+        Ok(report) if report.exact => RoundOutcome::Exact(alg),
+        Ok(_) => RoundOutcome::NotExact {
+            brent_error: "rounded factors are APA, not exact".into(),
+        },
+        Err(e) => RoundOutcome::NotExact {
+            brent_error: e.to_string(),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::als::{als_from, AlsConfig};
+    use apa_core::{catalog, Dims};
+
+    #[test]
+    fn snap_hits_grid_points() {
+        assert_eq!(snap(0.02), 0.0);
+        assert_eq!(snap(0.97), 1.0);
+        assert_eq!(snap(-1.04), -1.0);
+        assert_eq!(snap(0.52), 0.5);
+        assert_eq!(snap(-0.26), -0.25);
+        assert_eq!(snap(1.9), 2.0);
+    }
+
+    #[test]
+    fn roundtrip_strassen_through_als_and_rounding() {
+        // Perturb Strassen, re-polish with ALS, round, verify: the full
+        // discovery pipeline must reproduce a valid exact rank-7 rule.
+        let d = Dims::new(2, 2, 2);
+        let alg = catalog::strassen();
+        let dense = |m: &apa_core::CoeffMatrix, rows: usize| {
+            DMat::from_fn(rows, 7, |i, t| {
+                m.get(i, t).eval(0.0) + (((i * 13 + t * 7) % 11) as f64 - 5.0) * 0.005
+            })
+        };
+        let config = AlsConfig {
+            reg: 1e-6,
+            max_iters: 300,
+            ..AlsConfig::default()
+        };
+        let result = als_from(d, dense(&alg.u, 4), dense(&alg.v, 4), dense(&alg.w, 4), &config);
+        assert!(result.residual < 1e-7, "residual {}", result.residual);
+        match round_and_verify(&result, "rediscovered-strassen") {
+            RoundOutcome::Exact(found) => {
+                assert_eq!(found.rank(), 7);
+                assert_eq!(found.dims, d);
+            }
+            RoundOutcome::NotExact { brent_error } => {
+                panic!("rounding failed: {brent_error}")
+            }
+        }
+    }
+
+    #[test]
+    fn garbage_factors_do_not_round_to_valid_algorithm() {
+        let d = Dims::new(2, 2, 2);
+        let result = AlsResult {
+            dims: d,
+            rank: 3,
+            u: DMat::from_fn(4, 3, |i, t| ((i + t) % 3) as f64 * 0.4),
+            v: DMat::from_fn(4, 3, |i, t| ((i * t) % 2) as f64),
+            w: DMat::from_fn(4, 3, |i, t| (i as f64 - t as f64) * 0.3),
+            residual: 1.0,
+            iters: 0,
+            converged: false,
+        };
+        assert!(matches!(
+            round_and_verify(&result, "junk"),
+            RoundOutcome::NotExact { .. }
+        ));
+    }
+}

@@ -1,0 +1,272 @@
+//! Fused multi-operand linear combinations — the "matrix additions" of the
+//! APA framework.
+//!
+//! `combine` implements the paper's "write-once" strategy (§3.2): each
+//! destination element is produced by a *single* pass that accumulates all
+//! weighted sources, instead of a chain of pairwise AXPYs that would
+//! re-read and re-write the destination once per operand. These operations
+//! are memory-bandwidth-bound and, per the paper, are the main obstacle to
+//! realizing the ideal speedup — so they get the same parallelization
+//! treatment as the multiplications.
+
+use crate::matrix::{MatMut, MatRef};
+use crate::pool::{pool, Par};
+use crate::scalar::Scalar;
+
+/// `dst ← Σ_i coeff_i · src_i` (or `dst += …` when `accumulate`), in one
+/// pass over `dst`. All sources must have `dst`'s shape.
+pub fn combine<T: Scalar>(
+    mut dst: MatMut<'_, T>,
+    accumulate: bool,
+    terms: &[(T, MatRef<'_, T>)],
+) {
+    for (_, src) in terms {
+        assert_eq!(src.rows(), dst.rows(), "source shape mismatch");
+        assert_eq!(src.cols(), dst.cols(), "source shape mismatch");
+    }
+    let rows = dst.rows();
+    for i in 0..rows {
+        combine_row(dst.row_mut(i), accumulate, terms, i);
+    }
+}
+
+#[inline]
+fn combine_row<T: Scalar>(
+    out: &mut [T],
+    accumulate: bool,
+    terms: &[(T, MatRef<'_, T>)],
+    i: usize,
+) {
+    // Specialize the common small arities so the inner loops fuse into a
+    // single vectorized sweep.
+    match terms {
+        [] => {
+            if !accumulate {
+                out.fill(T::ZERO);
+            }
+        }
+        [(c0, s0)] => {
+            let r0 = s0.row(i);
+            if accumulate {
+                for (o, &x0) in out.iter_mut().zip(r0) {
+                    *o = c0.mul_add(x0, *o);
+                }
+            } else {
+                for (o, &x0) in out.iter_mut().zip(r0) {
+                    *o = *c0 * x0;
+                }
+            }
+        }
+        [(c0, s0), (c1, s1)] => {
+            let (r0, r1) = (s0.row(i), s1.row(i));
+            for (j, o) in out.iter_mut().enumerate() {
+                let v = c0.mul_add(r0[j], *c1 * r1[j]);
+                *o = if accumulate { *o + v } else { v };
+            }
+        }
+        [(c0, s0), (c1, s1), (c2, s2)] => {
+            let (r0, r1, r2) = (s0.row(i), s1.row(i), s2.row(i));
+            for (j, o) in out.iter_mut().enumerate() {
+                let v = c0.mul_add(r0[j], c1.mul_add(r1[j], *c2 * r2[j]));
+                *o = if accumulate { *o + v } else { v };
+            }
+        }
+        [(c0, s0), (c1, s1), (c2, s2), (c3, s3)] => {
+            let (r0, r1, r2, r3) = (s0.row(i), s1.row(i), s2.row(i), s3.row(i));
+            for (j, o) in out.iter_mut().enumerate() {
+                let v = c0.mul_add(
+                    r0[j],
+                    c1.mul_add(r1[j], c2.mul_add(r2[j], *c3 * r3[j])),
+                );
+                *o = if accumulate { *o + v } else { v };
+            }
+        }
+        _ => {
+            // General arity: still one pass over dst, sources streamed.
+            let (head, tail) = terms.split_at(4);
+            combine_row(out, accumulate, head, i);
+            combine_row(out, true, tail, i);
+        }
+    }
+}
+
+/// Parallel [`combine`]: destination rows are striped across the pool.
+pub fn combine_par<T: Scalar>(
+    dst: MatMut<'_, T>,
+    accumulate: bool,
+    terms: &[(T, MatRef<'_, T>)],
+    par: Par,
+) {
+    match par.normalize() {
+        Par::Seq => combine(dst, accumulate, terms),
+        Par::Threads(t) => {
+            let rows = dst.rows();
+            if rows == 0 {
+                return;
+            }
+            let chunk = rows.div_ceil(t).max(1);
+            let mut jobs: Vec<(usize, MatMut<'_, T>)> = Vec::new();
+            let mut rest = dst;
+            let mut r0 = 0;
+            while r0 < rows {
+                let take = chunk.min(rows - r0);
+                let (head, tail) = rest.split_at_row(take);
+                jobs.push((r0, head));
+                rest = tail;
+                r0 += take;
+            }
+            pool(t).scope(|s| {
+                for (r0, mut stripe) in jobs {
+                    s.spawn(move |_| {
+                        let sub_terms: Vec<(T, MatRef<'_, T>)> = terms
+                            .iter()
+                            .map(|(c, src)| {
+                                (*c, src.subview(r0, 0, stripe.rows(), stripe.cols()))
+                            })
+                            .collect();
+                        combine(stripe.rb(), accumulate, &sub_terms);
+                    });
+                }
+            });
+        }
+    }
+}
+
+/// Naive chained-AXPY version of [`combine`] — re-reads/re-writes `dst`
+/// once per term. Kept as the baseline for the write-once ablation bench.
+pub fn combine_axpy<T: Scalar>(
+    mut dst: MatMut<'_, T>,
+    accumulate: bool,
+    terms: &[(T, MatRef<'_, T>)],
+) {
+    if !accumulate {
+        dst.fill(T::ZERO);
+    }
+    for (c, src) in terms {
+        assert_eq!(src.rows(), dst.rows());
+        assert_eq!(src.cols(), dst.cols());
+        for i in 0..dst.rows() {
+            let row = dst.row_mut(i);
+            for (o, &x) in row.iter_mut().zip(src.row(i)) {
+                *o = c.mul_add(x, *o);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::Mat;
+
+    fn mats(n: usize, count: usize) -> Vec<Mat<f64>> {
+        (0..count)
+            .map(|s| Mat::from_fn(n, n, |i, j| ((i * n + j) as f64 + 1.0) * (s + 1) as f64))
+            .collect()
+    }
+
+    fn check_combination(count: usize) {
+        let n = 13;
+        let srcs = mats(n, count);
+        let coeffs: Vec<f64> = (0..count).map(|i| (i as f64 - 1.5) * 0.5).collect();
+        let terms: Vec<(f64, _)> = coeffs
+            .iter()
+            .zip(&srcs)
+            .map(|(&c, m)| (c, m.as_ref()))
+            .collect();
+        let mut dst = Mat::<f64>::from_fn(n, n, |i, j| (i + j) as f64);
+        let base = dst.clone();
+        combine(dst.as_mut(), true, &terms);
+        for i in 0..n {
+            for j in 0..n {
+                let mut expect = base.at(i, j);
+                for (t, src) in srcs.iter().enumerate() {
+                    expect += coeffs[t] * src.at(i, j);
+                }
+                assert!(
+                    (dst.at(i, j) - expect).abs() < 1e-10,
+                    "arity {count} ({i},{j})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn all_arities_accumulate_correctly() {
+        for count in 0..=7 {
+            check_combination(count);
+        }
+    }
+
+    #[test]
+    fn overwrite_mode_ignores_destination() {
+        let n = 5;
+        let src = Mat::<f32>::from_fn(n, n, |i, j| (i * n + j) as f32);
+        let mut dst = Mat::<f32>::from_fn(n, n, |_, _| 99.0);
+        combine(dst.as_mut(), false, &[(2.0, src.as_ref())]);
+        for i in 0..n {
+            for j in 0..n {
+                assert_eq!(dst.at(i, j), 2.0 * src.at(i, j));
+            }
+        }
+    }
+
+    #[test]
+    fn empty_terms_zero_or_keep() {
+        let mut dst = Mat::<f32>::from_fn(2, 2, |_, _| 7.0);
+        combine(dst.as_mut(), true, &[]);
+        assert_eq!(dst.at(0, 0), 7.0);
+        combine(dst.as_mut(), false, &[]);
+        assert_eq!(dst.at(1, 1), 0.0);
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let n = 40;
+        let srcs = mats(n, 5);
+        let terms: Vec<(f64, _)> = srcs
+            .iter()
+            .enumerate()
+            .map(|(i, m)| (i as f64 * 0.3 - 0.7, m.as_ref()))
+            .collect();
+        let mut seq = Mat::<f64>::zeros(n, n);
+        combine(seq.as_mut(), false, &terms);
+        for threads in [2, 3] {
+            let mut par = Mat::<f64>::zeros(n, n);
+            combine_par(par.as_mut(), false, &terms, Par::Threads(threads));
+            assert_eq!(par, seq, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn axpy_baseline_matches_write_once() {
+        let n = 9;
+        let srcs = mats(n, 3);
+        let terms: Vec<(f64, _)> = srcs
+            .iter()
+            .map(|m| (0.25, m.as_ref()))
+            .collect();
+        let mut a = Mat::<f64>::from_fn(n, n, |i, _| i as f64);
+        let mut b = a.clone();
+        combine(a.as_mut(), true, &terms);
+        combine_axpy(b.as_mut(), true, &terms);
+        assert!(a.rel_frobenius_error(&b) < 1e-14);
+    }
+
+    #[test]
+    fn works_on_subviews() {
+        // Combine quadrants of a larger matrix into a quadrant of another.
+        let big = Mat::<f64>::from_fn(8, 8, |i, j| (i * 8 + j) as f64);
+        let q00 = big.as_ref().subview(0, 0, 4, 4);
+        let q11 = big.as_ref().subview(4, 4, 4, 4);
+        let mut out = Mat::<f64>::zeros(8, 8);
+        combine(
+            out.as_mut().into_subview(0, 4, 4, 4),
+            false,
+            &[(1.0, q00), (-1.0, q11)],
+        );
+        assert_eq!(out.at(0, 4), big.at(0, 0) - big.at(4, 4));
+        assert_eq!(out.at(3, 7), big.at(3, 3) - big.at(7, 7));
+        assert_eq!(out.at(4, 4), 0.0);
+    }
+}

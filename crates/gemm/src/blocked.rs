@@ -1,0 +1,305 @@
+//! Single-threaded cache-blocked GEMM (the substrate's `gemm` leaf).
+//!
+//! Loop structure follows the BLIS/GotoBLAS decomposition: NC-wide column
+//! blocks of `B` (L3-resident once packed), KC-deep rank-k updates, MC-tall
+//! row blocks of `A` (L2-resident packed), then NR/MR register tiles
+//! dispatched to the microkernel. Performance intentionally *degrades for
+//! small dimensions* (packing amortizes poorly), which is the property the
+//! paper's crossover analysis (§2.4, §3.3) depends on.
+
+use crate::matrix::{Mat, MatMut, MatRef};
+use crate::microkernel::microkernel;
+use crate::pack::{pack_a, pack_b};
+use crate::scalar::Scalar;
+
+/// Cache-blocking parameters. The defaults target a ~32 KB L1 / 256 KB L2 /
+/// multi-MB L3 hierarchy (the paper's Sandy Bridge and most of what came
+/// after).
+#[derive(Clone, Copy, Debug)]
+pub struct BlockSizes {
+    pub mc: usize,
+    pub kc: usize,
+    pub nc: usize,
+}
+
+impl BlockSizes {
+    pub fn for_scalar<T: Scalar>() -> Self {
+        // Element-count budgets scale inversely with element size.
+        let shrink = std::mem::size_of::<T>() / 4; // 1 for f32, 2 for f64
+        Self {
+            mc: 128,
+            kc: 256 / shrink.max(1),
+            nc: 1024,
+        }
+    }
+}
+
+/// Scratch buffers reused across packing rounds of a single GEMM call.
+///
+/// Reusable across calls via [`gemm_st_with_scratch`] to keep the many
+/// medium-sized gemm invocations of the APA engine allocation-free.
+#[derive(Default)]
+pub struct Scratch<T> {
+    a_pack: Vec<T>,
+    b_pack: Vec<T>,
+}
+
+impl<T: Scalar> Scratch<T> {
+    pub fn new() -> Self {
+        Self {
+            a_pack: Vec::new(),
+            b_pack: Vec::new(),
+        }
+    }
+}
+
+/// `C ← α·A·B + β·C`, single-threaded.
+pub fn gemm_st<T: Scalar>(alpha: T, a: MatRef<'_, T>, b: MatRef<'_, T>, beta: T, c: MatMut<'_, T>) {
+    let mut scratch = Scratch::new();
+    gemm_st_with_scratch(alpha, a, b, beta, c, &mut scratch);
+}
+
+/// [`gemm_st`] with caller-provided scratch (no allocation in steady state).
+pub fn gemm_st_with_scratch<T: Scalar>(
+    alpha: T,
+    a: MatRef<'_, T>,
+    b: MatRef<'_, T>,
+    beta: T,
+    mut c: MatMut<'_, T>,
+    scratch: &mut Scratch<T>,
+) {
+    let (m, k) = (a.rows(), a.cols());
+    let n = b.cols();
+    assert_eq!(k, b.rows(), "inner dimensions must match");
+    assert_eq!(m, c.rows(), "C row count mismatch");
+    assert_eq!(n, c.cols(), "C column count mismatch");
+
+    if m == 0 || n == 0 {
+        return;
+    }
+    if k == 0 || alpha == T::ZERO {
+        scale_in_place(beta, &mut c);
+        return;
+    }
+
+    let bs = BlockSizes::for_scalar::<T>();
+    let (mr, nr) = (T::MR, T::NR);
+
+    for jc in (0..n).step_by(bs.nc) {
+        let nc = bs.nc.min(n - jc);
+        for pc in (0..k).step_by(bs.kc) {
+            let kc = bs.kc.min(k - pc);
+            pack_b(b.subview(pc, jc, kc, nc), &mut scratch.b_pack);
+            // First rank-k update applies the caller's β, later ones add.
+            let beta_eff = if pc == 0 { beta } else { T::ONE };
+            let beta_zero = pc == 0 && beta == T::ZERO;
+            for ic in (0..m).step_by(bs.mc) {
+                let mc = bs.mc.min(m - ic);
+                pack_a(a.subview(ic, pc, mc, kc), &mut scratch.a_pack);
+                let cs = c.row_stride();
+                for jr in (0..nc).step_by(nr) {
+                    let nrr = nr.min(nc - jr);
+                    let b_sliver = &scratch.b_pack[(jr / nr) * kc * nr..];
+                    for ir in (0..mc).step_by(mr) {
+                        let mrr = mr.min(mc - ir);
+                        let a_sliver = &scratch.a_pack[(ir / mr) * kc * mr..];
+                        if mrr == mr && nrr == nr {
+                            // Full tile: write straight into C.
+                            let mut tile = c.subview_mut(ic + ir, jc + jr, mr, nr);
+                            // SAFETY: tile is a writable MR×NR block with
+                            // stride cs; slivers hold kc·MR / kc·NR packed
+                            // elements by construction of pack_a/pack_b.
+                            unsafe {
+                                microkernel(
+                                    kc,
+                                    alpha,
+                                    a_sliver.as_ptr(),
+                                    b_sliver.as_ptr(),
+                                    beta_eff,
+                                    beta_zero,
+                                    tile.as_mut_ptr(),
+                                    cs,
+                                );
+                            }
+                        } else {
+                            // Ragged edge: compute into a scratch tile then
+                            // merge the valid region.
+                            let mut tmp = [T::ZERO; 64]; // MR·NR ≤ 64 for both types
+                            debug_assert!(mr * nr <= 64);
+                            // SAFETY: tmp is a full MR×NR tile (stride NR).
+                            unsafe {
+                                microkernel(
+                                    kc,
+                                    alpha,
+                                    a_sliver.as_ptr(),
+                                    b_sliver.as_ptr(),
+                                    T::ZERO,
+                                    true,
+                                    tmp.as_mut_ptr(),
+                                    nr,
+                                );
+                            }
+                            for i in 0..mrr {
+                                let crow = c.subview_mut(ic + ir + i, jc + jr, 1, nrr);
+                                merge_row(crow, &tmp[i * nr..i * nr + nrr], beta_eff, beta_zero);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn merge_row<T: Scalar>(mut crow: MatMut<'_, T>, vals: &[T], beta: T, beta_zero: bool) {
+    let row = crow.row_mut(0);
+    if beta_zero {
+        row.copy_from_slice(vals);
+    } else if beta == T::ONE {
+        for (dst, &v) in row.iter_mut().zip(vals) {
+            *dst += v;
+        }
+    } else {
+        for (dst, &v) in row.iter_mut().zip(vals) {
+            *dst = beta.mul_add(*dst, v);
+        }
+    }
+}
+
+fn scale_in_place<T: Scalar>(beta: T, c: &mut MatMut<'_, T>) {
+    if beta == T::ONE {
+        return;
+    }
+    for i in 0..c.rows() {
+        for v in c.row_mut(i) {
+            *v = if beta == T::ZERO { T::ZERO } else { beta * *v };
+        }
+    }
+}
+
+/// Convenience: allocate and return `C = A · B`.
+pub fn matmul<T: Scalar>(a: MatRef<'_, T>, b: MatRef<'_, T>) -> Mat<T> {
+    let mut c = Mat::zeros(a.rows(), b.cols());
+    gemm_st(T::ONE, a, b, T::ZERO, c.as_mut());
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive::matmul_naive;
+
+    fn rand_mat<T: Scalar>(rows: usize, cols: usize, seed: u64) -> Mat<T> {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+        Mat::from_fn(rows, cols, |_, _| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            T::from_f64(((state >> 32) as u32 as f64 / (1u64 << 31) as f64) - 1.0)
+        })
+    }
+
+    fn check_against_naive<T: Scalar>(m: usize, k: usize, n: usize, tol: f64) {
+        let a = rand_mat::<T>(m, k, 1);
+        let b = rand_mat::<T>(k, n, 2);
+        let got = matmul(a.as_ref(), b.as_ref());
+        let expect = matmul_naive(a.as_ref(), b.as_ref());
+        let err = got.rel_frobenius_error(&expect);
+        assert!(err < tol, "({m},{k},{n}): rel err {err}");
+    }
+
+    #[test]
+    fn matches_naive_small_shapes() {
+        for &(m, k, n) in &[(1, 1, 1), (2, 3, 4), (7, 7, 7), (8, 8, 8), (9, 17, 5)] {
+            check_against_naive::<f32>(m, k, n, 1e-5);
+            check_against_naive::<f64>(m, k, n, 1e-13);
+        }
+    }
+
+    #[test]
+    fn matches_naive_across_block_boundaries() {
+        // Sizes straddling MC/KC/NC and MR/NR edges.
+        for &(m, k, n) in &[(129, 257, 63), (130, 40, 1025), (255, 300, 17), (64, 512, 64)] {
+            check_against_naive::<f32>(m, k, n, 1e-4);
+        }
+        check_against_naive::<f64>(129, 257, 63, 1e-12);
+    }
+
+    #[test]
+    fn alpha_beta_semantics() {
+        let a = rand_mat::<f64>(20, 30, 3);
+        let b = rand_mat::<f64>(30, 10, 4);
+        let c0 = rand_mat::<f64>(20, 10, 5);
+        let mut c = c0.clone();
+        gemm_st(2.0, a.as_ref(), b.as_ref(), -1.0, c.as_mut());
+        let ab = matmul_naive(a.as_ref(), b.as_ref());
+        for i in 0..20 {
+            for j in 0..10 {
+                let expect = 2.0 * ab.at(i, j) - c0.at(i, j);
+                assert!((c.at(i, j) - expect).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn beta_one_accumulates() {
+        let a = rand_mat::<f32>(16, 16, 6);
+        let b = rand_mat::<f32>(16, 16, 7);
+        let mut c = Mat::<f32>::zeros(16, 16);
+        gemm_st(1.0, a.as_ref(), b.as_ref(), 0.0, c.as_mut());
+        gemm_st(1.0, a.as_ref(), b.as_ref(), 1.0, c.as_mut());
+        let ab = matmul_naive(a.as_ref(), b.as_ref());
+        for i in 0..16 {
+            for j in 0..16 {
+                assert!((c.at(i, j) - 2.0 * ab.at(i, j)).abs() < 1e-3);
+            }
+        }
+    }
+
+    #[test]
+    fn k_zero_only_scales() {
+        let a = Mat::<f64>::zeros(4, 0);
+        let b = Mat::<f64>::zeros(0, 4);
+        let mut c = Mat::from_fn(4, 4, |i, j| (i + j) as f64);
+        let orig = c.clone();
+        gemm_st(1.0, a.as_ref(), b.as_ref(), 0.5, c.as_mut());
+        for i in 0..4 {
+            for j in 0..4 {
+                assert_eq!(c.at(i, j), 0.5 * orig.at(i, j));
+            }
+        }
+    }
+
+    #[test]
+    fn operates_on_strided_subviews() {
+        // Multiply quadrants of larger matrices: exercises rs ≠ cols.
+        let big_a = rand_mat::<f64>(64, 64, 8);
+        let big_b = rand_mat::<f64>(64, 64, 9);
+        let a = big_a.as_ref().subview(16, 16, 32, 32);
+        let b = big_b.as_ref().subview(0, 32, 32, 32);
+        let got = matmul(a, b);
+        let expect = matmul_naive(a, b);
+        assert!(got.rel_frobenius_error(&expect) < 1e-12);
+    }
+
+    #[test]
+    fn writes_into_strided_subview() {
+        let a = rand_mat::<f64>(8, 8, 10);
+        let b = rand_mat::<f64>(8, 8, 11);
+        let mut big_c = Mat::<f64>::zeros(16, 16);
+        gemm_st(
+            1.0,
+            a.as_ref(),
+            b.as_ref(),
+            0.0,
+            big_c.as_mut().into_subview(4, 4, 8, 8),
+        );
+        let expect = matmul_naive(a.as_ref(), b.as_ref());
+        for i in 0..8 {
+            for j in 0..8 {
+                assert!((big_c.at(4 + i, 4 + j) - expect.at(i, j)).abs() < 1e-12);
+            }
+        }
+        // Surroundings untouched.
+        assert_eq!(big_c.at(0, 0), 0.0);
+        assert_eq!(big_c.at(15, 15), 0.0);
+    }
+}

@@ -1,0 +1,65 @@
+//! # apa-gemm
+//!
+//! A from-scratch, pure-Rust classical GEMM substrate: packed, cache-blocked,
+//! register-tiled and row-parallel. In the reproduction of the ICPP'21 APA
+//! paper it plays the role Intel MKL plays in the original: the highly
+//! efficient `gemm` leaf that both the classical baseline *and* the APA
+//! algorithms' sub-multiplications call into.
+//!
+//! Components:
+//!
+//! * [`matrix`] — owned matrices plus strided, zero-copy sub-block views
+//!   with safe disjoint splitting;
+//! * [`scalar`] — the `f32`/`f64` abstraction (single precision for all
+//!   experiments, double for references, matching the paper);
+//! * [`pack`] / [`microkernel`] / [`blocked`] — the BLIS-style kernel
+//!   stack, single-threaded;
+//! * [`parallel`] — row-parallel multithreaded GEMM over cached rayon
+//!   pools ([`pool`]);
+//! * [`add`] — fused "write-once" linear-combination kernels, the matrix
+//!   additions of the APA framework;
+//! * [`naive`] — triple-loop oracles for testing and f64 references.
+//!
+//! ```
+//! use apa_gemm::{gemm_st, Mat};
+//! let a = Mat::<f32>::from_fn(64, 48, |i, j| (i + j) as f32 * 0.01);
+//! let b = Mat::<f32>::from_fn(48, 32, |i, j| (i as f32 - j as f32) * 0.01);
+//! let mut c = Mat::<f32>::zeros(64, 32);
+//! gemm_st(1.0, a.as_ref(), b.as_ref(), 0.0, c.as_mut());
+//! assert!(c.at(0, 0).is_finite());
+//! ```
+
+pub mod add;
+pub mod blocked;
+pub mod matrix;
+pub mod microkernel;
+pub mod naive;
+pub mod pack;
+pub mod parallel;
+pub mod pool;
+pub mod scalar;
+pub mod transpose;
+
+pub use add::{combine, combine_axpy, combine_par};
+pub use blocked::{gemm_st, matmul, BlockSizes, Scratch};
+pub use matrix::{Mat, MatMut, MatRef};
+pub use naive::{matmul_naive, matmul_naive_f64};
+pub use parallel::{gemm, matmul_par};
+pub use pool::{pool, Par};
+pub use scalar::Scalar;
+pub use transpose::{gemm_op, transpose, transpose_into, Op};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn microkernel_tile_shapes_match_scalar_consts() {
+        // The dispatch in `microkernel` hard-codes the monomorphizations;
+        // keep them in lockstep with the Scalar consts.
+        assert_eq!((f32::MR, f32::NR), (8, 8));
+        assert_eq!((f64::MR, f64::NR), (4, 8));
+        assert!(f32::MR * f32::NR <= 64, "ragged-edge scratch tile budget");
+        assert!(f64::MR * f64::NR <= 64, "ragged-edge scratch tile budget");
+    }
+}

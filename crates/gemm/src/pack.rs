@@ -1,0 +1,143 @@
+//! Panel packing for the blocked GEMM (BLIS-style).
+//!
+//! The microkernel streams through *packed* panels: `A` blocks are
+//! rearranged into MR-row slivers stored k-major (`ap[p·MR + i]`), `B`
+//! blocks into NR-column slivers (`bp[p·NR + j]`). Ragged edges are
+//! zero-padded so the kernel never branches on tile size.
+
+use crate::matrix::MatRef;
+use crate::scalar::Scalar;
+
+/// Pack an `mc × kc` block of `A` into MR-row slivers.
+///
+/// Output layout: sliver `s` (rows `s·MR .. s·MR+MR`, zero-padded past
+/// `mc`) occupies `kc·MR` consecutive elements; within a sliver the layout
+/// is k-major: element `(i, p)` is at `p·MR + i`.
+pub fn pack_a<T: Scalar>(a: MatRef<'_, T>, buf: &mut Vec<T>) {
+    let (mc, kc) = (a.rows(), a.cols());
+    let mr = T::MR;
+    let slivers = mc.div_ceil(mr);
+    buf.clear();
+    buf.resize(slivers * kc * mr, T::ZERO);
+    for s in 0..slivers {
+        let base = s * kc * mr;
+        let i0 = s * mr;
+        let rows = mr.min(mc - i0);
+        for i in 0..rows {
+            let arow = a.row(i0 + i);
+            for (p, &v) in arow.iter().enumerate() {
+                buf[base + p * mr + i] = v;
+            }
+        }
+    }
+}
+
+/// Pack a `kc × nc` block of `B` into NR-column slivers.
+///
+/// Output layout: sliver `s` (columns `s·NR .. s·NR+NR`, zero-padded past
+/// `nc`) occupies `kc·NR` consecutive elements; within a sliver element
+/// `(p, j)` is at `p·NR + j`.
+pub fn pack_b<T: Scalar>(b: MatRef<'_, T>, buf: &mut Vec<T>) {
+    let (kc, nc) = (b.rows(), b.cols());
+    let nr = T::NR;
+    let slivers = nc.div_ceil(nr);
+    buf.clear();
+    buf.resize(slivers * kc * nr, T::ZERO);
+    for p in 0..kc {
+        let brow = b.row(p);
+        for s in 0..slivers {
+            let base = s * kc * nr + p * nr;
+            let j0 = s * nr;
+            let cols = nr.min(nc - j0);
+            buf[base..base + cols].copy_from_slice(&brow[j0..j0 + cols]);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matrix::Mat;
+
+    #[test]
+    fn pack_a_layout_exact_multiple() {
+        // mc = MR, kc = 2 → single sliver, k-major.
+        let mr = f32::MR;
+        let a = Mat::<f32>::from_fn(mr, 2, |i, j| (i * 2 + j) as f32);
+        let mut buf = Vec::new();
+        pack_a(a.as_ref(), &mut buf);
+        assert_eq!(buf.len(), mr * 2);
+        for i in 0..mr {
+            assert_eq!(buf[i], a.at(i, 0)); // p = 0 sliver column
+            assert_eq!(buf[mr + i], a.at(i, 1)); // p = 1
+        }
+    }
+
+    #[test]
+    fn pack_a_zero_pads_ragged_rows() {
+        let mr = f32::MR;
+        let a = Mat::<f32>::from_fn(mr + 3, 4, |i, j| (i * 10 + j) as f32 + 1.0);
+        let mut buf = Vec::new();
+        pack_a(a.as_ref(), &mut buf);
+        assert_eq!(buf.len(), 2 * 4 * mr);
+        // Second sliver has 3 valid rows; the rest are zeros.
+        for p in 0..4 {
+            for i in 0..mr {
+                let v = buf[4 * mr + p * mr + i];
+                if i < 3 {
+                    assert_eq!(v, a.at(mr + i, p));
+                } else {
+                    assert_eq!(v, 0.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pack_b_layout_and_padding() {
+        let nr = f32::NR;
+        let b = Mat::<f32>::from_fn(3, nr + 2, |i, j| (i * 100 + j) as f32);
+        let mut buf = Vec::new();
+        pack_b(b.as_ref(), &mut buf);
+        assert_eq!(buf.len(), 2 * 3 * nr);
+        for p in 0..3 {
+            for j in 0..nr {
+                assert_eq!(buf[p * nr + j], b.at(p, j));
+            }
+            for j in 0..nr {
+                let v = buf[3 * nr + p * nr + j];
+                if j < 2 {
+                    assert_eq!(v, b.at(p, nr + j));
+                } else {
+                    assert_eq!(v, 0.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pack_roundtrip_via_kernel_contract() {
+        // Inner-product check: packed dot products must equal A·B entries.
+        let mr = f64::MR;
+        let nr = f64::NR;
+        let kc = 5;
+        let a = Mat::<f64>::from_fn(mr, kc, |i, j| (i + 1) as f64 * (j + 1) as f64);
+        let b = Mat::<f64>::from_fn(kc, nr, |i, j| (i as f64) - (j as f64));
+        let (mut ab, mut bb) = (Vec::new(), Vec::new());
+        pack_a(a.as_ref(), &mut ab);
+        pack_b(b.as_ref(), &mut bb);
+        for i in 0..mr {
+            for j in 0..nr {
+                let mut s = 0.0;
+                for p in 0..kc {
+                    s += ab[p * mr + i] * bb[p * nr + j];
+                }
+                let mut expect = 0.0;
+                for p in 0..kc {
+                    expect += a.at(i, p) * b.at(p, j);
+                }
+                assert!((s - expect).abs() < 1e-12);
+            }
+        }
+    }
+}

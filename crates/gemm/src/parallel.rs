@@ -1,0 +1,141 @@
+//! Multithreaded GEMM: row-parallel decomposition over a shared pool.
+//!
+//! Each worker computes a contiguous stripe of `C` (its stripe of `A` times
+//! all of `B`) with the single-threaded blocked kernel. This mirrors the
+//! way multithreaded BLAS scales — near-linearly for large matrices, poorly
+//! for small ones (each stripe falls off the blocked kernel's efficiency
+//! plateau) — which is precisely the behaviour the paper's §3.4 analysis
+//! of the hybrid strategy leans on.
+
+use crate::blocked::gemm_st;
+use crate::matrix::{Mat, MatMut, MatRef};
+use crate::pool::{pool, Par};
+use crate::scalar::Scalar;
+
+/// `C ← α·A·B + β·C` with the requested parallelism.
+pub fn gemm<T: Scalar>(
+    alpha: T,
+    a: MatRef<'_, T>,
+    b: MatRef<'_, T>,
+    beta: T,
+    c: MatMut<'_, T>,
+    par: Par,
+) {
+    match par.normalize() {
+        Par::Seq => gemm_st(alpha, a, b, beta, c),
+        Par::Threads(t) => gemm_mt(alpha, a, b, beta, c, t),
+    }
+}
+
+fn gemm_mt<T: Scalar>(
+    alpha: T,
+    a: MatRef<'_, T>,
+    b: MatRef<'_, T>,
+    beta: T,
+    c: MatMut<'_, T>,
+    threads: usize,
+) {
+    let m = a.rows();
+    assert_eq!(m, c.rows(), "C row count mismatch");
+    if m == 0 || c.cols() == 0 {
+        return;
+    }
+    // Stripe height: balanced across workers, rounded up to the register
+    // tile so stripes don't split microkernel rows.
+    let mr = T::MR;
+    let stripe = m.div_ceil(threads).div_ceil(mr).max(1) * mr;
+    let mut jobs: Vec<(MatRef<'_, T>, MatMut<'_, T>)> = Vec::new();
+    let mut c_rest = c;
+    let mut r0 = 0;
+    while r0 < m {
+        let rows = stripe.min(m - r0);
+        let (head, tail) = c_rest.split_at_row(rows);
+        jobs.push((a.subview(r0, 0, rows, a.cols()), head));
+        c_rest = tail;
+        r0 += rows;
+    }
+
+    pool(threads).scope(|s| {
+        for (a_stripe, c_stripe) in jobs {
+            s.spawn(move |_| {
+                gemm_st(alpha, a_stripe, b, beta, c_stripe);
+            });
+        }
+    });
+}
+
+/// Convenience: allocate and return `C = A · B` with given parallelism.
+pub fn matmul_par<T: Scalar>(a: MatRef<'_, T>, b: MatRef<'_, T>, par: Par) -> Mat<T> {
+    let mut c = Mat::zeros(a.rows(), b.cols());
+    gemm(T::ONE, a, b, T::ZERO, c.as_mut(), par);
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive::matmul_naive;
+
+    fn rand_mat<T: Scalar>(rows: usize, cols: usize, seed: u64) -> Mat<T> {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+        Mat::from_fn(rows, cols, |_, _| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            T::from_f64(((state >> 32) as u32 as f64 / (1u64 << 31) as f64) - 1.0)
+        })
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let a = rand_mat::<f32>(97, 53, 1);
+        let b = rand_mat::<f32>(53, 41, 2);
+        let seq = matmul_par(a.as_ref(), b.as_ref(), Par::Seq);
+        for threads in [2, 3, 4] {
+            let par = matmul_par(a.as_ref(), b.as_ref(), Par::Threads(threads));
+            assert!(
+                par.rel_frobenius_error(&seq) < 1e-6,
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_matches_naive_f64() {
+        let a = rand_mat::<f64>(64, 80, 3);
+        let b = rand_mat::<f64>(80, 48, 4);
+        let got = matmul_par(a.as_ref(), b.as_ref(), Par::Threads(4));
+        let expect = matmul_naive(a.as_ref(), b.as_ref());
+        assert!(got.rel_frobenius_error(&expect) < 1e-12);
+    }
+
+    #[test]
+    fn beta_accumulation_under_parallelism() {
+        let a = rand_mat::<f64>(32, 32, 5);
+        let b = rand_mat::<f64>(32, 32, 6);
+        let c0 = rand_mat::<f64>(32, 32, 7);
+        let mut c = c0.clone();
+        gemm(1.0, a.as_ref(), b.as_ref(), 1.0, c.as_mut(), Par::Threads(3));
+        let ab = matmul_naive(a.as_ref(), b.as_ref());
+        for i in 0..32 {
+            for j in 0..32 {
+                assert!((c.at(i, j) - (ab.at(i, j) + c0.at(i, j))).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn more_threads_than_rows() {
+        let a = rand_mat::<f32>(3, 10, 8);
+        let b = rand_mat::<f32>(10, 5, 9);
+        let got = matmul_par(a.as_ref(), b.as_ref(), Par::Threads(8));
+        let expect = matmul_naive(a.as_ref(), b.as_ref());
+        assert!(got.rel_frobenius_error(&expect) < 1e-6);
+    }
+
+    #[test]
+    fn empty_matrices_are_noops() {
+        let a = Mat::<f32>::zeros(0, 5);
+        let b = Mat::<f32>::zeros(5, 4);
+        let mut c = Mat::<f32>::zeros(0, 4);
+        gemm(1.0, a.as_ref(), b.as_ref(), 0.0, c.as_mut(), Par::Threads(2));
+    }
+}

@@ -1,0 +1,88 @@
+//! Shared rayon thread pools, one per requested width.
+//!
+//! The paper's experiments pin thread counts (1, 6, 12); the APA hybrid
+//! strategy additionally needs "p workers each running sequential gemm"
+//! and "all p workers inside one gemm" *on the same pool*. Pools are
+//! created lazily and cached for the life of the process.
+
+use parking_lot::Mutex;
+use rayon::{ThreadPool, ThreadPoolBuilder};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+static POOLS: Mutex<Option<HashMap<usize, Arc<ThreadPool>>>> = Mutex::new(None);
+
+/// A cached pool with exactly `threads` workers (≥ 1).
+pub fn pool(threads: usize) -> Arc<ThreadPool> {
+    let threads = threads.max(1);
+    let mut guard = POOLS.lock();
+    let map = guard.get_or_insert_with(HashMap::new);
+    map.entry(threads)
+        .or_insert_with(|| {
+            Arc::new(
+                ThreadPoolBuilder::new()
+                    .num_threads(threads)
+                    .thread_name(move |i| format!("apa-gemm-{threads}-{i}"))
+                    .build()
+                    .expect("rayon pool construction cannot fail with valid size"),
+            )
+        })
+        .clone()
+}
+
+/// Degree of parallelism for a kernel invocation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Par {
+    /// Run on the calling thread.
+    Seq,
+    /// Run on the cached pool with this many workers.
+    Threads(usize),
+}
+
+impl Par {
+    /// Worker count (1 for `Seq`).
+    pub fn threads(self) -> usize {
+        match self {
+            Par::Seq => 1,
+            Par::Threads(t) => t.max(1),
+        }
+    }
+
+    /// Normalize: `Threads(0|1)` behaves as `Seq`.
+    pub fn normalize(self) -> Par {
+        match self {
+            Par::Threads(t) if t <= 1 => Par::Seq,
+            other => other,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pool_is_cached_and_sized() {
+        let p1 = pool(3);
+        let p2 = pool(3);
+        assert!(Arc::ptr_eq(&p1, &p2));
+        assert_eq!(p1.current_num_threads(), 3);
+        assert_eq!(pool(0).current_num_threads(), 1);
+    }
+
+    #[test]
+    fn par_normalization() {
+        assert_eq!(Par::Threads(1).normalize(), Par::Seq);
+        assert_eq!(Par::Threads(0).normalize(), Par::Seq);
+        assert_eq!(Par::Threads(4).normalize(), Par::Threads(4));
+        assert_eq!(Par::Seq.threads(), 1);
+        assert_eq!(Par::Threads(6).threads(), 6);
+    }
+
+    #[test]
+    fn pool_executes_work() {
+        let p = pool(2);
+        let sum: usize = p.install(|| (0..100).sum());
+        assert_eq!(sum, 4950);
+    }
+}

@@ -1,0 +1,354 @@
+//! The top-level convenience API: a configured APA multiplier.
+//!
+//! ```
+//! use apa_core::catalog;
+//! use apa_matmul::{ApaMatmul, Strategy};
+//! use apa_gemm::Mat;
+//!
+//! let mm = ApaMatmul::new(catalog::fast444())
+//!     .steps(1)
+//!     .strategy(Strategy::Hybrid)
+//!     .threads(4);
+//! let a = Mat::<f32>::from_fn(64, 64, |i, j| (i + j) as f32);
+//! let b = Mat::<f32>::from_fn(64, 64, |i, j| (i as f32) - (j as f32));
+//! let c = mm.multiply(a.as_ref(), b.as_ref());
+//! assert_eq!(c.rows(), 64);
+//! ```
+
+use crate::peel::{fast_matmul_any_into, PeelMode};
+use crate::plan::ExecPlan;
+use crate::schedule::Strategy;
+use apa_core::{brent, error_model, BilinearAlgorithm};
+use apa_gemm::{Mat, MatMut, MatRef, Scalar};
+
+/// A bilinear rule bound to an execution configuration (λ, recursion depth,
+/// parallel strategy, thread count, peel mode). Cheap to clone; the plan is
+/// compiled once per λ change.
+#[derive(Clone, Debug)]
+pub struct ApaMatmul {
+    alg: BilinearAlgorithm,
+    plan: ExecPlan,
+    steps: u32,
+    strategy: Strategy,
+    threads: usize,
+    peel: PeelMode,
+    /// σ from validation (None = exact rule); cached for λ re-derivation.
+    sigma: Option<u32>,
+    /// Set once the user pins λ via [`Self::lambda`]; suppresses automatic
+    /// re-derivation when `steps` changes.
+    explicit_lambda: bool,
+}
+
+impl ApaMatmul {
+    /// Wrap an algorithm with defaults: λ at the theoretical single-
+    /// precision optimum (0 for exact rules), one recursive step, hybrid
+    /// strategy, one thread, dynamic peeling.
+    pub fn new(alg: BilinearAlgorithm) -> Self {
+        let sigma = match brent::validate(&alg) {
+            Ok(report) => report.sigma,
+            Err(e) => panic!("invalid algorithm {}: {e}", alg.name),
+        };
+        let lambda = Self::default_lambda(&alg, sigma, 1);
+        let plan = ExecPlan::compile(&alg, lambda);
+        Self {
+            alg,
+            plan,
+            steps: 1,
+            strategy: Strategy::Hybrid,
+            threads: 1,
+            peel: PeelMode::Dynamic,
+            sigma,
+            explicit_lambda: false,
+        }
+    }
+
+    fn default_lambda(alg: &BilinearAlgorithm, sigma: Option<u32>, steps: u32) -> f64 {
+        match sigma {
+            Some(sigma) => error_model::optimal_lambda(
+                sigma,
+                alg.phi(),
+                error_model::D_SINGLE,
+                steps.max(1),
+            ),
+            None => 0.0,
+        }
+    }
+
+    /// Override λ (recompiles the plan). A pinned λ is kept verbatim even
+    /// if the step count changes afterwards.
+    pub fn lambda(mut self, lambda: f64) -> Self {
+        self.plan = ExecPlan::compile(&self.alg, lambda);
+        self.explicit_lambda = true;
+        self
+    }
+
+    /// Set recursion depth (the paper uses 1 everywhere). Unless λ was
+    /// pinned with [`Self::lambda`], the plan is recompiled at the optimal
+    /// λ for the new depth — deeper recursion multiplies the roundoff
+    /// parameter (error ∝ 2^(−dσ/(σ+sφ)), §2.3), so the 1-step optimum
+    /// would amplify f32 roundoff catastrophically at s ≥ 2.
+    pub fn steps(mut self, steps: u32) -> Self {
+        self.steps = steps;
+        if !self.explicit_lambda {
+            let lambda = Self::default_lambda(&self.alg, self.sigma, steps);
+            self.plan = ExecPlan::compile(&self.alg, lambda);
+        }
+        self
+    }
+
+    pub fn strategy(mut self, strategy: Strategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    pub fn peel_mode(mut self, peel: PeelMode) -> Self {
+        self.peel = peel;
+        self
+    }
+
+    pub fn algorithm(&self) -> &BilinearAlgorithm {
+        &self.alg
+    }
+
+    pub fn current_lambda(&self) -> f64 {
+        self.plan.lambda
+    }
+
+    pub fn current_threads(&self) -> usize {
+        self.threads
+    }
+
+    pub fn current_strategy(&self) -> Strategy {
+        self.strategy
+    }
+
+    pub fn plan(&self) -> &ExecPlan {
+        &self.plan
+    }
+
+    /// `C ← Â·B̂` into caller-provided storage (any shapes with matching
+    /// inner dimension).
+    pub fn multiply_into<T: Scalar>(&self, a: MatRef<'_, T>, b: MatRef<'_, T>, c: MatMut<'_, T>) {
+        fast_matmul_any_into(
+            &self.plan,
+            a,
+            b,
+            c,
+            self.steps,
+            self.strategy,
+            self.threads,
+            self.peel,
+        );
+    }
+
+    /// Allocate and return `Ĉ = Â·B̂`.
+    pub fn multiply<T: Scalar>(&self, a: MatRef<'_, T>, b: MatRef<'_, T>) -> Mat<T> {
+        let mut c = Mat::zeros(a.rows(), b.cols());
+        self.multiply_into(a, b, c.as_mut());
+        c
+    }
+}
+
+/// A non-stationary multiplier: a *chain* of algorithms, one per recursion
+/// level (the paper's §6 extension — "a combination of two or three
+/// different algorithms across recursive steps"). Each level gets its own
+/// λ at the theoretical optimum for the chain length.
+#[derive(Clone, Debug)]
+pub struct ApaChain {
+    plans: Vec<ExecPlan>,
+    strategy: Strategy,
+    threads: usize,
+    peel: PeelMode,
+}
+
+impl ApaChain {
+    /// Build from the level-ordered algorithms (`algs[0]` splits the top).
+    pub fn new(algs: Vec<BilinearAlgorithm>) -> Self {
+        let steps = algs.len().max(1) as u32;
+        let plans = algs
+            .into_iter()
+            .map(|alg| {
+                let sigma = brent::validate(&alg)
+                    .unwrap_or_else(|e| panic!("invalid algorithm {}: {e}", alg.name))
+                    .sigma;
+                let lambda = ApaMatmul::default_lambda(&alg, sigma, steps);
+                ExecPlan::compile(&alg, lambda)
+            })
+            .collect();
+        Self {
+            plans,
+            strategy: Strategy::Hybrid,
+            threads: 1,
+            peel: PeelMode::Dynamic,
+        }
+    }
+
+    pub fn strategy(mut self, strategy: Strategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    pub fn peel_mode(mut self, peel: PeelMode) -> Self {
+        self.peel = peel;
+        self
+    }
+
+    /// Level count.
+    pub fn depth(&self) -> usize {
+        self.plans.len()
+    }
+
+    pub fn multiply_into<T: Scalar>(&self, a: MatRef<'_, T>, b: MatRef<'_, T>, c: MatMut<'_, T>) {
+        let chain: Vec<&ExecPlan> = self.plans.iter().collect();
+        crate::peel::fast_matmul_chain_any_into(
+            &chain,
+            a,
+            b,
+            c,
+            self.strategy,
+            self.threads,
+            self.peel,
+        );
+    }
+
+    pub fn multiply<T: Scalar>(&self, a: MatRef<'_, T>, b: MatRef<'_, T>) -> Mat<T> {
+        let mut c = Mat::zeros(a.rows(), b.cols());
+        self.multiply_into(a, b, c.as_mut());
+        c
+    }
+}
+
+/// A classical-gemm multiplier with the same calling surface, for
+/// baselines — mirrors the paper's "custom classical operator that directly
+/// calls gemm".
+#[derive(Clone, Copy, Debug)]
+pub struct ClassicalMatmul {
+    threads: usize,
+}
+
+impl ClassicalMatmul {
+    pub fn new() -> Self {
+        Self { threads: 1 }
+    }
+
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    pub fn multiply_into<T: Scalar>(&self, a: MatRef<'_, T>, b: MatRef<'_, T>, c: MatMut<'_, T>) {
+        let par = if self.threads > 1 {
+            apa_gemm::Par::Threads(self.threads)
+        } else {
+            apa_gemm::Par::Seq
+        };
+        apa_gemm::gemm(T::ONE, a, b, T::ZERO, c, par);
+    }
+
+    pub fn multiply<T: Scalar>(&self, a: MatRef<'_, T>, b: MatRef<'_, T>) -> Mat<T> {
+        let mut c = Mat::zeros(a.rows(), b.cols());
+        self.multiply_into(a, b, c.as_mut());
+        c
+    }
+}
+
+impl Default for ClassicalMatmul {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apa_core::catalog;
+    use apa_gemm::matmul_naive;
+
+    fn rand_mat(rows: usize, cols: usize, seed: u64) -> Mat<f32> {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+        Mat::from_fn(rows, cols, |_, _| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (((state >> 32) as u32 as f64 / (1u64 << 31) as f64) - 1.0) as f32
+        })
+    }
+
+    #[test]
+    fn default_lambda_is_theoretical_optimum() {
+        let mm = ApaMatmul::new(catalog::bini322());
+        assert!((mm.current_lambda() - 2.0_f64.powf(-11.5)).abs() < 1e-9);
+        let exact = ApaMatmul::new(catalog::strassen());
+        assert_eq!(exact.current_lambda(), 0.0);
+    }
+
+    #[test]
+    fn multiply_matches_reference() {
+        let a = rand_mat(37, 29, 1);
+        let b = rand_mat(29, 33, 2);
+        let expect = matmul_naive(a.as_ref(), b.as_ref());
+        for name in ["strassen", "bini322", "fast444", "apa332"] {
+            let mm = ApaMatmul::new(catalog::by_name(name).unwrap());
+            let got = mm.multiply(a.as_ref(), b.as_ref());
+            let err = got.rel_frobenius_error(&expect);
+            assert!(err < 5e-3, "{name}: err {err}");
+        }
+    }
+
+    #[test]
+    fn classical_wrapper_is_exact() {
+        let a = rand_mat(20, 20, 3);
+        let b = rand_mat(20, 20, 4);
+        let got = ClassicalMatmul::new().multiply(a.as_ref(), b.as_ref());
+        let expect = matmul_naive(a.as_ref(), b.as_ref());
+        assert!(got.rel_frobenius_error(&expect) < 1e-5);
+    }
+
+    #[test]
+    fn builder_settings_stick() {
+        let mm = ApaMatmul::new(catalog::fast444())
+            .steps(2)
+            .strategy(Strategy::Dfs)
+            .threads(6)
+            .peel_mode(PeelMode::Pad)
+            .lambda(1e-4);
+        assert_eq!(mm.current_threads(), 6);
+        assert_eq!(mm.current_strategy(), Strategy::Dfs);
+        assert_eq!(mm.current_lambda(), 1e-4);
+    }
+
+    #[test]
+    fn chain_multiplier_is_accurate() {
+        let chain = ApaChain::new(vec![catalog::bini322(), catalog::strassen()]);
+        assert_eq!(chain.depth(), 2);
+        let a = rand_mat(36, 28, 5);
+        let b = rand_mat(28, 24, 6);
+        let got = chain.multiply(a.as_ref(), b.as_ref());
+        let expect = matmul_naive(a.as_ref(), b.as_ref());
+        let err = got.rel_frobenius_error(&expect);
+        // two-level chain with φ = 1 at level 0: bound 2^(−23/3) ≈ 5e-3.
+        assert!(err < 2e-2, "chain err {err}");
+    }
+
+    #[test]
+    fn doc_example_compiles_and_runs() {
+        let mm = ApaMatmul::new(catalog::fast444())
+            .strategy(Strategy::Hybrid)
+            .threads(2);
+        let a = Mat::<f32>::from_fn(64, 64, |i, j| (i + j) as f32 * 0.01);
+        let b = Mat::<f32>::from_fn(64, 64, |i, j| (i as f32 - j as f32) * 0.01);
+        let c = mm.multiply(a.as_ref(), b.as_ref());
+        let expect = matmul_naive(a.as_ref(), b.as_ref());
+        assert!(c.rel_frobenius_error(&expect) < 1e-4);
+    }
+}

@@ -1,0 +1,150 @@
+//! Algorithm auto-selection: micro-time the catalog at the caller's shape
+//! and thread count and return the fastest configured multiplier.
+//!
+//! The paper's Fig. 3/6 message is that the best algorithm depends on the
+//! dimension, the thread count and whether the sub-multiplication count
+//! divides the threads; an end user should not have to read the figures —
+//! this module reruns the relevant race at their actual operating point.
+
+use crate::apamm::{ApaMatmul, ClassicalMatmul};
+use crate::schedule::Strategy;
+use apa_core::{catalog, BilinearAlgorithm};
+use apa_gemm::Mat;
+use std::time::Instant;
+
+/// One candidate's measurement.
+#[derive(Clone, Debug)]
+pub struct Candidate {
+    /// Algorithm name, or "classical".
+    pub name: String,
+    pub seconds: f64,
+    /// Relative to the classical baseline (< 1.0 is faster).
+    pub relative: f64,
+}
+
+/// Result of an autotuning race.
+#[derive(Debug)]
+pub struct TuneOutcome {
+    /// The winner, configured and ready to use; `None` when classical won.
+    pub best: Option<ApaMatmul>,
+    pub best_name: String,
+    /// All measurements, fastest first.
+    pub candidates: Vec<Candidate>,
+}
+
+/// Probe dimension: scale the race down to `probe_n` (capped at the real
+/// `n`) so tuning costs a few gemms, not a full-size multiply per entry.
+fn probe_dim(n: usize, probe_n: usize) -> usize {
+    n.min(probe_n)
+}
+
+/// Race the paper lineup (plus classical) at shape `n×n×n` with the given
+/// thread count; `probe_n` bounds the tuning cost.
+pub fn autotune(n: usize, threads: usize, probe_n: usize) -> TuneOutcome {
+    autotune_with(catalog::paper_lineup(), n, threads, probe_n)
+}
+
+/// [`autotune`] over an explicit candidate list.
+pub fn autotune_with(
+    algorithms: Vec<BilinearAlgorithm>,
+    n: usize,
+    threads: usize,
+    probe_n: usize,
+) -> TuneOutcome {
+    let d = probe_dim(n, probe_n);
+    let a = Mat::<f32>::from_fn(d, d, |i, j| ((i * 7 + j) % 13) as f32 * 0.077 - 0.5);
+    let b = Mat::<f32>::from_fn(d, d, |i, j| ((i + j * 3) % 11) as f32 * 0.09 - 0.45);
+    let mut c = Mat::<f32>::zeros(d, d);
+
+    let time2 = |f: &mut dyn FnMut()| {
+        f(); // warmup
+        let t0 = Instant::now();
+        f();
+        let first = t0.elapsed().as_secs_f64();
+        let t1 = Instant::now();
+        f();
+        first.min(t1.elapsed().as_secs_f64())
+    };
+
+    let classical = ClassicalMatmul::new().threads(threads);
+    let t_classical = time2(&mut || {
+        classical.multiply_into(a.as_ref(), b.as_ref(), c.as_mut());
+    });
+
+    let mut candidates = vec![Candidate {
+        name: "classical".into(),
+        seconds: t_classical,
+        relative: 1.0,
+    }];
+    let mut best: Option<(f64, ApaMatmul)> = None;
+    for alg in algorithms {
+        let name = alg.name.clone();
+        let mm = ApaMatmul::new(alg)
+            .strategy(Strategy::Hybrid)
+            .threads(threads);
+        let t = time2(&mut || {
+            mm.multiply_into(a.as_ref(), b.as_ref(), c.as_mut());
+        });
+        candidates.push(Candidate {
+            name,
+            seconds: t,
+            relative: t / t_classical,
+        });
+        if t < t_classical && best.as_ref().map(|(bt, _)| t < *bt).unwrap_or(true) {
+            best = Some((t, mm));
+        }
+    }
+    candidates.sort_by(|x, y| x.seconds.total_cmp(&y.seconds));
+    let best_name = candidates[0].name.clone();
+    TuneOutcome {
+        best: best.map(|(_, mm)| mm),
+        best_name,
+        candidates,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apa_gemm::matmul_naive;
+
+    #[test]
+    fn race_produces_ordered_candidates() {
+        let outcome = autotune_with(
+            vec![catalog::strassen(), catalog::bini322()],
+            256,
+            1,
+            128,
+        );
+        assert_eq!(outcome.candidates.len(), 3);
+        for w in outcome.candidates.windows(2) {
+            assert!(w[0].seconds <= w[1].seconds, "not sorted");
+        }
+        assert_eq!(outcome.best_name, outcome.candidates[0].name);
+        // classical has relative exactly 1.0 by definition.
+        let classical = outcome
+            .candidates
+            .iter()
+            .find(|c| c.name == "classical")
+            .unwrap();
+        assert_eq!(classical.relative, 1.0);
+    }
+
+    #[test]
+    fn winner_multiplies_correctly_when_apa_wins() {
+        let outcome = autotune_with(vec![catalog::fast444()], 512, 1, 96);
+        if let Some(mm) = outcome.best {
+            let a = Mat::<f32>::from_fn(40, 40, |i, j| (i + j) as f32 * 0.01);
+            let b = Mat::<f32>::from_fn(40, 40, |i, j| (i as f32 - j as f32) * 0.01);
+            let got = mm.multiply(a.as_ref(), b.as_ref());
+            let expect = matmul_naive(a.as_ref(), b.as_ref());
+            assert!(got.rel_frobenius_error(&expect) < 1e-3);
+        }
+    }
+
+    #[test]
+    fn probe_dim_caps_at_n() {
+        assert_eq!(probe_dim(100, 512), 100);
+        assert_eq!(probe_dim(4096, 512), 512);
+    }
+}

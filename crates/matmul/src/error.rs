@@ -1,0 +1,122 @@
+//! Empirical error measurement (the paper's Fig. 1 metric).
+//!
+//! Relative Frobenius-norm error ‖C − Ĉ‖_F / ‖C‖_F, where Ĉ is the fast
+//! algorithm's single-precision result and C the classical double-precision
+//! reference — exactly the paper's §2.3 protocol.
+
+use crate::peel::{fast_matmul_any_into, PeelMode};
+use crate::plan::ExecPlan;
+use crate::schedule::Strategy;
+use apa_core::BilinearAlgorithm;
+use apa_gemm::{matmul, Mat};
+
+/// Deterministic uniform(-1, 1) matrix (paper: "uniform random inputs").
+pub fn uniform_mat_f32(rows: usize, cols: usize, seed: u64) -> Mat<f32> {
+    let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(0xD1B54A32D192ED03);
+    Mat::from_fn(rows, cols, |_, _| {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (((state >> 32) as u32 as f64 / (1u64 << 31) as f64) - 1.0) as f32
+    })
+}
+
+/// Run `alg` at `lambda` on random n×n f32 inputs and return the relative
+/// Frobenius error against the f64 classical reference.
+pub fn measure_error(alg: &BilinearAlgorithm, lambda: f64, n: usize, steps: u32, seed: u64) -> f64 {
+    let plan = ExecPlan::compile(alg, lambda);
+    let a = uniform_mat_f32(n, n, seed);
+    let b = uniform_mat_f32(n, n, seed.wrapping_add(1));
+
+    let mut c_hat = Mat::<f32>::zeros(n, n);
+    fast_matmul_any_into(
+        &plan,
+        a.as_ref(),
+        b.as_ref(),
+        c_hat.as_mut(),
+        steps,
+        Strategy::Seq,
+        1,
+        PeelMode::Dynamic,
+    );
+
+    // f64 classical reference (blocked kernel, double precision).
+    let a64 = Mat::<f64>::from_fn(n, n, |i, j| a.at(i, j) as f64);
+    let b64 = Mat::<f64>::from_fn(n, n, |i, j| b.at(i, j) as f64);
+    let c_ref = matmul(a64.as_ref(), b64.as_ref());
+
+    let mut num = 0.0f64;
+    let mut den = 0.0f64;
+    for i in 0..n {
+        for j in 0..n {
+            let d = c_hat.at(i, j) as f64 - c_ref.at(i, j);
+            num += d * d;
+            den += c_ref.at(i, j) * c_ref.at(i, j);
+        }
+    }
+    (num / den.max(f64::MIN_POSITIVE)).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apa_core::{catalog, error_model};
+
+    #[test]
+    fn classical_baseline_error_is_single_precision() {
+        // gemm f32 vs f64 reference on n=64: error near 2^-23·√n growth.
+        let alg = catalog::classical(apa_core::Dims::new(2, 2, 2));
+        let e = measure_error(&alg, 0.0, 64, 0, 7);
+        assert!(e > 1e-9 && e < 1e-5, "e = {e}");
+    }
+
+    #[test]
+    fn bini_error_near_table1_prediction() {
+        // Paper Table 1: ⟨3,2,2⟩ predicted error 3.5e-4 at the optimal λ.
+        let alg = catalog::bini322();
+        let lambda = error_model::optimal_lambda(1, 1, error_model::D_SINGLE, 1);
+        let e = measure_error(&alg, lambda, 60, 1, 11);
+        assert!(
+            e > 1e-6 && e < 3.5e-3,
+            "expected error within an order of the 3.5e-4 bound, got {e}"
+        );
+    }
+
+    #[test]
+    fn exact_fast_rules_stay_at_machine_precision() {
+        let e = measure_error(&catalog::fast444(), 0.0, 64, 1, 13);
+        assert!(e < 1e-5, "e = {e}");
+    }
+
+    #[test]
+    fn lambda_too_small_amplifies_roundoff() {
+        // λ far below optimal: the λ⁻¹ output scaling amplifies f32
+        // roundoff, so error should exceed the tuned-λ error.
+        let alg = catalog::bini322();
+        let tuned = measure_error(&alg, 2.0_f64.powf(-11.5), 60, 1, 17);
+        let tiny = measure_error(&alg, 2.0_f64.powi(-21), 60, 1, 17);
+        assert!(
+            tiny > tuned,
+            "roundoff regime should dominate: tuned {tuned}, tiny-λ {tiny}"
+        );
+    }
+
+    #[test]
+    fn lambda_too_large_amplifies_truncation() {
+        let alg = catalog::bini322();
+        let tuned = measure_error(&alg, 2.0_f64.powf(-11.5), 60, 1, 19);
+        let huge = measure_error(&alg, 2.0_f64.powi(-3), 60, 1, 19);
+        assert!(
+            huge > tuned * 10.0,
+            "approximation regime should dominate: tuned {tuned}, huge-λ {huge}"
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let alg = catalog::bini322();
+        let e1 = measure_error(&alg, 1e-3, 30, 1, 23);
+        let e2 = measure_error(&alg, 1e-3, 30, 1, 23);
+        assert_eq!(e1, e2);
+    }
+}

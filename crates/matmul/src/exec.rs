@@ -1,0 +1,438 @@
+//! The APA execution engine: runs a compiled [`ExecPlan`] on real matrices.
+//!
+//! One recursive step (the paper's regime):
+//!
+//! 1. the operands are partitioned into the rule's `m×k` / `k×n` grids of
+//!    zero-copy block views;
+//! 2. for each multiplication `t`, the operand combinations `S_t`/`T_t` are
+//!    formed with write-once [`combine`] kernels — unless the combination
+//!    is a singleton, in which case the block view is used directly and the
+//!    scalar folds into the gemm α;
+//! 3. `M_t = S_t · T_t` runs on the classical [`apa_gemm`] leaf (or
+//!    recursively on this engine for multi-step execution);
+//! 4. each output block of `Ĉ` is produced in a single write-once pass over
+//!    its contributing products.
+//!
+//! Parallelism follows [`Strategy`]: DFS (all-thread gemm per product), BFS
+//! (round-robin distribution), or the paper's Hybrid (q products per thread
+//! on single-threaded gemm, then the ℓ remainder products on all threads).
+
+use crate::plan::{Combo, ExecPlan};
+use crate::schedule::{hybrid_schedule, Strategy};
+use apa_gemm::{combine_par, gemm, pool, Mat, MatMut, MatRef, Par, Scalar};
+
+/// `C ← Â·B̂` by the compiled plan. Dimensions must be divisible by the
+/// rule's base dims (use [`crate::peel`] for arbitrary shapes).
+pub fn fast_matmul_into<T: Scalar>(
+    plan: &ExecPlan,
+    a: MatRef<'_, T>,
+    b: MatRef<'_, T>,
+    c: MatMut<'_, T>,
+    steps: u32,
+    strategy: Strategy,
+    threads: usize,
+) {
+    let chain: Vec<&ExecPlan> = (0..steps).map(|_| plan).collect();
+    fast_matmul_chain_into(&chain, a, b, c, strategy, threads);
+}
+
+/// Non-stationary execution (the paper's §6 extension): apply a *chain* of
+/// possibly different rules, one per recursion level — `chain[0]` splits
+/// the top level, `chain[1]` each sub-product, and so on. An empty chain
+/// (or an indivisible level) falls back to classical gemm. Uniform
+/// recursion is the special case `chain = [plan; steps]`, which is exactly
+/// what [`fast_matmul_into`] builds.
+pub fn fast_matmul_chain_into<T: Scalar>(
+    chain: &[&ExecPlan],
+    a: MatRef<'_, T>,
+    b: MatRef<'_, T>,
+    c: MatMut<'_, T>,
+    strategy: Strategy,
+    threads: usize,
+) {
+    let threads = threads.max(1);
+    let strategy = if threads == 1 { Strategy::Seq } else { strategy };
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    assert_eq!(k, b.rows(), "inner dimensions must match");
+    assert_eq!((m, n), (c.rows(), c.cols()), "C shape mismatch");
+
+    match chain.first() {
+        Some(plan) if divisible(plan, m, k, n) => {
+            one_step(plan, &chain[1..], a, b, c, strategy, threads)
+        }
+        _ => {
+            // Leaf: classical gemm at the caller's parallelism.
+            let par = leaf_par(strategy, threads);
+            gemm(T::ONE, a, b, T::ZERO, c, par);
+        }
+    }
+}
+
+fn divisible(plan: &ExecPlan, m: usize, k: usize, n: usize) -> bool {
+    let d = plan.dims;
+    m % d.m == 0 && k % d.k == 0 && n % d.n == 0 && m >= d.m && k >= d.k && n >= d.n
+}
+
+fn leaf_par(strategy: Strategy, threads: usize) -> Par {
+    match strategy {
+        Strategy::Seq => Par::Seq,
+        _ => Par::Threads(threads),
+    }
+}
+
+fn one_step<T: Scalar>(
+    plan: &ExecPlan,
+    rest: &[&ExecPlan],
+    a: MatRef<'_, T>,
+    b: MatRef<'_, T>,
+    c: MatMut<'_, T>,
+    strategy: Strategy,
+    threads: usize,
+) {
+    let d = plan.dims;
+    let (bm, bk, bn) = (a.rows() / d.m, a.cols() / d.k, b.cols() / d.n);
+    let a_blocks = a.grid(d.m, d.k);
+    let b_blocks = b.grid(d.k, d.n);
+    let r = plan.rank;
+
+    let mut products: Vec<Mat<T>> = (0..r).map(|_| Mat::zeros(bm, bn)).collect();
+
+    match strategy {
+        Strategy::Seq => {
+            for (t, m_out) in products.iter_mut().enumerate() {
+                compute_product(plan, rest, t, &a_blocks, &b_blocks, (bm, bk, bn), m_out, Par::Seq);
+            }
+        }
+        Strategy::Dfs => {
+            let par = Par::Threads(threads);
+            for (t, m_out) in products.iter_mut().enumerate() {
+                compute_product(plan, rest, t, &a_blocks, &b_blocks, (bm, bk, bn), m_out, par);
+            }
+        }
+        Strategy::Bfs => {
+            let mut per_thread: Vec<Vec<(usize, &mut Mat<T>)>> =
+                (0..threads).map(|_| Vec::new()).collect();
+            for (t, m_out) in products.iter_mut().enumerate() {
+                per_thread[t % threads].push((t, m_out));
+            }
+            let ab = &a_blocks;
+            let bb = &b_blocks;
+            pool(threads).scope(|s| {
+                for list in per_thread {
+                    s.spawn(move |_| {
+                        for (t, m_out) in list {
+                            compute_product(plan, rest, t, ab, bb, (bm, bk, bn), m_out, Par::Seq);
+                        }
+                    });
+                }
+            });
+        }
+        Strategy::Hybrid => {
+            let sched = hybrid_schedule(r, threads);
+            let owned = threads * sched.q;
+            let (own_slice, rem_slice) = products.split_at_mut(owned);
+            if sched.q > 0 {
+                let ab = &a_blocks;
+                let bb = &b_blocks;
+                pool(threads).scope(|s| {
+                    for (i, chunk) in own_slice.chunks_mut(sched.q).enumerate() {
+                        s.spawn(move |_| {
+                            for (j, m_out) in chunk.iter_mut().enumerate() {
+                                let t = i * sched.q + j;
+                                compute_product(
+                                    plan,
+                                    rest,
+                                    t,
+                                    ab,
+                                    bb,
+                                    (bm, bk, bn),
+                                    m_out,
+                                    Par::Seq,
+                                );
+                            }
+                        });
+                    }
+                });
+            }
+            // Remainder products: all threads cooperate inside each one.
+            let par = Par::Threads(threads);
+            for (j, m_out) in rem_slice.iter_mut().enumerate() {
+                let t = owned + j;
+                compute_product(plan, rest, t, &a_blocks, &b_blocks, (bm, bk, bn), m_out, par);
+            }
+        }
+    }
+
+    write_outputs(plan, c, &products, strategy, threads);
+}
+
+/// Form `S_t`, `T_t` and run `M_t = α · S_t · T_t`.
+#[allow(clippy::too_many_arguments)]
+fn compute_product<T: Scalar>(
+    plan: &ExecPlan,
+    rest: &[&ExecPlan],
+    t: usize,
+    a_blocks: &[MatRef<'_, T>],
+    b_blocks: &[MatRef<'_, T>],
+    (bm, bk, bn): (usize, usize, usize),
+    m_out: &mut Mat<T>,
+    par: Par,
+) {
+    let recursive = !rest.is_empty();
+
+    // Combination buffers are declared up front so block views and buffer
+    // views unify to one lifetime without copies.
+    let s_storage: Mat<T>;
+    let t_storage: Mat<T>;
+
+    let (s_view, alpha_a) = match &plan.a_combos[t] {
+        Combo::Single { block, coeff } if !recursive || *coeff == 1.0 => {
+            (a_blocks[*block], *coeff)
+        }
+        combo => {
+            let mut buf = Mat::zeros(bm, bk);
+            form_combo(buf.as_mut(), combo, a_blocks, par);
+            s_storage = buf;
+            (s_storage.as_ref(), 1.0)
+        }
+    };
+    let (t_view, alpha_b) = match &plan.b_combos[t] {
+        Combo::Single { block, coeff } if !recursive || *coeff == 1.0 => {
+            (b_blocks[*block], *coeff)
+        }
+        combo => {
+            let mut buf = Mat::zeros(bk, bn);
+            form_combo(buf.as_mut(), combo, b_blocks, par);
+            t_storage = buf;
+            (t_storage.as_ref(), 1.0)
+        }
+    };
+
+    if recursive {
+        debug_assert!((alpha_a - 1.0).abs() < f64::EPSILON && (alpha_b - 1.0).abs() < f64::EPSILON);
+        fast_matmul_chain_into(rest, s_view, t_view, m_out.as_mut(), Strategy::Seq, 1);
+    } else {
+        let alpha = T::from_f64(alpha_a * alpha_b);
+        gemm(alpha, s_view, t_view, T::ZERO, m_out.as_mut(), par);
+    }
+}
+
+fn form_combo<T: Scalar>(dst: MatMut<'_, T>, combo: &Combo, blocks: &[MatRef<'_, T>], par: Par) {
+    let terms: Vec<(T, MatRef<'_, T>)> = match combo {
+        Combo::Single { block, coeff } => vec![(T::from_f64(*coeff), blocks[*block])],
+        Combo::Multi(v) => v
+            .iter()
+            .map(|&(b, c)| (T::from_f64(c), blocks[b]))
+            .collect(),
+    };
+    combine_par(dst, false, &terms, par);
+}
+
+fn write_outputs<T: Scalar>(
+    plan: &ExecPlan,
+    c: MatMut<'_, T>,
+    products: &[Mat<T>],
+    strategy: Strategy,
+    threads: usize,
+) {
+    let d = plan.dims;
+    let c_blocks = c.into_grid(d.m, d.n);
+    let par = leaf_par(strategy, threads);
+    for (block, mut dst) in c_blocks.into_iter().enumerate() {
+        let terms: Vec<(T, MatRef<'_, T>)> = plan.c_outputs[block]
+            .iter()
+            .map(|&(t, coeff)| (T::from_f64(coeff), products[t].as_ref()))
+            .collect();
+        debug_assert!(!terms.is_empty(), "output block {block} receives no products");
+        combine_par(dst.rb(), false, &terms, par);
+    }
+}
+
+/// Convenience: allocate and return `Ĉ = Â·B̂`.
+pub fn fast_matmul<T: Scalar>(
+    plan: &ExecPlan,
+    a: MatRef<'_, T>,
+    b: MatRef<'_, T>,
+    steps: u32,
+    strategy: Strategy,
+    threads: usize,
+) -> Mat<T> {
+    let mut c = Mat::zeros(a.rows(), b.cols());
+    fast_matmul_into(plan, a, b, c.as_mut(), steps, strategy, threads);
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apa_core::catalog;
+    use apa_gemm::matmul_naive;
+
+    fn rand_mat(rows: usize, cols: usize, seed: u64) -> Mat<f64> {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+        Mat::from_fn(rows, cols, |_, _| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 32) as u32 as f64 / (1u64 << 31) as f64) - 1.0
+        })
+    }
+
+    fn check(alg_name: &str, lambda: f64, mult: usize, tol: f64, strategy: Strategy, threads: usize) {
+        let alg = catalog::by_name(alg_name).unwrap();
+        let d = alg.dims;
+        let (m, k, n) = (d.m * mult, d.k * mult, d.n * mult);
+        let a = rand_mat(m, k, 1);
+        let b = rand_mat(k, n, 2);
+        let plan = ExecPlan::compile(&alg, lambda);
+        let got = fast_matmul(&plan, a.as_ref(), b.as_ref(), 1, strategy, threads);
+        let expect = matmul_naive(a.as_ref(), b.as_ref());
+        let err = got.rel_frobenius_error(&expect);
+        assert!(
+            err < tol,
+            "{alg_name} ({strategy:?}, t={threads}): rel err {err} > {tol}"
+        );
+    }
+
+    #[test]
+    fn strassen_exact_sequential() {
+        check("strassen", 0.0, 16, 1e-12, Strategy::Seq, 1);
+    }
+
+    #[test]
+    fn bini_apa_sequential() {
+        // f64: optimal λ ≈ 2^-26; error ~2^-26 ≈ 1.5e-8.
+        check("bini322", 2.0_f64.powi(-26), 10, 1e-6, Strategy::Seq, 1);
+    }
+
+    #[test]
+    fn every_paper_algorithm_multiplies_correctly() {
+        for alg in catalog::paper_lineup() {
+            let lambda = if alg.is_exact_rule() { 0.0 } else { 2.0_f64.powi(-26) };
+            check(&alg.name, lambda, 4, 1e-5, Strategy::Seq, 1);
+        }
+    }
+
+    #[test]
+    fn strategies_agree() {
+        for strategy in [Strategy::Dfs, Strategy::Bfs, Strategy::Hybrid] {
+            check("bini322", 2.0_f64.powi(-26), 8, 1e-6, strategy, 3);
+            check("fast444", 0.0, 8, 1e-12, strategy, 4);
+        }
+    }
+
+    #[test]
+    fn hybrid_with_exact_division_of_threads() {
+        // fast442 has 28 products; with 4 threads q = 7, ℓ = 0.
+        check("fast442", 0.0, 8, 1e-12, Strategy::Hybrid, 4);
+        // With 3 threads ℓ = 1: exercises the all-thread remainder phase.
+        check("fast442", 0.0, 8, 1e-12, Strategy::Hybrid, 3);
+    }
+
+    #[test]
+    fn two_recursive_steps() {
+        let alg = catalog::strassen();
+        let plan = ExecPlan::compile(&alg, 0.0);
+        let a = rand_mat(32, 32, 7);
+        let b = rand_mat(32, 32, 8);
+        let got = fast_matmul(&plan, a.as_ref(), b.as_ref(), 2, Strategy::Seq, 1);
+        let expect = matmul_naive(a.as_ref(), b.as_ref());
+        assert!(got.rel_frobenius_error(&expect) < 1e-12);
+    }
+
+    #[test]
+    fn two_steps_apa_rule() {
+        let alg = catalog::bini322();
+        // 2 steps need divisibility by 3², 2², 2².
+        let plan = ExecPlan::compile(&alg, 2.0_f64.powi(-18));
+        let a = rand_mat(27, 12, 9);
+        let b = rand_mat(12, 12, 10);
+        let got = fast_matmul(&plan, a.as_ref(), b.as_ref(), 2, Strategy::Seq, 1);
+        let expect = matmul_naive(a.as_ref(), b.as_ref());
+        // two steps double φ's effect; stay lenient.
+        assert!(got.rel_frobenius_error(&expect) < 1e-3);
+    }
+
+    #[test]
+    fn indivisible_dims_fall_back_to_gemm() {
+        let alg = catalog::strassen();
+        let plan = ExecPlan::compile(&alg, 0.0);
+        let a = rand_mat(7, 9, 11);
+        let b = rand_mat(9, 5, 12);
+        let got = fast_matmul(&plan, a.as_ref(), b.as_ref(), 1, Strategy::Seq, 1);
+        let expect = matmul_naive(a.as_ref(), b.as_ref());
+        assert!(got.rel_frobenius_error(&expect) < 1e-12);
+    }
+
+    #[test]
+    fn zero_steps_is_plain_gemm() {
+        let alg = catalog::bini322();
+        let plan = ExecPlan::compile(&alg, 0.5); // huge λ — must not matter
+        let a = rand_mat(6, 4, 13);
+        let b = rand_mat(4, 4, 14);
+        let got = fast_matmul(&plan, a.as_ref(), b.as_ref(), 0, Strategy::Seq, 1);
+        let expect = matmul_naive(a.as_ref(), b.as_ref());
+        assert!(got.rel_frobenius_error(&expect) < 1e-12);
+    }
+
+    #[test]
+    fn nonstationary_chain_of_two_rules() {
+        // Level 0 splits with Bini <3,2,2>, level 1 with Strassen <2,2,2>:
+        // needs dims divisible by (6, 4, 4).
+        let bini = ExecPlan::compile(&catalog::bini322(), 2.0_f64.powi(-20));
+        let strassen = ExecPlan::compile(&catalog::strassen(), 0.0);
+        let a = rand_mat(30, 20, 50);
+        let b = rand_mat(20, 20, 51);
+        let mut c = Mat::zeros(30, 20);
+        fast_matmul_chain_into(
+            &[&bini, &strassen],
+            a.as_ref(),
+            b.as_ref(),
+            c.as_mut(),
+            Strategy::Seq,
+            1,
+        );
+        let expect = matmul_naive(a.as_ref(), b.as_ref());
+        assert!(c.rel_frobenius_error(&expect) < 1e-4);
+    }
+
+    #[test]
+    fn chain_order_matters_for_divisibility() {
+        // 8×8×8 divides Strassen twice but Bini not even once; the chain
+        // must gracefully degrade to gemm at the Bini level.
+        let bini = ExecPlan::compile(&catalog::bini322(), 2.0_f64.powi(-20));
+        let strassen = ExecPlan::compile(&catalog::strassen(), 0.0);
+        let a = rand_mat(8, 8, 52);
+        let b = rand_mat(8, 8, 53);
+        let expect = matmul_naive(a.as_ref(), b.as_ref());
+        for chain in [vec![&strassen, &bini], vec![&bini, &strassen]] {
+            let mut c = Mat::zeros(8, 8);
+            fast_matmul_chain_into(&chain, a.as_ref(), b.as_ref(), c.as_mut(), Strategy::Seq, 1);
+            assert!(c.rel_frobenius_error(&expect) < 1e-4);
+        }
+    }
+
+    #[test]
+    fn empty_chain_is_gemm() {
+        let a = rand_mat(9, 7, 54);
+        let b = rand_mat(7, 5, 55);
+        let mut c = Mat::zeros(9, 5);
+        fast_matmul_chain_into::<f64>(&[], a.as_ref(), b.as_ref(), c.as_mut(), Strategy::Seq, 1);
+        let expect = matmul_naive(a.as_ref(), b.as_ref());
+        assert!(c.rel_frobenius_error(&expect) < 1e-12);
+    }
+
+    #[test]
+    fn f32_single_precision_path() {
+        let alg = catalog::bini322();
+        let lambda = 2.0_f64.powf(-11.5); // optimal for d = 23
+        let plan = ExecPlan::compile(&alg, lambda);
+        let a = Mat::<f32>::from_fn(30, 20, |i, j| ((i * 31 + j * 17) % 13) as f32 * 0.1 - 0.6);
+        let b = Mat::<f32>::from_fn(20, 20, |i, j| ((i * 7 + j * 3) % 11) as f32 * 0.1 - 0.5);
+        let got = fast_matmul(&plan, a.as_ref(), b.as_ref(), 1, Strategy::Seq, 1);
+        let expect = matmul_naive(a.as_ref(), b.as_ref());
+        let err = got.rel_frobenius_error(&expect);
+        // paper Table 1: ⟨3,2,2⟩ error ≈ 3.5e-4 at single precision.
+        assert!(err < 5e-3, "err {err}");
+    }
+}

@@ -1,0 +1,38 @@
+//! # apa-matmul
+//!
+//! The execution engine for APA (and exact fast) matrix-multiplication
+//! algorithms — the primary contribution of the reproduced paper. It turns
+//! the symbolic rules of `apa-core` into high-performance multiplications
+//! on top of the `apa-gemm` substrate:
+//!
+//! * [`plan`] — compile a rule at a concrete λ into numeric coefficient
+//!   lists with the write-once output orientation;
+//! * [`exec`] — one-step / recursive execution with gemm leaves;
+//! * [`schedule`] — the DFS / BFS / **Hybrid** parallel strategies of the
+//!   paper's §3.2 (Fig. 2);
+//! * [`peel`] — dynamic peeling and zero padding for arbitrary shapes;
+//! * [`tune`] — the 5-powers-of-2 λ auto-tuner of the paper's Fig. 1;
+//! * [`error`] — relative-Frobenius error measurement against the f64
+//!   classical reference;
+//! * [`apamm`] — the configured [`ApaMatmul`] front end plus the
+//!   [`ClassicalMatmul`] baseline wrapper.
+
+pub mod apamm;
+pub mod autotune;
+pub mod error;
+pub mod exec;
+pub mod peel;
+pub mod plan;
+pub mod schedule;
+pub mod stats;
+pub mod tune;
+
+pub use apamm::{ApaChain, ApaMatmul, ClassicalMatmul};
+pub use autotune::{autotune, autotune_with, Candidate, TuneOutcome};
+pub use error::measure_error;
+pub use exec::{fast_matmul, fast_matmul_chain_into, fast_matmul_into};
+pub use peel::{fast_matmul_any_into, fast_matmul_chain_any_into, PeelMode};
+pub use plan::{Combo, ExecPlan};
+pub use schedule::{bfs_schedule, hybrid_schedule, HybridSchedule, Strategy};
+pub use stats::{profile_one_step, ExecProfile};
+pub use tune::{tune_lambda, TunedLambda};

@@ -1,0 +1,201 @@
+//! Instrumented execution: measure where a one-step APA multiplication
+//! actually spends its time — multiplications (compute-bound gemm) vs
+//! linear combinations (bandwidth-bound adds).
+//!
+//! This quantifies the paper's central performance claim (§3.2/§3.4): "the
+//! overhead of additions is the biggest impediment to realizing the
+//! [ideal] speedup", and lets the ablation harness print a measured
+//! mult/add split next to the `apa-core::analysis` model's prediction.
+
+use crate::plan::{Combo, ExecPlan};
+use apa_gemm::{combine, gemm_st, Mat, MatRef, Scalar};
+use std::time::Instant;
+
+/// Timing and traffic breakdown of one instrumented execution.
+#[derive(Clone, Debug, Default)]
+pub struct ExecProfile {
+    /// Seconds inside gemm (the r sub-multiplications).
+    pub mult_seconds: f64,
+    /// Seconds forming operand combinations and outputs.
+    pub add_seconds: f64,
+    /// Number of gemm leaf calls (= rank for one step).
+    pub gemm_calls: usize,
+    /// Elements read+written by the combination kernels.
+    pub add_elems: usize,
+    /// Flops performed by the multiplications (2·bm·bk·bn each).
+    pub mult_flops: f64,
+}
+
+impl ExecProfile {
+    /// Fraction of measured time spent in additions.
+    pub fn add_fraction(&self) -> f64 {
+        let total = self.mult_seconds + self.add_seconds;
+        if total == 0.0 {
+            0.0
+        } else {
+            self.add_seconds / total
+        }
+    }
+}
+
+/// Sequential, instrumented one-step execution. Dimensions must divide the
+/// plan's base dims. Returns the product and the profile.
+pub fn profile_one_step<T: Scalar>(
+    plan: &ExecPlan,
+    a: MatRef<'_, T>,
+    b: MatRef<'_, T>,
+) -> (Mat<T>, ExecProfile) {
+    let d = plan.dims;
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    assert_eq!(k, b.rows());
+    assert!(
+        m % d.m == 0 && k % d.k == 0 && n % d.n == 0,
+        "profile_one_step requires divisible dims"
+    );
+    let (bm, bk, bn) = (m / d.m, k / d.k, n / d.n);
+    let a_blocks = a.grid(d.m, d.k);
+    let b_blocks = b.grid(d.k, d.n);
+    let mut profile = ExecProfile::default();
+    let mut products: Vec<Mat<T>> = Vec::with_capacity(plan.rank);
+
+    for t in 0..plan.rank {
+        // Operand combinations (timed as additions).
+        let t0 = Instant::now();
+        let (s_mat, alpha_a) = materialize(&plan.a_combos[t], &a_blocks, bm, bk, &mut profile);
+        let (t_mat, alpha_b) = materialize(&plan.b_combos[t], &b_blocks, bk, bn, &mut profile);
+        profile.add_seconds += t0.elapsed().as_secs_f64();
+
+        let s_view = s_mat
+            .as_ref()
+            .map(|m| m.as_ref())
+            .unwrap_or_else(|| single_block(&plan.a_combos[t], &a_blocks));
+        let t_view = t_mat
+            .as_ref()
+            .map(|m| m.as_ref())
+            .unwrap_or_else(|| single_block(&plan.b_combos[t], &b_blocks));
+
+        let mut out = Mat::zeros(bm, bn);
+        let t1 = Instant::now();
+        gemm_st(
+            T::from_f64(alpha_a * alpha_b),
+            s_view,
+            t_view,
+            T::ZERO,
+            out.as_mut(),
+        );
+        profile.mult_seconds += t1.elapsed().as_secs_f64();
+        profile.gemm_calls += 1;
+        profile.mult_flops += 2.0 * bm as f64 * bk as f64 * bn as f64;
+        products.push(out);
+    }
+
+    // Output combinations.
+    let mut c = Mat::zeros(m, n);
+    let t2 = Instant::now();
+    {
+        let c_blocks = c.as_mut().into_grid(d.m, d.n);
+        for (block, mut dst) in c_blocks.into_iter().enumerate() {
+            let terms: Vec<(T, MatRef<'_, T>)> = plan.c_outputs[block]
+                .iter()
+                .map(|&(t, coeff)| (T::from_f64(coeff), products[t].as_ref()))
+                .collect();
+            profile.add_elems += (terms.len() + 1) * bm * bn;
+            combine(dst.rb(), false, &terms);
+        }
+    }
+    profile.add_seconds += t2.elapsed().as_secs_f64();
+    (c, profile)
+}
+
+fn materialize<T: Scalar>(
+    combo: &Combo,
+    blocks: &[MatRef<'_, T>],
+    rows: usize,
+    cols: usize,
+    profile: &mut ExecProfile,
+) -> (Option<Mat<T>>, f64) {
+    match combo {
+        Combo::Single { coeff, .. } => (None, *coeff),
+        Combo::Multi(terms) => {
+            let mut buf = Mat::zeros(rows, cols);
+            let views: Vec<(T, MatRef<'_, T>)> = terms
+                .iter()
+                .map(|&(b, c)| (T::from_f64(c), blocks[b]))
+                .collect();
+            profile.add_elems += (views.len() + 1) * rows * cols;
+            combine(buf.as_mut(), false, &views);
+            (Some(buf), 1.0)
+        }
+    }
+}
+
+fn single_block<'a, T: Scalar>(combo: &Combo, blocks: &[MatRef<'a, T>]) -> MatRef<'a, T> {
+    match combo {
+        Combo::Single { block, .. } => blocks[*block],
+        Combo::Multi(_) => unreachable!("multi combos are materialized"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apa_core::catalog;
+    use apa_gemm::matmul_naive;
+
+    fn probe(n: usize, seed: u64) -> Mat<f64> {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+        Mat::from_fn(n, n, |_, _| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 32) as u32 as f64 / (1u64 << 31) as f64) - 1.0
+        })
+    }
+
+    #[test]
+    fn profiled_result_is_correct() {
+        let plan = ExecPlan::compile(&catalog::strassen(), 0.0);
+        let a = probe(64, 1);
+        let b = probe(64, 2);
+        let (c, profile) = profile_one_step(&plan, a.as_ref(), b.as_ref());
+        let expect = matmul_naive(a.as_ref(), b.as_ref());
+        assert!(c.rel_frobenius_error(&expect) < 1e-12);
+        assert_eq!(profile.gemm_calls, 7);
+        assert!(profile.mult_seconds > 0.0);
+        assert!(profile.add_seconds > 0.0);
+        // 7 products of 32³ blocks.
+        assert!((profile.mult_flops - 7.0 * 2.0 * 32.0f64.powi(3)).abs() < 1.0);
+    }
+
+    #[test]
+    fn add_fraction_is_sane() {
+        let plan = ExecPlan::compile(&catalog::fast444(), 0.0);
+        let a = probe(256, 3);
+        let b = probe(256, 4);
+        let (_, profile) = profile_one_step(&plan, a.as_ref(), b.as_ref());
+        let f = profile.add_fraction();
+        assert!(f > 0.0 && f < 1.0, "add fraction {f}");
+        assert_eq!(profile.gemm_calls, 49);
+    }
+
+    #[test]
+    fn denser_rule_moves_more_add_elems() {
+        // winograd's bilinear form is denser than strassen's.
+        let s = ExecPlan::compile(&catalog::strassen(), 0.0);
+        let w = ExecPlan::compile(&catalog::winograd(), 0.0);
+        let a = probe(32, 5);
+        let b = probe(32, 6);
+        let (_, ps) = profile_one_step(&s, a.as_ref(), b.as_ref());
+        let (_, pw) = profile_one_step(&w, a.as_ref(), b.as_ref());
+        assert!(pw.add_elems > ps.add_elems);
+    }
+
+    #[test]
+    #[should_panic(expected = "divisible")]
+    fn indivisible_dims_rejected() {
+        let plan = ExecPlan::compile(&catalog::strassen(), 0.0);
+        let a = probe(9, 7);
+        let b = probe(9, 8);
+        let _ = profile_one_step(&plan, a.as_ref(), b.as_ref());
+    }
+}

@@ -1,0 +1,151 @@
+//! Execution-engine stress tests: the full catalog across randomized
+//! shapes, strategies and thread counts, plus determinism guarantees.
+
+use apa_core::catalog;
+use apa_gemm::{matmul_naive, Mat};
+use apa_matmul::{ApaMatmul, PeelMode, Strategy};
+use proptest::prelude::*;
+
+fn rand_mat(rows: usize, cols: usize, seed: u64) -> Mat<f64> {
+    let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+    Mat::from_fn(rows, cols, |_, _| {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((state >> 32) as u32 as f64 / (1u64 << 31) as f64) - 1.0
+    })
+}
+
+#[test]
+fn every_algorithm_every_strategy_many_thread_counts() {
+    let a = rand_mat(40, 40, 1);
+    let b = rand_mat(40, 42, 2);
+    let expect = matmul_naive(a.as_ref(), b.as_ref());
+    for alg in catalog::paper_lineup() {
+        for strategy in [Strategy::Dfs, Strategy::Bfs, Strategy::Hybrid] {
+            for threads in [2, 3, 5] {
+                let mm = ApaMatmul::new(alg.clone())
+                    .strategy(strategy)
+                    .threads(threads);
+                let got = mm.multiply(a.as_ref(), b.as_ref());
+                let err = got.rel_frobenius_error(&expect);
+                assert!(
+                    err < 1e-2,
+                    "{} {strategy:?} t={threads}: {err}",
+                    alg.name
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn strategies_are_deterministic() {
+    // Same configuration twice → bitwise identical output (fixed reduction
+    // order per strategy).
+    let a = rand_mat(36, 36, 3);
+    let b = rand_mat(36, 36, 4);
+    for strategy in [Strategy::Seq, Strategy::Dfs, Strategy::Bfs, Strategy::Hybrid] {
+        let mm = ApaMatmul::new(catalog::fast442())
+            .strategy(strategy)
+            .threads(3);
+        let c1 = mm.multiply(a.as_ref(), b.as_ref());
+        let c2 = mm.multiply(a.as_ref(), b.as_ref());
+        assert_eq!(c1, c2, "{strategy:?} not deterministic");
+    }
+}
+
+#[test]
+fn extreme_aspect_ratios() {
+    // Tall-skinny and short-fat products through the peel path.
+    for &(m, k, n) in &[(200, 4, 4), (4, 200, 4), (4, 4, 200), (1, 100, 1), (100, 1, 100)] {
+        let a = rand_mat(m, k, 5);
+        let b = rand_mat(k, n, 6);
+        let expect = matmul_naive(a.as_ref(), b.as_ref());
+        let mm = ApaMatmul::new(catalog::bini322());
+        let got = mm.multiply(a.as_ref(), b.as_ref());
+        assert!(
+            got.rel_frobenius_error(&expect) < 1e-2,
+            "({m},{k},{n})"
+        );
+    }
+}
+
+#[test]
+fn zero_matrices_give_zero() {
+    let a = Mat::<f32>::zeros(24, 24);
+    let b = Mat::<f32>::zeros(24, 24);
+    for alg in [catalog::strassen(), catalog::bini322()] {
+        let mm = ApaMatmul::new(alg);
+        let c = mm.multiply(a.as_ref(), b.as_ref());
+        assert!(c.as_slice().iter().all(|&v| v == 0.0));
+    }
+}
+
+#[test]
+fn identity_multiplication_through_apa() {
+    let n = 24;
+    let i = Mat::<f64>::from_fn(n, n, |r, c| if r == c { 1.0 } else { 0.0 });
+    let x = rand_mat(n, n, 7);
+    let mm = ApaMatmul::new(catalog::fast444()).lambda(0.0);
+    let c = mm.multiply(i.as_ref(), x.as_ref());
+    assert!(c.rel_frobenius_error(&x) < 1e-12);
+}
+
+#[test]
+fn huge_lambda_breaks_accuracy_gracefully() {
+    // Failure injection: λ = 0.5 is a *terrible* choice; the result must
+    // still be finite (no NaN/Inf) even though it's inaccurate.
+    let a = rand_mat(30, 20, 8);
+    let b = rand_mat(20, 20, 9);
+    let mm = ApaMatmul::new(catalog::bini322()).lambda(0.5);
+    let c = mm.multiply(a.as_ref(), b.as_ref());
+    assert!(c.as_slice().iter().all(|v| v.is_finite()));
+    let expect = matmul_naive(a.as_ref(), b.as_ref());
+    assert!(c.rel_frobenius_error(&expect) > 1e-3, "λ=0.5 should visibly hurt");
+}
+
+#[test]
+fn lambda_zero_on_apa_rule_collapses_coefficients() {
+    // λ = 0 makes Bini's λ⁻¹ coefficients infinite → non-finite output.
+    // The engine must not mask this (it is a user error the docs call out),
+    // but it must not panic either.
+    let a = rand_mat(6, 4, 10);
+    let b = rand_mat(4, 4, 11);
+    let mm = ApaMatmul::new(catalog::bini322()).lambda(0.0);
+    let c = mm.multiply(a.as_ref(), b.as_ref());
+    assert!(
+        c.as_slice().iter().any(|v| !v.is_finite()),
+        "λ=0 on an APA rule cannot produce a finite answer"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn hybrid_equals_sequential_up_to_roundoff(
+        mult in 1usize..6, threads in 2usize..6, seed in 0u64..500
+    ) {
+        let alg = catalog::fast442();
+        let d = alg.dims;
+        let (m, k, n) = (d.m * mult * 2, d.k * mult * 2, d.n * mult * 2);
+        let a = rand_mat(m, k, seed);
+        let b = rand_mat(k, n, seed + 1);
+        let seq = ApaMatmul::new(alg.clone()).strategy(Strategy::Seq).multiply(a.as_ref(), b.as_ref());
+        let hyb = ApaMatmul::new(alg).strategy(Strategy::Hybrid).threads(threads).multiply(a.as_ref(), b.as_ref());
+        prop_assert!(hyb.rel_frobenius_error(&seq) < 1e-13);
+    }
+
+    #[test]
+    fn peel_modes_always_agree(
+        m in 1usize..50, k in 1usize..50, n in 1usize..50, seed in 0u64..500
+    ) {
+        let a = rand_mat(m, k, seed);
+        let b = rand_mat(k, n, seed + 7);
+        let alg = catalog::strassen();
+        let peel = ApaMatmul::new(alg.clone()).peel_mode(PeelMode::Dynamic).multiply(a.as_ref(), b.as_ref());
+        let pad = ApaMatmul::new(alg).peel_mode(PeelMode::Pad).multiply(a.as_ref(), b.as_ref());
+        prop_assert!(peel.rel_frobenius_error(&pad) < 1e-10);
+    }
+}

@@ -1,0 +1,99 @@
+//! Empirical validation of the §2.3 error model across the catalog:
+//! the λ error curve is V-shaped around the theoretical optimum, deeper
+//! recursion costs accuracy at the predicted rate, and exact rules are
+//! λ-insensitive by construction.
+
+use apa_core::{catalog, error_model};
+use apa_matmul::{measure_error, tune_lambda};
+
+#[test]
+fn error_curve_is_v_shaped_around_optimum() {
+    // For φ=1 APA rules: error should fall then rise as λ sweeps from far
+    // below to far above the optimum 2^-11.5.
+    for name in ["bini322", "apa332"] {
+        let alg = catalog::by_name(name).unwrap();
+        let errs: Vec<f64> = [-19i32, -15, -12, -8, -4]
+            .iter()
+            .map(|&e| measure_error(&alg, (2.0f64).powi(e), 72, 1, 0xE0))
+            .collect();
+        // Minimum strictly inside the sweep.
+        let min_idx = errs
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.total_cmp(b.1))
+            .unwrap()
+            .0;
+        assert!(
+            min_idx > 0 && min_idx < errs.len() - 1,
+            "{name}: no interior minimum in {errs:?}"
+        );
+        // Both tails exceed the minimum by a wide margin.
+        assert!(errs[0] > errs[min_idx] * 3.0, "{name}: roundoff tail {errs:?}");
+        assert!(
+            errs[errs.len() - 1] > errs[min_idx] * 3.0,
+            "{name}: truncation tail {errs:?}"
+        );
+    }
+}
+
+#[test]
+fn two_steps_cost_accuracy_as_predicted() {
+    // s=2 at its own optimal λ must be worse than s=1 at its optimum, and
+    // both should be within an order of magnitude of their bounds.
+    let alg = catalog::bini322();
+    let phi = alg.phi();
+    let l1 = error_model::optimal_lambda(1, phi, error_model::D_SINGLE, 1);
+    let l2 = error_model::optimal_lambda(1, phi, error_model::D_SINGLE, 2);
+    // n divisible by base² (9, 4, 4) for a true two-step run.
+    let e1 = measure_error(&alg, l1, 72, 1, 0xE1);
+    let e2 = measure_error(&alg, l2, 72, 2, 0xE1);
+    assert!(e2 > e1, "two steps should be less accurate: {e1} vs {e2}");
+    let b1 = error_model::error_bound(1, phi, error_model::D_SINGLE, 1);
+    let b2 = error_model::error_bound(1, phi, error_model::D_SINGLE, 2);
+    assert!(e1 < b1 * 20.0, "1-step error {e1} vs bound {b1}");
+    assert!(e2 < b2 * 20.0, "2-step error {e2} vs bound {b2}");
+}
+
+#[test]
+fn exact_rules_ignore_lambda() {
+    for name in ["strassen", "fast442", "fast444"] {
+        let alg = catalog::by_name(name).unwrap();
+        let e_a = measure_error(&alg, 0.0, 64, 1, 0xE2);
+        let e_b = measure_error(&alg, 0.25, 64, 1, 0xE2);
+        assert_eq!(e_a, e_b, "{name}: λ must be inert for exact rules");
+        assert!(e_a < 1e-5, "{name}: error {e_a}");
+    }
+}
+
+#[test]
+fn tuned_lambda_is_near_theoretical_for_every_apa_entry() {
+    for alg in catalog::paper_lineup() {
+        if alg.is_exact_rule() {
+            continue;
+        }
+        let theory = error_model::optimal_lambda(1, alg.phi(), error_model::D_SINGLE, 1);
+        let tuned = tune_lambda(&alg, 64, 1, 0xE3);
+        let ratio = tuned.lambda / theory;
+        assert!(
+            (0.2..=8.0).contains(&ratio),
+            "{}: tuned λ {:.2e} vs theory {:.2e}",
+            alg.name,
+            tuned.lambda,
+            theory
+        );
+    }
+}
+
+#[test]
+fn error_is_input_distribution_stable() {
+    // The paper reports "little fluctuation of the error" — check the
+    // measured error varies by < 3x across seeds (input draws).
+    let alg = catalog::bini322();
+    let lambda = (2.0f64).powf(-11.5);
+    let errs: Vec<f64> = (0..5)
+        .map(|s| measure_error(&alg, lambda, 72, 1, 100 + s))
+        .collect();
+    let min = errs.iter().cloned().fold(f64::MAX, f64::min);
+    let max = errs.iter().cloned().fold(0.0, f64::max);
+    assert!(max / min < 3.0, "error unstable across inputs: {errs:?}");
+}

@@ -1,0 +1,581 @@
+//! Convolution as matrix multiplication (im2col) — the standard lowering
+//! the paper's §1 cites ([Chetlur et al., cuDNN]): "Training convolutional
+//! and other types of layers can also be cast as matrix multiplication".
+//!
+//! `im2col` unrolls every receptive field of the input into a row of a
+//! patch matrix; convolution with `C_out` filters is then one GEMM
+//! `(N·H_out·W_out) × (C_in·KH·KW)` by `(C_in·KH·KW) × C_out`, which any
+//! [`MatmulBackend`] — classical or APA — can execute. This makes the
+//! VGG-19 *convolutional* layers reachable by the same APA operators as
+//! the fully connected ones.
+
+use crate::backend::Backend;
+use apa_gemm::Mat;
+
+/// Shape of a convolution input: batch of `n` CHW images.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ConvShape {
+    pub n: usize,
+    pub c: usize,
+    pub h: usize,
+    pub w: usize,
+}
+
+impl ConvShape {
+    pub fn elems(&self) -> usize {
+        self.n * self.c * self.h * self.w
+    }
+
+    #[inline]
+    fn index(&self, n: usize, c: usize, y: usize, x: usize) -> usize {
+        ((n * self.c + c) * self.h + y) * self.w + x
+    }
+}
+
+/// A 2-D convolution configuration (square stride/padding for simplicity).
+#[derive(Clone, Copy, Debug)]
+pub struct Conv2dConfig {
+    pub in_channels: usize,
+    pub out_channels: usize,
+    pub kernel: usize,
+    pub stride: usize,
+    pub padding: usize,
+}
+
+impl Conv2dConfig {
+    /// Output spatial size for an `h×w` input.
+    pub fn out_size(&self, h: usize, w: usize) -> (usize, usize) {
+        let oh = (h + 2 * self.padding - self.kernel) / self.stride + 1;
+        let ow = (w + 2 * self.padding - self.kernel) / self.stride + 1;
+        (oh, ow)
+    }
+
+    /// Patch width of the im2col matrix: `C_in · KH · KW`.
+    pub fn patch_len(&self) -> usize {
+        self.in_channels * self.kernel * self.kernel
+    }
+}
+
+/// Unroll input patches: returns an `(N·OH·OW) × (C·K·K)` matrix whose row
+/// `((n·OH + oy)·OW + ox)` is the receptive field of output `(n, oy, ox)`,
+/// zero-padded outside the image.
+pub fn im2col(input: &[f32], shape: ConvShape, cfg: &Conv2dConfig) -> Mat<f32> {
+    assert_eq!(shape.c, cfg.in_channels, "channel mismatch");
+    assert_eq!(input.len(), shape.elems(), "input buffer size mismatch");
+    let (oh, ow) = cfg.out_size(shape.h, shape.w);
+    let patch = cfg.patch_len();
+    let mut out = Mat::zeros(shape.n * oh * ow, patch);
+
+    for n in 0..shape.n {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let row_idx = (n * oh + oy) * ow + ox;
+                let row = &mut out.as_mut_slice()[row_idx * patch..(row_idx + 1) * patch];
+                let mut p = 0;
+                for c in 0..shape.c {
+                    for ky in 0..cfg.kernel {
+                        let iy = (oy * cfg.stride + ky) as isize - cfg.padding as isize;
+                        for kx in 0..cfg.kernel {
+                            let ix = (ox * cfg.stride + kx) as isize - cfg.padding as isize;
+                            row[p] = if iy >= 0
+                                && (iy as usize) < shape.h
+                                && ix >= 0
+                                && (ix as usize) < shape.w
+                            {
+                                input[shape.index(n, c, iy as usize, ix as usize)]
+                            } else {
+                                0.0
+                            };
+                            p += 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Scatter-accumulate the inverse of [`im2col`]: fold patch-matrix
+/// gradients back onto the input gradient (`col2im`).
+pub fn col2im(patches: &Mat<f32>, shape: ConvShape, cfg: &Conv2dConfig) -> Vec<f32> {
+    let (oh, ow) = cfg.out_size(shape.h, shape.w);
+    let patch = cfg.patch_len();
+    assert_eq!(patches.rows(), shape.n * oh * ow);
+    assert_eq!(patches.cols(), patch);
+    let mut out = vec![0.0f32; shape.elems()];
+    for n in 0..shape.n {
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let row_idx = (n * oh + oy) * ow + ox;
+                let row = &patches.as_slice()[row_idx * patch..(row_idx + 1) * patch];
+                let mut p = 0;
+                for c in 0..shape.c {
+                    for ky in 0..cfg.kernel {
+                        let iy = (oy * cfg.stride + ky) as isize - cfg.padding as isize;
+                        for kx in 0..cfg.kernel {
+                            let ix = (ox * cfg.stride + kx) as isize - cfg.padding as isize;
+                            if iy >= 0
+                                && (iy as usize) < shape.h
+                                && ix >= 0
+                                && (ix as usize) < shape.w
+                            {
+                                out[shape.index(n, c, iy as usize, ix as usize)] += row[p];
+                            }
+                            p += 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// A convolution layer evaluated through im2col + a pluggable matmul
+/// backend; supports forward, backward (col2im) and SGD — so the §1
+/// lowering covers *training* convolutional layers with APA kernels.
+pub struct Conv2d {
+    pub cfg: Conv2dConfig,
+    /// `(C_in·K·K) × C_out` filter matrix (one filter per column).
+    pub filters: Mat<f32>,
+    pub bias: Vec<f32>,
+    backend: Backend,
+    // Training caches (populated by `forward_train`).
+    cached_patches: Option<Mat<f32>>,
+    cached_in_shape: Option<ConvShape>,
+    pub grad_filters: Option<Mat<f32>>,
+    pub grad_bias: Option<Vec<f32>>,
+}
+
+impl Conv2d {
+    /// Deterministic He-style initialization.
+    pub fn new(cfg: Conv2dConfig, backend: Backend, seed: u64) -> Self {
+        let rows = cfg.patch_len();
+        let scale = (2.0 / rows as f64).sqrt();
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(0xC0417);
+        let filters = Mat::from_fn(rows, cfg.out_channels, |_, _| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((((state >> 32) as u32 as f64 / (1u64 << 31) as f64) - 1.0) * scale) as f32
+        });
+        Self {
+            bias: vec![0.0; cfg.out_channels],
+            filters,
+            cfg,
+            backend,
+            cached_patches: None,
+            cached_in_shape: None,
+            grad_filters: None,
+            grad_bias: None,
+        }
+    }
+
+    /// Training forward: caches the im2col patches for [`Self::backward`].
+    pub fn forward_train(&mut self, input: &[f32], shape: ConvShape) -> (Vec<f32>, ConvShape) {
+        let patches = im2col(input, shape, &self.cfg);
+        let result = self.forward_from_patches(&patches, shape);
+        self.cached_patches = Some(patches);
+        self.cached_in_shape = Some(shape);
+        result
+    }
+
+    /// Backward: given `dOut` in CHW layout, store filter/bias gradients
+    /// and return `dInput` (CHW). All matmuls run through the backend.
+    pub fn backward(&mut self, grad_out: &[f32], out_shape: ConvShape) -> Vec<f32> {
+        let patches = self
+            .cached_patches
+            .as_ref()
+            .expect("backward() requires a prior forward_train()");
+        let in_shape = self.cached_in_shape.unwrap();
+        let (oh, ow) = (out_shape.h, out_shape.w);
+        assert_eq!(out_shape.c, self.cfg.out_channels);
+        assert_eq!(grad_out.len(), out_shape.elems());
+
+        // CHW → (N·OH·OW) × C_out row-major gradient matrix.
+        let rows = out_shape.n * oh * ow;
+        let mut dout = Mat::zeros(rows, self.cfg.out_channels);
+        for n in 0..out_shape.n {
+            for c in 0..self.cfg.out_channels {
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let row = (n * oh + oy) * ow + ox;
+                        dout.set(row, c, grad_out[out_shape.index(n, c, oy, ox)]);
+                    }
+                }
+            }
+        }
+
+        // dFilters = patchesᵀ · dOut; dBias = column sums of dOut.
+        let dfilters = self.backend.matmul_tn(patches.as_ref(), dout.as_ref());
+        let mut dbias = vec![0.0f32; self.cfg.out_channels];
+        for r in 0..rows {
+            for (c, db) in dbias.iter_mut().enumerate() {
+                *db += dout.at(r, c);
+            }
+        }
+        // dPatches = dOut · filtersᵀ, folded back with col2im.
+        let dpatches = self.backend.matmul_nt(dout.as_ref(), self.filters.as_ref());
+        let dinput = col2im(&dpatches, in_shape, &self.cfg);
+
+        self.grad_filters = Some(dfilters);
+        self.grad_bias = Some(dbias);
+        dinput
+    }
+
+    /// SGD step on filters and bias.
+    pub fn apply_sgd(&mut self, lr: f32) {
+        if let Some(df) = self.grad_filters.take() {
+            for (w, &g) in self.filters.as_mut_slice().iter_mut().zip(df.as_slice()) {
+                *w -= lr * g;
+            }
+        }
+        if let Some(db) = self.grad_bias.take() {
+            for (b, &g) in self.bias.iter_mut().zip(&db) {
+                *b -= lr * g;
+            }
+        }
+    }
+
+    /// Forward: CHW batch in, CHW batch out (`C_out × OH × OW` per image).
+    pub fn forward(&self, input: &[f32], shape: ConvShape) -> (Vec<f32>, ConvShape) {
+        let patches = im2col(input, shape, &self.cfg);
+        self.forward_from_patches(&patches, shape)
+    }
+
+    fn forward_from_patches(&self, patches: &Mat<f32>, shape: ConvShape) -> (Vec<f32>, ConvShape) {
+        let (oh, ow) = self.cfg.out_size(shape.h, shape.w);
+        // (N·OH·OW) × C_out, rows in (n, oy, ox) order.
+        let out_mat = self.backend.matmul(patches.as_ref(), self.filters.as_ref());
+        let out_shape = ConvShape {
+            n: shape.n,
+            c: self.cfg.out_channels,
+            h: oh,
+            w: ow,
+        };
+        // Repack rows (n, oy, ox) × c → CHW with bias.
+        let mut out = vec![0.0f32; out_shape.elems()];
+        for n in 0..shape.n {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let row = (n * oh + oy) * ow + ox;
+                    for c in 0..self.cfg.out_channels {
+                        out[out_shape.index(n, c, oy, ox)] =
+                            out_mat.at(row, c) + self.bias[c];
+                    }
+                }
+            }
+        }
+        (out, out_shape)
+    }
+}
+
+/// Direct (nested-loop) convolution — the oracle the im2col path is tested
+/// against.
+pub fn conv2d_direct(
+    input: &[f32],
+    shape: ConvShape,
+    cfg: &Conv2dConfig,
+    filters: &Mat<f32>,
+    bias: &[f32],
+) -> (Vec<f32>, ConvShape) {
+    let (oh, ow) = cfg.out_size(shape.h, shape.w);
+    let out_shape = ConvShape {
+        n: shape.n,
+        c: cfg.out_channels,
+        h: oh,
+        w: ow,
+    };
+    let mut out = vec![0.0f32; out_shape.elems()];
+    for n in 0..shape.n {
+        for co in 0..cfg.out_channels {
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc = bias[co];
+                    let mut p = 0;
+                    for ci in 0..shape.c {
+                        for ky in 0..cfg.kernel {
+                            let iy = (oy * cfg.stride + ky) as isize - cfg.padding as isize;
+                            for kx in 0..cfg.kernel {
+                                let ix = (ox * cfg.stride + kx) as isize - cfg.padding as isize;
+                                if iy >= 0
+                                    && (iy as usize) < shape.h
+                                    && ix >= 0
+                                    && (ix as usize) < shape.w
+                                {
+                                    acc += input[shape.index(n, ci, iy as usize, ix as usize)]
+                                        * filters.at(p, co);
+                                }
+                                p += 1;
+                            }
+                        }
+                    }
+                    out[out_shape.index(n, co, oy, ox)] = acc;
+                }
+            }
+        }
+    }
+    (out, out_shape)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::{apa, classical};
+    use apa_core::catalog;
+
+    fn input(shape: ConvShape, seed: u64) -> Vec<f32> {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+        (0..shape.elems())
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                (((state >> 32) as u32 as f64 / (1u64 << 31) as f64) - 1.0) as f32
+            })
+            .collect()
+    }
+
+    #[test]
+    fn out_size_formulas() {
+        let cfg = Conv2dConfig {
+            in_channels: 3,
+            out_channels: 8,
+            kernel: 3,
+            stride: 1,
+            padding: 1,
+        };
+        assert_eq!(cfg.out_size(28, 28), (28, 28)); // same-padding
+        let cfg2 = Conv2dConfig { stride: 2, padding: 0, ..cfg };
+        assert_eq!(cfg2.out_size(28, 28), (13, 13));
+        assert_eq!(cfg.patch_len(), 27);
+    }
+
+    #[test]
+    fn im2col_identity_kernel() {
+        // 1×1 kernel, stride 1, no padding: patches are just pixels.
+        let shape = ConvShape { n: 1, c: 2, h: 3, w: 3 };
+        let cfg = Conv2dConfig {
+            in_channels: 2,
+            out_channels: 1,
+            kernel: 1,
+            stride: 1,
+            padding: 0,
+        };
+        let x = input(shape, 1);
+        let p = im2col(&x, shape, &cfg);
+        assert_eq!((p.rows(), p.cols()), (9, 2));
+        assert_eq!(p.at(0, 0), x[shape.index(0, 0, 0, 0)]);
+        assert_eq!(p.at(4, 1), x[shape.index(0, 1, 1, 1)]);
+    }
+
+    #[test]
+    fn im2col_zero_pads_borders() {
+        let shape = ConvShape { n: 1, c: 1, h: 2, w: 2 };
+        let cfg = Conv2dConfig {
+            in_channels: 1,
+            out_channels: 1,
+            kernel: 3,
+            stride: 1,
+            padding: 1,
+        };
+        let x = vec![1.0, 2.0, 3.0, 4.0];
+        let p = im2col(&x, shape, &cfg);
+        // Output (0,0): receptive field top-left — 5 pad zeros.
+        let row0 = &p.as_slice()[0..9];
+        assert_eq!(row0, &[0.0, 0.0, 0.0, 0.0, 1.0, 2.0, 0.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn conv_via_matmul_matches_direct() {
+        let shape = ConvShape { n: 2, c: 3, h: 8, w: 8 };
+        let cfg = Conv2dConfig {
+            in_channels: 3,
+            out_channels: 5,
+            kernel: 3,
+            stride: 1,
+            padding: 1,
+        };
+        let layer = Conv2d::new(cfg, classical(1), 7);
+        let x = input(shape, 2);
+        let (got, got_shape) = layer.forward(&x, shape);
+        let (expect, expect_shape) =
+            conv2d_direct(&x, shape, &cfg, &layer.filters, &layer.bias);
+        assert_eq!(got_shape, expect_shape);
+        for (g, e) in got.iter().zip(&expect) {
+            assert!((g - e).abs() < 1e-4, "{g} vs {e}");
+        }
+    }
+
+    #[test]
+    fn strided_conv_matches_direct() {
+        let shape = ConvShape { n: 1, c: 2, h: 9, w: 7 };
+        let cfg = Conv2dConfig {
+            in_channels: 2,
+            out_channels: 4,
+            kernel: 3,
+            stride: 2,
+            padding: 0,
+        };
+        let layer = Conv2d::new(cfg, classical(1), 9);
+        let x = input(shape, 3);
+        let (got, gs) = layer.forward(&x, shape);
+        let (expect, _) = conv2d_direct(&x, shape, &cfg, &layer.filters, &layer.bias);
+        assert_eq!((gs.h, gs.w), (4, 3));
+        for (g, e) in got.iter().zip(&expect) {
+            assert!((g - e).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn col2im_inverts_im2col_counts() {
+        // For an all-ones patch matrix, col2im produces, at each input
+        // pixel, the number of receptive fields covering it.
+        let shape = ConvShape { n: 1, c: 1, h: 3, w: 3 };
+        let cfg = Conv2dConfig {
+            in_channels: 1,
+            out_channels: 1,
+            kernel: 3,
+            stride: 1,
+            padding: 1,
+        };
+        let (oh, ow) = cfg.out_size(3, 3);
+        let ones = Mat::from_fn(oh * ow, cfg.patch_len(), |_, _| 1.0);
+        let folded = col2im(&ones, shape, &cfg);
+        // Center pixel is covered by all 9 fields; corners by 4.
+        assert_eq!(folded[4], 9.0);
+        assert_eq!(folded[0], 4.0);
+        assert_eq!(folded[2], 4.0);
+        assert_eq!(folded[1], 6.0);
+    }
+
+    #[test]
+    fn conv_filter_gradient_matches_finite_difference() {
+        let shape = ConvShape { n: 2, c: 2, h: 5, w: 5 };
+        let cfg = Conv2dConfig {
+            in_channels: 2,
+            out_channels: 3,
+            kernel: 3,
+            stride: 1,
+            padding: 1,
+        };
+        let mut layer = Conv2d::new(cfg, classical(1), 21);
+        let x = input(shape, 5);
+        // Loss = sum of outputs → dOut = ones.
+        let (out, out_shape) = layer.forward_train(&x, shape);
+        let dout = vec![1.0f32; out.len()];
+        let _ = layer.backward(&dout, out_shape);
+        let analytic = layer.grad_filters.clone().unwrap();
+
+        let eps = 1e-2f32;
+        for (fi, fj) in [(0, 0), (5, 1), (17, 2)] {
+            let orig = layer.filters.at(fi, fj);
+            layer.filters.set(fi, fj, orig + eps);
+            let (lp, _) = layer.forward(&x, shape);
+            layer.filters.set(fi, fj, orig - eps);
+            let (lm, _) = layer.forward(&x, shape);
+            layer.filters.set(fi, fj, orig);
+            let numeric =
+                (lp.iter().sum::<f32>() - lm.iter().sum::<f32>()) / (2.0 * eps);
+            let a = analytic.at(fi, fj);
+            assert!(
+                (a - numeric).abs() < 0.05 * (1.0 + numeric.abs()),
+                "dF[{fi}][{fj}]: analytic {a}, numeric {numeric}"
+            );
+        }
+    }
+
+    #[test]
+    fn conv_input_gradient_matches_finite_difference() {
+        let shape = ConvShape { n: 1, c: 1, h: 4, w: 4 };
+        let cfg = Conv2dConfig {
+            in_channels: 1,
+            out_channels: 2,
+            kernel: 3,
+            stride: 1,
+            padding: 0,
+        };
+        let mut layer = Conv2d::new(cfg, classical(1), 23);
+        let mut x = input(shape, 6);
+        let (_, out_shape) = layer.forward_train(&x, shape);
+        let dout = vec![1.0f32; out_shape.elems()];
+        let dinput = layer.backward(&dout, out_shape);
+
+        let eps = 1e-2f32;
+        for idx in [0usize, 5, 10, 15] {
+            let orig = x[idx];
+            x[idx] = orig + eps;
+            let (lp, _) = layer.forward(&x, shape);
+            x[idx] = orig - eps;
+            let (lm, _) = layer.forward(&x, shape);
+            x[idx] = orig;
+            let numeric = (lp.iter().sum::<f32>() - lm.iter().sum::<f32>()) / (2.0 * eps);
+            assert!(
+                (dinput[idx] - numeric).abs() < 0.05 * (1.0 + numeric.abs()),
+                "dX[{idx}]: analytic {}, numeric {numeric}",
+                dinput[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn conv_sgd_reduces_reconstruction_loss() {
+        // Tiny regression: learn filters that reproduce a target response.
+        let shape = ConvShape { n: 1, c: 1, h: 6, w: 6 };
+        let cfg = Conv2dConfig {
+            in_channels: 1,
+            out_channels: 1,
+            kernel: 3,
+            stride: 1,
+            padding: 1,
+        };
+        let target_layer = Conv2d::new(cfg, classical(1), 31);
+        let mut learner = Conv2d::new(cfg, classical(1), 32);
+        let x = input(shape, 7);
+        let (target, out_shape) = target_layer.forward(&x, shape);
+
+        let loss_of = |layer: &Conv2d| -> f32 {
+            let (y, _) = layer.forward(&x, shape);
+            y.iter().zip(&target).map(|(a, b)| (a - b) * (a - b)).sum()
+        };
+        let initial = loss_of(&learner);
+        for _ in 0..50 {
+            let (y, _) = learner.forward_train(&x, shape);
+            let dout: Vec<f32> = y.iter().zip(&target).map(|(a, b)| 2.0 * (a - b)).collect();
+            let _ = learner.backward(&dout, out_shape);
+            learner.apply_sgd(0.01);
+        }
+        let final_loss = loss_of(&learner);
+        assert!(
+            final_loss < initial * 0.1,
+            "conv SGD failed to fit: {initial} → {final_loss}"
+        );
+    }
+
+    #[test]
+    fn apa_backend_convolves_accurately() {
+        // The paper's §1 claim in action: an APA kernel inside im2col conv.
+        let shape = ConvShape { n: 4, c: 8, h: 12, w: 12 };
+        let cfg = Conv2dConfig {
+            in_channels: 8,
+            out_channels: 16,
+            kernel: 3,
+            stride: 1,
+            padding: 1,
+        };
+        let apa_layer = Conv2d::new(cfg, apa(catalog::bini322(), 1), 11);
+        let x = input(shape, 4);
+        let (got, _) = apa_layer.forward(&x, shape);
+        let (expect, _) = conv2d_direct(&x, shape, &cfg, &apa_layer.filters, &apa_layer.bias);
+        let num: f64 = got
+            .iter()
+            .zip(&expect)
+            .map(|(g, e)| ((g - e) as f64).powi(2))
+            .sum::<f64>()
+            .sqrt();
+        let den: f64 = expect.iter().map(|e| (*e as f64).powi(2)).sum::<f64>().sqrt();
+        let rel = num / den.max(1e-30);
+        assert!(rel < 5e-3, "APA conv rel error {rel}");
+    }
+}

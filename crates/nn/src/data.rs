@@ -1,0 +1,404 @@
+//! Datasets: batching/shuffling, the IDX (MNIST) loader, and the synthetic
+//! MNIST generator.
+//!
+//! The paper trains on MNIST [LeCun et al. 98]. The dataset files are not
+//! redistributable inside this repository, so the default experiments use a
+//! **synthetic MNIST**: procedurally rendered 28×28 digit images
+//! (seven-segment strokes with per-sample translation, thickness-blurred
+//! edges, intensity jitter and pixel noise). The task keeps the tensor
+//! shapes (784 features, 10 classes) and — like MNIST — is learnable to
+//! high accuracy by an MLP, which is what the accuracy experiment needs:
+//! a task where APA-induced matmul error *could* show up as degraded
+//! train/test accuracy. If real MNIST IDX files are present (see
+//! [`load_mnist_idx`]), the harnesses use them instead.
+
+use apa_gemm::Mat;
+use bytes::Buf;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use std::fs;
+use std::path::Path;
+
+/// A labelled dense dataset: `len × features` images, one byte label each.
+pub struct Dataset {
+    images: Mat<f32>,
+    labels: Vec<u8>,
+    num_classes: usize,
+}
+
+impl Dataset {
+    pub fn new(images: Mat<f32>, labels: Vec<u8>, num_classes: usize) -> Self {
+        assert_eq!(images.rows(), labels.len(), "one label per row required");
+        Self {
+            images,
+            labels,
+            num_classes,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    pub fn features(&self) -> usize {
+        self.images.cols()
+    }
+
+    pub fn num_classes(&self) -> usize {
+        self.num_classes
+    }
+
+    pub fn labels(&self) -> &[u8] {
+        &self.labels
+    }
+
+    pub fn images(&self) -> &Mat<f32> {
+        &self.images
+    }
+
+    /// A deterministic shuffled index order for one epoch.
+    pub fn shuffled_indices(&self, seed: u64) -> Vec<usize> {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut idx: Vec<usize> = (0..self.len()).collect();
+        // Fisher–Yates.
+        for i in (1..idx.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            idx.swap(i, j);
+        }
+        idx
+    }
+
+    /// Materialize a batch from row indices.
+    pub fn gather(&self, indices: &[usize]) -> (Mat<f32>, Vec<u8>) {
+        let f = self.features();
+        let mut x = Mat::zeros(indices.len(), f);
+        let mut labels = Vec::with_capacity(indices.len());
+        for (row, &i) in indices.iter().enumerate() {
+            let src = &self.images.as_slice()[i * f..(i + 1) * f];
+            x.as_mut_slice()[row * f..(row + 1) * f].copy_from_slice(src);
+            labels.push(self.labels[i]);
+        }
+        (x, labels)
+    }
+
+    /// Split into (front `n`, rest).
+    pub fn split_at(self, n: usize) -> (Dataset, Dataset) {
+        assert!(n <= self.len());
+        let f = self.features();
+        let front_img = Mat::from_vec(n, f, self.images.as_slice()[..n * f].to_vec());
+        let back_img = Mat::from_vec(
+            self.len() - n,
+            f,
+            self.images.as_slice()[n * f..].to_vec(),
+        );
+        (
+            Dataset::new(front_img, self.labels[..n].to_vec(), self.num_classes),
+            Dataset::new(back_img, self.labels[n..].to_vec(), self.num_classes),
+        )
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Synthetic MNIST
+// ---------------------------------------------------------------------------
+
+const SIDE: usize = 28;
+
+/// Segment masks per digit (seven-segment layout: a top, b top-right,
+/// c bottom-right, d bottom, e bottom-left, f top-left, g middle).
+const SEGMENTS: [&[u8]; 10] = [
+    b"abcdef",  // 0
+    b"bc",      // 1
+    b"abged",   // 2
+    b"abgcd",   // 3
+    b"fgbc",    // 4
+    b"afgcd",   // 5
+    b"afgedc",  // 6
+    b"abc",     // 7
+    b"abcdefg", // 8
+    b"abcdfg",  // 9
+];
+
+/// Stroke endpoints per segment in the 28×28 canvas (x, y), pre-jitter.
+fn segment_line(seg: u8) -> ((f32, f32), (f32, f32)) {
+    let (left, right, top, mid, bottom) = (9.0, 19.0, 5.0, 14.0, 23.0);
+    match seg {
+        b'a' => ((left, top), (right, top)),
+        b'b' => ((right, top), (right, mid)),
+        b'c' => ((right, mid), (right, bottom)),
+        b'd' => ((left, bottom), (right, bottom)),
+        b'e' => ((left, mid), (left, bottom)),
+        b'f' => ((left, top), (left, mid)),
+        b'g' => ((left, mid), (right, mid)),
+        _ => unreachable!("unknown segment"),
+    }
+}
+
+/// Render one digit image with per-sample randomness.
+fn render_digit(digit: u8, rng: &mut ChaCha8Rng) -> Vec<f32> {
+    let mut img = vec![0.0f32; SIDE * SIDE];
+    let dx: f32 = rng.gen_range(-2.0..2.0);
+    let dy: f32 = rng.gen_range(-2.0..2.0);
+    let thickness: f32 = rng.gen_range(1.0..1.9);
+    let base_intensity: f32 = rng.gen_range(0.75..1.0);
+
+    for &seg in SEGMENTS[digit as usize] {
+        let ((x0, y0), (x1, y1)) = segment_line(seg);
+        let (x0, y0, x1, y1) = (x0 + dx, y0 + dy, x1 + dx, y1 + dy);
+        let seg_intensity = base_intensity * rng.gen_range(0.85..1.0);
+        // Distance-to-segment rendering with a soft edge.
+        let (min_x, max_x) = (x0.min(x1) - 2.0, x0.max(x1) + 2.0);
+        let (min_y, max_y) = (y0.min(y1) - 2.0, y0.max(y1) + 2.0);
+        for py in (min_y.max(0.0) as usize)..=(max_y.min((SIDE - 1) as f32) as usize) {
+            for px in (min_x.max(0.0) as usize)..=(max_x.min((SIDE - 1) as f32) as usize) {
+                let d = point_segment_distance(px as f32, py as f32, x0, y0, x1, y1);
+                let v = seg_intensity * (1.0 - ((d - thickness * 0.5) / 0.8).max(0.0)).clamp(0.0, 1.0);
+                let cell = &mut img[py * SIDE + px];
+                *cell = cell.max(v);
+            }
+        }
+    }
+    // Pixel noise.
+    for v in &mut img {
+        *v = (*v + rng.gen_range(-0.05..0.05)).clamp(0.0, 1.0);
+    }
+    img
+}
+
+fn point_segment_distance(px: f32, py: f32, x0: f32, y0: f32, x1: f32, y1: f32) -> f32 {
+    let (vx, vy) = (x1 - x0, y1 - y0);
+    let (wx, wy) = (px - x0, py - y0);
+    let len2 = vx * vx + vy * vy;
+    let t = if len2 <= f32::EPSILON {
+        0.0
+    } else {
+        ((wx * vx + wy * vy) / len2).clamp(0.0, 1.0)
+    };
+    let (cx, cy) = (x0 + t * vx, y0 + t * vy);
+    ((px - cx).powi(2) + (py - cy).powi(2)).sqrt()
+}
+
+/// Generate a balanced synthetic-MNIST dataset of `n` samples.
+pub fn synthetic_mnist(n: usize, seed: u64) -> Dataset {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut images = Mat::zeros(n, SIDE * SIDE);
+    let mut labels = Vec::with_capacity(n);
+    for i in 0..n {
+        let digit = (i % 10) as u8;
+        let img = render_digit(digit, &mut rng);
+        images.as_mut_slice()[i * SIDE * SIDE..(i + 1) * SIDE * SIDE].copy_from_slice(&img);
+        labels.push(digit);
+    }
+    // Shuffle rows so class order is not systematic.
+    let ds = Dataset::new(images, labels, 10);
+    let order = ds.shuffled_indices(seed ^ 0x5EED);
+    let (x, y) = ds.gather(&order);
+    Dataset::new(x, y, 10)
+}
+
+/// Paper-style train/test pair (60 000 / 10 000 at full scale).
+pub fn synthetic_mnist_split(n_train: usize, n_test: usize, seed: u64) -> (Dataset, Dataset) {
+    let all = synthetic_mnist(n_train + n_test, seed);
+    all.split_at(n_train)
+}
+
+// ---------------------------------------------------------------------------
+// IDX (real MNIST) loader
+// ---------------------------------------------------------------------------
+
+/// Parse an `idx3-ubyte` image file into row-major normalized f32 rows.
+pub fn parse_idx_images(data: &[u8]) -> Result<Mat<f32>, String> {
+    let mut buf = data;
+    if buf.remaining() < 16 {
+        return Err("IDX image file too short".into());
+    }
+    let magic = buf.get_u32();
+    if magic != 0x0000_0803 {
+        return Err(format!("bad IDX image magic {magic:#x}"));
+    }
+    let count = buf.get_u32() as usize;
+    let rows = buf.get_u32() as usize;
+    let cols = buf.get_u32() as usize;
+    let pixels = count * rows * cols;
+    if buf.remaining() < pixels {
+        return Err(format!(
+            "IDX image file truncated: need {pixels} pixels, have {}",
+            buf.remaining()
+        ));
+    }
+    let mut images = Mat::zeros(count, rows * cols);
+    let slice = images.as_mut_slice();
+    for (dst, &px) in slice.iter_mut().zip(buf.chunk().iter().take(pixels)) {
+        *dst = px as f32 / 255.0;
+    }
+    Ok(images)
+}
+
+/// Parse an `idx1-ubyte` label file.
+pub fn parse_idx_labels(data: &[u8]) -> Result<Vec<u8>, String> {
+    let mut buf = data;
+    if buf.remaining() < 8 {
+        return Err("IDX label file too short".into());
+    }
+    let magic = buf.get_u32();
+    if magic != 0x0000_0801 {
+        return Err(format!("bad IDX label magic {magic:#x}"));
+    }
+    let count = buf.get_u32() as usize;
+    if buf.remaining() < count {
+        return Err("IDX label file truncated".into());
+    }
+    Ok(buf.chunk()[..count].to_vec())
+}
+
+/// Load real MNIST from a directory holding the four canonical
+/// (uncompressed) IDX files; returns `None` when the files are absent so
+/// the harnesses can fall back to the synthetic generator.
+pub fn load_mnist_idx(dir: &Path) -> Option<(Dataset, Dataset)> {
+    let read = |name: &str| fs::read(dir.join(name)).ok();
+    let tr_img = read("train-images-idx3-ubyte")?;
+    let tr_lbl = read("train-labels-idx1-ubyte")?;
+    let te_img = read("t10k-images-idx3-ubyte")?;
+    let te_lbl = read("t10k-labels-idx1-ubyte")?;
+    let train = Dataset::new(
+        parse_idx_images(&tr_img).ok()?,
+        parse_idx_labels(&tr_lbl).ok()?,
+        10,
+    );
+    let test = Dataset::new(
+        parse_idx_images(&te_img).ok()?,
+        parse_idx_labels(&te_lbl).ok()?,
+        10,
+    );
+    Some((train, test))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthetic_digits_have_structure() {
+        let ds = synthetic_mnist(100, 1);
+        assert_eq!(ds.len(), 100);
+        assert_eq!(ds.features(), 784);
+        // Every image must have ink, and the mean ink must differ across
+        // class pairs (1 is sparse, 8 is dense).
+        let mut class_ink = [0.0f64; 10];
+        let mut class_count = [0usize; 10];
+        for i in 0..ds.len() {
+            let row = &ds.images().as_slice()[i * 784..(i + 1) * 784];
+            let ink: f32 = row.iter().sum();
+            assert!(ink > 1.0, "image {i} is blank");
+            let l = ds.labels()[i] as usize;
+            class_ink[l] += ink as f64;
+            class_count[l] += 1;
+        }
+        let mean = |c: usize| class_ink[c] / class_count[c] as f64;
+        assert!(mean(8) > mean(1) * 1.5, "8 should be inkier than 1");
+    }
+
+    #[test]
+    fn synthetic_is_deterministic_per_seed() {
+        let a = synthetic_mnist(20, 7);
+        let b = synthetic_mnist(20, 7);
+        assert_eq!(a.images().as_slice(), b.images().as_slice());
+        assert_eq!(a.labels(), b.labels());
+        let c = synthetic_mnist(20, 8);
+        assert_ne!(a.images().as_slice(), c.images().as_slice());
+    }
+
+    #[test]
+    fn classes_are_balanced() {
+        let ds = synthetic_mnist(200, 3);
+        let mut counts = [0usize; 10];
+        for &l in ds.labels() {
+            counts[l as usize] += 1;
+        }
+        assert!(counts.iter().all(|&c| c == 20), "{counts:?}");
+    }
+
+    #[test]
+    fn shuffled_indices_are_permutations() {
+        let ds = synthetic_mnist(50, 2);
+        let idx = ds.shuffled_indices(9);
+        let mut sorted = idx.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(idx, (0..50).collect::<Vec<_>>(), "shuffle did nothing");
+        assert_eq!(idx, ds.shuffled_indices(9), "determinism");
+    }
+
+    #[test]
+    fn gather_extracts_rows() {
+        let images = Mat::from_fn(4, 3, |i, j| (i * 3 + j) as f32);
+        let ds = Dataset::new(images, vec![0, 1, 2, 3], 4);
+        let (x, labels) = ds.gather(&[2, 0]);
+        assert_eq!(labels, vec![2, 0]);
+        assert_eq!(x.at(0, 0), 6.0);
+        assert_eq!(x.at(1, 2), 2.0);
+    }
+
+    #[test]
+    fn split_preserves_rows() {
+        let ds = synthetic_mnist(30, 4);
+        let first_row = ds.images().as_slice()[..784].to_vec();
+        let (train, test) = ds.split_at(20);
+        assert_eq!(train.len(), 20);
+        assert_eq!(test.len(), 10);
+        assert_eq!(&train.images().as_slice()[..784], &first_row[..]);
+    }
+
+    #[test]
+    fn idx_roundtrip() {
+        // Build a tiny idx pair in memory.
+        let mut img = vec![0u8, 0, 8, 3]; // magic 0x803
+        img.extend_from_slice(&2u32.to_be_bytes());
+        img.extend_from_slice(&2u32.to_be_bytes());
+        img.extend_from_slice(&2u32.to_be_bytes());
+        img.extend_from_slice(&[0, 255, 128, 64, 255, 0, 0, 32]);
+        let m = parse_idx_images(&img).unwrap();
+        assert_eq!((m.rows(), m.cols()), (2, 4));
+        assert_eq!(m.at(0, 1), 1.0);
+        assert!((m.at(0, 2) - 128.0 / 255.0).abs() < 1e-6);
+
+        let mut lbl = vec![0u8, 0, 8, 1]; // magic 0x801
+        lbl.extend_from_slice(&2u32.to_be_bytes());
+        lbl.extend_from_slice(&[7, 3]);
+        assert_eq!(parse_idx_labels(&lbl).unwrap(), vec![7, 3]);
+    }
+
+    #[test]
+    fn idx_rejects_bad_input() {
+        assert!(parse_idx_images(&[1, 2, 3]).is_err());
+        assert!(parse_idx_labels(&[0, 0, 8, 3, 0, 0, 0, 1, 5]).is_err()); // wrong magic
+        let mut truncated = vec![0u8, 0, 8, 3];
+        truncated.extend_from_slice(&100u32.to_be_bytes());
+        truncated.extend_from_slice(&28u32.to_be_bytes());
+        truncated.extend_from_slice(&28u32.to_be_bytes());
+        assert!(parse_idx_images(&truncated).is_err());
+    }
+
+    #[test]
+    fn load_mnist_idx_absent_is_none() {
+        assert!(load_mnist_idx(Path::new("/nonexistent/dir")).is_none());
+    }
+
+    #[test]
+    fn mlp_can_learn_synthetic_digits() {
+        // End-to-end sanity: a small MLP reaches decent accuracy fast.
+        use crate::backend::classical;
+        use crate::net::Mlp;
+        let (train, test) = synthetic_mnist_split(600, 100, 5);
+        let mut net = Mlp::new(&[784, 64, 10], vec![classical(1); 2], 11);
+        for e in 0..8 {
+            net.train_epoch(&train, 50, 0.1, e);
+        }
+        let acc = net.evaluate(&test, 100);
+        assert!(acc > 0.8, "test accuracy {acc}");
+    }
+}

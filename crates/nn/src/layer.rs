@@ -1,0 +1,251 @@
+//! Dense (fully connected) layers with pluggable matmul backends.
+//!
+//! Forward:  `Z = X·W + b`, `A = act(Z)` with `X: batch×in`, `W: in×out`.
+//! Backward: `dZ = dA ⊙ act'(Z)`, `dW = Xᵀ·dZ`, `db = Σ_rows dZ`,
+//!           `dX = dZ·Wᵀ`.
+//!
+//! The three matmuls (`X·W`, `Xᵀ·dZ`, `dZ·Wᵀ`) all route through the
+//! layer's backend — exactly the multiplications the paper replaces with
+//! APA operators in both propagation directions (§4.2).
+
+use crate::backend::Backend;
+use crate::tensor::{add_bias_rows, axpy, col_sums, relu_backward_inplace};
+use apa_gemm::Mat;
+
+/// Activation applied after the affine map.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Activation {
+    Relu,
+    /// No activation — used for the output layer feeding softmax-CE.
+    Identity,
+}
+
+/// A dense layer with cached forward state for backpropagation.
+pub struct Dense {
+    /// `in × out` weights.
+    pub w: Mat<f32>,
+    /// `out` biases.
+    pub b: Vec<f32>,
+    pub activation: Activation,
+    backend: Backend,
+    // Cached from the last forward pass:
+    input: Option<Mat<f32>>,
+    pre_activation: Option<Mat<f32>>,
+    // Last computed gradients:
+    pub grad_w: Option<Mat<f32>>,
+    pub grad_b: Option<Vec<f32>>,
+}
+
+impl Dense {
+    /// He-style initialization scaled for ReLU stacks, deterministic in
+    /// `seed` (the reproduction needs bit-identical reruns).
+    pub fn new(inputs: usize, outputs: usize, activation: Activation, backend: Backend, seed: u64) -> Self {
+        let scale = (2.0 / inputs as f64).sqrt();
+        let mut state = seed
+            .wrapping_mul(0x9E3779B97F4A7C15)
+            .wrapping_add(0x2545F4914F6CDD1D);
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            ((state >> 32) as u32 as f64 / (1u64 << 31) as f64) - 1.0
+        };
+        let w = Mat::from_fn(inputs, outputs, |_, _| (next() * scale) as f32);
+        Self {
+            w,
+            b: vec![0.0; outputs],
+            activation,
+            backend,
+            input: None,
+            pre_activation: None,
+            grad_w: None,
+            grad_b: None,
+        }
+    }
+
+    pub fn inputs(&self) -> usize {
+        self.w.rows()
+    }
+
+    pub fn outputs(&self) -> usize {
+        self.w.cols()
+    }
+
+    pub fn backend_name(&self) -> String {
+        self.backend.name()
+    }
+
+    /// Swap the matmul backend (e.g. classical → APA) without touching the
+    /// weights — used by the experiment harnesses to compare algorithms on
+    /// identical networks.
+    pub fn set_backend(&mut self, backend: Backend) {
+        self.backend = backend;
+    }
+
+    /// Forward pass; caches `X` and `Z` for the backward pass.
+    pub fn forward(&mut self, x: &Mat<f32>) -> Mat<f32> {
+        assert_eq!(x.cols(), self.inputs(), "input width mismatch");
+        let mut z = self.backend.matmul(x.as_ref(), self.w.as_ref());
+        add_bias_rows(&mut z, &self.b);
+        let a = match self.activation {
+            Activation::Relu => {
+                let mut a = z.clone();
+                for v in a.as_mut_slice() {
+                    if *v < 0.0 {
+                        *v = 0.0;
+                    }
+                }
+                a
+            }
+            Activation::Identity => z.clone(),
+        };
+        self.input = Some(x.clone());
+        self.pre_activation = Some(z);
+        a
+    }
+
+    /// Inference-only forward: no caching, no clone of the input.
+    pub fn forward_inference(&self, x: &Mat<f32>) -> Mat<f32> {
+        let mut z = self.backend.matmul(x.as_ref(), self.w.as_ref());
+        add_bias_rows(&mut z, &self.b);
+        if self.activation == Activation::Relu {
+            for v in z.as_mut_slice() {
+                if *v < 0.0 {
+                    *v = 0.0;
+                }
+            }
+        }
+        z
+    }
+
+    /// Backward pass from `dA` (gradient w.r.t. this layer's output);
+    /// stores `dW`/`db` and returns `dX`.
+    pub fn backward(&mut self, grad_out: &Mat<f32>) -> Mat<f32> {
+        let x = self
+            .input
+            .as_ref()
+            .expect("backward() requires a prior forward()");
+        let z = self.pre_activation.as_ref().unwrap();
+        let mut dz = grad_out.clone();
+        if self.activation == Activation::Relu {
+            relu_backward_inplace(&mut dz, z);
+        }
+        // dW = Xᵀ·dZ, db = column sums, dX = dZ·Wᵀ — all through the
+        // layer's backend, exactly the gradient multiplications the paper
+        // replaces with APA operators.
+        let dw = self.backend.matmul_tn(x.as_ref(), dz.as_ref());
+        let db = col_sums(dz.as_ref());
+        let dx = self.backend.matmul_nt(dz.as_ref(), self.w.as_ref());
+        self.grad_w = Some(dw);
+        self.grad_b = Some(db);
+        dx
+    }
+
+    /// SGD step: `W ← W − lr·dW`, `b ← b − lr·db`.
+    pub fn apply_sgd(&mut self, lr: f32) {
+        if let Some(dw) = self.grad_w.take() {
+            axpy(-lr, &dw, &mut self.w);
+        }
+        if let Some(db) = self.grad_b.take() {
+            for (b, &g) in self.b.iter_mut().zip(&db) {
+                *b -= lr * g;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::classical;
+
+    fn layer(inputs: usize, outputs: usize, act: Activation) -> Dense {
+        Dense::new(inputs, outputs, act, classical(1), 42)
+    }
+
+    #[test]
+    fn forward_shape_and_bias() {
+        let mut l = layer(4, 3, Activation::Identity);
+        l.b = vec![1.0, 2.0, 3.0];
+        let x = Mat::zeros(2, 4);
+        let y = l.forward(&x);
+        assert_eq!((y.rows(), y.cols()), (2, 3));
+        // Zero inputs → output equals bias.
+        assert_eq!(y.at(0, 0), 1.0);
+        assert_eq!(y.at(1, 2), 3.0);
+    }
+
+    #[test]
+    fn relu_clamps_negative_preactivations() {
+        let mut l = layer(1, 2, Activation::Relu);
+        l.w = Mat::from_vec(1, 2, vec![1.0, -1.0]);
+        let x = Mat::from_vec(1, 1, vec![2.0]);
+        let y = l.forward(&x);
+        assert_eq!(y.as_slice(), &[2.0, 0.0]);
+    }
+
+    #[test]
+    fn gradient_check_weights() {
+        // Finite-difference check of dW on a tiny layer with L = Σ output.
+        let mut l = layer(3, 2, Activation::Relu);
+        let x = Mat::from_fn(4, 3, |i, j| ((i + j) as f32 * 0.3) - 0.4);
+        let y = l.forward(&x);
+        let ones = Mat::from_fn(y.rows(), y.cols(), |_, _| 1.0);
+        l.backward(&ones);
+        let analytic = l.grad_w.clone().unwrap();
+
+        let eps = 1e-3f32;
+        for (wi, wj) in [(0, 0), (1, 1), (2, 0)] {
+            let orig = l.w.at(wi, wj);
+            l.w.set(wi, wj, orig + eps);
+            let lp: f32 = l.forward_inference(&x).as_slice().iter().sum();
+            l.w.set(wi, wj, orig - eps);
+            let lm: f32 = l.forward_inference(&x).as_slice().iter().sum();
+            l.w.set(wi, wj, orig);
+            let numeric = (lp - lm) / (2.0 * eps);
+            let a = analytic.at(wi, wj);
+            assert!(
+                (a - numeric).abs() < 2e-2 * (1.0 + numeric.abs()),
+                "dW[{wi}][{wj}]: analytic {a}, numeric {numeric}"
+            );
+        }
+    }
+
+    #[test]
+    fn gradient_check_inputs() {
+        let mut l = layer(3, 2, Activation::Identity);
+        let x = Mat::from_fn(2, 3, |i, j| (i as f32 - j as f32) * 0.25);
+        let _ = l.forward(&x);
+        let ones = Mat::from_fn(2, 2, |_, _| 1.0);
+        let dx = l.backward(&ones);
+        // With identity activation and all-ones upstream gradient,
+        // dX[i][j] = Σ_o W[j][o].
+        for i in 0..2 {
+            for j in 0..3 {
+                let expect: f32 = (0..2).map(|o| l.w.at(j, o)).sum();
+                assert!((dx.at(i, j) - expect).abs() < 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn sgd_moves_weights_against_gradient() {
+        let mut l = layer(2, 2, Activation::Identity);
+        let x = Mat::from_fn(1, 2, |_, _| 1.0);
+        let _ = l.forward(&x);
+        let g = Mat::from_fn(1, 2, |_, _| 1.0);
+        l.backward(&g);
+        let before = l.w.at(0, 0);
+        let dw00 = l.grad_w.as_ref().unwrap().at(0, 0);
+        l.apply_sgd(0.1);
+        assert!((l.w.at(0, 0) - (before - 0.1 * dw00)).abs() < 1e-6);
+        assert!(l.grad_w.is_none(), "gradients consumed by the step");
+    }
+
+    #[test]
+    fn deterministic_initialization() {
+        let l1 = layer(5, 5, Activation::Relu);
+        let l2 = layer(5, 5, Activation::Relu);
+        assert_eq!(l1.w, l2.w);
+    }
+}

@@ -1,0 +1,94 @@
+//! The two MLP configurations the paper evaluates.
+//!
+//! * **Accuracy network** (§4.2, Fig. 4/5): 784-300-300-10, batch 300.
+//!   The APA operator replaces only the *middle* multiplication (the
+//!   300→300 layer, ⟨300,300,300⟩ products in forward and backward);
+//!   input and output layers stay classical.
+//! * **Performance network** (§4.3, Fig. 6): the ParaDnn-style 6-layer MLP
+//!   (4 hidden layers of width H) with batch size matched to H so the
+//!   hidden-layer products are square ⟨H,H,H⟩. The APA operator is used on
+//!   all hidden (H→H) layers.
+
+use crate::backend::{classical, Backend};
+use crate::net::Mlp;
+
+/// Batch size of the accuracy experiment (paper: 300).
+pub const ACCURACY_BATCH: usize = 300;
+
+/// The 784-300-300-10 accuracy network with `hidden` driving the middle
+/// (300→300) layer and classical matmul elsewhere.
+pub fn accuracy_network(hidden: Backend, threads: usize, seed: u64) -> Mlp {
+    let widths = [784, 300, 300, 10];
+    let backends = vec![classical(threads), hidden, classical(threads)];
+    Mlp::new(&widths, backends, seed)
+}
+
+/// The ParaDnn-style performance network: 784 → H×4 → 10, with `hidden`
+/// on every H→H layer (three of them) and classical on the input/output
+/// layers. Batch size should equal `h` to reproduce the paper's square
+/// hidden multiplications.
+pub fn performance_network(h: usize, hidden: Backend, threads: usize, seed: u64) -> Mlp {
+    let widths = [784, h, h, h, h, 10];
+    let backends: Vec<Backend> = vec![
+        classical(threads), // 784 → H
+        hidden.clone(),     // H → H
+        hidden.clone(),     // H → H
+        hidden,             // H → H
+        classical(threads), // H → 10
+    ];
+    Mlp::new(&widths, backends, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::apa;
+    use crate::data::synthetic_mnist_split;
+    use apa_core::catalog;
+
+    #[test]
+    fn accuracy_network_shape_matches_paper() {
+        let net = accuracy_network(classical(1), 1, 1);
+        assert_eq!(net.widths(), vec![784, 300, 300, 10]);
+        assert_eq!(net.layers.len(), 3);
+    }
+
+    #[test]
+    fn performance_network_shape_matches_paradnn() {
+        let net = performance_network(512, classical(1), 1, 1);
+        assert_eq!(net.widths(), vec![784, 512, 512, 512, 512, 10]);
+    }
+
+    #[test]
+    fn middle_layer_uses_apa_backend() {
+        let net = accuracy_network(apa(catalog::bini322(), 1), 1, 1);
+        let summary = net.backend_summary();
+        assert!(summary.contains("bini322"), "{summary}");
+        // Input and output layers stay classical.
+        assert!(summary.starts_with("784x300:classical"), "{summary}");
+        assert!(summary.ends_with("300x10:classical(t=1)"), "{summary}");
+    }
+
+    #[test]
+    fn apa_network_trains_as_well_as_classical() {
+        // Scaled-down §4.2: identical init/seed, train a few epochs with
+        // classical and with Bini's algorithm in the middle layer; final
+        // accuracies must be comparable (the paper's headline robustness
+        // result).
+        let (train, test) = synthetic_mnist_split(800, 200, 17);
+        let run = |hidden: Backend| -> f64 {
+            let mut net = accuracy_network(hidden, 1, 99);
+            for e in 0..6 {
+                net.train_epoch(&train, 100, 0.1, e);
+            }
+            net.evaluate(&test, 200)
+        };
+        let acc_classical = run(classical(1));
+        let acc_apa = run(apa(catalog::bini322(), 1));
+        assert!(acc_classical > 0.75, "classical acc {acc_classical}");
+        assert!(
+            acc_apa > acc_classical - 0.1,
+            "APA acc {acc_apa} should track classical {acc_classical}"
+        );
+    }
+}

@@ -1,0 +1,128 @@
+//! NN training integration at the crate level: optimizers, conv-in-a-
+//! pipeline, backend swapping mid-training, and gradient plumbing.
+
+use apa_core::catalog;
+use apa_gemm::Mat;
+use apa_nn::{
+    accuracy, apa, classical, im2col, softmax_cross_entropy, synthetic_mnist_split, Activation,
+    Conv2d, Conv2dConfig, ConvShape, Dense, Mlp, Optimizer, SgdConfig,
+};
+
+#[test]
+fn momentum_training_on_synthetic_digits() {
+    let (train, test) = synthetic_mnist_split(1000, 200, 0x31);
+    let mut net = Mlp::new(&[784, 64, 10], vec![classical(1); 2], 5);
+    let mut opt = Optimizer::new(
+        SgdConfig {
+            lr: 0.05,
+            momentum: 0.9,
+            weight_decay: 1e-4,
+        },
+        &net,
+    );
+    for e in 0..6 {
+        let order = train.shuffled_indices(e as u64);
+        for chunk in order.chunks(100) {
+            if chunk.len() < 100 {
+                break;
+            }
+            let (x, labels) = train.gather(chunk);
+            let logits = net.forward(&x);
+            let (_, grad) = softmax_cross_entropy(&logits, &labels);
+            net.backward_only(&grad);
+            opt.step(&mut net);
+        }
+    }
+    let acc = net.evaluate(&test, 200);
+    assert!(acc > 0.85, "momentum training accuracy {acc}");
+}
+
+#[test]
+fn conv_then_dense_pipeline_runs_with_apa() {
+    // A small conv feature extractor feeding a dense classifier — the §1
+    // "conv as matmul" lowering end to end, APA kernels in both stages.
+    let backend = apa(catalog::bini322(), 1);
+    let conv = Conv2d::new(
+        Conv2dConfig {
+            in_channels: 1,
+            out_channels: 4,
+            kernel: 3,
+            stride: 2,
+            padding: 1,
+        },
+        backend.clone(),
+        3,
+    );
+    let shape = ConvShape { n: 8, c: 1, h: 28, w: 28 };
+    let (train, _) = synthetic_mnist_split(8, 1, 0x77);
+    let input: Vec<f32> = train.images().as_slice().to_vec();
+    let (features, out_shape) = conv.forward(&input, shape);
+    assert_eq!((out_shape.h, out_shape.w, out_shape.c), (14, 14, 4));
+
+    // Flatten per image and classify.
+    let feat_len = out_shape.c * out_shape.h * out_shape.w;
+    let mut x = Mat::zeros(8, feat_len);
+    for i in 0..8 {
+        x.as_mut_slice()[i * feat_len..(i + 1) * feat_len]
+            .copy_from_slice(&features[i * feat_len..(i + 1) * feat_len]);
+    }
+    let mut head = Dense::new(feat_len, 10, Activation::Identity, backend, 9);
+    let logits = head.forward(&x);
+    assert_eq!((logits.rows(), logits.cols()), (8, 10));
+    assert!(logits.as_slice().iter().all(|v| v.is_finite()));
+    let _ = accuracy(&logits, train.labels());
+}
+
+#[test]
+fn backend_swap_mid_training_preserves_learning() {
+    // Train 3 epochs classical, swap the middle layer to APA, train 3 more:
+    // accuracy must keep improving (the operators are interchangeable).
+    let (train, test) = synthetic_mnist_split(1000, 200, 0x99);
+    let mut net = apa_nn::accuracy_network(classical(1), 1, 1);
+    for e in 0..3 {
+        net.train_epoch(&train, 100, 0.1, e);
+    }
+    let mid = net.evaluate(&test, 200);
+    net.layers[1].set_backend(apa(catalog::fast444(), 1));
+    for e in 3..6 {
+        net.train_epoch(&train, 100, 0.1, e);
+    }
+    let end = net.evaluate(&test, 200);
+    assert!(
+        end >= mid - 0.02,
+        "accuracy regressed after backend swap: {mid} → {end}"
+    );
+}
+
+#[test]
+fn im2col_patch_count_matches_formula() {
+    let shape = ConvShape { n: 3, c: 2, h: 11, w: 9 };
+    let cfg = Conv2dConfig {
+        in_channels: 2,
+        out_channels: 1,
+        kernel: 3,
+        stride: 2,
+        padding: 1,
+    };
+    let (oh, ow) = cfg.out_size(shape.h, shape.w);
+    let x = vec![0.5f32; shape.elems()];
+    let p = im2col(&x, shape, &cfg);
+    assert_eq!(p.rows(), shape.n * oh * ow);
+    assert_eq!(p.cols(), cfg.patch_len());
+}
+
+#[test]
+fn gradients_flow_through_every_layer() {
+    let (train, _) = synthetic_mnist_split(100, 1, 0x55);
+    let mut net = apa_nn::performance_network(64, apa(catalog::strassen(), 1), 1, 2);
+    let (x, labels) = train.gather(&(0..64).collect::<Vec<_>>());
+    let logits = net.forward(&x);
+    let (_, grad) = softmax_cross_entropy(&logits, &labels);
+    net.backward_only(&grad);
+    for (i, layer) in net.layers.iter().enumerate() {
+        let gw = layer.grad_w.as_ref().unwrap_or_else(|| panic!("layer {i} missing grad"));
+        let norm: f64 = gw.as_slice().iter().map(|v| (*v as f64).powi(2)).sum();
+        assert!(norm > 0.0, "layer {i} has zero gradient");
+        assert!(norm.is_finite(), "layer {i} gradient exploded");
+    }
+}

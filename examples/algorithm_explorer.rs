@@ -1,0 +1,53 @@
+//! Explore the algorithm catalog: validation, error parameters,
+//! transformations and the algorithm-file formats.
+//!
+//! Run with: `cargo run --release --example algorithm_explorer`
+
+use apa_repro::core::{brent, catalog, error_model, io, transform};
+
+fn main() {
+    println!("== Catalog ==");
+    for alg in catalog::all() {
+        let row = error_model::table1_row(&alg);
+        println!(
+            "  {:12} {:9} rank {:4}  speedup {:5.1}%  phi {}  predicted f32 error {:.1e}",
+            row.name,
+            format!("<{},{},{}>", row.dims.0, row.dims.1, row.dims.2),
+            row.rank,
+            row.speedup_pct,
+            row.phi,
+            row.error
+        );
+    }
+
+    println!("\n== Brent validation of Bini's rule ==");
+    let bini = catalog::bini322();
+    let report = brent::validate(&bini).expect("catalog entries always validate");
+    println!(
+        "  exact: {}, sigma: {:?}, residual equations: {}",
+        report.exact, report.sigma, report.residual_equations
+    );
+
+    println!("\n== Transformations ==");
+    let rot = transform::rotate(&bini);
+    println!("  rotate(bini322): {}", rot.summary());
+    let sum = transform::direct_sum_m(&bini, &catalog::strassen());
+    println!("  bini ⊕ strassen: {}", sum.summary());
+    let tens = transform::tensor(&catalog::strassen(), &catalog::strassen());
+    println!("  strassen ⊗ strassen: {}", tens.summary());
+
+    println!("\n== Algorithm file formats ==");
+    let text = io::to_text(&bini);
+    println!("--- text form (first 12 lines) ---");
+    for line in text.lines().take(12) {
+        println!("  {line}");
+    }
+    let parsed = io::from_text(&text).expect("round-trip");
+    println!(
+        "  parsed back: {} (validates: {})",
+        parsed.summary(),
+        brent::validate(&parsed).is_ok()
+    );
+    let json = io::to_json(&catalog::strassen());
+    println!("  JSON form of strassen: {} bytes", json.len());
+}

@@ -1,0 +1,58 @@
+//! # apa-repro
+//!
+//! Facade crate for the reproduction of *"Accelerating Neural Network
+//! Training using Arbitrary Precision Approximating Matrix Multiplication
+//! Algorithms"* (Ballard, Weissenberger, Zhang — ICPP Workshops 2021).
+//!
+//! Re-exports the five library crates under one roof:
+//!
+//! * [`core`] (`apa-core`) — bilinear algorithm algebra, the Brent
+//!   validator, the Table-1 catalog and error model;
+//! * [`gemm`] (`apa-gemm`) — the pure-Rust classical GEMM substrate;
+//! * [`matmul`] (`apa-matmul`) — the APA execution engine (plans, hybrid
+//!   scheduling, peeling, λ tuning);
+//! * [`nn`] (`apa-nn`) — the dense-network training substrate with
+//!   pluggable matmul backends;
+//! * [`discovery`] (`apa-discovery`) — ALS-based algorithm search.
+//!
+//! Quick start (also in `examples/quickstart.rs`):
+//!
+//! ```
+//! use apa_repro::prelude::*;
+//!
+//! // Pick an APA algorithm from the catalog and multiply.
+//! let mm = ApaMatmul::new(catalog::fast444());
+//! let a = Mat::<f32>::from_fn(128, 128, |i, j| ((i + j) % 7) as f32);
+//! let b = Mat::<f32>::from_fn(128, 128, |i, j| ((i * j) % 5) as f32);
+//! let c = mm.multiply(a.as_ref(), b.as_ref());
+//! assert_eq!((c.rows(), c.cols()), (128, 128));
+//! ```
+
+pub use apa_core as core;
+pub use apa_discovery as discovery;
+pub use apa_gemm as gemm;
+pub use apa_matmul as matmul;
+pub use apa_nn as nn;
+
+/// The names most programs need, importable in one line.
+pub mod prelude {
+    pub use apa_core::{catalog, error_model, BilinearAlgorithm, Dims};
+    pub use apa_gemm::{Mat, MatMut, MatRef, Par};
+    pub use apa_matmul::{ApaMatmul, ClassicalMatmul, PeelMode, Strategy};
+    pub use apa_nn::{accuracy_network, apa, classical, performance_network, Mlp, Vgg19Fc};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn facade_exposes_the_pipeline() {
+        let alg = catalog::bini322();
+        let mm = ApaMatmul::new(alg);
+        let a = Mat::<f32>::from_fn(30, 20, |i, j| (i + j) as f32 * 0.01);
+        let b = Mat::<f32>::from_fn(20, 20, |i, j| (i as f32 - j as f32) * 0.01);
+        let c = mm.multiply(a.as_ref(), b.as_ref());
+        assert_eq!((c.rows(), c.cols()), (30, 20));
+    }
+}

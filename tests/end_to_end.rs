@@ -1,0 +1,175 @@
+//! Cross-crate integration tests: catalog → plan → execution → error
+//! model, file I/O through the executor, and discovery → validation.
+
+use apa_repro::core::{brent, catalog, error_model, io, transform, Dims};
+use apa_repro::gemm::{matmul_naive, Mat};
+use apa_repro::matmul::{measure_error, tune_lambda, ApaMatmul, PeelMode, Strategy};
+
+
+fn random(rows: usize, cols: usize, seed: u64) -> Mat<f32> {
+    let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+    Mat::from_fn(rows, cols, |_, _| {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (((state >> 32) as u32 as f64 / (1u64 << 31) as f64) - 1.0) as f32
+    })
+}
+
+#[test]
+fn every_catalog_algorithm_multiplies_odd_shapes_with_every_strategy() {
+    let a = random(53, 38, 1);
+    let b = random(38, 45, 2);
+    let expect = matmul_naive(a.as_ref(), b.as_ref());
+    for alg in catalog::all() {
+        // Tolerance scales with the rule's predicted error (φ = 3 entries
+        // like the Bini cube legitimately sit near 2e-2).
+        let tol = (error_model::table1_row(&alg).error * 5.0).max(1e-2);
+        for strategy in [Strategy::Seq, Strategy::Hybrid] {
+            let mm = ApaMatmul::new(alg.clone()).strategy(strategy).threads(2);
+            let got = mm.multiply(a.as_ref(), b.as_ref());
+            let err = got.rel_frobenius_error(&expect);
+            assert!(err < tol, "{} {strategy:?}: err {err} > {tol}", alg.name);
+        }
+    }
+}
+
+#[test]
+fn measured_errors_respect_table1_bounds() {
+    // The paper's Table-1 error column upper-bounds the tuned empirical
+    // error (Fig. 1). Verify for every APA entry at a modest dimension.
+    for alg in catalog::paper_lineup() {
+        if alg.is_exact_rule() {
+            continue;
+        }
+        let row = error_model::table1_row(&alg);
+        let tuned = tune_lambda(&alg, 120, 1, 9);
+        assert!(
+            tuned.error < row.error * 10.0,
+            "{}: tuned error {} far above bound {}",
+            alg.name,
+            tuned.error,
+            row.error
+        );
+    }
+}
+
+#[test]
+fn algorithm_survives_file_roundtrip_and_still_executes() {
+    let alg = catalog::apa332();
+    let text = io::to_text(&alg);
+    let parsed = io::from_text(&text).expect("parse back");
+    let a = random(27, 27, 3);
+    let b = random(27, 18, 4);
+    let direct = ApaMatmul::new(alg).multiply(a.as_ref(), b.as_ref());
+    let roundtrip = ApaMatmul::new(parsed).multiply(a.as_ref(), b.as_ref());
+    assert!(direct.rel_frobenius_error(&roundtrip) < 1e-6);
+
+    let json = io::to_json(&catalog::bini322());
+    let back = io::from_json(&json).expect("json parse");
+    assert_eq!(brent::validate(&back).unwrap().sigma, Some(1));
+}
+
+#[test]
+fn transformed_algorithms_execute_correctly() {
+    // rotate and tensor outputs are not just symbolically valid — the
+    // engine must run them on real matrices.
+    let rot = transform::rotate(&catalog::bini322()); // <2,2,3>
+    let a = random(26, 30, 5);
+    let b = random(30, 33, 6);
+    let got = ApaMatmul::new(rot).multiply(a.as_ref(), b.as_ref());
+    let expect = matmul_naive(a.as_ref(), b.as_ref());
+    assert!(got.rel_frobenius_error(&expect) < 1e-3);
+}
+
+#[test]
+fn bini_cube_runs_one_step() {
+    // The ⟨12,12,12;1000⟩ historic APA rule end to end on 48×48.
+    let cube = catalog::bini_cube();
+    let a = random(48, 48, 7);
+    let b = random(48, 48, 8);
+    let got = ApaMatmul::new(cube).multiply(a.as_ref(), b.as_ref());
+    let expect = matmul_naive(a.as_ref(), b.as_ref());
+    let err = got.rel_frobenius_error(&expect);
+    // φ = 3 → error bound 2^(-23/4) ≈ 1.9e-2.
+    assert!(err < 5e-2, "cube err {err}");
+}
+
+#[test]
+fn peel_modes_agree_with_each_other() {
+    let alg = catalog::fast444();
+    let a = random(101, 67, 9);
+    let b = random(67, 59, 10);
+    let peel = ApaMatmul::new(alg.clone())
+        .peel_mode(PeelMode::Dynamic)
+        .multiply(a.as_ref(), b.as_ref());
+    let pad = ApaMatmul::new(alg)
+        .peel_mode(PeelMode::Pad)
+        .multiply(a.as_ref(), b.as_ref());
+    assert!(peel.rel_frobenius_error(&pad) < 1e-5);
+}
+
+#[test]
+fn two_step_execution_of_every_small_base_rule() {
+    // Recursion needs dims divisible by base²; 144 covers 2², 3², 4² bases
+    // (and 36 for <3,2,2>-style rectangles via lcm choices below).
+    let a = random(144, 144, 11);
+    let b = random(144, 144, 12);
+    let expect = matmul_naive(a.as_ref(), b.as_ref());
+    for name in ["strassen", "bini322", "fast444", "apa333"] {
+        let alg = catalog::by_name(name).unwrap();
+        // steps(2) re-derives λ for s = 2 (error bound 2^(−23/3) ≈ 5e-3
+        // for the φ = 1 APA rules here).
+        let mm = ApaMatmul::new(alg).steps(2);
+        let got = mm.multiply(a.as_ref(), b.as_ref());
+        let err = got.rel_frobenius_error(&expect);
+        assert!(err < 0.1, "{name} 2-step err {err}");
+    }
+}
+
+#[test]
+fn error_scales_with_lambda_regimes_across_catalog() {
+    // Approximation regime: large λ inflates error for every APA rule.
+    for alg in [catalog::bini322(), catalog::apa422(), catalog::apa552()] {
+        let tuned = measure_error(&alg, 2.0_f64.powf(-11.5), 80, 1, 21);
+        let coarse = measure_error(&alg, 2.0_f64.powi(-2), 80, 1, 21);
+        assert!(
+            coarse > tuned,
+            "{}: coarse {coarse} should exceed tuned {tuned}",
+            alg.name
+        );
+    }
+}
+
+#[test]
+fn discovery_pipeline_feeds_the_executor() {
+    // ALS-polish Strassen, round, then *execute* the rediscovered rule.
+    use apa_repro::discovery::{als_from, round_and_verify, AlsConfig, DMat, RoundOutcome};
+    let d = Dims::new(2, 2, 2);
+    let alg = catalog::strassen();
+    let dense = |m: &apa_repro::core::CoeffMatrix, rows: usize| {
+        DMat::from_fn(rows, 7, |i, t| {
+            m.get(i, t).eval(0.0) + (((i * 19 + t * 5) % 9) as f64 - 4.0) * 0.006
+        })
+    };
+    let result = als_from(
+        d,
+        dense(&alg.u, 4),
+        dense(&alg.v, 4),
+        dense(&alg.w, 4),
+        &AlsConfig {
+            reg: 1e-6,
+            max_iters: 300,
+            ..AlsConfig::default()
+        },
+    );
+    let found = match round_and_verify(&result, "rediscovered") {
+        RoundOutcome::Exact(alg) => alg,
+        RoundOutcome::NotExact { brent_error } => panic!("{brent_error}"),
+    };
+    let a = random(32, 32, 13);
+    let b = random(32, 32, 14);
+    let got = ApaMatmul::new(found).multiply(a.as_ref(), b.as_ref());
+    let expect = matmul_naive(a.as_ref(), b.as_ref());
+    assert!(got.rel_frobenius_error(&expect) < 1e-5);
+}

@@ -1,0 +1,84 @@
+//! NN-level integration: the paper's §4–5 claims at test scale — APA
+//! backends train as well as classical, across the catalog; the VGG head
+//! behaves; training is deterministic given seeds.
+
+use apa_repro::nn::{
+    accuracy_network, apa, classical, performance_network, synthetic_mnist_split, Backend,
+    Vgg19Fc,
+};
+use apa_repro::prelude::catalog;
+
+fn final_test_accuracy(hidden: Backend, epochs: usize) -> f64 {
+    let (train, test) = synthetic_mnist_split(1200, 300, 0xDA7A);
+    let mut net = accuracy_network(hidden, 1, 0xACC);
+    // Batch 100 rather than the paper's 300: 12 SGD steps per epoch keep
+    // this miniature converging within the test budget.
+    for e in 0..epochs {
+        net.train_epoch(&train, 100, 0.1, e);
+    }
+    net.evaluate(&test, 300)
+}
+
+#[test]
+fn all_paper_algorithms_train_comparably() {
+    // The §4.2 robustness claim across the whole lineup, miniaturized:
+    // every APA backend must land within 10 points of classical.
+    let baseline = final_test_accuracy(classical(1), 6);
+    assert!(baseline > 0.7, "classical baseline too weak: {baseline}");
+    for alg in catalog::paper_lineup() {
+        let name = alg.name.clone();
+        let acc = final_test_accuracy(apa(alg, 1), 6);
+        assert!(
+            acc > baseline - 0.10,
+            "{name}: accuracy {acc} vs classical {baseline}"
+        );
+    }
+}
+
+#[test]
+fn training_is_deterministic_given_seeds() {
+    let a = final_test_accuracy(classical(1), 2);
+    let b = final_test_accuracy(classical(1), 2);
+    assert_eq!(a, b);
+}
+
+#[test]
+fn performance_network_trains_with_apa_hidden_layers() {
+    let (train, _) = synthetic_mnist_split(256, 10, 3);
+    let mut net = performance_network(128, apa(catalog::fast444(), 1), 1, 5);
+    let s0 = net.train_epoch(&train, 128, 0.05, 0);
+    let s1 = net.train_epoch(&train, 128, 0.05, 1);
+    let s2 = net.train_epoch(&train, 128, 0.05, 2);
+    assert!(
+        s2.loss < s0.loss || s1.loss < s0.loss,
+        "loss should trend down: {} {} {}",
+        s0.loss,
+        s1.loss,
+        s2.loss
+    );
+}
+
+#[test]
+fn vgg_head_losses_decrease_under_both_backends() {
+    for backend in [classical(1), apa(catalog::fast442(), 1)] {
+        let mut head = Vgg19Fc::new(backend, 32, 0x7799);
+        let x = head.synthetic_features(32, 1);
+        let labels = head.synthetic_labels(32, 2);
+        // A few steps must run without numerical blowup.
+        for _ in 0..3 {
+            let secs = head.train_batch_timed(&x, &labels, 0.005);
+            assert!(secs.is_finite() && secs > 0.0);
+        }
+        let logits = head.predict(&x);
+        assert!(
+            logits.as_slice().iter().all(|v| v.is_finite()),
+            "logits exploded"
+        );
+    }
+}
+
+#[test]
+fn backend_names_propagate_to_summaries() {
+    let net = accuracy_network(apa(catalog::apa552(), 2), 1, 0);
+    assert!(net.backend_summary().contains("apa552(t=2)"));
+}
