@@ -1,0 +1,55 @@
+//! Criterion micro-benchmark for the workspace-reuse ablation: cached
+//! (zero-allocation steady state) vs allocate-per-call execution of the
+//! same APA plan on ParaDnn-style MLP layer shapes (square batch×width
+//! products, the dominant matmul of the paper's §4.3 MLP sweep).
+//!
+//! Run with `cargo bench -p apa-bench --bench workspace`; the numbers feed
+//! the allocation ablation table in EXPERIMENTS.md.
+
+use apa_core::catalog;
+use apa_matmul::{ApaMatmul, Strategy};
+use apa_gemm::Mat;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn probe(n: usize, seed: u64) -> Mat<f32> {
+    let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+    Mat::from_fn(n, n, |_, _| {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (((state >> 32) as u32 as f64 / (1u64 << 31) as f64) - 1.0) as f32
+    })
+}
+
+fn bench_workspace_reuse(c: &mut Criterion) {
+    let mut group = c.benchmark_group("workspace_reuse");
+    // ParaDnn MLP widths (batch = width). 512 stresses allocation overhead
+    // relative to compute; 2048 shows the steady-state large-shape regime.
+    // Sample counts shrink with n so the total run stays bounded while the
+    // small shapes — where the effect lives — get stable medians.
+    for (n, samples) in [(512usize, 30), (1024, 10), (2048, 4)] {
+        group
+            .sample_size(samples)
+            .measurement_time(Duration::from_secs(1));
+        let a = probe(n, 1);
+        let b = probe(n, 2);
+        let mut out = Mat::<f32>::zeros(n, n);
+        let mm = ApaMatmul::new(catalog::by_name("fast444").unwrap())
+            .steps(1)
+            .strategy(Strategy::Seq)
+            .threads(1);
+        // Warm the cache once so `cached` measures pure steady state.
+        mm.multiply_into(a.as_ref(), b.as_ref(), out.as_mut());
+        group.bench_with_input(BenchmarkId::new("cached", n), &n, |bench, _| {
+            bench.iter(|| mm.multiply_into(a.as_ref(), b.as_ref(), out.as_mut()));
+        });
+        group.bench_with_input(BenchmarkId::new("alloc_per_call", n), &n, |bench, _| {
+            bench.iter(|| mm.multiply_into_uncached(a.as_ref(), b.as_ref(), out.as_mut()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_workspace_reuse);
+criterion_main!(benches);

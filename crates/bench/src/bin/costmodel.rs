@@ -31,7 +31,7 @@ fn main() {
 
     for alg in catalog::paper_lineup() {
         let d = alg.dims;
-        if n % d.m != 0 || n % d.k != 0 || n % d.n != 0 {
+        if !n.is_multiple_of(d.m) || !n.is_multiple_of(d.k) || !n.is_multiple_of(d.n) {
             continue;
         }
         let model = analysis::analyze(&alg, n, &machine);

@@ -4,8 +4,8 @@
 //! The paper runs this at 1 thread (Fig. 3a), 6 threads / one socket
 //! (Fig. 3b) and 12 threads / two sockets (Fig. 3c). On this container the
 //! >1-thread settings are oversubscribed onto fewer physical cores — the
-//! harness still exercises the hybrid schedule end to end, but wall-clock
-//! speedups are only meaningful at `--threads 1` unless you have the cores.
+//! > harness still exercises the hybrid schedule end to end, but wall-clock
+//! > speedups are only meaningful at `--threads 1` unless you have the cores.
 //!
 //! Usage: `cargo run --release -p apa-bench --bin fig3 [--threads p] [--full] [--max N] [--reps k]`
 //!   default dims: 512 1024 1536 2048; --full adds 3072 4096 6144 8192.

@@ -2,7 +2,7 @@
 //! ⟨4,4,2⟩ vs classical, across batch sizes.
 //!
 //! Paper protocol (§5): the 25088-4096-4096-1000 classifier head, forward
-//! + backward per batch, APA ⟨4,4,2⟩ on all three layers. The paper
+//! and backward per batch, APA ⟨4,4,2⟩ on all three layers. The paper
 //! reports up to 15% sequential and 10% six-thread speedup.
 //!
 //! `--scale s` divides all widths by `s` (default 4) so the default run

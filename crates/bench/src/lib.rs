@@ -17,10 +17,10 @@ pub struct Args {
 
 impl Args {
     pub fn parse() -> Self {
-        Self::from_iter(std::env::args().skip(1))
+        Self::from_args(std::env::args().skip(1))
     }
 
-    pub fn from_iter<I: IntoIterator<Item = String>>(iter: I) -> Self {
+    pub fn from_args<I: IntoIterator<Item = String>>(iter: I) -> Self {
         let mut values = HashMap::new();
         let mut flags = Vec::new();
         let args: Vec<String> = iter.into_iter().collect();
@@ -129,7 +129,7 @@ mod tests {
 
     #[test]
     fn args_parse_values_and_flags() {
-        let a = Args::from_iter(
+        let a = Args::from_args(
             ["--threads", "6", "--full", "--n", "1024"]
                 .iter()
                 .map(|s| s.to_string()),

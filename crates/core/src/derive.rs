@@ -223,7 +223,7 @@ impl DeriveTable {
 }
 
 fn divisors(x: usize) -> Vec<usize> {
-    (1..=x).filter(|i| x % i == 0).collect()
+    (1..=x).filter(|i| x.is_multiple_of(*i)).collect()
 }
 
 /// Dims of the shape that, permuted by `perm`, produces `target`.

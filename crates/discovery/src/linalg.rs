@@ -59,8 +59,8 @@ impl DMat {
                 if ra == 0.0 {
                     continue;
                 }
-                for b in a..c {
-                    g.data[a * c + b] += ra * row[b];
+                for (b, &rb) in row.iter().enumerate().skip(a) {
+                    g.data[a * c + b] += ra * rb;
                 }
             }
         }
@@ -151,8 +151,8 @@ pub fn solve_rows(mut a: DMat, b: &DMat) -> Option<DMat> {
         // Forward substitution with permutation.
         for i in 0..n {
             let mut s = rhs[perm[i]];
-            for j in 0..i {
-                s -= a.at(i, j) * y[j];
+            for (j, &yj) in y.iter().enumerate().take(i) {
+                s -= a.at(i, j) * yj;
             }
             y[i] = s;
         }

@@ -11,6 +11,8 @@ use crate::matrix::{Mat, MatMut, MatRef};
 use crate::microkernel::microkernel;
 use crate::pack::{pack_a, pack_b};
 use crate::scalar::Scalar;
+use std::any::{Any, TypeId};
+use std::cell::RefCell;
 
 /// Cache-blocking parameters. The defaults target a ~32 KB L1 / 256 KB L2 /
 /// multi-MB L3 hierarchy (the paper's Sandy Bridge and most of what came
@@ -38,25 +40,62 @@ impl BlockSizes {
 ///
 /// Reusable across calls via [`gemm_st_with_scratch`] to keep the many
 /// medium-sized gemm invocations of the APA engine allocation-free.
-#[derive(Default)]
 pub struct Scratch<T> {
     a_pack: Vec<T>,
     b_pack: Vec<T>,
 }
 
-impl<T: Scalar> Scratch<T> {
+impl<T> Default for Scratch<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Scratch<T> {
     pub fn new() -> Self {
         Self {
             a_pack: Vec::new(),
             b_pack: Vec::new(),
         }
     }
+
+    /// Bytes currently held by the pack buffers.
+    pub fn capacity_bytes(&self) -> usize {
+        (self.a_pack.capacity() + self.b_pack.capacity()) * std::mem::size_of::<T>()
+    }
 }
 
-/// `C ← α·A·B + β·C`, single-threaded.
+thread_local! {
+    /// Per-thread pack-buffer cache, keyed by element type. Every pool
+    /// worker warms its own entry on first use, after which repeated
+    /// [`gemm_st`] calls are allocation-free.
+    static PACK_CACHE: RefCell<Vec<(TypeId, Box<dyn Any>)>> = const { RefCell::new(Vec::new()) };
+}
+
+/// `C ← α·A·B + β·C`, single-threaded. Pack buffers come from a
+/// thread-local cache, so steady-state calls do not touch the heap; use
+/// [`gemm_st_with_scratch`] to manage the buffers explicitly instead.
 pub fn gemm_st<T: Scalar>(alpha: T, a: MatRef<'_, T>, b: MatRef<'_, T>, beta: T, c: MatMut<'_, T>) {
-    let mut scratch = Scratch::new();
+    // Take the scratch *out* of the cache (ending the RefCell borrow)
+    // before computing, then put it back — re-entrancy can never observe
+    // an outstanding borrow.
+    let mut scratch: Scratch<T> = PACK_CACHE.with(|cell| {
+        let mut cache = cell.borrow_mut();
+        match cache.iter_mut().find(|(id, _)| *id == TypeId::of::<T>()) {
+            Some((_, slot)) => std::mem::take(slot.downcast_mut::<Scratch<T>>().expect("slot is type-keyed")),
+            None => {
+                cache.push((TypeId::of::<T>(), Box::new(Scratch::<T>::new())));
+                Scratch::new()
+            }
+        }
+    });
     gemm_st_with_scratch(alpha, a, b, beta, c, &mut scratch);
+    PACK_CACHE.with(|cell| {
+        let mut cache = cell.borrow_mut();
+        if let Some((_, slot)) = cache.iter_mut().find(|(id, _)| *id == TypeId::of::<T>()) {
+            *slot.downcast_mut::<Scratch<T>>().expect("slot is type-keyed") = scratch;
+        }
+    });
 }
 
 /// [`gemm_st`] with caller-provided scratch (no allocation in steady state).

@@ -1,0 +1,95 @@
+//! A counting global allocator for zero-allocation invariant tests.
+//!
+//! The workspace-reuse contract of the APA engine is "no steady-state heap
+//! traffic": once a [`crate::Scratch`]/workspace is warm, repeated
+//! multiplications must not allocate. That invariant is easy to break
+//! silently (a stray `Vec` in a hot loop), so tests pin it with a global
+//! allocator that counts every allocation:
+//!
+//! ```ignore
+//! #[global_allocator]
+//! static ALLOC: apa_gemm::CountingAlloc = apa_gemm::CountingAlloc;
+//!
+//! let before = apa_gemm::allocation_counters();
+//! hot_path();
+//! let after = apa_gemm::allocation_counters();
+//! assert_eq!(after.calls - before.calls, 0);
+//! ```
+//!
+//! The counters are process-global atomics; when `CountingAlloc` is not
+//! installed as the global allocator they simply stay at zero.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
+static ALLOC_BYTES: AtomicU64 = AtomicU64::new(0);
+
+/// Pass-through [`System`] allocator that counts allocation calls/bytes.
+pub struct CountingAlloc;
+
+// SAFETY: defers every operation to `System`; only side effect is two
+// relaxed atomic increments, which cannot violate allocator invariants.
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+        ALLOC_BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+/// Cumulative allocation totals since process start (zero unless
+/// [`CountingAlloc`] is installed as the `#[global_allocator]`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AllocationCounters {
+    /// Number of `alloc`/`alloc_zeroed`/`realloc` calls.
+    pub calls: u64,
+    /// Total bytes requested by those calls.
+    pub bytes: u64,
+}
+
+impl AllocationCounters {
+    /// Counter deltas since an earlier snapshot.
+    pub fn since(&self, earlier: AllocationCounters) -> AllocationCounters {
+        AllocationCounters {
+            calls: self.calls - earlier.calls,
+            bytes: self.bytes - earlier.bytes,
+        }
+    }
+}
+
+/// Snapshot the global allocation counters.
+pub fn allocation_counters() -> AllocationCounters {
+    AllocationCounters {
+        calls: ALLOC_CALLS.load(Ordering::Relaxed),
+        bytes: ALLOC_BYTES.load(Ordering::Relaxed),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_deltas_subtract() {
+        let a = AllocationCounters { calls: 10, bytes: 640 };
+        let b = AllocationCounters { calls: 4, bytes: 128 };
+        assert_eq!(a.since(b), AllocationCounters { calls: 6, bytes: 512 });
+    }
+}

@@ -31,6 +31,7 @@
 
 pub mod add;
 pub mod blocked;
+pub mod counting_alloc;
 pub mod matrix;
 pub mod microkernel;
 pub mod naive;
@@ -41,7 +42,8 @@ pub mod scalar;
 pub mod transpose;
 
 pub use add::{combine, combine_axpy, combine_par};
-pub use blocked::{gemm_st, matmul, BlockSizes, Scratch};
+pub use blocked::{gemm_st, gemm_st_with_scratch, matmul, BlockSizes, Scratch};
+pub use counting_alloc::{allocation_counters, AllocationCounters, CountingAlloc};
 pub use matrix::{Mat, MatMut, MatRef};
 pub use naive::{matmul_naive, matmul_naive_f64};
 pub use parallel::{gemm, matmul_par};
@@ -54,6 +56,7 @@ mod tests {
     use super::*;
 
     #[test]
+    #[allow(clippy::assertions_on_constants)]
     fn microkernel_tile_shapes_match_scalar_consts() {
         // The dispatch in `microkernel` hard-codes the monomorphizations;
         // keep them in lockstep with the Scalar consts.

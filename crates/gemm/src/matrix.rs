@@ -40,6 +40,15 @@ impl<T: Scalar> Mat<T> {
         Self { rows, cols, data }
     }
 
+    /// Reshape in place, reusing the existing storage. Newly exposed
+    /// elements are zero; surviving elements keep their *linear* position
+    /// (callers that care about contents should refill after resizing).
+    pub fn resize(&mut self, rows: usize, cols: usize) {
+        self.data.resize(rows * cols, T::ZERO);
+        self.rows = rows;
+        self.cols = cols;
+    }
+
     /// Take ownership of a row-major buffer.
     pub fn from_vec(rows: usize, cols: usize, data: Vec<T>) -> Self {
         assert_eq!(data.len(), rows * cols, "buffer length mismatch");

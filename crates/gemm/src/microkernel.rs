@@ -20,6 +20,7 @@ use crate::scalar::Scalar;
 /// `c` must point to a writable `MR × NR` tile with row stride `rs`, and
 /// `ap`/`bp` must hold at least `kc·MR` / `kc·NR` elements.
 #[inline(always)]
+#[allow(clippy::too_many_arguments)]
 unsafe fn kernel_impl<T: Scalar, const MR: usize, const NR: usize>(
     kc: usize,
     alpha: T,
@@ -67,6 +68,7 @@ unsafe fn kernel_impl<T: Scalar, const MR: usize, const NR: usize>(
 ///
 /// # Safety
 /// Same contract as `kernel_impl` with `MR = T::MR`, `NR = T::NR`.
+#[allow(clippy::too_many_arguments)]
 pub unsafe fn microkernel<T: Scalar>(
     kc: usize,
     alpha: T,

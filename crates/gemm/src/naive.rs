@@ -27,13 +27,13 @@ pub fn matmul_naive<T: Scalar>(a: MatRef<'_, T>, b: MatRef<'_, T>) -> Mat<T> {
 /// measures f32 algorithms against a double-precision classical result).
 pub fn matmul_naive_f64<T: Scalar>(a: MatRef<'_, T>, b: MatRef<'_, T>) -> Mat<f64> {
     assert_eq!(a.cols(), b.rows(), "inner dimensions must match");
-    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    let (m, n) = (a.rows(), b.cols());
     let mut c = Mat::zeros(m, n);
     for i in 0..m {
         let arow = a.row(i);
         let crow = &mut c.as_mut_slice()[i * n..(i + 1) * n];
-        for p in 0..k {
-            let aip = arow[p].to_f64();
+        for (p, aip) in arow.iter().enumerate() {
+            let aip = aip.to_f64();
             let brow = b.row(p);
             for j in 0..n {
                 crow[j] += aip * brow[j].to_f64();

@@ -47,6 +47,7 @@ pub enum Op {
 
 /// `C ← α·op(A)·op(B) + β·C`, BLAS-style. Transposed operands are
 /// materialized once (O(n²) traffic against the O(n³) multiply).
+#[allow(clippy::too_many_arguments)]
 pub fn gemm_op<T: Scalar>(
     op_a: Op,
     op_b: Op,

@@ -14,17 +14,45 @@
 //! let c = mm.multiply(a.as_ref(), b.as_ref());
 //! assert_eq!(c.rows(), 64);
 //! ```
+//!
+//! [`ApaMatmul::multiply_into`] executes out of an internal
+//! [`Workspace`] cache keyed on `(element type, shape, strategy, threads,
+//! peel)`: the first call per configuration allocates, every later call is
+//! heap-allocation-free. Training loops that multiply a handful of fixed
+//! shapes thousands of times (the paper's MLP workloads) hit the cache on
+//! every step. [`ApaMatmul::multiply_into_uncached`] keeps the
+//! allocate-per-call behavior for ablations, and
+//! [`ApaMatmul::make_workspace`] / [`ApaMatmul::multiply_into_with`] hand
+//! the workspace to callers who want to manage it themselves.
 
-use crate::peel::{fast_matmul_any_into, PeelMode};
+use crate::exec::with_uniform_chain;
+use crate::peel::{
+    fast_matmul_any_into, fast_matmul_chain_any_into, fast_matmul_chain_any_into_ws, PeelMode,
+};
 use crate::plan::ExecPlan;
 use crate::schedule::Strategy;
+use crate::workspace::Workspace;
 use apa_core::{brent, error_model, BilinearAlgorithm};
 use apa_gemm::{Mat, MatMut, MatRef, Scalar};
+use std::any::{Any, TypeId};
+use std::sync::{Mutex, PoisonError};
+
+/// Distinct `(type, shape, config)` workspaces kept per multiplier. A
+/// dense layer needs three (forward, ∇W, ∇X); eight covers a small mix of
+/// layer shapes before the oldest entry is evicted.
+const WS_CACHE_CAP: usize = 8;
+
+/// One cached workspace, keyed by element type (the workspace itself
+/// re-validates shape/config via [`Workspace::matches`]).
+struct CacheEntry {
+    type_id: TypeId,
+    ws: Box<dyn Any + Send>,
+}
 
 /// A bilinear rule bound to an execution configuration (λ, recursion depth,
 /// parallel strategy, thread count, peel mode). Cheap to clone; the plan is
-/// compiled once per λ change.
-#[derive(Clone, Debug)]
+/// compiled once per λ change. Holds a workspace cache so repeated
+/// [`Self::multiply_into`] calls on the same shapes don't allocate.
 pub struct ApaMatmul {
     alg: BilinearAlgorithm,
     plan: ExecPlan,
@@ -37,6 +65,40 @@ pub struct ApaMatmul {
     /// Set once the user pins λ via [`Self::lambda`]; suppresses automatic
     /// re-derivation when `steps` changes.
     explicit_lambda: bool,
+    /// Interior-mutable workspace cache; stale entries (after a config
+    /// change) simply stop matching and age out.
+    cache: Mutex<Vec<CacheEntry>>,
+}
+
+impl Clone for ApaMatmul {
+    fn clone(&self) -> Self {
+        Self {
+            alg: self.alg.clone(),
+            plan: self.plan.clone(),
+            steps: self.steps,
+            strategy: self.strategy,
+            threads: self.threads,
+            peel: self.peel,
+            sigma: self.sigma,
+            explicit_lambda: self.explicit_lambda,
+            // Workspaces are cheap to rebuild; clones start cold.
+            cache: Mutex::new(Vec::new()),
+        }
+    }
+}
+
+impl std::fmt::Debug for ApaMatmul {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ApaMatmul")
+            .field("alg", &self.alg.name)
+            .field("lambda", &self.plan.lambda)
+            .field("steps", &self.steps)
+            .field("strategy", &self.strategy)
+            .field("threads", &self.threads)
+            .field("peel", &self.peel)
+            .field("cached_workspaces", &self.cached_workspaces())
+            .finish()
+    }
 }
 
 impl ApaMatmul {
@@ -59,6 +121,7 @@ impl ApaMatmul {
             peel: PeelMode::Dynamic,
             sigma,
             explicit_lambda: false,
+            cache: Mutex::new(Vec::new()),
         }
     }
 
@@ -132,8 +195,59 @@ impl ApaMatmul {
     }
 
     /// `C ← Â·B̂` into caller-provided storage (any shapes with matching
-    /// inner dimension).
+    /// inner dimension). Executes out of the internal workspace cache:
+    /// after the first call per `(type, shape)` the steady state performs
+    /// zero heap allocations. Results are bitwise identical to
+    /// [`Self::multiply_into_uncached`].
     pub fn multiply_into<T: Scalar>(&self, a: MatRef<'_, T>, b: MatRef<'_, T>, c: MatMut<'_, T>) {
+        let (m, k, n) = (a.rows(), a.cols(), b.cols());
+        with_uniform_chain(&self.plan, self.steps, |chain| {
+            let mut cache = self.cache.lock().unwrap_or_else(PoisonError::into_inner);
+            let found = cache.iter().position(|e| {
+                e.type_id == TypeId::of::<T>()
+                    && e.ws.downcast_ref::<Workspace<T>>().is_some_and(|w| {
+                        w.matches(chain, m, k, n, self.strategy, self.threads, self.peel)
+                    })
+            });
+            let idx = match found {
+                Some(i) => i,
+                None => {
+                    if cache.len() >= WS_CACHE_CAP {
+                        cache.remove(0);
+                    }
+                    let ws = Workspace::<T>::for_chain(
+                        chain,
+                        m,
+                        k,
+                        n,
+                        self.strategy,
+                        self.threads,
+                        self.peel,
+                    );
+                    cache.push(CacheEntry {
+                        type_id: TypeId::of::<T>(),
+                        ws: Box::new(ws),
+                    });
+                    cache.len() - 1
+                }
+            };
+            let ws = cache[idx]
+                .ws
+                .downcast_mut::<Workspace<T>>()
+                .expect("cache entry is type-keyed");
+            fast_matmul_chain_any_into_ws(chain, a, b, c, self.strategy, self.threads, self.peel, ws);
+        });
+    }
+
+    /// The pre-workspace behavior: allocate every intermediate buffer on
+    /// this call and free it on return. Kept for ablation benchmarks and
+    /// for one-shot shapes not worth caching.
+    pub fn multiply_into_uncached<T: Scalar>(
+        &self,
+        a: MatRef<'_, T>,
+        b: MatRef<'_, T>,
+        c: MatMut<'_, T>,
+    ) {
         fast_matmul_any_into(
             &self.plan,
             a,
@@ -144,6 +258,53 @@ impl ApaMatmul {
             self.threads,
             self.peel,
         );
+    }
+
+    /// Build a caller-owned workspace for an `m×k · k×n` product under
+    /// this multiplier's configuration, for use with
+    /// [`Self::multiply_into_with`].
+    pub fn make_workspace<T: Scalar>(&self, m: usize, k: usize, n: usize) -> Workspace<T> {
+        Workspace::for_plan(
+            &self.plan,
+            m,
+            k,
+            n,
+            self.steps,
+            self.strategy,
+            self.threads,
+            self.peel,
+        )
+    }
+
+    /// `C ← Â·B̂` out of a caller-owned workspace (bypasses the internal
+    /// cache — no lock, no lookup). Panics if `ws` was built for a
+    /// different shape or configuration.
+    pub fn multiply_into_with<T: Scalar>(
+        &self,
+        a: MatRef<'_, T>,
+        b: MatRef<'_, T>,
+        c: MatMut<'_, T>,
+        ws: &mut Workspace<T>,
+    ) {
+        with_uniform_chain(&self.plan, self.steps, |chain| {
+            fast_matmul_chain_any_into_ws(chain, a, b, c, self.strategy, self.threads, self.peel, ws)
+        });
+    }
+
+    /// Number of workspaces currently held by the internal cache.
+    pub fn cached_workspaces(&self) -> usize {
+        self.cache
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
+    }
+
+    /// Drop all cached workspaces (e.g. to release memory between phases).
+    pub fn clear_workspace_cache(&self) {
+        self.cache
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clear();
     }
 
     /// Allocate and return `Ĉ = Â·B̂`.
@@ -209,15 +370,42 @@ impl ApaChain {
     }
 
     pub fn multiply_into<T: Scalar>(&self, a: MatRef<'_, T>, b: MatRef<'_, T>, c: MatMut<'_, T>) {
-        let chain: Vec<&ExecPlan> = self.plans.iter().collect();
-        crate::peel::fast_matmul_chain_any_into(
-            &chain,
+        // The Borrow-generic engine takes the owned plans directly — no
+        // per-call Vec<&ExecPlan> is built anymore.
+        fast_matmul_chain_any_into(
+            &self.plans,
             a,
             b,
             c,
             self.strategy,
             self.threads,
             self.peel,
+        );
+    }
+
+    /// Build a reusable workspace for this chain on an `m×k · k×n`
+    /// product, for [`Self::multiply_into_with`].
+    pub fn make_workspace<T: Scalar>(&self, m: usize, k: usize, n: usize) -> Workspace<T> {
+        Workspace::for_chain(&self.plans, m, k, n, self.strategy, self.threads, self.peel)
+    }
+
+    /// Workspace-backed [`Self::multiply_into`].
+    pub fn multiply_into_with<T: Scalar>(
+        &self,
+        a: MatRef<'_, T>,
+        b: MatRef<'_, T>,
+        c: MatMut<'_, T>,
+        ws: &mut Workspace<T>,
+    ) {
+        fast_matmul_chain_any_into_ws(
+            &self.plans,
+            a,
+            b,
+            c,
+            self.strategy,
+            self.threads,
+            self.peel,
+            ws,
         );
     }
 
@@ -338,6 +526,70 @@ mod tests {
         let err = got.rel_frobenius_error(&expect);
         // two-level chain with φ = 1 at level 0: bound 2^(−23/3) ≈ 5e-3.
         assert!(err < 2e-2, "chain err {err}");
+
+        // Workspace-backed path agrees bitwise.
+        let mut ws = chain.make_workspace::<f32>(36, 28, 24);
+        let mut c_ws = Mat::zeros(36, 24);
+        chain.multiply_into_with(a.as_ref(), b.as_ref(), c_ws.as_mut(), &mut ws);
+        for i in 0..36 {
+            for j in 0..24 {
+                assert_eq!(got.at(i, j).to_bits(), c_ws.at(i, j).to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn workspace_cache_reuses_per_shape() {
+        let mm = ApaMatmul::new(catalog::strassen());
+        assert_eq!(mm.cached_workspaces(), 0);
+        let a = rand_mat(32, 32, 7);
+        let b = rand_mat(32, 32, 8);
+        let mut c = Mat::zeros(32, 32);
+        mm.multiply_into(a.as_ref(), b.as_ref(), c.as_mut());
+        assert_eq!(mm.cached_workspaces(), 1);
+        mm.multiply_into(a.as_ref(), b.as_ref(), c.as_mut());
+        mm.multiply_into(a.as_ref(), b.as_ref(), c.as_mut());
+        // Same shape, same entry.
+        assert_eq!(mm.cached_workspaces(), 1);
+        // A second shape (and a second element type) get their own entries.
+        let a2 = rand_mat(16, 32, 9);
+        let mut c2 = Mat::zeros(16, 32);
+        mm.multiply_into(a2.as_ref(), b.as_ref(), c2.as_mut());
+        assert_eq!(mm.cached_workspaces(), 2);
+        let a64 = Mat::<f64>::from_fn(32, 32, |i, j| (i + 2 * j) as f64 * 0.01);
+        let b64 = Mat::<f64>::from_fn(32, 32, |i, j| (i as f64) - (j as f64));
+        let mut c64 = Mat::<f64>::zeros(32, 32);
+        mm.multiply_into(a64.as_ref(), b64.as_ref(), c64.as_mut());
+        assert_eq!(mm.cached_workspaces(), 3);
+        mm.clear_workspace_cache();
+        assert_eq!(mm.cached_workspaces(), 0);
+        // Clones start with an empty cache.
+        assert_eq!(mm.clone().cached_workspaces(), 0);
+    }
+
+    #[test]
+    fn cached_and_uncached_agree_bitwise() {
+        // Odd shapes force the peel path; Hybrid forces the parallel path.
+        let mm = ApaMatmul::new(catalog::bini322())
+            .strategy(Strategy::Hybrid)
+            .threads(3);
+        let a = rand_mat(37, 29, 11);
+        let b = rand_mat(29, 33, 12);
+        let mut c_cached = Mat::zeros(37, 33);
+        let mut c_uncached = Mat::zeros(37, 33);
+        for _ in 0..3 {
+            mm.multiply_into(a.as_ref(), b.as_ref(), c_cached.as_mut());
+            mm.multiply_into_uncached(a.as_ref(), b.as_ref(), c_uncached.as_mut());
+            for i in 0..37 {
+                for j in 0..33 {
+                    assert_eq!(
+                        c_cached.at(i, j).to_bits(),
+                        c_uncached.at(i, j).to_bits(),
+                        "cached/uncached diverged at ({i},{j})"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -13,13 +13,51 @@
 //! 4. each output block of `Ĉ` is produced in a single write-once pass over
 //!    its contributing products.
 //!
-//! Parallelism follows [`Strategy`]: DFS (all-thread gemm per product), BFS
-//! (round-robin distribution), or the paper's Hybrid (q products per thread
-//! on single-threaded gemm, then the ℓ remainder products on all threads).
+//! Parallelism follows [`Strategy`] after
+//! [`effective_strategy`](crate::schedule::effective_strategy) coercion:
+//! DFS (all-thread gemm per product), BFS (contiguous chunks of products
+//! per thread), or the paper's Hybrid (q products per thread on
+//! single-threaded gemm, then the ℓ remainder products on all threads).
+//!
+//! Every buffer the engine touches lives in a [`LevelWs`] tree: the
+//! public entry points here build a transient one per call, while the
+//! `*_ws` entry points in [`crate::peel`] (and [`crate::ApaMatmul`]'s
+//! internal cache) reuse a warm [`crate::Workspace`] so the steady state
+//! performs **zero heap allocations** — both paths execute the identical
+//! code and produce bitwise-identical results.
 
 use crate::plan::{Combo, ExecPlan};
-use crate::schedule::{hybrid_schedule, Strategy};
+use crate::schedule::{effective_strategy, Strategy};
+use crate::workspace::{build_level, LaneWs, LevelWs};
 use apa_gemm::{combine_par, gemm, pool, Mat, MatMut, MatRef, Par, Scalar};
+use std::borrow::Borrow;
+
+/// Recursion chains up to this depth are staged on the stack; deeper
+/// chains (never seen in practice — step counts are 1–3) fall back to a
+/// heap `Vec`.
+pub(crate) const MAX_INLINE_STEPS: usize = 16;
+
+/// Combination/output term lists up to this arity are staged on the
+/// stack. The largest catalog rule (`fast444`, rank 49) has combos of at
+/// most ~16 terms; the fallback `Vec` keeps arbitrary plans correct.
+const MAX_INLINE_TERMS: usize = 24;
+
+/// Run `f` on the uniform chain `[plan; steps]` without allocating for
+/// typical step counts.
+pub(crate) fn with_uniform_chain<R>(
+    plan: &ExecPlan,
+    steps: u32,
+    f: impl FnOnce(&[&ExecPlan]) -> R,
+) -> R {
+    let steps = steps as usize;
+    if steps <= MAX_INLINE_STEPS {
+        let buf = [plan; MAX_INLINE_STEPS];
+        f(&buf[..steps])
+    } else {
+        let chain: Vec<&ExecPlan> = (0..steps).map(|_| plan).collect();
+        f(&chain)
+    }
+}
 
 /// `C ← Â·B̂` by the compiled plan. Dimensions must be divisible by the
 /// rule's base dims (use [`crate::peel`] for arbitrary shapes).
@@ -32,8 +70,9 @@ pub fn fast_matmul_into<T: Scalar>(
     strategy: Strategy,
     threads: usize,
 ) {
-    let chain: Vec<&ExecPlan> = (0..steps).map(|_| plan).collect();
-    fast_matmul_chain_into(&chain, a, b, c, strategy, threads);
+    with_uniform_chain(plan, steps, |chain| {
+        fast_matmul_chain_into(chain, a, b, c, strategy, threads)
+    })
 }
 
 /// Non-stationary execution (the paper's §6 extension): apply a *chain* of
@@ -42,35 +81,54 @@ pub fn fast_matmul_into<T: Scalar>(
 /// (or an indivisible level) falls back to classical gemm. Uniform
 /// recursion is the special case `chain = [plan; steps]`, which is exactly
 /// what [`fast_matmul_into`] builds.
-pub fn fast_matmul_chain_into<T: Scalar>(
-    chain: &[&ExecPlan],
+///
+/// Accepts both `&[ExecPlan]` and `&[&ExecPlan]` chains. This entry point
+/// allocates a fresh buffer tree per call; pair it with a
+/// [`crate::Workspace`] via [`crate::fast_matmul_chain_any_into_ws`] for
+/// allocation-free reuse.
+pub fn fast_matmul_chain_into<T: Scalar, P: Borrow<ExecPlan> + Sync>(
+    chain: &[P],
     a: MatRef<'_, T>,
     b: MatRef<'_, T>,
     c: MatMut<'_, T>,
     strategy: Strategy,
     threads: usize,
 ) {
-    let threads = threads.max(1);
-    let strategy = if threads == 1 { Strategy::Seq } else { strategy };
+    let mut level = build_level(chain, a.rows(), a.cols(), b.cols(), strategy, threads);
+    run_level(chain, a, b, c, strategy, threads, &mut level);
+}
+
+/// Execute `chain` against a buffer tree sized by
+/// [`build_level`](crate::workspace) for the same `(chain, shape,
+/// strategy, threads)`.
+pub(crate) fn run_level<T: Scalar, P: Borrow<ExecPlan> + Sync>(
+    chain: &[P],
+    a: MatRef<'_, T>,
+    b: MatRef<'_, T>,
+    c: MatMut<'_, T>,
+    strategy: Strategy,
+    threads: usize,
+    level: &mut LevelWs<T>,
+) {
     let (m, k, n) = (a.rows(), a.cols(), b.cols());
     assert_eq!(k, b.rows(), "inner dimensions must match");
     assert_eq!((m, n), (c.rows(), c.cols()), "C shape mismatch");
 
-    match chain.first() {
+    match chain.first().map(Borrow::borrow) {
         Some(plan) if divisible(plan, m, k, n) => {
-            one_step(plan, &chain[1..], a, b, c, strategy, threads)
+            one_step(plan, &chain[1..], a, b, c, strategy, threads, level)
         }
         _ => {
             // Leaf: classical gemm at the caller's parallelism.
-            let par = leaf_par(strategy, threads);
-            gemm(T::ONE, a, b, T::ZERO, c, par);
+            let (strategy, threads) = effective_strategy(strategy, threads, usize::MAX);
+            gemm(T::ONE, a, b, T::ZERO, c, leaf_par(strategy, threads));
         }
     }
 }
 
-fn divisible(plan: &ExecPlan, m: usize, k: usize, n: usize) -> bool {
+pub(crate) fn divisible(plan: &ExecPlan, m: usize, k: usize, n: usize) -> bool {
     let d = plan.dims;
-    m % d.m == 0 && k % d.k == 0 && n % d.n == 0 && m >= d.m && k >= d.k && n >= d.n
+    m.is_multiple_of(d.m) && k.is_multiple_of(d.k) && n.is_multiple_of(d.n) && m >= d.m && k >= d.k && n >= d.n
 }
 
 fn leaf_par(strategy: Strategy, threads: usize) -> Par {
@@ -80,152 +138,192 @@ fn leaf_par(strategy: Strategy, threads: usize) -> Par {
     }
 }
 
-fn one_step<T: Scalar>(
+/// Zero-copy accessor for the `gr×gc` block grid of an operand, indexed
+/// row-major like the plan's combo block indices. Replaces the old
+/// `Vec<MatRef>` grids so the hot path builds no per-call lists.
+#[derive(Clone, Copy)]
+struct Blocks<'a, T> {
+    mat: MatRef<'a, T>,
+    grid_cols: usize,
+    rows: usize,
+    cols: usize,
+}
+
+impl<'a, T: Scalar> Blocks<'a, T> {
+    fn new(mat: MatRef<'a, T>, gr: usize, gc: usize) -> Self {
+        debug_assert_eq!(mat.rows() % gr, 0);
+        debug_assert_eq!(mat.cols() % gc, 0);
+        Blocks {
+            mat,
+            grid_cols: gc,
+            rows: mat.rows() / gr,
+            cols: mat.cols() / gc,
+        }
+    }
+
+    #[inline]
+    fn get(&self, idx: usize) -> MatRef<'a, T> {
+        let (i, j) = (idx / self.grid_cols, idx % self.grid_cols);
+        self.mat
+            .subview(i * self.rows, j * self.cols, self.rows, self.cols)
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn one_step<T: Scalar, P: Borrow<ExecPlan> + Sync>(
     plan: &ExecPlan,
-    rest: &[&ExecPlan],
+    rest: &[P],
     a: MatRef<'_, T>,
     b: MatRef<'_, T>,
     c: MatMut<'_, T>,
     strategy: Strategy,
     threads: usize,
+    level: &mut LevelWs<T>,
 ) {
     let d = plan.dims;
-    let (bm, bk, bn) = (a.rows() / d.m, a.cols() / d.k, b.cols() / d.n);
-    let a_blocks = a.grid(d.m, d.k);
-    let b_blocks = b.grid(d.k, d.n);
+    let a_blocks = Blocks::new(a, d.m, d.k);
+    let b_blocks = Blocks::new(b, d.k, d.n);
     let r = plan.rank;
+    let (strategy, threads) = effective_strategy(strategy, threads, r);
 
-    let mut products: Vec<Mat<T>> = (0..r).map(|_| Mat::zeros(bm, bn)).collect();
+    let LevelWs { products, lanes } = level;
+    debug_assert_eq!(products.len(), r, "workspace product count mismatch");
+    debug_assert!(!lanes.is_empty(), "workspace has no lanes");
 
     match strategy {
-        Strategy::Seq => {
+        Strategy::Seq | Strategy::Dfs => {
+            let par = leaf_par(strategy, threads);
+            let lane = &mut lanes[0];
             for (t, m_out) in products.iter_mut().enumerate() {
-                compute_product(plan, rest, t, &a_blocks, &b_blocks, (bm, bk, bn), m_out, Par::Seq);
-            }
-        }
-        Strategy::Dfs => {
-            let par = Par::Threads(threads);
-            for (t, m_out) in products.iter_mut().enumerate() {
-                compute_product(plan, rest, t, &a_blocks, &b_blocks, (bm, bk, bn), m_out, par);
+                compute_product(plan, rest, t, a_blocks, b_blocks, m_out, par, lane);
             }
         }
         Strategy::Bfs => {
-            let mut per_thread: Vec<Vec<(usize, &mut Mat<T>)>> =
-                (0..threads).map(|_| Vec::new()).collect();
-            for (t, m_out) in products.iter_mut().enumerate() {
-                per_thread[t % threads].push((t, m_out));
-            }
-            let ab = &a_blocks;
-            let bb = &b_blocks;
+            // Contiguous chunks (instead of the round-robin lists of
+            // `bfs_schedule`) carry the same work distribution with no
+            // per-call list allocation; threads is already capped at r.
+            let chunk = r.div_ceil(threads);
             pool(threads).scope(|s| {
-                for list in per_thread {
+                for (ci, (chunk_prods, lane)) in
+                    products.chunks_mut(chunk).zip(lanes.iter_mut()).enumerate()
+                {
                     s.spawn(move |_| {
-                        for (t, m_out) in list {
-                            compute_product(plan, rest, t, ab, bb, (bm, bk, bn), m_out, Par::Seq);
+                        for (j, m_out) in chunk_prods.iter_mut().enumerate() {
+                            let t = ci * chunk + j;
+                            compute_product(plan, rest, t, a_blocks, b_blocks, m_out, Par::Seq, lane);
                         }
                     });
                 }
             });
         }
         Strategy::Hybrid => {
-            let sched = hybrid_schedule(r, threads);
-            let owned = threads * sched.q;
+            // r = p·q + ℓ with q ≥ 1 (q = 0 was coerced to Dfs): each
+            // thread owns a contiguous run of q products, then the ℓ
+            // remainder products run one at a time on all threads.
+            let q = r / threads;
+            let owned = threads * q;
             let (own_slice, rem_slice) = products.split_at_mut(owned);
-            if sched.q > 0 {
-                let ab = &a_blocks;
-                let bb = &b_blocks;
-                pool(threads).scope(|s| {
-                    for (i, chunk) in own_slice.chunks_mut(sched.q).enumerate() {
-                        s.spawn(move |_| {
-                            for (j, m_out) in chunk.iter_mut().enumerate() {
-                                let t = i * sched.q + j;
-                                compute_product(
-                                    plan,
-                                    rest,
-                                    t,
-                                    ab,
-                                    bb,
-                                    (bm, bk, bn),
-                                    m_out,
-                                    Par::Seq,
-                                );
-                            }
-                        });
-                    }
-                });
-            }
-            // Remainder products: all threads cooperate inside each one.
+            pool(threads).scope(|s| {
+                for (i, (chunk_prods, lane)) in
+                    own_slice.chunks_mut(q).zip(lanes.iter_mut()).enumerate()
+                {
+                    s.spawn(move |_| {
+                        for (j, m_out) in chunk_prods.iter_mut().enumerate() {
+                            let t = i * q + j;
+                            compute_product(plan, rest, t, a_blocks, b_blocks, m_out, Par::Seq, lane);
+                        }
+                    });
+                }
+            });
+            // The spawned tasks are done; lane 0 is free again.
             let par = Par::Threads(threads);
+            let lane = &mut lanes[0];
             for (j, m_out) in rem_slice.iter_mut().enumerate() {
-                let t = owned + j;
-                compute_product(plan, rest, t, &a_blocks, &b_blocks, (bm, bk, bn), m_out, par);
+                compute_product(plan, rest, owned + j, a_blocks, b_blocks, m_out, par, lane);
             }
         }
     }
 
-    write_outputs(plan, c, &products, strategy, threads);
+    write_outputs(plan, c, products, strategy, threads);
 }
 
-/// Form `S_t`, `T_t` and run `M_t = α · S_t · T_t`.
+/// Form `S_t`, `T_t` in the lane's buffers and run `M_t = α · S_t · T_t`.
 #[allow(clippy::too_many_arguments)]
-fn compute_product<T: Scalar>(
+fn compute_product<T: Scalar, P: Borrow<ExecPlan> + Sync>(
     plan: &ExecPlan,
-    rest: &[&ExecPlan],
+    rest: &[P],
     t: usize,
-    a_blocks: &[MatRef<'_, T>],
-    b_blocks: &[MatRef<'_, T>],
-    (bm, bk, bn): (usize, usize, usize),
+    a_blocks: Blocks<'_, T>,
+    b_blocks: Blocks<'_, T>,
     m_out: &mut Mat<T>,
     par: Par,
+    lane: &mut LaneWs<T>,
 ) {
     let recursive = !rest.is_empty();
-
-    // Combination buffers are declared up front so block views and buffer
-    // views unify to one lifetime without copies.
-    let s_storage: Mat<T>;
-    let t_storage: Mat<T>;
+    let LaneWs { s_buf, t_buf, child } = lane;
 
     let (s_view, alpha_a) = match &plan.a_combos[t] {
         Combo::Single { block, coeff } if !recursive || *coeff == 1.0 => {
-            (a_blocks[*block], *coeff)
+            (a_blocks.get(*block), *coeff)
         }
         combo => {
-            let mut buf = Mat::zeros(bm, bk);
-            form_combo(buf.as_mut(), combo, a_blocks, par);
-            s_storage = buf;
-            (s_storage.as_ref(), 1.0)
+            debug_assert_eq!(
+                (s_buf.rows(), s_buf.cols()),
+                (a_blocks.rows, a_blocks.cols),
+                "workspace S-buffer shape mismatch"
+            );
+            form_combo(s_buf.as_mut(), combo, a_blocks, par);
+            (s_buf.as_ref(), 1.0)
         }
     };
     let (t_view, alpha_b) = match &plan.b_combos[t] {
         Combo::Single { block, coeff } if !recursive || *coeff == 1.0 => {
-            (b_blocks[*block], *coeff)
+            (b_blocks.get(*block), *coeff)
         }
         combo => {
-            let mut buf = Mat::zeros(bk, bn);
-            form_combo(buf.as_mut(), combo, b_blocks, par);
-            t_storage = buf;
-            (t_storage.as_ref(), 1.0)
+            debug_assert_eq!(
+                (t_buf.rows(), t_buf.cols()),
+                (b_blocks.rows, b_blocks.cols),
+                "workspace T-buffer shape mismatch"
+            );
+            form_combo(t_buf.as_mut(), combo, b_blocks, par);
+            (t_buf.as_ref(), 1.0)
         }
     };
 
     if recursive {
         debug_assert!((alpha_a - 1.0).abs() < f64::EPSILON && (alpha_b - 1.0).abs() < f64::EPSILON);
-        fast_matmul_chain_into(rest, s_view, t_view, m_out.as_mut(), Strategy::Seq, 1);
+        let child = child
+            .as_deref_mut()
+            .expect("recursive level carries a child workspace");
+        run_level(rest, s_view, t_view, m_out.as_mut(), Strategy::Seq, 1, child);
     } else {
         let alpha = T::from_f64(alpha_a * alpha_b);
         gemm(alpha, s_view, t_view, T::ZERO, m_out.as_mut(), par);
     }
 }
 
-fn form_combo<T: Scalar>(dst: MatMut<'_, T>, combo: &Combo, blocks: &[MatRef<'_, T>], par: Par) {
-    let terms: Vec<(T, MatRef<'_, T>)> = match combo {
-        Combo::Single { block, coeff } => vec![(T::from_f64(*coeff), blocks[*block])],
-        Combo::Multi(v) => v
-            .iter()
-            .map(|&(b, c)| (T::from_f64(c), blocks[b]))
-            .collect(),
-    };
-    combine_par(dst, false, &terms, par);
+fn form_combo<T: Scalar>(dst: MatMut<'_, T>, combo: &Combo, blocks: Blocks<'_, T>, par: Par) {
+    match combo {
+        Combo::Single { block, coeff } => {
+            combine_par(dst, false, &[(T::from_f64(*coeff), blocks.get(*block))], par);
+        }
+        Combo::Multi(v) if v.len() <= MAX_INLINE_TERMS => {
+            // Stack-staged term list; slots past v.len() are never read.
+            let mut terms = [(T::ZERO, blocks.mat); MAX_INLINE_TERMS];
+            for (slot, &(b, coeff)) in terms.iter_mut().zip(v) {
+                *slot = (T::from_f64(coeff), blocks.get(b));
+            }
+            combine_par(dst, false, &terms[..v.len()], par);
+        }
+        Combo::Multi(v) => {
+            let terms: Vec<(T, MatRef<'_, T>)> = v
+                .iter()
+                .map(|&(b, coeff)| (T::from_f64(coeff), blocks.get(b)))
+                .collect();
+            combine_par(dst, false, &terms, par);
+        }
+    }
 }
 
 fn write_outputs<T: Scalar>(
@@ -236,15 +334,27 @@ fn write_outputs<T: Scalar>(
     threads: usize,
 ) {
     let d = plan.dims;
-    let c_blocks = c.into_grid(d.m, d.n);
+    let (bm, bn) = (c.rows() / d.m, c.cols() / d.n);
     let par = leaf_par(strategy, threads);
-    for (block, mut dst) in c_blocks.into_iter().enumerate() {
-        let terms: Vec<(T, MatRef<'_, T>)> = plan.c_outputs[block]
-            .iter()
-            .map(|&(t, coeff)| (T::from_f64(coeff), products[t].as_ref()))
-            .collect();
-        debug_assert!(!terms.is_empty(), "output block {block} receives no products");
-        combine_par(dst.rb(), false, &terms, par);
+    let mut c = c;
+    for block in 0..d.m * d.n {
+        let (bi, bj) = (block / d.n, block % d.n);
+        let dst = c.rb().into_subview(bi * bm, bj * bn, bm, bn);
+        let contrib = &plan.c_outputs[block];
+        debug_assert!(!contrib.is_empty(), "output block {block} receives no products");
+        if contrib.len() <= MAX_INLINE_TERMS {
+            let mut terms = [(T::ZERO, products[0].as_ref()); MAX_INLINE_TERMS];
+            for (slot, &(t, coeff)) in terms.iter_mut().zip(contrib) {
+                *slot = (T::from_f64(coeff), products[t].as_ref());
+            }
+            combine_par(dst, false, &terms[..contrib.len()], par);
+        } else {
+            let terms: Vec<(T, MatRef<'_, T>)> = contrib
+                .iter()
+                .map(|&(t, coeff)| (T::from_f64(coeff), products[t].as_ref()))
+                .collect();
+            combine_par(dst, false, &terms, par);
+        }
     }
 }
 
@@ -330,6 +440,15 @@ mod tests {
     }
 
     #[test]
+    fn more_threads_than_products_runs_every_strategy() {
+        // bini322 has 10 products; 16 threads exercises the BFS lane cap
+        // and the Hybrid→DFS coercion end to end.
+        for strategy in [Strategy::Bfs, Strategy::Hybrid, Strategy::Dfs] {
+            check("bini322", 2.0_f64.powi(-26), 4, 1e-6, strategy, 16);
+        }
+    }
+
+    #[test]
     fn two_recursive_steps() {
         let alg = catalog::strassen();
         let plan = ExecPlan::compile(&alg, 0.0);
@@ -397,6 +516,22 @@ mod tests {
     }
 
     #[test]
+    fn chain_accepts_owned_plans() {
+        // The Borrow-generic chain API takes &[ExecPlan] directly — this is
+        // what lets ApaChain avoid rebuilding a Vec<&ExecPlan> per call.
+        let chain = [
+            ExecPlan::compile(&catalog::strassen(), 0.0),
+            ExecPlan::compile(&catalog::strassen(), 0.0),
+        ];
+        let a = rand_mat(16, 16, 60);
+        let b = rand_mat(16, 16, 61);
+        let mut c = Mat::zeros(16, 16);
+        fast_matmul_chain_into(&chain, a.as_ref(), b.as_ref(), c.as_mut(), Strategy::Seq, 1);
+        let expect = matmul_naive(a.as_ref(), b.as_ref());
+        assert!(c.rel_frobenius_error(&expect) < 1e-12);
+    }
+
+    #[test]
     fn chain_order_matters_for_divisibility() {
         // 8×8×8 divides Strassen twice but Bini not even once; the chain
         // must gracefully degrade to gemm at the Bini level.
@@ -417,7 +552,14 @@ mod tests {
         let a = rand_mat(9, 7, 54);
         let b = rand_mat(7, 5, 55);
         let mut c = Mat::zeros(9, 5);
-        fast_matmul_chain_into::<f64>(&[], a.as_ref(), b.as_ref(), c.as_mut(), Strategy::Seq, 1);
+        fast_matmul_chain_into::<f64, &ExecPlan>(
+            &[],
+            a.as_ref(),
+            b.as_ref(),
+            c.as_mut(),
+            Strategy::Seq,
+            1,
+        );
         let expect = matmul_naive(a.as_ref(), b.as_ref());
         assert!(c.rel_frobenius_error(&expect) < 1e-12);
     }

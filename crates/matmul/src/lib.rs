@@ -11,6 +11,8 @@
 //! * [`schedule`] — the DFS / BFS / **Hybrid** parallel strategies of the
 //!   paper's §3.2 (Fig. 2);
 //! * [`peel`] — dynamic peeling and zero padding for arbitrary shapes;
+//! * [`workspace`] — preallocated, reusable buffer arenas so steady-state
+//!   multiplications perform zero heap allocations;
 //! * [`tune`] — the 5-powers-of-2 λ auto-tuner of the paper's Fig. 1;
 //! * [`error`] — relative-Frobenius error measurement against the f64
 //!   classical reference;
@@ -26,13 +28,18 @@ pub mod plan;
 pub mod schedule;
 pub mod stats;
 pub mod tune;
+pub mod workspace;
 
 pub use apamm::{ApaChain, ApaMatmul, ClassicalMatmul};
 pub use autotune::{autotune, autotune_with, Candidate, TuneOutcome};
 pub use error::measure_error;
 pub use exec::{fast_matmul, fast_matmul_chain_into, fast_matmul_into};
-pub use peel::{fast_matmul_any_into, fast_matmul_chain_any_into, PeelMode};
+pub use peel::{
+    fast_matmul_any_into, fast_matmul_any_into_ws, fast_matmul_chain_any_into,
+    fast_matmul_chain_any_into_ws, PeelMode,
+};
 pub use plan::{Combo, ExecPlan};
-pub use schedule::{bfs_schedule, hybrid_schedule, HybridSchedule, Strategy};
-pub use stats::{profile_one_step, ExecProfile};
+pub use schedule::{bfs_schedule, effective_strategy, hybrid_schedule, HybridSchedule, Strategy};
+pub use stats::{profile_one_step, profile_one_step_with_workspace, ExecProfile};
 pub use tune::{tune_lambda, TunedLambda};
+pub use workspace::{LevelKey, Workspace, WsKey};

@@ -10,12 +10,20 @@
 //! * **zero padding** — round each dimension *up*, copy into padded
 //!   buffers, run the fast rule, copy the result back. Simpler arithmetic
 //!   but three buffer copies and wasted flops on the border.
+//!
+//! Each entry point comes in two flavors: the plain one allocates its
+//! buffers per call, the `*_ws` one executes out of a caller-owned
+//! [`Workspace`] (core buffer tree *and* pad buffers) so warm calls touch
+//! the heap not at all. Both run the same engine and produce bitwise
+//! identical results.
 
-use crate::exec::fast_matmul_chain_into;
+use crate::exec::{fast_matmul_chain_into, run_level, with_uniform_chain};
 use crate::plan::ExecPlan;
 use crate::schedule::Strategy;
+use crate::workspace::{chain_divisor, PadBufs, Workspace};
 use apa_gemm::{gemm, Mat, MatMut, MatRef, Par, Scalar};
 use serde::Serialize;
+use std::borrow::Borrow;
 
 /// How to reconcile arbitrary dimensions with the rule's base dims.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize)]
@@ -27,6 +35,7 @@ pub enum PeelMode {
 }
 
 /// `C ← Â·B̂` for arbitrary shapes.
+#[allow(clippy::too_many_arguments)]
 pub fn fast_matmul_any_into<T: Scalar>(
     plan: &ExecPlan,
     a: MatRef<'_, T>,
@@ -38,15 +47,35 @@ pub fn fast_matmul_any_into<T: Scalar>(
     mode: PeelMode,
 ) {
     // steps = 0 yields an empty chain, i.e. plain gemm.
-    let chain: Vec<&ExecPlan> = (0..steps).map(|_| plan).collect();
-    fast_matmul_chain_any_into(&chain, a, b, c, strategy, threads, mode);
+    with_uniform_chain(plan, steps, |chain| {
+        fast_matmul_chain_any_into(chain, a, b, c, strategy, threads, mode)
+    })
+}
+
+/// [`fast_matmul_any_into`] executing out of a preallocated [`Workspace`]
+/// built by [`Workspace::for_plan`] for the same configuration.
+#[allow(clippy::too_many_arguments)]
+pub fn fast_matmul_any_into_ws<T: Scalar>(
+    plan: &ExecPlan,
+    a: MatRef<'_, T>,
+    b: MatRef<'_, T>,
+    c: MatMut<'_, T>,
+    steps: u32,
+    strategy: Strategy,
+    threads: usize,
+    mode: PeelMode,
+    ws: &mut Workspace<T>,
+) {
+    with_uniform_chain(plan, steps, |chain| {
+        fast_matmul_chain_any_into_ws(chain, a, b, c, strategy, threads, mode, ws)
+    })
 }
 
 /// Non-stationary variant of [`fast_matmul_any_into`]: arbitrary shapes
 /// with a chain of rules (one per recursion level). The peel divisor is
 /// the elementwise product of the chain's base dims.
-pub fn fast_matmul_chain_any_into<T: Scalar>(
-    chain: &[&ExecPlan],
+pub fn fast_matmul_chain_any_into<T: Scalar, P: Borrow<ExecPlan> + Sync>(
+    chain: &[P],
     a: MatRef<'_, T>,
     b: MatRef<'_, T>,
     c: MatMut<'_, T>,
@@ -58,34 +87,88 @@ pub fn fast_matmul_chain_any_into<T: Scalar>(
     assert_eq!(k, b.rows(), "inner dimensions must match");
     assert_eq!((m, n), (c.rows(), c.cols()), "C shape mismatch");
 
-    // Divisor across all chain levels.
-    let (mut dm, mut dk, mut dn) = (1usize, 1usize, 1usize);
-    for plan in chain {
-        dm *= plan.dims.m;
-        dk *= plan.dims.k;
-        dn *= plan.dims.n;
-    }
-
+    let (dm, dk, dn) = chain_divisor(chain);
     if m % dm == 0 && k % dk == 0 && n % dn == 0 {
         fast_matmul_chain_into(chain, a, b, c, strategy, threads);
         return;
     }
 
     match mode {
-        PeelMode::Dynamic => peel_dynamic(chain, a, b, c, strategy, threads, (dm, dk, dn)),
-        PeelMode::Pad => pad_and_run(chain, a, b, c, strategy, threads, (dm, dk, dn)),
+        PeelMode::Dynamic => peel_dynamic(a, b, c, threads, (dm, dk, dn), |ac, bc, cc| {
+            fast_matmul_chain_into(chain, ac, bc, cc, strategy, threads)
+        }),
+        PeelMode::Pad => {
+            let (mp, kp, np) = (
+                m.div_ceil(dm) * dm,
+                k.div_ceil(dk) * dk,
+                n.div_ceil(dn) * dn,
+            );
+            let mut pad = PadBufs {
+                ap: Mat::<T>::zeros(mp, kp),
+                bp: Mat::<T>::zeros(kp, np),
+                cp: Mat::<T>::zeros(mp, np),
+            };
+            run_padded(a, b, c, &mut pad, |ac, bc, cc| {
+                fast_matmul_chain_into(chain, ac, bc, cc, strategy, threads)
+            });
+        }
     }
 }
 
+/// Workspace-backed variant of [`fast_matmul_chain_any_into`]. Panics if
+/// `ws` was sized for a different configuration (shape, chain structure,
+/// strategy, threads or peel mode) — build one with
+/// [`Workspace::for_chain`] using the exact same arguments.
 #[allow(clippy::too_many_arguments)]
-fn peel_dynamic<T: Scalar>(
-    chain: &[&ExecPlan],
+pub fn fast_matmul_chain_any_into_ws<T: Scalar, P: Borrow<ExecPlan> + Sync>(
+    chain: &[P],
     a: MatRef<'_, T>,
     b: MatRef<'_, T>,
     c: MatMut<'_, T>,
     strategy: Strategy,
     threads: usize,
+    mode: PeelMode,
+    ws: &mut Workspace<T>,
+) {
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    assert_eq!(k, b.rows(), "inner dimensions must match");
+    assert_eq!((m, n), (c.rows(), c.cols()), "C shape mismatch");
+    assert!(
+        ws.matches(chain, m, k, n, strategy, threads, mode),
+        "workspace was built for {:?}, called with ({m}×{k}×{n}, {strategy:?}, {threads} threads, {mode:?})",
+        ws.key()
+    );
+    ws.note_run();
+    let Workspace { root, pad, .. } = ws;
+
+    let (dm, dk, dn) = chain_divisor(chain);
+    if m % dm == 0 && k % dk == 0 && n % dn == 0 {
+        run_level(chain, a, b, c, strategy, threads, root);
+        return;
+    }
+
+    match mode {
+        PeelMode::Dynamic => peel_dynamic(a, b, c, threads, (dm, dk, dn), |ac, bc, cc| {
+            run_level(chain, ac, bc, cc, strategy, threads, root)
+        }),
+        PeelMode::Pad => {
+            let pad = pad.as_mut().expect("Pad-mode workspace carries pad buffers");
+            run_padded(a, b, c, pad, |ac, bc, cc| {
+                run_level(chain, ac, bc, cc, strategy, threads, root)
+            });
+        }
+    }
+}
+
+/// Split into (core | rim), run `core` on the divisible core and classical
+/// gemm on the rims.
+fn peel_dynamic<T: Scalar>(
+    a: MatRef<'_, T>,
+    b: MatRef<'_, T>,
+    c: MatMut<'_, T>,
+    threads: usize,
     (dm, dk, dn): (usize, usize, usize),
+    core: impl FnOnce(MatRef<'_, T>, MatRef<'_, T>, MatMut<'_, T>),
 ) {
     let (m, k, n) = (a.rows(), a.cols(), b.cols());
     let mc = m / dm * dm;
@@ -115,7 +198,7 @@ fn peel_dynamic<T: Scalar>(
     let (mut c21, mut c22) = c_bottom.split_at_col(nc);
 
     // C11 = fast(A11·B11) + A12·B21.
-    fast_matmul_chain_into(chain, a11, b11, c11.rb(), strategy, threads);
+    core(a11, b11, c11.rb());
     if k > kc {
         gemm(T::ONE, a12, b21, T::ONE, c11.rb(), par);
     }
@@ -134,30 +217,22 @@ fn peel_dynamic<T: Scalar>(
     }
 }
 
-#[allow(clippy::too_many_arguments)]
-fn pad_and_run<T: Scalar>(
-    chain: &[&ExecPlan],
+/// Copy the operands into the (zero-bordered) pad buffers, run `core` on
+/// the padded shapes, copy the live region of the result back. Only the
+/// live top-left regions are written, so the zero borders established at
+/// construction survive workspace reuse.
+fn run_padded<T: Scalar>(
     a: MatRef<'_, T>,
     b: MatRef<'_, T>,
     mut c: MatMut<'_, T>,
-    strategy: Strategy,
-    threads: usize,
-    (dm, dk, dn): (usize, usize, usize),
+    pad: &mut PadBufs<T>,
+    core: impl FnOnce(MatRef<'_, T>, MatRef<'_, T>, MatMut<'_, T>),
 ) {
     let (m, k, n) = (a.rows(), a.cols(), b.cols());
-    let mp = m.div_ceil(dm) * dm;
-    let kp = k.div_ceil(dk) * dk;
-    let np = n.div_ceil(dn) * dn;
-
-    let mut ap = Mat::<T>::zeros(mp, kp);
-    ap.as_mut().subview_mut(0, 0, m, k).copy_from(a);
-    let mut bp = Mat::<T>::zeros(kp, np);
-    bp.as_mut().subview_mut(0, 0, k, n).copy_from(b);
-    let mut cp = Mat::<T>::zeros(mp, np);
-
-    fast_matmul_chain_into(chain, ap.as_ref(), bp.as_ref(), cp.as_mut(), strategy, threads);
-
-    c.copy_from(cp.as_ref().subview(0, 0, m, n));
+    pad.ap.as_mut().subview_mut(0, 0, m, k).copy_from(a);
+    pad.bp.as_mut().subview_mut(0, 0, k, n).copy_from(b);
+    core(pad.ap.as_ref(), pad.bp.as_ref(), pad.cp.as_mut());
+    c.copy_from(pad.cp.as_ref().subview(0, 0, m, n));
 }
 
 #[cfg(test)]
@@ -197,6 +272,34 @@ mod tests {
         let expect = matmul_naive(a.as_ref(), b.as_ref());
         let err = c.rel_frobenius_error(&expect);
         assert!(err < tol, "{alg_name} {mode:?} ({m},{k},{n}): err {err}");
+
+        // The workspace-backed path must agree bitwise, warm or cold.
+        let mut ws =
+            Workspace::<f64>::for_plan(&plan, m, k, n, 1, Strategy::Seq, 1, mode);
+        for _ in 0..2 {
+            let mut c_ws = Mat::zeros(m, n);
+            fast_matmul_any_into_ws(
+                &plan,
+                a.as_ref(),
+                b.as_ref(),
+                c_ws.as_mut(),
+                1,
+                Strategy::Seq,
+                1,
+                mode,
+                &mut ws,
+            );
+            for i in 0..m {
+                for j in 0..n {
+                    assert_eq!(
+                        c.at(i, j).to_bits(),
+                        c_ws.at(i, j).to_bits(),
+                        "workspace path diverged at ({i},{j})"
+                    );
+                }
+            }
+        }
+        assert_eq!(ws.runs(), 2);
     }
 
     #[test]
@@ -292,5 +395,29 @@ mod tests {
         fast_matmul_any_into(&plan, a.as_ref(), b.as_ref(), seq.as_mut(), 1, Strategy::Seq, 1, PeelMode::Dynamic);
         fast_matmul_any_into(&plan, a.as_ref(), b.as_ref(), par.as_mut(), 1, Strategy::Hybrid, 3, PeelMode::Dynamic);
         assert!(par.rel_frobenius_error(&seq) < 1e-12);
+    }
+
+    #[test]
+    fn workspace_mismatch_panics() {
+        let plan = ExecPlan::compile(&catalog::strassen(), 0.0);
+        let mut ws =
+            Workspace::<f64>::for_plan(&plan, 16, 16, 16, 1, Strategy::Seq, 1, PeelMode::Dynamic);
+        let a = rand_mat(18, 16, 70);
+        let b = rand_mat(16, 16, 71);
+        let mut c = Mat::zeros(18, 16);
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            fast_matmul_any_into_ws(
+                &plan,
+                a.as_ref(),
+                b.as_ref(),
+                c.as_mut(),
+                1,
+                Strategy::Seq,
+                1,
+                PeelMode::Dynamic,
+                &mut ws,
+            )
+        }));
+        assert!(err.is_err(), "shape mismatch must not execute");
     }
 }

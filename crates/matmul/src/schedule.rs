@@ -29,6 +29,32 @@ pub enum Strategy {
     Hybrid,
 }
 
+/// The strategy and thread count a request actually executes with, after
+/// the engine's edge-case coercions. Making these explicit (instead of
+/// silent special cases inside the executor) lets profiles and workspaces
+/// report/size exactly what will run:
+///
+/// * `threads ≤ 1` — every strategy degenerates to `Seq`;
+/// * `Seq` — always one thread, whatever was requested;
+/// * `Bfs` with `threads > r` — only `r` threads can ever hold work, the
+///   rest would spin up with empty lists; capped at `r`;
+/// * `Hybrid` with `threads > r` — `q = 0`, so the "owned" phase is empty
+///   and *all* products run in the all-thread remainder phase, which is
+///   exactly `Dfs`.
+pub fn effective_strategy(requested: Strategy, threads: usize, rank: usize) -> (Strategy, usize) {
+    let threads = threads.max(1);
+    if threads == 1 {
+        return (Strategy::Seq, 1);
+    }
+    match requested {
+        Strategy::Seq => (Strategy::Seq, 1),
+        Strategy::Dfs => (Strategy::Dfs, threads),
+        Strategy::Bfs => (Strategy::Bfs, threads.min(rank.max(1))),
+        Strategy::Hybrid if threads > rank => (Strategy::Dfs, threads),
+        Strategy::Hybrid => (Strategy::Hybrid, threads),
+    }
+}
+
 /// A hybrid schedule: per-thread lists plus the all-thread remainder.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct HybridSchedule {
@@ -166,6 +192,27 @@ mod tests {
         assert_eq!(a[3], vec![3, 7]);
         let total: usize = a.iter().map(|v| v.len()).sum();
         assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn effective_strategy_makes_coercions_explicit() {
+        // One thread: everything is sequential.
+        for s in [Strategy::Seq, Strategy::Dfs, Strategy::Bfs, Strategy::Hybrid] {
+            assert_eq!(effective_strategy(s, 1, 7), (Strategy::Seq, 1));
+            assert_eq!(effective_strategy(s, 0, 7), (Strategy::Seq, 1));
+        }
+        // Seq never uses extra threads.
+        assert_eq!(effective_strategy(Strategy::Seq, 8, 7), (Strategy::Seq, 1));
+        // Plenty of products: strategies pass through.
+        assert_eq!(effective_strategy(Strategy::Dfs, 4, 10), (Strategy::Dfs, 4));
+        assert_eq!(effective_strategy(Strategy::Bfs, 4, 10), (Strategy::Bfs, 4));
+        assert_eq!(effective_strategy(Strategy::Hybrid, 4, 10), (Strategy::Hybrid, 4));
+        // More threads than products: BFS caps its thread count…
+        assert_eq!(effective_strategy(Strategy::Bfs, 8, 3), (Strategy::Bfs, 3));
+        // …and Hybrid (q = 0, all-remainder) is exactly DFS.
+        assert_eq!(effective_strategy(Strategy::Hybrid, 8, 3), (Strategy::Dfs, 8));
+        // threads == rank is a straight hybrid with q = 1.
+        assert_eq!(effective_strategy(Strategy::Hybrid, 7, 7), (Strategy::Hybrid, 7));
     }
 
     #[test]

@@ -6,8 +6,16 @@
 //! overhead of additions is the biggest impediment to realizing the
 //! [ideal] speedup", and lets the ablation harness print a measured
 //! mult/add split next to the `apa-core::analysis` model's prediction.
+//!
+//! The profile also reports the engine's *execution* facts: which strategy
+//! actually ran after [`effective_strategy`] coercion, how many bytes of
+//! intermediate buffers the run allocated ([`ExecProfile::alloc_bytes`],
+//! zero when a warm [`Workspace`] was supplied), and how often that
+//! workspace had been reused.
 
 use crate::plan::{Combo, ExecPlan};
+use crate::schedule::{effective_strategy, Strategy};
+use crate::workspace::{build_level, LevelWs, Workspace};
 use apa_gemm::{combine, gemm_st, Mat, MatRef, Scalar};
 use std::time::Instant;
 
@@ -24,6 +32,21 @@ pub struct ExecProfile {
     pub add_elems: usize,
     /// Flops performed by the multiplications (2·bm·bk·bn each).
     pub mult_flops: f64,
+    /// Strategy the caller asked for (None before any run).
+    pub requested_strategy: Option<Strategy>,
+    /// Strategy that actually executed after edge-case coercion
+    /// ([`effective_strategy`]); differs from `requested_strategy` e.g.
+    /// for Hybrid with more threads than products.
+    pub effective_strategy: Option<Strategy>,
+    /// Thread count that actually executed.
+    pub effective_threads: usize,
+    /// Heap bytes allocated for intermediate buffers (products and
+    /// combination scratch) during this run. Zero when executing out of a
+    /// warm [`Workspace`].
+    pub alloc_bytes: u64,
+    /// How many times the supplied workspace had been used *before* this
+    /// run (0 for the allocate-per-call path).
+    pub workspace_reuses: u64,
 }
 
 impl ExecProfile {
@@ -39,54 +62,108 @@ impl ExecProfile {
 }
 
 /// Sequential, instrumented one-step execution. Dimensions must divide the
-/// plan's base dims. Returns the product and the profile.
+/// plan's base dims. Returns the product and the profile. Buffers are
+/// allocated for this call; [`profile_one_step_with_workspace`] is the
+/// reusing variant.
 pub fn profile_one_step<T: Scalar>(
     plan: &ExecPlan,
     a: MatRef<'_, T>,
     b: MatRef<'_, T>,
 ) -> (Mat<T>, ExecProfile) {
-    let d = plan.dims;
     let (m, k, n) = (a.rows(), a.cols(), b.cols());
-    assert_eq!(k, b.rows());
+    check_dims(plan, m, k, n, b.rows());
+    let mut level = build_level(&[plan], m, k, n, Strategy::Seq, 1);
+    let mut profile = base_profile();
+    profile.alloc_bytes = (level.elems() * std::mem::size_of::<T>()) as u64;
+    let c = instrumented_one_step(plan, a, b, &mut level, &mut profile);
+    (c, profile)
+}
+
+/// [`profile_one_step`] executing out of a caller-owned [`Workspace`]
+/// (built with `Strategy::Seq`, one thread, for exactly `m×k·k×n`).
+/// `alloc_bytes` is 0 and `workspace_reuses` counts the prior runs.
+pub fn profile_one_step_with_workspace<T: Scalar>(
+    plan: &ExecPlan,
+    a: MatRef<'_, T>,
+    b: MatRef<'_, T>,
+    ws: &mut Workspace<T>,
+) -> (Mat<T>, ExecProfile) {
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    check_dims(plan, m, k, n, b.rows());
     assert!(
-        m % d.m == 0 && k % d.k == 0 && n % d.n == 0,
+        ws.matches(&[plan], m, k, n, Strategy::Seq, 1, ws.key().peel),
+        "workspace was built for {:?}, profiling ({m}×{k}×{n}, Seq, 1 thread)",
+        ws.key()
+    );
+    let mut profile = base_profile();
+    profile.workspace_reuses = ws.runs();
+    ws.note_run();
+    let c = instrumented_one_step(plan, a, b, &mut ws.root, &mut profile);
+    (c, profile)
+}
+
+fn base_profile() -> ExecProfile {
+    let (eff, eff_threads) = effective_strategy(Strategy::Seq, 1, usize::MAX);
+    ExecProfile {
+        requested_strategy: Some(Strategy::Seq),
+        effective_strategy: Some(eff),
+        effective_threads: eff_threads,
+        ..ExecProfile::default()
+    }
+}
+
+fn check_dims(plan: &ExecPlan, m: usize, k: usize, n: usize, b_rows: usize) {
+    let d = plan.dims;
+    assert_eq!(k, b_rows);
+    assert!(
+        m.is_multiple_of(d.m) && k.is_multiple_of(d.k) && n.is_multiple_of(d.n),
         "profile_one_step requires divisible dims"
     );
-    let (bm, bk, bn) = (m / d.m, k / d.k, n / d.n);
+}
+
+fn instrumented_one_step<T: Scalar>(
+    plan: &ExecPlan,
+    a: MatRef<'_, T>,
+    b: MatRef<'_, T>,
+    level: &mut LevelWs<T>,
+    profile: &mut ExecProfile,
+) -> Mat<T> {
+    let d = plan.dims;
+    let (m, n) = (a.rows(), b.cols());
+    let (bm, bk, bn) = (a.rows() / d.m, a.cols() / d.k, b.cols() / d.n);
     let a_blocks = a.grid(d.m, d.k);
     let b_blocks = b.grid(d.k, d.n);
-    let mut profile = ExecProfile::default();
-    let mut products: Vec<Mat<T>> = Vec::with_capacity(plan.rank);
+    let LevelWs { products, lanes } = level;
+    debug_assert_eq!(products.len(), plan.rank);
+    let lane = &mut lanes[0];
 
-    for t in 0..plan.rank {
+    for (t, product) in products.iter_mut().enumerate() {
         // Operand combinations (timed as additions).
         let t0 = Instant::now();
-        let (s_mat, alpha_a) = materialize(&plan.a_combos[t], &a_blocks, bm, bk, &mut profile);
-        let (t_mat, alpha_b) = materialize(&plan.b_combos[t], &b_blocks, bk, bn, &mut profile);
+        let alpha_a = materialize(&plan.a_combos[t], &a_blocks, &mut lane.s_buf, profile);
+        let alpha_b = materialize(&plan.b_combos[t], &b_blocks, &mut lane.t_buf, profile);
         profile.add_seconds += t0.elapsed().as_secs_f64();
 
-        let s_view = s_mat
-            .as_ref()
-            .map(|m| m.as_ref())
-            .unwrap_or_else(|| single_block(&plan.a_combos[t], &a_blocks));
-        let t_view = t_mat
-            .as_ref()
-            .map(|m| m.as_ref())
-            .unwrap_or_else(|| single_block(&plan.b_combos[t], &b_blocks));
+        let s_view = match &plan.a_combos[t] {
+            Combo::Single { block, .. } => a_blocks[*block],
+            Combo::Multi(_) => lane.s_buf.as_ref(),
+        };
+        let t_view = match &plan.b_combos[t] {
+            Combo::Single { block, .. } => b_blocks[*block],
+            Combo::Multi(_) => lane.t_buf.as_ref(),
+        };
 
-        let mut out = Mat::zeros(bm, bn);
         let t1 = Instant::now();
         gemm_st(
             T::from_f64(alpha_a * alpha_b),
             s_view,
             t_view,
             T::ZERO,
-            out.as_mut(),
+            product.as_mut(),
         );
         profile.mult_seconds += t1.elapsed().as_secs_f64();
         profile.gemm_calls += 1;
         profile.mult_flops += 2.0 * bm as f64 * bk as f64 * bn as f64;
-        products.push(out);
     }
 
     // Output combinations.
@@ -104,41 +181,36 @@ pub fn profile_one_step<T: Scalar>(
         }
     }
     profile.add_seconds += t2.elapsed().as_secs_f64();
-    (c, profile)
+    c
 }
 
+/// Form a multi-term combination into `buf` (timing and traffic are
+/// charged by the caller); singletons are used in place with their
+/// coefficient folded into gemm's α.
 fn materialize<T: Scalar>(
     combo: &Combo,
     blocks: &[MatRef<'_, T>],
-    rows: usize,
-    cols: usize,
+    buf: &mut Mat<T>,
     profile: &mut ExecProfile,
-) -> (Option<Mat<T>>, f64) {
+) -> f64 {
     match combo {
-        Combo::Single { coeff, .. } => (None, *coeff),
+        Combo::Single { coeff, .. } => *coeff,
         Combo::Multi(terms) => {
-            let mut buf = Mat::zeros(rows, cols);
             let views: Vec<(T, MatRef<'_, T>)> = terms
                 .iter()
                 .map(|&(b, c)| (T::from_f64(c), blocks[b]))
                 .collect();
-            profile.add_elems += (views.len() + 1) * rows * cols;
+            profile.add_elems += (views.len() + 1) * buf.rows() * buf.cols();
             combine(buf.as_mut(), false, &views);
-            (Some(buf), 1.0)
+            1.0
         }
-    }
-}
-
-fn single_block<'a, T: Scalar>(combo: &Combo, blocks: &[MatRef<'a, T>]) -> MatRef<'a, T> {
-    match combo {
-        Combo::Single { block, .. } => blocks[*block],
-        Combo::Multi(_) => unreachable!("multi combos are materialized"),
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::peel::PeelMode;
     use apa_core::catalog;
     use apa_gemm::matmul_naive;
 
@@ -165,6 +237,43 @@ mod tests {
         assert!(profile.add_seconds > 0.0);
         // 7 products of 32³ blocks.
         assert!((profile.mult_flops - 7.0 * 2.0 * 32.0f64.powi(3)).abs() < 1.0);
+        // 7 products + S/T scratch, all 32×32 f64, allocated by this call.
+        assert_eq!(profile.alloc_bytes, 9 * 32 * 32 * 8);
+        assert_eq!(profile.requested_strategy, Some(Strategy::Seq));
+        assert_eq!(profile.effective_strategy, Some(Strategy::Seq));
+        assert_eq!(profile.effective_threads, 1);
+        assert_eq!(profile.workspace_reuses, 0);
+    }
+
+    #[test]
+    fn workspace_profile_reports_reuse_and_no_allocation() {
+        let plan = ExecPlan::compile(&catalog::strassen(), 0.0);
+        let a = probe(64, 1);
+        let b = probe(64, 2);
+        let (fresh, _) = profile_one_step(&plan, a.as_ref(), b.as_ref());
+        let mut ws = Workspace::<f64>::for_plan(
+            &plan,
+            64,
+            64,
+            64,
+            1,
+            Strategy::Seq,
+            1,
+            PeelMode::Dynamic,
+        );
+        for round in 0..3u64 {
+            let (c, profile) =
+                profile_one_step_with_workspace(&plan, a.as_ref(), b.as_ref(), &mut ws);
+            assert_eq!(profile.alloc_bytes, 0);
+            assert_eq!(profile.workspace_reuses, round);
+            assert_eq!(profile.gemm_calls, 7);
+            // Bitwise identical to the allocate-per-call profile run.
+            for i in 0..64 {
+                for j in 0..64 {
+                    assert_eq!(c.at(i, j).to_bits(), fresh.at(i, j).to_bits());
+                }
+            }
+        }
     }
 
     #[test]

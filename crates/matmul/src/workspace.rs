@@ -1,0 +1,492 @@
+//! Reusable execution workspaces: every buffer a (possibly recursive,
+//! possibly peeled) APA multiplication needs, allocated **once** per
+//! `(chain shape, operand shape, strategy, threads, peel mode)` and reused
+//! across calls.
+//!
+//! The paper's training workloads call the same multiplication shape
+//! thousands of times (three matmuls per layer per step, fixed batch and
+//! widths). Allocating the `r` product buffers `M_t`, the `S_t`/`T_t`
+//! combination scratch and the padded operands on every call puts the
+//! allocator — not the gemm — on the hot path. A [`Workspace`] hoists all
+//! of it:
+//!
+//! * per level: the `r` product matrices (`r·bm·bn` elements) plus one
+//!   *lane* per concurrently executing task, each lane holding the
+//!   `S_t` (`bm·bk`) and `T_t` (`bk·bn`) combination buffers — lanes are
+//!   only allocated when the plan actually materializes combinations;
+//! * per lane: a child workspace for the next recursion level (recursive
+//!   sub-products always execute sequentially, so children carry one lane);
+//! * for [`PeelMode::Pad`]: the three padded operand buffers.
+//!
+//! Total footprint per level ≈ `r·bm·bn + lanes·(bm·bk + bk·bn)` elements;
+//! see [`Workspace::footprint_bytes`]. Combined with the thread-local gemm
+//! pack cache in `apa-gemm`, a warm workspace makes repeated
+//! multiplications allocation-free (pinned by the `zero_alloc` integration
+//! test using `apa_gemm::CountingAlloc`).
+
+use crate::exec::divisible;
+use crate::peel::PeelMode;
+use crate::plan::{Combo, ExecPlan};
+use crate::schedule::{effective_strategy, Strategy};
+use apa_gemm::{Mat, Scalar};
+use std::borrow::Borrow;
+
+/// One recursion level of preallocated buffers.
+pub(crate) struct LevelWs<T> {
+    /// The `r` product matrices `M_t`, each `bm×bn`.
+    pub(crate) products: Vec<Mat<T>>,
+    /// One lane per concurrently executing task at this level.
+    pub(crate) lanes: Vec<LaneWs<T>>,
+}
+
+/// Scratch owned by one executor lane (a spawned task, or the single
+/// sequential executor).
+pub(crate) struct LaneWs<T> {
+    /// `S_t` combination buffer (`bm×bk`; `0×0` when never materialized).
+    pub(crate) s_buf: Mat<T>,
+    /// `T_t` combination buffer (`bk×bn`; `0×0` when never materialized).
+    pub(crate) t_buf: Mat<T>,
+    /// Sub-workspace for the next recursion level (sequential).
+    pub(crate) child: Option<Box<LevelWs<T>>>,
+}
+
+/// Padded-operand buffers for [`PeelMode::Pad`]. The zero borders are
+/// written once at construction and never touched again: calls only
+/// overwrite the live top-left regions.
+pub(crate) struct PadBufs<T> {
+    pub(crate) ap: Mat<T>,
+    pub(crate) bp: Mat<T>,
+    pub(crate) cp: Mat<T>,
+}
+
+/// Shape signature of one chain level, used to validate reuse.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LevelKey {
+    /// The rule's base dims `(m, k, n)`.
+    pub base: (usize, usize, usize),
+    pub rank: usize,
+    /// Whether any A-side / B-side combination materializes at this level.
+    pub need_s: bool,
+    pub need_t: bool,
+}
+
+/// Everything a [`Workspace`] was sized for. Two calls may share a
+/// workspace iff their keys are equal.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct WsKey {
+    pub levels: Vec<LevelKey>,
+    pub m: usize,
+    pub k: usize,
+    pub n: usize,
+    pub strategy: Strategy,
+    pub threads: usize,
+    pub peel: PeelMode,
+}
+
+/// A preallocated arena for one multiplication configuration. Build with
+/// [`Workspace::for_chain`] (or [`crate::ApaMatmul::make_workspace`]) and
+/// pass to the `*_ws` execution entry points; results are bitwise
+/// identical to the allocate-per-call paths.
+pub struct Workspace<T: Scalar> {
+    pub(crate) key: WsKey,
+    pub(crate) root: LevelWs<T>,
+    pub(crate) pad: Option<PadBufs<T>>,
+    pub(crate) runs: u64,
+}
+
+fn combo_needs_buffer(combo: &Combo, recursive: bool) -> bool {
+    match combo {
+        // Mirrors the executor: a singleton is used in place unless the
+        // product recurses and the coefficient cannot fold into gemm's α.
+        Combo::Single { coeff, .. } => recursive && *coeff != 1.0,
+        Combo::Multi(_) => true,
+    }
+}
+
+fn level_key(plan: &ExecPlan, recursive: bool) -> LevelKey {
+    LevelKey {
+        base: (plan.dims.m, plan.dims.k, plan.dims.n),
+        rank: plan.rank,
+        need_s: plan
+            .a_combos
+            .iter()
+            .any(|c| combo_needs_buffer(c, recursive)),
+        need_t: plan
+            .b_combos
+            .iter()
+            .any(|c| combo_needs_buffer(c, recursive)),
+    }
+}
+
+/// Elementwise product of the chain's base dims — the divisor arbitrary
+/// shapes are peeled/padded against.
+pub(crate) fn chain_divisor<P: Borrow<ExecPlan>>(chain: &[P]) -> (usize, usize, usize) {
+    let (mut dm, mut dk, mut dn) = (1usize, 1usize, 1usize);
+    for plan in chain {
+        let d = plan.borrow().dims;
+        dm *= d.m;
+        dk *= d.k;
+        dn *= d.n;
+    }
+    (dm, dk, dn)
+}
+
+impl<T: Scalar> LevelWs<T> {
+    /// A level that executes as a plain gemm leaf (no buffers).
+    pub(crate) fn leaf() -> Self {
+        LevelWs {
+            products: Vec::new(),
+            lanes: Vec::new(),
+        }
+    }
+
+    pub(crate) fn elems(&self) -> usize {
+        let products: usize = self
+            .products
+            .iter()
+            .map(|p| p.rows() * p.cols())
+            .sum();
+        let lanes: usize = self
+            .lanes
+            .iter()
+            .map(|l| {
+                l.s_buf.rows() * l.s_buf.cols()
+                    + l.t_buf.rows() * l.t_buf.cols()
+                    + l.child.as_ref().map_or(0, |c| c.elems())
+            })
+            .sum();
+        products + lanes
+    }
+}
+
+/// Build the buffer tree for `chain` on an `m×k·k×n` product. Stops at the
+/// first level whose dims don't divide (the executor gemms there).
+pub(crate) fn build_level<T: Scalar, P: Borrow<ExecPlan>>(
+    chain: &[P],
+    m: usize,
+    k: usize,
+    n: usize,
+    strategy: Strategy,
+    threads: usize,
+) -> LevelWs<T> {
+    let Some(plan) = chain.first().map(Borrow::borrow) else {
+        return LevelWs::leaf();
+    };
+    if !divisible(plan, m, k, n) {
+        return LevelWs::leaf();
+    }
+    let d = plan.dims;
+    let (bm, bk, bn) = (m / d.m, k / d.k, n / d.n);
+    let r = plan.rank;
+    let rest = &chain[1..];
+    let recursive = !rest.is_empty();
+    let key = level_key(plan, recursive);
+    let (eff, eff_threads) = effective_strategy(strategy, threads, r);
+    let lane_count = match eff {
+        Strategy::Seq | Strategy::Dfs => 1,
+        Strategy::Bfs | Strategy::Hybrid => eff_threads,
+    };
+    let lanes = (0..lane_count)
+        .map(|_| LaneWs {
+            s_buf: if key.need_s { Mat::zeros(bm, bk) } else { Mat::zeros(0, 0) },
+            t_buf: if key.need_t { Mat::zeros(bk, bn) } else { Mat::zeros(0, 0) },
+            child: recursive.then(|| Box::new(build_level(rest, bm, bk, bn, Strategy::Seq, 1))),
+        })
+        .collect();
+    LevelWs {
+        products: (0..r).map(|_| Mat::zeros(bm, bn)).collect(),
+        lanes,
+    }
+}
+
+impl<T: Scalar> Workspace<T> {
+    /// Workspace for a uniform `steps`-deep recursion of a single plan.
+    #[allow(clippy::too_many_arguments)]
+    pub fn for_plan(
+        plan: &ExecPlan,
+        m: usize,
+        k: usize,
+        n: usize,
+        steps: u32,
+        strategy: Strategy,
+        threads: usize,
+        peel: PeelMode,
+    ) -> Self {
+        crate::exec::with_uniform_chain(plan, steps, |chain| {
+            Self::for_chain(chain, m, k, n, strategy, threads, peel)
+        })
+    }
+
+    /// Workspace for a non-stationary chain (one plan per level).
+    pub fn for_chain<P: Borrow<ExecPlan>>(
+        chain: &[P],
+        m: usize,
+        k: usize,
+        n: usize,
+        strategy: Strategy,
+        threads: usize,
+        peel: PeelMode,
+    ) -> Self {
+        let mut levels = Vec::with_capacity(chain.len());
+        for (i, plan) in chain.iter().enumerate() {
+            levels.push(level_key(plan.borrow(), i + 1 < chain.len()));
+        }
+        let key = WsKey {
+            levels,
+            m,
+            k,
+            n,
+            strategy,
+            threads,
+            peel,
+        };
+
+        let (dm, dk, dn) = chain_divisor(chain);
+        let (root, pad) = if m.is_multiple_of(dm) && k.is_multiple_of(dk) && n.is_multiple_of(dn) {
+            (build_level(chain, m, k, n, strategy, threads), None)
+        } else {
+            match peel {
+                PeelMode::Dynamic => {
+                    let (mc, kc, nc) = (m / dm * dm, k / dk * dk, n / dn * dn);
+                    let root = if mc == 0 || kc == 0 || nc == 0 {
+                        LevelWs::leaf()
+                    } else {
+                        build_level(chain, mc, kc, nc, strategy, threads)
+                    };
+                    (root, None)
+                }
+                PeelMode::Pad => {
+                    let (mp, kp, np) = (
+                        m.div_ceil(dm) * dm,
+                        k.div_ceil(dk) * dk,
+                        n.div_ceil(dn) * dn,
+                    );
+                    let pad = PadBufs {
+                        ap: Mat::zeros(mp, kp),
+                        bp: Mat::zeros(kp, np),
+                        cp: Mat::zeros(mp, np),
+                    };
+                    (build_level(chain, mp, kp, np, strategy, threads), Some(pad))
+                }
+            }
+        };
+
+        Workspace {
+            key,
+            root,
+            pad,
+            runs: 0,
+        }
+    }
+
+    /// Whether this workspace was sized for exactly this call. The
+    /// comparison is allocation-free (no key is built for the candidate).
+    #[allow(clippy::too_many_arguments)]
+    pub fn matches<P: Borrow<ExecPlan>>(
+        &self,
+        chain: &[P],
+        m: usize,
+        k: usize,
+        n: usize,
+        strategy: Strategy,
+        threads: usize,
+        peel: PeelMode,
+    ) -> bool {
+        self.key.m == m
+            && self.key.k == k
+            && self.key.n == n
+            && self.key.strategy == strategy
+            && self.key.threads == threads
+            && self.key.peel == peel
+            && self.key.levels.len() == chain.len()
+            && self
+                .key
+                .levels
+                .iter()
+                .zip(chain)
+                .enumerate()
+                .all(|(i, (lk, plan))| *lk == level_key(plan.borrow(), i + 1 < chain.len()))
+    }
+
+    /// The configuration this workspace was built for.
+    pub fn key(&self) -> &WsKey {
+        &self.key
+    }
+
+    /// Completed runs through this workspace.
+    pub fn runs(&self) -> u64 {
+        self.runs
+    }
+
+    /// Runs beyond the first — i.e. how often the one-time allocation was
+    /// amortized.
+    pub fn reuses(&self) -> u64 {
+        self.runs.saturating_sub(1)
+    }
+
+    pub(crate) fn note_run(&mut self) {
+        self.runs += 1;
+    }
+
+    /// Bytes of matrix storage held (products + lane scratch across all
+    /// levels, plus pad buffers). Per level this is
+    /// `r·bm·bn + lanes·(bm·bk + bk·bn)` elements.
+    pub fn footprint_bytes(&self) -> usize {
+        let pad = self.pad.as_ref().map_or(0, |p| {
+            p.ap.rows() * p.ap.cols() + p.bp.rows() * p.bp.cols() + p.cp.rows() * p.cp.cols()
+        });
+        (self.root.elems() + pad) * std::mem::size_of::<T>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apa_core::catalog;
+
+    #[test]
+    fn strassen_workspace_shapes() {
+        let plan = ExecPlan::compile(&catalog::strassen(), 0.0);
+        let ws = Workspace::<f64>::for_plan(
+            &plan,
+            64,
+            64,
+            64,
+            1,
+            Strategy::Seq,
+            1,
+            PeelMode::Dynamic,
+        );
+        assert_eq!(ws.root.products.len(), 7);
+        assert_eq!(
+            (ws.root.products[0].rows(), ws.root.products[0].cols()),
+            (32, 32)
+        );
+        assert_eq!(ws.root.lanes.len(), 1);
+        // Strassen has multi-term combos on both sides.
+        assert_eq!(
+            (ws.root.lanes[0].s_buf.rows(), ws.root.lanes[0].s_buf.cols()),
+            (32, 32)
+        );
+        assert!(ws.root.lanes[0].child.is_none());
+        // 7 products + 2 combo buffers, all 32×32 f64.
+        assert_eq!(ws.footprint_bytes(), 9 * 32 * 32 * 8);
+    }
+
+    #[test]
+    fn classical_plan_needs_no_combo_buffers() {
+        use apa_core::bilinear::Dims;
+        let plan = ExecPlan::compile(&catalog::classical(Dims::new(2, 2, 2)), 0.0);
+        let ws = Workspace::<f32>::for_plan(
+            &plan,
+            8,
+            8,
+            8,
+            1,
+            Strategy::Seq,
+            1,
+            PeelMode::Dynamic,
+        );
+        assert_eq!(ws.root.lanes[0].s_buf.rows(), 0);
+        assert_eq!(ws.root.lanes[0].t_buf.rows(), 0);
+        assert_eq!(ws.root.products.len(), 8);
+    }
+
+    #[test]
+    fn recursive_workspace_carries_children() {
+        let plan = ExecPlan::compile(&catalog::strassen(), 0.0);
+        let ws = Workspace::<f64>::for_plan(
+            &plan,
+            32,
+            32,
+            32,
+            2,
+            Strategy::Seq,
+            1,
+            PeelMode::Dynamic,
+        );
+        let child = ws.root.lanes[0].child.as_ref().expect("child level");
+        assert_eq!(child.products.len(), 7);
+        assert_eq!((child.products[0].rows(), child.products[0].cols()), (8, 8));
+        assert!(child.lanes[0].child.is_none());
+    }
+
+    #[test]
+    fn parallel_strategies_get_one_lane_per_task() {
+        let plan = ExecPlan::compile(&catalog::bini322(), 1e-4); // r = 10
+        let mk = |strategy, threads| {
+            Workspace::<f32>::for_plan(&plan, 12, 12, 12, 1, strategy, threads, PeelMode::Dynamic)
+        };
+        assert_eq!(mk(Strategy::Seq, 4).root.lanes.len(), 1);
+        assert_eq!(mk(Strategy::Dfs, 4).root.lanes.len(), 1);
+        assert_eq!(mk(Strategy::Hybrid, 4).root.lanes.len(), 4);
+        assert_eq!(mk(Strategy::Bfs, 4).root.lanes.len(), 4);
+        // More threads than products: BFS caps lanes, Hybrid becomes DFS.
+        assert_eq!(mk(Strategy::Bfs, 16).root.lanes.len(), 10);
+        assert_eq!(mk(Strategy::Hybrid, 16).root.lanes.len(), 1);
+        // One thread is sequential whatever was asked.
+        assert_eq!(mk(Strategy::Hybrid, 1).root.lanes.len(), 1);
+    }
+
+    #[test]
+    fn pad_mode_preallocates_padded_operands() {
+        let plan = ExecPlan::compile(&catalog::strassen(), 0.0);
+        let ws = Workspace::<f64>::for_plan(
+            &plan,
+            9,
+            9,
+            9,
+            1,
+            Strategy::Seq,
+            1,
+            PeelMode::Pad,
+        );
+        let pad = ws.pad.as_ref().expect("pad buffers");
+        assert_eq!((pad.ap.rows(), pad.ap.cols()), (10, 10));
+        assert_eq!((pad.cp.rows(), pad.cp.cols()), (10, 10));
+        assert_eq!(ws.root.products.len(), 7);
+    }
+
+    #[test]
+    fn matches_validates_shape_strategy_and_plan_structure() {
+        let strassen = ExecPlan::compile(&catalog::strassen(), 0.0);
+        let winograd = ExecPlan::compile(&catalog::winograd(), 0.0);
+        let ws = Workspace::<f64>::for_chain(
+            &[&strassen],
+            16,
+            16,
+            16,
+            Strategy::Seq,
+            1,
+            PeelMode::Dynamic,
+        );
+        assert!(ws.matches(&[&strassen], 16, 16, 16, Strategy::Seq, 1, PeelMode::Dynamic));
+        assert!(!ws.matches(&[&strassen], 18, 16, 16, Strategy::Seq, 1, PeelMode::Dynamic));
+        assert!(!ws.matches(&[&strassen], 16, 16, 16, Strategy::Hybrid, 2, PeelMode::Dynamic));
+        assert!(!ws.matches(&[&strassen], 16, 16, 16, Strategy::Seq, 1, PeelMode::Pad));
+        assert!(!ws.matches::<&ExecPlan>(&[], 16, 16, 16, Strategy::Seq, 1, PeelMode::Dynamic));
+        // Same base dims and rank (⟨2,2,2;7⟩) — structure still compatible,
+        // so a same-shape rule may share the workspace.
+        assert!(ws.matches(&[&winograd], 16, 16, 16, Strategy::Seq, 1, PeelMode::Dynamic));
+    }
+
+    #[test]
+    fn run_counters_track_reuse() {
+        let plan = ExecPlan::compile(&catalog::strassen(), 0.0);
+        let mut ws = Workspace::<f64>::for_plan(
+            &plan,
+            8,
+            8,
+            8,
+            1,
+            Strategy::Seq,
+            1,
+            PeelMode::Dynamic,
+        );
+        assert_eq!((ws.runs(), ws.reuses()), (0, 0));
+        ws.note_run();
+        assert_eq!((ws.runs(), ws.reuses()), (1, 0));
+        ws.note_run();
+        assert_eq!((ws.runs(), ws.reuses()), (2, 1));
+    }
+}

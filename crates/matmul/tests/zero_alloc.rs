@@ -1,0 +1,115 @@
+//! Zero-allocation invariant for the workspace-reuse engine.
+//!
+//! Installs [`apa_gemm::CountingAlloc`] as the global allocator, warms the
+//! [`ApaMatmul`] workspace cache and the thread-local gemm pack cache with a
+//! couple of calls, then asserts that further multiplications on the same
+//! shapes perform **zero** heap allocations — the tentpole contract of the
+//! workspace subsystem.
+//!
+//! Runs everything in `Strategy::Seq` so no rayon pool machinery is
+//! involved; the parallel strategies share the exact same buffer tree and
+//! are covered bitwise elsewhere.
+
+use apa_core::catalog;
+use apa_gemm::{allocation_counters, Mat};
+use apa_matmul::{ApaMatmul, PeelMode, Strategy};
+
+#[global_allocator]
+static ALLOC: apa_gemm::CountingAlloc = apa_gemm::CountingAlloc;
+
+fn probe(rows: usize, cols: usize, seed: u64) -> Mat<f32> {
+    let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+    Mat::from_fn(rows, cols, |_, _| {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (((state >> 32) as u32 as f64 / (1u64 << 31) as f64) - 1.0) as f32
+    })
+}
+
+/// Warm up `mm` on (a, b, c), then assert the next `rounds` calls allocate
+/// nothing at all.
+fn assert_steady_state_is_allocation_free(
+    mm: &ApaMatmul,
+    a: &Mat<f32>,
+    b: &Mat<f32>,
+    c: &mut Mat<f32>,
+    what: &str,
+) {
+    // Two warmup calls: the first builds the cached workspace, the second
+    // settles the thread-local gemm pack buffers at their high-water mark.
+    mm.multiply_into(a.as_ref(), b.as_ref(), c.as_mut());
+    mm.multiply_into(a.as_ref(), b.as_ref(), c.as_mut());
+
+    let before = allocation_counters();
+    let rounds = 5;
+    for _ in 0..rounds {
+        mm.multiply_into(a.as_ref(), b.as_ref(), c.as_mut());
+    }
+    let delta = allocation_counters().since(before);
+    assert_eq!(
+        delta.calls, 0,
+        "{what}: {} allocations ({} bytes) across {rounds} warm calls",
+        delta.calls, delta.bytes
+    );
+}
+
+#[test]
+fn warm_divisible_multiplication_does_not_allocate() {
+    let mm = ApaMatmul::new(catalog::by_name("fast444").unwrap())
+        .steps(2)
+        .strategy(Strategy::Seq)
+        .threads(1);
+    let a = probe(64, 64, 1);
+    let b = probe(64, 64, 2);
+    let mut c = Mat::zeros(64, 64);
+    assert_steady_state_is_allocation_free(&mm, &a, &b, &mut c, "divisible fast444");
+}
+
+#[test]
+fn warm_dynamic_peeling_does_not_allocate() {
+    let mm = ApaMatmul::new(catalog::by_name("bini322").unwrap())
+        .steps(1)
+        .strategy(Strategy::Seq)
+        .threads(1)
+        .peel_mode(PeelMode::Dynamic);
+    let a = probe(67, 45, 3);
+    let b = probe(45, 51, 4);
+    let mut c = Mat::zeros(67, 51);
+    assert_steady_state_is_allocation_free(&mm, &a, &b, &mut c, "dynamic-peel bini322");
+}
+
+#[test]
+fn warm_pad_mode_does_not_allocate() {
+    let mm = ApaMatmul::new(catalog::by_name("strassen").unwrap())
+        .steps(1)
+        .strategy(Strategy::Seq)
+        .threads(1)
+        .peel_mode(PeelMode::Pad);
+    let a = probe(33, 29, 5);
+    let b = probe(29, 31, 6);
+    let mut c = Mat::zeros(33, 31);
+    assert_steady_state_is_allocation_free(&mm, &a, &b, &mut c, "pad-mode strassen");
+}
+
+#[test]
+fn explicit_workspace_calls_do_not_allocate() {
+    let mm = ApaMatmul::new(catalog::by_name("fast442").unwrap())
+        .steps(1)
+        .strategy(Strategy::Seq)
+        .threads(1);
+    let a = probe(36, 24, 7);
+    let b = probe(24, 30, 8);
+    let mut c = Mat::zeros(36, 30);
+    let mut ws = mm.make_workspace::<f32>(36, 24, 30);
+    // Warm the thread-local pack buffers.
+    mm.multiply_into_with(a.as_ref(), b.as_ref(), c.as_mut(), &mut ws);
+
+    let before = allocation_counters();
+    for _ in 0..5 {
+        mm.multiply_into_with(a.as_ref(), b.as_ref(), c.as_mut(), &mut ws);
+    }
+    let delta = allocation_counters().since(before);
+    assert_eq!(delta.calls, 0, "explicit workspace path allocated");
+    assert_eq!(ws.runs(), 6);
+}

@@ -69,6 +69,11 @@ impl MatmulBackend for ClassicalBackend {
 }
 
 /// An APA (or exact fast) backend wrapping a configured [`ApaMatmul`].
+///
+/// Because [`ApaMatmul::multiply_into`] caches execution workspaces keyed
+/// by shape, a layer that multiplies the same shapes every training step
+/// (fixed batch size) reuses the APA intermediate buffers across steps —
+/// steady-state calls perform zero heap allocation inside the engine.
 pub struct ApaBackend {
     inner: ApaMatmul,
 }

@@ -10,7 +10,7 @@
 
 use crate::backend::Backend;
 use crate::tensor::{add_bias_rows, axpy, col_sums, relu_backward_inplace};
-use apa_gemm::Mat;
+use apa_gemm::{transpose_into, Mat};
 
 /// Activation applied after the affine map.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -28,9 +28,16 @@ pub struct Dense {
     pub b: Vec<f32>,
     pub activation: Activation,
     backend: Backend,
-    // Cached from the last forward pass:
+    // Cached from the last forward pass (buffers are reused across steps
+    // at a fixed batch size, so steady-state training doesn't reallocate
+    // them):
     input: Option<Mat<f32>>,
     pre_activation: Option<Mat<f32>>,
+    // Backward-pass scratch, likewise reused across steps: dZ plus the
+    // materialized Xᵀ/Wᵀ operands of the gradient multiplications.
+    dz_buf: Mat<f32>,
+    xt_buf: Mat<f32>,
+    wt_buf: Mat<f32>,
     // Last computed gradients:
     pub grad_w: Option<Mat<f32>>,
     pub grad_b: Option<Vec<f32>>,
@@ -58,6 +65,9 @@ impl Dense {
             backend,
             input: None,
             pre_activation: None,
+            dz_buf: Mat::zeros(0, 0),
+            xt_buf: Mat::zeros(0, 0),
+            wt_buf: Mat::zeros(0, 0),
             grad_w: None,
             grad_b: None,
         }
@@ -82,10 +92,14 @@ impl Dense {
         self.backend = backend;
     }
 
-    /// Forward pass; caches `X` and `Z` for the backward pass.
+    /// Forward pass; caches `X` and `Z` for the backward pass. The cached
+    /// buffers from the previous step are reused in place whenever the
+    /// shapes still fit.
     pub fn forward(&mut self, x: &Mat<f32>) -> Mat<f32> {
         assert_eq!(x.cols(), self.inputs(), "input width mismatch");
-        let mut z = self.backend.matmul(x.as_ref(), self.w.as_ref());
+        let mut z = self.pre_activation.take().unwrap_or_else(|| Mat::zeros(0, 0));
+        z.resize(x.rows(), self.outputs());
+        self.backend.matmul_into(x.as_ref(), self.w.as_ref(), z.as_mut());
         add_bias_rows(&mut z, &self.b);
         let a = match self.activation {
             Activation::Relu => {
@@ -99,7 +113,10 @@ impl Dense {
             }
             Activation::Identity => z.clone(),
         };
-        self.input = Some(x.clone());
+        let mut xin = self.input.take().unwrap_or_else(|| Mat::zeros(0, 0));
+        xin.resize(x.rows(), x.cols());
+        xin.as_mut().copy_from(x.as_ref());
+        self.input = Some(xin);
         self.pre_activation = Some(z);
         a
     }
@@ -121,23 +138,41 @@ impl Dense {
     /// Backward pass from `dA` (gradient w.r.t. this layer's output);
     /// stores `dW`/`db` and returns `dX`.
     pub fn backward(&mut self, grad_out: &Mat<f32>) -> Mat<f32> {
-        let x = self
-            .input
-            .as_ref()
-            .expect("backward() requires a prior forward()");
-        let z = self.pre_activation.as_ref().unwrap();
-        let mut dz = grad_out.clone();
-        if self.activation == Activation::Relu {
-            relu_backward_inplace(&mut dz, z);
+        let Self {
+            w,
+            activation,
+            backend,
+            input,
+            pre_activation,
+            dz_buf,
+            xt_buf,
+            wt_buf,
+            grad_w,
+            grad_b,
+            ..
+        } = self;
+        let x = input.as_ref().expect("backward() requires a prior forward()");
+        let z = pre_activation.as_ref().unwrap();
+        dz_buf.resize(grad_out.rows(), grad_out.cols());
+        dz_buf.as_mut().copy_from(grad_out.as_ref());
+        if *activation == Activation::Relu {
+            relu_backward_inplace(dz_buf, z);
         }
         // dW = Xᵀ·dZ, db = column sums, dX = dZ·Wᵀ — all through the
         // layer's backend, exactly the gradient multiplications the paper
-        // replaces with APA operators.
-        let dw = self.backend.matmul_tn(x.as_ref(), dz.as_ref());
-        let db = col_sums(dz.as_ref());
-        let dx = self.backend.matmul_nt(dz.as_ref(), self.w.as_ref());
-        self.grad_w = Some(dw);
-        self.grad_b = Some(db);
+        // replaces with APA operators. The transposes are materialized into
+        // the layer's reusable scratch so steady-state steps don't
+        // reallocate them (the backend's own intermediates are likewise
+        // reused via its workspace cache).
+        xt_buf.resize(x.cols(), x.rows());
+        transpose_into(x.as_ref(), xt_buf.as_mut());
+        let dw = backend.matmul(xt_buf.as_ref(), dz_buf.as_ref());
+        let db = col_sums(dz_buf.as_ref());
+        wt_buf.resize(w.cols(), w.rows());
+        transpose_into(w.as_ref(), wt_buf.as_mut());
+        let dx = backend.matmul(dz_buf.as_ref(), wt_buf.as_ref());
+        *grad_w = Some(dw);
+        *grad_b = Some(db);
         dx
     }
 

@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Tier-1 gate: everything that must stay green on every commit.
+#
+#   1. release build of the whole workspace
+#   2. full test suite (unit + integration + doc tests)
+#   3. clippy with warnings promoted to errors
+#
+# Usage: scripts/tier1.sh   (from anywhere inside the repo)
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== tier1: cargo build --release =="
+cargo build --release
+
+echo "== tier1: cargo test =="
+cargo test -q
+
+echo "== tier1: cargo clippy (deny warnings) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== tier1: OK =="

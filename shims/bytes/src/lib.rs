@@ -1,0 +1,76 @@
+//! Offline shim for `bytes`: the `Buf` reader trait implemented for byte
+//! slices. Multi-byte reads are big-endian, matching the real crate.
+
+pub trait Buf {
+    fn remaining(&self) -> usize;
+    /// The current contiguous unread region.
+    fn chunk(&self) -> &[u8];
+    fn advance(&mut self, cnt: usize);
+
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        assert!(self.remaining() >= 1, "buffer underflow");
+        let v = self.chunk()[0];
+        self.advance(1);
+        v
+    }
+
+    fn get_u16(&mut self) -> u16 {
+        assert!(self.remaining() >= 2, "buffer underflow");
+        let c = self.chunk();
+        let v = u16::from_be_bytes([c[0], c[1]]);
+        self.advance(2);
+        v
+    }
+
+    fn get_u32(&mut self) -> u32 {
+        assert!(self.remaining() >= 4, "buffer underflow");
+        let c = self.chunk();
+        let v = u32::from_be_bytes([c[0], c[1], c[2], c[3]]);
+        self.advance(4);
+        v
+    }
+
+    fn get_u64(&mut self) -> u64 {
+        assert!(self.remaining() >= 8, "buffer underflow");
+        let c = self.chunk();
+        let v = u64::from_be_bytes([c[0], c[1], c[2], c[3], c[4], c[5], c[6], c[7]]);
+        self.advance(8);
+        v
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn chunk(&self) -> &[u8] {
+        self
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        assert!(cnt <= self.len(), "advance past end of buffer");
+        *self = &self[cnt..];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn big_endian_reads() {
+        let data = [0x00u8, 0x00, 0x08, 0x03, 0xFF, 0x01, 0x02];
+        let mut buf: &[u8] = &data;
+        assert_eq!(buf.remaining(), 7);
+        assert_eq!(buf.get_u32(), 0x0803);
+        assert_eq!(buf.get_u8(), 0xFF);
+        assert_eq!(buf.chunk(), &[0x01, 0x02]);
+        buf.advance(2);
+        assert!(!buf.has_remaining());
+    }
+}

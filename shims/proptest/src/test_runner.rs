@@ -1,0 +1,62 @@
+//! Deterministic RNG for the proptest shim: splitmix64-seeded
+//! xoshiro256++ (same generator family as the workspace `rand` shim, but
+//! self-contained so the shim has zero dependencies).
+
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}
+
+impl TestRng {
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        TestRng {
+            s: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
+        }
+    }
+
+    /// Seed derived from a test's name (FNV-1a), so every proptest
+    /// function gets an independent, reproducible stream.
+    pub fn from_name(name: &str) -> Self {
+        let mut h: u64 = 0xcbf29ce484222325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        Self::seed_from_u64(h)
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0]
+            .wrapping_add(s[3])
+            .rotate_left(23)
+            .wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    pub fn next_unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}

@@ -1,0 +1,299 @@
+//! Offline shim for `rayon`: a fixed-size worker pool with rayon's
+//! `ThreadPool::scope`/`Scope::spawn` API (the only rayon surface this
+//! workspace uses).
+//!
+//! Semantics:
+//! * `scope(op)` runs `op` on the **calling** thread; tasks it spawns run
+//!   on the pool's workers. `scope` returns only after every spawned task
+//!   (including nested spawns) has finished — this barrier is what makes
+//!   the lifetime erasure in `Scope::spawn` sound.
+//! * A panic inside a task is caught on the worker, and re-raised from
+//!   `scope` on the caller after all tasks drain.
+//! * `install(f)` runs `f` inline on the caller. Nothing here relies on
+//!   rayon's pool-context propagation, so this is behaviorally adequate.
+//! * Do **not** open a nested `scope` from inside a spawned task: the
+//!   worker would block waiting for sub-tasks that need a worker slot.
+//!   (Real rayon work-steals its way out of this; this shim does not.
+//!   The workspace's kernels only ever spawn leaf jobs.)
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex};
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+    thread_name: Option<Box<dyn FnMut(usize) -> String>>,
+}
+
+impl Default for ThreadPoolBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ThreadPoolBuilder {
+    pub fn new() -> Self {
+        Self {
+            num_threads: 0,
+            thread_name: None,
+        }
+    }
+
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    pub fn thread_name<F: FnMut(usize) -> String + 'static>(mut self, f: F) -> Self {
+        self.thread_name = Some(Box::new(f));
+        self
+    }
+
+    pub fn build(mut self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let threads = if self.num_threads == 0 {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        } else {
+            self.num_threads
+        };
+        let (sender, receiver) = channel::<Job>();
+        let receiver = Arc::new(Mutex::new(receiver));
+        for i in 0..threads {
+            let rx = Arc::clone(&receiver);
+            let name = match &mut self.thread_name {
+                Some(f) => f(i),
+                None => format!("shim-rayon-{i}"),
+            };
+            std::thread::Builder::new()
+                .name(name)
+                .spawn(move || worker_loop(rx))
+                .map_err(|e| ThreadPoolBuildError(e.to_string()))?;
+        }
+        Ok(ThreadPool { sender, threads })
+    }
+}
+
+fn worker_loop(rx: Arc<Mutex<Receiver<Job>>>) {
+    loop {
+        // Hold the lock only while dequeuing, never while running the job.
+        let job = {
+            let guard = match rx.lock() {
+                Ok(g) => g,
+                Err(p) => p.into_inner(),
+            };
+            guard.recv()
+        };
+        match job {
+            Ok(job) => job(),
+            Err(_) => return, // pool dropped
+        }
+    }
+}
+
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(String);
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error: {}", self.0)
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+pub struct ThreadPool {
+    sender: Sender<Job>,
+    threads: usize,
+}
+
+impl ThreadPool {
+    pub fn current_num_threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Run `f` inline on the calling thread (see module docs).
+    pub fn install<F, R>(&self, f: F) -> R
+    where
+        F: FnOnce() -> R,
+    {
+        f()
+    }
+
+    /// Run `op` with a scope whose spawned tasks execute on this pool.
+    /// Returns after `op` *and every spawned task* completes.
+    pub fn scope<'scope, OP, R>(&self, op: OP) -> R
+    where
+        OP: FnOnce(&Scope<'scope>) -> R,
+    {
+        let state = Arc::new(ScopeState {
+            sender: self.sender.clone(),
+            pending: Mutex::new(0),
+            all_done: Condvar::new(),
+            panicked: AtomicBool::new(false),
+        });
+        let scope = Scope {
+            state: Arc::clone(&state),
+            _marker: std::marker::PhantomData,
+        };
+        let result = op(&scope);
+        state.wait_all();
+        if state.panicked.load(Ordering::Acquire) {
+            panic!("a task spawned in a rayon-shim scope panicked");
+        }
+        result
+    }
+}
+
+struct ScopeState {
+    sender: Sender<Job>,
+    pending: Mutex<usize>,
+    all_done: Condvar,
+    panicked: AtomicBool,
+}
+
+impl ScopeState {
+    fn add_task(&self) {
+        let mut guard = match self.pending.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        *guard += 1;
+    }
+
+    fn finish_task(&self) {
+        let mut guard = match self.pending.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        *guard -= 1;
+        if *guard == 0 {
+            self.all_done.notify_all();
+        }
+    }
+
+    fn wait_all(&self) {
+        let mut guard = match self.pending.lock() {
+            Ok(g) => g,
+            Err(p) => p.into_inner(),
+        };
+        while *guard > 0 {
+            guard = match self.all_done.wait(guard) {
+                Ok(g) => g,
+                Err(p) => p.into_inner(),
+            };
+        }
+    }
+}
+
+pub struct Scope<'scope> {
+    state: Arc<ScopeState>,
+    _marker: std::marker::PhantomData<fn(&'scope ()) -> &'scope ()>,
+}
+
+impl<'scope> Scope<'scope> {
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce(&Scope<'scope>) + Send + 'scope,
+    {
+        self.state.add_task();
+        let state = Arc::clone(&self.state);
+        let job: Box<dyn FnOnce() + Send + 'scope> = Box::new(move || {
+            let nested = Scope {
+                state: Arc::clone(&state),
+                _marker: std::marker::PhantomData,
+            };
+            if catch_unwind(AssertUnwindSafe(|| f(&nested))).is_err() {
+                state.panicked.store(true, Ordering::Release);
+            }
+            state.finish_task();
+        });
+        // SAFETY: `scope` blocks (wait_all) until this job has run to
+        // completion before any `'scope` borrow can expire, so extending
+        // the closure's lifetime to 'static never lets it observe a
+        // dangling reference. This is the standard scoped-pool erasure
+        // (same argument as rayon's own scope implementation).
+        let job: Job = unsafe {
+            std::mem::transmute::<Box<dyn FnOnce() + Send + 'scope>, Job>(job)
+        };
+        self.state
+            .sender
+            .send(job)
+            .expect("worker threads outlive the pool handle");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    fn pool(n: usize) -> ThreadPool {
+        ThreadPoolBuilder::new().num_threads(n).build().unwrap()
+    }
+
+    #[test]
+    fn scope_runs_all_tasks_with_borrows() {
+        let p = pool(4);
+        let mut data = vec![0usize; 64];
+        p.scope(|s| {
+            for (i, chunk) in data.chunks_mut(8).enumerate() {
+                s.spawn(move |_| {
+                    for (j, v) in chunk.iter_mut().enumerate() {
+                        *v = i * 8 + j;
+                    }
+                });
+            }
+        });
+        assert_eq!(data, (0..64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn scope_blocks_until_done() {
+        let p = pool(2);
+        let counter = AtomicUsize::new(0);
+        p.scope(|s| {
+            for _ in 0..32 {
+                s.spawn(|_| {
+                    std::thread::sleep(std::time::Duration::from_millis(1));
+                    counter.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 32);
+    }
+
+    #[test]
+    fn nested_spawn_from_task() {
+        let p = pool(3);
+        let counter = AtomicUsize::new(0);
+        p.scope(|s| {
+            s.spawn(|s2| {
+                counter.fetch_add(1, Ordering::SeqCst);
+                s2.spawn(|_| {
+                    counter.fetch_add(10, Ordering::SeqCst);
+                });
+            });
+        });
+        assert_eq!(counter.load(Ordering::SeqCst), 11);
+    }
+
+    #[test]
+    #[should_panic(expected = "panicked")]
+    fn task_panic_propagates() {
+        let p = pool(2);
+        p.scope(|s| {
+            s.spawn(|_| panic!("boom"));
+        });
+    }
+
+    #[test]
+    fn install_returns_value() {
+        let p = pool(2);
+        assert_eq!(p.install(|| (0..100).sum::<usize>()), 4950);
+        assert_eq!(p.current_num_threads(), 2);
+    }
+}

@@ -1,0 +1,379 @@
+//! Offline shim for `serde`: a tree-building serialization framework.
+//!
+//! Unlike real serde's visitor architecture, this shim converts values to
+//! and from an owned JSON-like [`Value`] tree. The `serde_json` shim
+//! supplies the text layer on top. The `derive` feature provides
+//! `#[derive(Serialize, Deserialize)]` for named-field structs and
+//! fieldless enums via the `serde_derive` shim — exactly the shapes this
+//! workspace serializes.
+
+use std::collections::{BTreeMap, HashMap};
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+pub mod value;
+
+pub use value::Value;
+
+/// Serialization: produce the [`Value`] tree for `self`.
+pub trait Serialize {
+    fn serialize_value(&self) -> Value;
+}
+
+/// Deserialization: reconstruct `Self` from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError>;
+}
+
+/// Deserialization error (also used by the `serde_json` text layer).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DeError(pub String);
+
+impl DeError {
+    pub fn custom(msg: impl std::fmt::Display) -> Self {
+        DeError(msg.to_string())
+    }
+
+    pub fn missing_field(name: &str) -> Self {
+        DeError(format!("missing field `{name}`"))
+    }
+
+    pub fn wrong_type(expected: &str, got: &Value) -> Self {
+        DeError(format!("expected {expected}, got {}", got.kind()))
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+// ---------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_value(&self) -> Value {
+        (**self).serialize_value()
+    }
+}
+
+impl Serialize for bool {
+    fn serialize_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Bool(b) => Ok(*b),
+            other => Err(DeError::wrong_type("bool", other)),
+        }
+    }
+}
+
+macro_rules! num_impls {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_value(&self) -> Value {
+                Value::Num(*self as f64)
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+                match v {
+                    Value::Num(n) => {
+                        let cast = *n as $t;
+                        // Integer targets must round-trip exactly.
+                        if (cast as f64) == *n {
+                            Ok(cast)
+                        } else {
+                            Err(DeError(format!(
+                                "number {n} out of range for {}",
+                                stringify!($t)
+                            )))
+                        }
+                    }
+                    other => Err(DeError::wrong_type("number", other)),
+                }
+            }
+        }
+    )*};
+}
+
+num_impls!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn serialize_value(&self) -> Value {
+        Value::Num(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Num(n) => Ok(*n),
+            other => Err(DeError::wrong_type("number", other)),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize_value(&self) -> Value {
+        Value::Num(*self as f64)
+    }
+}
+
+impl Deserialize for f32 {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Num(n) => Ok(*n as f32),
+            other => Err(DeError::wrong_type("number", other)),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn serialize_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn serialize_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Str(s) => Ok(s.clone()),
+            other => Err(DeError::wrong_type("string", other)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_value(&self) -> Value {
+        match self {
+            Some(v) => v.serialize_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => Ok(Some(T::deserialize_value(other)?)),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::serialize_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Array(items) => items.iter().map(T::deserialize_value).collect(),
+            other => Err(DeError::wrong_type("array", other)),
+        }
+    }
+}
+
+macro_rules! tuple_impls {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.serialize_value()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+                const LEN: usize = 0 $(+ { let _ = $idx; 1 })+;
+                match v {
+                    Value::Array(items) if items.len() == LEN => {
+                        Ok(($($name::deserialize_value(&items[$idx])?,)+))
+                    }
+                    Value::Array(items) => Err(DeError(format!(
+                        "expected {LEN}-tuple, got array of {}",
+                        items.len()
+                    ))),
+                    other => Err(DeError::wrong_type("array (tuple)", other)),
+                }
+            }
+        }
+    )*};
+}
+
+tuple_impls! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+}
+
+/// Map key types usable with `BTreeMap`/`HashMap` serialization (JSON
+/// object keys are strings, so keys stringify on the way out and parse on
+/// the way back).
+pub trait MapKey: Sized + Ord {
+    fn to_key(&self) -> String;
+    fn from_key(s: &str) -> Result<Self, DeError>;
+}
+
+impl MapKey for String {
+    fn to_key(&self) -> String {
+        self.clone()
+    }
+
+    fn from_key(s: &str) -> Result<Self, DeError> {
+        Ok(s.to_string())
+    }
+}
+
+macro_rules! int_keys {
+    ($($t:ty),*) => {$(
+        impl MapKey for $t {
+            fn to_key(&self) -> String {
+                self.to_string()
+            }
+            fn from_key(s: &str) -> Result<Self, DeError> {
+                s.parse().map_err(|_| DeError(format!(
+                    "bad {} map key {s:?}", stringify!($t)
+                )))
+            }
+        }
+    )*};
+}
+
+int_keys!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+impl<K: MapKey, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn serialize_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.to_key(), v.serialize_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<K: MapKey, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Object(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((K::from_key(k)?, V::deserialize_value(v)?)))
+                .collect(),
+            other => Err(DeError::wrong_type("object", other)),
+        }
+    }
+}
+
+impl<K: MapKey + std::hash::Hash, V: Serialize> Serialize for HashMap<K, V> {
+    fn serialize_value(&self) -> Value {
+        let mut entries: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| (k.to_key(), v.serialize_value()))
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Object(entries)
+    }
+}
+
+impl<K: MapKey + std::hash::Hash, V: Deserialize> Deserialize for HashMap<K, V> {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Object(entries) => entries
+                .iter()
+                .map(|(k, v)| Ok((K::from_key(k)?, V::deserialize_value(v)?)))
+                .collect(),
+            other => Err(DeError::wrong_type("object", other)),
+        }
+    }
+}
+
+impl Serialize for Value {
+    fn serialize_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn deserialize_value(v: &Value) -> Result<Self, DeError> {
+        Ok(v.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_roundtrip() {
+        assert_eq!(
+            usize::deserialize_value(&42usize.serialize_value()).unwrap(),
+            42
+        );
+        assert_eq!(
+            i32::deserialize_value(&(-7i32).serialize_value()).unwrap(),
+            -7
+        );
+        assert_eq!(
+            f64::deserialize_value(&1.5f64.serialize_value()).unwrap(),
+            1.5
+        );
+        assert!(bool::deserialize_value(&true.serialize_value()).unwrap());
+        assert_eq!(
+            String::deserialize_value(&"hi".to_string().serialize_value()).unwrap(),
+            "hi"
+        );
+    }
+
+    #[test]
+    fn containers_roundtrip() {
+        let v = vec![(1usize, 2.5f64), (3, -4.0)];
+        let back: Vec<(usize, f64)> =
+            Deserialize::deserialize_value(&v.serialize_value()).unwrap();
+        assert_eq!(back, v);
+
+        let mut m = BTreeMap::new();
+        m.insert(-2i32, 0.5f64);
+        m.insert(7, 1.25);
+        let back: BTreeMap<i32, f64> =
+            Deserialize::deserialize_value(&m.serialize_value()).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn integer_range_checks() {
+        assert!(usize::deserialize_value(&Value::Num(-1.0)).is_err());
+        assert!(usize::deserialize_value(&Value::Num(1.5)).is_err());
+        assert!(u8::deserialize_value(&Value::Num(300.0)).is_err());
+    }
+
+    #[test]
+    fn option_null_mapping() {
+        let none: Option<u32> = None;
+        assert_eq!(none.serialize_value(), Value::Null);
+        let got: Option<u32> = Deserialize::deserialize_value(&Value::Num(3.0)).unwrap();
+        assert_eq!(got, Some(3));
+    }
+}

@@ -1,0 +1,263 @@
+//! The JSON-like value tree shared by the `serde` and `serde_json` shims.
+//!
+//! Objects are ordered `Vec<(String, Value)>` pairs: insertion order is
+//! preserved so serialized output is stable, and lookup is linear (fine
+//! for the small config/algorithm documents this workspace serializes).
+
+/// A JSON value. Numbers are uniformly `f64` (exact for the integer
+/// ranges this workspace round-trips; see `MapKey` for map keys).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Array(Vec<Value>),
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Human-readable type name for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Num(_) => "number",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= u64::MAX as f64 => {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Num(n) if n.fract() == 0.0 && *n >= i64::MIN as f64 && *n <= i64::MAX as f64 => {
+                Some(*n as i64)
+            }
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    pub fn as_object(&self) -> Option<&Vec<(String, Value)>> {
+        match self {
+            Value::Object(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    /// Object field lookup; `None` when `self` is not an object or the
+    /// key is absent.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    pub fn get_mut(&mut self, key: &str) -> Option<&mut Value> {
+        match self {
+            Value::Object(entries) => entries
+                .iter_mut()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| v),
+            _ => None,
+        }
+    }
+}
+
+static NULL: Value = Value::Null;
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+
+    /// Like serde_json: missing keys and non-objects index to `Null`.
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::IndexMut<&str> for Value {
+    /// Like serde_json: inserts the key (as `Null`) into an object when
+    /// absent; panics when `self` is not an object.
+    fn index_mut(&mut self, key: &str) -> &mut Value {
+        match self {
+            Value::Object(entries) => {
+                if let Some(pos) = entries.iter().position(|(k, _)| k == key) {
+                    &mut entries[pos].1
+                } else {
+                    entries.push((key.to_string(), Value::Null));
+                    &mut entries.last_mut().unwrap().1
+                }
+            }
+            other => panic!("cannot index {} with a string key", other.kind()),
+        }
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+
+    fn index(&self, idx: usize) -> &Value {
+        match self {
+            Value::Array(items) => items.get(idx).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+impl std::ops::IndexMut<usize> for Value {
+    fn index_mut(&mut self, idx: usize) -> &mut Value {
+        match self {
+            Value::Array(items) => &mut items[idx],
+            other => panic!("cannot index {} with a usize", other.kind()),
+        }
+    }
+}
+
+/// Compact JSON text (what serde_json's `Value: Display` produces).
+impl std::fmt::Display for Value {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write_compact(self, f)
+    }
+}
+
+fn write_compact(v: &Value, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+    match v {
+        Value::Null => f.write_str("null"),
+        Value::Bool(b) => write!(f, "{b}"),
+        Value::Num(n) => write_num(n, f),
+        Value::Str(s) => write_escaped(s, f),
+        Value::Array(items) => {
+            f.write_str("[")?;
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(",")?;
+                }
+                write_compact(item, f)?;
+            }
+            f.write_str("]")
+        }
+        Value::Object(entries) => {
+            f.write_str("{")?;
+            for (i, (k, val)) in entries.iter().enumerate() {
+                if i > 0 {
+                    f.write_str(",")?;
+                }
+                write_escaped(k, f)?;
+                f.write_str(":")?;
+                write_compact(val, f)?;
+            }
+            f.write_str("}")
+        }
+    }
+}
+
+pub(crate) fn write_num(n: &f64, f: &mut impl std::fmt::Write) -> std::fmt::Result {
+    if !n.is_finite() {
+        // serde_json serializes non-finite floats as null.
+        return f.write_str("null");
+    }
+    if n.fract() == 0.0 && n.abs() < 1e15 {
+        write!(f, "{}", *n as i64)
+    } else {
+        // `{:?}` is Rust's shortest round-trip float repr, valid JSON for
+        // finite values.
+        write!(f, "{n:?}")
+    }
+}
+
+/// Write `s` as a quoted, escaped JSON string (used by the serde_json
+/// shim's pretty printer as well as compact `Display`).
+pub fn write_escaped(s: &str, f: &mut impl std::fmt::Write) -> std::fmt::Result {
+    f.write_char('"')?;
+    for c in s.chars() {
+        match c {
+            '"' => f.write_str("\\\"")?,
+            '\\' => f.write_str("\\\\")?,
+            '\n' => f.write_str("\\n")?,
+            '\r' => f.write_str("\\r")?,
+            '\t' => f.write_str("\\t")?,
+            '\u{08}' => f.write_str("\\b")?,
+            '\u{0c}' => f.write_str("\\f")?,
+            c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+            c => f.write_char(c)?,
+        }
+    }
+    f.write_char('"')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_and_index_mut() {
+        let mut v = Value::Object(vec![(
+            "dims".to_string(),
+            Value::Object(vec![("m".to_string(), Value::Num(4.0))]),
+        )]);
+        assert_eq!(v["dims"]["m"], Value::Num(4.0));
+        assert!(v["missing"].is_null());
+        v["dims"]["m"] = Value::Num(3.0);
+        assert_eq!(v["dims"]["m"], Value::Num(3.0));
+        v["dims"]["new"] = Value::Bool(true);
+        assert_eq!(v["dims"]["new"], Value::Bool(true));
+    }
+
+    #[test]
+    fn display_is_compact_json() {
+        let v = Value::Object(vec![
+            ("a".to_string(), Value::Array(vec![Value::Num(1.0), Value::Num(2.5)])),
+            ("b".to_string(), Value::Str("x\"y".to_string())),
+        ]);
+        assert_eq!(v.to_string(), r#"{"a":[1,2.5],"b":"x\"y"}"#);
+    }
+
+    #[test]
+    fn numbers_format_cleanly() {
+        assert_eq!(Value::Num(42.0).to_string(), "42");
+        assert_eq!(Value::Num(-0.5).to_string(), "-0.5");
+        assert_eq!(Value::Num(f64::NAN).to_string(), "null");
+    }
+}

@@ -1,0 +1,290 @@
+//! Offline shim for `serde_derive`: `#[derive(Serialize, Deserialize)]`
+//! implemented directly on `proc_macro::TokenStream` (no syn/quote —
+//! those crates aren't available offline).
+//!
+//! Supported shapes — exactly what this workspace derives on:
+//! * structs with named fields (no generics, no `#[serde(...)]` attrs);
+//!   serialized as a JSON object keyed by field name
+//! * fieldless enums; serialized as the variant name string
+//!
+//! Anything else produces a `compile_error!` naming the limitation.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Serialize)
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Deserialize)
+}
+
+#[derive(Clone, Copy)]
+enum Mode {
+    Serialize,
+    Deserialize,
+}
+
+enum Shape {
+    /// Named-field struct: field identifiers in declaration order.
+    Struct(Vec<String>),
+    /// Fieldless enum: variant identifiers.
+    Enum(Vec<String>),
+}
+
+fn expand(input: TokenStream, mode: Mode) -> TokenStream {
+    let (name, shape) = match parse_item(input) {
+        Ok(parsed) => parsed,
+        Err(msg) => {
+            return format!("compile_error!({msg:?});").parse().unwrap();
+        }
+    };
+    let code = match (mode, &shape) {
+        (Mode::Serialize, Shape::Struct(fields)) => gen_struct_ser(&name, fields),
+        (Mode::Deserialize, Shape::Struct(fields)) => gen_struct_de(&name, fields),
+        (Mode::Serialize, Shape::Enum(variants)) => gen_enum_ser(&name, variants),
+        (Mode::Deserialize, Shape::Enum(variants)) => gen_enum_de(&name, variants),
+    };
+    code.parse().unwrap()
+}
+
+/// Parse the derive input item: skip attributes and visibility, read
+/// `struct Name { .. }` or `enum Name { .. }`.
+fn parse_item(input: TokenStream) -> Result<(String, Shape), String> {
+    let mut iter = input.into_iter().peekable();
+
+    // Skip outer attributes (`#[...]`, including doc comments) and `pub`,
+    // `pub(crate)` etc.
+    loop {
+        match iter.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                iter.next();
+                iter.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                iter.next();
+                // optional (crate)/(super)/(in ..) restriction
+                if let Some(TokenTree::Group(g)) = iter.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        iter.next();
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+
+    let kind = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("serde shim derive: expected struct/enum, got {other:?}")),
+    };
+    let name = match iter.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("serde shim derive: expected type name, got {other:?}")),
+    };
+    // Reject generics: the shim derive emits non-generic impls.
+    if let Some(TokenTree::Punct(p)) = iter.peek() {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "serde shim derive: generic type `{name}` is not supported"
+            ));
+        }
+    }
+    let body = match iter.next() {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        _ => {
+            return Err(format!(
+                "serde shim derive: `{name}` must have a braced body (tuple/unit structs unsupported)"
+            ))
+        }
+    };
+
+    match kind.as_str() {
+        "struct" => Ok((name, Shape::Struct(parse_named_fields(body)?))),
+        "enum" => Ok((name, Shape::Enum(parse_fieldless_variants(body)?))),
+        other => Err(format!("serde shim derive: unsupported item kind `{other}`")),
+    }
+}
+
+/// `field1: Type1, field2: Type2, ...` — collect names, skip types by
+/// tracking angle-bracket depth until a top-level comma.
+fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut iter = body.into_iter().peekable();
+    loop {
+        // Skip field attributes and visibility.
+        loop {
+            match iter.peek() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    iter.next();
+                    iter.next();
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    iter.next();
+                    if let Some(TokenTree::Group(g)) = iter.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            iter.next();
+                        }
+                    }
+                }
+                _ => break,
+            }
+        }
+        let name = match iter.next() {
+            None => break,
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("serde shim derive: expected field name, got {other:?}")),
+        };
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => {
+                return Err(format!(
+                    "serde shim derive: expected `:` after field `{name}`, got {other:?}"
+                ))
+            }
+        }
+        // Consume the type: everything up to a comma at angle-depth 0.
+        let mut depth = 0i32;
+        loop {
+            match iter.peek() {
+                None => break,
+                Some(TokenTree::Punct(p)) => {
+                    let c = p.as_char();
+                    if c == '<' {
+                        depth += 1;
+                    } else if c == '>' {
+                        depth -= 1;
+                    } else if c == ',' && depth == 0 {
+                        iter.next();
+                        break;
+                    }
+                    iter.next();
+                }
+                Some(_) => {
+                    iter.next();
+                }
+            }
+        }
+        fields.push(name);
+    }
+    Ok(fields)
+}
+
+/// `VariantA, VariantB, ...` — any payload or discriminant is rejected.
+fn parse_fieldless_variants(body: TokenStream) -> Result<Vec<String>, String> {
+    let mut variants = Vec::new();
+    let mut iter = body.into_iter().peekable();
+    loop {
+        // Skip variant attributes (doc comments).
+        while let Some(TokenTree::Punct(p)) = iter.peek() {
+            if p.as_char() == '#' {
+                iter.next();
+                iter.next();
+            } else {
+                break;
+            }
+        }
+        let name = match iter.next() {
+            None => break,
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => {
+                return Err(format!("serde shim derive: expected variant name, got {other:?}"))
+            }
+        };
+        match iter.next() {
+            None => {
+                variants.push(name);
+                break;
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => variants.push(name),
+            other => {
+                return Err(format!(
+                    "serde shim derive: enum variant `{name}` has a payload or \
+                     discriminant ({other:?}); only fieldless enums are supported"
+                ))
+            }
+        }
+    }
+    Ok(variants)
+}
+
+fn gen_struct_ser(name: &str, fields: &[String]) -> String {
+    let pushes: String = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "entries.push(({f:?}.to_string(), ::serde::Serialize::serialize_value(&self.{f})));\n"
+            )
+        })
+        .collect();
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn serialize_value(&self) -> ::serde::Value {{\n\
+                 let mut entries: Vec<(String, ::serde::Value)> = Vec::new();\n\
+                 {pushes}\
+                 ::serde::Value::Object(entries)\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn gen_struct_de(name: &str, fields: &[String]) -> String {
+    let inits: String = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "{f}: ::serde::Deserialize::deserialize_value(\n\
+                     v.get({f:?}).ok_or_else(|| ::serde::DeError::missing_field({f:?}))?\n\
+                 )?,\n"
+            )
+        })
+        .collect();
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn deserialize_value(v: &::serde::Value) -> Result<Self, ::serde::DeError> {{\n\
+                 match v {{\n\
+                     ::serde::Value::Object(_) => Ok({name} {{ {inits} }}),\n\
+                     other => Err(::serde::DeError::wrong_type(\"object\", other)),\n\
+                 }}\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn gen_enum_ser(name: &str, variants: &[String]) -> String {
+    let arms: String = variants
+        .iter()
+        .map(|v| format!("{name}::{v} => {v:?},\n"))
+        .collect();
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn serialize_value(&self) -> ::serde::Value {{\n\
+                 ::serde::Value::Str(match self {{ {arms} }}.to_string())\n\
+             }}\n\
+         }}"
+    )
+}
+
+fn gen_enum_de(name: &str, variants: &[String]) -> String {
+    let arms: String = variants
+        .iter()
+        .map(|v| format!("{v:?} => Ok({name}::{v}),\n"))
+        .collect();
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn deserialize_value(v: &::serde::Value) -> Result<Self, ::serde::DeError> {{\n\
+                 match v {{\n\
+                     ::serde::Value::Str(s) => match s.as_str() {{\n\
+                         {arms}\n\
+                         other => Err(::serde::DeError(format!(\n\
+                             \"unknown {name} variant {{other:?}}\"\n\
+                         ))),\n\
+                     }},\n\
+                     other => Err(::serde::DeError::wrong_type(\"string\", other)),\n\
+                 }}\n\
+             }}\n\
+         }}"
+    )
+}

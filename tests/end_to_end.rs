@@ -25,7 +25,7 @@ fn every_catalog_algorithm_multiplies_odd_shapes_with_every_strategy() {
         // Tolerance scales with the rule's predicted error (φ = 3 entries
         // like the Bini cube legitimately sit near 2e-2).
         let tol = (error_model::table1_row(&alg).error * 5.0).max(1e-2);
-        for strategy in [Strategy::Seq, Strategy::Hybrid] {
+        for strategy in [Strategy::Seq, Strategy::Dfs, Strategy::Bfs, Strategy::Hybrid] {
             let mm = ApaMatmul::new(alg.clone()).strategy(strategy).threads(2);
             let got = mm.multiply(a.as_ref(), b.as_ref());
             let err = got.rel_frobenius_error(&expect);

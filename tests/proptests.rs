@@ -110,6 +110,38 @@ proptest! {
         prop_assert!(got.rel_frobenius_error(&expect) < 1e-2);
     }
 
+    #[test]
+    fn workspace_reuse_is_bitwise_identical_to_allocate_per_call(
+        m in 1usize..36, k in 1usize..36, n in 1usize..36,
+        seed in 0u64..1000, strat in 0usize..4, threads in 1usize..4
+    ) {
+        let strategy = [ExecStrategy::Seq, ExecStrategy::Dfs, ExecStrategy::Bfs, ExecStrategy::Hybrid][strat];
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(7);
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            (((state >> 32) as u32 as f64 / (1u64 << 31) as f64) - 1.0) as f32
+        };
+        let a = Mat::from_fn(m, k, |_, _| next());
+        let b = Mat::from_fn(k, n, |_, _| next());
+        let mm = ApaMatmul::new(catalog::bini322()).strategy(strategy).threads(threads);
+        let mut fresh = Mat::zeros(m, n);
+        mm.multiply_into_uncached(a.as_ref(), b.as_ref(), fresh.as_mut());
+        let mut cached = Mat::zeros(m, n);
+        // Twice through the cached path: the second call runs on a warm
+        // (reused) workspace and must still match bit for bit.
+        for round in 0..2 {
+            mm.multiply_into(a.as_ref(), b.as_ref(), cached.as_mut());
+            for i in 0..m {
+                for j in 0..n {
+                    prop_assert_eq!(
+                        cached.at(i, j).to_bits(), fresh.at(i, j).to_bits(),
+                        "round {} at ({}, {}) under {:?}", round, i, j, strategy
+                    );
+                }
+            }
+        }
+    }
+
     // ---------------- Transformations ----------------
 
     #[test]
