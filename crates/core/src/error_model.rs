@@ -17,14 +17,40 @@ pub const D_SINGLE: u32 = 23;
 /// Fractional-precision bits: double precision (f64).
 pub const D_DOUBLE: u32 = 52;
 
+/// Smallest λ the model will return: 2^[`LAMBDA_MIN_EXP`]. Anything below
+/// is useless in practice (the λ⁻¹ output scaling has long since destroyed
+/// every mantissa bit) and risks subnormal/zero grids that break tuning.
+pub const LAMBDA_MIN_EXP: i32 = -120;
+/// Largest λ the model will return: 2^[`LAMBDA_MAX_EXP`]. λ ≥ 1 makes the
+/// approximation term λ^σ no smaller than the operands themselves — a
+/// degenerate request (e.g. `d = 0`) is clamped here instead of producing
+/// λ = 1, which would freeze `lambda_grid` tuning at useless values.
+pub const LAMBDA_MAX_EXP: i32 = -1;
+
+/// Clamp λ into the documented valid range
+/// [2^[`LAMBDA_MIN_EXP`], 2^[`LAMBDA_MAX_EXP`]].
+fn clamp_lambda(lambda: f64) -> f64 {
+    lambda.clamp(
+        (2.0_f64).powi(LAMBDA_MIN_EXP),
+        (2.0_f64).powi(LAMBDA_MAX_EXP),
+    )
+}
+
 /// Theoretically optimal λ = 2^(−d/(σ + s·φ)) (paper §2.3, after
 /// Bini–Lotti–Romani). Returns 0.0 for exact rules (λ is unused there).
+///
+/// Degenerate inputs are clamped to the documented valid range
+/// [2^[`LAMBDA_MIN_EXP`], 2^[`LAMBDA_MAX_EXP`]]: `d = 0` (which would give
+/// λ = 1) saturates at the top, while an enormous `d` relative to `σ + s·φ`
+/// (which would underflow λ to a subnormal or zero) saturates at the
+/// bottom. `s·φ` is computed in 64 bits so extreme step counts cannot
+/// overflow.
 pub fn optimal_lambda(sigma: u32, phi: u32, d: u32, steps: u32) -> f64 {
     if sigma == 0 {
         return 0.0;
     }
-    let denom = sigma + steps * phi;
-    (2.0_f64).powf(-(d as f64) / denom as f64)
+    let denom = sigma as u64 + steps as u64 * phi as u64;
+    clamp_lambda((2.0_f64).powf(-(d as f64) / denom as f64))
 }
 
 /// Predicted achievable relative error 2^(−dσ/(σ + s·φ)).
@@ -33,18 +59,24 @@ pub fn error_bound(sigma: u32, phi: u32, d: u32, steps: u32) -> f64 {
     if sigma == 0 {
         return (2.0_f64).powi(-(d as i32));
     }
-    let denom = sigma + steps * phi;
-    (2.0_f64).powf(-(d as f64) * sigma as f64 / denom as f64)
+    let denom = (sigma as u64 + steps as u64 * phi as u64) as f64;
+    (2.0_f64).powf(-(d as f64) * sigma as f64 / denom)
 }
 
 /// The five powers of two nearest the theoretical optimum — the paper's
 /// Fig.-1 tuning grid ("we tested the 5 powers of 2 closest to the
 /// theoretical optimal value and chose the best").
+///
+/// The grid center is clamped so every member stays inside the valid λ
+/// range [2^[`LAMBDA_MIN_EXP`], 2^[`LAMBDA_MAX_EXP`]]: degenerate
+/// (σ, φ, d, s) combinations still produce five finite, normal, strictly
+/// increasing powers of two rather than a grid of zeros or ones.
 pub fn lambda_grid(sigma: u32, phi: u32, d: u32, steps: u32) -> Vec<f64> {
     if sigma == 0 {
         return vec![0.0];
     }
-    let center = optimal_lambda(sigma, phi, d, steps).log2().round() as i32;
+    let center = (optimal_lambda(sigma, phi, d, steps).log2().round() as i32)
+        .clamp(LAMBDA_MIN_EXP + 2, LAMBDA_MAX_EXP - 2);
     (center - 2..=center + 2)
         .map(|e| (2.0_f64).powi(e))
         .collect()
@@ -154,6 +186,60 @@ mod tests {
         }
         // center should be 2^-12 or 2^-11 (optimum 2^-11.5)
         assert!(g.contains(&2.0_f64.powi(-12)) && g.contains(&2.0_f64.powi(-11)));
+    }
+
+    #[test]
+    fn zero_precision_bits_clamps_to_lambda_max() {
+        // d = 0 would give λ = 2^0 = 1 — clamp at the documented top of the
+        // valid range instead.
+        let l = optimal_lambda(1, 1, 0, 1);
+        assert_eq!(l, (2.0_f64).powi(LAMBDA_MAX_EXP));
+        let g = lambda_grid(1, 1, 0, 1);
+        assert_eq!(g.len(), 5);
+        assert!(g.iter().all(|&l| l.is_finite() && l > 0.0 && l < 1.0));
+        assert!(g.iter().all(|&l| l >= (2.0_f64).powi(LAMBDA_MIN_EXP)));
+    }
+
+    #[test]
+    fn huge_precision_clamps_to_lambda_min_not_subnormal() {
+        // A very large d relative to σ + s·φ would underflow λ into the
+        // subnormal range (or to zero); the clamp keeps it a normal f64.
+        let l = optimal_lambda(1, 1, 100_000, 1);
+        assert_eq!(l, (2.0_f64).powi(LAMBDA_MIN_EXP));
+        assert!(l.is_normal());
+        let g = lambda_grid(1, 1, 100_000, 1);
+        assert_eq!(g.len(), 5);
+        for w in g.windows(2) {
+            assert!((w[1] / w[0] - 2.0).abs() < 1e-12, "grid not powers of 2");
+        }
+        assert!(g.iter().all(|&l| l.is_normal() && l > 0.0));
+    }
+
+    #[test]
+    fn extreme_step_counts_do_not_overflow() {
+        // steps·φ used to be a u32 multiply — u32::MAX steps must neither
+        // panic nor wrap. Huge s·φ pushes the exponent toward 0, i.e. λ
+        // toward 1, so the clamp lands at LAMBDA_MAX_EXP.
+        let l = optimal_lambda(1, 6, D_SINGLE, u32::MAX);
+        assert_eq!(l, (2.0_f64).powi(LAMBDA_MAX_EXP));
+        let e = error_bound(1, 6, D_SINGLE, u32::MAX);
+        assert!(e.is_finite() && e > 0.0);
+        let g = lambda_grid(1, 6, D_SINGLE, u32::MAX);
+        assert_eq!(g.len(), 5);
+    }
+
+    #[test]
+    fn clamped_grid_stays_inside_valid_range() {
+        for (sigma, phi, d, steps) in
+            [(1u32, 0u32, 0u32, 1u32), (1, 1, 52, 1), (2, 6, 100_000, 3), (1, 1, 23, 1000)]
+        {
+            for &l in &lambda_grid(sigma, phi, d, steps) {
+                assert!(
+                    l >= (2.0_f64).powi(LAMBDA_MIN_EXP) && l <= (2.0_f64).powi(LAMBDA_MAX_EXP),
+                    "λ = {l} outside valid range for ({sigma},{phi},{d},{steps})"
+                );
+            }
+        }
     }
 
     #[test]

@@ -25,6 +25,7 @@
 //! [`ApaMatmul::make_workspace`] / [`ApaMatmul::multiply_into_with`] hand
 //! the workspace to callers who want to manage it themselves.
 
+use crate::error::{check_operands, MatmulError};
 use crate::exec::with_uniform_chain;
 use crate::peel::{
     fast_matmul_any_into, fast_matmul_chain_any_into, fast_matmul_chain_any_into_ws, PeelMode,
@@ -190,6 +191,19 @@ impl ApaMatmul {
         self.strategy
     }
 
+    pub fn current_steps(&self) -> u32 {
+        self.steps
+    }
+
+    pub fn current_peel(&self) -> PeelMode {
+        self.peel
+    }
+
+    /// Approximation order σ from Brent validation (None for exact rules).
+    pub fn sigma(&self) -> Option<u32> {
+        self.sigma
+    }
+
     pub fn plan(&self) -> &ExecPlan {
         &self.plan
     }
@@ -198,8 +212,27 @@ impl ApaMatmul {
     /// inner dimension). Executes out of the internal workspace cache:
     /// after the first call per `(type, shape)` the steady state performs
     /// zero heap allocations. Results are bitwise identical to
-    /// [`Self::multiply_into_uncached`].
+    /// [`Self::multiply_into_uncached`]. Panics on mismatched operand
+    /// shapes — [`Self::try_multiply_into`] is the non-panicking variant.
     pub fn multiply_into<T: Scalar>(&self, a: MatRef<'_, T>, b: MatRef<'_, T>, c: MatMut<'_, T>) {
+        self.try_multiply_into(a, b, c)
+            .unwrap_or_else(|e| panic!("ApaMatmul::multiply_into: {e}"));
+    }
+
+    /// [`Self::multiply_into`] with the operand shapes validated up front:
+    /// mismatched operands return a typed [`MatmulError`] in release
+    /// builds too, instead of relying on interior assertions.
+    pub fn try_multiply_into<T: Scalar>(
+        &self,
+        a: MatRef<'_, T>,
+        b: MatRef<'_, T>,
+        c: MatMut<'_, T>,
+    ) -> Result<(), MatmulError> {
+        check_operands(
+            (a.rows(), a.cols()),
+            (b.rows(), b.cols()),
+            (c.rows(), c.cols()),
+        )?;
         let (m, k, n) = (a.rows(), a.cols(), b.cols());
         with_uniform_chain(&self.plan, self.steps, |chain| {
             let mut cache = self.cache.lock().unwrap_or_else(PoisonError::into_inner);
@@ -237,17 +270,25 @@ impl ApaMatmul {
                 .expect("cache entry is type-keyed");
             fast_matmul_chain_any_into_ws(chain, a, b, c, self.strategy, self.threads, self.peel, ws);
         });
+        Ok(())
     }
 
     /// The pre-workspace behavior: allocate every intermediate buffer on
     /// this call and free it on return. Kept for ablation benchmarks and
-    /// for one-shot shapes not worth caching.
+    /// for one-shot shapes not worth caching. Panics on mismatched operand
+    /// shapes, release builds included.
     pub fn multiply_into_uncached<T: Scalar>(
         &self,
         a: MatRef<'_, T>,
         b: MatRef<'_, T>,
         c: MatMut<'_, T>,
     ) {
+        check_operands(
+            (a.rows(), a.cols()),
+            (b.rows(), b.cols()),
+            (c.rows(), c.cols()),
+        )
+        .unwrap_or_else(|e| panic!("ApaMatmul::multiply_into_uncached: {e}"));
         fast_matmul_any_into(
             &self.plan,
             a,
@@ -369,7 +410,26 @@ impl ApaChain {
         self.plans.len()
     }
 
+    /// Panics on mismatched operand shapes (release builds included);
+    /// [`Self::try_multiply_into`] is the non-panicking variant.
     pub fn multiply_into<T: Scalar>(&self, a: MatRef<'_, T>, b: MatRef<'_, T>, c: MatMut<'_, T>) {
+        self.try_multiply_into(a, b, c)
+            .unwrap_or_else(|e| panic!("ApaChain::multiply_into: {e}"));
+    }
+
+    /// [`Self::multiply_into`] returning a typed [`MatmulError`] on
+    /// mismatched operand shapes instead of panicking.
+    pub fn try_multiply_into<T: Scalar>(
+        &self,
+        a: MatRef<'_, T>,
+        b: MatRef<'_, T>,
+        c: MatMut<'_, T>,
+    ) -> Result<(), MatmulError> {
+        check_operands(
+            (a.rows(), a.cols()),
+            (b.rows(), b.cols()),
+            (c.rows(), c.cols()),
+        )?;
         // The Borrow-generic engine takes the owned plans directly — no
         // per-call Vec<&ExecPlan> is built anymore.
         fast_matmul_chain_any_into(
@@ -381,6 +441,7 @@ impl ApaChain {
             self.threads,
             self.peel,
         );
+        Ok(())
     }
 
     /// Build a reusable workspace for this chain on an `m×k · k×n`

@@ -10,6 +10,64 @@ use crate::schedule::Strategy;
 use apa_core::BilinearAlgorithm;
 use apa_gemm::{matmul, Mat};
 
+/// Typed operand-shape errors for the `multiply_into` family.
+///
+/// The engine's internal invariants stay `debug_assert`s, but *operand*
+/// mismatches are caller bugs that must fail loudly in release builds too —
+/// silently mis-partitioning a wrongly-shaped operand would corrupt the
+/// output (or read out of bounds) with no diagnostic. `try_multiply_into`
+/// surfaces these as values; the panicking entry points format them.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MatmulError {
+    /// `A` is `m×k` but `B` is `k'×n` with `k ≠ k'`.
+    InnerDimMismatch {
+        a: (usize, usize),
+        b: (usize, usize),
+    },
+    /// `C` storage does not match the `m×n` product shape.
+    OutputShapeMismatch {
+        expected: (usize, usize),
+        got: (usize, usize),
+    },
+}
+
+impl std::fmt::Display for MatmulError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MatmulError::InnerDimMismatch { a, b } => write!(
+                f,
+                "inner dimensions must match: A is {}x{}, B is {}x{}",
+                a.0, a.1, b.0, b.1
+            ),
+            MatmulError::OutputShapeMismatch { expected, got } => write!(
+                f,
+                "output shape mismatch: product is {}x{}, C is {}x{}",
+                expected.0, expected.1, got.0, got.1
+            ),
+        }
+    }
+}
+
+impl std::error::Error for MatmulError {}
+
+/// Validate the `(A, B, C)` operand shapes of a `C ← A·B` call.
+pub(crate) fn check_operands(
+    a: (usize, usize),
+    b: (usize, usize),
+    c: (usize, usize),
+) -> Result<(), MatmulError> {
+    if a.1 != b.0 {
+        return Err(MatmulError::InnerDimMismatch { a, b });
+    }
+    if c != (a.0, b.1) {
+        return Err(MatmulError::OutputShapeMismatch {
+            expected: (a.0, b.1),
+            got: c,
+        });
+    }
+    Ok(())
+}
+
 /// Deterministic uniform(-1, 1) matrix (paper: "uniform random inputs").
 pub fn uniform_mat_f32(rows: usize, cols: usize, seed: u64) -> Mat<f32> {
     let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(0xD1B54A32D192ED03);
@@ -61,6 +119,24 @@ pub fn measure_error(alg: &BilinearAlgorithm, lambda: f64, n: usize, steps: u32,
 mod tests {
     use super::*;
     use apa_core::{catalog, error_model};
+
+    #[test]
+    fn operand_checks_catch_both_mismatch_kinds() {
+        assert_eq!(check_operands((3, 4), (4, 5), (3, 5)), Ok(()));
+        assert_eq!(
+            check_operands((3, 4), (7, 5), (3, 5)),
+            Err(MatmulError::InnerDimMismatch { a: (3, 4), b: (7, 5) })
+        );
+        assert_eq!(
+            check_operands((3, 4), (4, 5), (3, 6)),
+            Err(MatmulError::OutputShapeMismatch {
+                expected: (3, 5),
+                got: (3, 6)
+            })
+        );
+        let msg = check_operands((3, 4), (7, 5), (3, 5)).unwrap_err().to_string();
+        assert!(msg.contains("3x4") && msg.contains("7x5"), "{msg}");
+    }
 
     #[test]
     fn classical_baseline_error_is_single_precision() {

@@ -1,0 +1,607 @@
+//! Graceful degradation: a rung ladder from the configured APA multiplier
+//! down to exact classical gemm, driven by the [`crate::sentinel`].
+//!
+//! [`GuardedApaMatmul`] wraps the usual `multiply_into` surface. Every
+//! call executes on the rung currently assigned to its shape, then passes
+//! through the sentinel (non-finite scan every call, Freivalds residual
+//! probe at the configured sampling rate). On a violation the call is
+//! **retried on the next rung down** until a rung passes — the last rung,
+//! [`ClassicalMatmul`], is exact and always accepted — so a caller never
+//! observes a corrupted product. The ladder:
+//!
+//! 1. the configured APA multiplier (possibly multi-step);
+//! 2. the same rule with progressively fewer recursion steps (each step
+//!    removed divides the roundoff amplification, §2.3);
+//! 3. the rule re-tuned: λ re-selected over the `lambda_grid` by measured
+//!    error (catches a mis-pinned or perturbed λ);
+//! 4. the exact fast rule (Strassen — machine-precision, still
+//!    sub-cubic);
+//! 5. classical gemm.
+//!
+//! Demotions are sticky per shape, with hysteresis: after
+//! [`DegradePolicy::promote_after`] consecutive clean calls the shape is
+//! re-promoted one rung, and every re-demotion doubles the streak the next
+//! promotion requires (bounded exponential backoff), so a flapping
+//! configuration settles low instead of oscillating. All transitions are
+//! counted in [`HealthStats`].
+//!
+//! With `--features fault-inject`, [`crate::fault`] can corrupt product
+//! buffers, seed NaN/Inf, or perturb λ at chosen call indices to exercise
+//! every rung deterministically.
+
+use crate::apamm::{ApaMatmul, ClassicalMatmul};
+use crate::error::{check_operands, MatmulError};
+use crate::peel::PeelMode;
+use crate::schedule::Strategy;
+use crate::sentinel::{self, ProbeScratch, SentinelConfig, Verdict};
+use crate::stats::HealthStats;
+use crate::tune::tune_lambda;
+use apa_core::{catalog, BilinearAlgorithm};
+use apa_gemm::{Mat, MatMut, MatRef, Scalar};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock, PoisonError};
+
+/// How the ladder reacts to sentinel verdicts.
+#[derive(Clone, Copy, Debug)]
+pub struct DegradePolicy {
+    /// Consecutive clean calls at a demoted rung before the shape is
+    /// re-promoted one rung (0 disables promotion — demotions are final).
+    pub promote_after: u64,
+    /// Cap on the exponential backoff: after `max_backoff` re-demotions
+    /// the required streak stops doubling.
+    pub max_backoff: u32,
+}
+
+impl Default for DegradePolicy {
+    fn default() -> Self {
+        Self {
+            promote_after: 32,
+            max_backoff: 8,
+        }
+    }
+}
+
+/// What a ladder rung executes.
+#[derive(Clone, Debug, PartialEq)]
+pub enum RungKind {
+    /// The configured rule at `steps` recursion levels.
+    Apa { steps: u32, lambda: f64 },
+    /// The configured rule, one step, λ re-selected over the tuning grid.
+    Retuned { lambda: f64 },
+    /// The exact fast rule (machine precision, still sub-cubic).
+    ExactFast,
+    /// Classical gemm — the unconditional floor of the ladder.
+    Classical,
+}
+
+enum RungExec {
+    // Boxed: ApaMatmul (plan + caches) dwarfs the unit-like classical
+    // wrapper, and rungs live in a once-built Vec anyway.
+    Apa(Box<ApaMatmul>),
+    Classical(ClassicalMatmul),
+}
+
+struct Rung {
+    kind: RungKind,
+    exec: RungExec,
+    /// Sentinel residual budget for products computed on this rung.
+    budget: f64,
+}
+
+#[derive(Clone, Copy, Debug, Default)]
+struct ShapeState {
+    rung: usize,
+    clean: u64,
+    /// Re-demotion count driving the promotion-streak backoff.
+    backoff: u32,
+    /// Per-shape call tick for probe sampling.
+    tick: u64,
+}
+
+/// An [`ApaMatmul`] wrapped in the numerical-health sentinel and the
+/// degradation ladder. Same `multiply_into` calling surface; per-shape
+/// health state, probe scratch and all rung workspace caches are interior
+/// so the guard is `&self` and `Send + Sync` like the raw multiplier.
+pub struct GuardedApaMatmul {
+    base: ApaMatmul,
+    policy: DegradePolicy,
+    sentinel: SentinelConfig,
+    rungs: OnceLock<Vec<Rung>>,
+    state: Mutex<HashMap<(usize, usize, usize), ShapeState>>,
+    scratch: Mutex<ProbeScratch>,
+    stats: Mutex<HealthStats>,
+    calls: AtomicU64,
+}
+
+impl GuardedApaMatmul {
+    /// Guard `alg` with default execution config (see [`ApaMatmul::new`]),
+    /// default sentinel and default policy.
+    pub fn new(alg: BilinearAlgorithm) -> Self {
+        Self::from_matmul(ApaMatmul::new(alg))
+    }
+
+    /// Guard an already-configured multiplier.
+    pub fn from_matmul(base: ApaMatmul) -> Self {
+        Self {
+            base,
+            policy: DegradePolicy::default(),
+            sentinel: SentinelConfig::default(),
+            rungs: OnceLock::new(),
+            state: Mutex::new(HashMap::new()),
+            scratch: Mutex::new(ProbeScratch::new()),
+            stats: Mutex::new(HealthStats::default()),
+            calls: AtomicU64::new(0),
+        }
+    }
+
+    // Builder passthroughs — mirror ApaMatmul's surface. The ladder is
+    // built lazily on first use, so these stay cheap.
+
+    pub fn steps(mut self, steps: u32) -> Self {
+        self.base = self.base.steps(steps);
+        self
+    }
+
+    pub fn strategy(mut self, strategy: Strategy) -> Self {
+        self.base = self.base.strategy(strategy);
+        self
+    }
+
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.base = self.base.threads(threads);
+        self
+    }
+
+    pub fn peel_mode(mut self, peel: PeelMode) -> Self {
+        self.base = self.base.peel_mode(peel);
+        self
+    }
+
+    pub fn lambda(mut self, lambda: f64) -> Self {
+        self.base = self.base.lambda(lambda);
+        self
+    }
+
+    pub fn policy(mut self, policy: DegradePolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    pub fn sentinel(mut self, sentinel: SentinelConfig) -> Self {
+        self.sentinel = sentinel;
+        self
+    }
+
+    /// The guarded (rung-0) multiplier configuration.
+    pub fn base(&self) -> &ApaMatmul {
+        &self.base
+    }
+
+    /// Snapshot of the sentinel/ladder counters.
+    pub fn health(&self) -> HealthStats {
+        self.stats
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clone()
+    }
+
+    /// The ladder, top to bottom.
+    pub fn rungs(&self) -> Vec<RungKind> {
+        self.ladder().iter().map(|r| r.kind.clone()).collect()
+    }
+
+    /// Rung currently assigned to an `m×k·k×n` shape (None if the shape
+    /// has not been multiplied yet). 0 is the configured multiplier.
+    pub fn current_rung(&self, m: usize, k: usize, n: usize) -> Option<usize> {
+        self.state
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get(&(m, k, n))
+            .map(|s| s.rung)
+    }
+
+    fn ladder(&self) -> &[Rung] {
+        self.rungs.get_or_init(|| self.build_ladder())
+    }
+
+    fn build_ladder(&self) -> Vec<Rung> {
+        let alg = self.base.algorithm().clone();
+        let sigma = self.base.sigma();
+        let phi = alg.phi();
+        let steps = self.base.current_steps().max(1);
+        let approximate = sigma.is_some_and(|s| s > 0);
+        let mut rungs = Vec::new();
+
+        // 0: the configured multiplier, then the same rule with fewer
+        // recursion steps. `ApaMatmul::steps` re-derives the optimal λ per
+        // depth unless the user pinned one — exactly the re-derivation a
+        // depth demotion needs.
+        for s in (1..=steps).rev() {
+            let mm = if s == steps {
+                self.base.clone()
+            } else {
+                self.base.clone().steps(s)
+            };
+            rungs.push(Rung {
+                kind: RungKind::Apa {
+                    steps: s,
+                    lambda: mm.current_lambda(),
+                },
+                budget: self.sentinel.budget(sigma, phi, s),
+                exec: RungExec::Apa(Box::new(mm)),
+            });
+        }
+
+        // Re-tuned λ: select over the paper's tuning grid by *measured*
+        // error on a small deterministic probe — catches a pinned or
+        // perturbed λ that the analytic optimum re-derivation would keep.
+        if approximate {
+            let tuned = tune_lambda(&alg, 32, 1, self.sentinel.seed);
+            rungs.push(Rung {
+                kind: RungKind::Retuned {
+                    lambda: tuned.lambda,
+                },
+                budget: self.sentinel.budget(sigma, phi, 1),
+                exec: RungExec::Apa(Box::new(self.base.clone().steps(1).lambda(tuned.lambda))),
+            });
+        }
+
+        // Exact fast rule: machine precision at sub-cubic cost. Skipped
+        // when the guarded rule is itself exact (it would be redundant).
+        if approximate {
+            let exact = ApaMatmul::new(catalog::strassen())
+                .steps(1)
+                .strategy(self.base.current_strategy())
+                .threads(self.base.current_threads())
+                .peel_mode(self.base.current_peel());
+            rungs.push(Rung {
+                kind: RungKind::ExactFast,
+                budget: self.sentinel.budget(None, 0, 1),
+                exec: RungExec::Apa(Box::new(exact)),
+            });
+        }
+
+        // Classical gemm: exact, unconditionally trusted.
+        rungs.push(Rung {
+            kind: RungKind::Classical,
+            budget: f64::INFINITY,
+            exec: RungExec::Classical(
+                ClassicalMatmul::new().threads(self.base.current_threads()),
+            ),
+        });
+        rungs
+    }
+
+    /// `C ← Â·B̂` through the sentinel and the ladder. Panics on
+    /// mismatched operand shapes; [`Self::try_multiply_into`] is the
+    /// non-panicking variant.
+    pub fn multiply_into<T: Scalar>(&self, a: MatRef<'_, T>, b: MatRef<'_, T>, c: MatMut<'_, T>) {
+        self.try_multiply_into(a, b, c)
+            .unwrap_or_else(|e| panic!("GuardedApaMatmul::multiply_into: {e}"));
+    }
+
+    /// Guarded multiply returning a typed [`MatmulError`] on operand-shape
+    /// mismatch. On success the output has passed the sentinel (or was
+    /// computed by exact classical gemm).
+    pub fn try_multiply_into<T: Scalar>(
+        &self,
+        a: MatRef<'_, T>,
+        b: MatRef<'_, T>,
+        mut c: MatMut<'_, T>,
+    ) -> Result<(), MatmulError> {
+        check_operands(
+            (a.rows(), a.cols()),
+            (b.rows(), b.cols()),
+            (c.rows(), c.cols()),
+        )?;
+        let rungs = self.ladder();
+        let call = self.calls.fetch_add(1, Ordering::Relaxed);
+        let shape = (a.rows(), a.cols(), b.cols());
+
+        // Read the shape's rung and whether this call samples the probe.
+        let (start, probe_sampled) = {
+            let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+            let s = state.entry(shape).or_default();
+            let sampled = self.sentinel.probe_every > 0
+                && s.tick.is_multiple_of(self.sentinel.probe_every);
+            s.tick = s.tick.wrapping_add(1);
+            (s.rung.min(rungs.len() - 1), sampled)
+        };
+
+        let mut idx = start;
+        let mut demoted = false;
+        loop {
+            self.exec_rung::<T>(idx, a, b, c.rb(), call, !demoted);
+            let last = idx == rungs.len() - 1;
+            // The classical floor is exact — never probed. Elsewhere the
+            // probe runs when sampled, and always on a post-demotion
+            // re-check; unsampled calls still get the non-finite scan.
+            let verdict = if last {
+                Verdict::Healthy
+            } else if probe_sampled || demoted {
+                let mut scratch = self.scratch.lock().unwrap_or_else(PoisonError::into_inner);
+                sentinel::check_product(
+                    a,
+                    b,
+                    c.as_ref(),
+                    rungs[idx].budget,
+                    self.sentinel.seed ^ call,
+                    &mut scratch,
+                )
+            } else {
+                match sentinel::scan_nonfinite(c.as_ref()) {
+                    0 => Verdict::Healthy,
+                    count => Verdict::NonFinite { count },
+                }
+            };
+            self.record_check(last, probe_sampled || demoted, &verdict);
+            if verdict.is_healthy() {
+                self.settle(shape, idx, demoted);
+                return Ok(());
+            }
+            idx += 1;
+            demoted = true;
+        }
+    }
+
+    /// Allocate-and-return convenience.
+    pub fn multiply<T: Scalar>(&self, a: MatRef<'_, T>, b: MatRef<'_, T>) -> Mat<T> {
+        let mut c = Mat::zeros(a.rows(), b.cols());
+        self.multiply_into(a, b, c.as_mut());
+        c
+    }
+
+    #[allow(unused_variables)] // `call`, `first_attempt`: fault-inject hooks
+    fn exec_rung<T: Scalar>(
+        &self,
+        idx: usize,
+        a: MatRef<'_, T>,
+        b: MatRef<'_, T>,
+        mut c: MatMut<'_, T>,
+        call: u64,
+        first_attempt: bool,
+    ) {
+        let rung = &self.ladder()[idx];
+        #[cfg(feature = "fault-inject")]
+        let perturbed = first_attempt
+            .then(|| crate::fault::lambda_factor(call))
+            .flatten()
+            .and_then(|factor| match &rung.exec {
+                RungExec::Apa(mm) => Some((**mm).clone().lambda(mm.current_lambda() * factor)),
+                RungExec::Classical(_) => None,
+            });
+        #[cfg(feature = "fault-inject")]
+        let exec: &RungExec = match &perturbed {
+            Some(mm) => {
+                mm.multiply_into(a, b, c.rb());
+                crate::fault::corrupt_output(call, c);
+                return;
+            }
+            None => &rung.exec,
+        };
+        #[cfg(not(feature = "fault-inject"))]
+        let exec = &rung.exec;
+
+        match exec {
+            RungExec::Apa(mm) => mm.multiply_into(a, b, c.rb()),
+            RungExec::Classical(cm) => cm.multiply_into(a, b, c.rb()),
+        }
+        #[cfg(feature = "fault-inject")]
+        if first_attempt {
+            crate::fault::corrupt_output(call, c);
+        }
+    }
+
+    fn record_check(&self, trusted_floor: bool, probed: bool, verdict: &Verdict) {
+        let mut stats = self.stats.lock().unwrap_or_else(PoisonError::into_inner);
+        if trusted_floor {
+            return;
+        }
+        if probed {
+            stats.probes += 1;
+        } else {
+            stats.nonfinite_scans += 1;
+        }
+        match verdict {
+            Verdict::Healthy => {}
+            Verdict::NonFinite { .. } => stats.nonfinite_detected += 1,
+            Verdict::ResidualExceeded { .. } => stats.probe_failures += 1,
+        }
+    }
+
+    /// Commit the call's outcome: final rung, demotion/promotion
+    /// bookkeeping, per-rung call counts.
+    fn settle(&self, shape: (usize, usize, usize), landed: usize, demoted: bool) {
+        let rung_count = self.ladder().len();
+        let mut stats = self.stats.lock().unwrap_or_else(PoisonError::into_inner);
+        stats.calls += 1;
+        if stats.calls_by_rung.len() < rung_count {
+            stats.calls_by_rung.resize(rung_count, 0);
+        }
+        stats.calls_by_rung[landed] += 1;
+
+        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        let s = state.entry(shape).or_default();
+        if demoted {
+            stats.demotions += (landed - s.rung.min(landed)) as u64;
+            s.rung = landed;
+            s.clean = 0;
+            s.backoff = (s.backoff + 1).min(self.policy.max_backoff);
+        } else if s.rung > 0 && self.policy.promote_after > 0 {
+            s.clean += 1;
+            let required = self.policy.promote_after << s.backoff.min(self.policy.max_backoff);
+            if s.clean >= required {
+                s.rung -= 1;
+                s.clean = 0;
+                stats.promotions += 1;
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for GuardedApaMatmul {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("GuardedApaMatmul")
+            .field("base", &self.base)
+            .field("policy", &self.policy)
+            .field("sentinel", &self.sentinel)
+            .field("health", &self.health())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use apa_gemm::matmul_naive;
+
+    fn probe_mat(rows: usize, cols: usize, seed: u64) -> Mat<f32> {
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+        Mat::from_fn(rows, cols, |_, _| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (((state >> 32) as u32 as f64 / (1u64 << 31) as f64) - 1.0) as f32
+        })
+    }
+
+    #[test]
+    fn ladder_shape_for_approximate_rule() {
+        let guard = GuardedApaMatmul::new(catalog::bini322()).steps(2);
+        let rungs = guard.rungs();
+        // 2-step, 1-step, retuned, exact fast, classical.
+        assert_eq!(rungs.len(), 5);
+        assert!(matches!(rungs[0], RungKind::Apa { steps: 2, .. }));
+        assert!(matches!(rungs[1], RungKind::Apa { steps: 1, .. }));
+        assert!(matches!(rungs[2], RungKind::Retuned { .. }));
+        assert_eq!(rungs[3], RungKind::ExactFast);
+        assert_eq!(rungs[4], RungKind::Classical);
+    }
+
+    #[test]
+    fn ladder_shape_for_exact_rule() {
+        let guard = GuardedApaMatmul::new(catalog::strassen());
+        // Retuned and ExactFast are redundant for an exact rule.
+        assert_eq!(
+            guard.rungs(),
+            vec![RungKind::Apa { steps: 1, lambda: 0.0 }, RungKind::Classical]
+        );
+    }
+
+    #[test]
+    fn healthy_calls_stay_on_rung_zero() {
+        let guard = GuardedApaMatmul::new(catalog::bini322());
+        let a = probe_mat(30, 20, 1);
+        let b = probe_mat(20, 22, 2);
+        let expect = matmul_naive(a.as_ref(), b.as_ref());
+        for _ in 0..5 {
+            let c = guard.multiply(a.as_ref(), b.as_ref());
+            assert!(c.rel_frobenius_error(&expect) < 5e-3);
+        }
+        assert_eq!(guard.current_rung(30, 20, 22), Some(0));
+        let h = guard.health();
+        assert_eq!(h.calls, 5);
+        assert_eq!(h.probes, 5);
+        assert_eq!(h.probe_failures, 0);
+        assert_eq!(h.demotions, 0);
+        assert_eq!(h.degraded_calls(), 0);
+    }
+
+    #[test]
+    fn catastrophic_lambda_demotes_and_output_stays_exact_quality() {
+        // λ pinned 2⁸ above the bini322 optimum: rung 0 produces ~9%
+        // error, far past the budget. The ladder must walk down (retuned /
+        // exact / classical are all fine) and the *returned* product must
+        // be good.
+        let guard = GuardedApaMatmul::from_matmul(
+            ApaMatmul::new(catalog::bini322()).lambda(2.0_f64.powf(-11.5) * 256.0),
+        );
+        let a = probe_mat(30, 20, 3);
+        let b = probe_mat(20, 20, 4);
+        let expect = matmul_naive(a.as_ref(), b.as_ref());
+        let c = guard.multiply(a.as_ref(), b.as_ref());
+        let err = c.rel_frobenius_error(&expect);
+        assert!(err < 5e-3, "ladder output err {err}");
+        let h = guard.health();
+        assert!(h.probe_failures >= 1, "{h:?}");
+        assert!(h.demotions >= 1, "{h:?}");
+        let rung = guard.current_rung(30, 20, 20).unwrap();
+        assert!(rung >= 1, "shape should be demoted, rung = {rung}");
+        // Later calls on the same shape start directly on the demoted rung
+        // and are healthy there.
+        let before = guard.health().demotions;
+        let c2 = guard.multiply(a.as_ref(), b.as_ref());
+        assert!(c2.rel_frobenius_error(&expect) < 5e-3);
+        assert_eq!(guard.health().demotions, before, "no re-demotion expected");
+    }
+
+    #[test]
+    fn hysteresis_repromotes_after_clean_streak() {
+        let guard = GuardedApaMatmul::new(catalog::bini322()).policy(DegradePolicy {
+            promote_after: 3,
+            max_backoff: 4,
+        });
+        let a = probe_mat(12, 8, 5);
+        let b = probe_mat(8, 10, 6);
+        // Force a demotion by hand: pretend the shape landed on rung 1.
+        guard.multiply(a.as_ref(), b.as_ref());
+        {
+            let mut state = guard.state.lock().unwrap();
+            let s = state.get_mut(&(12, 8, 10)).unwrap();
+            s.rung = 1;
+            s.backoff = 1; // one prior demotion → streak doubles to 6
+        }
+        for _ in 0..5 {
+            guard.multiply(a.as_ref(), b.as_ref());
+        }
+        assert_eq!(guard.current_rung(12, 8, 10), Some(1), "streak not yet met");
+        guard.multiply(a.as_ref(), b.as_ref());
+        assert_eq!(guard.current_rung(12, 8, 10), Some(0), "6th clean call promotes");
+        assert_eq!(guard.health().promotions, 1);
+    }
+
+    #[test]
+    fn probe_sampling_rate_is_respected() {
+        let guard = GuardedApaMatmul::new(catalog::bini322()).sentinel(SentinelConfig {
+            probe_every: 4,
+            ..SentinelConfig::default()
+        });
+        let a = probe_mat(12, 8, 7);
+        let b = probe_mat(8, 10, 8);
+        for _ in 0..8 {
+            guard.multiply(a.as_ref(), b.as_ref());
+        }
+        let h = guard.health();
+        assert_eq!(h.probes, 2, "{h:?}"); // ticks 0 and 4
+        assert_eq!(h.nonfinite_scans, 6, "{h:?}");
+    }
+
+    #[test]
+    fn shape_mismatch_is_a_typed_error() {
+        let guard = GuardedApaMatmul::new(catalog::strassen());
+        let a = probe_mat(8, 6, 9);
+        let b = probe_mat(7, 8, 10);
+        let mut c = Mat::<f32>::zeros(8, 8);
+        assert_eq!(
+            guard.try_multiply_into(a.as_ref(), b.as_ref(), c.as_mut()),
+            Err(MatmulError::InnerDimMismatch { a: (8, 6), b: (7, 8) })
+        );
+        let b2 = probe_mat(6, 8, 11);
+        let mut bad_c = Mat::<f32>::zeros(8, 9);
+        assert!(matches!(
+            guard.try_multiply_into(a.as_ref(), b2.as_ref(), bad_c.as_mut()),
+            Err(MatmulError::OutputShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn f64_products_are_guarded_too() {
+        let guard = GuardedApaMatmul::new(catalog::bini322());
+        let a = Mat::<f64>::from_fn(12, 8, |i, j| (i as f64 - j as f64) * 0.1);
+        let b = Mat::<f64>::from_fn(8, 10, |i, j| (i as f64 + j as f64) * 0.05);
+        let c = guard.multiply(a.as_ref(), b.as_ref());
+        let expect = matmul_naive(a.as_ref(), b.as_ref());
+        assert!(c.rel_frobenius_error(&expect) < 5e-3);
+    }
+}

@@ -1,0 +1,111 @@
+//! Deterministic fault injection for exercising the degradation ladder
+//! (compiled only with `--features fault-inject`; the production build
+//! carries none of this).
+//!
+//! A test installs a [`FaultPlan`] — a list of (call index, fault kind)
+//! pairs — and the [`crate::fallback::GuardedApaMatmul`] consults it on the
+//! *first* execution attempt of each call: corruptions hit the raw product
+//! buffer after the multiply but before the sentinel sees it, and λ
+//! perturbations replace the rung-0 multiplier for that one call. Retries
+//! on demoted rungs within the same call are never re-faulted, so every
+//! rung of the ladder can be driven deterministically.
+//!
+//! The registry is process-global (the guard has no test-only plumbing);
+//! tests that install plans must serialize on their own lock.
+
+use apa_gemm::{MatMut, Scalar};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, PoisonError};
+
+/// What to do to the victim call.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum FaultKind {
+    /// Scale a small block of the product buffer by `scale` (finite but
+    /// wildly wrong — only the residual probe can catch it).
+    CorruptOutput { scale: f64 },
+    /// Overwrite one product entry with NaN.
+    SeedNan,
+    /// Overwrite one product entry with +Inf.
+    SeedInf,
+    /// Execute the call with λ multiplied by `factor` (e.g. 2⁸ off the
+    /// tuned optimum), modelling a mis-tuned or bit-flipped plan.
+    PerturbLambda { factor: f64 },
+}
+
+/// One scheduled fault.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Fault {
+    /// Guard call index (0-based, as counted by the guard's own counter)
+    /// at which to strike.
+    pub at_call: u64,
+    pub kind: FaultKind,
+}
+
+static PLAN: Mutex<Vec<Fault>> = Mutex::new(Vec::new());
+static INJECTED: AtomicU64 = AtomicU64::new(0);
+
+fn plan() -> std::sync::MutexGuard<'static, Vec<Fault>> {
+    PLAN.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Install a fault plan (replacing any previous one) and reset the
+/// injected-fault counter.
+pub fn install(faults: &[Fault]) {
+    *plan() = faults.to_vec();
+    INJECTED.store(0, Ordering::Relaxed);
+}
+
+/// Remove all scheduled faults.
+pub fn clear() {
+    plan().clear();
+}
+
+/// How many faults have actually been applied since the last `install`.
+pub fn injected_count() -> u64 {
+    INJECTED.load(Ordering::Relaxed)
+}
+
+/// λ multiplier scheduled for `call`, if any.
+pub(crate) fn lambda_factor(call: u64) -> Option<f64> {
+    plan().iter().find_map(|f| match f.kind {
+        FaultKind::PerturbLambda { factor } if f.at_call == call => {
+            INJECTED.fetch_add(1, Ordering::Relaxed);
+            Some(factor)
+        }
+        _ => None,
+    })
+}
+
+/// Apply any buffer faults scheduled for `call` to the freshly computed
+/// product `c`.
+pub(crate) fn corrupt_output<T: Scalar>(call: u64, mut c: MatMut<'_, T>) {
+    let (m, n) = (c.rows(), c.cols());
+    if m == 0 || n == 0 {
+        return;
+    }
+    for f in plan().iter() {
+        if f.at_call != call {
+            continue;
+        }
+        match f.kind {
+            FaultKind::CorruptOutput { scale } => {
+                for i in 0..m.min(4) {
+                    for j in 0..n.min(4) {
+                        let v = c.at(i, j).to_f64() * scale;
+                        c.set(i, j, T::from_f64(v));
+                    }
+                }
+                INJECTED.fetch_add(1, Ordering::Relaxed);
+            }
+            FaultKind::SeedNan => {
+                c.set(m / 2, n / 2, T::from_f64(f64::NAN));
+                INJECTED.fetch_add(1, Ordering::Relaxed);
+            }
+            FaultKind::SeedInf => {
+                c.set(0, n - 1, T::from_f64(f64::INFINITY));
+                INJECTED.fetch_add(1, Ordering::Relaxed);
+            }
+            FaultKind::PerturbLambda { .. } => {} // handled pre-execution
+        }
+    }
+}

@@ -17,13 +17,25 @@
 //! * [`error`] — relative-Frobenius error measurement against the f64
 //!   classical reference;
 //! * [`apamm`] — the configured [`ApaMatmul`] front end plus the
-//!   [`ClassicalMatmul`] baseline wrapper.
+//!   [`ClassicalMatmul`] baseline wrapper;
+//! * [`sentinel`] — the numerical-health sentinel: a fused non-finite
+//!   scan plus a sampled Freivalds residual probe checked against the
+//!   error-model budget;
+//! * [`fallback`] — [`GuardedApaMatmul`]: graceful degradation from the
+//!   configured APA rule down to exact classical gemm, with per-shape
+//!   hysteresis;
+//! * [`fault`] (only with `--features fault-inject`) — deterministic
+//!   fault injection for exercising the degradation ladder.
 
 pub mod apamm;
 pub mod autotune;
 pub mod error;
 pub mod exec;
+pub mod fallback;
+#[cfg(feature = "fault-inject")]
+pub mod fault;
 pub mod peel;
+pub mod sentinel;
 pub mod plan;
 pub mod schedule;
 pub mod stats;
@@ -32,7 +44,8 @@ pub mod workspace;
 
 pub use apamm::{ApaChain, ApaMatmul, ClassicalMatmul};
 pub use autotune::{autotune, autotune_with, Candidate, TuneOutcome};
-pub use error::measure_error;
+pub use error::{measure_error, MatmulError};
+pub use fallback::{DegradePolicy, GuardedApaMatmul, RungKind};
 pub use exec::{fast_matmul, fast_matmul_chain_into, fast_matmul_into};
 pub use peel::{
     fast_matmul_any_into, fast_matmul_any_into_ws, fast_matmul_chain_any_into,
@@ -40,6 +53,7 @@ pub use peel::{
 };
 pub use plan::{Combo, ExecPlan};
 pub use schedule::{bfs_schedule, effective_strategy, hybrid_schedule, HybridSchedule, Strategy};
-pub use stats::{profile_one_step, profile_one_step_with_workspace, ExecProfile};
+pub use sentinel::{check_product, scan_nonfinite, ProbeScratch, SentinelConfig, Verdict};
+pub use stats::{profile_one_step, profile_one_step_with_workspace, ExecProfile, HealthStats};
 pub use tune::{tune_lambda, TunedLambda};
 pub use workspace::{LevelKey, Workspace, WsKey};

@@ -61,6 +61,40 @@ impl ExecProfile {
     }
 }
 
+/// Aggregate counters of the numerical-health sentinel and the
+/// degradation ladder (see [`crate::fallback::GuardedApaMatmul`]): how
+/// often products were probed, what the probes found, and every
+/// demotion/promotion transition the policy took. Snapshot via
+/// [`crate::fallback::GuardedApaMatmul::health`].
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct HealthStats {
+    /// Guarded multiplications served.
+    pub calls: u64,
+    /// Freivalds residual probes executed (sampled calls plus every
+    /// post-demotion re-check).
+    pub probes: u64,
+    /// Probes whose residual exceeded the error-model budget.
+    pub probe_failures: u64,
+    /// Standalone non-finite scans (calls where the probe was skipped).
+    pub nonfinite_scans: u64,
+    /// Checks (fused or standalone) that found NaN/Inf in the product.
+    pub nonfinite_detected: u64,
+    /// Ladder transitions to a lower rung.
+    pub demotions: u64,
+    /// Hysteresis re-promotions after a clean streak.
+    pub promotions: u64,
+    /// Calls whose *final* (accepted) execution ran on each rung,
+    /// indexed like [`crate::fallback::GuardedApaMatmul::rungs`].
+    pub calls_by_rung: Vec<u64>,
+}
+
+impl HealthStats {
+    /// Calls that ended on a rung below the primary configuration.
+    pub fn degraded_calls(&self) -> u64 {
+        self.calls_by_rung.iter().skip(1).sum()
+    }
+}
+
 /// Sequential, instrumented one-step execution. Dimensions must divide the
 /// plan's base dims. Returns the product and the profile. Buffers are
 /// allocated for this call; [`profile_one_step_with_workspace`] is the

@@ -12,7 +12,7 @@
 
 use apa_core::catalog;
 use apa_gemm::{allocation_counters, Mat};
-use apa_matmul::{ApaMatmul, PeelMode, Strategy};
+use apa_matmul::{ApaMatmul, GuardedApaMatmul, PeelMode, SentinelConfig, Strategy};
 
 #[global_allocator]
 static ALLOC: apa_gemm::CountingAlloc = apa_gemm::CountingAlloc;
@@ -112,4 +112,98 @@ fn explicit_workspace_calls_do_not_allocate() {
     let delta = allocation_counters().since(before);
     assert_eq!(delta.calls, 0, "explicit workspace path allocated");
     assert_eq!(ws.runs(), 6);
+}
+
+/// Mirrors the (private) `WS_CACHE_CAP` in `apamm.rs` — the churn test
+/// below fails loudly if the two drift apart in the unbounded direction.
+const CACHE_CAP: usize = 8;
+
+#[test]
+fn shape_churn_keeps_workspace_cache_bounded() {
+    let mm = ApaMatmul::new(catalog::by_name("bini322").unwrap())
+        .strategy(Strategy::Seq)
+        .threads(1);
+    // Many more distinct shapes than the cache holds — every one past the
+    // cap must evict the oldest entry instead of growing the cache.
+    for i in 0..3 * CACHE_CAP {
+        let (m, k, n) = (10 + i, 8 + i, 12 + i);
+        let a = probe(m, k, (2 * i) as u64 + 1);
+        let b = probe(k, n, (2 * i) as u64 + 2);
+        let mut c = Mat::zeros(m, n);
+        mm.multiply_into(a.as_ref(), b.as_ref(), c.as_mut());
+        assert!(
+            mm.cached_workspaces() <= CACHE_CAP,
+            "cache grew to {} entries after {} distinct shapes",
+            mm.cached_workspaces(),
+            i + 1
+        );
+    }
+    assert_eq!(mm.cached_workspaces(), CACHE_CAP);
+}
+
+#[test]
+fn evicted_then_rebuilt_workspace_is_bit_identical_to_uncached() {
+    let mm = ApaMatmul::new(catalog::by_name("bini322").unwrap())
+        .strategy(Strategy::Seq)
+        .threads(1);
+    let a = probe(37, 29, 21);
+    let b = probe(29, 33, 22);
+    let mut c_first = Mat::zeros(37, 33);
+    mm.multiply_into(a.as_ref(), b.as_ref(), c_first.as_mut());
+
+    // Churn the cache until the (37, 29, 33) workspace has been evicted.
+    for i in 0..2 * CACHE_CAP {
+        let (m, k, n) = (11 + i, 9 + i, 13 + i);
+        let xa = probe(m, k, (2 * i) as u64 + 51);
+        let xb = probe(k, n, (2 * i) as u64 + 52);
+        let mut xc = Mat::zeros(m, n);
+        mm.multiply_into(xa.as_ref(), xb.as_ref(), xc.as_mut());
+    }
+
+    // Rebuilt-from-scratch cached call and the uncached path must both
+    // reproduce the original product bit for bit.
+    let mut c_rebuilt = Mat::zeros(37, 33);
+    mm.multiply_into(a.as_ref(), b.as_ref(), c_rebuilt.as_mut());
+    let mut c_uncached = Mat::zeros(37, 33);
+    mm.multiply_into_uncached(a.as_ref(), b.as_ref(), c_uncached.as_mut());
+    for i in 0..37 {
+        for j in 0..33 {
+            assert_eq!(c_first.at(i, j).to_bits(), c_rebuilt.at(i, j).to_bits());
+            assert_eq!(c_first.at(i, j).to_bits(), c_uncached.at(i, j).to_bits());
+        }
+    }
+}
+
+#[test]
+fn warm_guarded_multiplication_does_not_allocate() {
+    // The sentinel's probe scratch is grow-only and the ladder is built
+    // once, so a warm guarded multiply — probe included on every call —
+    // must preserve the engine's zero-allocation invariant.
+    let guard = GuardedApaMatmul::new(catalog::by_name("bini322").unwrap())
+        .strategy(Strategy::Seq)
+        .threads(1)
+        .sentinel(SentinelConfig {
+            probe_every: 1,
+            ..SentinelConfig::default()
+        });
+    let a = probe(40, 28, 31);
+    let b = probe(28, 34, 32);
+    let mut c = Mat::zeros(40, 34);
+    // Warm: ladder + workspace on the first call, gemm pack buffers and
+    // probe scratch at their high-water mark by the second.
+    guard.multiply_into(a.as_ref(), b.as_ref(), c.as_mut());
+    guard.multiply_into(a.as_ref(), b.as_ref(), c.as_mut());
+
+    let before = allocation_counters();
+    let rounds = 5;
+    for _ in 0..rounds {
+        guard.multiply_into(a.as_ref(), b.as_ref(), c.as_mut());
+    }
+    let delta = allocation_counters().since(before);
+    assert_eq!(
+        delta.calls, 0,
+        "guarded path: {} allocations ({} bytes) across {rounds} warm calls",
+        delta.calls, delta.bytes
+    );
+    assert_eq!(guard.health().calls, 7);
 }

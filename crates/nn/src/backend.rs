@@ -7,7 +7,9 @@
 
 use apa_core::BilinearAlgorithm;
 use apa_gemm::{Mat, MatMut, MatRef};
-use apa_matmul::{ApaMatmul, ClassicalMatmul, PeelMode, Strategy};
+use apa_matmul::{
+    ApaMatmul, ClassicalMatmul, GuardedApaMatmul, HealthStats, PeelMode, Strategy,
+};
 use std::sync::Arc;
 
 /// A matrix-multiplication provider used by network layers. All NN compute
@@ -115,6 +117,61 @@ impl MatmulBackend for ApaBackend {
     }
 }
 
+/// An APA backend wrapped in the numerical-health sentinel and the
+/// graceful-degradation ladder of [`apa_matmul::fallback`]: every layer
+/// multiplication is scanned for non-finite values (and residual-probed at
+/// the sentinel's sampling rate), and a violating product is transparently
+/// recomputed on a more conservative rung — down to exact classical gemm —
+/// before the layer ever sees it.
+pub struct GuardedBackend {
+    inner: GuardedApaMatmul,
+}
+
+impl GuardedBackend {
+    /// Same execution defaults as [`ApaBackend::new`], guarded.
+    pub fn new(alg: BilinearAlgorithm, threads: usize) -> Self {
+        Self {
+            inner: GuardedApaMatmul::from_matmul(
+                ApaMatmul::new(alg)
+                    .steps(1)
+                    .strategy(Strategy::Hybrid)
+                    .threads(threads)
+                    .peel_mode(PeelMode::Dynamic),
+            ),
+        }
+    }
+
+    /// Full control over the guard (policy, sentinel config, base
+    /// multiplier).
+    pub fn from_guard(inner: GuardedApaMatmul) -> Self {
+        Self { inner }
+    }
+
+    pub fn guard(&self) -> &GuardedApaMatmul {
+        &self.inner
+    }
+
+    /// Sentinel/ladder counters accumulated over all layer matmuls routed
+    /// through this backend.
+    pub fn health(&self) -> HealthStats {
+        self.inner.health()
+    }
+}
+
+impl MatmulBackend for GuardedBackend {
+    fn matmul_into(&self, a: MatRef<'_, f32>, b: MatRef<'_, f32>, c: MatMut<'_, f32>) {
+        self.inner.multiply_into(a, b, c);
+    }
+
+    fn name(&self) -> String {
+        format!(
+            "guarded-{}(t={})",
+            self.inner.base().algorithm().name,
+            self.inner.base().current_threads()
+        )
+    }
+}
+
 /// Shared-pointer alias used throughout the network code.
 pub type Backend = Arc<dyn MatmulBackend>;
 
@@ -125,6 +182,13 @@ pub fn classical(threads: usize) -> Backend {
 
 pub fn apa(alg: BilinearAlgorithm, threads: usize) -> Backend {
     Arc::new(ApaBackend::new(alg, threads))
+}
+
+/// Sentinel-guarded APA backend (see [`GuardedBackend`]). Returns the
+/// concrete `Arc` so callers can keep a handle for [`GuardedBackend::health`]
+/// while handing clones to layers as `Backend`.
+pub fn guarded(alg: BilinearAlgorithm, threads: usize) -> Arc<GuardedBackend> {
+    Arc::new(GuardedBackend::new(alg, threads))
 }
 
 #[cfg(test)]
@@ -169,5 +233,19 @@ mod tests {
     fn names_are_informative() {
         assert!(classical(6).name().contains("classical"));
         assert!(apa(catalog::bini322(), 2).name().contains("bini322"));
+        assert!(guarded(catalog::bini322(), 2).name().contains("guarded-bini322"));
+    }
+
+    #[test]
+    fn guarded_backend_is_accurate_and_counts_calls() {
+        let a = probe(30, 30, 5);
+        let b = probe(30, 30, 6);
+        let expect = matmul_naive(a.as_ref(), b.as_ref());
+        let be = guarded(catalog::bini322(), 1);
+        let got = be.matmul(a.as_ref(), b.as_ref());
+        assert!(got.rel_frobenius_error(&expect) < 5e-3);
+        let h = be.health();
+        assert_eq!(h.calls, 1);
+        assert_eq!(h.degraded_calls(), 0);
     }
 }

@@ -85,6 +85,13 @@ impl Dense {
         self.backend.name()
     }
 
+    /// Shared handle to the layer's current backend — used by the
+    /// fallback-rerun path in [`crate::net::Mlp::train_batch`] to restore
+    /// the original backends after a demoted step.
+    pub fn backend(&self) -> Backend {
+        self.backend.clone()
+    }
+
     /// Swap the matmul backend (e.g. classical → APA) without touching the
     /// weights — used by the experiment harnesses to compare algorithms on
     /// identical networks.

@@ -30,7 +30,9 @@ pub mod optimizer;
 pub mod tensor;
 pub mod vgg;
 
-pub use backend::{apa, classical, ApaBackend, Backend, ClassicalBackend, MatmulBackend};
+pub use backend::{
+    apa, classical, guarded, ApaBackend, Backend, ClassicalBackend, GuardedBackend, MatmulBackend,
+};
 pub use cnn::SimpleCnn;
 pub use conv::{col2im, conv2d_direct, im2col, Conv2d, Conv2dConfig, ConvShape};
 pub use data::{load_mnist_idx, synthetic_mnist, synthetic_mnist_split, Dataset};

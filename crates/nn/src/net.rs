@@ -7,6 +7,10 @@ use crate::layer::{Activation, Dense};
 use crate::loss::{accuracy, softmax_cross_entropy};
 use apa_gemm::Mat;
 
+fn finite_mat(m: &Mat<f32>) -> bool {
+    m.as_slice().iter().all(|v| v.is_finite())
+}
+
 /// Per-epoch training record.
 #[derive(Clone, Debug)]
 pub struct EpochStats {
@@ -16,11 +20,19 @@ pub struct EpochStats {
     /// Wall-clock seconds spent in forward+backward+update (excludes
     /// shuffling and metric evaluation).
     pub seconds: f64,
+    /// Batches this epoch whose step produced a non-finite loss or
+    /// gradient and was re-run wholesale on the fallback backend (always 0
+    /// when no fallback is configured).
+    pub degraded_batches: u64,
 }
 
 /// A feed-forward network of dense layers.
 pub struct Mlp {
     pub layers: Vec<Dense>,
+    /// Trusted backend for re-running a batch whose step went non-finite
+    /// (see [`Self::with_fallback`]).
+    fallback: Option<Backend>,
+    degraded_batches: u64,
 }
 
 impl Mlp {
@@ -51,7 +63,28 @@ impl Mlp {
                 )
             })
             .collect();
-        Self { layers }
+        Self {
+            layers,
+            fallback: None,
+            degraded_batches: 0,
+        }
+    }
+
+    /// Install a trusted fallback backend (typically
+    /// [`crate::backend::classical`]). When set, [`Self::train_batch`]
+    /// detects a non-finite loss, logits or gradient, discards the
+    /// poisoned step, re-runs the whole batch with every layer temporarily
+    /// on the fallback, and records the event — so one corrupted
+    /// multiplication costs one recomputed batch instead of a diverged
+    /// run.
+    pub fn with_fallback(mut self, fallback: Backend) -> Self {
+        self.fallback = Some(fallback);
+        self
+    }
+
+    /// Total batches ever re-run on the fallback backend.
+    pub fn degraded_batches(&self) -> u64 {
+        self.degraded_batches
     }
 
     /// Layer widths including input: `[in, h1, …, out]`.
@@ -97,11 +130,58 @@ impl Mlp {
     }
 
     /// One SGD step on a single batch; returns (loss, batch accuracy).
+    ///
+    /// With a fallback installed ([`Self::with_fallback`]), the step is
+    /// health-checked at two points: after the loss (non-finite loss,
+    /// logits or loss gradient) and after backpropagation (non-finite
+    /// weight/bias gradients). Either trips a wholesale re-run of the
+    /// batch on the fallback backend **before** any weight is touched, so
+    /// the parameters never absorb a poisoned update.
     pub fn train_batch(&mut self, x: &Mat<f32>, labels: &[u8], lr: f32) -> (f32, f64) {
+        let logits = self.forward(x);
+        let (loss, grad) = softmax_cross_entropy(&logits, labels);
+        if self.fallback.is_some()
+            && (!loss.is_finite() || !finite_mat(&logits) || !finite_mat(&grad))
+        {
+            return self.redo_batch_on_fallback(x, labels, lr);
+        }
+        let acc = accuracy(&logits, labels);
+        self.backward_only(&grad);
+        if self.fallback.is_some() && !self.grads_finite() {
+            return self.redo_batch_on_fallback(x, labels, lr);
+        }
+        for layer in &mut self.layers {
+            layer.apply_sgd(lr);
+        }
+        (loss, acc)
+    }
+
+    fn grads_finite(&self) -> bool {
+        self.layers.iter().all(|l| {
+            l.grad_w.as_ref().is_none_or(finite_mat)
+                && l.grad_b
+                    .as_ref()
+                    .is_none_or(|g| g.iter().all(|v| v.is_finite()))
+        })
+    }
+
+    /// Discard the poisoned step and redo the whole batch — forward, loss
+    /// and update — with every layer on the fallback backend, then restore
+    /// the original backends.
+    fn redo_batch_on_fallback(&mut self, x: &Mat<f32>, labels: &[u8], lr: f32) -> (f32, f64) {
+        let fallback = self.fallback.clone().expect("fallback required");
+        let originals: Vec<Backend> = self.layers.iter().map(|l| l.backend()).collect();
+        for layer in &mut self.layers {
+            layer.set_backend(fallback.clone());
+        }
         let logits = self.forward(x);
         let (loss, grad) = softmax_cross_entropy(&logits, labels);
         let acc = accuracy(&logits, labels);
         self.backward_and_step(&grad, lr);
+        for (layer, backend) in self.layers.iter_mut().zip(originals) {
+            layer.set_backend(backend);
+        }
+        self.degraded_batches += 1;
         (loss, acc)
     }
 
@@ -115,6 +195,7 @@ impl Mlp {
         epoch: usize,
     ) -> EpochStats {
         let order = data.shuffled_indices(0xABCD_EF01u64.wrapping_add(epoch as u64));
+        let degraded_before = self.degraded_batches;
         let mut total_loss = 0.0f64;
         let mut total_correct = 0.0f64;
         let mut batches = 0usize;
@@ -136,6 +217,7 @@ impl Mlp {
             loss: (total_loss / batches.max(1) as f64) as f32,
             train_accuracy: total_correct / batches.max(1) as f64,
             seconds,
+            degraded_batches: self.degraded_batches - degraded_before,
         }
     }
 
@@ -246,5 +328,72 @@ mod tests {
     #[should_panic(expected = "one backend per dense layer")]
     fn backend_count_is_enforced() {
         let _ = Mlp::new(&[4, 4, 4], vec![classical(1)], 0);
+    }
+
+    /// Delegates to an inner (exact) backend but poisons one chosen
+    /// matmul call with a NaN — models a transient numerical fault inside
+    /// a layer multiplication.
+    struct FaultyBackend {
+        inner: Backend,
+        poison_call: u64,
+        calls: std::sync::atomic::AtomicU64,
+    }
+
+    impl crate::backend::MatmulBackend for FaultyBackend {
+        fn matmul_into(
+            &self,
+            a: apa_gemm::MatRef<'_, f32>,
+            b: apa_gemm::MatRef<'_, f32>,
+            mut c: apa_gemm::MatMut<'_, f32>,
+        ) {
+            self.inner.matmul_into(a, b, c.rb());
+            let call = self
+                .calls
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            if call == self.poison_call {
+                c.set(0, 0, f32::NAN);
+            }
+        }
+
+        fn name(&self) -> String {
+            format!("faulty({})", self.inner.name())
+        }
+    }
+
+    #[test]
+    fn fallback_rerun_recovers_poisoned_batch_exactly() {
+        // Each batch issues 6 backend calls (2 forward, 4 backward), so
+        // call 7 poisons a *forward* product of batch 1 (caught by the
+        // non-finite loss check) and call 10 poisons a *weight gradient*
+        // of batch 1 (caught by the gradient check). Either way the batch
+        // must be re-run on the exact fallback before any weight update,
+        // leaving the trajectory bitwise identical to a fault-free run.
+        let data = toy_dataset(200);
+        let mut clean = toy_mlp();
+        for e in 0..5 {
+            let stats = clean.train_epoch(&data, 20, 0.1, e);
+            assert_eq!(stats.degraded_batches, 0, "no fallback configured");
+        }
+        let acc_clean = clean.evaluate(&data, 50);
+
+        for poison_call in [7u64, 10u64] {
+            let faulty: Backend = std::sync::Arc::new(FaultyBackend {
+                inner: classical(1),
+                poison_call,
+                calls: std::sync::atomic::AtomicU64::new(0),
+            });
+            let mut net = Mlp::new(&[8, 16, 2], vec![faulty.clone(), faulty], 7)
+                .with_fallback(classical(1));
+            let mut per_epoch = 0u64;
+            for e in 0..5 {
+                per_epoch += net.train_epoch(&data, 20, 0.1, e).degraded_batches;
+            }
+            assert_eq!(net.degraded_batches(), 1, "exactly one batch re-run");
+            assert_eq!(per_epoch, 1, "EpochStats must surface the event");
+            for (lc, lf) in clean.layers.iter().zip(&net.layers) {
+                assert_eq!(lc.w, lf.w, "recovered weights must match fault-free run");
+            }
+            assert_eq!(net.evaluate(&data, 50), acc_clean);
+        }
     }
 }

@@ -4,8 +4,9 @@
 use apa_core::catalog;
 use apa_gemm::Mat;
 use apa_nn::{
-    accuracy, apa, classical, im2col, softmax_cross_entropy, synthetic_mnist_split, Activation,
-    Conv2d, Conv2dConfig, ConvShape, Dense, Mlp, Optimizer, SgdConfig,
+    accuracy, apa, classical, guarded, im2col, softmax_cross_entropy, synthetic_mnist_split,
+    Activation, Backend, Conv2d, Conv2dConfig, ConvShape, Dense, MatmulBackend, Mlp, Optimizer,
+    SgdConfig,
 };
 
 #[test]
@@ -109,6 +110,96 @@ fn im2col_patch_count_matches_formula() {
     let p = im2col(&x, shape, &cfg);
     assert_eq!(p.rows(), shape.n * oh * ow);
     assert_eq!(p.cols(), cfg.patch_len());
+}
+
+/// Delegates to an exact inner backend but poisons one chosen call with a
+/// NaN — a transient numerical fault striking mid-training.
+struct FaultyBackend {
+    inner: Backend,
+    poison_call: u64,
+    calls: std::sync::atomic::AtomicU64,
+}
+
+impl MatmulBackend for FaultyBackend {
+    fn matmul_into(
+        &self,
+        a: apa_gemm::MatRef<'_, f32>,
+        b: apa_gemm::MatRef<'_, f32>,
+        mut c: apa_gemm::MatMut<'_, f32>,
+    ) {
+        self.inner.matmul_into(a, b, c.rb());
+        if self
+            .calls
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+            == self.poison_call
+        {
+            c.set(0, 0, f32::NAN);
+        }
+    }
+
+    fn name(&self) -> String {
+        format!("faulty({})", self.inner.name())
+    }
+}
+
+#[test]
+fn mnist_recovers_from_mid_epoch_fault() {
+    // ISSUE acceptance: a synthetic-MNIST run with a fault injected
+    // mid-epoch must converge within 0.5% of the fault-free accuracy.
+    // With the fallback installed, the poisoned batch is re-run before any
+    // weight update, so the trajectory matches the fault-free run exactly.
+    let (train, test) = synthetic_mnist_split(1000, 200, 0x42);
+    let epochs = 6;
+
+    let mut net_clean = Mlp::new(&[784, 64, 10], vec![classical(1); 2], 11);
+    for e in 0..epochs {
+        net_clean.train_epoch(&train, 100, 0.1, e);
+    }
+    let acc_clean = net_clean.evaluate(&test, 200);
+    assert!(acc_clean > 0.7, "fault-free baseline accuracy {acc_clean}");
+
+    // 10 batches/epoch × 6 backend calls/batch = 60 calls per epoch; call
+    // 93 strikes a gradient multiplication midway through epoch 2.
+    let faulty: Backend = std::sync::Arc::new(FaultyBackend {
+        inner: classical(1),
+        poison_call: 93,
+        calls: std::sync::atomic::AtomicU64::new(0),
+    });
+    let mut net_faulted = Mlp::new(&[784, 64, 10], vec![faulty.clone(), faulty], 11)
+        .with_fallback(classical(1));
+    let mut degraded = 0;
+    for e in 0..epochs {
+        degraded += net_faulted.train_epoch(&train, 100, 0.1, e).degraded_batches;
+    }
+    assert_eq!(degraded, 1, "exactly one batch must be re-run on fallback");
+    let acc_faulted = net_faulted.evaluate(&test, 200);
+    assert!(
+        (acc_clean - acc_faulted).abs() <= 0.005,
+        "faulted run must converge within 0.5%: clean {acc_clean}, faulted {acc_faulted}"
+    );
+}
+
+#[test]
+fn guarded_backend_trains_like_plain_apa() {
+    // The sentinel-guarded APA backend must train a real (small) MNIST
+    // model without spurious demotions — healthy training traffic stays on
+    // rung 0 and reaches the same accuracy regime as unguarded APA.
+    let (train, test) = synthetic_mnist_split(1000, 200, 0x17);
+    let backend = guarded(catalog::bini322(), 1);
+    let mut net = Mlp::new(
+        &[784, 64, 10],
+        vec![backend.clone() as Backend, backend.clone() as Backend],
+        23,
+    );
+    for e in 0..4 {
+        net.train_epoch(&train, 100, 0.1, e);
+    }
+    let acc = net.evaluate(&test, 200);
+    assert!(acc > 0.6, "guarded APA training accuracy {acc}");
+    let h = backend.health();
+    assert!(h.calls > 0);
+    assert_eq!(h.demotions, 0, "healthy training must not demote: {h:?}");
+    assert_eq!(h.degraded_calls(), 0, "{h:?}");
 }
 
 #[test]

@@ -16,7 +16,13 @@ cargo build --release
 echo "== tier1: cargo test =="
 cargo test -q
 
+echo "== tier1: cargo test -p apa-matmul --features fault-inject =="
+cargo test -q -p apa-matmul --features fault-inject
+
 echo "== tier1: cargo clippy (deny warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== tier1: cargo clippy -p apa-matmul --features fault-inject (deny warnings) =="
+cargo clippy -p apa-matmul --all-targets --features fault-inject -- -D warnings
 
 echo "== tier1: OK =="
