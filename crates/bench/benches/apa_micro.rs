@@ -19,7 +19,9 @@ fn probe(n: usize, seed: u64) -> Mat<f32> {
 
 fn bench_apa_vs_classical(c: &mut Criterion) {
     let mut group = c.benchmark_group("apa_one_step");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     let n = 768; // divisible by 2, 3, 4 — every base shape gets its fast path
     let a = probe(n, 1);
     let b = probe(n, 2);
@@ -39,7 +41,9 @@ fn bench_apa_vs_classical(c: &mut Criterion) {
 
 fn bench_plan_compile(c: &mut Criterion) {
     let mut group = c.benchmark_group("plan_compile");
-    group.sample_size(20).measurement_time(Duration::from_secs(1));
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(1));
     for name in ["bini322", "fast444", "fast555"] {
         let alg = catalog::by_name(name).unwrap();
         group.bench_with_input(BenchmarkId::new("compile", name), &name, |bench, _| {

@@ -17,7 +17,9 @@ fn probe(n: usize, seed: u64) -> Mat<f32> {
 
 fn bench_gemm(c: &mut Criterion) {
     let mut group = c.benchmark_group("gemm");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
     for &n in &[128usize, 256, 512] {
         let a = probe(n, 1);
         let b = probe(n, 2);
@@ -36,7 +38,9 @@ fn bench_gemm(c: &mut Criterion) {
 
 fn bench_combine(c: &mut Criterion) {
     let mut group = c.benchmark_group("combine");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
     let n = 512;
     let srcs: Vec<Mat<f32>> = (0..4).map(|s| probe(n, s + 10)).collect();
     let terms: Vec<(f32, _)> = srcs.iter().map(|m| (0.5f32, m.as_ref())).collect();

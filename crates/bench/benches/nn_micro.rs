@@ -21,7 +21,9 @@ fn batch(rows: usize, cols: usize) -> (Mat<f32>, Vec<u8>) {
 
 fn bench_train_batch(c: &mut Criterion) {
     let mut group = c.benchmark_group("mlp_train_batch");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     let (x, labels) = batch(300, 784);
 
     let configs: Vec<(&str, Backend)> = vec![

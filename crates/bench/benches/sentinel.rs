@@ -53,9 +53,13 @@ fn bench_sentinel_overhead(c: &mut Criterion) {
                 ..SentinelConfig::default()
             });
         probed.multiply_into(a.as_ref(), b.as_ref(), out.as_mut());
-        group.bench_with_input(BenchmarkId::new("guarded_probe_every_call", n), &n, |bench, _| {
-            bench.iter(|| probed.multiply_into(a.as_ref(), b.as_ref(), out.as_mut()));
-        });
+        group.bench_with_input(
+            BenchmarkId::new("guarded_probe_every_call", n),
+            &n,
+            |bench, _| {
+                bench.iter(|| probed.multiply_into(a.as_ref(), b.as_ref(), out.as_mut()));
+            },
+        );
 
         // Non-finite scan only — the cheapest guarded setting.
         let scanned = GuardedApaMatmul::new(catalog::by_name("fast444").unwrap())

@@ -7,8 +7,8 @@
 //! the allocation ablation table in EXPERIMENTS.md.
 
 use apa_core::catalog;
-use apa_matmul::{ApaMatmul, Strategy};
 use apa_gemm::Mat;
+use apa_matmul::{ApaMatmul, Strategy};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::time::Duration;
 

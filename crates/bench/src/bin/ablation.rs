@@ -50,7 +50,11 @@ fn main() {
             &["variant", "seconds", "vs write-once"],
             &[
                 vec!["write-once".into(), format!("{t_wo:.4}"), "1.00".into()],
-                vec!["chained AXPY".into(), format!("{t_ax:.4}"), format!("{:.2}", t_ax / t_wo)],
+                vec![
+                    "chained AXPY".into(),
+                    format!("{t_ax:.4}"),
+                    format!("{:.2}", t_ax / t_wo),
+                ],
             ],
         );
         println!();
@@ -69,14 +73,28 @@ fn main() {
         let alg = catalog::fast444();
         let peel = ApaMatmul::new(alg.clone()).peel_mode(PeelMode::Dynamic);
         let pad = ApaMatmul::new(alg).peel_mode(PeelMode::Pad);
-        let t_peel = time_min(|| peel.multiply_into(ao.as_ref(), bo.as_ref(), co.as_mut()), reps);
-        let t_pad = time_min(|| pad.multiply_into(ao.as_ref(), bo.as_ref(), co.as_mut()), reps);
+        let t_peel = time_min(
+            || peel.multiply_into(ao.as_ref(), bo.as_ref(), co.as_mut()),
+            reps,
+        );
+        let t_pad = time_min(
+            || pad.multiply_into(ao.as_ref(), bo.as_ref(), co.as_mut()),
+            reps,
+        );
         println!("2) indivisible dims (fast444 at n={n_odd}):");
         print_table(
             &["variant", "seconds", "vs peeling"],
             &[
-                vec!["dynamic peeling".into(), format!("{t_peel:.4}"), "1.00".into()],
-                vec!["zero padding".into(), format!("{t_pad:.4}"), format!("{:.2}", t_pad / t_peel)],
+                vec![
+                    "dynamic peeling".into(),
+                    format!("{t_peel:.4}"),
+                    "1.00".into(),
+                ],
+                vec![
+                    "zero padding".into(),
+                    format!("{t_pad:.4}"),
+                    format!("{:.2}", t_pad / t_peel),
+                ],
             ],
         );
         println!();
@@ -95,7 +113,10 @@ fn main() {
             let mm = ApaMatmul::new(catalog::bini322())
                 .strategy(strategy)
                 .threads(threads);
-            let t = time_min(|| mm.multiply_into(a.as_ref(), b.as_ref(), c.as_mut()), reps);
+            let t = time_min(
+                || mm.multiply_into(a.as_ref(), b.as_ref(), c.as_mut()),
+                reps,
+            );
             rows.push(vec![label.to_string(), format!("{t:.4}")]);
         }
         print_table(&["strategy", "seconds"], &rows);
@@ -108,7 +129,10 @@ fn main() {
         let mut rows = Vec::new();
         for steps in [0u32, 1, 2] {
             let mm = ApaMatmul::new(catalog::strassen()).steps(steps);
-            let t = time_min(|| mm.multiply_into(a.as_ref(), b.as_ref(), c.as_mut()), reps);
+            let t = time_min(
+                || mm.multiply_into(a.as_ref(), b.as_ref(), c.as_mut()),
+                reps,
+            );
             rows.push(vec![format!("{steps} step(s)"), format!("{t:.4}")]);
         }
         print_table(&["config", "seconds"], &rows);
@@ -141,15 +165,29 @@ fn main() {
         println!("6) exact vs APA at equal rank (<4,2,2>, rank 14):");
         let exact = ApaMatmul::new(catalog::fast422());
         let apa = ApaMatmul::new(catalog::apa422());
-        let t_e = time_min(|| exact.multiply_into(a.as_ref(), b.as_ref(), c.as_mut()), reps);
-        let t_a = time_min(|| apa.multiply_into(a.as_ref(), b.as_ref(), c.as_mut()), reps);
+        let t_e = time_min(
+            || exact.multiply_into(a.as_ref(), b.as_ref(), c.as_mut()),
+            reps,
+        );
+        let t_a = time_min(
+            || apa.multiply_into(a.as_ref(), b.as_ref(), c.as_mut()),
+            reps,
+        );
         let e_e = measure_error(&catalog::fast422(), 0.0, 240, 1, 77);
         let e_a = measure_error(&catalog::apa422(), 2.0f64.powf(-11.5), 240, 1, 77);
         print_table(
             &["variant", "seconds", "rel error"],
             &[
-                vec!["fast422 (exact)".into(), format!("{t_e:.4}"), format!("{e_e:.1e}")],
-                vec!["apa422 (APA)".into(), format!("{t_a:.4}"), format!("{e_a:.1e}")],
+                vec![
+                    "fast422 (exact)".into(),
+                    format!("{t_e:.4}"),
+                    format!("{e_e:.1e}"),
+                ],
+                vec![
+                    "apa422 (APA)".into(),
+                    format!("{t_a:.4}"),
+                    format!("{e_a:.1e}"),
+                ],
             ],
         );
         println!("   expected: similar time (same rank); APA pays ~sqrt(eps) error,");

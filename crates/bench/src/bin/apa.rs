@@ -29,7 +29,9 @@ fn main() {
         Some("render") => cmd_render(&args[1..]),
         Some("autotune") => cmd_autotune(&args[1..]),
         _ => {
-            eprintln!("usage: apa <list|validate|convert|derive|schedule|time|error|render|autotune> ...");
+            eprintln!(
+                "usage: apa <list|validate|convert|derive|schedule|time|error|render|autotune> ..."
+            );
             eprintln!("  list                      catalog inventory");
             eprintln!("  validate <file>           Brent-validate an algorithm file");
             eprintln!("  convert <in> <out>        convert .txt <-> .json");
@@ -64,7 +66,10 @@ fn cmd_autotune(args: &[String]) -> i32 {
     let outcome = apa_matmul::autotune(n, threads, 1536);
     println!("race at n = {n}, threads = {threads} (probe dim <= 1536):");
     for c in &outcome.candidates {
-        println!("  {:12} {:.4}s  ({:.3}x classical)", c.name, c.seconds, c.relative);
+        println!(
+            "  {:12} {:.4}s  ({:.3}x classical)",
+            c.name, c.seconds, c.relative
+        );
     }
     println!("winner: {}", outcome.best_name);
     0
@@ -178,14 +183,20 @@ fn cmd_schedule(args: &[String]) -> i32 {
         return 2;
     };
     let s = hybrid_schedule(rank, threads.max(1));
-    println!("hybrid schedule for r = {rank}, p = {threads}: q = {}, l = {}", s.q, s.l);
+    println!(
+        "hybrid schedule for r = {rank}, p = {threads}: q = {}, l = {}",
+        s.q, s.l
+    );
     print!("{}", s.render());
     0
 }
 
 fn alg_by_name_or_err(name: &str) -> Result<apa_core::BilinearAlgorithm, i32> {
     catalog::by_name(name).ok_or_else(|| {
-        eprintln!("unknown algorithm {name}; available: {}", catalog::names().join(", "));
+        eprintln!(
+            "unknown algorithm {name}; available: {}",
+            catalog::names().join(", ")
+        );
         2
     })
 }
@@ -221,7 +232,9 @@ fn cmd_time(args: &[String]) -> i32 {
     classical.multiply_into(a.as_ref(), b.as_ref(), c.as_mut());
     let t_classical = t0.elapsed().as_secs_f64();
 
-    let mm = ApaMatmul::new(alg).strategy(Strategy::Hybrid).threads(threads);
+    let mm = ApaMatmul::new(alg)
+        .strategy(Strategy::Hybrid)
+        .threads(threads);
     mm.multiply_into(a.as_ref(), b.as_ref(), c.as_mut());
     let t1 = Instant::now();
     mm.multiply_into(a.as_ref(), b.as_ref(), c.as_mut());
@@ -247,7 +260,11 @@ fn cmd_error(args: &[String]) -> i32 {
     let tuned = tune_lambda(&alg, n.min(512), 1, 0xE44);
     println!("{}: tuned lambda grid:", alg.summary());
     for (lambda, err) in &tuned.grid {
-        let marker = if *lambda == tuned.lambda { "  <-- selected" } else { "" };
+        let marker = if *lambda == tuned.lambda {
+            "  <-- selected"
+        } else {
+            ""
+        };
         if *lambda == 0.0 {
             println!("  exact rule           error {err:.2e}{marker}");
         } else {

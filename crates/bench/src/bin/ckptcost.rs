@@ -1,0 +1,87 @@
+//! Checkpoint-overhead measurement: how much wall time does the
+//! crash-safety subsystem add to an epoch of ParaDnn-style training at
+//! hidden width 1024? The acceptance criterion (EXPERIMENTS.md) is that
+//! one atomic checkpoint write — serialize, CRC, fsync, rename — costs
+//! ≤ 2% of the epoch it protects.
+//!
+//! Usage: `cargo run --release -p apa-bench --bin ckptcost
+//!         [--width 1024] [--batches 8] [--threads 1] [--reps 5]`
+
+use apa_bench::{banner, print_table, Args};
+use apa_nn::checkpoint::{EpochProgress, TrainState};
+use apa_nn::{classical, performance_network, synthetic_mnist, CheckpointManager};
+use std::time::Instant;
+
+fn main() {
+    let args = Args::parse();
+    let width = args.get("width", 1024usize);
+    let batches = args.get("batches", 8usize);
+    let threads = args.get("threads", 1usize);
+    let reps = args.get("reps", 5usize);
+
+    banner(
+        "Checkpoint write cost vs epoch wall time",
+        &[
+            &format!("ParaDnn performance network, hidden width {width}, batch {width}"),
+            &format!("{batches} batches/epoch, {threads} thread(s), classical backend"),
+            "criterion: one atomic save (temp + fsync + rename) ≤ 2% of the epoch",
+        ],
+    );
+
+    let mut net = performance_network(width, classical(threads), threads, 0xC0DE);
+    let data = synthetic_mnist(batches * width, 0x5EED);
+
+    // One timed epoch of plain training (no checkpointing in the loop).
+    let epoch = net.train_epoch(&data, width, 0.05, 0);
+    let epoch_secs = epoch.seconds;
+
+    // The full state a checkpoint carries: weights + momentum velocities.
+    let velocities = Some(net.snapshot()); // same geometry as real velocity buffers
+    let state = TrainState {
+        epoch: 0,
+        next_batch: batches as u32,
+        batch_size: width as u32,
+        lr: 0.05,
+        degraded_batches: 0,
+        progress: EpochProgress::default(),
+        layers: net.snapshot(),
+        velocities,
+        guards: Vec::new(),
+    };
+
+    let dir = std::env::temp_dir().join(format!("apa-ckptcost-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mgr = CheckpointManager::new(&dir, 2).expect("temp checkpoint dir");
+
+    let mut bytes = 0u64;
+    let mut save_secs = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let t = Instant::now();
+        let path = mgr.save(&state).expect("checkpoint save");
+        save_secs.push(t.elapsed().as_secs_f64());
+        bytes = std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0);
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let mean = save_secs.iter().sum::<f64>() / reps as f64;
+    let worst = save_secs.iter().cloned().fold(0.0f64, f64::max);
+    let overhead = 100.0 * mean / epoch_secs;
+
+    print_table(
+        &["metric", "value"],
+        &[
+            vec!["epoch wall time".into(), format!("{epoch_secs:.3} s")],
+            vec![
+                "checkpoint size".into(),
+                format!("{:.1} MiB", bytes as f64 / (1 << 20) as f64),
+            ],
+            vec!["save (mean)".into(), format!("{:.1} ms", mean * 1e3)],
+            vec!["save (worst)".into(), format!("{:.1} ms", worst * 1e3)],
+            vec!["overhead/epoch".into(), format!("{overhead:.2} %")],
+        ],
+    );
+    println!(
+        "\n{}: one boundary save costs {overhead:.2}% of the epoch (criterion ≤ 2%)",
+        if overhead <= 2.0 { "PASS" } else { "FAIL" }
+    );
+}

@@ -35,7 +35,11 @@ fn main() {
             continue;
         }
         let model = analysis::analyze(&alg, n, &machine);
-        let lambda = if alg.is_exact_rule() { 0.0 } else { 2.0_f64.powf(-11.5) };
+        let lambda = if alg.is_exact_rule() {
+            0.0
+        } else {
+            2.0_f64.powf(-11.5)
+        };
         let plan = ExecPlan::compile(&alg, lambda);
         let (_, profile) = profile_one_step(&plan, a.as_ref(), b.as_ref());
         let model_add_frac = model.add_seconds / (model.add_seconds + model.mult_seconds);

@@ -40,7 +40,11 @@ fn main() {
     );
 
     let algs = catalog::paper_lineup();
-    let par = if threads > 1 { Par::Threads(threads) } else { Par::Seq };
+    let par = if threads > 1 {
+        Par::Threads(threads)
+    } else {
+        Par::Seq
+    };
 
     let mut header: Vec<String> = vec!["algorithm".into()];
     header.extend(dims.iter().map(|n| format!("n={n}")));
@@ -65,7 +69,10 @@ fn main() {
         let a = Mat::<f32>::from_fn(n, n, |i, j| ((i * 7 + j) % 13) as f32 * 0.077 - 0.5);
         let b = Mat::<f32>::from_fn(n, n, |i, j| ((i + j * 3) % 11) as f32 * 0.09 - 0.45);
         let mut c = Mat::<f32>::zeros(n, n);
-        let t = time_min(|| gemm(1.0, a.as_ref(), b.as_ref(), 0.0, c.as_mut(), par), reps);
+        let t = time_min(
+            || gemm(1.0, a.as_ref(), b.as_ref(), 0.0, c.as_mut(), par),
+            reps,
+        );
         baseline_times.push(t);
         baseline.push(format!("{:.1}", effective_gflops(n, t)));
         eprintln!("  classical n={n}: {t:.3}s");
@@ -81,7 +88,10 @@ fn main() {
             let a = Mat::<f32>::from_fn(n, n, |i, j| ((i * 7 + j) % 13) as f32 * 0.077 - 0.5);
             let b = Mat::<f32>::from_fn(n, n, |i, j| ((i + j * 3) % 11) as f32 * 0.09 - 0.45);
             let mut c = Mat::<f32>::zeros(n, n);
-            let t = time_min(|| mm.multiply_into(a.as_ref(), b.as_ref(), c.as_mut()), reps);
+            let t = time_min(
+                || mm.multiply_into(a.as_ref(), b.as_ref(), c.as_mut()),
+                reps,
+            );
             let speedup = (baseline_times[di] / t - 1.0) * 100.0;
             row.push(format!("{:.1} ({speedup:+.0}%)", effective_gflops(n, t)));
         }

@@ -12,7 +12,11 @@ fn render(net: &apa_nn::Mlp, title: &str) {
     let widths = net.widths();
     let mut line = format!("  input[{}]", widths[0]);
     for (i, layer) in net.layers.iter().enumerate() {
-        let act = if i + 1 == net.layers.len() { "softmax" } else { "relu" };
+        let act = if i + 1 == net.layers.len() {
+            "softmax"
+        } else {
+            "relu"
+        };
         line.push_str(&format!(
             " --{}-> {}[{}]",
             layer.backend_name(),

@@ -41,7 +41,11 @@ fn main() {
     banner(
         "Figure 5: MLP train/test accuracy per epoch (784-300-300-10, batch 300)",
         &[
-            &format!("data: {source}; {} train / {} test", train.len(), test.len()),
+            &format!(
+                "data: {source}; {} train / {} test",
+                train.len(),
+                test.len()
+            ),
             &format!("{epochs} epochs, lr {lr}, APA only on the middle 300x300 layer"),
         ],
     );
@@ -49,10 +53,12 @@ fn main() {
     let names: Vec<String> = if args.flag("all") {
         catalog::all().into_iter().map(|a| a.name).collect()
     } else {
-        ["bini322", "apa422", "apa332", "fast442", "fast444", "apa552"]
-            .iter()
-            .map(|s| s.to_string())
-            .collect()
+        [
+            "bini322", "apa422", "apa332", "fast442", "fast444", "apa552",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect()
     };
 
     let mut header = vec!["algorithm".to_string(), "metric".to_string()];

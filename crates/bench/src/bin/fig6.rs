@@ -21,10 +21,17 @@ use apa_nn::{apa, classical, performance_network, Backend, Mlp};
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 
-fn synthetic_batch(batch: usize, features: usize, classes: usize, seed: u64) -> (Mat<f32>, Vec<u8>) {
+fn synthetic_batch(
+    batch: usize,
+    features: usize,
+    classes: usize,
+    seed: u64,
+) -> (Mat<f32>, Vec<u8>) {
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let x = Mat::from_fn(batch, features, |_, _| rng.gen_range(0.0f32..1.0));
-    let labels = (0..batch).map(|_| rng.gen_range(0..classes) as u8).collect();
+    let labels = (0..batch)
+        .map(|_| rng.gen_range(0..classes) as u8)
+        .collect();
     (x, labels)
 }
 
@@ -58,7 +65,10 @@ fn main() {
     );
 
     let names: Vec<String> = if args.flag("all") {
-        catalog::paper_lineup().into_iter().map(|a| a.name).collect()
+        catalog::paper_lineup()
+            .into_iter()
+            .map(|a| a.name)
+            .collect()
     } else {
         ["bini322", "apa422", "fast442", "fast444", "apa333"]
             .iter()

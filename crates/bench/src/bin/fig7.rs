@@ -30,7 +30,11 @@ fn time_head(backend: Backend, scale: usize, batch: usize, reps: usize) -> f64 {
 fn main() {
     let args = Args::parse();
     let threads = args.get("threads", 1usize);
-    let scale = if args.flag("full") { 1 } else { args.get("scale", 4usize) };
+    let scale = if args.flag("full") {
+        1
+    } else {
+        args.get("scale", 4usize)
+    };
     let reps = args.get("batches", 2usize);
     let batches: Vec<usize> = if args.flag("full") {
         vec![512, 1024, 2048, 4096]

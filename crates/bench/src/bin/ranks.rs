@@ -51,12 +51,28 @@ fn main() {
     }
 
     print_table(
-        &["dims", "paper", "paper-speedup", "catalog", "derived", "derived-speedup", "derivation"],
+        &[
+            "dims",
+            "paper",
+            "paper-speedup",
+            "catalog",
+            "derived",
+            "derived-speedup",
+            "derivation",
+        ],
         &rows,
     );
     println!();
     print_csv(
-        &["dims", "paper", "paper_speedup", "catalog", "derived", "derived_speedup", "derivation"],
+        &[
+            "dims",
+            "paper",
+            "paper_speedup",
+            "catalog",
+            "derived",
+            "derived_speedup",
+            "derivation",
+        ],
         &rows,
     );
     println!();

@@ -37,7 +37,11 @@ fn main() {
             format!("<{},{},{}>", row.dims.0, row.dims.1, row.dims.2),
             row.rank.to_string(),
             format!("{:.0}%", row.speedup_pct),
-            if row.exact { "-".into() } else { row.sigma.to_string() },
+            if row.exact {
+                "-".into()
+            } else {
+                row.sigma.to_string()
+            },
             row.phi.to_string(),
             format!("{:.1e}", row.error),
             row.nnz.to_string(),
@@ -45,12 +49,30 @@ fn main() {
     }
 
     print_table(
-        &["algorithm", "dims", "rank", "speedup", "sigma", "phi", "error(d=23,s=1)", "nnz"],
+        &[
+            "algorithm",
+            "dims",
+            "rank",
+            "speedup",
+            "sigma",
+            "phi",
+            "error(d=23,s=1)",
+            "nnz",
+        ],
         &rows,
     );
     println!();
     print_csv(
-        &["algorithm", "dims", "rank", "speedup_pct", "sigma", "phi", "error", "nnz"],
+        &[
+            "algorithm",
+            "dims",
+            "rank",
+            "speedup_pct",
+            "sigma",
+            "phi",
+            "error",
+            "nnz",
+        ],
         &rows,
     );
 

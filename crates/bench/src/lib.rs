@@ -99,7 +99,10 @@ pub fn print_table(header: &[&str], rows: &[Vec<String>]) {
     };
     let header_cells: Vec<String> = header.iter().map(|s| s.to_string()).collect();
     println!("{}", fmt_row(&header_cells));
-    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * (ncols - 1)));
+    println!(
+        "{}",
+        "-".repeat(widths.iter().sum::<usize>() + 2 * (ncols - 1))
+    );
     for row in rows {
         println!("{}", fmt_row(row));
     }
@@ -143,7 +146,12 @@ mod tests {
 
     #[test]
     fn time_min_is_positive() {
-        let t = time_min(|| { std::hint::black_box((0..1000).sum::<u64>()); }, 3);
+        let t = time_min(
+            || {
+                std::hint::black_box((0..1000).sum::<u64>());
+            },
+            3,
+        );
         assert!(t >= 0.0);
     }
 

@@ -78,7 +78,11 @@ pub struct CostBreakdown {
 /// its destination block once.
 fn addition_traffic_elems(alg: &BilinearAlgorithm, n: usize) -> f64 {
     let d = alg.dims;
-    let (bm, bk, bn) = (n as f64 / d.m as f64, n as f64 / d.k as f64, n as f64 / d.n as f64);
+    let (bm, bk, bn) = (
+        n as f64 / d.m as f64,
+        n as f64 / d.k as f64,
+        n as f64 / d.n as f64,
+    );
     let a_block = bm * bk;
     let b_block = bk * bn;
     let c_block = bm * bn;
@@ -93,7 +97,11 @@ fn addition_traffic_elems(alg: &BilinearAlgorithm, n: usize) -> f64 {
 /// Analyze a one-step application at dimension `n` under `machine`.
 pub fn analyze(alg: &BilinearAlgorithm, n: usize, machine: &MachineProfile) -> CostBreakdown {
     let d = alg.dims;
-    let (bm, bk, bn) = (n as f64 / d.m as f64, n as f64 / d.k as f64, n as f64 / d.n as f64);
+    let (bm, bk, bn) = (
+        n as f64 / d.m as f64,
+        n as f64 / d.k as f64,
+        n as f64 / d.n as f64,
+    );
     let block_dim = (bm * bk * bn).powf(1.0 / 3.0);
     let mult_flops = alg.rank() as f64 * 2.0 * bm * bk * bn;
     let mult_seconds = mult_flops / machine.gemm_rate(block_dim);

@@ -81,7 +81,13 @@ pub struct BilinearAlgorithm {
 
 impl BilinearAlgorithm {
     /// Construct and shape-check a rule.
-    pub fn new(name: impl Into<String>, dims: Dims, u: CoeffMatrix, v: CoeffMatrix, w: CoeffMatrix) -> Self {
+    pub fn new(
+        name: impl Into<String>,
+        dims: Dims,
+        u: CoeffMatrix,
+        v: CoeffMatrix,
+        w: CoeffMatrix,
+    ) -> Self {
         assert_eq!(u.rows(), dims.m * dims.k, "U must have m*k rows");
         assert_eq!(v.rows(), dims.k * dims.n, "V must have k*n rows");
         assert_eq!(w.rows(), dims.m * dims.n, "W must have m*n rows");

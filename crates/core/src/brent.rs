@@ -93,10 +93,7 @@ pub fn validate(alg: &BilinearAlgorithm) -> Result<BrentReport, BrentError> {
 
 /// [`validate`] with an explicit tolerance (useful for numerically
 /// discovered rules whose coefficients carry ALS noise).
-pub fn validate_with_tol(
-    alg: &BilinearAlgorithm,
-    tol: f64,
-) -> Result<BrentReport, BrentError> {
+pub fn validate_with_tol(alg: &BilinearAlgorithm, tol: f64) -> Result<BrentReport, BrentError> {
     let d = alg.dims;
     // Accumulate Σ_t U·V·W per (α, β, γ) key, sparsely.
     let mut sums: HashMap<(usize, usize, usize), Laurent> = HashMap::new();
@@ -123,8 +120,20 @@ pub fn validate_with_tol(
         let (i, a) = (ra / d.k, ra % d.k);
         let (a2, j) = (rb / d.n, rb % d.n);
         let (i2, j2) = (rc / d.n, rc % d.n);
-        let delta = if a == a2 && i == i2 && j == j2 { 1.0 } else { 0.0 };
-        check_equation((ra, rb, rc), poly, delta, tol, &mut sigma, &mut max_residual, &mut residual_eqs)?;
+        let delta = if a == a2 && i == i2 && j == j2 {
+            1.0
+        } else {
+            0.0
+        };
+        check_equation(
+            (ra, rb, rc),
+            poly,
+            delta,
+            tol,
+            &mut sigma,
+            &mut max_residual,
+            &mut residual_eqs,
+        )?;
     }
 
     // Equations with no accumulated term must have delta = 0; the delta = 1
@@ -134,7 +143,9 @@ pub fn validate_with_tol(
             for j in 0..d.n {
                 let key = (d.a_index(i, a), d.b_index(a, j), d.c_index(i, j));
                 let poly = sums.get(&key);
-                let present = poly.map(|p| (p.coeff(0) - 1.0).abs() <= tol).unwrap_or(false);
+                let present = poly
+                    .map(|p| (p.coeff(0) - 1.0).abs() <= tol)
+                    .unwrap_or(false);
                 if !present {
                     return Err(BrentError::WrongConstant {
                         equation: key,
@@ -222,7 +233,9 @@ impl Laurent {
 pub fn numeric_consistency(alg: &BilinearAlgorithm, seed: u64) -> f64 {
     let d = alg.dims;
     // A tiny deterministic LCG avoids a rand dependency in this crate.
-    let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+    let mut state = seed
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
     let mut next = move || {
         state = state
             .wrapping_mul(6364136223846793005)
@@ -344,6 +357,9 @@ mod tests {
     #[test]
     fn numeric_consistency_small_for_valid_rule() {
         let err = numeric_consistency(&classical_111(), 7);
-        assert!(err < 1e-12, "classical rule should be numerically exact, got {err}");
+        assert!(
+            err < 1e-12,
+            "classical rule should be numerically exact, got {err}"
+        );
     }
 }

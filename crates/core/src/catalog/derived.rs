@@ -152,7 +152,15 @@ mod tests {
 
     #[test]
     fn apa_entries_have_phi_one() {
-        for alg in [apa422(), apa332(), apa522(), apa333(), apa722(), apa433(), apa552()] {
+        for alg in [
+            apa422(),
+            apa332(),
+            apa522(),
+            apa333(),
+            apa722(),
+            apa433(),
+            apa552(),
+        ] {
             assert_eq!(alg.phi(), 1, "{} should inherit Bini's φ = 1", alg.name);
             assert_eq!(validate(&alg).unwrap().sigma, Some(1), "{}", alg.name);
         }

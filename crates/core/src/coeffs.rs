@@ -316,11 +316,7 @@ mod tests {
     #[test]
     fn tensor_multiplies_supports() {
         // [1; λ] ⊗ [1; 1] over rows, combine = r1*2 + r2
-        let a = CoeffMatrix::from_dense(
-            2,
-            1,
-            &[Laurent::one(), Laurent::monomial(1.0, 1)],
-        );
+        let a = CoeffMatrix::from_dense(2, 1, &[Laurent::one(), Laurent::monomial(1.0, 1)]);
         let b = CoeffMatrix::from_dense_f64(2, 1, &[1.0, 1.0]);
         let t = a.tensor(&b, 4, |r1, r2| r1 * 2 + r2);
         assert_eq!(t.cols(), 1);

@@ -114,18 +114,18 @@ impl DeriveTable {
             }
             // Direct sums.
             for m1 in 1..d.m {
-                let r = self.rank(Dims::new(m1, d.k, d.n))
-                    + self.rank(Dims::new(d.m - m1, d.k, d.n));
+                let r =
+                    self.rank(Dims::new(m1, d.k, d.n)) + self.rank(Dims::new(d.m - m1, d.k, d.n));
                 changed |= self.improve(d, r, Recipe::SumM(m1));
             }
             for k1 in 1..d.k {
-                let r = self.rank(Dims::new(d.m, k1, d.n))
-                    + self.rank(Dims::new(d.m, d.k - k1, d.n));
+                let r =
+                    self.rank(Dims::new(d.m, k1, d.n)) + self.rank(Dims::new(d.m, d.k - k1, d.n));
                 changed |= self.improve(d, r, Recipe::SumK(k1));
             }
             for n1 in 1..d.n {
-                let r = self.rank(Dims::new(d.m, d.k, n1))
-                    + self.rank(Dims::new(d.m, d.k, d.n - n1));
+                let r =
+                    self.rank(Dims::new(d.m, d.k, n1)) + self.rank(Dims::new(d.m, d.k, d.n - n1));
                 changed |= self.improve(d, r, Recipe::SumN(n1));
             }
             // Tensor products over nontrivial factorizations.
@@ -162,11 +162,13 @@ impl DeriveTable {
         let (rank, recipe) = self.entries.get(&d)?;
         let alg = match recipe {
             Recipe::Classical => catalog::classical(d),
-            Recipe::Seed(name) => seeds()
-                .into_iter()
-                .find(|(n, _)| n == name)
-                .expect("seed exists")
-                .1,
+            Recipe::Seed(name) => {
+                seeds()
+                    .into_iter()
+                    .find(|(n, _)| n == name)
+                    .expect("seed exists")
+                    .1
+            }
             Recipe::Permute(perm, src) => permute(&self.materialize(*src)?, *perm),
             Recipe::SumM(m1) => {
                 let p = self.materialize(Dims::new(*m1, d.k, d.n))?;

@@ -105,8 +105,8 @@ pub struct Table1Row {
 /// Compute a Table-1 row for an algorithm (runs Brent validation to obtain
 /// σ; panics if the algorithm is invalid — catalog entries never are).
 pub fn table1_row(alg: &BilinearAlgorithm) -> Table1Row {
-    let report = brent::validate(alg)
-        .unwrap_or_else(|e| panic!("{} failed validation: {e}", alg.name));
+    let report =
+        brent::validate(alg).unwrap_or_else(|e| panic!("{} failed validation: {e}", alg.name));
     let sigma = report.sigma.unwrap_or(0);
     let phi = alg.phi();
     let d = alg.dims;
@@ -143,7 +143,11 @@ mod tests {
         assert_eq!(row.sigma, 1);
         assert_eq!(row.phi, 1);
         assert!((row.error - (2.0_f64).powf(-11.5)).abs() < 1e-9);
-        assert!(row.error > 3.4e-4 && row.error < 3.6e-4, "err={}", row.error);
+        assert!(
+            row.error > 3.4e-4 && row.error < 3.6e-4,
+            "err={}",
+            row.error
+        );
     }
 
     #[test]
@@ -173,7 +177,10 @@ mod tests {
     fn optimal_lambda_shrinks_with_steps() {
         let l1 = optimal_lambda(1, 1, D_SINGLE, 1);
         let l2 = optimal_lambda(1, 1, D_SINGLE, 2);
-        assert!(l2 > l1, "more steps → larger λ (roundoff grows): {l1} vs {l2}");
+        assert!(
+            l2 > l1,
+            "more steps → larger λ (roundoff grows): {l1} vs {l2}"
+        );
         assert!((l1 - 2.0_f64.powf(-11.5)).abs() < 1e-9);
     }
 
@@ -230,9 +237,12 @@ mod tests {
 
     #[test]
     fn clamped_grid_stays_inside_valid_range() {
-        for (sigma, phi, d, steps) in
-            [(1u32, 0u32, 0u32, 1u32), (1, 1, 52, 1), (2, 6, 100_000, 3), (1, 1, 23, 1000)]
-        {
+        for (sigma, phi, d, steps) in [
+            (1u32, 0u32, 0u32, 1u32),
+            (1, 1, 52, 1),
+            (2, 6, 100_000, 3),
+            (1, 1, 23, 1000),
+        ] {
             for &l in &lambda_grid(sigma, phi, d, steps) {
                 assert!(
                     l >= (2.0_f64).powi(LAMBDA_MIN_EXP) && l <= (2.0_f64).powi(LAMBDA_MAX_EXP),

@@ -242,8 +242,7 @@ mod tests {
             if alg.rank() > 120 {
                 continue; // the Bini cube round-trips too, just slowly
             }
-            let back = from_text(&to_text(&alg))
-                .unwrap_or_else(|e| panic!("{}: {e}", alg.name));
+            let back = from_text(&to_text(&alg)).unwrap_or_else(|e| panic!("{}: {e}", alg.name));
             assert_eq!(back.rank(), alg.rank(), "{}", alg.name);
             assert!(back.w.approx_eq(&alg.w, 1e-12), "{}", alg.name);
         }

@@ -123,10 +123,7 @@ impl Laurent {
 
     /// Evaluate at a concrete λ using `powi`.
     pub fn eval(&self, lambda: f64) -> f64 {
-        self.terms
-            .iter()
-            .map(|(&e, &c)| c * lambda.powi(e))
-            .sum()
+        self.terms.iter().map(|(&e, &c)| c * lambda.powi(e)).sum()
     }
 
     /// Largest |coefficient| over all terms (0.0 for the zero polynomial).
@@ -218,7 +215,12 @@ impl Laurent {
         let mut depth_started = false;
         for ch in s.chars() {
             match ch {
-                '+' | '-' if depth_started && !cur.trim().is_empty() && !cur.trim_end().ends_with('^') && !cur.trim_end().ends_with('*') => {
+                '+' | '-'
+                    if depth_started
+                        && !cur.trim().is_empty()
+                        && !cur.trim_end().ends_with('^')
+                        && !cur.trim_end().ends_with('*') =>
+                {
                     chunks.push((sign, cur.trim().to_string()));
                     cur = String::new();
                     sign = if ch == '-' { -1.0 } else { 1.0 };
@@ -298,7 +300,13 @@ impl fmt::Display for Laurent {
         }
         let mut first = true;
         for (&e, &c) in &self.terms {
-            let sign = if c < 0.0 { "-" } else if first { "" } else { "+" };
+            let sign = if c < 0.0 {
+                "-"
+            } else if first {
+                ""
+            } else {
+                "+"
+            };
             let mag = c.abs();
             if !first {
                 write!(f, " {sign} ")?;
@@ -390,7 +398,10 @@ mod tests {
         assert_eq!(Laurent::parse("1").unwrap(), Laurent::one());
         assert_eq!(Laurent::parse("-1").unwrap(), Laurent::constant(-1.0));
         assert_eq!(Laurent::parse("L").unwrap(), Laurent::monomial(1.0, 1));
-        assert_eq!(Laurent::parse("2*L^-1").unwrap(), Laurent::monomial(2.0, -1));
+        assert_eq!(
+            Laurent::parse("2*L^-1").unwrap(),
+            Laurent::monomial(2.0, -1)
+        );
         assert_eq!(
             Laurent::parse("lambda^2").unwrap(),
             Laurent::monomial(1.0, 2)

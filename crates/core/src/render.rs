@@ -159,7 +159,11 @@ mod tests {
                 "{}: header + rank M-lines + m·n C-lines",
                 alg.name
             );
-            assert!(!text.contains("= 0\n"), "{}: empty operand rendered", alg.name);
+            assert!(
+                !text.contains("= 0\n"),
+                "{}: empty operand rendered",
+                alg.name
+            );
         }
     }
 

@@ -269,8 +269,8 @@ mod tests {
             Perm::Kmn,
         ] {
             let p = permute(&b, perm);
-            let report = validate(&p)
-                .unwrap_or_else(|e| panic!("perm {perm:?} failed validation: {e}"));
+            let report =
+                validate(&p).unwrap_or_else(|e| panic!("perm {perm:?} failed validation: {e}"));
             assert_eq!(report.sigma, Some(1), "perm {perm:?} should stay σ=1");
             assert_eq!(p.rank(), 10);
             assert_eq!(p.phi(), b.phi(), "φ must be permutation-invariant");

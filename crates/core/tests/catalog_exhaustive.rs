@@ -2,8 +2,8 @@
 //! Brent-validated, error parameters behave as the theory demands, and the
 //! file formats are lossless across the whole catalog.
 
-use apa_core::{brent, catalog, error_model, io, transform, BilinearAlgorithm, Dims};
 use apa_core::transform::Perm;
+use apa_core::{brent, catalog, error_model, io, transform, BilinearAlgorithm, Dims};
 
 const ALL_PERMS: [Perm; 6] = [
     Perm::Mkn,
@@ -70,7 +70,10 @@ fn pairwise_direct_sums_validate() {
             }
         }
     }
-    assert!(checked > 20, "expected many compatible pairs, got {checked}");
+    assert!(
+        checked > 20,
+        "expected many compatible pairs, got {checked}"
+    );
 }
 
 #[test]
@@ -112,7 +115,11 @@ fn table1_rows_are_internally_consistent() {
     for alg in catalog::all() {
         let row = error_model::table1_row(&alg);
         assert_eq!(row.rank, alg.rank());
-        assert!(row.speedup_pct > 0.0, "{}: catalog entries are all fast", row.name);
+        assert!(
+            row.speedup_pct > 0.0,
+            "{}: catalog entries are all fast",
+            row.name
+        );
         if row.exact {
             assert_eq!(row.phi, 0, "{}", row.name);
         } else {
@@ -152,8 +159,12 @@ fn apply_base_agrees_with_definition_for_random_entries() {
         let alg = catalog::by_name(name).unwrap();
         let d = alg.dims;
         let lambda = 1e-5;
-        let a: Vec<f64> = (0..d.m * d.k).map(|i| ((i * 37 + 11) % 17) as f64 * 0.21 - 1.5).collect();
-        let b: Vec<f64> = (0..d.k * d.n).map(|i| ((i * 53 + 7) % 19) as f64 * 0.17 - 1.4).collect();
+        let a: Vec<f64> = (0..d.m * d.k)
+            .map(|i| ((i * 37 + 11) % 17) as f64 * 0.21 - 1.5)
+            .collect();
+        let b: Vec<f64> = (0..d.k * d.n)
+            .map(|i| ((i * 53 + 7) % 19) as f64 * 0.17 - 1.4)
+            .collect();
         let c = alg.apply_base(&a, &b, lambda);
         // Independent evaluation.
         let u = alg.u.eval(lambda);

@@ -87,7 +87,11 @@ pub fn relative_residual(dims: Dims, u: &DMat, v: &DMat, w: &DMat) -> f64 {
                 for t in 0..r {
                     s += u.at(a, t) * v.at(b, t) * w.at(c, t);
                 }
-                let target = if is_one[(a * nb + b) * nc + c] { 1.0 } else { 0.0 };
+                let target = if is_one[(a * nb + b) * nc + c] {
+                    1.0
+                } else {
+                    0.0
+                };
                 sq += (s - target) * (s - target);
             }
         }
@@ -135,9 +139,8 @@ fn update_factor(
 pub fn als_search(dims: Dims, rank: usize, config: &AlsConfig, seed: u64) -> AlsResult {
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let s = config.init_scale;
-    let init = |rows: usize, rng: &mut ChaCha8Rng| {
-        DMat::from_fn(rows, rank, |_, _| rng.gen_range(-s..s))
-    };
+    let init =
+        |rows: usize, rng: &mut ChaCha8Rng| DMat::from_fn(rows, rank, |_, _| rng.gen_range(-s..s));
     let (na, nb, nc) = (dims.m * dims.k, dims.k * dims.n, dims.m * dims.n);
     let u = init(na, &mut rng);
     let v = init(nb, &mut rng);
@@ -147,7 +150,13 @@ pub fn als_search(dims: Dims, rank: usize, config: &AlsConfig, seed: u64) -> Als
 
 /// Run ALS from explicit starting factors (e.g. a perturbed known solution
 /// or a rounded candidate to re-polish).
-pub fn als_from(dims: Dims, mut u: DMat, mut v: DMat, mut w: DMat, config: &AlsConfig) -> AlsResult {
+pub fn als_from(
+    dims: Dims,
+    mut u: DMat,
+    mut v: DMat,
+    mut w: DMat,
+    config: &AlsConfig,
+) -> AlsResult {
     let rank = u.cols;
     let (na, nb, nc) = (dims.m * dims.k, dims.k * dims.n, dims.m * dims.n);
     assert_eq!(u.rows, na);
@@ -289,10 +298,21 @@ pub fn als_polish_pattern(
 
 /// Multi-restart driver: run [`als_search`] from `restarts` seeds, keep the
 /// best result.
-pub fn als_multi_restart(dims: Dims, rank: usize, config: &AlsConfig, restarts: usize, base_seed: u64) -> AlsResult {
+pub fn als_multi_restart(
+    dims: Dims,
+    rank: usize,
+    config: &AlsConfig,
+    restarts: usize,
+    base_seed: u64,
+) -> AlsResult {
     let mut best: Option<AlsResult> = None;
     for i in 0..restarts {
-        let result = als_search(dims, rank, config, base_seed.wrapping_add(i as u64 * 0x9E37));
+        let result = als_search(
+            dims,
+            rank,
+            config,
+            base_seed.wrapping_add(i as u64 * 0x9E37),
+        );
         let better = best
             .as_ref()
             .map(|b| result.residual < b.residual)
@@ -383,7 +403,10 @@ mod tests {
         let v = to_dense(&alg.v, 4);
         let w = to_dense(&alg.w, 4);
         let start_res = relative_residual(d, &u, &v, &w);
-        assert!(start_res > 1e-3, "perturbation should be visible: {start_res}");
+        assert!(
+            start_res > 1e-3,
+            "perturbation should be visible: {start_res}"
+        );
         let config = AlsConfig {
             reg: 1e-6,
             max_iters: 200,

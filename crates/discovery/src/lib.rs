@@ -21,7 +21,10 @@ pub mod linalg;
 pub mod rounding;
 pub mod sparsify;
 
-pub use als::{als_from, als_multi_restart, als_polish_pattern, als_search, relative_residual, AlsConfig, AlsResult};
+pub use als::{
+    als_from, als_multi_restart, als_polish_pattern, als_search, relative_residual, AlsConfig,
+    AlsResult,
+};
 pub use linalg::{solve_rows, DMat};
 pub use rounding::{round_and_verify, snap, RoundOutcome};
 pub use sparsify::{nnz, sparsify, threshold_factor};

@@ -194,7 +194,9 @@ mod tests {
     #[test]
     fn solve_random_system_roundtrip() {
         // x·Aᵀ = b with known x: construct b = x·Aᵀ and recover x.
-        let a = DMat::from_fn(4, 4, |i, j| ((i * 7 + j * 3) % 5) as f64 + if i == j { 3.0 } else { 0.0 });
+        let a = DMat::from_fn(4, 4, |i, j| {
+            ((i * 7 + j * 3) % 5) as f64 + if i == j { 3.0 } else { 0.0 }
+        });
         let x_true = DMat::from_fn(2, 4, |i, j| (i + j) as f64 * 0.5 - 1.0);
         let mut b = DMat::zeros(2, 4);
         for r in 0..2 {

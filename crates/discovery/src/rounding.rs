@@ -102,7 +102,13 @@ mod tests {
             max_iters: 300,
             ..AlsConfig::default()
         };
-        let result = als_from(d, dense(&alg.u, 4), dense(&alg.v, 4), dense(&alg.w, 4), &config);
+        let result = als_from(
+            d,
+            dense(&alg.u, 4),
+            dense(&alg.v, 4),
+            dense(&alg.w, 4),
+            &config,
+        );
         assert!(result.residual < 1e-7, "residual {}", result.residual);
         match round_and_verify(&result, "rediscovered-strassen") {
             RoundOutcome::Exact(found) => {

@@ -101,7 +101,11 @@ mod tests {
     fn sparsify_recovers_strassen_sparsity() {
         // A noisy Strassen has 84 dense entries; true Strassen has 36.
         let noisy = perturbed_strassen(0.004);
-        assert!(nnz(&noisy) > 70, "perturbation should densify: {}", nnz(&noisy));
+        assert!(
+            nnz(&noisy) > 70,
+            "perturbation should densify: {}",
+            nnz(&noisy)
+        );
         let polish = AlsConfig {
             reg: 1e-8,
             max_iters: 200,

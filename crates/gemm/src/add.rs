@@ -15,11 +15,7 @@ use crate::scalar::Scalar;
 
 /// `dst ← Σ_i coeff_i · src_i` (or `dst += …` when `accumulate`), in one
 /// pass over `dst`. All sources must have `dst`'s shape.
-pub fn combine<T: Scalar>(
-    mut dst: MatMut<'_, T>,
-    accumulate: bool,
-    terms: &[(T, MatRef<'_, T>)],
-) {
+pub fn combine<T: Scalar>(mut dst: MatMut<'_, T>, accumulate: bool, terms: &[(T, MatRef<'_, T>)]) {
     for (_, src) in terms {
         assert_eq!(src.rows(), dst.rows(), "source shape mismatch");
         assert_eq!(src.cols(), dst.cols(), "source shape mismatch");
@@ -31,12 +27,7 @@ pub fn combine<T: Scalar>(
 }
 
 #[inline]
-fn combine_row<T: Scalar>(
-    out: &mut [T],
-    accumulate: bool,
-    terms: &[(T, MatRef<'_, T>)],
-    i: usize,
-) {
+fn combine_row<T: Scalar>(out: &mut [T], accumulate: bool, terms: &[(T, MatRef<'_, T>)], i: usize) {
     // Specialize the common small arities so the inner loops fuse into a
     // single vectorized sweep.
     match terms {
@@ -74,10 +65,7 @@ fn combine_row<T: Scalar>(
         [(c0, s0), (c1, s1), (c2, s2), (c3, s3)] => {
             let (r0, r1, r2, r3) = (s0.row(i), s1.row(i), s2.row(i), s3.row(i));
             for (j, o) in out.iter_mut().enumerate() {
-                let v = c0.mul_add(
-                    r0[j],
-                    c1.mul_add(r1[j], c2.mul_add(r2[j], *c3 * r3[j])),
-                );
+                let v = c0.mul_add(r0[j], c1.mul_add(r1[j], c2.mul_add(r2[j], *c3 * r3[j])));
                 *o = if accumulate { *o + v } else { v };
             }
         }
@@ -120,9 +108,7 @@ pub fn combine_par<T: Scalar>(
                     s.spawn(move |_| {
                         let sub_terms: Vec<(T, MatRef<'_, T>)> = terms
                             .iter()
-                            .map(|(c, src)| {
-                                (*c, src.subview(r0, 0, stripe.rows(), stripe.cols()))
-                            })
+                            .map(|(c, src)| (*c, src.subview(r0, 0, stripe.rows(), stripe.cols())))
                             .collect();
                         combine(stripe.rb(), accumulate, &sub_terms);
                     });
@@ -242,10 +228,7 @@ mod tests {
     fn axpy_baseline_matches_write_once() {
         let n = 9;
         let srcs = mats(n, 3);
-        let terms: Vec<(f64, _)> = srcs
-            .iter()
-            .map(|m| (0.25, m.as_ref()))
-            .collect();
+        let terms: Vec<(f64, _)> = srcs.iter().map(|m| (0.25, m.as_ref())).collect();
         let mut a = Mat::<f64>::from_fn(n, n, |i, _| i as f64);
         let mut b = a.clone();
         combine(a.as_mut(), true, &terms);

@@ -82,7 +82,10 @@ pub fn gemm_st<T: Scalar>(alpha: T, a: MatRef<'_, T>, b: MatRef<'_, T>, beta: T,
     let mut scratch: Scratch<T> = PACK_CACHE.with(|cell| {
         let mut cache = cell.borrow_mut();
         match cache.iter_mut().find(|(id, _)| *id == TypeId::of::<T>()) {
-            Some((_, slot)) => std::mem::take(slot.downcast_mut::<Scratch<T>>().expect("slot is type-keyed")),
+            Some((_, slot)) => std::mem::take(
+                slot.downcast_mut::<Scratch<T>>()
+                    .expect("slot is type-keyed"),
+            ),
             None => {
                 cache.push((TypeId::of::<T>(), Box::new(Scratch::<T>::new())));
                 Scratch::new()
@@ -93,7 +96,9 @@ pub fn gemm_st<T: Scalar>(alpha: T, a: MatRef<'_, T>, b: MatRef<'_, T>, beta: T,
     PACK_CACHE.with(|cell| {
         let mut cache = cell.borrow_mut();
         if let Some((_, slot)) = cache.iter_mut().find(|(id, _)| *id == TypeId::of::<T>()) {
-            *slot.downcast_mut::<Scratch<T>>().expect("slot is type-keyed") = scratch;
+            *slot
+                .downcast_mut::<Scratch<T>>()
+                .expect("slot is type-keyed") = scratch;
         }
     });
 }
@@ -231,7 +236,9 @@ mod tests {
     fn rand_mat<T: Scalar>(rows: usize, cols: usize, seed: u64) -> Mat<T> {
         let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
         Mat::from_fn(rows, cols, |_, _| {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             T::from_f64(((state >> 32) as u32 as f64 / (1u64 << 31) as f64) - 1.0)
         })
     }
@@ -256,7 +263,12 @@ mod tests {
     #[test]
     fn matches_naive_across_block_boundaries() {
         // Sizes straddling MC/KC/NC and MR/NR edges.
-        for &(m, k, n) in &[(129, 257, 63), (130, 40, 1025), (255, 300, 17), (64, 512, 64)] {
+        for &(m, k, n) in &[
+            (129, 257, 63),
+            (130, 40, 1025),
+            (255, 300, 17),
+            (64, 512, 64),
+        ] {
             check_against_naive::<f32>(m, k, n, 1e-4);
         }
         check_against_naive::<f64>(129, 257, 63, 1e-12);

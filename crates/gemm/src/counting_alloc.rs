@@ -88,8 +88,20 @@ mod tests {
 
     #[test]
     fn snapshot_deltas_subtract() {
-        let a = AllocationCounters { calls: 10, bytes: 640 };
-        let b = AllocationCounters { calls: 4, bytes: 128 };
-        assert_eq!(a.since(b), AllocationCounters { calls: 6, bytes: 512 });
+        let a = AllocationCounters {
+            calls: 10,
+            bytes: 640,
+        };
+        let b = AllocationCounters {
+            calls: 4,
+            bytes: 128,
+        };
+        assert_eq!(
+            a.since(b),
+            AllocationCounters {
+                calls: 6,
+                bytes: 512
+            }
+        );
     }
 }

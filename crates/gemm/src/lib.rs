@@ -14,8 +14,8 @@
 //!   experiments, double for references, matching the paper);
 //! * [`pack`] / [`microkernel`] / [`blocked`] — the BLIS-style kernel
 //!   stack, single-threaded;
-//! * [`parallel`] — row-parallel multithreaded GEMM over cached rayon
-//!   pools ([`pool`]);
+//! * [`parallel`] — row-parallel multithreaded GEMM over cached,
+//!   panic-isolated worker pools ([`pool`]);
 //! * [`add`] — fused "write-once" linear-combination kernels, the matrix
 //!   additions of the APA framework;
 //! * [`naive`] — triple-loop oracles for testing and f64 references.
@@ -46,8 +46,8 @@ pub use blocked::{gemm_st, gemm_st_with_scratch, matmul, BlockSizes, Scratch};
 pub use counting_alloc::{allocation_counters, AllocationCounters, CountingAlloc};
 pub use matrix::{Mat, MatMut, MatRef};
 pub use naive::{matmul_naive, matmul_naive_f64};
-pub use parallel::{gemm, matmul_par};
-pub use pool::{pool, Par};
+pub use parallel::{gemm, matmul_par, try_gemm};
+pub use pool::{pool, rebuild, Par, PoolError, WorkerPool};
 pub use scalar::Scalar;
 pub use transpose::{gemm_op, transpose, transpose_into, Op};
 

@@ -187,8 +187,18 @@ impl<'a, T: Scalar> MatRef<'a, T> {
 
     /// Partition into an `mb × nb` grid of equal blocks (dims must divide).
     pub fn grid(&self, mb: usize, nb: usize) -> Vec<MatRef<'a, T>> {
-        assert_eq!(self.rows % mb, 0, "rows {} not divisible by {mb}", self.rows);
-        assert_eq!(self.cols % nb, 0, "cols {} not divisible by {nb}", self.cols);
+        assert_eq!(
+            self.rows % mb,
+            0,
+            "rows {} not divisible by {mb}",
+            self.rows
+        );
+        assert_eq!(
+            self.cols % nb,
+            0,
+            "cols {} not divisible by {nb}",
+            self.cols
+        );
         let (br, bc) = (self.rows / mb, self.cols / nb);
         let mut out = Vec::with_capacity(mb * nb);
         for bi in 0..mb {
@@ -351,8 +361,18 @@ impl<'a, T: Scalar> MatMut<'a, T> {
     /// Partition into an `mb × nb` grid of equal, disjoint mutable blocks
     /// (dims must divide). Row-major block order.
     pub fn into_grid(self, mb: usize, nb: usize) -> Vec<MatMut<'a, T>> {
-        assert_eq!(self.rows % mb, 0, "rows {} not divisible by {mb}", self.rows);
-        assert_eq!(self.cols % nb, 0, "cols {} not divisible by {nb}", self.cols);
+        assert_eq!(
+            self.rows % mb,
+            0,
+            "rows {} not divisible by {mb}",
+            self.rows
+        );
+        assert_eq!(
+            self.cols % nb,
+            0,
+            "cols {} not divisible by {nb}",
+            self.cols
+        );
         let (br, bc) = (self.rows / mb, self.cols / nb);
         let mut out = Vec::with_capacity(mb * nb);
         for bi in 0..mb {
@@ -480,7 +500,10 @@ mod tests {
     fn row_chunks_cover_all_rows() {
         let mut m = Mat::<f32>::zeros(7, 2);
         let chunks = m.as_mut().into_row_chunks(3);
-        assert_eq!(chunks.iter().map(|c| c.rows()).collect::<Vec<_>>(), vec![3, 3, 1]);
+        assert_eq!(
+            chunks.iter().map(|c| c.rows()).collect::<Vec<_>>(),
+            vec![3, 3, 1]
+        );
     }
 
     #[test]

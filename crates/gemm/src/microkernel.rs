@@ -108,7 +108,11 @@ mod tests {
                 for p in 0..kc {
                     s += a.at(i, p).to_f64() * b.at(p, j).to_f64();
                 }
-                let base = if beta_zero { 0.0 } else { beta.to_f64() * expect.at(i, j).to_f64() };
+                let base = if beta_zero {
+                    0.0
+                } else {
+                    beta.to_f64() * expect.at(i, j).to_f64()
+                };
                 expect.set(i, j, T::from_f64(alpha.to_f64() * s + base));
             }
         }
@@ -135,7 +139,10 @@ mod tests {
         for i in 0..got.rows() {
             for j in 0..got.cols() {
                 let (g, e) = (got.at(i, j).to_f64(), expect.at(i, j).to_f64());
-                assert!((g - e).abs() <= tol * (1.0 + e.abs()), "({i},{j}): {g} vs {e}");
+                assert!(
+                    (g - e).abs() <= tol * (1.0 + e.abs()),
+                    "({i},{j}): {g} vs {e}"
+                );
             }
         }
     }

@@ -9,10 +9,11 @@
 
 use crate::blocked::gemm_st;
 use crate::matrix::{Mat, MatMut, MatRef};
-use crate::pool::{pool, Par};
+use crate::pool::{pool, Par, PoolError};
 use crate::scalar::Scalar;
 
-/// `C ← α·A·B + β·C` with the requested parallelism.
+/// `C ← α·A·B + β·C` with the requested parallelism. Panics if a worker
+/// lane panics; [`try_gemm`] is the non-panicking variant.
 pub fn gemm<T: Scalar>(
     alpha: T,
     a: MatRef<'_, T>,
@@ -21,8 +22,26 @@ pub fn gemm<T: Scalar>(
     c: MatMut<'_, T>,
     par: Par,
 ) {
+    try_gemm(alpha, a, b, beta, c, par).unwrap_or_else(|e| panic!("apa_gemm::gemm: {e}"));
+}
+
+/// [`gemm`] surfacing a panicked worker lane as a typed
+/// [`PoolError::WorkerPanicked`] instead of unwinding. On `Err` the pool
+/// has already drained (no lane is left running) and stays usable, but
+/// `C` may be partially written.
+pub fn try_gemm<T: Scalar>(
+    alpha: T,
+    a: MatRef<'_, T>,
+    b: MatRef<'_, T>,
+    beta: T,
+    c: MatMut<'_, T>,
+    par: Par,
+) -> Result<(), PoolError> {
     match par.normalize() {
-        Par::Seq => gemm_st(alpha, a, b, beta, c),
+        Par::Seq => {
+            gemm_st(alpha, a, b, beta, c);
+            Ok(())
+        }
         Par::Threads(t) => gemm_mt(alpha, a, b, beta, c, t),
     }
 }
@@ -34,11 +53,11 @@ fn gemm_mt<T: Scalar>(
     beta: T,
     c: MatMut<'_, T>,
     threads: usize,
-) {
+) -> Result<(), PoolError> {
     let m = a.rows();
     assert_eq!(m, c.rows(), "C row count mismatch");
     if m == 0 || c.cols() == 0 {
-        return;
+        return Ok(());
     }
     // Stripe height: balanced across workers, rounded up to the register
     // tile so stripes don't split microkernel rows.
@@ -55,13 +74,13 @@ fn gemm_mt<T: Scalar>(
         r0 += rows;
     }
 
-    pool(threads).scope(|s| {
+    pool(threads).try_scope(|s| {
         for (a_stripe, c_stripe) in jobs {
             s.spawn(move |_| {
                 gemm_st(alpha, a_stripe, b, beta, c_stripe);
             });
         }
-    });
+    })
 }
 
 /// Convenience: allocate and return `C = A · B` with given parallelism.
@@ -79,7 +98,9 @@ mod tests {
     fn rand_mat<T: Scalar>(rows: usize, cols: usize, seed: u64) -> Mat<T> {
         let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
         Mat::from_fn(rows, cols, |_, _| {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             T::from_f64(((state >> 32) as u32 as f64 / (1u64 << 31) as f64) - 1.0)
         })
     }
@@ -91,10 +112,7 @@ mod tests {
         let seq = matmul_par(a.as_ref(), b.as_ref(), Par::Seq);
         for threads in [2, 3, 4] {
             let par = matmul_par(a.as_ref(), b.as_ref(), Par::Threads(threads));
-            assert!(
-                par.rel_frobenius_error(&seq) < 1e-6,
-                "threads={threads}"
-            );
+            assert!(par.rel_frobenius_error(&seq) < 1e-6, "threads={threads}");
         }
     }
 
@@ -113,7 +131,14 @@ mod tests {
         let b = rand_mat::<f64>(32, 32, 6);
         let c0 = rand_mat::<f64>(32, 32, 7);
         let mut c = c0.clone();
-        gemm(1.0, a.as_ref(), b.as_ref(), 1.0, c.as_mut(), Par::Threads(3));
+        gemm(
+            1.0,
+            a.as_ref(),
+            b.as_ref(),
+            1.0,
+            c.as_mut(),
+            Par::Threads(3),
+        );
         let ab = matmul_naive(a.as_ref(), b.as_ref());
         for i in 0..32 {
             for j in 0..32 {
@@ -136,6 +161,13 @@ mod tests {
         let a = Mat::<f32>::zeros(0, 5);
         let b = Mat::<f32>::zeros(5, 4);
         let mut c = Mat::<f32>::zeros(0, 4);
-        gemm(1.0, a.as_ref(), b.as_ref(), 0.0, c.as_mut(), Par::Threads(2));
+        gemm(
+            1.0,
+            a.as_ref(),
+            b.as_ref(),
+            0.0,
+            c.as_mut(),
+            Par::Threads(2),
+        );
     }
 }

@@ -1,33 +1,382 @@
-//! Shared rayon thread pools, one per requested width.
+//! Shared panic-isolated worker pools, one per requested width.
 //!
 //! The paper's experiments pin thread counts (1, 6, 12); the APA hybrid
 //! strategy additionally needs "p workers each running sequential gemm"
 //! and "all p workers inside one gemm" *on the same pool*. Pools are
 //! created lazily and cached for the life of the process.
+//!
+//! Robustness contract (the crash-safety PR):
+//!
+//! * **Panic isolation** — every spawned task runs under `catch_unwind`;
+//!   a panicking lane never kills its worker thread and never leaves a
+//!   scope barrier hanging. [`WorkerPool::try_scope`] drains *all* spawned
+//!   tasks (the lifetime-erasure safety argument requires it), then
+//!   reports the first panic as a typed [`PoolError::WorkerPanicked`].
+//! * **Idempotent, drop-safe shutdown** — [`WorkerPool::shutdown`] may be
+//!   called any number of times, concurrently with in-flight scopes, and
+//!   is invoked from `Drop`; it never hangs on a worker that already
+//!   exited. A scope opened after shutdown degrades gracefully by running
+//!   its tasks inline on the caller.
+//! * **Rebuild** — [`rebuild`] replaces the cached pool for a width with a
+//!   fresh one (the degradation ladder calls it after a lane panic, belt
+//!   and braces: workers survive caught panics by construction).
 
 use parking_lot::Mutex;
-use rayon::{ThreadPool, ThreadPoolBuilder};
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::marker::PhantomData;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Condvar, Mutex as StdMutex, PoisonError};
+use std::thread::JoinHandle;
 
-static POOLS: Mutex<Option<HashMap<usize, Arc<ThreadPool>>>> = Mutex::new(None);
+/// Typed failure of pooled work: the only way pooled execution can fail
+/// is a task panicking on a worker lane.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PoolError {
+    /// A task spawned into a scope panicked on a worker thread. `detail`
+    /// carries the panic payload when it was a string.
+    WorkerPanicked { detail: String },
+}
 
-/// A cached pool with exactly `threads` workers (≥ 1).
-pub fn pool(threads: usize) -> Arc<ThreadPool> {
+impl std::fmt::Display for PoolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PoolError::WorkerPanicked { detail } => {
+                write!(f, "worker lane panicked: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PoolError {}
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+static POOLS: Mutex<Option<HashMap<usize, Arc<WorkerPool>>>> = Mutex::new(None);
+
+/// A cached pool with exactly `threads` workers (≥ 1). If the cached pool
+/// for this width was shut down, a fresh one transparently replaces it.
+pub fn pool(threads: usize) -> Arc<WorkerPool> {
     let threads = threads.max(1);
     let mut guard = POOLS.lock();
     let map = guard.get_or_insert_with(HashMap::new);
-    map.entry(threads)
-        .or_insert_with(|| {
-            Arc::new(
-                ThreadPoolBuilder::new()
-                    .num_threads(threads)
-                    .thread_name(move |i| format!("apa-gemm-{threads}-{i}"))
-                    .build()
-                    .expect("rayon pool construction cannot fail with valid size"),
-            )
-        })
-        .clone()
+    let entry = map
+        .entry(threads)
+        .or_insert_with(|| Arc::new(WorkerPool::new(threads)));
+    if entry.is_shut_down() {
+        *entry = Arc::new(WorkerPool::new(threads));
+    }
+    entry.clone()
+}
+
+/// Replace the cached pool for `threads` with a freshly built one and shut
+/// the old one down. Subsequent [`pool`] calls for this width get the new
+/// pool; scopes still running on the old pool finish their work first.
+pub fn rebuild(threads: usize) -> Arc<WorkerPool> {
+    let threads = threads.max(1);
+    let fresh = Arc::new(WorkerPool::new(threads));
+    let old = {
+        let mut guard = POOLS.lock();
+        let map = guard.get_or_insert_with(HashMap::new);
+        map.insert(threads, fresh.clone())
+    };
+    if let Some(old) = old {
+        old.shutdown();
+    }
+    fresh
+}
+
+struct PoolInner {
+    sender: Option<Sender<Job>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+/// A fixed-width worker pool running scoped fork-join work.
+pub struct WorkerPool {
+    threads: usize,
+    inner: Mutex<PoolInner>,
+}
+
+impl WorkerPool {
+    /// Spawn `threads` workers (≥ 1) sharing one job queue.
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let (sender, receiver) = channel::<Job>();
+        let receiver = Arc::new(StdMutex::new(receiver));
+        let workers = (0..threads)
+            .map(|i| {
+                let rx = receiver.clone();
+                std::thread::Builder::new()
+                    .name(format!("apa-gemm-{threads}-{i}"))
+                    .spawn(move || worker_loop(&rx))
+                    .expect("worker thread spawn cannot fail")
+            })
+            .collect();
+        Self {
+            threads,
+            inner: Mutex::new(PoolInner {
+                sender: Some(sender),
+                workers,
+            }),
+        }
+    }
+
+    /// Worker count the pool was built with.
+    pub fn current_num_threads(&self) -> usize {
+        self.threads
+    }
+
+    /// True once [`Self::shutdown`] has run (or `Drop` did).
+    pub fn is_shut_down(&self) -> bool {
+        self.inner.lock().sender.is_none()
+    }
+
+    /// Stop accepting work, drain the queue and join the workers.
+    /// Idempotent: extra calls (including from `Drop`) are no-ops, and a
+    /// worker that already exited never makes this hang — `join` on a
+    /// finished thread returns immediately and a panicked worker's `Err`
+    /// is discarded.
+    pub fn shutdown(&self) {
+        let workers = {
+            let mut inner = self.inner.lock();
+            inner.sender = None; // closing the channel ends worker_loop
+            std::mem::take(&mut inner.workers)
+        };
+        for handle in workers {
+            let _ = handle.join();
+        }
+    }
+
+    /// Scoped fork-join: tasks spawned inside `f` may borrow from the
+    /// enclosing stack; the call returns only after every task finished.
+    /// A lane panic is re-raised on the caller **after** the barrier (so
+    /// no task is left running) with the [`PoolError`] message;
+    /// [`Self::try_scope`] is the non-panicking variant.
+    pub fn scope<'env, F, R>(&self, f: F) -> R
+    where
+        F: FnOnce(&Scope<'env>) -> R,
+    {
+        match self.try_scope(f) {
+            Ok(r) => r,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// [`Self::scope`] returning a lane panic as a typed
+    /// [`PoolError::WorkerPanicked`] instead of re-panicking. All spawned
+    /// tasks are always run to completion before this returns — on
+    /// success, on lane panic, and even when `f` itself unwinds — so the
+    /// borrow-erasure below stays sound and a dead lane can never leave
+    /// the barrier (or a later caller) hanging.
+    pub fn try_scope<'env, F, R>(&self, f: F) -> Result<R, PoolError>
+    where
+        F: FnOnce(&Scope<'env>) -> R,
+    {
+        let scope = Scope {
+            state: Arc::new(ScopeState::default()),
+            sender: self.inner.lock().sender.clone(),
+            _env: PhantomData,
+        };
+        let result = catch_unwind(AssertUnwindSafe(|| f(&scope)));
+        scope.state.wait_all();
+        let lane_panic = scope.state.take_panic();
+        match result {
+            // The caller's own closure unwound: propagate its panic, but
+            // only now that every spawned task has finished.
+            Err(payload) => resume_unwind(payload),
+            Ok(_) if lane_panic.is_some() => Err(PoolError::WorkerPanicked {
+                detail: lane_panic.unwrap(),
+            }),
+            Ok(r) => Ok(r),
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn worker_loop(rx: &StdMutex<Receiver<Job>>) {
+    loop {
+        // Release the receiver lock before running the job so lanes run
+        // concurrently. Jobs are panic-wrapped at spawn; the only way out
+        // of this loop is the channel closing on shutdown.
+        let job = {
+            let guard = rx.lock().unwrap_or_else(PoisonError::into_inner);
+            guard.recv()
+        };
+        match job {
+            Ok(job) => job(),
+            Err(_) => break,
+        }
+    }
+}
+
+#[derive(Default)]
+struct ScopeBarrier {
+    pending: usize,
+    panic: Option<String>,
+}
+
+#[derive(Default)]
+struct ScopeState {
+    barrier: StdMutex<ScopeBarrier>,
+    all_done: Condvar,
+}
+
+impl ScopeState {
+    fn add_task(&self) {
+        self.barrier
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .pending += 1;
+    }
+
+    fn finish_task(&self) {
+        let mut b = self.barrier.lock().unwrap_or_else(PoisonError::into_inner);
+        b.pending -= 1;
+        if b.pending == 0 {
+            self.all_done.notify_all();
+        }
+    }
+
+    fn note_panic(&self, payload: &(dyn std::any::Any + Send)) {
+        let detail = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| payload.downcast_ref::<&str>().map(|s| (*s).to_string()))
+            .unwrap_or_else(|| "non-string panic payload".to_string());
+        let mut b = self.barrier.lock().unwrap_or_else(PoisonError::into_inner);
+        b.panic.get_or_insert(detail);
+    }
+
+    fn wait_all(&self) {
+        let mut b = self.barrier.lock().unwrap_or_else(PoisonError::into_inner);
+        while b.pending > 0 {
+            b = self
+                .all_done
+                .wait(b)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    fn take_panic(&self) -> Option<String> {
+        self.barrier
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .panic
+            .take()
+    }
+}
+
+/// Decrements the barrier on drop, so even a panicking task (or a bug in
+/// the wrapper) can never strand the scope's `wait_all`.
+struct FinishGuard(Arc<ScopeState>);
+
+impl Drop for FinishGuard {
+    fn drop(&mut self) {
+        self.0.finish_task();
+    }
+}
+
+/// Spawn handle passed to the closure of [`WorkerPool::scope`] /
+/// [`WorkerPool::try_scope`].
+pub struct Scope<'env> {
+    state: Arc<ScopeState>,
+    /// `None` once the pool is shut down — tasks then run inline.
+    sender: Option<Sender<Job>>,
+    /// Invariant over `'env`, like `std::thread::scope`.
+    _env: PhantomData<&'env mut &'env ()>,
+}
+
+impl<'env> Scope<'env> {
+    /// Queue `f` on the pool. The closure receives a scope handle with the
+    /// same spawning power (nested spawns join the same barrier).
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce(&Scope<'env>) + Send + 'env,
+    {
+        let state = self.state.clone();
+        let sender = self.sender.clone();
+        self.state.add_task();
+        let job: Box<dyn FnOnce() + Send + 'env> = Box::new(move || {
+            let _finish = FinishGuard(state.clone());
+            let nested = Scope {
+                state: state.clone(),
+                sender,
+                _env: PhantomData,
+            };
+            let run = AssertUnwindSafe(|| {
+                #[cfg(feature = "fault-inject")]
+                lane_fault::fire();
+                f(&nested);
+            });
+            if let Err(payload) = catch_unwind(run) {
+                state.note_panic(payload.as_ref());
+            }
+        });
+        // SAFETY: the job only borrows data outliving 'env, and both
+        // `scope` and `try_scope` block on `wait_all` before returning —
+        // on every path, including caller and lane panics (FinishGuard) —
+        // so no borrow in the job can outlive its referent.
+        let job: Job = unsafe {
+            std::mem::transmute::<Box<dyn FnOnce() + Send + 'env>, Box<dyn FnOnce() + Send>>(job)
+        };
+        match &self.sender {
+            // A send only fails if shutdown closed the channel after this
+            // scope grabbed its sender; fall through to inline execution.
+            Some(tx) => {
+                if let Err(e) = tx.send(job) {
+                    (e.0)();
+                }
+            }
+            None => job(),
+        }
+    }
+}
+
+/// Deterministic lane-fault switches for crash drills (compiled only with
+/// `--features fault-inject`). Arming is one-shot: the next task any pool
+/// worker dequeues consumes the fault. Panics raised here are caught by
+/// the task wrapper like any real lane panic.
+#[cfg(feature = "fault-inject")]
+pub mod lane_fault {
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+    use std::time::Duration;
+
+    /// Message of an injected lane panic (tests match on it).
+    pub const INJECTED_PANIC: &str = "injected lane panic (fault-inject)";
+
+    static PANIC_ARMED: AtomicBool = AtomicBool::new(false);
+    static STALL_MS: AtomicU64 = AtomicU64::new(0);
+
+    /// Make the next pooled task panic.
+    pub fn arm_panic() {
+        PANIC_ARMED.store(true, Ordering::SeqCst);
+    }
+
+    /// Make the next pooled task sleep `millis` before running.
+    pub fn arm_stall(millis: u64) {
+        STALL_MS.store(millis, Ordering::SeqCst);
+    }
+
+    /// Clear both switches (armed faults that never fired included).
+    pub fn disarm() {
+        PANIC_ARMED.store(false, Ordering::SeqCst);
+        STALL_MS.store(0, Ordering::SeqCst);
+    }
+
+    pub(super) fn fire() {
+        let stall = STALL_MS.swap(0, Ordering::SeqCst);
+        if stall > 0 {
+            std::thread::sleep(Duration::from_millis(stall));
+        }
+        if PANIC_ARMED.swap(false, Ordering::SeqCst) {
+            panic!("{INJECTED_PANIC}");
+        }
+    }
 }
 
 /// Degree of parallelism for a kernel invocation.
@@ -60,6 +409,8 @@ impl Par {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::time::Duration;
 
     #[test]
     fn pool_is_cached_and_sized() {
@@ -80,9 +431,140 @@ mod tests {
     }
 
     #[test]
-    fn pool_executes_work() {
-        let p = pool(2);
-        let sum: usize = p.install(|| (0..100).sum());
-        assert_eq!(sum, 4950);
+    fn scope_runs_borrowing_tasks() {
+        let p = WorkerPool::new(2);
+        let mut parts = vec![0usize; 4];
+        p.scope(|s| {
+            for (i, slot) in parts.iter_mut().enumerate() {
+                s.spawn(move |_| *slot = (0..=i * 10).sum());
+            }
+        });
+        assert_eq!(parts, vec![0, 55, 210, 465]);
+        p.shutdown();
+    }
+
+    #[test]
+    fn lane_panic_is_typed_and_pool_survives() {
+        let p = WorkerPool::new(2);
+        let done = AtomicUsize::new(0);
+        let result = p.try_scope(|s| {
+            s.spawn(|_| panic!("lane 0 exploded"));
+            for _ in 0..3 {
+                s.spawn(|_| {
+                    done.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        });
+        assert_eq!(
+            result,
+            Err(PoolError::WorkerPanicked {
+                detail: "lane 0 exploded".to_string()
+            })
+        );
+        // The barrier drained: sibling lanes all ran despite the panic.
+        assert_eq!(done.load(Ordering::SeqCst), 3);
+        // The same pool keeps working — no poisoned state, no dead worker.
+        let ok = p.try_scope(|s| {
+            s.spawn(|_| {
+                done.fetch_add(10, Ordering::SeqCst);
+            });
+        });
+        assert_eq!(ok, Ok(()));
+        assert_eq!(done.load(Ordering::SeqCst), 13);
+        p.shutdown();
+    }
+
+    #[test]
+    fn scope_repanic_carries_the_lane_message() {
+        let p = WorkerPool::new(2);
+        let err = catch_unwind(AssertUnwindSafe(|| {
+            p.scope(|s| s.spawn(|_| panic!("boom on a lane")));
+        }))
+        .unwrap_err();
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("worker lane panicked"), "{msg}");
+        assert!(msg.contains("boom on a lane"), "{msg}");
+        p.shutdown();
+    }
+
+    #[test]
+    fn double_shutdown_is_idempotent() {
+        let p = WorkerPool::new(3);
+        p.scope(|s| s.spawn(|_| {}));
+        p.shutdown();
+        assert!(p.is_shut_down());
+        p.shutdown(); // second call: no hang, no panic
+        assert!(p.is_shut_down());
+    }
+
+    #[test]
+    fn spawn_after_shutdown_runs_inline() {
+        let p = WorkerPool::new(2);
+        p.shutdown();
+        let ran = AtomicUsize::new(0);
+        let r = p.try_scope(|s| {
+            s.spawn(|_| {
+                ran.fetch_add(1, Ordering::SeqCst);
+            });
+        });
+        assert_eq!(r, Ok(()));
+        assert_eq!(ran.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn shutdown_while_busy_drains_and_returns() {
+        // Shut down (as Drop would) while lanes are mid-task on another
+        // thread: the queue drains, every job runs, and neither shutdown
+        // nor the in-flight scope hangs or loses work.
+        let p = Arc::new(WorkerPool::new(2));
+        let done = Arc::new(AtomicUsize::new(0));
+        let (p2, done2) = (p.clone(), done.clone());
+        let scope_thread = std::thread::spawn(move || {
+            p2.scope(|s| {
+                for _ in 0..6 {
+                    let d = done2.clone();
+                    s.spawn(move |_| {
+                        std::thread::sleep(Duration::from_millis(5));
+                        d.fetch_add(1, Ordering::SeqCst);
+                    });
+                }
+            });
+        });
+        std::thread::sleep(Duration::from_millis(2));
+        p.shutdown();
+        scope_thread.join().unwrap();
+        assert_eq!(done.load(Ordering::SeqCst), 6);
+        assert!(p.is_shut_down());
+    }
+
+    #[test]
+    fn rebuild_replaces_the_cached_pool() {
+        let before = pool(5);
+        let fresh = rebuild(5);
+        assert!(!Arc::ptr_eq(&before, &fresh));
+        assert!(before.is_shut_down());
+        assert!(Arc::ptr_eq(&fresh, &pool(5)));
+        // A shut-down cached pool is also replaced transparently.
+        fresh.shutdown();
+        let replaced = pool(5);
+        assert!(!replaced.is_shut_down());
+    }
+
+    #[test]
+    fn nested_spawns_join_the_same_barrier() {
+        let p = WorkerPool::new(3);
+        let count = AtomicUsize::new(0);
+        p.scope(|s| {
+            for _ in 0..3 {
+                s.spawn(|inner| {
+                    count.fetch_add(1, Ordering::SeqCst);
+                    inner.spawn(|_| {
+                        count.fetch_add(10, Ordering::SeqCst);
+                    });
+                });
+            }
+        });
+        assert_eq!(count.load(Ordering::SeqCst), 33);
+        p.shutdown();
     }
 }

@@ -122,7 +122,16 @@ mod tests {
 
         let run = |op_a, op_b, av: &Mat<f64>, bv: &Mat<f64>| {
             let mut c = Mat::<f64>::zeros(m, n);
-            gemm_op(op_a, op_b, 1.0, av.as_ref(), bv.as_ref(), 0.0, c.as_mut(), Par::Seq);
+            gemm_op(
+                op_a,
+                op_b,
+                1.0,
+                av.as_ref(),
+                bv.as_ref(),
+                0.0,
+                c.as_mut(),
+                Par::Seq,
+            );
             assert!(c.rel_frobenius_error(&expect) < 1e-13, "{op_a:?},{op_b:?}");
         };
         run(Op::NoTrans, Op::NoTrans, &a, &b);
@@ -137,7 +146,16 @@ mod tests {
         let at = transpose(a.as_ref());
         let b = numbered(3, 3);
         let mut c = Mat::from_fn(3, 3, |_, _| 1.0);
-        gemm_op(Op::Trans, Op::NoTrans, 2.0, at.as_ref(), b.as_ref(), -1.0, c.as_mut(), Par::Seq);
+        gemm_op(
+            Op::Trans,
+            Op::NoTrans,
+            2.0,
+            at.as_ref(),
+            b.as_ref(),
+            -1.0,
+            c.as_mut(),
+            Par::Seq,
+        );
         let expect = matmul_naive(a.as_ref(), b.as_ref());
         for i in 0..3 {
             for j in 0..3 {

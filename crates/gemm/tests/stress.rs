@@ -78,7 +78,7 @@ fn gemm_op_transposes_on_subviews() {
     let big = rand_mat::<f64>(40, 40, 7);
     let a = big.as_ref().subview(5, 5, 12, 20); // 12×20
     let b = big.as_ref().subview(0, 10, 12, 17); // 12×17
-    // C = Aᵀ·B → 20×17
+                                                 // C = Aᵀ·B → 20×17
     let mut c = Mat::<f64>::zeros(20, 17);
     gemm_op(Op::Trans, Op::NoTrans, 1.0, a, b, 0.0, c.as_mut(), Par::Seq);
     let at = apa_gemm::transpose(a);

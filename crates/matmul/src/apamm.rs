@@ -36,7 +36,27 @@ use crate::workspace::Workspace;
 use apa_core::{brent, error_model, BilinearAlgorithm};
 use apa_gemm::{Mat, MatMut, MatRef, Scalar};
 use std::any::{Any, TypeId};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::{Mutex, PoisonError};
+
+/// Convert a caught panic into [`MatmulError::WorkerPanicked`] when it is
+/// a pool-lane panic (recognized by the [`apa_gemm::PoolError`] message
+/// the scope re-raises), rebuilding the pool for `threads` so subsequent
+/// multiplies run on fresh workers. Unrelated panics — caller bugs — are
+/// resumed untouched.
+pub(crate) fn classify_lane_panic(payload: Box<dyn Any + Send>, threads: usize) -> MatmulError {
+    let detail = payload
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| payload.downcast_ref::<&str>().map(|s| (*s).to_string()));
+    match detail {
+        Some(detail) if detail.contains("worker lane panicked") => {
+            apa_gemm::rebuild(threads);
+            MatmulError::WorkerPanicked { detail }
+        }
+        _ => resume_unwind(payload),
+    }
+}
 
 /// Distinct `(type, shape, config)` workspaces kept per multiplier. A
 /// dense layer needs three (forward, ∇W, ∇X); eight covers a small mix of
@@ -128,12 +148,9 @@ impl ApaMatmul {
 
     fn default_lambda(alg: &BilinearAlgorithm, sigma: Option<u32>, steps: u32) -> f64 {
         match sigma {
-            Some(sigma) => error_model::optimal_lambda(
-                sigma,
-                alg.phi(),
-                error_model::D_SINGLE,
-                steps.max(1),
-            ),
+            Some(sigma) => {
+                error_model::optimal_lambda(sigma, alg.phi(), error_model::D_SINGLE, steps.max(1))
+            }
             None => 0.0,
         }
     }
@@ -219,9 +236,12 @@ impl ApaMatmul {
             .unwrap_or_else(|e| panic!("ApaMatmul::multiply_into: {e}"));
     }
 
-    /// [`Self::multiply_into`] with the operand shapes validated up front:
-    /// mismatched operands return a typed [`MatmulError`] in release
-    /// builds too, instead of relying on interior assertions.
+    /// [`Self::multiply_into`] with the operand shapes validated up front
+    /// (mismatched operands return a typed [`MatmulError`] in release
+    /// builds too, instead of relying on interior assertions) and worker
+    /// lane panics converted into [`MatmulError::WorkerPanicked`]: the
+    /// pool is rebuilt and this instance stays usable, though `C` may be
+    /// partially written on `Err`.
     pub fn try_multiply_into<T: Scalar>(
         &self,
         a: MatRef<'_, T>,
@@ -233,6 +253,20 @@ impl ApaMatmul {
             (b.rows(), b.cols()),
             (c.rows(), c.cols()),
         )?;
+        match catch_unwind(AssertUnwindSafe(|| self.multiply_into_unchecked(a, b, c))) {
+            Ok(()) => Ok(()),
+            Err(payload) => Err(classify_lane_panic(payload, self.threads)),
+        }
+    }
+
+    /// The engine call behind [`Self::try_multiply_into`], shapes already
+    /// validated (private so the validation cannot be skipped).
+    fn multiply_into_unchecked<T: Scalar>(
+        &self,
+        a: MatRef<'_, T>,
+        b: MatRef<'_, T>,
+        c: MatMut<'_, T>,
+    ) {
         let (m, k, n) = (a.rows(), a.cols(), b.cols());
         with_uniform_chain(&self.plan, self.steps, |chain| {
             let mut cache = self.cache.lock().unwrap_or_else(PoisonError::into_inner);
@@ -268,9 +302,17 @@ impl ApaMatmul {
                 .ws
                 .downcast_mut::<Workspace<T>>()
                 .expect("cache entry is type-keyed");
-            fast_matmul_chain_any_into_ws(chain, a, b, c, self.strategy, self.threads, self.peel, ws);
+            fast_matmul_chain_any_into_ws(
+                chain,
+                a,
+                b,
+                c,
+                self.strategy,
+                self.threads,
+                self.peel,
+                ws,
+            );
         });
-        Ok(())
     }
 
     /// The pre-workspace behavior: allocate every intermediate buffer on
@@ -328,7 +370,16 @@ impl ApaMatmul {
         ws: &mut Workspace<T>,
     ) {
         with_uniform_chain(&self.plan, self.steps, |chain| {
-            fast_matmul_chain_any_into_ws(chain, a, b, c, self.strategy, self.threads, self.peel, ws)
+            fast_matmul_chain_any_into_ws(
+                chain,
+                a,
+                b,
+                c,
+                self.strategy,
+                self.threads,
+                self.peel,
+                ws,
+            )
         });
     }
 
@@ -432,15 +483,7 @@ impl ApaChain {
         )?;
         // The Borrow-generic engine takes the owned plans directly — no
         // per-call Vec<&ExecPlan> is built anymore.
-        fast_matmul_chain_any_into(
-            &self.plans,
-            a,
-            b,
-            c,
-            self.strategy,
-            self.threads,
-            self.peel,
-        );
+        fast_matmul_chain_any_into(&self.plans, a, b, c, self.strategy, self.threads, self.peel);
         Ok(())
     }
 
@@ -496,12 +539,34 @@ impl ClassicalMatmul {
     }
 
     pub fn multiply_into<T: Scalar>(&self, a: MatRef<'_, T>, b: MatRef<'_, T>, c: MatMut<'_, T>) {
+        self.try_multiply_into(a, b, c)
+            .unwrap_or_else(|e| panic!("ClassicalMatmul::multiply_into: {e}"));
+    }
+
+    /// [`Self::multiply_into`] returning typed errors: operand-shape
+    /// mismatches and panicked worker lanes (the pool is rebuilt, `C` may
+    /// be partially written, the instance stays usable).
+    pub fn try_multiply_into<T: Scalar>(
+        &self,
+        a: MatRef<'_, T>,
+        b: MatRef<'_, T>,
+        c: MatMut<'_, T>,
+    ) -> Result<(), MatmulError> {
+        check_operands(
+            (a.rows(), a.cols()),
+            (b.rows(), b.cols()),
+            (c.rows(), c.cols()),
+        )?;
         let par = if self.threads > 1 {
             apa_gemm::Par::Threads(self.threads)
         } else {
             apa_gemm::Par::Seq
         };
-        apa_gemm::gemm(T::ONE, a, b, T::ZERO, c, par);
+        apa_gemm::try_gemm(T::ONE, a, b, T::ZERO, c, par).map_err(|e| {
+            let apa_gemm::PoolError::WorkerPanicked { detail } = e;
+            apa_gemm::rebuild(self.threads);
+            MatmulError::WorkerPanicked { detail }
+        })
     }
 
     pub fn multiply<T: Scalar>(&self, a: MatRef<'_, T>, b: MatRef<'_, T>) -> Mat<T> {

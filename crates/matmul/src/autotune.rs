@@ -110,12 +110,7 @@ mod tests {
 
     #[test]
     fn race_produces_ordered_candidates() {
-        let outcome = autotune_with(
-            vec![catalog::strassen(), catalog::bini322()],
-            256,
-            1,
-            128,
-        );
+        let outcome = autotune_with(vec![catalog::strassen(), catalog::bini322()], 256, 1, 128);
         assert_eq!(outcome.candidates.len(), 3);
         for w in outcome.candidates.windows(2) {
             assert!(w[0].seconds <= w[1].seconds, "not sorted");

@@ -10,14 +10,20 @@ use crate::schedule::Strategy;
 use apa_core::BilinearAlgorithm;
 use apa_gemm::{matmul, Mat};
 
-/// Typed operand-shape errors for the `multiply_into` family.
+/// Typed errors for the `multiply_into` family.
 ///
 /// The engine's internal invariants stay `debug_assert`s, but *operand*
 /// mismatches are caller bugs that must fail loudly in release builds too —
 /// silently mis-partitioning a wrongly-shaped operand would corrupt the
 /// output (or read out of bounds) with no diagnostic. `try_multiply_into`
 /// surfaces these as values; the panicking entry points format them.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+///
+/// Execution failures are also typed: a panicked worker lane unwinds
+/// cleanly out of the pool barrier and reaches the caller as
+/// [`MatmulError::WorkerPanicked`]; a multiply that blew through the
+/// configured watchdog deadline surfaces as [`MatmulError::LaneTimeout`].
+/// Either way the instance stays usable — the next multiply succeeds.
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum MatmulError {
     /// `A` is `m×k` but `B` is `k'×n` with `k ≠ k'`.
     InnerDimMismatch {
@@ -29,6 +35,12 @@ pub enum MatmulError {
         expected: (usize, usize),
         got: (usize, usize),
     },
+    /// A gemm worker lane panicked during this multiply. The pool drained
+    /// and was rebuilt; `C` may be partially written.
+    WorkerPanicked { detail: String },
+    /// The multiply exceeded the watchdog deadline (milliseconds shown)
+    /// on every rung it was allowed to try.
+    LaneTimeout { deadline_ms: u64 },
 }
 
 impl std::fmt::Display for MatmulError {
@@ -44,6 +56,15 @@ impl std::fmt::Display for MatmulError {
                 "output shape mismatch: product is {}x{}, C is {}x{}",
                 expected.0, expected.1, got.0, got.1
             ),
+            MatmulError::WorkerPanicked { detail } => {
+                write!(f, "worker lane panicked: {detail}")
+            }
+            MatmulError::LaneTimeout { deadline_ms } => {
+                write!(
+                    f,
+                    "multiply exceeded the {deadline_ms} ms watchdog deadline"
+                )
+            }
         }
     }
 }
@@ -70,7 +91,9 @@ pub(crate) fn check_operands(
 
 /// Deterministic uniform(-1, 1) matrix (paper: "uniform random inputs").
 pub fn uniform_mat_f32(rows: usize, cols: usize, seed: u64) -> Mat<f32> {
-    let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(0xD1B54A32D192ED03);
+    let mut state = seed
+        .wrapping_mul(0x9E3779B97F4A7C15)
+        .wrapping_add(0xD1B54A32D192ED03);
     Mat::from_fn(rows, cols, |_, _| {
         state = state
             .wrapping_mul(6364136223846793005)
@@ -125,7 +148,10 @@ mod tests {
         assert_eq!(check_operands((3, 4), (4, 5), (3, 5)), Ok(()));
         assert_eq!(
             check_operands((3, 4), (7, 5), (3, 5)),
-            Err(MatmulError::InnerDimMismatch { a: (3, 4), b: (7, 5) })
+            Err(MatmulError::InnerDimMismatch {
+                a: (3, 4),
+                b: (7, 5)
+            })
         );
         assert_eq!(
             check_operands((3, 4), (4, 5), (3, 6)),
@@ -134,7 +160,9 @@ mod tests {
                 got: (3, 6)
             })
         );
-        let msg = check_operands((3, 4), (7, 5), (3, 5)).unwrap_err().to_string();
+        let msg = check_operands((3, 4), (7, 5), (3, 5))
+            .unwrap_err()
+            .to_string();
         assert!(msg.contains("3x4") && msg.contains("7x5"), "{msg}");
     }
 

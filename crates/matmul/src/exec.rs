@@ -128,7 +128,12 @@ pub(crate) fn run_level<T: Scalar, P: Borrow<ExecPlan> + Sync>(
 
 pub(crate) fn divisible(plan: &ExecPlan, m: usize, k: usize, n: usize) -> bool {
     let d = plan.dims;
-    m.is_multiple_of(d.m) && k.is_multiple_of(d.k) && n.is_multiple_of(d.n) && m >= d.m && k >= d.k && n >= d.n
+    m.is_multiple_of(d.m)
+        && k.is_multiple_of(d.k)
+        && n.is_multiple_of(d.n)
+        && m >= d.m
+        && k >= d.k
+        && n >= d.n
 }
 
 fn leaf_par(strategy: Strategy, threads: usize) -> Par {
@@ -210,7 +215,16 @@ fn one_step<T: Scalar, P: Borrow<ExecPlan> + Sync>(
                     s.spawn(move |_| {
                         for (j, m_out) in chunk_prods.iter_mut().enumerate() {
                             let t = ci * chunk + j;
-                            compute_product(plan, rest, t, a_blocks, b_blocks, m_out, Par::Seq, lane);
+                            compute_product(
+                                plan,
+                                rest,
+                                t,
+                                a_blocks,
+                                b_blocks,
+                                m_out,
+                                Par::Seq,
+                                lane,
+                            );
                         }
                     });
                 }
@@ -230,7 +244,16 @@ fn one_step<T: Scalar, P: Borrow<ExecPlan> + Sync>(
                     s.spawn(move |_| {
                         for (j, m_out) in chunk_prods.iter_mut().enumerate() {
                             let t = i * q + j;
-                            compute_product(plan, rest, t, a_blocks, b_blocks, m_out, Par::Seq, lane);
+                            compute_product(
+                                plan,
+                                rest,
+                                t,
+                                a_blocks,
+                                b_blocks,
+                                m_out,
+                                Par::Seq,
+                                lane,
+                            );
                         }
                     });
                 }
@@ -260,7 +283,11 @@ fn compute_product<T: Scalar, P: Borrow<ExecPlan> + Sync>(
     lane: &mut LaneWs<T>,
 ) {
     let recursive = !rest.is_empty();
-    let LaneWs { s_buf, t_buf, child } = lane;
+    let LaneWs {
+        s_buf,
+        t_buf,
+        child,
+    } = lane;
 
     let (s_view, alpha_a) = match &plan.a_combos[t] {
         Combo::Single { block, coeff } if !recursive || *coeff == 1.0 => {
@@ -296,7 +323,15 @@ fn compute_product<T: Scalar, P: Borrow<ExecPlan> + Sync>(
         let child = child
             .as_deref_mut()
             .expect("recursive level carries a child workspace");
-        run_level(rest, s_view, t_view, m_out.as_mut(), Strategy::Seq, 1, child);
+        run_level(
+            rest,
+            s_view,
+            t_view,
+            m_out.as_mut(),
+            Strategy::Seq,
+            1,
+            child,
+        );
     } else {
         let alpha = T::from_f64(alpha_a * alpha_b);
         gemm(alpha, s_view, t_view, T::ZERO, m_out.as_mut(), par);
@@ -306,7 +341,12 @@ fn compute_product<T: Scalar, P: Borrow<ExecPlan> + Sync>(
 fn form_combo<T: Scalar>(dst: MatMut<'_, T>, combo: &Combo, blocks: Blocks<'_, T>, par: Par) {
     match combo {
         Combo::Single { block, coeff } => {
-            combine_par(dst, false, &[(T::from_f64(*coeff), blocks.get(*block))], par);
+            combine_par(
+                dst,
+                false,
+                &[(T::from_f64(*coeff), blocks.get(*block))],
+                par,
+            );
         }
         Combo::Multi(v) if v.len() <= MAX_INLINE_TERMS => {
             // Stack-staged term list; slots past v.len() are never read.
@@ -341,7 +381,10 @@ fn write_outputs<T: Scalar>(
         let (bi, bj) = (block / d.n, block % d.n);
         let dst = c.rb().into_subview(bi * bm, bj * bn, bm, bn);
         let contrib = &plan.c_outputs[block];
-        debug_assert!(!contrib.is_empty(), "output block {block} receives no products");
+        debug_assert!(
+            !contrib.is_empty(),
+            "output block {block} receives no products"
+        );
         if contrib.len() <= MAX_INLINE_TERMS {
             let mut terms = [(T::ZERO, products[0].as_ref()); MAX_INLINE_TERMS];
             for (slot, &(t, coeff)) in terms.iter_mut().zip(contrib) {
@@ -388,7 +431,14 @@ mod tests {
         })
     }
 
-    fn check(alg_name: &str, lambda: f64, mult: usize, tol: f64, strategy: Strategy, threads: usize) {
+    fn check(
+        alg_name: &str,
+        lambda: f64,
+        mult: usize,
+        tol: f64,
+        strategy: Strategy,
+        threads: usize,
+    ) {
         let alg = catalog::by_name(alg_name).unwrap();
         let d = alg.dims;
         let (m, k, n) = (d.m * mult, d.k * mult, d.n * mult);
@@ -418,7 +468,11 @@ mod tests {
     #[test]
     fn every_paper_algorithm_multiplies_correctly() {
         for alg in catalog::paper_lineup() {
-            let lambda = if alg.is_exact_rule() { 0.0 } else { 2.0_f64.powi(-26) };
+            let lambda = if alg.is_exact_rule() {
+                0.0
+            } else {
+                2.0_f64.powi(-26)
+            };
             check(&alg.name, lambda, 4, 1e-5, Strategy::Seq, 1);
         }
     }

@@ -25,9 +25,20 @@
 //! configuration settles low instead of oscillating. All transitions are
 //! counted in [`HealthStats`].
 //!
+//! Execution failures demote exactly like sentinel violations: a panicked
+//! gemm worker lane (typed [`MatmulError::WorkerPanicked`] from the rung)
+//! or a multiply that blows through the optional per-call
+//! [`GuardedApaMatmul::watchdog`] deadline retries one rung down, and only
+//! a failure on the classical floor escapes to the caller as an error.
+//!
+//! The sticky per-shape state, call counter, stats and rung-0 λ can be
+//! exported as a [`GuardedState`] and restored onto a fresh guard with the
+//! same configuration — this is what training checkpoints persist so a
+//! resumed run replays the exact ladder decisions of the original.
+//!
 //! With `--features fault-inject`, [`crate::fault`] can corrupt product
-//! buffers, seed NaN/Inf, or perturb λ at chosen call indices to exercise
-//! every rung deterministically.
+//! buffers, seed NaN/Inf, perturb λ, or panic/stall a worker lane at
+//! chosen call indices to exercise every rung deterministically.
 
 use crate::apamm::{ApaMatmul, ClassicalMatmul};
 use crate::error::{check_operands, MatmulError};
@@ -39,8 +50,10 @@ use crate::tune::tune_lambda;
 use apa_core::{catalog, BilinearAlgorithm};
 use apa_gemm::{Mat, MatMut, MatRef, Scalar};
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Mutex, OnceLock, PoisonError};
+use std::sync::{mpsc, Arc, Mutex, OnceLock, PoisonError};
+use std::time::Duration;
 
 /// How the ladder reacts to sentinel verdicts.
 #[derive(Clone, Copy, Debug)]
@@ -75,11 +88,101 @@ pub enum RungKind {
     Classical,
 }
 
+#[derive(Clone)]
 enum RungExec {
-    // Boxed: ApaMatmul (plan + caches) dwarfs the unit-like classical
-    // wrapper, and rungs live in a once-built Vec anyway.
-    Apa(Box<ApaMatmul>),
+    // Arc, not Box: the watchdog hands a clone of the exec to its helper
+    // thread, and sharing keeps the workspace cache (interior Mutex) warm
+    // across watchdogged calls.
+    Apa(Arc<ApaMatmul>),
     Classical(ClassicalMatmul),
+}
+
+impl RungExec {
+    fn try_run<T: Scalar>(
+        &self,
+        a: MatRef<'_, T>,
+        b: MatRef<'_, T>,
+        c: MatMut<'_, T>,
+    ) -> Result<(), MatmulError> {
+        match self {
+            RungExec::Apa(mm) => mm.try_multiply_into(a, b, c),
+            RungExec::Classical(cm) => cm.try_multiply_into(a, b, c),
+        }
+    }
+}
+
+/// Why a rung failed to *execute* (as opposed to executing and failing
+/// the sentinel): both causes demote exactly like a bad verdict.
+enum RungFailure {
+    Panicked(String),
+    TimedOut,
+}
+
+impl From<MatmulError> for RungFailure {
+    fn from(e: MatmulError) -> Self {
+        match e {
+            MatmulError::WorkerPanicked { detail } => RungFailure::Panicked(detail),
+            // Operand shapes were validated before the ladder ran, so any
+            // other error here is unexpected — still demote, keep the text.
+            other => RungFailure::Panicked(other.to_string()),
+        }
+    }
+}
+
+fn panic_detail(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Run `exec` on a helper thread and wait at most `deadline` for the
+/// product. On timeout the helper is *detached* — it finishes (or dies)
+/// harmlessly on its own buffers while the caller demotes — which is why
+/// the helper computes into an owned matrix that is only copied into `c`
+/// on an in-deadline success.
+fn exec_with_watchdog<T: Scalar>(
+    exec: &RungExec,
+    a: MatRef<'_, T>,
+    b: MatRef<'_, T>,
+    mut c: MatMut<'_, T>,
+    deadline: Duration,
+) -> Result<(), RungFailure> {
+    let exec = exec.clone();
+    let (a_own, b_own) = (a.to_owned(), b.to_owned());
+    let (m, n) = (c.rows(), c.cols());
+    let (tx, rx) = mpsc::channel();
+    let spawned = std::thread::Builder::new()
+        .name("apa-watchdog-exec".to_string())
+        .spawn(move || {
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                let mut out = Mat::<T>::zeros(m, n);
+                exec.try_run(a_own.as_ref(), b_own.as_ref(), out.as_mut())
+                    .map(|()| out)
+            }));
+            let flat = match outcome {
+                Ok(Ok(out)) => Ok(out),
+                Ok(Err(e)) => Err(RungFailure::from(e)),
+                Err(payload) => Err(RungFailure::Panicked(panic_detail(payload))),
+            };
+            let _ = tx.send(flat);
+        });
+    if spawned.is_err() {
+        return Err(RungFailure::Panicked(
+            "could not spawn watchdog helper thread".to_string(),
+        ));
+    }
+    match rx.recv_timeout(deadline) {
+        Ok(Ok(out)) => {
+            c.copy_from(out.as_ref());
+            Ok(())
+        }
+        Ok(Err(failure)) => Err(failure),
+        Err(_) => Err(RungFailure::TimedOut),
+    }
 }
 
 struct Rung {
@@ -99,6 +202,76 @@ struct ShapeState {
     tick: u64,
 }
 
+/// One shape's sticky ladder state, as exported by
+/// [`GuardedApaMatmul::export_state`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ShapeEntry {
+    pub m: usize,
+    pub k: usize,
+    pub n: usize,
+    /// Rung currently assigned to the shape (0 = configured multiplier).
+    pub rung: usize,
+    /// Clean-call streak toward the next promotion.
+    pub clean: u64,
+    /// Re-demotion count driving the promotion-streak backoff.
+    pub backoff: u32,
+    /// Per-shape call tick (determines which future calls sample the
+    /// residual probe — restoring it keeps the probe schedule aligned).
+    pub tick: u64,
+}
+
+/// A guard's complete run state: everything a training checkpoint must
+/// persist so a resumed run replays the original's ladder decisions.
+/// Shapes are sorted by `(m, k, n)` so the snapshot is deterministic.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GuardedState {
+    /// Rung-0 λ at export time — a fingerprint of the guarded
+    /// configuration; restore refuses a mismatch because the resumed run
+    /// would otherwise be a different experiment.
+    pub lambda: f64,
+    /// Ladder length fingerprint (same role as `lambda`).
+    pub rung_count: usize,
+    /// Global call counter (seeds the per-call Freivalds probe).
+    pub calls: u64,
+    pub shapes: Vec<ShapeEntry>,
+    pub stats: HealthStats,
+}
+
+/// Why [`GuardedApaMatmul::restore_state`] refused a snapshot.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum RestoreError {
+    /// Snapshot came from a guard with a different rung-0 λ.
+    LambdaMismatch { checkpoint: f64, configured: f64 },
+    /// Snapshot came from a guard with a different ladder length.
+    LadderMismatch {
+        checkpoint: usize,
+        configured: usize,
+    },
+}
+
+impl std::fmt::Display for RestoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RestoreError::LambdaMismatch {
+                checkpoint,
+                configured,
+            } => write!(
+                f,
+                "guard state λ mismatch: checkpoint {checkpoint:e}, configured {configured:e}"
+            ),
+            RestoreError::LadderMismatch {
+                checkpoint,
+                configured,
+            } => write!(
+                f,
+                "guard ladder mismatch: checkpoint has {checkpoint} rungs, configured {configured}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RestoreError {}
+
 /// An [`ApaMatmul`] wrapped in the numerical-health sentinel and the
 /// degradation ladder. Same `multiply_into` calling surface; per-shape
 /// health state, probe scratch and all rung workspace caches are interior
@@ -107,6 +280,8 @@ pub struct GuardedApaMatmul {
     base: ApaMatmul,
     policy: DegradePolicy,
     sentinel: SentinelConfig,
+    /// Per-call deadline; a rung that exceeds it demotes (lane watchdog).
+    watchdog: Option<Duration>,
     rungs: OnceLock<Vec<Rung>>,
     state: Mutex<HashMap<(usize, usize, usize), ShapeState>>,
     scratch: Mutex<ProbeScratch>,
@@ -127,6 +302,7 @@ impl GuardedApaMatmul {
             base,
             policy: DegradePolicy::default(),
             sentinel: SentinelConfig::default(),
+            watchdog: None,
             rungs: OnceLock::new(),
             state: Mutex::new(HashMap::new()),
             scratch: Mutex::new(ProbeScratch::new()),
@@ -173,6 +349,22 @@ impl GuardedApaMatmul {
         self
     }
 
+    /// Arm the lane watchdog: every rung execution runs on a helper
+    /// thread and must produce its product within `deadline`, else the
+    /// call demotes one rung (a hung classical floor is a
+    /// [`MatmulError::LaneTimeout`]). Costs one thread spawn, an operand
+    /// clone and a result copy per rung execution — meant for training
+    /// loops where a hung multiply would otherwise hang the epoch.
+    pub fn watchdog(mut self, deadline: Duration) -> Self {
+        self.watchdog = Some(deadline);
+        self
+    }
+
+    /// The armed watchdog deadline, if any.
+    pub fn current_watchdog(&self) -> Option<Duration> {
+        self.watchdog
+    }
+
     /// The guarded (rung-0) multiplier configuration.
     pub fn base(&self) -> &ApaMatmul {
         &self.base
@@ -199,6 +391,74 @@ impl GuardedApaMatmul {
             .unwrap_or_else(PoisonError::into_inner)
             .get(&(m, k, n))
             .map(|s| s.rung)
+    }
+
+    /// Snapshot the guard's complete run state — sticky per-shape rungs,
+    /// call counter, health stats and the rung-0 λ/ladder fingerprint —
+    /// for persistence in a training checkpoint. Deterministic: shapes
+    /// are sorted by `(m, k, n)`.
+    pub fn export_state(&self) -> GuardedState {
+        let mut shapes: Vec<ShapeEntry> = self
+            .state
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .iter()
+            .map(|(&(m, k, n), s)| ShapeEntry {
+                m,
+                k,
+                n,
+                rung: s.rung,
+                clean: s.clean,
+                backoff: s.backoff,
+                tick: s.tick,
+            })
+            .collect();
+        shapes.sort_unstable_by_key(|e| (e.m, e.k, e.n));
+        GuardedState {
+            lambda: self.base.current_lambda(),
+            rung_count: self.ladder().len(),
+            calls: self.calls.load(Ordering::Relaxed),
+            shapes,
+            stats: self.health(),
+        }
+    }
+
+    /// Restore a snapshot taken by [`Self::export_state`] onto this guard,
+    /// replacing its shape map, call counter and stats. Refuses a snapshot
+    /// whose λ (bitwise) or ladder length differs from this guard's
+    /// configuration — a resumed run must replay the same ladder, not a
+    /// different experiment.
+    pub fn restore_state(&self, snapshot: &GuardedState) -> Result<(), RestoreError> {
+        let configured = self.base.current_lambda();
+        if snapshot.lambda.to_bits() != configured.to_bits() {
+            return Err(RestoreError::LambdaMismatch {
+                checkpoint: snapshot.lambda,
+                configured,
+            });
+        }
+        let rung_count = self.ladder().len();
+        if snapshot.rung_count != rung_count {
+            return Err(RestoreError::LadderMismatch {
+                checkpoint: snapshot.rung_count,
+                configured: rung_count,
+            });
+        }
+        self.calls.store(snapshot.calls, Ordering::Relaxed);
+        *self.stats.lock().unwrap_or_else(PoisonError::into_inner) = snapshot.stats.clone();
+        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        state.clear();
+        for e in &snapshot.shapes {
+            state.insert(
+                (e.m, e.k, e.n),
+                ShapeState {
+                    rung: e.rung.min(rung_count - 1),
+                    clean: e.clean,
+                    backoff: e.backoff,
+                    tick: e.tick,
+                },
+            );
+        }
+        Ok(())
     }
 
     fn ladder(&self) -> &[Rung] {
@@ -229,7 +489,7 @@ impl GuardedApaMatmul {
                     lambda: mm.current_lambda(),
                 },
                 budget: self.sentinel.budget(sigma, phi, s),
-                exec: RungExec::Apa(Box::new(mm)),
+                exec: RungExec::Apa(Arc::new(mm)),
             });
         }
 
@@ -243,7 +503,7 @@ impl GuardedApaMatmul {
                     lambda: tuned.lambda,
                 },
                 budget: self.sentinel.budget(sigma, phi, 1),
-                exec: RungExec::Apa(Box::new(self.base.clone().steps(1).lambda(tuned.lambda))),
+                exec: RungExec::Apa(Arc::new(self.base.clone().steps(1).lambda(tuned.lambda))),
             });
         }
 
@@ -258,7 +518,7 @@ impl GuardedApaMatmul {
             rungs.push(Rung {
                 kind: RungKind::ExactFast,
                 budget: self.sentinel.budget(None, 0, 1),
-                exec: RungExec::Apa(Box::new(exact)),
+                exec: RungExec::Apa(Arc::new(exact)),
             });
         }
 
@@ -266,9 +526,7 @@ impl GuardedApaMatmul {
         rungs.push(Rung {
             kind: RungKind::Classical,
             budget: f64::INFINITY,
-            exec: RungExec::Classical(
-                ClassicalMatmul::new().threads(self.base.current_threads()),
-            ),
+            exec: RungExec::Classical(ClassicalMatmul::new().threads(self.base.current_threads())),
         });
         rungs
     }
@@ -303,8 +561,8 @@ impl GuardedApaMatmul {
         let (start, probe_sampled) = {
             let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
             let s = state.entry(shape).or_default();
-            let sampled = self.sentinel.probe_every > 0
-                && s.tick.is_multiple_of(self.sentinel.probe_every);
+            let sampled =
+                self.sentinel.probe_every > 0 && s.tick.is_multiple_of(self.sentinel.probe_every);
             s.tick = s.tick.wrapping_add(1);
             (s.rung.min(rungs.len() - 1), sampled)
         };
@@ -312,8 +570,29 @@ impl GuardedApaMatmul {
         let mut idx = start;
         let mut demoted = false;
         loop {
-            self.exec_rung::<T>(idx, a, b, c.rb(), call, !demoted);
             let last = idx == rungs.len() - 1;
+            if let Err(failure) = self.exec_rung::<T>(idx, a, b, c.rb(), call, !demoted) {
+                {
+                    let mut stats = self.stats.lock().unwrap_or_else(PoisonError::into_inner);
+                    match &failure {
+                        RungFailure::Panicked(_) => stats.worker_panics += 1,
+                        RungFailure::TimedOut => stats.watchdog_timeouts += 1,
+                    }
+                }
+                if last {
+                    // Even the classical floor failed — nothing trustworthy
+                    // was produced; surface the typed cause.
+                    return Err(match failure {
+                        RungFailure::Panicked(detail) => MatmulError::WorkerPanicked { detail },
+                        RungFailure::TimedOut => MatmulError::LaneTimeout {
+                            deadline_ms: self.watchdog.map_or(0, |d| d.as_millis() as u64),
+                        },
+                    });
+                }
+                idx += 1;
+                demoted = true;
+                continue;
+            }
             // The classical floor is exact — never probed. Elsewhere the
             // probe runs when sampled, and always on a post-demotion
             // re-check; unsampled calls still get the non-finite scan.
@@ -361,36 +640,43 @@ impl GuardedApaMatmul {
         mut c: MatMut<'_, T>,
         call: u64,
         first_attempt: bool,
-    ) {
+    ) -> Result<(), RungFailure> {
         let rung = &self.ladder()[idx];
         #[cfg(feature = "fault-inject")]
         let perturbed = first_attempt
             .then(|| crate::fault::lambda_factor(call))
             .flatten()
             .and_then(|factor| match &rung.exec {
-                RungExec::Apa(mm) => Some((**mm).clone().lambda(mm.current_lambda() * factor)),
+                RungExec::Apa(mm) => Some(RungExec::Apa(Arc::new(
+                    (**mm).clone().lambda(mm.current_lambda() * factor),
+                ))),
                 RungExec::Classical(_) => None,
             });
         #[cfg(feature = "fault-inject")]
-        let exec: &RungExec = match &perturbed {
-            Some(mm) => {
-                mm.multiply_into(a, b, c.rb());
-                crate::fault::corrupt_output(call, c);
-                return;
-            }
-            None => &rung.exec,
-        };
+        let exec = perturbed.as_ref().unwrap_or(&rung.exec);
         #[cfg(not(feature = "fault-inject"))]
         let exec = &rung.exec;
 
-        match exec {
-            RungExec::Apa(mm) => mm.multiply_into(a, b, c.rb()),
-            RungExec::Classical(cm) => cm.multiply_into(a, b, c.rb()),
-        }
+        // Crash-style faults arm a one-shot switch on the gemm pool; it is
+        // disarmed after the attempt so a fault that found no lane
+        // (sequential execution) cannot leak into a later call.
         #[cfg(feature = "fault-inject")]
         if first_attempt {
-            crate::fault::corrupt_output(call, c);
+            crate::fault::arm_crash_faults(call);
         }
+        let result = match self.watchdog {
+            Some(deadline) => exec_with_watchdog(exec, a, b, c.rb(), deadline),
+            None => exec.try_run(a, b, c.rb()).map_err(RungFailure::from),
+        };
+        #[cfg(feature = "fault-inject")]
+        if first_attempt {
+            crate::fault::disarm_crash_faults();
+        }
+        #[cfg(feature = "fault-inject")]
+        if result.is_ok() && first_attempt {
+            crate::fault::corrupt_output(call, c.rb());
+        }
+        result
     }
 
     fn record_check(&self, trusted_floor: bool, probed: bool, verdict: &Verdict) {
@@ -485,7 +771,13 @@ mod tests {
         // Retuned and ExactFast are redundant for an exact rule.
         assert_eq!(
             guard.rungs(),
-            vec![RungKind::Apa { steps: 1, lambda: 0.0 }, RungKind::Classical]
+            vec![
+                RungKind::Apa {
+                    steps: 1,
+                    lambda: 0.0
+                },
+                RungKind::Classical
+            ]
         );
     }
 
@@ -557,7 +849,11 @@ mod tests {
         }
         assert_eq!(guard.current_rung(12, 8, 10), Some(1), "streak not yet met");
         guard.multiply(a.as_ref(), b.as_ref());
-        assert_eq!(guard.current_rung(12, 8, 10), Some(0), "6th clean call promotes");
+        assert_eq!(
+            guard.current_rung(12, 8, 10),
+            Some(0),
+            "6th clean call promotes"
+        );
         assert_eq!(guard.health().promotions, 1);
     }
 
@@ -585,7 +881,10 @@ mod tests {
         let mut c = Mat::<f32>::zeros(8, 8);
         assert_eq!(
             guard.try_multiply_into(a.as_ref(), b.as_ref(), c.as_mut()),
-            Err(MatmulError::InnerDimMismatch { a: (8, 6), b: (7, 8) })
+            Err(MatmulError::InnerDimMismatch {
+                a: (8, 6),
+                b: (7, 8)
+            })
         );
         let b2 = probe_mat(6, 8, 11);
         let mut bad_c = Mat::<f32>::zeros(8, 9);
@@ -593,6 +892,101 @@ mod tests {
             guard.try_multiply_into(a.as_ref(), b2.as_ref(), bad_c.as_mut()),
             Err(MatmulError::OutputShapeMismatch { .. })
         ));
+    }
+
+    #[test]
+    fn watchdogged_calls_produce_the_same_products() {
+        // A generous deadline never fires; the helper-thread path must be
+        // numerically transparent.
+        let plain = GuardedApaMatmul::new(catalog::bini322());
+        let dogged = GuardedApaMatmul::new(catalog::bini322()).watchdog(Duration::from_secs(30));
+        assert_eq!(dogged.current_watchdog(), Some(Duration::from_secs(30)));
+        let a = probe_mat(30, 20, 21);
+        let b = probe_mat(20, 22, 22);
+        let c1 = plain.multiply(a.as_ref(), b.as_ref());
+        let c2 = dogged.multiply(a.as_ref(), b.as_ref());
+        for i in 0..30 {
+            for j in 0..22 {
+                assert_eq!(c1.at(i, j), c2.at(i, j), "({i},{j})");
+            }
+        }
+        let h = dogged.health();
+        assert_eq!(h.watchdog_timeouts, 0);
+        assert_eq!(h.worker_panics, 0);
+    }
+
+    #[test]
+    fn state_round_trip_restores_ladder_decisions() {
+        let guard = GuardedApaMatmul::new(catalog::bini322()).sentinel(SentinelConfig {
+            probe_every: 4,
+            ..SentinelConfig::default()
+        });
+        let a = probe_mat(12, 8, 13);
+        let b = probe_mat(8, 10, 14);
+        for _ in 0..6 {
+            guard.multiply(a.as_ref(), b.as_ref());
+        }
+        // Fake some sticky damage so the snapshot is non-trivial.
+        {
+            let mut state = guard.state.lock().unwrap();
+            let s = state.get_mut(&(12, 8, 10)).unwrap();
+            s.rung = 2;
+            s.clean = 5;
+            s.backoff = 3;
+        }
+        let snapshot = guard.export_state();
+        assert_eq!(snapshot.calls, 6);
+        assert_eq!(
+            snapshot.shapes,
+            vec![ShapeEntry {
+                m: 12,
+                k: 8,
+                n: 10,
+                rung: 2,
+                clean: 5,
+                backoff: 3,
+                tick: 6,
+            }]
+        );
+
+        // Restore onto a fresh identically-configured guard: same rung,
+        // same stats, and the probe schedule stays phase-aligned (tick 6
+        // → next probe at tick 8, i.e. the 3rd call after restore).
+        let fresh = GuardedApaMatmul::new(catalog::bini322()).sentinel(SentinelConfig {
+            probe_every: 4,
+            ..SentinelConfig::default()
+        });
+        fresh.restore_state(&snapshot).unwrap();
+        assert_eq!(fresh.current_rung(12, 8, 10), Some(2));
+        assert_eq!(fresh.health(), snapshot.stats);
+        let probes_before = fresh.health().probes;
+        for _ in 0..2 {
+            fresh.multiply(a.as_ref(), b.as_ref()); // ticks 6, 7: scans
+        }
+        assert_eq!(fresh.health().probes, probes_before);
+        fresh.multiply(a.as_ref(), b.as_ref()); // tick 8: probe
+        assert_eq!(fresh.health().probes, probes_before + 1);
+        assert_eq!(fresh.export_state().calls, 9);
+    }
+
+    #[test]
+    fn restore_refuses_a_mismatched_configuration() {
+        let guard = GuardedApaMatmul::new(catalog::bini322());
+        let snapshot = guard.export_state();
+
+        // Different λ (pinned off the optimum) → refused.
+        let other_lambda = GuardedApaMatmul::new(catalog::bini322()).lambda(1e-2);
+        assert!(matches!(
+            other_lambda.restore_state(&snapshot),
+            Err(RestoreError::LambdaMismatch { .. })
+        ));
+
+        // Different ladder (exact rule → 2 rungs vs 5) → refused, with a
+        // λ that matches so the ladder check is the one that trips.
+        let exact = GuardedApaMatmul::new(catalog::strassen()).lambda(snapshot.lambda);
+        let err = exact.restore_state(&snapshot).unwrap_err();
+        assert!(matches!(err, RestoreError::LadderMismatch { .. }), "{err}");
+        assert!(err.to_string().contains("rungs"), "{err}");
     }
 
     #[test]

@@ -30,6 +30,16 @@ pub enum FaultKind {
     /// Execute the call with λ multiplied by `factor` (e.g. 2⁸ off the
     /// tuned optimum), modelling a mis-tuned or bit-flipped plan.
     PerturbLambda { factor: f64 },
+    /// Panic the next gemm worker lane dequeued during the call (arms
+    /// [`apa_gemm::pool::lane_fault::arm_panic`]) — models a crashed
+    /// worker thread. The call must execute with a parallel strategy and
+    /// ≥ 2 threads for a lane to exist.
+    PanicInLane,
+    /// Stall the next gemm worker lane for `millis` before it runs (arms
+    /// [`apa_gemm::pool::lane_fault::arm_stall`]) — models a hung lane
+    /// for watchdog drills. Same parallel-execution requirement as
+    /// [`FaultKind::PanicInLane`].
+    StallLane { millis: u64 },
 }
 
 /// One scheduled fault.
@@ -55,14 +65,71 @@ pub fn install(faults: &[Fault]) {
     INJECTED.store(0, Ordering::Relaxed);
 }
 
-/// Remove all scheduled faults.
+/// Remove all scheduled faults, disarm the gemm lane switches and cancel
+/// pending torn-checkpoint writes.
 pub fn clear() {
     plan().clear();
+    apa_gemm::pool::lane_fault::disarm();
+    TORN_WRITES.store(0, Ordering::SeqCst);
 }
 
 /// How many faults have actually been applied since the last `install`.
 pub fn injected_count() -> u64 {
     INJECTED.load(Ordering::Relaxed)
+}
+
+/// Arm any crash-style faults (lane panic / lane stall) scheduled for
+/// `call` on the gemm pool's one-shot switches. Counted as injected when
+/// armed; the guard disarms leftovers after the attempt so a fault that
+/// found no lane (sequential execution) cannot leak into a later call.
+pub(crate) fn arm_crash_faults(call: u64) {
+    for f in plan().iter() {
+        if f.at_call != call {
+            continue;
+        }
+        match f.kind {
+            FaultKind::PanicInLane => {
+                apa_gemm::pool::lane_fault::arm_panic();
+                INJECTED.fetch_add(1, Ordering::Relaxed);
+            }
+            FaultKind::StallLane { millis } => {
+                apa_gemm::pool::lane_fault::arm_stall(millis);
+                INJECTED.fetch_add(1, Ordering::Relaxed);
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Disarm leftover crash-fault switches (see [`arm_crash_faults`]).
+pub(crate) fn disarm_crash_faults() {
+    apa_gemm::pool::lane_fault::disarm();
+}
+
+static TORN_WRITES: AtomicU64 = AtomicU64::new(0);
+
+/// Schedule the next `n` checkpoint writes to be torn: the writer skips
+/// the atomic temp+rename protocol and leaves a renamed-but-truncated
+/// file, modelling a power cut that reordered the data flush past the
+/// rename. Consumed by [`take_torn_write`].
+pub fn arm_torn_checkpoint_writes(n: u64) {
+    TORN_WRITES.store(n, Ordering::SeqCst);
+}
+
+/// Checkpoint writers call this before committing a file: `true` means
+/// "tear this write" (one armed tear is consumed and counted).
+pub fn take_torn_write() -> bool {
+    let mut cur = TORN_WRITES.load(Ordering::SeqCst);
+    while cur > 0 {
+        match TORN_WRITES.compare_exchange(cur, cur - 1, Ordering::SeqCst, Ordering::SeqCst) {
+            Ok(_) => {
+                INJECTED.fetch_add(1, Ordering::Relaxed);
+                return true;
+            }
+            Err(now) => cur = now,
+        }
+    }
+    false
 }
 
 /// λ multiplier scheduled for `call`, if any.
@@ -105,7 +172,10 @@ pub(crate) fn corrupt_output<T: Scalar>(call: u64, mut c: MatMut<'_, T>) {
                 c.set(0, n - 1, T::from_f64(f64::INFINITY));
                 INJECTED.fetch_add(1, Ordering::Relaxed);
             }
-            FaultKind::PerturbLambda { .. } => {} // handled pre-execution
+            // Handled pre-execution.
+            FaultKind::PerturbLambda { .. }
+            | FaultKind::PanicInLane
+            | FaultKind::StallLane { .. } => {}
         }
     }
 }

@@ -35,9 +35,9 @@ pub mod fallback;
 #[cfg(feature = "fault-inject")]
 pub mod fault;
 pub mod peel;
-pub mod sentinel;
 pub mod plan;
 pub mod schedule;
+pub mod sentinel;
 pub mod stats;
 pub mod tune;
 pub mod workspace;
@@ -45,8 +45,10 @@ pub mod workspace;
 pub use apamm::{ApaChain, ApaMatmul, ClassicalMatmul};
 pub use autotune::{autotune, autotune_with, Candidate, TuneOutcome};
 pub use error::{measure_error, MatmulError};
-pub use fallback::{DegradePolicy, GuardedApaMatmul, RungKind};
 pub use exec::{fast_matmul, fast_matmul_chain_into, fast_matmul_into};
+pub use fallback::{
+    DegradePolicy, GuardedApaMatmul, GuardedState, RestoreError, RungKind, ShapeEntry,
+};
 pub use peel::{
     fast_matmul_any_into, fast_matmul_any_into_ws, fast_matmul_chain_any_into,
     fast_matmul_chain_any_into_ws, PeelMode,

@@ -152,7 +152,9 @@ pub fn fast_matmul_chain_any_into_ws<T: Scalar, P: Borrow<ExecPlan> + Sync>(
             run_level(chain, ac, bc, cc, strategy, threads, root)
         }),
         PeelMode::Pad => {
-            let pad = pad.as_mut().expect("Pad-mode workspace carries pad buffers");
+            let pad = pad
+                .as_mut()
+                .expect("Pad-mode workspace carries pad buffers");
             run_padded(a, b, c, pad, |ac, bc, cc| {
                 run_level(chain, ac, bc, cc, strategy, threads, root)
             });
@@ -174,7 +176,11 @@ fn peel_dynamic<T: Scalar>(
     let mc = m / dm * dm;
     let kc = k / dk * dk;
     let nc = n / dn * dn;
-    let par = if threads > 1 { Par::Threads(threads) } else { Par::Seq };
+    let par = if threads > 1 {
+        Par::Threads(threads)
+    } else {
+        Par::Seq
+    };
 
     if mc == 0 || kc == 0 || nc == 0 {
         // Too small for even one base block: the whole thing is a rim.
@@ -254,7 +260,11 @@ mod tests {
 
     fn check(alg_name: &str, m: usize, k: usize, n: usize, mode: PeelMode, tol: f64) {
         let alg = catalog::by_name(alg_name).unwrap();
-        let lambda = if alg.is_exact_rule() { 0.0 } else { 2.0_f64.powi(-26) };
+        let lambda = if alg.is_exact_rule() {
+            0.0
+        } else {
+            2.0_f64.powi(-26)
+        };
         let plan = ExecPlan::compile(&alg, lambda);
         let a = rand_mat(m, k, 21);
         let b = rand_mat(k, n, 22);
@@ -274,8 +284,7 @@ mod tests {
         assert!(err < tol, "{alg_name} {mode:?} ({m},{k},{n}): err {err}");
 
         // The workspace-backed path must agree bitwise, warm or cold.
-        let mut ws =
-            Workspace::<f64>::for_plan(&plan, m, k, n, 1, Strategy::Seq, 1, mode);
+        let mut ws = Workspace::<f64>::for_plan(&plan, m, k, n, 1, Strategy::Seq, 1, mode);
         for _ in 0..2 {
             let mut c_ws = Mat::zeros(m, n);
             fast_matmul_any_into_ws(
@@ -308,7 +317,14 @@ mod tests {
         for dm in 0..2 {
             for dk in 0..2 {
                 for dn in 0..2 {
-                    check("strassen", 16 + dm, 16 + dk, 16 + dn, PeelMode::Dynamic, 1e-12);
+                    check(
+                        "strassen",
+                        16 + dm,
+                        16 + dk,
+                        16 + dn,
+                        PeelMode::Dynamic,
+                        1e-12,
+                    );
                     check("strassen", 16 + dm, 16 + dk, 16 + dn, PeelMode::Pad, 1e-12);
                 }
             }
@@ -392,8 +408,26 @@ mod tests {
         let b = rand_mat(13, 17, 41);
         let mut seq = Mat::zeros(25, 17);
         let mut par = Mat::zeros(25, 17);
-        fast_matmul_any_into(&plan, a.as_ref(), b.as_ref(), seq.as_mut(), 1, Strategy::Seq, 1, PeelMode::Dynamic);
-        fast_matmul_any_into(&plan, a.as_ref(), b.as_ref(), par.as_mut(), 1, Strategy::Hybrid, 3, PeelMode::Dynamic);
+        fast_matmul_any_into(
+            &plan,
+            a.as_ref(),
+            b.as_ref(),
+            seq.as_mut(),
+            1,
+            Strategy::Seq,
+            1,
+            PeelMode::Dynamic,
+        );
+        fast_matmul_any_into(
+            &plan,
+            a.as_ref(),
+            b.as_ref(),
+            par.as_mut(),
+            1,
+            Strategy::Hybrid,
+            3,
+            PeelMode::Dynamic,
+        );
         assert!(par.rel_frobenius_error(&seq) < 1e-12);
     }
 

@@ -75,9 +75,7 @@ pub fn hybrid_schedule(r: usize, p: usize) -> HybridSchedule {
     assert!(p >= 1, "need at least one thread");
     let q = r / p;
     let l = r % p;
-    let assignments = (0..p)
-        .map(|i| (i * q..(i + 1) * q).collect())
-        .collect();
+    let assignments = (0..p).map(|i| (i * q..(i + 1) * q).collect()).collect();
     let remainder = (p * q..r).collect();
     HybridSchedule {
         q,
@@ -103,7 +101,11 @@ impl HybridSchedule {
     /// Every multiplication appears exactly once across phases.
     pub fn is_complete(&self, r: usize) -> bool {
         let mut seen = vec![false; r];
-        for list in self.assignments.iter().chain(std::iter::once(&self.remainder)) {
+        for list in self
+            .assignments
+            .iter()
+            .chain(std::iter::once(&self.remainder))
+        {
             for &t in list {
                 if t >= r || seen[t] {
                     return false;
@@ -197,7 +199,12 @@ mod tests {
     #[test]
     fn effective_strategy_makes_coercions_explicit() {
         // One thread: everything is sequential.
-        for s in [Strategy::Seq, Strategy::Dfs, Strategy::Bfs, Strategy::Hybrid] {
+        for s in [
+            Strategy::Seq,
+            Strategy::Dfs,
+            Strategy::Bfs,
+            Strategy::Hybrid,
+        ] {
             assert_eq!(effective_strategy(s, 1, 7), (Strategy::Seq, 1));
             assert_eq!(effective_strategy(s, 0, 7), (Strategy::Seq, 1));
         }
@@ -206,13 +213,22 @@ mod tests {
         // Plenty of products: strategies pass through.
         assert_eq!(effective_strategy(Strategy::Dfs, 4, 10), (Strategy::Dfs, 4));
         assert_eq!(effective_strategy(Strategy::Bfs, 4, 10), (Strategy::Bfs, 4));
-        assert_eq!(effective_strategy(Strategy::Hybrid, 4, 10), (Strategy::Hybrid, 4));
+        assert_eq!(
+            effective_strategy(Strategy::Hybrid, 4, 10),
+            (Strategy::Hybrid, 4)
+        );
         // More threads than products: BFS caps its thread count…
         assert_eq!(effective_strategy(Strategy::Bfs, 8, 3), (Strategy::Bfs, 3));
         // …and Hybrid (q = 0, all-remainder) is exactly DFS.
-        assert_eq!(effective_strategy(Strategy::Hybrid, 8, 3), (Strategy::Dfs, 8));
+        assert_eq!(
+            effective_strategy(Strategy::Hybrid, 8, 3),
+            (Strategy::Dfs, 8)
+        );
         // threads == rank is a straight hybrid with q = 1.
-        assert_eq!(effective_strategy(Strategy::Hybrid, 7, 7), (Strategy::Hybrid, 7));
+        assert_eq!(
+            effective_strategy(Strategy::Hybrid, 7, 7),
+            (Strategy::Hybrid, 7)
+        );
     }
 
     #[test]

@@ -123,8 +123,7 @@ impl ProbeScratch {
 
     /// Bytes currently held by the scratch vectors.
     pub fn footprint_bytes(&self) -> usize {
-        (self.x.len() + self.bx.len() + self.abx.len() + self.cx.len())
-            * std::mem::size_of::<f64>()
+        (self.x.len() + self.bx.len() + self.abx.len() + self.cx.len()) * std::mem::size_of::<f64>()
     }
 }
 
@@ -175,7 +174,11 @@ pub fn check_product<T: Scalar>(
 
     let mut state = seed ^ 0xD1B5_4A32_D192_ED03;
     for xi in &mut scratch.x[..n] {
-        *xi = if splitmix(&mut state) & 1 == 0 { 1.0 } else { -1.0 };
+        *xi = if splitmix(&mut state) & 1 == 0 {
+            1.0
+        } else {
+            -1.0
+        };
     }
 
     // C·x, with the non-finite scan fused into the same pass over C.
@@ -306,7 +309,11 @@ mod tests {
         let bytes = scratch.footprint_bytes();
         let v2 = check_product(a.as_ref(), b.as_ref(), c.as_ref(), 1e-4, 42, &mut scratch);
         assert_eq!(v1, v2);
-        assert_eq!(scratch.footprint_bytes(), bytes, "warm probe must not grow scratch");
+        assert_eq!(
+            scratch.footprint_bytes(),
+            bytes,
+            "warm probe must not grow scratch"
+        );
     }
 
     #[test]

@@ -83,6 +83,12 @@ pub struct HealthStats {
     pub demotions: u64,
     /// Hysteresis re-promotions after a clean streak.
     pub promotions: u64,
+    /// Rung executions that died with a panicked worker lane (each also
+    /// demotes, and the gemm pool is rebuilt).
+    pub worker_panics: u64,
+    /// Rung executions killed by the watchdog deadline (each also
+    /// demotes).
+    pub watchdog_timeouts: u64,
     /// Calls whose *final* (accepted) execution ran on each rung,
     /// indexed like [`crate::fallback::GuardedApaMatmul::rungs`].
     pub calls_by_rung: Vec<u64>,
@@ -285,16 +291,8 @@ mod tests {
         let a = probe(64, 1);
         let b = probe(64, 2);
         let (fresh, _) = profile_one_step(&plan, a.as_ref(), b.as_ref());
-        let mut ws = Workspace::<f64>::for_plan(
-            &plan,
-            64,
-            64,
-            64,
-            1,
-            Strategy::Seq,
-            1,
-            PeelMode::Dynamic,
-        );
+        let mut ws =
+            Workspace::<f64>::for_plan(&plan, 64, 64, 64, 1, Strategy::Seq, 1, PeelMode::Dynamic);
         for round in 0..3u64 {
             let (c, profile) =
                 profile_one_step_with_workspace(&plan, a.as_ref(), b.as_ref(), &mut ws);

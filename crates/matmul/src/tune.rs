@@ -23,8 +23,8 @@ pub struct TunedLambda {
 /// Exact rules skip the sweep (λ is irrelevant; error is measured once at
 /// λ = 0 for the report).
 pub fn tune_lambda(alg: &BilinearAlgorithm, n: usize, steps: u32, seed: u64) -> TunedLambda {
-    let report = brent::validate(alg)
-        .unwrap_or_else(|e| panic!("{} failed validation: {e}", alg.name));
+    let report =
+        brent::validate(alg).unwrap_or_else(|e| panic!("{} failed validation: {e}", alg.name));
     match report.sigma {
         None => {
             let error = measure_error(alg, 0.0, n, steps, seed);

@@ -141,11 +141,7 @@ impl<T: Scalar> LevelWs<T> {
     }
 
     pub(crate) fn elems(&self) -> usize {
-        let products: usize = self
-            .products
-            .iter()
-            .map(|p| p.rows() * p.cols())
-            .sum();
+        let products: usize = self.products.iter().map(|p| p.rows() * p.cols()).sum();
         let lanes: usize = self
             .lanes
             .iter()
@@ -188,8 +184,16 @@ pub(crate) fn build_level<T: Scalar, P: Borrow<ExecPlan>>(
     };
     let lanes = (0..lane_count)
         .map(|_| LaneWs {
-            s_buf: if key.need_s { Mat::zeros(bm, bk) } else { Mat::zeros(0, 0) },
-            t_buf: if key.need_t { Mat::zeros(bk, bn) } else { Mat::zeros(0, 0) },
+            s_buf: if key.need_s {
+                Mat::zeros(bm, bk)
+            } else {
+                Mat::zeros(0, 0)
+            },
+            t_buf: if key.need_t {
+                Mat::zeros(bk, bn)
+            } else {
+                Mat::zeros(0, 0)
+            },
             child: recursive.then(|| Box::new(build_level(rest, bm, bk, bn, Strategy::Seq, 1))),
         })
         .collect();
@@ -347,16 +351,8 @@ mod tests {
     #[test]
     fn strassen_workspace_shapes() {
         let plan = ExecPlan::compile(&catalog::strassen(), 0.0);
-        let ws = Workspace::<f64>::for_plan(
-            &plan,
-            64,
-            64,
-            64,
-            1,
-            Strategy::Seq,
-            1,
-            PeelMode::Dynamic,
-        );
+        let ws =
+            Workspace::<f64>::for_plan(&plan, 64, 64, 64, 1, Strategy::Seq, 1, PeelMode::Dynamic);
         assert_eq!(ws.root.products.len(), 7);
         assert_eq!(
             (ws.root.products[0].rows(), ws.root.products[0].cols()),
@@ -377,16 +373,7 @@ mod tests {
     fn classical_plan_needs_no_combo_buffers() {
         use apa_core::bilinear::Dims;
         let plan = ExecPlan::compile(&catalog::classical(Dims::new(2, 2, 2)), 0.0);
-        let ws = Workspace::<f32>::for_plan(
-            &plan,
-            8,
-            8,
-            8,
-            1,
-            Strategy::Seq,
-            1,
-            PeelMode::Dynamic,
-        );
+        let ws = Workspace::<f32>::for_plan(&plan, 8, 8, 8, 1, Strategy::Seq, 1, PeelMode::Dynamic);
         assert_eq!(ws.root.lanes[0].s_buf.rows(), 0);
         assert_eq!(ws.root.lanes[0].t_buf.rows(), 0);
         assert_eq!(ws.root.products.len(), 8);
@@ -395,16 +382,8 @@ mod tests {
     #[test]
     fn recursive_workspace_carries_children() {
         let plan = ExecPlan::compile(&catalog::strassen(), 0.0);
-        let ws = Workspace::<f64>::for_plan(
-            &plan,
-            32,
-            32,
-            32,
-            2,
-            Strategy::Seq,
-            1,
-            PeelMode::Dynamic,
-        );
+        let ws =
+            Workspace::<f64>::for_plan(&plan, 32, 32, 32, 2, Strategy::Seq, 1, PeelMode::Dynamic);
         let child = ws.root.lanes[0].child.as_ref().expect("child level");
         assert_eq!(child.products.len(), 7);
         assert_eq!((child.products[0].rows(), child.products[0].cols()), (8, 8));
@@ -431,16 +410,7 @@ mod tests {
     #[test]
     fn pad_mode_preallocates_padded_operands() {
         let plan = ExecPlan::compile(&catalog::strassen(), 0.0);
-        let ws = Workspace::<f64>::for_plan(
-            &plan,
-            9,
-            9,
-            9,
-            1,
-            Strategy::Seq,
-            1,
-            PeelMode::Pad,
-        );
+        let ws = Workspace::<f64>::for_plan(&plan, 9, 9, 9, 1, Strategy::Seq, 1, PeelMode::Pad);
         let pad = ws.pad.as_ref().expect("pad buffers");
         assert_eq!((pad.ap.rows(), pad.ap.cols()), (10, 10));
         assert_eq!((pad.cp.rows(), pad.cp.cols()), (10, 10));
@@ -460,29 +430,53 @@ mod tests {
             1,
             PeelMode::Dynamic,
         );
-        assert!(ws.matches(&[&strassen], 16, 16, 16, Strategy::Seq, 1, PeelMode::Dynamic));
-        assert!(!ws.matches(&[&strassen], 18, 16, 16, Strategy::Seq, 1, PeelMode::Dynamic));
-        assert!(!ws.matches(&[&strassen], 16, 16, 16, Strategy::Hybrid, 2, PeelMode::Dynamic));
+        assert!(ws.matches(
+            &[&strassen],
+            16,
+            16,
+            16,
+            Strategy::Seq,
+            1,
+            PeelMode::Dynamic
+        ));
+        assert!(!ws.matches(
+            &[&strassen],
+            18,
+            16,
+            16,
+            Strategy::Seq,
+            1,
+            PeelMode::Dynamic
+        ));
+        assert!(!ws.matches(
+            &[&strassen],
+            16,
+            16,
+            16,
+            Strategy::Hybrid,
+            2,
+            PeelMode::Dynamic
+        ));
         assert!(!ws.matches(&[&strassen], 16, 16, 16, Strategy::Seq, 1, PeelMode::Pad));
         assert!(!ws.matches::<&ExecPlan>(&[], 16, 16, 16, Strategy::Seq, 1, PeelMode::Dynamic));
         // Same base dims and rank (⟨2,2,2;7⟩) — structure still compatible,
         // so a same-shape rule may share the workspace.
-        assert!(ws.matches(&[&winograd], 16, 16, 16, Strategy::Seq, 1, PeelMode::Dynamic));
+        assert!(ws.matches(
+            &[&winograd],
+            16,
+            16,
+            16,
+            Strategy::Seq,
+            1,
+            PeelMode::Dynamic
+        ));
     }
 
     #[test]
     fn run_counters_track_reuse() {
         let plan = ExecPlan::compile(&catalog::strassen(), 0.0);
-        let mut ws = Workspace::<f64>::for_plan(
-            &plan,
-            8,
-            8,
-            8,
-            1,
-            Strategy::Seq,
-            1,
-            PeelMode::Dynamic,
-        );
+        let mut ws =
+            Workspace::<f64>::for_plan(&plan, 8, 8, 8, 1, Strategy::Seq, 1, PeelMode::Dynamic);
         assert_eq!((ws.runs(), ws.reuses()), (0, 0));
         ws.note_run();
         assert_eq!((ws.runs(), ws.reuses()), (1, 0));

@@ -29,11 +29,7 @@ fn every_algorithm_every_strategy_many_thread_counts() {
                     .threads(threads);
                 let got = mm.multiply(a.as_ref(), b.as_ref());
                 let err = got.rel_frobenius_error(&expect);
-                assert!(
-                    err < 1e-2,
-                    "{} {strategy:?} t={threads}: {err}",
-                    alg.name
-                );
+                assert!(err < 1e-2, "{} {strategy:?} t={threads}: {err}", alg.name);
             }
         }
     }
@@ -45,7 +41,12 @@ fn strategies_are_deterministic() {
     // order per strategy).
     let a = rand_mat(36, 36, 3);
     let b = rand_mat(36, 36, 4);
-    for strategy in [Strategy::Seq, Strategy::Dfs, Strategy::Bfs, Strategy::Hybrid] {
+    for strategy in [
+        Strategy::Seq,
+        Strategy::Dfs,
+        Strategy::Bfs,
+        Strategy::Hybrid,
+    ] {
         let mm = ApaMatmul::new(catalog::fast442())
             .strategy(strategy)
             .threads(3);
@@ -58,16 +59,19 @@ fn strategies_are_deterministic() {
 #[test]
 fn extreme_aspect_ratios() {
     // Tall-skinny and short-fat products through the peel path.
-    for &(m, k, n) in &[(200, 4, 4), (4, 200, 4), (4, 4, 200), (1, 100, 1), (100, 1, 100)] {
+    for &(m, k, n) in &[
+        (200, 4, 4),
+        (4, 200, 4),
+        (4, 4, 200),
+        (1, 100, 1),
+        (100, 1, 100),
+    ] {
         let a = rand_mat(m, k, 5);
         let b = rand_mat(k, n, 6);
         let expect = matmul_naive(a.as_ref(), b.as_ref());
         let mm = ApaMatmul::new(catalog::bini322());
         let got = mm.multiply(a.as_ref(), b.as_ref());
-        assert!(
-            got.rel_frobenius_error(&expect) < 1e-2,
-            "({m},{k},{n})"
-        );
+        assert!(got.rel_frobenius_error(&expect) < 1e-2, "({m},{k},{n})");
     }
 }
 
@@ -102,7 +106,10 @@ fn huge_lambda_breaks_accuracy_gracefully() {
     let c = mm.multiply(a.as_ref(), b.as_ref());
     assert!(c.as_slice().iter().all(|v| v.is_finite()));
     let expect = matmul_naive(a.as_ref(), b.as_ref());
-    assert!(c.rel_frobenius_error(&expect) > 1e-3, "λ=0.5 should visibly hurt");
+    assert!(
+        c.rel_frobenius_error(&expect) > 1e-3,
+        "λ=0.5 should visibly hurt"
+    );
 }
 
 #[test]

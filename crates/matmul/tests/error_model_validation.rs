@@ -28,7 +28,10 @@ fn error_curve_is_v_shaped_around_optimum() {
             "{name}: no interior minimum in {errs:?}"
         );
         // Both tails exceed the minimum by a wide margin.
-        assert!(errs[0] > errs[min_idx] * 3.0, "{name}: roundoff tail {errs:?}");
+        assert!(
+            errs[0] > errs[min_idx] * 3.0,
+            "{name}: roundoff tail {errs:?}"
+        );
         assert!(
             errs[errs.len() - 1] > errs[min_idx] * 3.0,
             "{name}: truncation tail {errs:?}"

@@ -15,8 +15,9 @@
 use apa_core::catalog;
 use apa_gemm::{matmul_naive, Mat};
 use apa_matmul::fault::{self, Fault, FaultKind};
-use apa_matmul::{GuardedApaMatmul, SentinelConfig, Strategy};
+use apa_matmul::{ClassicalMatmul, GuardedApaMatmul, MatmulError, SentinelConfig, Strategy};
 use std::sync::Mutex;
+use std::time::Duration;
 
 static LOCK: Mutex<()> = Mutex::new(());
 
@@ -64,7 +65,11 @@ fn corrupted_product_is_caught_and_recomputed() {
     assert_eq!(h.calls, 4);
     assert_eq!(h.probe_failures, 1, "{h:?}");
     assert_eq!(h.demotions, 1, "{h:?}");
-    assert_eq!(h.degraded_calls(), 3, "faulted call + sticky demotion: {h:?}");
+    assert_eq!(
+        h.degraded_calls(),
+        3,
+        "faulted call + sticky demotion: {h:?}"
+    );
 }
 
 #[test]
@@ -80,8 +85,14 @@ fn seeded_nan_and_inf_are_caught_even_without_the_probe() {
         ..SentinelConfig::default()
     });
     fault::install(&[
-        Fault { at_call: 0, kind: FaultKind::SeedNan },
-        Fault { at_call: 2, kind: FaultKind::SeedInf },
+        Fault {
+            at_call: 0,
+            kind: FaultKind::SeedNan,
+        },
+        Fault {
+            at_call: 2,
+            kind: FaultKind::SeedInf,
+        },
     ]);
     for _ in 0..3 {
         let c = mm.multiply(a.as_ref(), b.as_ref());
@@ -141,7 +152,145 @@ fn unsampled_finite_corruption_documents_the_probe_rate_tradeoff() {
     fault::clear();
     assert_eq!(fault::injected_count(), 1);
     let h = mm.health();
-    assert_eq!(h.demotions, 0, "scan-only mode cannot see finite corruption");
+    assert_eq!(
+        h.demotions, 0,
+        "scan-only mode cannot see finite corruption"
+    );
+}
+
+#[test]
+fn panicked_lane_surfaces_as_a_typed_error_and_the_next_multiply_succeeds() {
+    let _g = LOCK.lock().unwrap();
+    fault::clear();
+    let a = probe(64, 48, 11);
+    let b = probe(48, 40, 12);
+    let expect = matmul_naive(a.as_ref(), b.as_ref());
+    let mm = ClassicalMatmul::new().threads(2);
+    let mut c = Mat::<f32>::zeros(64, 40);
+
+    // Arm the one-shot lane switch directly: the next gemm lane dequeued
+    // anywhere panics mid-stripe.
+    apa_gemm::pool::lane_fault::arm_panic();
+    let err = mm
+        .try_multiply_into(a.as_ref(), b.as_ref(), c.as_mut())
+        .unwrap_err();
+    match &err {
+        MatmulError::WorkerPanicked { detail } => {
+            assert!(detail.contains("injected lane panic"), "{detail}")
+        }
+        other => panic!("expected WorkerPanicked, got {other:?}"),
+    }
+
+    // The pool was rebuilt: the very next multiply on the same instance
+    // must succeed, at full quality.
+    mm.try_multiply_into(a.as_ref(), b.as_ref(), c.as_mut())
+        .unwrap();
+    assert!(c.rel_frobenius_error(&expect) < 1e-5);
+}
+
+#[test]
+fn guard_absorbs_a_lane_panic_by_demoting() {
+    let _g = LOCK.lock().unwrap();
+    let a = probe(64, 48, 13);
+    let b = probe(48, 40, 14);
+    let expect = matmul_naive(a.as_ref(), b.as_ref());
+    // Parallel execution so a worker lane actually exists to kill; the
+    // hybrid schedule must unwind out of its barrier, not deadlock.
+    let mm = GuardedApaMatmul::new(catalog::bini322())
+        .strategy(Strategy::Hybrid)
+        .threads(2);
+    fault::install(&[Fault {
+        at_call: 0,
+        kind: FaultKind::PanicInLane,
+    }]);
+    let c = mm.multiply(a.as_ref(), b.as_ref());
+    fault::clear();
+    assert_eq!(
+        fault::injected_count(),
+        1,
+        "lane switch must have been armed"
+    );
+    assert!(c.rel_frobenius_error(&expect) < HEALTHY_ERR);
+    let h = mm.health();
+    assert!(h.worker_panics >= 1, "{h:?}");
+    assert!(h.demotions >= 1, "{h:?}");
+    // The fault is gone: the next call (on the demoted rung) is clean.
+    let c2 = mm.multiply(a.as_ref(), b.as_ref());
+    assert!(c2.rel_frobenius_error(&expect) < HEALTHY_ERR);
+    assert_eq!(mm.health().worker_panics, h.worker_panics);
+}
+
+#[test]
+fn stalled_lane_trips_the_watchdog_and_demotes() {
+    let _g = LOCK.lock().unwrap();
+    let a = probe(64, 48, 15);
+    let b = probe(48, 40, 16);
+    let expect = matmul_naive(a.as_ref(), b.as_ref());
+    let mm = GuardedApaMatmul::new(catalog::bini322())
+        .strategy(Strategy::Hybrid)
+        .threads(2)
+        .watchdog(Duration::from_millis(100));
+    // The one-shot stall holds the first lane dequeued for 1.5 s — far
+    // past the 100 ms deadline — so rung 0 times out and the call lands
+    // on a lower rung (the stall switch is consumed; the retry is clean).
+    fault::install(&[Fault {
+        at_call: 0,
+        kind: FaultKind::StallLane { millis: 1500 },
+    }]);
+    let c = mm.multiply(a.as_ref(), b.as_ref());
+    fault::clear();
+    assert_eq!(fault::injected_count(), 1);
+    assert!(c.rel_frobenius_error(&expect) < HEALTHY_ERR);
+    let h = mm.health();
+    assert!(h.watchdog_timeouts >= 1, "{h:?}");
+    assert!(h.demotions >= 1, "{h:?}");
+    assert!(mm.current_rung(64, 48, 40).unwrap() >= 1);
+}
+
+#[test]
+fn restored_guard_replays_the_same_ladder_decisions() {
+    let _g = LOCK.lock().unwrap();
+    let a = probe(24, 16, 17);
+    let b = probe(16, 18, 18);
+
+    // Original guard lives through a scripted fault at call 1.
+    let mm1 = guard();
+    fault::install(&[Fault {
+        at_call: 1,
+        kind: FaultKind::CorruptOutput { scale: 1e4 },
+    }]);
+    for _ in 0..4 {
+        mm1.multiply(a.as_ref(), b.as_ref());
+    }
+    fault::clear();
+    let snapshot = mm1.export_state();
+    assert_eq!(snapshot.calls, 4);
+
+    // A fresh identically-configured guard restores the snapshot, then
+    // both face the *same* scripted future (fault at call index 5).
+    let mm2 = guard();
+    mm2.restore_state(&snapshot).unwrap();
+    assert_eq!(mm2.export_state(), snapshot);
+
+    let future = [Fault {
+        at_call: 5,
+        kind: FaultKind::SeedNan,
+    }];
+    fault::install(&future);
+    for _ in 0..3 {
+        mm1.multiply(a.as_ref(), b.as_ref());
+    }
+    fault::clear();
+    fault::install(&future);
+    for _ in 0..3 {
+        mm2.multiply(a.as_ref(), b.as_ref());
+    }
+    fault::clear();
+
+    // Identical rung decisions, probe schedule and counters.
+    assert_eq!(mm1.export_state(), mm2.export_state());
+    assert_eq!(mm1.health(), mm2.health());
+    assert!(mm1.health().nonfinite_detected >= 1, "{:?}", mm1.health());
 }
 
 #[test]
@@ -166,7 +315,11 @@ fn hysteresis_repromotes_after_the_fault_clears() {
         let c = mm.multiply(a.as_ref(), b.as_ref());
         assert!(c.rel_frobenius_error(&expect) < HEALTHY_ERR);
     }
-    assert_eq!(mm.current_rung(24, 16, 18), Some(0), "clean streak re-promotes");
+    assert_eq!(
+        mm.current_rung(24, 16, 18),
+        Some(0),
+        "clean streak re-promotes"
+    );
     let h = mm.health();
     assert_eq!(h.promotions, 1, "{h:?}");
 }

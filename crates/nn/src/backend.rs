@@ -7,9 +7,7 @@
 
 use apa_core::BilinearAlgorithm;
 use apa_gemm::{Mat, MatMut, MatRef};
-use apa_matmul::{
-    ApaMatmul, ClassicalMatmul, GuardedApaMatmul, HealthStats, PeelMode, Strategy,
-};
+use apa_matmul::{ApaMatmul, ClassicalMatmul, GuardedApaMatmul, HealthStats, PeelMode, Strategy};
 use std::sync::Arc;
 
 /// A matrix-multiplication provider used by network layers. All NN compute
@@ -233,7 +231,9 @@ mod tests {
     fn names_are_informative() {
         assert!(classical(6).name().contains("classical"));
         assert!(apa(catalog::bini322(), 2).name().contains("bini322"));
-        assert!(guarded(catalog::bini322(), 2).name().contains("guarded-bini322"));
+        assert!(guarded(catalog::bini322(), 2)
+            .name()
+            .contains("guarded-bini322"));
     }
 
     #[test]

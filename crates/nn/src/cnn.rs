@@ -74,9 +74,7 @@ impl SimpleCnn {
     pub fn forward_train(&mut self, x: &Mat<f32>) -> Mat<f32> {
         let batch = x.rows();
         assert_eq!(x.cols(), self.image_side * self.image_side);
-        let (pre_relu, _) = self
-            .conv
-            .forward_train(x.as_slice(), self.in_shape(batch));
+        let (pre_relu, _) = self.conv.forward_train(x.as_slice(), self.in_shape(batch));
         // ReLU + flatten (CHW per image is already contiguous).
         let feat = self.feature_len();
         let mut flat = Mat::zeros(batch, feat);
@@ -111,11 +109,7 @@ impl SimpleCnn {
         let dflat = self.head.backward(grad_logits);
         // Through ReLU (flatten is shape-only).
         let mut dconv = vec![0.0f32; pre_relu.len()];
-        for ((d, &g), &z) in dconv
-            .iter_mut()
-            .zip(dflat.as_slice())
-            .zip(&pre_relu)
-        {
+        for ((d, &g), &z) in dconv.iter_mut().zip(dflat.as_slice()).zip(&pre_relu) {
             *d = if z > 0.0 { g } else { 0.0 };
         }
         let out_shape = ConvShape {

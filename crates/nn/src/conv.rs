@@ -261,8 +261,7 @@ impl Conv2d {
                 for ox in 0..ow {
                     let row = (n * oh + oy) * ow + ox;
                     for c in 0..self.cfg.out_channels {
-                        out[out_shape.index(n, c, oy, ox)] =
-                            out_mat.at(row, c) + self.bias[c];
+                        out[out_shape.index(n, c, oy, ox)] = out_mat.at(row, c) + self.bias[c];
                     }
                 }
             }
@@ -347,7 +346,11 @@ mod tests {
             padding: 1,
         };
         assert_eq!(cfg.out_size(28, 28), (28, 28)); // same-padding
-        let cfg2 = Conv2dConfig { stride: 2, padding: 0, ..cfg };
+        let cfg2 = Conv2dConfig {
+            stride: 2,
+            padding: 0,
+            ..cfg
+        };
         assert_eq!(cfg2.out_size(28, 28), (13, 13));
         assert_eq!(cfg.patch_len(), 27);
     }
@@ -355,7 +358,12 @@ mod tests {
     #[test]
     fn im2col_identity_kernel() {
         // 1×1 kernel, stride 1, no padding: patches are just pixels.
-        let shape = ConvShape { n: 1, c: 2, h: 3, w: 3 };
+        let shape = ConvShape {
+            n: 1,
+            c: 2,
+            h: 3,
+            w: 3,
+        };
         let cfg = Conv2dConfig {
             in_channels: 2,
             out_channels: 1,
@@ -372,7 +380,12 @@ mod tests {
 
     #[test]
     fn im2col_zero_pads_borders() {
-        let shape = ConvShape { n: 1, c: 1, h: 2, w: 2 };
+        let shape = ConvShape {
+            n: 1,
+            c: 1,
+            h: 2,
+            w: 2,
+        };
         let cfg = Conv2dConfig {
             in_channels: 1,
             out_channels: 1,
@@ -389,7 +402,12 @@ mod tests {
 
     #[test]
     fn conv_via_matmul_matches_direct() {
-        let shape = ConvShape { n: 2, c: 3, h: 8, w: 8 };
+        let shape = ConvShape {
+            n: 2,
+            c: 3,
+            h: 8,
+            w: 8,
+        };
         let cfg = Conv2dConfig {
             in_channels: 3,
             out_channels: 5,
@@ -400,8 +418,7 @@ mod tests {
         let layer = Conv2d::new(cfg, classical(1), 7);
         let x = input(shape, 2);
         let (got, got_shape) = layer.forward(&x, shape);
-        let (expect, expect_shape) =
-            conv2d_direct(&x, shape, &cfg, &layer.filters, &layer.bias);
+        let (expect, expect_shape) = conv2d_direct(&x, shape, &cfg, &layer.filters, &layer.bias);
         assert_eq!(got_shape, expect_shape);
         for (g, e) in got.iter().zip(&expect) {
             assert!((g - e).abs() < 1e-4, "{g} vs {e}");
@@ -410,7 +427,12 @@ mod tests {
 
     #[test]
     fn strided_conv_matches_direct() {
-        let shape = ConvShape { n: 1, c: 2, h: 9, w: 7 };
+        let shape = ConvShape {
+            n: 1,
+            c: 2,
+            h: 9,
+            w: 7,
+        };
         let cfg = Conv2dConfig {
             in_channels: 2,
             out_channels: 4,
@@ -432,7 +454,12 @@ mod tests {
     fn col2im_inverts_im2col_counts() {
         // For an all-ones patch matrix, col2im produces, at each input
         // pixel, the number of receptive fields covering it.
-        let shape = ConvShape { n: 1, c: 1, h: 3, w: 3 };
+        let shape = ConvShape {
+            n: 1,
+            c: 1,
+            h: 3,
+            w: 3,
+        };
         let cfg = Conv2dConfig {
             in_channels: 1,
             out_channels: 1,
@@ -452,7 +479,12 @@ mod tests {
 
     #[test]
     fn conv_filter_gradient_matches_finite_difference() {
-        let shape = ConvShape { n: 2, c: 2, h: 5, w: 5 };
+        let shape = ConvShape {
+            n: 2,
+            c: 2,
+            h: 5,
+            w: 5,
+        };
         let cfg = Conv2dConfig {
             in_channels: 2,
             out_channels: 3,
@@ -476,8 +508,7 @@ mod tests {
             layer.filters.set(fi, fj, orig - eps);
             let (lm, _) = layer.forward(&x, shape);
             layer.filters.set(fi, fj, orig);
-            let numeric =
-                (lp.iter().sum::<f32>() - lm.iter().sum::<f32>()) / (2.0 * eps);
+            let numeric = (lp.iter().sum::<f32>() - lm.iter().sum::<f32>()) / (2.0 * eps);
             let a = analytic.at(fi, fj);
             assert!(
                 (a - numeric).abs() < 0.05 * (1.0 + numeric.abs()),
@@ -488,7 +519,12 @@ mod tests {
 
     #[test]
     fn conv_input_gradient_matches_finite_difference() {
-        let shape = ConvShape { n: 1, c: 1, h: 4, w: 4 };
+        let shape = ConvShape {
+            n: 1,
+            c: 1,
+            h: 4,
+            w: 4,
+        };
         let cfg = Conv2dConfig {
             in_channels: 1,
             out_channels: 2,
@@ -522,7 +558,12 @@ mod tests {
     #[test]
     fn conv_sgd_reduces_reconstruction_loss() {
         // Tiny regression: learn filters that reproduce a target response.
-        let shape = ConvShape { n: 1, c: 1, h: 6, w: 6 };
+        let shape = ConvShape {
+            n: 1,
+            c: 1,
+            h: 6,
+            w: 6,
+        };
         let cfg = Conv2dConfig {
             in_channels: 1,
             out_channels: 1,
@@ -556,7 +597,12 @@ mod tests {
     #[test]
     fn apa_backend_convolves_accurately() {
         // The paper's §1 claim in action: an APA kernel inside im2col conv.
-        let shape = ConvShape { n: 4, c: 8, h: 12, w: 12 };
+        let shape = ConvShape {
+            n: 4,
+            c: 8,
+            h: 12,
+            w: 12,
+        };
         let cfg = Conv2dConfig {
             in_channels: 8,
             out_channels: 16,
@@ -574,7 +620,11 @@ mod tests {
             .map(|(g, e)| ((g - e) as f64).powi(2))
             .sum::<f64>()
             .sqrt();
-        let den: f64 = expect.iter().map(|e| (*e as f64).powi(2)).sum::<f64>().sqrt();
+        let den: f64 = expect
+            .iter()
+            .map(|e| (*e as f64).powi(2))
+            .sum::<f64>()
+            .sqrt();
         let rel = num / den.max(1e-30);
         assert!(rel < 5e-3, "APA conv rel error {rel}");
     }

@@ -90,11 +90,7 @@ impl Dataset {
         assert!(n <= self.len());
         let f = self.features();
         let front_img = Mat::from_vec(n, f, self.images.as_slice()[..n * f].to_vec());
-        let back_img = Mat::from_vec(
-            self.len() - n,
-            f,
-            self.images.as_slice()[n * f..].to_vec(),
-        );
+        let back_img = Mat::from_vec(self.len() - n, f, self.images.as_slice()[n * f..].to_vec());
         (
             Dataset::new(front_img, self.labels[..n].to_vec(), self.num_classes),
             Dataset::new(back_img, self.labels[n..].to_vec(), self.num_classes),
@@ -156,7 +152,8 @@ fn render_digit(digit: u8, rng: &mut ChaCha8Rng) -> Vec<f32> {
         for py in (min_y.max(0.0) as usize)..=(max_y.min((SIDE - 1) as f32) as usize) {
             for px in (min_x.max(0.0) as usize)..=(max_x.min((SIDE - 1) as f32) as usize) {
                 let d = point_segment_distance(px as f32, py as f32, x0, y0, x1, y1);
-                let v = seg_intensity * (1.0 - ((d - thickness * 0.5) / 0.8).max(0.0)).clamp(0.0, 1.0);
+                let v =
+                    seg_intensity * (1.0 - ((d - thickness * 0.5) / 0.8).max(0.0)).clamp(0.0, 1.0);
                 let cell = &mut img[py * SIDE + px];
                 *cell = cell.max(v);
             }
@@ -210,25 +207,104 @@ pub fn synthetic_mnist_split(n_train: usize, n_test: usize, seed: u64) -> (Datas
 // IDX (real MNIST) loader
 // ---------------------------------------------------------------------------
 
+/// Which IDX file a [`DataError`] refers to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum IdxKind {
+    Images,
+    Labels,
+}
+
+impl IdxKind {
+    fn noun(self) -> &'static str {
+        match self {
+            IdxKind::Images => "image",
+            IdxKind::Labels => "label",
+        }
+    }
+}
+
+/// Typed IDX-parsing / dataset-loading failure, carrying enough context
+/// (expected vs actual magic/length, offending path) to diagnose a bad
+/// download or a truncated file without re-running under a debugger.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DataError {
+    /// The file does not start with the IDX magic for its kind.
+    BadMagic {
+        kind: IdxKind,
+        expected: u32,
+        got: u32,
+    },
+    /// The file is shorter than its own header declares.
+    Truncated {
+        kind: IdxKind,
+        /// Total bytes the header implies the file must hold.
+        expected: usize,
+        /// Bytes actually present.
+        got: usize,
+    },
+    /// Filesystem failure (path and OS message).
+    Io { path: String, msg: String },
+}
+
+impl std::fmt::Display for DataError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DataError::BadMagic {
+                kind,
+                expected,
+                got,
+            } => write!(
+                f,
+                "bad IDX {} magic: expected {expected:#010x}, got {got:#010x}",
+                kind.noun()
+            ),
+            DataError::Truncated {
+                kind,
+                expected,
+                got,
+            } => write!(
+                f,
+                "IDX {} file truncated: header implies {expected} bytes, file has {got}",
+                kind.noun()
+            ),
+            DataError::Io { path, msg } => write!(f, "cannot read {path}: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DataError {}
+
+const IDX_IMAGE_MAGIC: u32 = 0x0000_0803;
+const IDX_LABEL_MAGIC: u32 = 0x0000_0801;
+
 /// Parse an `idx3-ubyte` image file into row-major normalized f32 rows.
-pub fn parse_idx_images(data: &[u8]) -> Result<Mat<f32>, String> {
+pub fn parse_idx_images(data: &[u8]) -> Result<Mat<f32>, DataError> {
     let mut buf = data;
     if buf.remaining() < 16 {
-        return Err("IDX image file too short".into());
+        return Err(DataError::Truncated {
+            kind: IdxKind::Images,
+            expected: 16,
+            got: data.len(),
+        });
     }
     let magic = buf.get_u32();
-    if magic != 0x0000_0803 {
-        return Err(format!("bad IDX image magic {magic:#x}"));
+    if magic != IDX_IMAGE_MAGIC {
+        return Err(DataError::BadMagic {
+            kind: IdxKind::Images,
+            expected: IDX_IMAGE_MAGIC,
+            got: magic,
+        });
     }
     let count = buf.get_u32() as usize;
     let rows = buf.get_u32() as usize;
     let cols = buf.get_u32() as usize;
     let pixels = count * rows * cols;
     if buf.remaining() < pixels {
-        return Err(format!(
-            "IDX image file truncated: need {pixels} pixels, have {}",
-            buf.remaining()
-        ));
+        return Err(DataError::Truncated {
+            kind: IdxKind::Images,
+            expected: 16 + pixels,
+            got: data.len(),
+        });
     }
     let mut images = Mat::zeros(count, rows * cols);
     let slice = images.as_mut_slice();
@@ -239,42 +315,62 @@ pub fn parse_idx_images(data: &[u8]) -> Result<Mat<f32>, String> {
 }
 
 /// Parse an `idx1-ubyte` label file.
-pub fn parse_idx_labels(data: &[u8]) -> Result<Vec<u8>, String> {
+pub fn parse_idx_labels(data: &[u8]) -> Result<Vec<u8>, DataError> {
     let mut buf = data;
     if buf.remaining() < 8 {
-        return Err("IDX label file too short".into());
+        return Err(DataError::Truncated {
+            kind: IdxKind::Labels,
+            expected: 8,
+            got: data.len(),
+        });
     }
     let magic = buf.get_u32();
-    if magic != 0x0000_0801 {
-        return Err(format!("bad IDX label magic {magic:#x}"));
+    if magic != IDX_LABEL_MAGIC {
+        return Err(DataError::BadMagic {
+            kind: IdxKind::Labels,
+            expected: IDX_LABEL_MAGIC,
+            got: magic,
+        });
     }
     let count = buf.get_u32() as usize;
     if buf.remaining() < count {
-        return Err("IDX label file truncated".into());
+        return Err(DataError::Truncated {
+            kind: IdxKind::Labels,
+            expected: 8 + count,
+            got: data.len(),
+        });
     }
     Ok(buf.chunk()[..count].to_vec())
 }
 
 /// Load real MNIST from a directory holding the four canonical
-/// (uncompressed) IDX files; returns `None` when the files are absent so
-/// the harnesses can fall back to the synthetic generator.
-pub fn load_mnist_idx(dir: &Path) -> Option<(Dataset, Dataset)> {
-    let read = |name: &str| fs::read(dir.join(name)).ok();
-    let tr_img = read("train-images-idx3-ubyte")?;
-    let tr_lbl = read("train-labels-idx1-ubyte")?;
-    let te_img = read("t10k-images-idx3-ubyte")?;
-    let te_lbl = read("t10k-labels-idx1-ubyte")?;
+/// (uncompressed) IDX files, with a typed error naming the first file
+/// that failed. [`load_mnist_idx`] is the `Option` convenience.
+pub fn try_load_mnist_idx(dir: &Path) -> Result<(Dataset, Dataset), DataError> {
+    let read = |name: &str| {
+        let path = dir.join(name);
+        fs::read(&path).map_err(|e| DataError::Io {
+            path: path.display().to_string(),
+            msg: e.to_string(),
+        })
+    };
     let train = Dataset::new(
-        parse_idx_images(&tr_img).ok()?,
-        parse_idx_labels(&tr_lbl).ok()?,
+        parse_idx_images(&read("train-images-idx3-ubyte")?)?,
+        parse_idx_labels(&read("train-labels-idx1-ubyte")?)?,
         10,
     );
     let test = Dataset::new(
-        parse_idx_images(&te_img).ok()?,
-        parse_idx_labels(&te_lbl).ok()?,
+        parse_idx_images(&read("t10k-images-idx3-ubyte")?)?,
+        parse_idx_labels(&read("t10k-labels-idx1-ubyte")?)?,
         10,
     );
-    Some((train, test))
+    Ok((train, test))
+}
+
+/// Load real MNIST, or `None` when the files are absent or unreadable so
+/// the harnesses can fall back to the synthetic generator.
+pub fn load_mnist_idx(dir: &Path) -> Option<(Dataset, Dataset)> {
+    try_load_mnist_idx(dir).ok()
 }
 
 #[cfg(test)]
@@ -373,18 +469,90 @@ mod tests {
     }
 
     #[test]
-    fn idx_rejects_bad_input() {
-        assert!(parse_idx_images(&[1, 2, 3]).is_err());
-        assert!(parse_idx_labels(&[0, 0, 8, 3, 0, 0, 0, 1, 5]).is_err()); // wrong magic
+    fn idx_rejects_bad_input_with_typed_errors() {
+        // Too short for even a header.
+        assert_eq!(
+            parse_idx_images(&[1, 2, 3]),
+            Err(DataError::Truncated {
+                kind: IdxKind::Images,
+                expected: 16,
+                got: 3
+            })
+        );
+        // An image magic fed to the label parser.
+        assert_eq!(
+            parse_idx_labels(&[0, 0, 8, 3, 0, 0, 0, 1, 5]),
+            Err(DataError::BadMagic {
+                kind: IdxKind::Labels,
+                expected: 0x0000_0801,
+                got: 0x0000_0803,
+            })
+        );
+        // A header promising 100 28×28 images with no pixel payload: the
+        // error reports expected vs actual byte counts.
         let mut truncated = vec![0u8, 0, 8, 3];
         truncated.extend_from_slice(&100u32.to_be_bytes());
         truncated.extend_from_slice(&28u32.to_be_bytes());
         truncated.extend_from_slice(&28u32.to_be_bytes());
-        assert!(parse_idx_images(&truncated).is_err());
+        assert_eq!(
+            parse_idx_images(&truncated),
+            Err(DataError::Truncated {
+                kind: IdxKind::Images,
+                expected: 16 + 100 * 28 * 28,
+                got: 16,
+            })
+        );
     }
 
     #[test]
-    fn load_mnist_idx_absent_is_none() {
+    fn truncated_fixture_on_disk_is_reported_with_its_length() {
+        // Regression: a partially-downloaded MNIST file must surface as a
+        // typed Truncated error (not a panic, not a silent short dataset).
+        let dir = std::env::temp_dir().join(format!("apa-idx-truncated-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+
+        // Valid 2-image / 2-label fixtures...
+        let mut img = vec![0u8, 0, 8, 3];
+        for dim in [2u32, 2, 2] {
+            img.extend_from_slice(&dim.to_be_bytes());
+        }
+        img.extend_from_slice(&[0; 8]);
+        let mut lbl = vec![0u8, 0, 8, 1];
+        lbl.extend_from_slice(&2u32.to_be_bytes());
+        lbl.extend_from_slice(&[0, 1]);
+        fs::write(dir.join("train-images-idx3-ubyte"), &img).unwrap();
+        fs::write(dir.join("train-labels-idx1-ubyte"), &lbl).unwrap();
+        fs::write(dir.join("t10k-labels-idx1-ubyte"), &lbl).unwrap();
+        // ...except the test images, cut off mid-payload.
+        fs::write(dir.join("t10k-images-idx3-ubyte"), &img[..img.len() - 3]).unwrap();
+
+        assert_eq!(
+            try_load_mnist_idx(&dir).err(),
+            Some(DataError::Truncated {
+                kind: IdxKind::Images,
+                expected: 16 + 8,
+                got: img.len() - 3,
+            })
+        );
+        assert!(
+            load_mnist_idx(&dir).is_none(),
+            "Option convenience stays lenient"
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn load_mnist_idx_absent_names_the_missing_path() {
+        let err = try_load_mnist_idx(Path::new("/nonexistent/dir"))
+            .err()
+            .expect("missing dir must error");
+        match err {
+            DataError::Io { ref path, .. } => {
+                assert!(path.contains("train-images-idx3-ubyte"), "{err}")
+            }
+            other => panic!("expected Io error, got {other:?}"),
+        }
         assert!(load_mnist_idx(Path::new("/nonexistent/dir")).is_none());
     }
 

@@ -46,7 +46,13 @@ pub struct Dense {
 impl Dense {
     /// He-style initialization scaled for ReLU stacks, deterministic in
     /// `seed` (the reproduction needs bit-identical reruns).
-    pub fn new(inputs: usize, outputs: usize, activation: Activation, backend: Backend, seed: u64) -> Self {
+    pub fn new(
+        inputs: usize,
+        outputs: usize,
+        activation: Activation,
+        backend: Backend,
+        seed: u64,
+    ) -> Self {
         let scale = (2.0 / inputs as f64).sqrt();
         let mut state = seed
             .wrapping_mul(0x9E3779B97F4A7C15)
@@ -104,9 +110,13 @@ impl Dense {
     /// shapes still fit.
     pub fn forward(&mut self, x: &Mat<f32>) -> Mat<f32> {
         assert_eq!(x.cols(), self.inputs(), "input width mismatch");
-        let mut z = self.pre_activation.take().unwrap_or_else(|| Mat::zeros(0, 0));
+        let mut z = self
+            .pre_activation
+            .take()
+            .unwrap_or_else(|| Mat::zeros(0, 0));
         z.resize(x.rows(), self.outputs());
-        self.backend.matmul_into(x.as_ref(), self.w.as_ref(), z.as_mut());
+        self.backend
+            .matmul_into(x.as_ref(), self.w.as_ref(), z.as_mut());
         add_bias_rows(&mut z, &self.b);
         let a = match self.activation {
             Activation::Relu => {
@@ -158,7 +168,9 @@ impl Dense {
             grad_b,
             ..
         } = self;
-        let x = input.as_ref().expect("backward() requires a prior forward()");
+        let x = input
+            .as_ref()
+            .expect("backward() requires a prior forward()");
         let z = pre_activation.as_ref().unwrap();
         dz_buf.resize(grad_out.rows(), grad_out.cols());
         dz_buf.as_mut().copy_from(grad_out.as_ref());

@@ -16,9 +16,12 @@
 //! * [`conv`] / [`cnn`] — convolution as matmul (im2col/col2im) and a
 //!   trainable CNN, so APA kernels reach convolutional layers too (§1);
 //! * [`optimizer`] — momentum SGD + weight decay;
+//! * [`checkpoint`] — versioned, checksummed, atomically written training
+//!   checkpoints and the crash-safe [`CheckpointedTrainer`] resume loop;
 //! * [`tensor`] — small dense helpers (transpose, bias, reductions).
 
 pub mod backend;
+pub mod checkpoint;
 pub mod cnn;
 pub mod conv;
 pub mod data;
@@ -33,12 +36,19 @@ pub mod vgg;
 pub use backend::{
     apa, classical, guarded, ApaBackend, Backend, ClassicalBackend, GuardedBackend, MatmulBackend,
 };
+pub use checkpoint::{
+    CheckpointError, CheckpointManager, CheckpointedTrainer, EpochProgress, LayerState, TrainState,
+    TrainerConfig,
+};
 pub use cnn::SimpleCnn;
 pub use conv::{col2im, conv2d_direct, im2col, Conv2d, Conv2dConfig, ConvShape};
-pub use data::{load_mnist_idx, synthetic_mnist, synthetic_mnist_split, Dataset};
-pub use optimizer::{Optimizer, SgdConfig};
+pub use data::{
+    load_mnist_idx, synthetic_mnist, synthetic_mnist_split, try_load_mnist_idx, DataError, Dataset,
+    IdxKind,
+};
 pub use layer::{Activation, Dense};
 pub use loss::{accuracy, softmax_cross_entropy, softmax_rows};
 pub use mnist_mlp::{accuracy_network, performance_network, ACCURACY_BATCH};
 pub use net::{EpochStats, Mlp};
+pub use optimizer::{Optimizer, SgdConfig};
 pub use vgg::{Vgg19Fc, VGG_FC_WIDTHS};

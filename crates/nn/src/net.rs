@@ -2,10 +2,17 @@
 //! batched SGD on softmax cross-entropy (the paper's §4 setup).
 
 use crate::backend::Backend;
+use crate::checkpoint::{CheckpointError, LayerState, TrainState};
 use crate::data::Dataset;
 use crate::layer::{Activation, Dense};
 use crate::loss::{accuracy, softmax_cross_entropy};
 use apa_gemm::Mat;
+
+/// Base seed for the per-epoch shuffle: every epoch shuffles with
+/// `SHUFFLE_SALT + epoch`, so the batch order is a pure function of the
+/// epoch index — which is what makes an (epoch, batch) checkpoint cursor
+/// a complete RNG stream position.
+pub const SHUFFLE_SALT: u64 = 0xABCD_EF01;
 
 fn finite_mat(m: &Mat<f32>) -> bool {
     m.as_slice().iter().all(|v| v.is_finite())
@@ -85,6 +92,54 @@ impl Mlp {
     /// Total batches ever re-run on the fallback backend.
     pub fn degraded_batches(&self) -> u64 {
         self.degraded_batches
+    }
+
+    /// Copy out every layer's parameters for a checkpoint.
+    pub fn snapshot(&self) -> Vec<LayerState> {
+        self.layers
+            .iter()
+            .map(|l| LayerState {
+                w: l.w.clone(),
+                b: l.b.clone(),
+            })
+            .collect()
+    }
+
+    /// Restore parameters and the fallback-rerun counter from a
+    /// checkpoint, refusing a geometry mismatch. Backends are untouched —
+    /// the caller rebuilds the network with its own backends and resumes
+    /// the *state* into it.
+    pub fn resume(&mut self, state: &TrainState) -> Result<(), CheckpointError> {
+        if state.layers.len() != self.layers.len() {
+            return Err(CheckpointError::Mismatch {
+                what: format!(
+                    "{} layers in checkpoint, {} in network",
+                    state.layers.len(),
+                    self.layers.len()
+                ),
+            });
+        }
+        for (li, (layer, saved)) in self.layers.iter().zip(&state.layers).enumerate() {
+            if (saved.w.rows(), saved.w.cols()) != (layer.w.rows(), layer.w.cols())
+                || saved.b.len() != layer.b.len()
+            {
+                return Err(CheckpointError::Mismatch {
+                    what: format!(
+                        "layer {li} is {}x{} in checkpoint, {}x{} in network",
+                        saved.w.rows(),
+                        saved.w.cols(),
+                        layer.w.rows(),
+                        layer.w.cols()
+                    ),
+                });
+            }
+        }
+        for (layer, saved) in self.layers.iter_mut().zip(&state.layers) {
+            layer.w = saved.w.clone();
+            layer.b = saved.b.clone();
+        }
+        self.degraded_batches = state.degraded_batches;
+        Ok(())
     }
 
     /// Layer widths including input: `[in, h1, …, out]`.
@@ -194,7 +249,7 @@ impl Mlp {
         lr: f32,
         epoch: usize,
     ) -> EpochStats {
-        let order = data.shuffled_indices(0xABCD_EF01u64.wrapping_add(epoch as u64));
+        let order = data.shuffled_indices(SHUFFLE_SALT.wrapping_add(epoch as u64));
         let degraded_before = self.degraded_batches;
         let mut total_loss = 0.0f64;
         let mut total_correct = 0.0f64;
@@ -382,8 +437,8 @@ mod tests {
                 poison_call,
                 calls: std::sync::atomic::AtomicU64::new(0),
             });
-            let mut net = Mlp::new(&[8, 16, 2], vec![faulty.clone(), faulty], 7)
-                .with_fallback(classical(1));
+            let mut net =
+                Mlp::new(&[8, 16, 2], vec![faulty.clone(), faulty], 7).with_fallback(classical(1));
             let mut per_epoch = 0u64;
             for e in 0..5 {
                 per_epoch += net.train_epoch(&data, 20, 0.1, e).degraded_batches;

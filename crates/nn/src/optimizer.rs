@@ -2,6 +2,7 @@
 //! extension of the paper's training setup; the paper itself uses plain
 //! batched SGD, which remains the default elsewhere).
 
+use crate::checkpoint::{CheckpointError, LayerState};
 use crate::net::Mlp;
 use apa_gemm::Mat;
 
@@ -44,12 +45,50 @@ impl Optimizer {
         Self { cfg, vel_w, vel_b }
     }
 
+    /// Copy out the velocity buffers for a checkpoint (same geometry as
+    /// the layers they update).
+    pub fn export_velocities(&self) -> Vec<LayerState> {
+        self.vel_w
+            .iter()
+            .zip(&self.vel_b)
+            .map(|(w, b)| LayerState {
+                w: w.clone(),
+                b: b.clone(),
+            })
+            .collect()
+    }
+
+    /// Restore velocity buffers from a checkpoint, refusing a geometry
+    /// mismatch.
+    pub fn restore_velocities(&mut self, saved: &[LayerState]) -> Result<(), CheckpointError> {
+        let ok = saved.len() == self.vel_w.len()
+            && saved
+                .iter()
+                .zip(&self.vel_w)
+                .zip(&self.vel_b)
+                .all(|((s, vw), vb)| {
+                    (s.w.rows(), s.w.cols()) == (vw.rows(), vw.cols()) && s.b.len() == vb.len()
+                });
+        if !ok {
+            return Err(CheckpointError::Mismatch {
+                what: "optimizer velocity geometry differs from checkpoint".to_string(),
+            });
+        }
+        for ((s, vw), vb) in saved.iter().zip(&mut self.vel_w).zip(&mut self.vel_b) {
+            *vw = s.w.clone();
+            vb.copy_from_slice(&s.b);
+        }
+        Ok(())
+    }
+
     /// Consume the gradients stored by the last backward pass and update
     /// the weights: `v ← μ·v + (g + wd·w)`, `w ← w − lr·v`.
     pub fn step(&mut self, net: &mut Mlp) {
         assert_eq!(net.layers.len(), self.vel_w.len(), "optimizer/net mismatch");
         for (li, layer) in net.layers.iter_mut().enumerate() {
-            let Some(gw) = layer.grad_w.take() else { continue };
+            let Some(gw) = layer.grad_w.take() else {
+                continue;
+            };
             let gb = layer.grad_b.take().unwrap_or_default();
             let vw = &mut self.vel_w[li];
             let (mu, wd, lr) = (self.cfg.momentum, self.cfg.weight_decay, self.cfg.lr);
@@ -108,8 +147,20 @@ mod tests {
 
     #[test]
     fn plain_sgd_reduces_loss() {
-        let start = train(SgdConfig { lr: 0.0, ..Default::default() }, 1);
-        let end = train(SgdConfig { lr: 0.2, ..Default::default() }, 40);
+        let start = train(
+            SgdConfig {
+                lr: 0.0,
+                ..Default::default()
+            },
+            1,
+        );
+        let end = train(
+            SgdConfig {
+                lr: 0.2,
+                ..Default::default()
+            },
+            40,
+        );
         assert!(end < start, "{end} !< {start}");
         assert!(end < 0.1, "loss should be near zero: {end}");
     }
@@ -117,11 +168,19 @@ mod tests {
     #[test]
     fn momentum_accelerates_on_this_problem() {
         let plain = train(
-            SgdConfig { lr: 0.05, momentum: 0.0, weight_decay: 0.0 },
+            SgdConfig {
+                lr: 0.05,
+                momentum: 0.0,
+                weight_decay: 0.0,
+            },
             15,
         );
         let momentum = train(
-            SgdConfig { lr: 0.05, momentum: 0.9, weight_decay: 0.0 },
+            SgdConfig {
+                lr: 0.05,
+                momentum: 0.9,
+                weight_decay: 0.0,
+            },
             15,
         );
         assert!(
@@ -145,7 +204,11 @@ mod tests {
         let before = norm(&net);
         // Zero gradient steps with decay only: weights must shrink.
         let mut opt = Optimizer::new(
-            SgdConfig { lr: 0.1, momentum: 0.0, weight_decay: 0.5 },
+            SgdConfig {
+                lr: 0.1,
+                momentum: 0.0,
+                weight_decay: 0.5,
+            },
             &net,
         );
         let (x, labels) = toy_batch();

@@ -40,9 +40,27 @@ impl Vgg19Fc {
             VGG_FC_WIDTHS[3] / scale,
         ];
         let fc = [
-            Dense::new(widths[0], widths[1], Activation::Relu, backend.clone(), seed),
-            Dense::new(widths[1], widths[2], Activation::Relu, backend.clone(), seed + 1),
-            Dense::new(widths[2], widths[3], Activation::Identity, backend, seed + 2),
+            Dense::new(
+                widths[0],
+                widths[1],
+                Activation::Relu,
+                backend.clone(),
+                seed,
+            ),
+            Dense::new(
+                widths[1],
+                widths[2],
+                Activation::Relu,
+                backend.clone(),
+                seed + 1,
+            ),
+            Dense::new(
+                widths[2],
+                widths[3],
+                Activation::Identity,
+                backend,
+                seed + 2,
+            ),
         ];
         Self { fc, widths, scale }
     }
@@ -66,7 +84,9 @@ impl Vgg19Fc {
     pub fn synthetic_labels(&self, batch: usize, seed: u64) -> Vec<u8> {
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         let classes = self.widths[3].min(256);
-        (0..batch).map(|_| rng.gen_range(0..classes) as u8).collect()
+        (0..batch)
+            .map(|_| rng.gen_range(0..classes) as u8)
+            .collect()
     }
 
     /// One training step (forward + loss + backward + SGD) over the head;

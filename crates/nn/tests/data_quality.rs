@@ -76,7 +76,10 @@ fn per_class_image_variability_is_nonzero() {
         let a = &ds.images().as_slice()[idxs[0] * f..(idxs[0] + 1) * f];
         let b = &ds.images().as_slice()[idxs[1] * f..(idxs[1] + 1) * f];
         let diff: f32 = a.iter().zip(b).map(|(x, y)| (x - y).abs()).sum();
-        assert!(diff > 1.0, "class {c}: two samples nearly identical (diff {diff})");
+        assert!(
+            diff > 1.0,
+            "class {c}: two samples nearly identical (diff {diff})"
+        );
     }
 }
 

@@ -54,7 +54,12 @@ fn conv_then_dense_pipeline_runs_with_apa() {
         backend.clone(),
         3,
     );
-    let shape = ConvShape { n: 8, c: 1, h: 28, w: 28 };
+    let shape = ConvShape {
+        n: 8,
+        c: 1,
+        h: 28,
+        w: 28,
+    };
     let (train, _) = synthetic_mnist_split(8, 1, 0x77);
     let input: Vec<f32> = train.images().as_slice().to_vec();
     let (features, out_shape) = conv.forward(&input, shape);
@@ -97,7 +102,12 @@ fn backend_swap_mid_training_preserves_learning() {
 
 #[test]
 fn im2col_patch_count_matches_formula() {
-    let shape = ConvShape { n: 3, c: 2, h: 11, w: 9 };
+    let shape = ConvShape {
+        n: 3,
+        c: 2,
+        h: 11,
+        w: 9,
+    };
     let cfg = Conv2dConfig {
         in_channels: 2,
         out_channels: 1,
@@ -165,11 +175,13 @@ fn mnist_recovers_from_mid_epoch_fault() {
         poison_call: 93,
         calls: std::sync::atomic::AtomicU64::new(0),
     });
-    let mut net_faulted = Mlp::new(&[784, 64, 10], vec![faulty.clone(), faulty], 11)
-        .with_fallback(classical(1));
+    let mut net_faulted =
+        Mlp::new(&[784, 64, 10], vec![faulty.clone(), faulty], 11).with_fallback(classical(1));
     let mut degraded = 0;
     for e in 0..epochs {
-        degraded += net_faulted.train_epoch(&train, 100, 0.1, e).degraded_batches;
+        degraded += net_faulted
+            .train_epoch(&train, 100, 0.1, e)
+            .degraded_batches;
     }
     assert_eq!(degraded, 1, "exactly one batch must be re-run on fallback");
     let acc_faulted = net_faulted.evaluate(&test, 200);
@@ -211,7 +223,10 @@ fn gradients_flow_through_every_layer() {
     let (_, grad) = softmax_cross_entropy(&logits, &labels);
     net.backward_only(&grad);
     for (i, layer) in net.layers.iter().enumerate() {
-        let gw = layer.grad_w.as_ref().unwrap_or_else(|| panic!("layer {i} missing grad"));
+        let gw = layer
+            .grad_w
+            .as_ref()
+            .unwrap_or_else(|| panic!("layer {i} missing grad"));
         let norm: f64 = gw.as_slice().iter().map(|v| (*v as f64).powi(2)).sum();
         assert!(norm > 0.0, "layer {i} has zero gradient");
         assert!(norm.is_finite(), "layer {i} gradient exploded");

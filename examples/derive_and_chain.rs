@@ -21,7 +21,14 @@ fn random(n: usize, seed: u64) -> Mat<f32> {
 fn main() {
     println!("== Construction search (apa-core::derive) ==");
     let table = DeriveTable::build(Dims::new(7, 7, 7));
-    for (m, k, n) in [(4, 2, 2), (3, 3, 3), (5, 5, 2), (4, 4, 4), (6, 6, 6), (7, 7, 7)] {
+    for (m, k, n) in [
+        (4, 2, 2),
+        (3, 3, 3),
+        (5, 5, 2),
+        (4, 4, 4),
+        (6, 6, 6),
+        (7, 7, 7),
+    ] {
         let d = Dims::new(m, k, n);
         println!("  {}", table.explain(d).unwrap());
     }

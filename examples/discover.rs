@@ -6,7 +6,9 @@
 //! Run with: `cargo run --release --example discover`
 
 use apa_repro::core::Dims;
-use apa_repro::discovery::{als_from, als_multi_restart, relative_residual, round_and_verify, AlsConfig, DMat, RoundOutcome};
+use apa_repro::discovery::{
+    als_from, als_multi_restart, relative_residual, round_and_verify, AlsConfig, DMat, RoundOutcome,
+};
 use apa_repro::prelude::catalog;
 
 fn main() {

@@ -3,19 +3,66 @@
 //! robustness experiment in miniature.
 //!
 //! Run with: `cargo run --release --example mlp_training`
+//!
+//! Crash-safe mode: pass `--checkpoint-dir DIR` to train the APA network
+//! through the checkpointed trainer (atomic, checksummed snapshots every
+//! few batches), and `--resume` to continue a previous run from the
+//! newest good checkpoint. Kill the process mid-run and re-launch with
+//! `--resume`: the final weights match the uninterrupted trajectory.
 
-use apa_repro::nn::{accuracy_network, apa, classical, synthetic_mnist_split, Backend};
+use apa_repro::nn::{
+    accuracy_network, apa, classical, guarded, synthetic_mnist_split, Backend, CheckpointManager,
+    CheckpointedTrainer, Dataset, Optimizer, SgdConfig, TrainerConfig,
+};
 use apa_repro::prelude::catalog;
+use std::path::PathBuf;
+
+const EPOCHS: usize = 8;
+const BATCH: usize = 300;
 
 fn main() {
-    let epochs = 8;
+    let mut checkpoint_dir: Option<PathBuf> = None;
+    let mut resume = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--checkpoint-dir" => {
+                let dir = args.next().unwrap_or_else(|| {
+                    eprintln!("--checkpoint-dir needs a path");
+                    std::process::exit(2);
+                });
+                checkpoint_dir = Some(dir.into());
+            }
+            "--resume" => resume = true,
+            other => {
+                eprintln!(
+                    "unknown flag {other}\n\
+                     usage: mlp_training [--checkpoint-dir DIR] [--resume]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+    if resume && checkpoint_dir.is_none() {
+        eprintln!("--resume requires --checkpoint-dir");
+        std::process::exit(2);
+    }
+
     let (train, test) = synthetic_mnist_split(3000, 1000, 0x5EED);
     println!(
-        "synthetic MNIST: {} train / {} test samples, batch 300, {epochs} epochs\n",
+        "synthetic MNIST: {} train / {} test samples, batch {BATCH}, {EPOCHS} epochs\n",
         train.len(),
         test.len()
     );
 
+    match checkpoint_dir {
+        Some(dir) => checkpointed_run(&train, &test, &dir, resume),
+        None => comparison_run(&train, &test),
+    }
+}
+
+/// The original side-by-side backend comparison.
+fn comparison_run(train: &Dataset, test: &Dataset) {
     let configs: Vec<(&str, Backend)> = vec![
         ("classical", classical(1)),
         ("bini322  ", apa(catalog::bini322(), 1)),
@@ -26,12 +73,12 @@ fn main() {
         let mut net = accuracy_network(hidden, 1, 0xACC);
         print!("{label}  train-acc per epoch:");
         let mut secs = 0.0;
-        for e in 0..epochs {
-            let stats = net.train_epoch(&train, 300, 0.1, e);
+        for e in 0..EPOCHS {
+            let stats = net.train_epoch(train, BATCH, 0.1, e);
             secs += stats.seconds;
             print!(" {:.3}", stats.train_accuracy);
         }
-        let test_acc = net.evaluate(&test, 1000);
+        let test_acc = net.evaluate(test, 1000);
         println!("  | test {test_acc:.3} | {secs:.2}s compute");
     }
 
@@ -40,4 +87,69 @@ fn main() {
          error does not harm training (paper Fig. 5). Full-protocol run:\n\
          cargo run --release -p apa-bench --bin fig5 -- --full"
     );
+}
+
+/// Train the guarded APA network under the crash-safe checkpoint loop.
+fn checkpointed_run(train: &Dataset, test: &Dataset, dir: &PathBuf, resume: bool) {
+    let hidden = guarded(catalog::bini322(), 1);
+    let net = accuracy_network(hidden.clone(), 1, 0xACC);
+    let opt = Optimizer::new(
+        SgdConfig {
+            lr: 0.1,
+            momentum: 0.0,
+            weight_decay: 0.0,
+        },
+        &net,
+    );
+    let cfg = TrainerConfig {
+        epochs: EPOCHS,
+        batch_size: BATCH,
+        checkpoint_every: 4,
+    };
+    let manager = match CheckpointManager::new(dir, 3) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("cannot open checkpoint dir {}: {e}", dir.display());
+            std::process::exit(1);
+        }
+    };
+    let mut trainer = CheckpointedTrainer::new(net, opt, cfg)
+        .with_guards(vec![hidden])
+        .with_checkpoints(manager);
+
+    if resume {
+        match trainer.resume_latest() {
+            Ok(Some(generation)) => {
+                let (epoch, batch) = trainer.cursor();
+                println!(
+                    "resumed from checkpoint generation {generation} \
+                     (epoch {epoch}, batch {batch})"
+                );
+            }
+            Ok(None) => println!("no checkpoint found in {}; starting fresh", dir.display()),
+            Err(e) => {
+                eprintln!("resume failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+
+    println!("checkpointing to {} every 4 batches\n", dir.display());
+    let stats = match trainer.run(train) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("training failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    for s in &stats {
+        println!(
+            "epoch {:>2}: train-acc {:.3} | loss {:.4} | degraded batches {} | {:.2}s",
+            s.epoch, s.train_accuracy, s.loss, s.degraded_batches, s.seconds
+        );
+    }
+    let test_acc = trainer.net.evaluate(test, 1000);
+    let degraded: u64 = stats.iter().map(|s| s.degraded_batches).sum();
+    println!("\ntest accuracy {test_acc:.3}; {degraded} degraded batches this run");
+    println!("kill and re-run with --resume to continue from the newest good checkpoint");
 }

@@ -3,7 +3,10 @@
 #
 #   1. release build of the whole workspace
 #   2. full test suite (unit + integration + doc tests)
-#   3. clippy with warnings promoted to errors
+#   3. fault-injection suites (lane panics/stalls, torn checkpoint writes,
+#      crash drills with bitwise-identical resume)
+#   4. rustfmt check
+#   5. clippy with warnings promoted to errors
 #
 # Usage: scripts/tier1.sh   (from anywhere inside the repo)
 
@@ -19,10 +22,19 @@ cargo test -q
 echo "== tier1: cargo test -p apa-matmul --features fault-inject =="
 cargo test -q -p apa-matmul --features fault-inject
 
+echo "== tier1: cargo test -p apa-nn --features fault-inject (crash drills) =="
+cargo test -q -p apa-nn --features fault-inject
+
+echo "== tier1: cargo fmt --check =="
+cargo fmt --all -- --check
+
 echo "== tier1: cargo clippy (deny warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
 echo "== tier1: cargo clippy -p apa-matmul --features fault-inject (deny warnings) =="
 cargo clippy -p apa-matmul --all-targets --features fault-inject -- -D warnings
+
+echo "== tier1: cargo clippy -p apa-nn --features fault-inject (deny warnings) =="
+cargo clippy -p apa-nn --all-targets --features fault-inject -- -D warnings
 
 echo "== tier1: OK =="

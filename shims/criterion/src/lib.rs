@@ -32,7 +32,6 @@ pub struct Criterion {
     settings: Settings,
 }
 
-
 impl Criterion {
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
         let name = name.into();
@@ -132,7 +131,8 @@ impl Bencher {
             for _ in 0..self.iters_per_sample {
                 black_box(routine());
             }
-            self.samples.push(start.elapsed() / self.iters_per_sample as u32);
+            self.samples
+                .push(start.elapsed() / self.iters_per_sample as u32);
         }
     }
 }

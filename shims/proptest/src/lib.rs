@@ -231,8 +231,8 @@ pub mod collection {
 
 pub mod prelude {
     pub use crate::{
-        prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just, ProptestConfig,
-        Strategy, TestCaseError, TestCaseResult,
+        prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just, ProptestConfig, Strategy,
+        TestCaseError, TestCaseResult,
     };
 }
 

@@ -219,7 +219,12 @@ impl Xoshiro256pp {
         }
         // All-zero state is a fixed point; nudge it.
         if s == [0, 0, 0, 0] {
-            s = [0x9E3779B97F4A7C15, 0xBF58476D1CE4E5B9, 0x94D049BB133111EB, 1];
+            s = [
+                0x9E3779B97F4A7C15,
+                0xBF58476D1CE4E5B9,
+                0x94D049BB133111EB,
+                1,
+            ];
         }
         Self { s }
     }
@@ -227,10 +232,7 @@ impl Xoshiro256pp {
     #[inline]
     pub fn next_u64(&mut self) -> u64 {
         let s = &mut self.s;
-        let result = s[0]
-            .wrapping_add(s[3])
-            .rotate_left(23)
-            .wrapping_add(s[0]);
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
         let t = s[1] << 17;
         s[2] ^= s[0];
         s[3] ^= s[1];

@@ -216,9 +216,8 @@ impl<'scope> Scope<'scope> {
         // the closure's lifetime to 'static never lets it observe a
         // dangling reference. This is the standard scoped-pool erasure
         // (same argument as rayon's own scope implementation).
-        let job: Job = unsafe {
-            std::mem::transmute::<Box<dyn FnOnce() + Send + 'scope>, Job>(job)
-        };
+        let job: Job =
+            unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + 'scope>, Job>(job) };
         self.state
             .sender
             .send(job)

@@ -350,8 +350,7 @@ mod tests {
     #[test]
     fn containers_roundtrip() {
         let v = vec![(1usize, 2.5f64), (3, -4.0)];
-        let back: Vec<(usize, f64)> =
-            Deserialize::deserialize_value(&v.serialize_value()).unwrap();
+        let back: Vec<(usize, f64)> = Deserialize::deserialize_value(&v.serialize_value()).unwrap();
         assert_eq!(back, v);
 
         let mut m = BTreeMap::new();

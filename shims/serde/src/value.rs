@@ -97,10 +97,7 @@ impl Value {
 
     pub fn get_mut(&mut self, key: &str) -> Option<&mut Value> {
         match self {
-            Value::Object(entries) => entries
-                .iter_mut()
-                .find(|(k, _)| k == key)
-                .map(|(_, v)| v),
+            Value::Object(entries) => entries.iter_mut().find(|(k, _)| k == key).map(|(_, v)| v),
             _ => None,
         }
     }
@@ -248,7 +245,10 @@ mod tests {
     #[test]
     fn display_is_compact_json() {
         let v = Value::Object(vec![
-            ("a".to_string(), Value::Array(vec![Value::Num(1.0), Value::Num(2.5)])),
+            (
+                "a".to_string(),
+                Value::Array(vec![Value::Num(1.0), Value::Num(2.5)]),
+            ),
             ("b".to_string(), Value::Str("x\"y".to_string())),
         ]);
         assert_eq!(v.to_string(), r#"{"a":[1,2.5],"b":"x\"y"}"#);

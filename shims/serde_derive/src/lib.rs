@@ -78,11 +78,19 @@ fn parse_item(input: TokenStream) -> Result<(String, Shape), String> {
 
     let kind = match iter.next() {
         Some(TokenTree::Ident(id)) => id.to_string(),
-        other => return Err(format!("serde shim derive: expected struct/enum, got {other:?}")),
+        other => {
+            return Err(format!(
+                "serde shim derive: expected struct/enum, got {other:?}"
+            ))
+        }
     };
     let name = match iter.next() {
         Some(TokenTree::Ident(id)) => id.to_string(),
-        other => return Err(format!("serde shim derive: expected type name, got {other:?}")),
+        other => {
+            return Err(format!(
+                "serde shim derive: expected type name, got {other:?}"
+            ))
+        }
     };
     // Reject generics: the shim derive emits non-generic impls.
     if let Some(TokenTree::Punct(p)) = iter.peek() {
@@ -96,15 +104,17 @@ fn parse_item(input: TokenStream) -> Result<(String, Shape), String> {
         Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
         _ => {
             return Err(format!(
-                "serde shim derive: `{name}` must have a braced body (tuple/unit structs unsupported)"
-            ))
+            "serde shim derive: `{name}` must have a braced body (tuple/unit structs unsupported)"
+        ))
         }
     };
 
     match kind.as_str() {
         "struct" => Ok((name, Shape::Struct(parse_named_fields(body)?))),
         "enum" => Ok((name, Shape::Enum(parse_fieldless_variants(body)?))),
-        other => Err(format!("serde shim derive: unsupported item kind `{other}`")),
+        other => Err(format!(
+            "serde shim derive: unsupported item kind `{other}`"
+        )),
     }
 }
 
@@ -135,7 +145,11 @@ fn parse_named_fields(body: TokenStream) -> Result<Vec<String>, String> {
         let name = match iter.next() {
             None => break,
             Some(TokenTree::Ident(id)) => id.to_string(),
-            other => return Err(format!("serde shim derive: expected field name, got {other:?}")),
+            other => {
+                return Err(format!(
+                    "serde shim derive: expected field name, got {other:?}"
+                ))
+            }
         };
         match iter.next() {
             Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
@@ -190,7 +204,9 @@ fn parse_fieldless_variants(body: TokenStream) -> Result<Vec<String>, String> {
             None => break,
             Some(TokenTree::Ident(id)) => id.to_string(),
             other => {
-                return Err(format!("serde shim derive: expected variant name, got {other:?}"))
+                return Err(format!(
+                    "serde shim derive: expected variant name, got {other:?}"
+                ))
             }
         };
         match iter.next() {

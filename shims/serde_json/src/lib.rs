@@ -42,8 +42,7 @@ pub fn to_string<T: Serialize>(value: &T) -> Result<String> {
 
 pub fn to_string_pretty<T: Serialize>(value: &T) -> Result<String> {
     let mut out = String::new();
-    write_pretty(&value.serialize_value(), &mut out, 0)
-        .map_err(|e| Error(e.to_string()))?;
+    write_pretty(&value.serialize_value(), &mut out, 0).map_err(|e| Error(e.to_string()))?;
     Ok(out)
 }
 
@@ -272,8 +271,7 @@ impl<'a> Parser<'a> {
                                 .get(self.pos + 1..self.pos + 5)
                                 .ok_or_else(|| self.err("truncated \\u escape"))?;
                             let code = u32::from_str_radix(
-                                std::str::from_utf8(hex)
-                                    .map_err(|_| self.err("bad \\u escape"))?,
+                                std::str::from_utf8(hex).map_err(|_| self.err("bad \\u escape"))?,
                                 16,
                             )
                             .map_err(|_| self.err("bad \\u escape"))?;

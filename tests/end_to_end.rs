@@ -5,7 +5,6 @@ use apa_repro::core::{brent, catalog, error_model, io, transform, Dims};
 use apa_repro::gemm::{matmul_naive, Mat};
 use apa_repro::matmul::{measure_error, tune_lambda, ApaMatmul, PeelMode, Strategy};
 
-
 fn random(rows: usize, cols: usize, seed: u64) -> Mat<f32> {
     let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
     Mat::from_fn(rows, cols, |_, _| {
@@ -25,7 +24,12 @@ fn every_catalog_algorithm_multiplies_odd_shapes_with_every_strategy() {
         // Tolerance scales with the rule's predicted error (φ = 3 entries
         // like the Bini cube legitimately sit near 2e-2).
         let tol = (error_model::table1_row(&alg).error * 5.0).max(1e-2);
-        for strategy in [Strategy::Seq, Strategy::Dfs, Strategy::Bfs, Strategy::Hybrid] {
+        for strategy in [
+            Strategy::Seq,
+            Strategy::Dfs,
+            Strategy::Bfs,
+            Strategy::Hybrid,
+        ] {
             let mm = ApaMatmul::new(alg.clone()).strategy(strategy).threads(2);
             let got = mm.multiply(a.as_ref(), b.as_ref());
             let err = got.rel_frobenius_error(&expect);

@@ -3,8 +3,7 @@
 //! behaves; training is deterministic given seeds.
 
 use apa_repro::nn::{
-    accuracy_network, apa, classical, performance_network, synthetic_mnist_split, Backend,
-    Vgg19Fc,
+    accuracy_network, apa, classical, performance_network, synthetic_mnist_split, Backend, Vgg19Fc,
 };
 use apa_repro::prelude::catalog;
 

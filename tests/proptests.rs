@@ -8,8 +8,7 @@ use apa_repro::matmul::{ApaMatmul, Strategy as ExecStrategy};
 use proptest::prelude::*;
 
 fn laurent_strategy() -> impl Strategy<Value = Laurent> {
-    proptest::collection::vec((-3i32..=3, -4.0f64..4.0), 0..5)
-        .prop_map(Laurent::from_terms)
+    proptest::collection::vec((-3i32..=3, -4.0f64..4.0), 0..5).prop_map(Laurent::from_terms)
 }
 
 fn mat_strategy(max: usize) -> impl Strategy<Value = (usize, usize, Vec<f32>)> {
