@@ -1,0 +1,184 @@
+//! Serving throughput: dynamic batching vs unbatched request-at-a-time.
+//!
+//! A closed-loop load generator drives an [`apa_serve::InferenceService`]
+//! twice with identical client pressure — once with `target_batch = 1`
+//! (every request is its own 1-row forward pass) and once with the
+//! default target (= input width, the square-ish shape the engine is
+//! fastest at). The acceptance criterion (EXPERIMENTS.md) is ≥ 3×
+//! throughput from batching at width 1024: a 1-row multiply re-streams
+//! the full weight matrix per request, a width-row batch streams it once.
+//!
+//! Usage: `cargo run --release -p apa-bench --bin servebench
+//!         [--width 1024] [--lanes 2] [--threads 1] [--clients 8]
+//!         [--burst 0 (= target batch)] [--requests 0 (= 4×width)]
+//!         [--backend classical|apa|guarded]`
+
+use apa_bench::{banner, print_csv, print_table, Args};
+use apa_core::catalog;
+use apa_nn::{apa, classical, guarded, Backend, Mlp};
+use apa_serve::{InferenceService, Replica, ServeConfig, ServeError, ServeStats};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+struct Load {
+    width: usize,
+    lanes: usize,
+    clients: usize,
+    /// Tickets each client keeps in flight before draining them.
+    burst: usize,
+    requests: usize,
+}
+
+fn make_backend(kind: &str, threads: usize) -> Backend {
+    match kind {
+        "classical" => classical(threads),
+        "apa" => apa(catalog::bini322(), threads),
+        "guarded" => guarded(catalog::bini322(), threads),
+        other => panic!("unknown --backend {other} (classical|apa|guarded)"),
+    }
+}
+
+fn make_replica(kind: &str, threads: usize, width: usize, seed: u64) -> Replica {
+    let backend = make_backend(kind, threads);
+    Replica::new(Mlp::new(
+        &[width, width, 10],
+        vec![backend.clone(), backend],
+        seed,
+    ))
+}
+
+/// Run one closed-loop measurement; returns (requests/s, final stats).
+fn run_mode(kind: &str, threads: usize, target_batch: usize, load: &Load) -> (f64, ServeStats) {
+    let replicas: Vec<Replica> = (0..load.lanes)
+        .map(|lane| make_replica(kind, threads, load.width, 0xBEEF + lane as u64))
+        .collect();
+    // Warm a geometric ladder of batch sizes below the target so a
+    // ragged batch pads to the nearest power of two instead of all the
+    // way up — padding rows cost full multiply time for zero answers.
+    let mut warm_batches = Vec::new();
+    let mut b = 32;
+    while target_batch != 0 && b < load.width {
+        warm_batches.push(b);
+        b *= 2;
+    }
+    let service = InferenceService::start(
+        replicas,
+        ServeConfig {
+            target_batch,
+            queue_capacity: (load.clients * load.burst * 2).max(64),
+            max_linger: Duration::from_millis(2),
+            warm_batches,
+            ..ServeConfig::default()
+        },
+    );
+
+    let remaining = Arc::new(AtomicUsize::new(load.requests));
+    let input: Arc<Vec<f32>> = Arc::new((0..load.width).map(|i| (i as f32 * 0.13).sin()).collect());
+
+    let t0 = Instant::now();
+    std::thread::scope(|s| {
+        for _ in 0..load.clients {
+            let handle = service.handle();
+            let remaining = remaining.clone();
+            let input = input.clone();
+            s.spawn(move || loop {
+                // Claim up to a burst of the remaining work.
+                let mut claimed = 0;
+                while claimed < load.burst {
+                    if remaining
+                        .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| n.checked_sub(1))
+                        .is_err()
+                    {
+                        break;
+                    }
+                    claimed += 1;
+                }
+                if claimed == 0 {
+                    return;
+                }
+                let mut tickets = Vec::with_capacity(claimed);
+                for _ in 0..claimed {
+                    loop {
+                        match handle.submit(input.as_ref().clone()) {
+                            Ok(t) => break tickets.push(t),
+                            Err(ServeError::QueueFull { .. }) => std::thread::yield_now(),
+                            Err(e) => panic!("submit failed: {e}"),
+                        }
+                    }
+                }
+                for t in tickets {
+                    t.wait().expect("inference failed under load");
+                }
+            });
+        }
+    });
+    let elapsed = t0.elapsed().as_secs_f64();
+    let stats = service.shutdown();
+    assert_eq!(stats.completed as usize, load.requests, "lost responses");
+    (load.requests as f64 / elapsed, stats)
+}
+
+fn main() {
+    let args = Args::parse();
+    let width = args.get("width", 1024usize);
+    let lanes = args.get("lanes", 2usize);
+    let threads = args.get("threads", 1usize);
+    let clients = args.get("clients", 8usize);
+    let kind = args.get_str("backend").unwrap_or("classical").to_string();
+    // Enough in-flight work to fill every lane's target batch twice over.
+    let burst = match args.get("burst", 0usize) {
+        0 => (2 * lanes * width).div_ceil(clients).max(1),
+        b => b,
+    };
+    let requests = match args.get("requests", 0usize) {
+        0 => 4 * width,
+        r => r,
+    };
+    let load = Load {
+        width,
+        lanes,
+        clients,
+        burst,
+        requests,
+    };
+
+    banner(
+        "Serving throughput: dynamic batching vs unbatched",
+        &[
+            &format!("MLP [{width}, {width}, 10], {kind} backend, {threads} thread(s)/lane"),
+            &format!("{lanes} lane(s), {clients} closed-loop clients × burst {burst}"),
+            &format!("{requests} requests per mode; criterion: batched ≥ 3× unbatched"),
+        ],
+    );
+
+    let (unbatched_rps, unbatched) = run_mode(&kind, threads, 1, &load);
+    let (batched_rps, batched) = run_mode(&kind, threads, 0, &load);
+    let speedup = batched_rps / unbatched_rps;
+
+    let header = [
+        "mode",
+        "req/s",
+        "mean batch",
+        "p50 ms",
+        "p99 ms",
+        "padded rows",
+    ];
+    let row = |name: &str, rps: f64, s: &ServeStats| {
+        vec![
+            name.to_string(),
+            format!("{rps:.0}"),
+            format!("{:.1}", s.mean_batch_rows()),
+            format!("{:.2}", s.latency.p50().as_secs_f64() * 1e3),
+            format!("{:.2}", s.latency.p99().as_secs_f64() * 1e3),
+            format!("{}", s.padded_rows),
+        ]
+    };
+    let rows = vec![
+        row("unbatched", unbatched_rps, &unbatched),
+        row("batched", batched_rps, &batched),
+    ];
+    print_table(&header, &rows);
+    print_csv(&header, &rows);
+    println!("\nbatching speedup: {speedup:.2}x (criterion: >= 3x at width 1024)");
+}

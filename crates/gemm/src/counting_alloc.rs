@@ -18,34 +18,56 @@
 //!
 //! The counters are process-global atomics; when `CountingAlloc` is not
 //! installed as the global allocator they simply stay at zero.
+//!
+//! For assertions, prefer [`thread_allocation_counters`]: the test
+//! harness runs tests (and its own bookkeeping) on concurrent threads,
+//! so a process-global window can be polluted by a stray allocation from
+//! another thread. The engine under test runs on the calling thread, and
+//! the per-thread counters see exactly — and only — its traffic.
 
 use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 static ALLOC_CALLS: AtomicU64 = AtomicU64::new(0);
 static ALLOC_BYTES: AtomicU64 = AtomicU64::new(0);
 
+thread_local! {
+    // `const` init: the slot is materialized eagerly with no lazy-init
+    // allocation, so touching it from inside the allocator cannot recurse.
+    static THREAD_CALLS: Cell<u64> = const { Cell::new(0) };
+    static THREAD_BYTES: Cell<u64> = const { Cell::new(0) };
+}
+
+#[inline]
+fn count(size: usize) {
+    ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
+    ALLOC_BYTES.fetch_add(size as u64, Ordering::Relaxed);
+    // `try_with`: allocations during thread teardown (after TLS is gone)
+    // are still counted globally, just not per-thread.
+    let _ = THREAD_CALLS.try_with(|c| c.set(c.get() + 1));
+    let _ = THREAD_BYTES.try_with(|b| b.set(b.get() + size as u64));
+}
+
 /// Pass-through [`System`] allocator that counts allocation calls/bytes.
 pub struct CountingAlloc;
 
-// SAFETY: defers every operation to `System`; only side effect is two
-// relaxed atomic increments, which cannot violate allocator invariants.
+// SAFETY: defers every operation to `System`; only side effects are
+// relaxed atomic increments and const-initialized thread-local cell
+// updates, which cannot violate allocator invariants.
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
-        ALLOC_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        count(layout.size());
         System.alloc(layout)
     }
 
     unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
-        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
-        ALLOC_BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+        count(layout.size());
         System.alloc_zeroed(layout)
     }
 
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        ALLOC_CALLS.fetch_add(1, Ordering::Relaxed);
-        ALLOC_BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+        count(new_size);
         System.realloc(ptr, layout, new_size)
     }
 
@@ -79,6 +101,16 @@ pub fn allocation_counters() -> AllocationCounters {
     AllocationCounters {
         calls: ALLOC_CALLS.load(Ordering::Relaxed),
         bytes: ALLOC_BYTES.load(Ordering::Relaxed),
+    }
+}
+
+/// Snapshot the **calling thread's** allocation counters — the right
+/// window for zero-allocation assertions, since it cannot be polluted by
+/// other threads (test harness bookkeeping, concurrent tests).
+pub fn thread_allocation_counters() -> AllocationCounters {
+    AllocationCounters {
+        calls: THREAD_CALLS.try_with(Cell::get).unwrap_or(0),
+        bytes: THREAD_BYTES.try_with(Cell::get).unwrap_or(0),
     }
 }
 

@@ -43,7 +43,9 @@ pub mod transpose;
 
 pub use add::{combine, combine_axpy, combine_par};
 pub use blocked::{gemm_st, gemm_st_with_scratch, matmul, BlockSizes, Scratch};
-pub use counting_alloc::{allocation_counters, AllocationCounters, CountingAlloc};
+pub use counting_alloc::{
+    allocation_counters, thread_allocation_counters, AllocationCounters, CountingAlloc,
+};
 pub use matrix::{Mat, MatMut, MatRef};
 pub use naive::{matmul_naive, matmul_naive_f64};
 pub use parallel::{gemm, matmul_par, try_gemm};

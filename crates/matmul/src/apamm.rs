@@ -37,6 +37,7 @@ use apa_core::{brent, error_model, BilinearAlgorithm};
 use apa_gemm::{Mat, MatMut, MatRef, Scalar};
 use std::any::{Any, TypeId};
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Mutex, PoisonError};
 
 /// Convert a caught panic into [`MatmulError::WorkerPanicked`] when it is
@@ -58,9 +59,11 @@ pub(crate) fn classify_lane_panic(payload: Box<dyn Any + Send>, threads: usize) 
     }
 }
 
-/// Distinct `(type, shape, config)` workspaces kept per multiplier. A
-/// dense layer needs three (forward, ∇W, ∇X); eight covers a small mix of
-/// layer shapes before the oldest entry is evicted.
+/// Default bound on distinct `(type, shape, config)` workspaces kept per
+/// multiplier. A dense layer needs three (forward, ∇W, ∇X); eight covers a
+/// small mix of layer shapes before the oldest entry is evicted.
+/// [`ApaMatmul::warm`] raises the bound so a declared shape set can never
+/// evict itself.
 const WS_CACHE_CAP: usize = 8;
 
 /// One cached workspace, keyed by element type (the workspace itself
@@ -89,6 +92,9 @@ pub struct ApaMatmul {
     /// Interior-mutable workspace cache; stale entries (after a config
     /// change) simply stop matching and age out.
     cache: Mutex<Vec<CacheEntry>>,
+    /// Cache bound: [`WS_CACHE_CAP`] until [`Self::warm`] grows it to fit
+    /// a declared shape set.
+    cache_cap: AtomicUsize,
 }
 
 impl Clone for ApaMatmul {
@@ -104,6 +110,7 @@ impl Clone for ApaMatmul {
             explicit_lambda: self.explicit_lambda,
             // Workspaces are cheap to rebuild; clones start cold.
             cache: Mutex::new(Vec::new()),
+            cache_cap: AtomicUsize::new(self.cache_cap.load(Ordering::Relaxed)),
         }
     }
 }
@@ -143,6 +150,7 @@ impl ApaMatmul {
             sigma,
             explicit_lambda: false,
             cache: Mutex::new(Vec::new()),
+            cache_cap: AtomicUsize::new(WS_CACHE_CAP),
         }
     }
 
@@ -279,7 +287,7 @@ impl ApaMatmul {
             let idx = match found {
                 Some(i) => i,
                 None => {
-                    if cache.len() >= WS_CACHE_CAP {
+                    if cache.len() >= self.cache_cap.load(Ordering::Relaxed) {
                         cache.remove(0);
                     }
                     let ws = Workspace::<T>::for_chain(
@@ -313,6 +321,51 @@ impl ApaMatmul {
                 ws,
             );
         });
+    }
+
+    /// Pre-build the workspace cache for a set of `(m, k, n)` shapes so
+    /// that the **first** real [`Self::multiply_into`] on any of them is
+    /// already allocation-free. The cache capacity is raised to fit every
+    /// warmed shape alongside the existing entries, so warming more than
+    /// [`WS_CACHE_CAP`] shapes does not make the warm-up evict itself.
+    ///
+    /// Each shape is multiplied twice on zeroed operands: the first pass
+    /// builds the cached [`Workspace`], the second settles the calling
+    /// thread's thread-local gemm pack buffers at their high-water mark.
+    /// Pack buffers are per-thread, so serving lanes must call this on the
+    /// thread that will run the real multiplies.
+    pub fn warm<T: Scalar>(&self, shapes: &[(usize, usize, usize)]) {
+        let mut todo: Vec<(usize, usize, usize)> = Vec::with_capacity(shapes.len());
+        for &s in shapes {
+            let (m, k, n) = s;
+            if m == 0 || k == 0 || n == 0 || todo.contains(&s) {
+                continue;
+            }
+            todo.push(s);
+        }
+        with_uniform_chain(&self.plan, self.steps, |chain| {
+            let cache = self.cache.lock().unwrap_or_else(PoisonError::into_inner);
+            let missing = todo
+                .iter()
+                .filter(|&&(m, k, n)| {
+                    !cache.iter().any(|e| {
+                        e.type_id == TypeId::of::<T>()
+                            && e.ws.downcast_ref::<Workspace<T>>().is_some_and(|w| {
+                                w.matches(chain, m, k, n, self.strategy, self.threads, self.peel)
+                            })
+                    })
+                })
+                .count();
+            self.cache_cap
+                .fetch_max(cache.len() + missing, Ordering::Relaxed);
+        });
+        for &(m, k, n) in &todo {
+            let a = Mat::<T>::zeros(m, k);
+            let b = Mat::<T>::zeros(k, n);
+            let mut c = Mat::<T>::zeros(m, n);
+            self.multiply_into(a.as_ref(), b.as_ref(), c.as_mut());
+            self.multiply_into(a.as_ref(), b.as_ref(), c.as_mut());
+        }
     }
 
     /// The pre-workspace behavior: allocate every intermediate buffer on

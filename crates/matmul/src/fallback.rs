@@ -461,6 +461,52 @@ impl GuardedApaMatmul {
         Ok(())
     }
 
+    /// Pre-warm the guarded serving path for a set of `(m, k, n)` shapes:
+    /// forces the ladder build, warms the starting rung's multiplier (the
+    /// rung fresh shapes execute on), sizes the probe scratch and per-rung
+    /// stats at their high-water marks and registers each shape's ladder
+    /// state — so the **first** sentinel-guarded multiply on a warmed
+    /// shape performs zero heap allocations.
+    ///
+    /// Like [`ApaMatmul::warm`], the gemm pack buffers are thread-local:
+    /// call this on the thread that will run the real multiplies.
+    pub fn warm<T: Scalar>(&self, shapes: &[(usize, usize, usize)]) {
+        let rungs = self.ladder();
+        match &rungs[0].exec {
+            RungExec::Apa(mm) => mm.warm::<T>(shapes),
+            RungExec::Classical(cm) => {
+                // Unreachable with the current ladder (rung 0 is always the
+                // configured APA multiplier) but kept total: classical gemm
+                // holds only thread-local pack buffers, settled by a pass
+                // per shape.
+                for &(m, k, n) in shapes {
+                    if m == 0 || k == 0 || n == 0 {
+                        continue;
+                    }
+                    let a = Mat::<T>::zeros(m, k);
+                    let b = Mat::<T>::zeros(k, n);
+                    let mut c = Mat::<T>::zeros(m, n);
+                    cm.multiply_into(a.as_ref(), b.as_ref(), c.as_mut());
+                }
+            }
+        }
+        {
+            let mut stats = self.stats.lock().unwrap_or_else(PoisonError::into_inner);
+            if stats.calls_by_rung.len() < rungs.len() {
+                stats.calls_by_rung.resize(rungs.len(), 0);
+            }
+        }
+        let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+        let mut scratch = self.scratch.lock().unwrap_or_else(PoisonError::into_inner);
+        for &(m, k, n) in shapes {
+            if m == 0 || k == 0 || n == 0 {
+                continue;
+            }
+            state.entry((m, k, n)).or_default();
+            scratch.reserve(m, k, n);
+        }
+    }
+
     fn ladder(&self) -> &[Rung] {
         self.rungs.get_or_init(|| self.build_ladder())
     }

@@ -106,6 +106,13 @@ impl ProbeScratch {
         Self::default()
     }
 
+    /// Grow the scratch to fit an `m × k · k × n` probe up front, so the
+    /// first sampled Freivalds check on a pre-warmed shape allocates
+    /// nothing (see [`crate::GuardedApaMatmul::warm`]).
+    pub fn reserve(&mut self, m: usize, k: usize, n: usize) {
+        self.ensure(m, k, n);
+    }
+
     fn ensure(&mut self, m: usize, k: usize, n: usize) {
         if self.x.len() < n {
             self.x.resize(n, 0.0);

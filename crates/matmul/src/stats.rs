@@ -99,6 +99,27 @@ impl HealthStats {
     pub fn degraded_calls(&self) -> u64 {
         self.calls_by_rung.iter().skip(1).sum()
     }
+
+    /// Accumulate another guard's counters into this snapshot — the
+    /// serving layer merges the health of every model replica into one
+    /// service-level view this way.
+    pub fn merge(&mut self, other: &HealthStats) {
+        self.calls += other.calls;
+        self.probes += other.probes;
+        self.probe_failures += other.probe_failures;
+        self.nonfinite_scans += other.nonfinite_scans;
+        self.nonfinite_detected += other.nonfinite_detected;
+        self.demotions += other.demotions;
+        self.promotions += other.promotions;
+        self.worker_panics += other.worker_panics;
+        self.watchdog_timeouts += other.watchdog_timeouts;
+        if self.calls_by_rung.len() < other.calls_by_rung.len() {
+            self.calls_by_rung.resize(other.calls_by_rung.len(), 0);
+        }
+        for (mine, theirs) in self.calls_by_rung.iter_mut().zip(&other.calls_by_rung) {
+            *mine += theirs;
+        }
+    }
 }
 
 /// Sequential, instrumented one-step execution. Dimensions must divide the

@@ -11,7 +11,7 @@
 //! are covered bitwise elsewhere.
 
 use apa_core::catalog;
-use apa_gemm::{allocation_counters, Mat};
+use apa_gemm::{thread_allocation_counters, Mat};
 use apa_matmul::{ApaMatmul, GuardedApaMatmul, PeelMode, SentinelConfig, Strategy};
 
 #[global_allocator]
@@ -41,12 +41,12 @@ fn assert_steady_state_is_allocation_free(
     mm.multiply_into(a.as_ref(), b.as_ref(), c.as_mut());
     mm.multiply_into(a.as_ref(), b.as_ref(), c.as_mut());
 
-    let before = allocation_counters();
+    let before = thread_allocation_counters();
     let rounds = 5;
     for _ in 0..rounds {
         mm.multiply_into(a.as_ref(), b.as_ref(), c.as_mut());
     }
-    let delta = allocation_counters().since(before);
+    let delta = thread_allocation_counters().since(before);
     assert_eq!(
         delta.calls, 0,
         "{what}: {} allocations ({} bytes) across {rounds} warm calls",
@@ -105,11 +105,11 @@ fn explicit_workspace_calls_do_not_allocate() {
     // Warm the thread-local pack buffers.
     mm.multiply_into_with(a.as_ref(), b.as_ref(), c.as_mut(), &mut ws);
 
-    let before = allocation_counters();
+    let before = thread_allocation_counters();
     for _ in 0..5 {
         mm.multiply_into_with(a.as_ref(), b.as_ref(), c.as_mut(), &mut ws);
     }
-    let delta = allocation_counters().since(before);
+    let delta = thread_allocation_counters().since(before);
     assert_eq!(delta.calls, 0, "explicit workspace path allocated");
     assert_eq!(ws.runs(), 6);
 }
@@ -175,6 +175,103 @@ fn evicted_then_rebuilt_workspace_is_bit_identical_to_uncached() {
 }
 
 #[test]
+fn warmed_shapes_are_allocation_free_from_the_first_call() {
+    // `warm` pre-builds the workspaces and settles the pack buffers, so
+    // the first *real* multiply on every declared shape is already
+    // allocation-free — the contract the apa-serve lane workers rely on.
+    let mm = ApaMatmul::new(catalog::by_name("bini322").unwrap())
+        .strategy(Strategy::Seq)
+        .threads(1);
+    let shapes = [(16, 24, 30), (8, 24, 30), (16, 30, 10)];
+    mm.warm::<f32>(&shapes);
+
+    let mut operands: Vec<(Mat<f32>, Mat<f32>, Mat<f32>)> = shapes
+        .iter()
+        .enumerate()
+        .map(|(i, &(m, k, n))| {
+            (
+                probe(m, k, 2 * i as u64 + 71),
+                probe(k, n, 2 * i as u64 + 72),
+                Mat::zeros(m, n),
+            )
+        })
+        .collect();
+
+    let before = thread_allocation_counters();
+    for (a, b, c) in &mut operands {
+        mm.multiply_into(a.as_ref(), b.as_ref(), c.as_mut());
+    }
+    let delta = thread_allocation_counters().since(before);
+    assert_eq!(
+        delta.calls, 0,
+        "first calls on warmed shapes allocated: {} allocations ({} bytes)",
+        delta.calls, delta.bytes
+    );
+}
+
+#[test]
+fn warming_many_shapes_grows_the_cache_instead_of_self_evicting() {
+    let mm = ApaMatmul::new(catalog::by_name("bini322").unwrap())
+        .strategy(Strategy::Seq)
+        .threads(1);
+    // More shapes than the default cap: `warm` must raise the bound so
+    // the declared set never evicts itself.
+    let shapes: Vec<(usize, usize, usize)> = (0..CACHE_CAP + 4)
+        .map(|i| (10 + i, 8 + i, 12 + i))
+        .collect();
+    mm.warm::<f32>(&shapes);
+    assert_eq!(mm.cached_workspaces(), CACHE_CAP + 4);
+
+    // Every warmed shape multiplies with zero engine allocations.
+    for (i, &(m, k, n)) in shapes.iter().enumerate() {
+        let a = probe(m, k, 2 * i as u64 + 91);
+        let b = probe(k, n, 2 * i as u64 + 92);
+        let mut c = Mat::zeros(m, n);
+        let before = thread_allocation_counters();
+        mm.multiply_into(a.as_ref(), b.as_ref(), c.as_mut());
+        assert_eq!(
+            thread_allocation_counters().since(before).calls,
+            0,
+            "warmed shape ({m}, {k}, {n}) allocated on its first real call"
+        );
+    }
+}
+
+#[test]
+fn warmed_guarded_shapes_are_allocation_free_from_the_first_call() {
+    // The guarded variant also pre-sizes the probe scratch, the per-rung
+    // stats and the per-shape ladder state, so the first sentinel-guarded
+    // call — probe included — allocates nothing.
+    let guard = GuardedApaMatmul::new(catalog::by_name("bini322").unwrap())
+        .strategy(Strategy::Seq)
+        .threads(1)
+        .sentinel(SentinelConfig {
+            probe_every: 1,
+            ..SentinelConfig::default()
+        });
+    let shapes = [(32, 28, 34), (16, 28, 34)];
+    guard.warm::<f32>(&shapes);
+
+    for (i, &(m, k, n)) in shapes.iter().enumerate() {
+        let a = probe(m, k, 2 * i as u64 + 41);
+        let b = probe(k, n, 2 * i as u64 + 42);
+        let mut c = Mat::zeros(m, n);
+        let before = thread_allocation_counters();
+        guard.multiply_into(a.as_ref(), b.as_ref(), c.as_mut());
+        assert_eq!(
+            thread_allocation_counters().since(before).calls,
+            0,
+            "warmed guarded shape ({m}, {k}, {n}) allocated on its first real call"
+        );
+    }
+    let health = guard.health();
+    assert_eq!(
+        health.calls, 2,
+        "warm-up multiplies must not count as guarded calls"
+    );
+}
+
+#[test]
 fn warm_guarded_multiplication_does_not_allocate() {
     // The sentinel's probe scratch is grow-only and the ladder is built
     // once, so a warm guarded multiply — probe included on every call —
@@ -194,12 +291,12 @@ fn warm_guarded_multiplication_does_not_allocate() {
     guard.multiply_into(a.as_ref(), b.as_ref(), c.as_mut());
     guard.multiply_into(a.as_ref(), b.as_ref(), c.as_mut());
 
-    let before = allocation_counters();
+    let before = thread_allocation_counters();
     let rounds = 5;
     for _ in 0..rounds {
         guard.multiply_into(a.as_ref(), b.as_ref(), c.as_mut());
     }
-    let delta = allocation_counters().since(before);
+    let delta = thread_allocation_counters().since(before);
     assert_eq!(
         delta.calls, 0,
         "guarded path: {} allocations ({} bytes) across {rounds} warm calls",

@@ -40,6 +40,26 @@ pub trait MatmulBackend: Send + Sync {
         let bt = apa_gemm::transpose(b);
         self.matmul(a, bt.as_ref())
     }
+
+    /// Pre-build whatever the backend caches per `(m, k, n)` shape —
+    /// execution workspaces, probe scratch, thread-local gemm pack buffers
+    /// — so the **first** real multiply on a declared shape is already
+    /// allocation-free. Pack buffers are thread-local: call this on the
+    /// thread that will run the multiplies (the serving lanes do). The
+    /// default runs two throwaway multiplies per shape, which settles any
+    /// backend built on the workspace-caching engine.
+    fn warm(&self, shapes: &[(usize, usize, usize)]) {
+        for &(m, k, n) in shapes {
+            if m == 0 || k == 0 || n == 0 {
+                continue;
+            }
+            let a = Mat::zeros(m, k);
+            let b = Mat::zeros(k, n);
+            let mut c = Mat::zeros(m, n);
+            self.matmul_into(a.as_ref(), b.as_ref(), c.as_mut());
+            self.matmul_into(a.as_ref(), b.as_ref(), c.as_mut());
+        }
+    }
 }
 
 /// The classical baseline: a direct call into the blocked gemm ("custom
@@ -113,6 +133,12 @@ impl MatmulBackend for ApaBackend {
             self.inner.current_threads()
         )
     }
+
+    fn warm(&self, shapes: &[(usize, usize, usize)]) {
+        // Also raises the workspace-cache bound so the declared shape set
+        // can never evict itself (see `ApaMatmul::warm`).
+        self.inner.warm::<f32>(shapes);
+    }
 }
 
 /// An APA backend wrapped in the numerical-health sentinel and the
@@ -167,6 +193,12 @@ impl MatmulBackend for GuardedBackend {
             self.inner.base().algorithm().name,
             self.inner.base().current_threads()
         )
+    }
+
+    fn warm(&self, shapes: &[(usize, usize, usize)]) {
+        // Warms the ladder's starting rung, the probe scratch and the
+        // per-shape ladder state (see `GuardedApaMatmul::warm`).
+        self.inner.warm::<f32>(shapes);
     }
 }
 

@@ -10,7 +10,7 @@
 
 use crate::backend::Backend;
 use crate::tensor::{add_bias_rows, axpy, col_sums, relu_backward_inplace};
-use apa_gemm::{transpose_into, Mat};
+use apa_gemm::{transpose_into, Mat, MatRef};
 
 /// Activation applied after the affine map.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -140,16 +140,38 @@ impl Dense {
 
     /// Inference-only forward: no caching, no clone of the input.
     pub fn forward_inference(&self, x: &Mat<f32>) -> Mat<f32> {
-        let mut z = self.backend.matmul(x.as_ref(), self.w.as_ref());
-        add_bias_rows(&mut z, &self.b);
+        let mut z = Mat::zeros(x.rows(), self.outputs());
+        self.forward_inference_into(x.as_ref(), &mut z);
+        z
+    }
+
+    /// Inference-only forward into a caller-owned output buffer (resized
+    /// to `batch × outputs` in place). At a steady batch size the buffer —
+    /// like the backend's workspace cache — is reused across calls, so the
+    /// serving hot path performs no per-request heap allocation. Bitwise
+    /// identical to [`Self::forward_inference`].
+    pub fn forward_inference_into(&self, x: MatRef<'_, f32>, out: &mut Mat<f32>) {
+        assert_eq!(x.cols(), self.inputs(), "input width mismatch");
+        out.resize(x.rows(), self.outputs());
+        self.backend.matmul_into(x, self.w.as_ref(), out.as_mut());
+        add_bias_rows(out, &self.b);
         if self.activation == Activation::Relu {
-            for v in z.as_mut_slice() {
+            for v in out.as_mut_slice() {
                 if *v < 0.0 {
                     *v = 0.0;
                 }
             }
         }
-        z
+    }
+
+    /// Warm the backend for the inference shapes of the given batch sizes
+    /// (`batch × in · in × out`), so the first real forward pass at any of
+    /// them is allocation-free. Must run on the inference thread — the
+    /// gemm pack buffers it settles are thread-local.
+    pub fn warm(&self, batch_sizes: &[usize]) {
+        for &b in batch_sizes {
+            self.backend.warm(&[(b, self.inputs(), self.outputs())]);
+        }
     }
 
     /// Backward pass from `dA` (gradient w.r.t. this layer's output);

@@ -49,6 +49,6 @@ pub use data::{
 pub use layer::{Activation, Dense};
 pub use loss::{accuracy, softmax_cross_entropy, softmax_rows};
 pub use mnist_mlp::{accuracy_network, performance_network, ACCURACY_BATCH};
-pub use net::{EpochStats, Mlp};
+pub use net::{EpochStats, InferenceScratch, Mlp};
 pub use optimizer::{Optimizer, SgdConfig};
 pub use vgg::{Vgg19Fc, VGG_FC_WIDTHS};

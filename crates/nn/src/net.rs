@@ -6,7 +6,7 @@ use crate::checkpoint::{CheckpointError, LayerState, TrainState};
 use crate::data::Dataset;
 use crate::layer::{Activation, Dense};
 use crate::loss::{accuracy, softmax_cross_entropy};
-use apa_gemm::Mat;
+use apa_gemm::{Mat, MatRef};
 
 /// Base seed for the per-epoch shuffle: every epoch shuffles with
 /// `SHUFFLE_SALT + epoch`, so the batch order is a pure function of the
@@ -31,6 +31,31 @@ pub struct EpochStats {
     /// gradient and was re-run wholesale on the fallback backend (always 0
     /// when no fallback is configured).
     pub degraded_batches: u64,
+}
+
+/// Reusable activation buffers for [`Mlp::predict_into`]: two ping-pong
+/// matrices that hold the hidden activations of an inference pass. At a
+/// steady batch size the buffers (and the backends' workspace caches
+/// underneath) settle at their high-water mark, so repeated inference —
+/// the serving hot path — performs zero heap allocation.
+pub struct InferenceScratch {
+    ping: Mat<f32>,
+    pong: Mat<f32>,
+}
+
+impl InferenceScratch {
+    pub fn new() -> Self {
+        Self {
+            ping: Mat::zeros(0, 0),
+            pong: Mat::zeros(0, 0),
+        }
+    }
+}
+
+impl Default for InferenceScratch {
+    fn default() -> Self {
+        Self::new()
+    }
 }
 
 /// A feed-forward network of dense layers.
@@ -165,6 +190,52 @@ impl Mlp {
             cur = layer.forward_inference(&cur);
         }
         cur
+    }
+
+    /// Inference-mode forward into a caller-owned output buffer, with all
+    /// hidden activations held in a reusable [`InferenceScratch`] — the
+    /// allocation-free serving path. `out` is resized to `batch ×
+    /// out_width` in place; results are bitwise identical to
+    /// [`Self::predict`]. `&self` like `predict`, so one shared network
+    /// can serve many lanes, each owning its own scratch.
+    pub fn predict_into(
+        &self,
+        x: MatRef<'_, f32>,
+        out: &mut Mat<f32>,
+        scratch: &mut InferenceScratch,
+    ) {
+        let last = self.layers.len() - 1;
+        if last == 0 {
+            self.layers[0].forward_inference_into(x, out);
+            return;
+        }
+        self.layers[0].forward_inference_into(x, &mut scratch.ping);
+        for l in 1..last {
+            let (src, dst) = if l % 2 == 1 {
+                (&scratch.ping, &mut scratch.pong)
+            } else {
+                (&scratch.pong, &mut scratch.ping)
+            };
+            self.layers[l].forward_inference_into(src.as_ref(), dst);
+        }
+        let src = if last % 2 == 1 {
+            &scratch.ping
+        } else {
+            &scratch.pong
+        };
+        self.layers[last].forward_inference_into(src.as_ref(), out);
+    }
+
+    /// Warm every layer's backend for inference at the given batch sizes
+    /// (see [`crate::backend::MatmulBackend::warm`]): after this, the
+    /// first [`Self::predict_into`] at any warmed batch size performs zero
+    /// heap allocations beyond sizing the caller's scratch and output.
+    /// Must run on the thread that will do the inference — the gemm pack
+    /// buffers are thread-local.
+    pub fn warm_for_batches(&self, batch_sizes: &[usize]) {
+        for layer in &self.layers {
+            layer.warm(batch_sizes);
+        }
     }
 
     /// Backpropagate from the loss gradient, leaving the gradients stored
@@ -368,6 +439,39 @@ mod tests {
         );
         let acc = net.evaluate(&data, 50);
         assert!(acc > 0.95, "accuracy {acc}");
+    }
+
+    #[test]
+    fn predict_into_is_bitwise_equal_to_predict() {
+        let data = toy_dataset(40);
+        let mut net = toy_mlp();
+        for e in 0..3 {
+            net.train_epoch(&data, 20, 0.1, e);
+        }
+        let mut scratch = InferenceScratch::new();
+        let mut out = Mat::zeros(0, 0);
+        // Varying batch sizes exercise the scratch resize path.
+        for batch in [1usize, 7, 20] {
+            let (x, _) = data.gather(&(0..batch).collect::<Vec<_>>());
+            let expect = net.predict(&x);
+            net.predict_into(x.as_ref(), &mut out, &mut scratch);
+            assert_eq!((out.rows(), out.cols()), (batch, 2));
+            for i in 0..batch {
+                for j in 0..2 {
+                    assert_eq!(out.at(i, j).to_bits(), expect.at(i, j).to_bits());
+                }
+            }
+        }
+        // A single-layer network routes straight into `out`.
+        let single = Mlp::new(&[8, 2], vec![classical(1)], 3);
+        let (x, _) = data.gather(&[0, 1, 2]);
+        let expect = single.predict(&x);
+        single.predict_into(x.as_ref(), &mut out, &mut scratch);
+        for i in 0..3 {
+            for j in 0..2 {
+                assert_eq!(out.at(i, j).to_bits(), expect.at(i, j).to_bits());
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,63 @@
+//! Zero-allocation invariant for the serving-side inference path.
+//!
+//! Installs [`apa_gemm::CountingAlloc`] as the global allocator, warms
+//! [`Mlp::predict_into`]'s scratch and the backends' workspace caches with
+//! a couple of calls, then asserts that further inference passes at the
+//! same batch size perform **zero** heap allocations — the contract the
+//! `apa-serve` lane workers rely on for per-request latency.
+
+use apa_gemm::{thread_allocation_counters, Mat};
+use apa_nn::{classical, guarded, Backend, InferenceScratch, Mlp};
+
+#[global_allocator]
+static ALLOC: apa_gemm::CountingAlloc = apa_gemm::CountingAlloc;
+
+fn probe(rows: usize, cols: usize, seed: u64) -> Mat<f32> {
+    let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+    Mat::from_fn(rows, cols, |_, _| {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (((state >> 32) as u32 as f64 / (1u64 << 31) as f64) - 1.0) as f32
+    })
+}
+
+fn assert_warm_inference_is_allocation_free(net: &Mlp, batch: usize, what: &str) {
+    let x = probe(batch, net.widths()[0], 7);
+    let mut scratch = InferenceScratch::new();
+    let mut out = Mat::zeros(0, 0);
+    // Two warmup passes: the first sizes the scratch and builds the
+    // backend workspaces, the second settles the thread-local gemm pack
+    // buffers at their high-water mark.
+    net.predict_into(x.as_ref(), &mut out, &mut scratch);
+    net.predict_into(x.as_ref(), &mut out, &mut scratch);
+
+    let before = thread_allocation_counters();
+    let rounds = 5;
+    for _ in 0..rounds {
+        net.predict_into(x.as_ref(), &mut out, &mut scratch);
+    }
+    let delta = thread_allocation_counters().since(before);
+    assert_eq!(
+        delta.calls, 0,
+        "{what}: {} allocations ({} bytes) across {rounds} warm inference passes",
+        delta.calls, delta.bytes
+    );
+}
+
+#[test]
+fn warm_classical_inference_does_not_allocate() {
+    let net = Mlp::new(&[24, 32, 32, 10], vec![classical(1); 3], 11);
+    assert_warm_inference_is_allocation_free(&net, 16, "classical 24-32-32-10");
+}
+
+#[test]
+fn warm_guarded_apa_inference_does_not_allocate() {
+    // The guarded backend's ladder, workspace cache and probe scratch are
+    // all grow-only, so the sentinel-guarded serving path must preserve
+    // the invariant too (probes sample at the default rate).
+    let hidden: Backend = guarded(apa_core::catalog::bini322(), 1);
+    let backends: Vec<Backend> = vec![classical(1), hidden, classical(1)];
+    let net = Mlp::new(&[24, 30, 30, 10], backends, 13);
+    assert_warm_inference_is_allocation_free(&net, 30, "guarded-bini322 24-30-30-10");
+}

@@ -1,0 +1,113 @@
+//! The adaptive micro-batching policy: *when* does a lane take work?
+//!
+//! The decision logic is a pure function of the queue's observable state
+//! so it can be unit-tested without threads. The rule:
+//!
+//! * a full target batch is always taken immediately;
+//! * a partial batch is taken once the **oldest** waiting request has
+//!   lingered `max_linger` (bounded first-request latency);
+//! * during drain every remaining request is flushed immediately;
+//! * otherwise the lane sleeps until the linger deadline (or new work).
+
+use std::time::Duration;
+
+/// Tuning knobs of the micro-batcher, fixed at service start.
+#[derive(Clone, Copy, Debug)]
+pub struct BatchPolicy {
+    /// Preferred batch size: a lane takes at most this many requests at
+    /// once, and a full target batch is dispatched without waiting.
+    pub target_batch: usize,
+    /// Longest a request may wait for co-riders before a partial batch is
+    /// flushed anyway.
+    pub max_linger: Duration,
+    /// Inference attempts per batch before its requests are failed with
+    /// [`crate::ServeError::Inference`] (attempt 2 runs after a caught
+    /// panic, typically on a ladder rung that already demoted).
+    pub attempts: u32,
+}
+
+/// What a lane should do next, given the queue state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Decision {
+    /// Take up to `target_batch` requests now.
+    Take,
+    /// Sleep at most this long, then re-evaluate (linger deadline of the
+    /// oldest request).
+    WaitFor(Duration),
+    /// Queue is empty: sleep until work arrives.
+    WaitForWork,
+}
+
+/// The batching decision for a queue holding `len` requests whose oldest
+/// entry has waited `oldest_age`.
+pub fn decide(
+    len: usize,
+    oldest_age: Option<Duration>,
+    draining: bool,
+    policy: &BatchPolicy,
+) -> Decision {
+    if len == 0 {
+        return Decision::WaitForWork;
+    }
+    if len >= policy.target_batch || draining {
+        return Decision::Take;
+    }
+    match oldest_age {
+        Some(age) if age >= policy.max_linger => Decision::Take,
+        Some(age) => Decision::WaitFor(policy.max_linger - age),
+        // len > 0 guarantees an oldest entry; be conservative if the
+        // caller couldn't provide its age.
+        None => Decision::Take,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn policy(target: usize, linger_ms: u64) -> BatchPolicy {
+        BatchPolicy {
+            target_batch: target,
+            max_linger: Duration::from_millis(linger_ms),
+            attempts: 2,
+        }
+    }
+
+    #[test]
+    fn empty_queue_waits_for_work() {
+        assert_eq!(decide(0, None, false, &policy(8, 5)), Decision::WaitForWork);
+        // Even while draining: nothing to flush.
+        assert_eq!(decide(0, None, true, &policy(8, 5)), Decision::WaitForWork);
+    }
+
+    #[test]
+    fn full_target_batch_dispatches_immediately() {
+        let p = policy(8, 5);
+        let fresh = Some(Duration::ZERO);
+        assert_eq!(decide(8, fresh, false, &p), Decision::Take);
+        assert_eq!(decide(20, fresh, false, &p), Decision::Take);
+    }
+
+    #[test]
+    fn partial_batch_lingers_then_flushes() {
+        let p = policy(8, 5);
+        assert_eq!(
+            decide(3, Some(Duration::from_millis(1)), false, &p),
+            Decision::WaitFor(Duration::from_millis(4))
+        );
+        assert_eq!(
+            decide(3, Some(Duration::from_millis(5)), false, &p),
+            Decision::Take
+        );
+        assert_eq!(
+            decide(3, Some(Duration::from_millis(9)), false, &p),
+            Decision::Take
+        );
+    }
+
+    #[test]
+    fn draining_flushes_partials_immediately() {
+        let p = policy(8, 5_000);
+        assert_eq!(decide(1, Some(Duration::ZERO), true, &p), Decision::Take);
+    }
+}

@@ -1,0 +1,51 @@
+//! Typed failures of the serving pipeline.
+
+use std::time::Duration;
+
+/// Everything that can go wrong between [`submit`] and the response.
+///
+/// [`submit`]: crate::ServiceHandle::submit
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ServeError {
+    /// Submission rejected: the bounded queue already held `capacity`
+    /// waiting requests. This is the backpressure signal — callers shed
+    /// load or retry later; the service never buffers unboundedly.
+    QueueFull { capacity: usize },
+    /// The request waited in the queue past the configured deadline and
+    /// was dropped before reaching a lane.
+    DeadlineExceeded { waited: Duration },
+    /// The service is draining (or already shut down) and accepts no new
+    /// requests.
+    ShuttingDown,
+    /// The input row's width does not match the model's input width.
+    BadInput { expected: usize, got: usize },
+    /// Every inference attempt on the request's batch panicked; the lane
+    /// survived and keeps serving, this batch's requests get the error.
+    Inference { detail: String },
+    /// The serving side dropped the ticket without answering — only
+    /// possible if a lane died outside its panic isolation.
+    Disconnected,
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::QueueFull { capacity } => {
+                write!(f, "submission queue full ({capacity} requests waiting)")
+            }
+            ServeError::DeadlineExceeded { waited } => {
+                write!(f, "request exceeded its queue deadline after {waited:?}")
+            }
+            ServeError::ShuttingDown => write!(f, "service is shutting down"),
+            ServeError::BadInput { expected, got } => {
+                write!(f, "input width {got} does not match model input {expected}")
+            }
+            ServeError::Inference { detail } => {
+                write!(f, "inference failed after retries: {detail}")
+            }
+            ServeError::Disconnected => write!(f, "serving side dropped the request"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}

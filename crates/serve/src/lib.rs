@@ -1,0 +1,55 @@
+//! # apa-serve
+//!
+//! A synchronous-core, thread-based **dynamic-batching inference
+//! service** over the APA-backed networks of [`apa_nn`] — the serving-side
+//! counterpart of the paper's training speedups: the same guarded APA
+//! multiplications, driven at high occupancy by coalescing concurrent
+//! single-row requests into the batched shapes the engine is fastest at.
+//!
+//! The pipeline, front to back:
+//!
+//! * [`queue`] — a bounded MPMC submission queue with **typed
+//!   backpressure**: a full queue rejects with [`ServeError::QueueFull`],
+//!   a request that out-waits [`ServeConfig::request_deadline`] is dropped
+//!   with [`ServeError::DeadlineExceeded`];
+//! * [`batcher`] — the adaptive micro-batching policy: dispatch a full
+//!   target batch immediately, flush a partial one once its oldest
+//!   request has lingered [`ServeConfig::max_linger`];
+//! * [`service`] — fixed worker lanes in a panic-isolated
+//!   [`apa_gemm::WorkerPool`], each owning a pre-warmed model [`Replica`]
+//!   (engine workspaces, sentinel probe scratch and thread-local pack
+//!   buffers are all built *before* the first request, so steady-state
+//!   serving allocates nothing inside the engine). Ragged batches are
+//!   zero-padded to the nearest warmed shape and results sliced back per
+//!   request;
+//! * [`stats`] — a live [`ServeStats`] surface: throughput, batch-size
+//!   histogram, queue depth, fixed-bucket latency percentiles and the
+//!   merged [`apa_matmul::HealthStats`] of every replica's guarded
+//!   ladder.
+//!
+//! ```
+//! use apa_nn::{classical, Mlp};
+//! use apa_serve::{InferenceService, Replica, ServeConfig};
+//!
+//! let lanes = 2;
+//! let replicas: Vec<Replica> = (0..lanes)
+//!     .map(|_| Replica::new(Mlp::new(&[8, 16, 4], vec![classical(1); 2], 7)))
+//!     .collect();
+//! let service = InferenceService::start(replicas, ServeConfig::default());
+//! let handle = service.handle();
+//! let response = handle.infer(vec![0.5; 8]).unwrap();
+//! assert_eq!(response.output.len(), 4);
+//! let stats = service.shutdown();
+//! assert_eq!(stats.completed, 1);
+//! ```
+
+pub mod batcher;
+pub mod error;
+pub mod queue;
+pub mod service;
+pub mod stats;
+
+pub use batcher::{decide, BatchPolicy, Decision};
+pub use error::ServeError;
+pub use service::{InferenceService, Replica, Response, ServeConfig, ServiceHandle, Ticket};
+pub use stats::{LatencyHistogram, ServeStats, LATENCY_BUCKET_BOUNDS_US};

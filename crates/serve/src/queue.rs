@@ -1,0 +1,158 @@
+//! The bounded MPMC submission queue.
+//!
+//! Requests *wait here* until a lane takes a batch, so the capacity bound
+//! is the service's entire buffering: a full queue rejects the submit with
+//! [`ServeError::QueueFull`] instead of buffering unboundedly, and a
+//! request that out-waits its deadline is dropped here with
+//! [`ServeError::DeadlineExceeded`] before ever touching a lane.
+//!
+//! Lanes block in [`SubmissionQueue::next_batch`], which applies the
+//! [`crate::batcher`] policy under the queue lock: take a full target
+//! batch immediately, flush a partial one at the linger deadline, flush
+//! everything during drain.
+
+use crate::batcher::{decide, BatchPolicy, Decision};
+use crate::error::ServeError;
+use crate::service::Response;
+use std::collections::VecDeque;
+use std::sync::mpsc::Sender;
+use std::sync::{Condvar, Mutex, PoisonError};
+use std::time::Instant;
+
+/// A submitted request waiting for a lane: the input row, its timing, and
+/// the channel its [`crate::Ticket`] is blocked on.
+pub(crate) struct Pending {
+    pub input: Vec<f32>,
+    pub submitted: Instant,
+    /// Absolute queue deadline (uniform per service, so the queue's front
+    /// always expires first).
+    pub deadline: Option<Instant>,
+    pub tx: Sender<Result<Response, ServeError>>,
+}
+
+struct State {
+    items: VecDeque<Pending>,
+    /// False once drain began: submissions are rejected, lanes flush what
+    /// remains and then exit.
+    open: bool,
+}
+
+pub(crate) struct SubmissionQueue {
+    capacity: usize,
+    state: Mutex<State>,
+    /// Signals waiting lanes: new work arrived, or drain began.
+    work: Condvar,
+}
+
+impl SubmissionQueue {
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            state: Mutex::new(State {
+                items: VecDeque::with_capacity(capacity),
+                open: true,
+            }),
+            work: Condvar::new(),
+        }
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    pub fn depth(&self) -> usize {
+        self.lock().items.len()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, State> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Enqueue a request; returns the depth after the push. Typed
+    /// backpressure: `QueueFull` at capacity, `ShuttingDown` after
+    /// [`Self::close`].
+    pub fn try_push(&self, pending: Pending) -> Result<usize, ServeError> {
+        let mut st = self.lock();
+        if !st.open {
+            return Err(ServeError::ShuttingDown);
+        }
+        if st.items.len() >= self.capacity {
+            return Err(ServeError::QueueFull {
+                capacity: self.capacity,
+            });
+        }
+        st.items.push_back(pending);
+        let depth = st.items.len();
+        drop(st);
+        self.work.notify_one();
+        Ok(depth)
+    }
+
+    /// Begin the drain: reject new submissions, wake every lane so the
+    /// backlog is flushed immediately (linger no longer applies).
+    pub fn close(&self) {
+        self.lock().open = false;
+        self.work.notify_all();
+    }
+
+    /// Block until a batch is due per `policy` and take it (up to
+    /// `policy.target_batch` requests). Requests that out-waited their
+    /// deadline are moved into `expired` for the caller to answer; when
+    /// only expirations happened, an **empty** batch is returned so the
+    /// caller answers them promptly instead of blocking here with dead
+    /// tickets in hand. Returns `None` once the queue is closed and empty
+    /// — the lane's signal to exit.
+    pub fn next_batch(
+        &self,
+        policy: &BatchPolicy,
+        expired: &mut Vec<Pending>,
+    ) -> Option<Vec<Pending>> {
+        let mut st = self.lock();
+        loop {
+            let now = Instant::now();
+            while st
+                .items
+                .front()
+                .is_some_and(|p| p.deadline.is_some_and(|d| d <= now))
+            {
+                expired.push(st.items.pop_front().expect("front checked above"));
+            }
+            if !expired.is_empty() {
+                return Some(Vec::new());
+            }
+            let draining = !st.open;
+            let oldest_age = st.items.front().map(|p| now.duration_since(p.submitted));
+            match decide(st.items.len(), oldest_age, draining, policy) {
+                Decision::Take => {
+                    let take = st.items.len().min(policy.target_batch);
+                    let batch: Vec<Pending> = st.items.drain(..take).collect();
+                    if !st.items.is_empty() {
+                        // Leftovers: let another lane start forming the
+                        // next batch without waiting for a submit.
+                        self.work.notify_one();
+                    }
+                    return Some(batch);
+                }
+                Decision::WaitForWork => {
+                    if draining {
+                        return None;
+                    }
+                    st = self.work.wait(st).unwrap_or_else(PoisonError::into_inner);
+                }
+                Decision::WaitFor(linger_left) => {
+                    // Wake at the linger deadline — or earlier if the
+                    // oldest request's queue deadline lands first.
+                    let wait = match st.items.front().and_then(|p| p.deadline) {
+                        Some(d) => linger_left.min(d.saturating_duration_since(now)),
+                        None => linger_left,
+                    };
+                    let (guard, _timeout) = self
+                        .work
+                        .wait_timeout(st, wait)
+                        .unwrap_or_else(PoisonError::into_inner);
+                    st = guard;
+                }
+            }
+        }
+    }
+}

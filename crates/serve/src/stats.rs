@@ -1,0 +1,279 @@
+//! The service's live observability surface.
+//!
+//! One mutex-guarded accumulator collects counters from the submit path
+//! and every lane; [`ServeStats`] is a cheap snapshot of it plus the
+//! merged [`HealthStats`] of all model replicas. Latencies go into a
+//! fixed-bucket histogram (no per-request storage), so the stats path
+//! itself is allocation-free at steady state.
+
+use apa_matmul::HealthStats;
+use std::sync::{Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+/// Upper bounds, in microseconds, of the fixed latency buckets. One extra
+/// open-ended bucket catches everything above the last bound.
+pub const LATENCY_BUCKET_BOUNDS_US: [u64; 14] = [
+    50, 100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000, 250_000, 500_000,
+    1_000_000,
+];
+
+/// Fixed-bucket request-latency histogram (submit → response sent).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct LatencyHistogram {
+    counts: [u64; LATENCY_BUCKET_BOUNDS_US.len() + 1],
+    total: u64,
+}
+
+impl LatencyHistogram {
+    pub fn record(&mut self, latency: Duration) {
+        let us = latency.as_micros().min(u128::from(u64::MAX)) as u64;
+        let idx = LATENCY_BUCKET_BOUNDS_US
+            .iter()
+            .position(|&bound| us <= bound)
+            .unwrap_or(LATENCY_BUCKET_BOUNDS_US.len());
+        self.counts[idx] += 1;
+        self.total += 1;
+    }
+
+    /// Requests recorded.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Per-bucket counts, index-aligned with [`LATENCY_BUCKET_BOUNDS_US`]
+    /// (the final entry is the open-ended tail).
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Latency quantile `q ∈ (0, 1]`, reported as the upper bound of the
+    /// bucket holding that rank (the open tail reports twice the last
+    /// bound). Zero when nothing was recorded.
+    pub fn quantile(&self, q: f64) -> Duration {
+        if self.total == 0 {
+            return Duration::ZERO;
+        }
+        let rank = ((q * self.total as f64).ceil() as u64).clamp(1, self.total);
+        let mut seen = 0;
+        for (i, &count) in self.counts.iter().enumerate() {
+            seen += count;
+            if seen >= rank {
+                let bound = LATENCY_BUCKET_BOUNDS_US
+                    .get(i)
+                    .copied()
+                    .unwrap_or(2 * LATENCY_BUCKET_BOUNDS_US[LATENCY_BUCKET_BOUNDS_US.len() - 1]);
+                return Duration::from_micros(bound);
+            }
+        }
+        Duration::ZERO
+    }
+
+    pub fn p50(&self) -> Duration {
+        self.quantile(0.50)
+    }
+
+    pub fn p95(&self) -> Duration {
+        self.quantile(0.95)
+    }
+
+    pub fn p99(&self) -> Duration {
+        self.quantile(0.99)
+    }
+}
+
+/// Point-in-time snapshot of the service, via
+/// [`crate::InferenceService::stats`] (or returned by `shutdown`).
+#[derive(Clone, Debug)]
+pub struct ServeStats {
+    /// Requests accepted into the queue.
+    pub submitted: u64,
+    /// Requests answered with a response.
+    pub completed: u64,
+    /// Submissions rejected with [`crate::ServeError::QueueFull`].
+    pub rejected_queue_full: u64,
+    /// Requests dropped with [`crate::ServeError::DeadlineExceeded`].
+    pub expired: u64,
+    /// Requests failed with [`crate::ServeError::Inference`].
+    pub failed: u64,
+    /// Batches whose first inference attempt panicked and was retried.
+    pub batch_retries: u64,
+    /// Batches dispatched to lanes.
+    pub batches: u64,
+    /// `batch_size_counts[s]` = batches carrying `s` real requests
+    /// (index 0 unused; length = target batch + 1).
+    pub batch_size_counts: Vec<u64>,
+    /// Filler rows added to pad ragged batches up to a warmed shape.
+    pub padded_rows: u64,
+    /// Requests waiting in the queue right now.
+    pub queue_depth: usize,
+    /// High-water mark of the queue depth.
+    pub max_queue_depth: usize,
+    /// Time since the service started.
+    pub uptime: Duration,
+    /// Request-latency histogram (submit → response).
+    pub latency: LatencyHistogram,
+    /// Sentinel/ladder counters merged over every guarded backend of
+    /// every model replica.
+    pub health: HealthStats,
+}
+
+impl ServeStats {
+    /// Completed requests per second of uptime.
+    pub fn throughput_rps(&self) -> f64 {
+        let secs = self.uptime.as_secs_f64();
+        if secs == 0.0 {
+            0.0
+        } else {
+            self.completed as f64 / secs
+        }
+    }
+
+    /// Mean real rows per dispatched batch.
+    pub fn mean_batch_rows(&self) -> f64 {
+        if self.batches == 0 {
+            return 0.0;
+        }
+        let rows: u64 = self
+            .batch_size_counts
+            .iter()
+            .enumerate()
+            .map(|(size, &count)| size as u64 * count)
+            .sum();
+        rows as f64 / self.batches as f64
+    }
+}
+
+#[derive(Default)]
+struct Counters {
+    submitted: u64,
+    completed: u64,
+    rejected_queue_full: u64,
+    expired: u64,
+    failed: u64,
+    batch_retries: u64,
+    batches: u64,
+    batch_size_counts: Vec<u64>,
+    padded_rows: u64,
+    max_queue_depth: usize,
+    latency: LatencyHistogram,
+}
+
+/// The shared accumulator behind [`ServeStats`].
+pub(crate) struct StatsCollector {
+    start: Instant,
+    inner: Mutex<Counters>,
+}
+
+impl StatsCollector {
+    pub fn new(target_batch: usize) -> Self {
+        Self {
+            start: Instant::now(),
+            inner: Mutex::new(Counters {
+                batch_size_counts: vec![0; target_batch + 1],
+                ..Counters::default()
+            }),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Counters> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    pub fn note_submitted(&self, depth_after: usize) {
+        let mut c = self.lock();
+        c.submitted += 1;
+        c.max_queue_depth = c.max_queue_depth.max(depth_after);
+    }
+
+    pub fn note_rejected_full(&self) {
+        self.lock().rejected_queue_full += 1;
+    }
+
+    pub fn note_expired(&self) {
+        self.lock().expired += 1;
+    }
+
+    pub fn note_batch(&self, rows: usize, padded_to: usize) {
+        let mut c = self.lock();
+        c.batches += 1;
+        if rows < c.batch_size_counts.len() {
+            c.batch_size_counts[rows] += 1;
+        }
+        c.padded_rows += (padded_to - rows) as u64;
+    }
+
+    pub fn note_retry(&self) {
+        self.lock().batch_retries += 1;
+    }
+
+    pub fn note_completed(&self, latency: Duration) {
+        let mut c = self.lock();
+        c.completed += 1;
+        c.latency.record(latency);
+    }
+
+    pub fn note_failed(&self, requests: usize) {
+        self.lock().failed += requests as u64;
+    }
+
+    pub fn snapshot(&self, queue_depth: usize, health: HealthStats) -> ServeStats {
+        let c = self.lock();
+        ServeStats {
+            submitted: c.submitted,
+            completed: c.completed,
+            rejected_queue_full: c.rejected_queue_full,
+            expired: c.expired,
+            failed: c.failed,
+            batch_retries: c.batch_retries,
+            batches: c.batches,
+            batch_size_counts: c.batch_size_counts.clone(),
+            padded_rows: c.padded_rows,
+            queue_depth,
+            max_queue_depth: c.max_queue_depth,
+            uptime: self.start.elapsed(),
+            latency: c.latency.clone(),
+            health,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_quantiles_report_bucket_bounds() {
+        let mut h = LatencyHistogram::default();
+        assert_eq!(h.p50(), Duration::ZERO);
+        for _ in 0..90 {
+            h.record(Duration::from_micros(40)); // ≤ 50µs bucket
+        }
+        for _ in 0..10 {
+            h.record(Duration::from_micros(900)); // ≤ 1ms bucket
+        }
+        assert_eq!(h.total(), 100);
+        assert_eq!(h.p50(), Duration::from_micros(50));
+        assert_eq!(h.quantile(0.90), Duration::from_micros(50));
+        assert_eq!(h.p95(), Duration::from_micros(1_000));
+        assert_eq!(h.p99(), Duration::from_micros(1_000));
+    }
+
+    #[test]
+    fn histogram_tail_bucket_is_open_ended() {
+        let mut h = LatencyHistogram::default();
+        h.record(Duration::from_secs(30));
+        assert_eq!(h.quantile(1.0), Duration::from_micros(2_000_000));
+    }
+
+    #[test]
+    fn mean_batch_rows_weights_by_count() {
+        let collector = StatsCollector::new(8);
+        collector.note_batch(8, 8);
+        collector.note_batch(8, 8);
+        collector.note_batch(2, 8);
+        let stats = collector.snapshot(0, HealthStats::default());
+        assert_eq!(stats.batches, 3);
+        assert_eq!(stats.padded_rows, 6);
+        assert!((stats.mean_batch_rows() - 6.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,223 @@
+//! Fault drills for the serving path (`--features fault-inject` only):
+//! a gemm worker lane that panics or stalls mid-batch, and a NaN seeded
+//! into a layer product, must all be absorbed by the replica's guarded
+//! ladder — the client still gets a healthy `Ok` response and the damage
+//! is visible only in the merged [`apa_serve::ServeStats::health`]
+//! counters.
+//!
+//! The fault registry and the gemm lane switches are process-global, so
+//! every drill serializes on [`LOCK`]. Faults are installed only *after*
+//! a first successful inference: that proves lane warm-up is over, so the
+//! scheduled guard-call index can be read straight off the live health
+//! counter and the one-shot lane switch cannot fire on a warm-up multiply.
+
+#![cfg(feature = "fault-inject")]
+
+use apa_core::catalog;
+use apa_matmul::fault::{self, Fault, FaultKind};
+use apa_matmul::{ApaMatmul, GuardedApaMatmul, PeelMode, Strategy};
+use apa_nn::{guarded, Backend, GuardedBackend, Mlp};
+use apa_serve::{InferenceService, Replica, ServeConfig, ServeError};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::Duration;
+
+static LOCK: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    LOCK.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// One lane whose every layer runs through `guard`. Parallel shapes are
+/// guaranteed by the padded batch: the target batch equals the input
+/// width (48), so even a lone request becomes a 48-row multiply.
+fn service_with(guard: Arc<GuardedBackend>) -> InferenceService {
+    let backend: Backend = guard.clone();
+    let mlp = Mlp::new(&[48, 48, 40], vec![backend.clone(), backend], 21);
+    InferenceService::start(
+        vec![Replica::with_guards(mlp, vec![guard])],
+        ServeConfig {
+            max_linger: Duration::from_millis(1),
+            ..ServeConfig::default()
+        },
+    )
+}
+
+fn input() -> Vec<f32> {
+    (0..48).map(|i| (i as f32 * 0.17).sin()).collect()
+}
+
+/// A lane worker panicking inside a layer multiply is caught by the
+/// guard's ladder: the batch is transparently recomputed on a demoted
+/// rung and the client never sees the crash.
+#[test]
+fn gemm_lane_panic_mid_batch_is_absorbed_and_service_stays_up() {
+    let _g = lock();
+    // Hybrid + 2 threads: layer multiplies actually dispatch pooled gemm
+    // tasks, so a lane exists to kill.
+    let guard = guarded(catalog::bini322(), 2);
+    let service = service_with(guard);
+    let handle = service.handle();
+
+    let first = handle.infer(input()).expect("clean call before the drill");
+    assert_eq!(first.output.len(), 40);
+
+    // Strike the first layer multiply of the next batch.
+    let next_call = service.stats().health.calls;
+    fault::install(&[Fault {
+        at_call: next_call,
+        kind: FaultKind::PanicInLane,
+    }]);
+    let hit = handle.infer(input());
+    fault::clear();
+
+    assert_eq!(fault::injected_count(), 1, "lane switch must have armed");
+    let response = hit.expect("panic must be absorbed by the ladder");
+    assert_eq!(response.output.len(), 40);
+    // The clean first call must match the recovered one closely — the
+    // demoted rung is *more* conservative, not less.
+    for (a, b) in first.output.iter().zip(&response.output) {
+        assert!((a - b).abs() <= 5e-2 * a.abs().max(1.0), "{a} vs {b}");
+    }
+
+    let after = handle.infer(input()).expect("service still serving");
+    assert_eq!(after.output.len(), 40);
+
+    let stats = service.shutdown();
+    assert_eq!(stats.completed, 3);
+    assert_eq!(stats.failed, 0);
+    assert!(stats.health.worker_panics >= 1, "{:?}", stats.health);
+    assert!(stats.health.demotions >= 1, "{:?}", stats.health);
+}
+
+/// A stalled lane trips the guard's watchdog instead of hanging the
+/// service: the rung times out, the ladder demotes, the client gets a
+/// healthy response a watchdog-deadline later.
+#[test]
+fn stalled_gemm_lane_trips_the_watchdog_and_service_stays_up() {
+    let _g = lock();
+    let guard = Arc::new(GuardedBackend::from_guard(
+        GuardedApaMatmul::from_matmul(
+            ApaMatmul::new(catalog::bini322())
+                .steps(1)
+                .strategy(Strategy::Hybrid)
+                .threads(2)
+                .peel_mode(PeelMode::Dynamic),
+        )
+        .watchdog(Duration::from_millis(100)),
+    ));
+    let service = service_with(guard);
+    let handle = service.handle();
+
+    handle.infer(input()).expect("clean call before the drill");
+
+    // Hold the next dequeued gemm lane for 800 ms — far past the 100 ms
+    // watchdog deadline — during the next batch's first layer multiply.
+    let next_call = service.stats().health.calls;
+    fault::install(&[Fault {
+        at_call: next_call,
+        kind: FaultKind::StallLane { millis: 800 },
+    }]);
+    let hit = handle.infer(input());
+    fault::clear();
+
+    assert_eq!(fault::injected_count(), 1, "stall switch must have armed");
+    let response = hit.expect("stall must be absorbed by the watchdog");
+    assert_eq!(response.output.len(), 40);
+
+    handle.infer(input()).expect("service still serving");
+
+    let stats = service.shutdown();
+    assert_eq!(stats.completed, 3);
+    assert_eq!(stats.failed, 0);
+    assert!(stats.health.watchdog_timeouts >= 1, "{:?}", stats.health);
+    assert!(stats.health.demotions >= 1, "{:?}", stats.health);
+}
+
+/// A NaN seeded into a layer product is caught by the sentinel's fused
+/// non-finite scan before the next layer (or the client) ever sees it.
+#[test]
+fn seeded_nan_in_a_layer_product_never_reaches_the_client() {
+    let _g = lock();
+    let guard = guarded(catalog::bini322(), 1);
+    let service = service_with(guard);
+    let handle = service.handle();
+
+    handle.infer(input()).expect("clean call before the drill");
+
+    let next_call = service.stats().health.calls;
+    fault::install(&[Fault {
+        at_call: next_call,
+        kind: FaultKind::SeedNan,
+    }]);
+    let hit = handle.infer(input());
+    fault::clear();
+
+    assert_eq!(fault::injected_count(), 1);
+    let response = hit.expect("NaN must be caught and the product recomputed");
+    assert!(
+        response.output.iter().all(|v| v.is_finite()),
+        "non-finite value escaped to the client: {:?}",
+        response.output
+    );
+
+    let stats = service.shutdown();
+    assert_eq!(stats.failed, 0);
+    assert!(stats.health.nonfinite_detected >= 1, "{:?}", stats.health);
+    assert!(stats.health.demotions >= 1, "{:?}", stats.health);
+}
+
+/// The drills above prove faults are absorbed; this one proves the error
+/// *type* surface stays intact under load after a drill — a full queue
+/// still rejects with `QueueFull`, not something fault-related.
+#[test]
+fn typed_backpressure_survives_a_fault_drill() {
+    let _g = lock();
+    let guard = guarded(catalog::bini322(), 1);
+    let backend: Backend = guard.clone();
+    let mlp = Mlp::new(&[48, 48, 40], vec![backend.clone(), backend], 22);
+    let service = InferenceService::start(
+        vec![Replica::with_guards(mlp, vec![guard])],
+        ServeConfig {
+            queue_capacity: 2,
+            target_batch: 8,
+            max_linger: Duration::from_millis(200),
+            ..ServeConfig::default()
+        },
+    );
+    let handle = service.handle();
+
+    handle.infer(input()).expect("clean call before the drill");
+    let next_call = service.stats().health.calls;
+    fault::install(&[Fault {
+        at_call: next_call,
+        kind: FaultKind::SeedInf,
+    }]);
+    let hit = handle.infer(input());
+    fault::clear();
+    hit.expect("Inf must be caught and the product recomputed");
+
+    // Post-drill: fill the tiny queue beyond capacity. The rejection must
+    // be the ordinary typed backpressure.
+    let _t1 = handle.submit(input()).expect("first queued");
+    let _t2 = handle.submit(input()).expect("second queued");
+    let mut saw_queue_full = false;
+    for _ in 0..50 {
+        match handle.submit(input()) {
+            Err(ServeError::QueueFull { capacity }) => {
+                assert_eq!(capacity, 2);
+                saw_queue_full = true;
+                break;
+            }
+            // A lane may have drained the queue between submits — the
+            // accepted ticket resolves and we try again.
+            Ok(t) => {
+                let _ = t.wait();
+            }
+            Err(other) => panic!("expected QueueFull, got {other}"),
+        }
+    }
+    assert!(saw_queue_full, "queue never filled");
+    let stats = service.shutdown();
+    assert!(stats.rejected_queue_full >= 1);
+    assert_eq!(stats.failed, 0);
+}

@@ -1,0 +1,381 @@
+//! End-to-end behavior of the inference service: equivalence with the
+//! unbatched path, typed backpressure, linger flush, deadline drops,
+//! graceful drain and panic recovery at the lane level.
+
+use apa_core::catalog;
+use apa_gemm::{Mat, MatMut, MatRef};
+use apa_nn::{classical, guarded, Backend, MatmulBackend, Mlp};
+use apa_serve::{InferenceService, Replica, ServeConfig, ServeError};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn probe_row(width: usize, seed: u64) -> Vec<f32> {
+    let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+    (0..width)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (((state >> 32) as u32 as f64 / (1u64 << 31) as f64) - 1.0) as f32
+        })
+        .collect()
+}
+
+fn classical_mlp(widths: &[usize], seed: u64) -> Mlp {
+    Mlp::new(widths, vec![classical(1); widths.len() - 1], seed)
+}
+
+#[test]
+fn batched_responses_are_bitwise_equal_to_sequential_inference() {
+    // Classical gemm computes each output row independently of its batch
+    // co-riders, so a response must be bit-identical to running the same
+    // row through the same network alone — whatever batch it rode in and
+    // however much padding it got.
+    let widths = [12, 24, 24, 5];
+    let reference = classical_mlp(&widths, 42);
+    let replicas = vec![
+        Replica::new(classical_mlp(&widths, 42)),
+        Replica::new(classical_mlp(&widths, 42)),
+    ];
+    let service = InferenceService::start(
+        replicas,
+        ServeConfig {
+            target_batch: 8,
+            max_linger: Duration::from_millis(1),
+            ..ServeConfig::default()
+        },
+    );
+    let handle = service.handle();
+
+    let inputs: Vec<Vec<f32>> = (0..23).map(|i| probe_row(12, 100 + i)).collect();
+    let tickets: Vec<_> = inputs
+        .iter()
+        .map(|row| handle.submit(row.clone()).expect("queue has room"))
+        .collect();
+    for (row, ticket) in inputs.iter().zip(tickets) {
+        let response = ticket.wait().expect("request served");
+        let x = Mat::from_vec(1, 12, row.clone());
+        let expect = reference.predict(&x);
+        assert_eq!(response.output.len(), 5);
+        for (j, &got) in response.output.iter().enumerate() {
+            assert_eq!(
+                got.to_bits(),
+                expect.at(0, j).to_bits(),
+                "row served in a {}-row batch (padded {}) diverged at output {j}",
+                response.batch_rows,
+                response.padded_rows,
+            );
+        }
+    }
+    let stats = service.shutdown();
+    assert_eq!(stats.completed, 23);
+    assert_eq!(stats.submitted, 23);
+}
+
+#[test]
+fn guarded_apa_responses_stay_close_to_the_exact_network() {
+    // APA rules form linear combinations *across* the batch's row blocks,
+    // so batched outputs are approximate (that is the paper's trade) —
+    // the serving path must stay within the usual APA closeness of the
+    // exact network, and every call must pass the sentinel.
+    let widths = [16, 30, 30, 6];
+    let exact = classical_mlp(&widths, 7);
+    let guard = guarded(catalog::bini322(), 1);
+    let backends: Vec<Backend> = vec![classical(1), guard.clone(), classical(1)];
+    let mlp = Mlp::new(&widths, backends, 7);
+    let service = InferenceService::start(
+        vec![Replica::with_guards(mlp, vec![guard])],
+        ServeConfig {
+            target_batch: 10,
+            max_linger: Duration::from_millis(1),
+            ..ServeConfig::default()
+        },
+    );
+    let handle = service.handle();
+
+    let inputs: Vec<Vec<f32>> = (0..30).map(|i| probe_row(16, 500 + i)).collect();
+    let tickets: Vec<_> = inputs
+        .iter()
+        .map(|row| handle.submit(row.clone()).unwrap())
+        .collect();
+    for (row, ticket) in inputs.iter().zip(tickets) {
+        let response = ticket.wait().expect("request served");
+        let x = Mat::from_vec(1, 16, row.clone());
+        let expect = exact.predict(&x);
+        let mut num = 0.0f64;
+        let mut den = 0.0f64;
+        for (j, &got) in response.output.iter().enumerate() {
+            num += f64::from(got - expect.at(0, j)).powi(2);
+            den += f64::from(expect.at(0, j)).powi(2);
+        }
+        let rel = (num.sqrt() / den.sqrt().max(1e-30)).min(num.sqrt());
+        assert!(rel < 5e-2, "guarded APA response drifted: rel err {rel}");
+    }
+    let stats = service.shutdown();
+    assert_eq!(stats.completed, 30);
+    assert!(stats.health.calls > 0, "guarded backend saw no calls");
+    assert_eq!(stats.health.probe_failures, 0);
+}
+
+#[test]
+fn full_queue_rejects_with_typed_backpressure_then_linger_flushes() {
+    // Capacity 4, target 8, 200ms linger: four submissions fill the
+    // queue (the lane cannot take them before the linger deadline), the
+    // fifth bounces with QueueFull, and the linger flush then serves all
+    // four as one partial batch.
+    let service = InferenceService::start(
+        vec![Replica::new(classical_mlp(&[6, 8, 3], 3))],
+        ServeConfig {
+            queue_capacity: 4,
+            target_batch: 8,
+            max_linger: Duration::from_millis(200),
+            ..ServeConfig::default()
+        },
+    );
+    let handle = service.handle();
+
+    let tickets: Vec<_> = (0..4)
+        .map(|i| handle.submit(probe_row(6, i)).expect("under capacity"))
+        .collect();
+    assert_eq!(
+        handle.submit(probe_row(6, 99)).unwrap_err(),
+        ServeError::QueueFull { capacity: 4 },
+    );
+    for ticket in tickets {
+        let response = ticket.wait().expect("linger flush serves the batch");
+        assert_eq!(response.batch_rows, 4);
+        assert!(
+            response.latency >= Duration::from_millis(150),
+            "partial batch flushed before the linger deadline: {:?}",
+            response.latency
+        );
+    }
+    let stats = service.shutdown();
+    assert_eq!(stats.rejected_queue_full, 1);
+    assert_eq!(stats.completed, 4);
+    assert_eq!(stats.batch_size_counts[4], 1);
+    assert_eq!(stats.max_queue_depth, 4);
+}
+
+#[test]
+fn lone_request_is_flushed_at_the_linger_deadline() {
+    let service = InferenceService::start(
+        vec![Replica::new(classical_mlp(&[6, 8, 3], 5))],
+        ServeConfig {
+            target_batch: 16,
+            max_linger: Duration::from_millis(50),
+            ..ServeConfig::default()
+        },
+    );
+    let response = service
+        .handle()
+        .infer(probe_row(6, 1))
+        .expect("lone request must not wait for a full batch");
+    assert_eq!(response.batch_rows, 1);
+    assert_eq!(
+        response.padded_rows, 16,
+        "padded to the warmed target shape"
+    );
+    assert!(response.latency >= Duration::from_millis(40));
+    let stats = service.shutdown();
+    assert_eq!(stats.batch_size_counts[1], 1);
+    assert_eq!(stats.padded_rows, 15);
+}
+
+#[test]
+fn graceful_drain_answers_every_inflight_request() {
+    // Linger and target are both far away; shutdown must flush the
+    // backlog immediately and answer every ticket before returning.
+    let service = InferenceService::start(
+        vec![
+            Replica::new(classical_mlp(&[6, 8, 3], 11)),
+            Replica::new(classical_mlp(&[6, 8, 3], 11)),
+        ],
+        ServeConfig {
+            target_batch: 64,
+            max_linger: Duration::from_secs(30),
+            ..ServeConfig::default()
+        },
+    );
+    let handle = service.handle();
+    let tickets: Vec<_> = (0..20)
+        .map(|i| handle.submit(probe_row(6, i)).unwrap())
+        .collect();
+    let stats = service.shutdown();
+    assert_eq!(stats.completed, 20);
+    assert_eq!(stats.queue_depth, 0);
+    for ticket in tickets {
+        assert!(ticket.wait().is_ok(), "drained request lost its response");
+    }
+    assert_eq!(
+        handle.submit(probe_row(6, 77)).unwrap_err(),
+        ServeError::ShuttingDown
+    );
+}
+
+#[test]
+fn queue_deadline_drops_stale_requests_with_typed_error() {
+    let service = InferenceService::start(
+        vec![Replica::new(classical_mlp(&[6, 8, 3], 13))],
+        ServeConfig {
+            target_batch: 8,
+            max_linger: Duration::from_secs(30),
+            request_deadline: Some(Duration::from_millis(30)),
+            ..ServeConfig::default()
+        },
+    );
+    let handle = service.handle();
+    let ticket = handle.submit(probe_row(6, 1)).unwrap();
+    match ticket.wait() {
+        Err(ServeError::DeadlineExceeded { waited }) => {
+            assert!(
+                waited >= Duration::from_millis(30),
+                "expired early: {waited:?}"
+            );
+        }
+        other => panic!("expected DeadlineExceeded, got {other:?}"),
+    }
+    let stats = service.shutdown();
+    assert_eq!(stats.expired, 1);
+    assert_eq!(stats.completed, 0);
+}
+
+#[test]
+fn wrong_input_width_is_rejected_before_queueing() {
+    let service = InferenceService::start(
+        vec![Replica::new(classical_mlp(&[6, 8, 3], 17))],
+        ServeConfig::default(),
+    );
+    assert_eq!(
+        service.handle().submit(vec![0.0; 5]).unwrap_err(),
+        ServeError::BadInput {
+            expected: 6,
+            got: 5
+        }
+    );
+    let stats = service.shutdown();
+    assert_eq!(stats.submitted, 0);
+}
+
+/// A backend that, once armed, panics on the next `n` matmul calls —
+/// drives the lane-level panic isolation without the fault-inject
+/// feature. Arm only after a successful request, so the lane's warm-up
+/// passes (which also run the model) never consume the charge.
+struct FlakyBackend {
+    panics_left: AtomicU64,
+    inner: Backend,
+}
+
+impl FlakyBackend {
+    fn new() -> Arc<Self> {
+        Arc::new(Self {
+            panics_left: AtomicU64::new(0),
+            inner: classical(1),
+        })
+    }
+
+    fn arm(&self, panics: u64) {
+        self.panics_left.store(panics, Ordering::SeqCst);
+    }
+}
+
+impl MatmulBackend for FlakyBackend {
+    fn matmul_into(&self, a: MatRef<'_, f32>, b: MatRef<'_, f32>, c: MatMut<'_, f32>) {
+        if self
+            .panics_left
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |left| {
+                left.checked_sub(1)
+            })
+            .is_ok()
+        {
+            panic!("flaky backend exploded");
+        }
+        self.inner.matmul_into(a, b, c);
+    }
+
+    fn name(&self) -> String {
+        "flaky".to_string()
+    }
+}
+
+fn flaky_service(seed: u64) -> (InferenceService, Arc<FlakyBackend>) {
+    let flaky = FlakyBackend::new();
+    let backends: Vec<Backend> = vec![flaky.clone(), classical(1)];
+    let mlp = Mlp::new(&[6, 8, 3], backends, seed);
+    let service = InferenceService::start(
+        vec![Replica::new(mlp)],
+        ServeConfig {
+            target_batch: 4,
+            max_linger: Duration::from_millis(1),
+            ..ServeConfig::default()
+        },
+    );
+    (service, flaky)
+}
+
+#[test]
+fn lane_survives_a_panicking_batch_and_retries_it() {
+    let (service, flaky) = flaky_service(19);
+    let handle = service.handle();
+    // Prove warm-up finished, then arm one panic: the next batch's first
+    // attempt dies, the in-lane retry serves it.
+    assert!(handle.infer(probe_row(6, 1)).is_ok());
+    flaky.arm(1);
+    let second = handle.infer(probe_row(6, 2));
+    assert!(
+        second.is_ok(),
+        "retry after the batch panic must serve: {second:?}"
+    );
+    // The lane is still alive for later traffic.
+    assert!(handle.infer(probe_row(6, 3)).is_ok());
+    let stats = service.shutdown();
+    assert_eq!(stats.batch_retries, 1);
+    assert_eq!(stats.completed, 3);
+    assert_eq!(stats.failed, 0);
+}
+
+#[test]
+fn batch_that_keeps_panicking_fails_typed_and_service_stays_up() {
+    // Both attempts of one batch panic: its requests get a typed
+    // Inference error, and the same lane serves the next request.
+    let (service, flaky) = flaky_service(23);
+    let handle = service.handle();
+    assert!(handle.infer(probe_row(6, 1)).is_ok());
+    flaky.arm(2);
+    match handle.infer(probe_row(6, 2)) {
+        Err(ServeError::Inference { detail }) => {
+            assert!(detail.contains("flaky backend exploded"), "{detail}");
+        }
+        other => panic!("expected Inference error, got {other:?}"),
+    }
+    assert!(handle.infer(probe_row(6, 3)).is_ok(), "lane must stay up");
+    let stats = service.shutdown();
+    assert_eq!(stats.failed, 1);
+    assert_eq!(stats.completed, 2);
+    assert_eq!(stats.batch_retries, 1);
+}
+
+#[test]
+fn stats_surface_reports_throughput_and_latency_buckets() {
+    let service = InferenceService::start(
+        vec![Replica::new(classical_mlp(&[6, 8, 3], 29))],
+        ServeConfig {
+            target_batch: 4,
+            max_linger: Duration::from_millis(1),
+            ..ServeConfig::default()
+        },
+    );
+    let handle = service.handle();
+    for i in 0..12 {
+        handle.infer(probe_row(6, i)).unwrap();
+    }
+    let stats = service.shutdown();
+    assert_eq!(stats.completed, 12);
+    assert_eq!(stats.latency.total(), 12);
+    assert!(stats.throughput_rps() > 0.0);
+    assert!(stats.latency.p50() <= stats.latency.p95());
+    assert!(stats.latency.p95() <= stats.latency.p99());
+    assert!(stats.mean_batch_rows() >= 1.0);
+    assert!(stats.uptime > Duration::ZERO);
+}

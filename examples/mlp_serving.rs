@@ -1,0 +1,146 @@
+//! Train a small MLP, then serve it: the train→serve handoff in
+//! miniature. Two worker lanes share the load — one on the classical
+//! backend, one on sentinel-guarded APA — while four client threads
+//! submit the whole test set one row at a time. The service coalesces
+//! those single-row requests into large batches (watch the mean batch
+//! size in the final stats), and the guarded lane's health counters ride
+//! along in the same snapshot.
+//!
+//! Run with: `cargo run --release --example mlp_serving`
+
+use apa_repro::nn::checkpoint::{EpochProgress, TrainState};
+use apa_repro::nn::{classical, guarded, synthetic_mnist_split, Backend, Mlp};
+use apa_repro::prelude::catalog;
+use apa_repro::serve::{InferenceService, Replica, ServeConfig};
+use std::time::Duration;
+
+const WIDTHS: [usize; 3] = [784, 256, 10];
+const EPOCHS: usize = 2;
+const BATCH: usize = 250;
+const CLIENTS: usize = 4;
+
+fn main() {
+    let (train, test) = synthetic_mnist_split(2000, 512, 0x5EED);
+
+    // Train on the classical backend.
+    let mut net = Mlp::new(&WIDTHS, vec![classical(1); 2], 42);
+    for epoch in 0..EPOCHS {
+        let stats = net.train_epoch(&train, BATCH, 0.05, epoch);
+        println!(
+            "epoch {epoch}: loss {:.4}  train accuracy {:.1}%",
+            stats.loss,
+            100.0 * stats.train_accuracy
+        );
+    }
+
+    // Hand the trained weights to the serving replicas — the same
+    // snapshot/resume path a checkpoint file goes through. Lane 0 serves
+    // on classical gemm, lane 1 on sentinel-guarded APA (Bini <3,2,2>).
+    let state = TrainState {
+        epoch: 0,
+        next_batch: 0,
+        batch_size: BATCH as u32,
+        lr: 0.05,
+        degraded_batches: 0,
+        progress: EpochProgress::default(),
+        layers: net.snapshot(),
+        velocities: None,
+        guards: Vec::new(),
+    };
+    let guard = guarded(catalog::bini322(), 1);
+    let backends: [Vec<Backend>; 2] = [vec![classical(1); 2], vec![guard.clone() as Backend; 2]];
+    let replicas: Vec<Replica> = backends
+        .into_iter()
+        .map(|b| {
+            let mut replica = Mlp::new(&WIDTHS, b, 42);
+            replica.resume(&state).expect("same geometry");
+            replica
+        })
+        .zip([Vec::new(), vec![guard.clone()]])
+        .map(|(mlp, guards)| Replica::with_guards(mlp, guards))
+        .collect();
+
+    let service = InferenceService::start(
+        replicas,
+        ServeConfig {
+            target_batch: 128,
+            warm_batches: vec![16, 32, 64],
+            max_linger: Duration::from_millis(2),
+            ..ServeConfig::default()
+        },
+    );
+    println!(
+        "\nserving on {} lanes (classical + guarded APA), target batch 128",
+        service.lanes()
+    );
+
+    // Four clients submit the test set one row at a time, keeping their
+    // whole share in flight — the in-flight depth is what lets the
+    // micro-batcher form large batches out of single-row submissions.
+    let images = test.images();
+    let labels = test.labels();
+    let requests = test.len();
+
+    // One blocking request lets the lanes finish warming before the
+    // measured burst, so the latency numbers reflect serving, not warm-up.
+    service
+        .handle()
+        .infer(images.as_ref().row(0).to_vec())
+        .expect("warm-up inference");
+    let correct: usize = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|client| {
+                let handle = service.handle();
+                s.spawn(move || {
+                    let rows: Vec<usize> = (client..requests).step_by(CLIENTS).collect();
+                    let tickets: Vec<_> = rows
+                        .iter()
+                        .map(|&row| {
+                            let input = images.as_ref().row(row).to_vec();
+                            handle.submit(input).expect("submit")
+                        })
+                        .collect();
+                    let mut correct = 0usize;
+                    for (row, ticket) in rows.into_iter().zip(tickets) {
+                        let response = ticket.wait().expect("inference");
+                        let predicted = response
+                            .output
+                            .iter()
+                            .enumerate()
+                            .max_by(|a, b| a.1.total_cmp(b.1))
+                            .map(|(i, _)| i as u8)
+                            .unwrap();
+                        correct += usize::from(predicted == labels[row]);
+                    }
+                    correct
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).sum()
+    });
+
+    let stats = service.shutdown();
+    println!(
+        "served {} requests: test accuracy {:.1}%",
+        stats.completed,
+        100.0 * correct as f64 / requests as f64
+    );
+    println!(
+        "throughput {:.0} req/s over {:.2} s, mean batch {:.1} rows ({} batches, {} padded rows)",
+        stats.throughput_rps(),
+        stats.uptime.as_secs_f64(),
+        stats.mean_batch_rows(),
+        stats.batches,
+        stats.padded_rows
+    );
+    println!(
+        "latency p50 {:.2} ms  p95 {:.2} ms  p99 {:.2} ms",
+        stats.latency.p50().as_secs_f64() * 1e3,
+        stats.latency.p95().as_secs_f64() * 1e3,
+        stats.latency.p99().as_secs_f64() * 1e3
+    );
+    println!(
+        "guarded lane health: {} calls, {} demotions, {} probe failures",
+        stats.health.calls, stats.health.demotions, stats.health.probe_failures
+    );
+}

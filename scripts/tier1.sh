@@ -25,6 +25,9 @@ cargo test -q -p apa-matmul --features fault-inject
 echo "== tier1: cargo test -p apa-nn --features fault-inject (crash drills) =="
 cargo test -q -p apa-nn --features fault-inject
 
+echo "== tier1: cargo test -p apa-serve --features fault-inject (serving fault drills) =="
+cargo test -q -p apa-serve --features fault-inject
+
 echo "== tier1: cargo fmt --check =="
 cargo fmt --all -- --check
 
@@ -36,5 +39,8 @@ cargo clippy -p apa-matmul --all-targets --features fault-inject -- -D warnings
 
 echo "== tier1: cargo clippy -p apa-nn --features fault-inject (deny warnings) =="
 cargo clippy -p apa-nn --all-targets --features fault-inject -- -D warnings
+
+echo "== tier1: cargo clippy -p apa-serve --features fault-inject (deny warnings) =="
+cargo clippy -p apa-serve --all-targets --features fault-inject -- -D warnings
 
 echo "== tier1: OK =="

@@ -4,7 +4,7 @@
 //! Training using Arbitrary Precision Approximating Matrix Multiplication
 //! Algorithms"* (Ballard, Weissenberger, Zhang — ICPP Workshops 2021).
 //!
-//! Re-exports the five library crates under one roof:
+//! Re-exports the six library crates under one roof:
 //!
 //! * [`core`] (`apa-core`) — bilinear algorithm algebra, the Brent
 //!   validator, the Table-1 catalog and error model;
@@ -13,6 +13,8 @@
 //!   scheduling, peeling, λ tuning);
 //! * [`nn`] (`apa-nn`) — the dense-network training substrate with
 //!   pluggable matmul backends;
+//! * [`serve`] (`apa-serve`) — the dynamic-batching inference service
+//!   (bounded queue, micro-batcher, pre-warmed worker lanes);
 //! * [`discovery`] (`apa-discovery`) — ALS-based algorithm search.
 //!
 //! Quick start (also in `examples/quickstart.rs`):
@@ -33,6 +35,7 @@ pub use apa_discovery as discovery;
 pub use apa_gemm as gemm;
 pub use apa_matmul as matmul;
 pub use apa_nn as nn;
+pub use apa_serve as serve;
 
 /// The names most programs need, importable in one line.
 pub mod prelude {
@@ -40,6 +43,7 @@ pub mod prelude {
     pub use apa_gemm::{Mat, MatMut, MatRef, Par};
     pub use apa_matmul::{ApaMatmul, ClassicalMatmul, PeelMode, Strategy};
     pub use apa_nn::{accuracy_network, apa, classical, performance_network, Mlp, Vgg19Fc};
+    pub use apa_serve::{InferenceService, Replica, ServeConfig, ServeError};
 }
 
 #[cfg(test)]
