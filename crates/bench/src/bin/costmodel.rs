@@ -9,7 +9,7 @@
 use apa_bench::{banner, print_table, Args};
 use apa_core::{analysis, catalog};
 use apa_gemm::Mat;
-use apa_matmul::{profile_one_step, ExecPlan};
+use apa_matmul::{profile_one_step, ExecPlan, FusionPolicy};
 
 fn main() {
     let args = Args::parse();
@@ -41,7 +41,9 @@ fn main() {
             2.0_f64.powf(-11.5)
         };
         let plan = ExecPlan::compile(&alg, lambda);
-        let (_, profile) = profile_one_step(&plan, a.as_ref(), b.as_ref());
+        // The analytical model prices the materialized split, so profile
+        // the Never policy to compare like with like.
+        let (_, profile) = profile_one_step(&plan, a.as_ref(), b.as_ref(), FusionPolicy::Never);
         let model_add_frac = model.add_seconds / (model.add_seconds + model.mult_seconds);
         rows.push(vec![
             alg.name.clone(),

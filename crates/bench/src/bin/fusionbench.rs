@@ -1,0 +1,289 @@
+//! Fusion ablation harness: measures the fused execution path
+//! (`FusionPolicy::Auto` — pack-time operand combination + epilogue
+//! W-accumulation) against the fully materialized reference
+//! (`FusionPolicy::Never`) on ParaDnn-style square shapes, and emits the
+//! machine-readable `BENCH_5.json` consumed by EXPERIMENTS.md.
+//!
+//! For every (rule, width) cell both policies run on their own warm
+//! workspace (Hybrid strategy, release build) and report the median of
+//! `--reps` timed runs as effective GFLOPS (classical 2n³ flops, the
+//! paper's §3.3 convention). Workspace footprints come from
+//! [`Workspace::footprint_bytes`] under each policy and the estimated
+//! framework traffic from [`profile_one_step`]'s `est_bytes_moved` model.
+//!
+//! The default shape is the ParaDnn MLP *training* product
+//! `(batch x width) · (width x width)` with batch 64: compute is
+//! O(batch·width²) while the combination sweeps are O(rank·width²), so
+//! this is the regime where operand traffic — what fusion removes —
+//! actually bounds the wall-clock. Pass `--batch 0` for the square
+//! compute-bound sweep (batch = width).
+//!
+//! Usage: `cargo run --release -p apa-bench --bin fusionbench
+//!         [--widths 512,1024,2048] [--rules bini322,fast444]
+//!         [--steps 1] [--batch 128] [--threads 4] [--reps 7]
+//!         [--out BENCH_5.json]`
+
+use apa_bench::{banner, print_csv, print_table, Args};
+use apa_core::catalog;
+use apa_gemm::Mat;
+use apa_matmul::{profile_one_step, ApaMatmul, FusionPolicy, Strategy};
+use serde_json::{json, Value};
+use std::time::Instant;
+
+fn probe_rect(rows: usize, cols: usize, seed: u64) -> Mat<f32> {
+    let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+    Mat::from_fn(rows, cols, |_, _| {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (((state >> 32) as u32 as f64 / (1u64 << 31) as f64) - 1.0) as f32
+    })
+}
+
+fn probe(n: usize, seed: u64) -> Mat<f32> {
+    probe_rect(n, n, seed)
+}
+
+fn median(mut times: Vec<f64>) -> f64 {
+    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    times[times.len() / 2]
+}
+
+struct Cell {
+    rule: String,
+    width: usize,
+    policy: &'static str,
+    seconds: f64,
+    gflops: f64,
+    workspace_bytes: usize,
+    est_bytes_moved: u64,
+    fused_packs: usize,
+    fused_epilogues: usize,
+}
+
+fn measure(
+    rule: &str,
+    n: usize,
+    batch: usize,
+    steps: u32,
+    threads: usize,
+    reps: usize,
+) -> Vec<Cell> {
+    let alg = catalog::by_name(rule).unwrap_or_else(|| panic!("unknown rule {rule}"));
+    // ParaDnn MLP layer product: (batch x width) · (width x width).
+    // batch = width gives the square sweep; a smaller batch is the
+    // training regime where the width² combination sweeps weigh most.
+    let m = if batch == 0 { n } else { batch };
+    let mut out = Mat::<f32>::zeros(m, n);
+    let a = probe_rect(m, n, 1);
+    let b = probe(n, 2);
+
+    let policies = [
+        ("fused", FusionPolicy::Auto),
+        ("materialized", FusionPolicy::Never),
+    ];
+    let mms: Vec<ApaMatmul> = policies
+        .iter()
+        .map(|(_, policy)| {
+            ApaMatmul::new(alg.clone())
+                .steps(steps)
+                .strategy(Strategy::Hybrid)
+                .threads(threads)
+                .fusion(*policy)
+        })
+        .collect();
+    // Interleave the two policies rep by rep: slow machine-load drift
+    // (frequency scaling, steal time) then lands on both sides equally
+    // instead of biasing whichever policy ran last.
+    let mut times = [Vec::with_capacity(reps), Vec::with_capacity(reps)];
+    for mm in &mms {
+        mm.multiply_into(a.as_ref(), b.as_ref(), out.as_mut());
+    }
+    for _ in 0..reps.max(1) {
+        for (mm, lane) in mms.iter().zip(times.iter_mut()) {
+            let t0 = Instant::now();
+            mm.multiply_into(a.as_ref(), b.as_ref(), out.as_mut());
+            lane.push(t0.elapsed().as_secs_f64());
+        }
+    }
+
+    policies
+        .into_iter()
+        .zip(mms.iter())
+        .zip(times)
+        .map(|(((label, policy), mm), lane)| {
+            let seconds = median(lane);
+            let ws = mm.make_workspace::<f32>(m, n, n);
+            // One-step profile at the divisible core size: the alloc/traffic
+            // model is per level, so the top level is where the S/T/M savings
+            // show up undiluted.
+            let d = mm.plan().dims;
+            let (pm, pk, pn) = (m - m % d.m, n - n % d.k, n - n % d.n);
+            let (_, profile) = profile_one_step(
+                mm.plan(),
+                a.as_ref().subview(0, 0, pm, pk),
+                b.as_ref().subview(0, 0, pk, pn),
+                policy,
+            );
+            Cell {
+                rule: rule.to_string(),
+                width: n,
+                policy: label,
+                seconds,
+                // Effective GFLOPS over the classical 2·m·k·n flops of the
+                // full (possibly rectangular) product.
+                gflops: 2.0 * (m * n * n) as f64 / seconds / 1e9,
+                workspace_bytes: ws.footprint_bytes(),
+                est_bytes_moved: profile.est_bytes_moved,
+                fused_packs: profile.fused_packs,
+                fused_epilogues: profile.fused_epilogues,
+            }
+        })
+        .collect()
+}
+
+fn main() {
+    let args = Args::parse();
+    let widths: Vec<usize> = args
+        .get_str("widths")
+        .unwrap_or("512,1024,2048")
+        .split(',')
+        .map(|s| s.trim().parse().expect("bad --widths"))
+        .collect();
+    let rules: Vec<String> = args
+        .get_str("rules")
+        .unwrap_or("bini322,fast444")
+        .split(',')
+        .map(|s| s.trim().to_string())
+        .collect();
+    let steps: u32 = args.get("steps", 1);
+    let batch: usize = args.get("batch", 64);
+    let threads: usize = args.get(
+        "threads",
+        std::thread::available_parallelism()
+            .map(|p| p.get().min(4))
+            .unwrap_or(1),
+    );
+    let reps: usize = args.get("reps", 7);
+    let out_path = args.get_str("out").unwrap_or("BENCH_5.json").to_string();
+
+    let scope = format!(
+        "fused (Auto) vs materialized (Never), rules {rules:?}, widths {widths:?}, \
+         batch {} x width, steps {steps}, Hybrid x{threads}, median of {reps}",
+        if batch == 0 {
+            "= width".to_string()
+        } else {
+            batch.to_string()
+        }
+    );
+    banner(
+        "fusionbench",
+        &[
+            &scope,
+            "effective GFLOPS counts classical 2mkn flops (paper §3.3)",
+            "ws_bytes = warm per-shape workspace footprint under each policy",
+            "est_traffic = stats.rs model; compare across policies on one shape only",
+        ],
+    );
+
+    let mut cells: Vec<Cell> = Vec::new();
+    for rule in &rules {
+        for &n in &widths {
+            cells.extend(measure(rule, n, batch, steps, threads, reps));
+        }
+    }
+
+    let header = [
+        "rule",
+        "width",
+        "policy",
+        "median_s",
+        "gflops",
+        "ws_bytes",
+        "est_traffic",
+        "fused_packs",
+        "fused_epis",
+    ];
+    let rows: Vec<Vec<String>> = cells
+        .iter()
+        .map(|c| {
+            vec![
+                c.rule.clone(),
+                c.width.to_string(),
+                c.policy.to_string(),
+                format!("{:.4}", c.seconds),
+                format!("{:.2}", c.gflops),
+                c.workspace_bytes.to_string(),
+                c.est_bytes_moved.to_string(),
+                c.fused_packs.to_string(),
+                c.fused_epilogues.to_string(),
+            ]
+        })
+        .collect();
+    print_table(&header, &rows);
+    print_csv(&header, &rows);
+
+    // Best fused-over-materialized speedup at width >= 1024 — the ISSUE 5
+    // acceptance gate (>= 10% on at least one rule).
+    let mut best: Option<(String, usize, f64)> = None;
+    for pair in cells.chunks(2) {
+        let (f, m) = (&pair[0], &pair[1]);
+        if f.width < 1024 {
+            continue;
+        }
+        let gain = m.seconds / f.seconds - 1.0;
+        if best.as_ref().is_none_or(|(_, _, g)| gain > *g) {
+            best = Some((f.rule.clone(), f.width, gain));
+        }
+    }
+    if let Some((rule, width, gain)) = &best {
+        println!(
+            "\nbest speedup at width >= 1024: {rule} @ {width}: {:.1}% ({})",
+            gain * 100.0,
+            if *gain >= 0.10 {
+                "PASS >= 10%"
+            } else {
+                "below 10%"
+            }
+        );
+    }
+
+    let cell_values: Vec<Value> = cells
+        .iter()
+        .map(|c| {
+            let rule = c.rule.as_str();
+            let (width, policy, seconds, gflops) = (c.width, c.policy, c.seconds, c.gflops);
+            let (ws, traffic) = (c.workspace_bytes, c.est_bytes_moved);
+            let (packs, epis) = (c.fused_packs, c.fused_epilogues);
+            json!({
+                "rule": rule,
+                "width": width,
+                "policy": policy,
+                "median_seconds": seconds,
+                "median_gflops": gflops,
+                "workspace_bytes": ws,
+                "est_bytes_moved": traffic,
+                "fused_packs": packs,
+                "fused_epilogues": epis
+            })
+        })
+        .collect();
+    let (best_rule, best_width, best_gain) = best
+        .map(|(r, w, g)| (r, w, g * 100.0))
+        .unwrap_or_else(|| (String::new(), 0, 0.0));
+    let doc = json!({
+        "bench": "fusion",
+        "strategy": "hybrid",
+        "threads": threads,
+        "steps": steps,
+        "batch": batch,
+        "reps": reps,
+        "results": cell_values,
+        "best_speedup_pct_at_width_ge_1024": best_gain,
+        "best_speedup_rule": best_rule,
+        "best_speedup_width": best_width
+    });
+    let text = serde_json::to_string_pretty(&doc).expect("serialize BENCH_5");
+    std::fs::write(&out_path, text + "\n").expect("write BENCH_5.json");
+    println!("wrote {out_path}");
+}

@@ -89,34 +89,49 @@ pub fn combine_par<T: Scalar>(
         Par::Seq => combine(dst, accumulate, terms),
         Par::Threads(t) => {
             let rows = dst.rows();
-            if rows == 0 {
+            if rows == 0 || terms.is_empty() {
+                // Arity 0 is a fill/no-op; not worth fanning out.
+                combine(dst, accumulate, terms);
                 return;
             }
             let chunk = rows.div_ceil(t).max(1);
-            let mut jobs: Vec<(usize, MatMut<'_, T>)> = Vec::new();
-            let mut rest = dst;
-            let mut r0 = 0;
-            while r0 < rows {
-                let take = chunk.min(rows - r0);
-                let (head, tail) = rest.split_at_row(take);
-                jobs.push((r0, head));
-                rest = tail;
-                r0 += take;
-            }
+            // Stripes are carved and spawned in one sweep — no jobs Vec —
+            // and each stripe restricts the term views through a
+            // fixed-capacity inline buffer, so the whole fan-out is
+            // heap-allocation-free up to `MAX_INLINE_COMBINE` terms.
             pool(t).scope(|s| {
-                for (r0, mut stripe) in jobs {
+                let mut rest = dst;
+                let mut r0 = 0;
+                while r0 < rows {
+                    let take = chunk.min(rows - r0);
+                    let (mut stripe, tail) = rest.split_at_row(take);
+                    rest = tail;
                     s.spawn(move |_| {
-                        let sub_terms: Vec<(T, MatRef<'_, T>)> = terms
-                            .iter()
-                            .map(|(c, src)| (*c, src.subview(r0, 0, stripe.rows(), stripe.cols())))
-                            .collect();
-                        combine(stripe.rb(), accumulate, &sub_terms);
+                        let (srows, scols) = (stripe.rows(), stripe.cols());
+                        if terms.len() <= MAX_INLINE_COMBINE {
+                            let mut sub = [terms[0]; MAX_INLINE_COMBINE];
+                            for (slot, (c, src)) in sub.iter_mut().zip(terms) {
+                                *slot = (*c, src.subview(r0, 0, srows, scols));
+                            }
+                            combine(stripe.rb(), accumulate, &sub[..terms.len()]);
+                        } else {
+                            let sub_terms: Vec<(T, MatRef<'_, T>)> = terms
+                                .iter()
+                                .map(|(c, src)| (*c, src.subview(r0, 0, srows, scols)))
+                                .collect();
+                            combine(stripe.rb(), accumulate, &sub_terms);
+                        }
                     });
+                    r0 += take;
                 }
             });
         }
     }
 }
+
+/// Term-arity ceiling for the allocation-free stripe path of
+/// [`combine_par`]. Wider combinations fall back to a per-stripe Vec.
+pub const MAX_INLINE_COMBINE: usize = 32;
 
 /// Naive chained-AXPY version of [`combine`] — re-reads/re-writes `dst`
 /// once per term. Kept as the baseline for the write-once ablation bench.

@@ -9,7 +9,7 @@
 
 use crate::matrix::{Mat, MatMut, MatRef};
 use crate::microkernel::microkernel;
-use crate::pack::{pack_a, pack_b};
+use crate::pack::{pack_a, pack_a_combined, pack_b, pack_b_combined, MAX_PACK_TERMS};
 use crate::scalar::Scalar;
 use std::any::{Any, TypeId};
 use std::cell::RefCell;
@@ -76,9 +76,13 @@ thread_local! {
 /// thread-local cache, so steady-state calls do not touch the heap; use
 /// [`gemm_st_with_scratch`] to manage the buffers explicitly instead.
 pub fn gemm_st<T: Scalar>(alpha: T, a: MatRef<'_, T>, b: MatRef<'_, T>, beta: T, c: MatMut<'_, T>) {
-    // Take the scratch *out* of the cache (ending the RefCell borrow)
-    // before computing, then put it back — re-entrancy can never observe
-    // an outstanding borrow.
+    with_cached_scratch(|scratch| gemm_st_with_scratch(alpha, a, b, beta, c, scratch));
+}
+
+/// Run `f` with this thread's cached [`Scratch`] for `T`. The scratch is
+/// taken *out* of the cache (ending the RefCell borrow) before `f` runs,
+/// then put back — re-entrancy can never observe an outstanding borrow.
+fn with_cached_scratch<T: Scalar, R>(f: impl FnOnce(&mut Scratch<T>) -> R) -> R {
     let mut scratch: Scratch<T> = PACK_CACHE.with(|cell| {
         let mut cache = cell.borrow_mut();
         match cache.iter_mut().find(|(id, _)| *id == TypeId::of::<T>()) {
@@ -92,7 +96,7 @@ pub fn gemm_st<T: Scalar>(alpha: T, a: MatRef<'_, T>, b: MatRef<'_, T>, beta: T,
             }
         }
     });
-    gemm_st_with_scratch(alpha, a, b, beta, c, &mut scratch);
+    let out = f(&mut scratch);
     PACK_CACHE.with(|cell| {
         let mut cache = cell.borrow_mut();
         if let Some((_, slot)) = cache.iter_mut().find(|(id, _)| *id == TypeId::of::<T>()) {
@@ -101,6 +105,7 @@ pub fn gemm_st<T: Scalar>(alpha: T, a: MatRef<'_, T>, b: MatRef<'_, T>, beta: T,
                 .expect("slot is type-keyed") = scratch;
         }
     });
+    out
 }
 
 /// [`gemm_st`] with caller-provided scratch (no allocation in steady state).
@@ -127,7 +132,6 @@ pub fn gemm_st_with_scratch<T: Scalar>(
     }
 
     let bs = BlockSizes::for_scalar::<T>();
-    let (mr, nr) = (T::MR, T::NR);
 
     for jc in (0..n).step_by(bs.nc) {
         let nc = bs.nc.min(n - jc);
@@ -140,59 +144,191 @@ pub fn gemm_st_with_scratch<T: Scalar>(
             for ic in (0..m).step_by(bs.mc) {
                 let mc = bs.mc.min(m - ic);
                 pack_a(a.subview(ic, pc, mc, kc), &mut scratch.a_pack);
-                let cs = c.row_stride();
-                for jr in (0..nc).step_by(nr) {
-                    let nrr = nr.min(nc - jr);
-                    let b_sliver = &scratch.b_pack[(jr / nr) * kc * nr..];
-                    for ir in (0..mc).step_by(mr) {
-                        let mrr = mr.min(mc - ir);
-                        let a_sliver = &scratch.a_pack[(ir / mr) * kc * mr..];
-                        if mrr == mr && nrr == nr {
-                            // Full tile: write straight into C.
-                            let mut tile = c.subview_mut(ic + ir, jc + jr, mr, nr);
-                            // SAFETY: tile is a writable MR×NR block with
-                            // stride cs; slivers hold kc·MR / kc·NR packed
-                            // elements by construction of pack_a/pack_b.
-                            unsafe {
-                                microkernel(
-                                    kc,
-                                    alpha,
-                                    a_sliver.as_ptr(),
-                                    b_sliver.as_ptr(),
-                                    beta_eff,
-                                    beta_zero,
-                                    tile.as_mut_ptr(),
-                                    cs,
-                                );
-                            }
-                        } else {
-                            // Ragged edge: compute into a scratch tile then
-                            // merge the valid region.
-                            let mut tmp = [T::ZERO; 64]; // MR·NR ≤ 64 for both types
-                            debug_assert!(mr * nr <= 64);
-                            // SAFETY: tmp is a full MR×NR tile (stride NR).
-                            unsafe {
-                                microkernel(
-                                    kc,
-                                    alpha,
-                                    a_sliver.as_ptr(),
-                                    b_sliver.as_ptr(),
-                                    T::ZERO,
-                                    true,
-                                    tmp.as_mut_ptr(),
-                                    nr,
-                                );
-                            }
-                            for i in 0..mrr {
-                                let crow = c.subview_mut(ic + ir + i, jc + jr, 1, nrr);
-                                merge_row(crow, &tmp[i * nr..i * nr + nrr], beta_eff, beta_zero);
-                            }
-                        }
-                    }
+                run_tiles(
+                    alpha, beta_eff, beta_zero, scratch, kc, mc, nc, ic, jc, &mut c,
+                );
+            }
+        }
+    }
+}
+
+/// Dispatch the MR×NR register tiles of one packed (mc × kc)·(kc × nc)
+/// block product into `C` — the shared inner loops of [`gemm_st_with_scratch`]
+/// and [`gemm_combined_st_with_scratch`].
+#[allow(clippy::too_many_arguments)]
+fn run_tiles<T: Scalar>(
+    alpha: T,
+    beta_eff: T,
+    beta_zero: bool,
+    scratch: &Scratch<T>,
+    kc: usize,
+    mc: usize,
+    nc: usize,
+    ic: usize,
+    jc: usize,
+    c: &mut MatMut<'_, T>,
+) {
+    let (mr, nr) = (T::MR, T::NR);
+    let cs = c.row_stride();
+    for jr in (0..nc).step_by(nr) {
+        let nrr = nr.min(nc - jr);
+        let b_sliver = &scratch.b_pack[(jr / nr) * kc * nr..];
+        for ir in (0..mc).step_by(mr) {
+            let mrr = mr.min(mc - ir);
+            let a_sliver = &scratch.a_pack[(ir / mr) * kc * mr..];
+            if mrr == mr && nrr == nr {
+                // Full tile: write straight into C.
+                let mut tile = c.subview_mut(ic + ir, jc + jr, mr, nr);
+                // SAFETY: tile is a writable MR×NR block with
+                // stride cs; slivers hold kc·MR / kc·NR packed
+                // elements by construction of pack_a/pack_b.
+                unsafe {
+                    microkernel(
+                        kc,
+                        alpha,
+                        a_sliver.as_ptr(),
+                        b_sliver.as_ptr(),
+                        beta_eff,
+                        beta_zero,
+                        tile.as_mut_ptr(),
+                        cs,
+                    );
+                }
+            } else {
+                // Ragged edge: compute into a scratch tile then
+                // merge the valid region.
+                let mut tmp = [T::ZERO; 64]; // MR·NR ≤ 64 for both types
+                debug_assert!(mr * nr <= 64);
+                // SAFETY: tmp is a full MR×NR tile (stride NR).
+                unsafe {
+                    microkernel(
+                        kc,
+                        alpha,
+                        a_sliver.as_ptr(),
+                        b_sliver.as_ptr(),
+                        T::ZERO,
+                        true,
+                        tmp.as_mut_ptr(),
+                        nr,
+                    );
+                }
+                for i in 0..mrr {
+                    let crow = c.subview_mut(ic + ir + i, jc + jr, 1, nrr);
+                    merge_row(crow, &tmp[i * nr..i * nr + nrr], beta_eff, beta_zero);
                 }
             }
         }
     }
+}
+
+/// Restrict every term's source to the same sub-block and hand the
+/// restricted list to `f`. Uses a fixed-capacity inline buffer (no heap)
+/// up to [`MAX_PACK_TERMS`] terms.
+#[inline]
+pub(crate) fn with_subviews<'a, T: Scalar, R>(
+    terms: &[(T, MatRef<'a, T>)],
+    r0: usize,
+    c0: usize,
+    rows: usize,
+    cols: usize,
+    f: impl FnOnce(&[(T, MatRef<'a, T>)]) -> R,
+) -> R {
+    if terms.len() <= MAX_PACK_TERMS {
+        let mut sub = [terms[0]; MAX_PACK_TERMS];
+        for (slot, (cf, src)) in sub.iter_mut().zip(terms) {
+            *slot = (*cf, src.subview(r0, c0, rows, cols));
+        }
+        f(&sub[..terms.len()])
+    } else {
+        let sub: Vec<(T, MatRef<'a, T>)> = terms
+            .iter()
+            .map(|(cf, src)| (*cf, src.subview(r0, c0, rows, cols)))
+            .collect();
+        f(&sub)
+    }
+}
+
+/// Fused-operand GEMM: `C ← α·(Σ cᵃᵢ·Aᵢ)·(Σ cᵇⱼ·Bⱼ) + β·C` where the two
+/// linear combinations are formed *inside* the pack sweep
+/// ([`pack_a_combined`] / [`pack_b_combined`]) — the S/T operands of the
+/// APA framework are never materialized in memory.
+///
+/// Loop structure, α/β semantics and tile dispatch are identical to
+/// [`gemm_st_with_scratch`]; with single-term lists `[(T::ONE, a)]` /
+/// `[(T::ONE, b)]` the result is bitwise equal to the plain driver.
+/// Term lists must be non-empty and each list's sources share one shape.
+pub fn gemm_combined_st_with_scratch<T: Scalar>(
+    alpha: T,
+    a_terms: &[(T, MatRef<'_, T>)],
+    b_terms: &[(T, MatRef<'_, T>)],
+    beta: T,
+    mut c: MatMut<'_, T>,
+    scratch: &mut Scratch<T>,
+) {
+    assert!(
+        !a_terms.is_empty() && !b_terms.is_empty(),
+        "gemm_combined needs at least one term per operand"
+    );
+    let (m, k) = (a_terms[0].1.rows(), a_terms[0].1.cols());
+    let n = b_terms[0].1.cols();
+    for (_, src) in a_terms {
+        assert_eq!((src.rows(), src.cols()), (m, k), "A-term shape mismatch");
+    }
+    for (_, src) in b_terms {
+        assert_eq!(
+            (src.rows(), src.cols()),
+            (k, n),
+            "B-term shape / inner dimension mismatch"
+        );
+    }
+    assert_eq!(m, c.rows(), "C row count mismatch");
+    assert_eq!(n, c.cols(), "C column count mismatch");
+
+    if m == 0 || n == 0 {
+        return;
+    }
+    if k == 0 || alpha == T::ZERO {
+        scale_in_place(beta, &mut c);
+        return;
+    }
+
+    let bs = BlockSizes::for_scalar::<T>();
+
+    for jc in (0..n).step_by(bs.nc) {
+        let nc = bs.nc.min(n - jc);
+        for pc in (0..k).step_by(bs.kc) {
+            let kc = bs.kc.min(k - pc);
+            with_subviews(b_terms, pc, jc, kc, nc, |sub| {
+                pack_b_combined(sub, &mut scratch.b_pack)
+            });
+            // First rank-k update applies the caller's β, later ones add.
+            let beta_eff = if pc == 0 { beta } else { T::ONE };
+            let beta_zero = pc == 0 && beta == T::ZERO;
+            for ic in (0..m).step_by(bs.mc) {
+                let mc = bs.mc.min(m - ic);
+                with_subviews(a_terms, ic, pc, mc, kc, |sub| {
+                    pack_a_combined(sub, &mut scratch.a_pack)
+                });
+                run_tiles(
+                    alpha, beta_eff, beta_zero, scratch, kc, mc, nc, ic, jc, &mut c,
+                );
+            }
+        }
+    }
+}
+
+/// [`gemm_combined_st_with_scratch`] with pack buffers from the
+/// thread-local cache (allocation-free in steady state).
+pub fn gemm_combined_st<T: Scalar>(
+    alpha: T,
+    a_terms: &[(T, MatRef<'_, T>)],
+    b_terms: &[(T, MatRef<'_, T>)],
+    beta: T,
+    c: MatMut<'_, T>,
+) {
+    with_cached_scratch(|scratch| {
+        gemm_combined_st_with_scratch(alpha, a_terms, b_terms, beta, c, scratch)
+    });
 }
 
 fn merge_row<T: Scalar>(mut crow: MatMut<'_, T>, vals: &[T], beta: T, beta_zero: bool) {
@@ -315,6 +451,68 @@ mod tests {
         for i in 0..4 {
             for j in 0..4 {
                 assert_eq!(c.at(i, j), 0.5 * orig.at(i, j));
+            }
+        }
+    }
+
+    #[test]
+    fn combined_single_term_is_bitwise_plain_gemm() {
+        let a = rand_mat::<f32>(70, 45, 20);
+        let b = rand_mat::<f32>(45, 33, 21);
+        let mut want = rand_mat::<f32>(70, 33, 22);
+        let mut got = want.clone();
+        gemm_st(1.5, a.as_ref(), b.as_ref(), 0.5, want.as_mut());
+        gemm_combined_st(
+            1.5,
+            &[(1.0, a.as_ref())],
+            &[(1.0, b.as_ref())],
+            0.5,
+            got.as_mut(),
+        );
+        for i in 0..70 {
+            for j in 0..33 {
+                assert_eq!(got.at(i, j).to_bits(), want.at(i, j).to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn combined_matches_materialize_then_gemm_bitwise() {
+        use crate::add::combine;
+        for arity in [2usize, 3, 4, 5] {
+            let (m, k, n) = (41, 37, 29);
+            let a_srcs: Vec<Mat<f64>> = (0..arity)
+                .map(|s| rand_mat::<f64>(m, k, 30 + s as u64))
+                .collect();
+            let b_srcs: Vec<Mat<f64>> = (0..arity)
+                .map(|s| rand_mat::<f64>(k, n, 60 + s as u64))
+                .collect();
+            let a_terms: Vec<(f64, _)> = a_srcs
+                .iter()
+                .enumerate()
+                .map(|(t, s)| (0.25 * t as f64 - 0.6, s.as_ref()))
+                .collect();
+            let b_terms: Vec<(f64, _)> = b_srcs
+                .iter()
+                .enumerate()
+                .map(|(t, s)| (1.0 - 0.5 * t as f64, s.as_ref()))
+                .collect();
+            let mut s_mat = Mat::<f64>::zeros(m, k);
+            let mut t_mat = Mat::<f64>::zeros(k, n);
+            combine(s_mat.as_mut(), false, &a_terms);
+            combine(t_mat.as_mut(), false, &b_terms);
+            let mut want = rand_mat::<f64>(m, n, 90);
+            let mut got = want.clone();
+            gemm_st(0.75, s_mat.as_ref(), t_mat.as_ref(), 1.0, want.as_mut());
+            gemm_combined_st(0.75, &a_terms, &b_terms, 1.0, got.as_mut());
+            for i in 0..m {
+                for j in 0..n {
+                    assert_eq!(
+                        got.at(i, j).to_bits(),
+                        want.at(i, j).to_bits(),
+                        "arity {arity} ({i},{j})"
+                    );
+                }
             }
         }
     }

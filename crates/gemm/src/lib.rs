@@ -41,14 +41,18 @@ pub mod pool;
 pub mod scalar;
 pub mod transpose;
 
-pub use add::{combine, combine_axpy, combine_par};
-pub use blocked::{gemm_st, gemm_st_with_scratch, matmul, BlockSizes, Scratch};
+pub use add::{combine, combine_axpy, combine_par, MAX_INLINE_COMBINE};
+pub use blocked::{
+    gemm_combined_st, gemm_combined_st_with_scratch, gemm_st, gemm_st_with_scratch, matmul,
+    BlockSizes, Scratch,
+};
 pub use counting_alloc::{
     allocation_counters, thread_allocation_counters, AllocationCounters, CountingAlloc,
 };
 pub use matrix::{Mat, MatMut, MatRef};
 pub use naive::{matmul_naive, matmul_naive_f64};
-pub use parallel::{gemm, matmul_par, try_gemm};
+pub use pack::{pack_a, pack_a_combined, pack_b, pack_b_combined, MAX_PACK_TERMS};
+pub use parallel::{gemm, gemm_combined, matmul_par, try_gemm, try_gemm_combined};
 pub use pool::{pool, rebuild, Par, PoolError, WorkerPool};
 pub use scalar::Scalar;
 pub use transpose::{gemm_op, transpose, transpose_into, Op};

@@ -8,6 +8,23 @@
 use crate::matrix::MatRef;
 use crate::scalar::Scalar;
 
+/// Maximum operand-term arity the combined packers handle without falling
+/// back to a heap-allocated staging list. Matches the executor's inline
+/// term budget with headroom.
+pub const MAX_PACK_TERMS: usize = 32;
+
+/// Size `buf` to `len` elements without a full zero sweep: a grow
+/// zero-fills only because `resize` must, a same-size reuse leaves stale
+/// interior values that the caller overwrites element-by-element. Callers
+/// must explicitly zero any pad region they do not write.
+#[inline]
+fn size_panel<T: Scalar>(buf: &mut Vec<T>, len: usize) {
+    if buf.len() != len {
+        buf.clear();
+        buf.resize(len, T::ZERO);
+    }
+}
+
 /// Pack an `mc × kc` block of `A` into MR-row slivers.
 ///
 /// Output layout: sliver `s` (rows `s·MR .. s·MR+MR`, zero-padded past
@@ -17,8 +34,7 @@ pub fn pack_a<T: Scalar>(a: MatRef<'_, T>, buf: &mut Vec<T>) {
     let (mc, kc) = (a.rows(), a.cols());
     let mr = T::MR;
     let slivers = mc.div_ceil(mr);
-    buf.clear();
-    buf.resize(slivers * kc * mr, T::ZERO);
+    size_panel(buf, slivers * kc * mr);
     for s in 0..slivers {
         let base = s * kc * mr;
         let i0 = s * mr;
@@ -28,6 +44,18 @@ pub fn pack_a<T: Scalar>(a: MatRef<'_, T>, buf: &mut Vec<T>) {
             for (p, &v) in arow.iter().enumerate() {
                 buf[base + p * mr + i] = v;
             }
+        }
+        zero_a_pad(buf, base, kc, mr, rows);
+    }
+}
+
+/// Zero the pad rows (`rows..MR`) of one A sliver — the only region the
+/// interior writes never touch.
+#[inline]
+fn zero_a_pad<T: Scalar>(buf: &mut [T], base: usize, kc: usize, mr: usize, rows: usize) {
+    if rows < mr {
+        for p in 0..kc {
+            buf[base + p * mr + rows..base + p * mr + mr].fill(T::ZERO);
         }
     }
 }
@@ -41,8 +69,7 @@ pub fn pack_b<T: Scalar>(b: MatRef<'_, T>, buf: &mut Vec<T>) {
     let (kc, nc) = (b.rows(), b.cols());
     let nr = T::NR;
     let slivers = nc.div_ceil(nr);
-    buf.clear();
-    buf.resize(slivers * kc * nr, T::ZERO);
+    size_panel(buf, slivers * kc * nr);
     for p in 0..kc {
         let brow = b.row(p);
         for s in 0..slivers {
@@ -50,6 +77,246 @@ pub fn pack_b<T: Scalar>(b: MatRef<'_, T>, buf: &mut Vec<T>) {
             let j0 = s * nr;
             let cols = nr.min(nc - j0);
             buf[base..base + cols].copy_from_slice(&brow[j0..j0 + cols]);
+            buf[base + cols..base + nr].fill(T::ZERO);
+        }
+    }
+}
+
+/// Pack the `mc × kc` block `Σ coeff_t · A_t` into MR-row slivers, forming
+/// the linear combination *during* the pack sweep (write-once into the
+/// panel; no intermediate S buffer is ever materialized).
+///
+/// Panel layout and zero padding are identical to [`pack_a`]. Per element
+/// the combination is evaluated with exactly the mul_add chain
+/// [`crate::add::combine`] uses, so `pack_a_combined(terms)` is bitwise
+/// equal to `combine`-then-`pack_a`.
+///
+/// All sources must share one shape; `terms` must be non-empty.
+pub fn pack_a_combined<T: Scalar>(terms: &[(T, MatRef<'_, T>)], buf: &mut Vec<T>) {
+    assert!(!terms.is_empty(), "pack_a_combined needs at least one term");
+    let (mc, kc) = (terms[0].1.rows(), terms[0].1.cols());
+    for (_, src) in terms {
+        assert_eq!((src.rows(), src.cols()), (mc, kc), "source shape mismatch");
+    }
+    let mr = T::MR;
+    let slivers = mc.div_ceil(mr);
+    size_panel(buf, slivers * kc * mr);
+    for s in 0..slivers {
+        let base = s * kc * mr;
+        let i0 = s * mr;
+        let rows = mr.min(mc - i0);
+        for i in 0..rows {
+            combined_row_strided(terms, i0 + i, &mut buf[base + i..], mr, kc);
+        }
+        zero_a_pad(buf, base, kc, mr, rows);
+    }
+}
+
+/// Pack the `kc × nc` block `Σ coeff_t · B_t` into NR-column slivers,
+/// forming the combination during the pack sweep. Layout, padding and
+/// bitwise-vs-`combine` guarantees mirror [`pack_a_combined`] /
+/// [`pack_b`].
+pub fn pack_b_combined<T: Scalar>(terms: &[(T, MatRef<'_, T>)], buf: &mut Vec<T>) {
+    assert!(!terms.is_empty(), "pack_b_combined needs at least one term");
+    let (kc, nc) = (terms[0].1.rows(), terms[0].1.cols());
+    for (_, src) in terms {
+        assert_eq!((src.rows(), src.cols()), (kc, nc), "source shape mismatch");
+    }
+    let nr = T::NR;
+    let slivers = nc.div_ceil(nr);
+    size_panel(buf, slivers * kc * nr);
+    for p in 0..kc {
+        for s in 0..slivers {
+            let base = s * kc * nr + p * nr;
+            let j0 = s * nr;
+            let cols = nr.min(nc - j0);
+            combined_segment(terms, p, j0, &mut buf[base..base + cols]);
+            buf[base + cols..base + nr].fill(T::ZERO);
+        }
+    }
+}
+
+/// Write `out[q] ← Σ_t coeff_t · src_t[i, j0 + q]` for a contiguous column
+/// segment of row `i`, using `combine`'s arity-specialized mul_add chains.
+#[inline]
+fn combined_segment<T: Scalar>(terms: &[(T, MatRef<'_, T>)], i: usize, j0: usize, out: &mut [T]) {
+    let w = out.len();
+    match terms {
+        [] => unreachable!("empty term list rejected at entry"),
+        [(c0, s0)] => {
+            let r0 = &s0.row(i)[j0..j0 + w];
+            for (o, &x0) in out.iter_mut().zip(r0) {
+                *o = *c0 * x0;
+            }
+        }
+        [(c0, s0), (c1, s1)] => {
+            let (r0, r1) = (&s0.row(i)[j0..j0 + w], &s1.row(i)[j0..j0 + w]);
+            for (q, o) in out.iter_mut().enumerate() {
+                *o = c0.mul_add(r0[q], *c1 * r1[q]);
+            }
+        }
+        [(c0, s0), (c1, s1), (c2, s2)] => {
+            let (r0, r1, r2) = (
+                &s0.row(i)[j0..j0 + w],
+                &s1.row(i)[j0..j0 + w],
+                &s2.row(i)[j0..j0 + w],
+            );
+            for (q, o) in out.iter_mut().enumerate() {
+                *o = c0.mul_add(r0[q], c1.mul_add(r1[q], *c2 * r2[q]));
+            }
+        }
+        [(c0, s0), (c1, s1), (c2, s2), (c3, s3)] => {
+            let (r0, r1, r2, r3) = (
+                &s0.row(i)[j0..j0 + w],
+                &s1.row(i)[j0..j0 + w],
+                &s2.row(i)[j0..j0 + w],
+                &s3.row(i)[j0..j0 + w],
+            );
+            for (q, o) in out.iter_mut().enumerate() {
+                *o = c0.mul_add(r0[q], c1.mul_add(r1[q], c2.mul_add(r2[q], *c3 * r3[q])));
+            }
+        }
+        _ => {
+            let (head, tail) = terms.split_at(4);
+            combined_segment(head, i, j0, out);
+            accumulate_segment(tail, i, j0, out);
+        }
+    }
+}
+
+/// `out[q] += Σ_t coeff_t · src_t[i, j0 + q]` with the accumulate-mode
+/// arithmetic of `combine` (single-term FMA into the accumulator; wider
+/// arities form the chain then add).
+#[inline]
+fn accumulate_segment<T: Scalar>(terms: &[(T, MatRef<'_, T>)], i: usize, j0: usize, out: &mut [T]) {
+    let w = out.len();
+    match terms {
+        [] => {}
+        [(c0, s0)] => {
+            let r0 = &s0.row(i)[j0..j0 + w];
+            for (o, &x0) in out.iter_mut().zip(r0) {
+                *o = c0.mul_add(x0, *o);
+            }
+        }
+        [(c0, s0), (c1, s1)] => {
+            let (r0, r1) = (&s0.row(i)[j0..j0 + w], &s1.row(i)[j0..j0 + w]);
+            for (q, o) in out.iter_mut().enumerate() {
+                *o += c0.mul_add(r0[q], *c1 * r1[q]);
+            }
+        }
+        [(c0, s0), (c1, s1), (c2, s2)] => {
+            let (r0, r1, r2) = (
+                &s0.row(i)[j0..j0 + w],
+                &s1.row(i)[j0..j0 + w],
+                &s2.row(i)[j0..j0 + w],
+            );
+            for (q, o) in out.iter_mut().enumerate() {
+                *o += c0.mul_add(r0[q], c1.mul_add(r1[q], *c2 * r2[q]));
+            }
+        }
+        [(c0, s0), (c1, s1), (c2, s2), (c3, s3)] => {
+            let (r0, r1, r2, r3) = (
+                &s0.row(i)[j0..j0 + w],
+                &s1.row(i)[j0..j0 + w],
+                &s2.row(i)[j0..j0 + w],
+                &s3.row(i)[j0..j0 + w],
+            );
+            for (q, o) in out.iter_mut().enumerate() {
+                *o += c0.mul_add(r0[q], c1.mul_add(r1[q], c2.mul_add(r2[q], *c3 * r3[q])));
+            }
+        }
+        _ => {
+            let (head, tail) = terms.split_at(4);
+            accumulate_segment(head, i, j0, out);
+            accumulate_segment(tail, i, j0, out);
+        }
+    }
+}
+
+/// Strided variant of [`combined_segment`]: write the combined row `i`
+/// (all `kc` columns) into `out[p · stride]` for `p = 0..kc`, the k-major
+/// A-sliver layout.
+#[inline]
+fn combined_row_strided<T: Scalar>(
+    terms: &[(T, MatRef<'_, T>)],
+    i: usize,
+    out: &mut [T],
+    stride: usize,
+    kc: usize,
+) {
+    match terms {
+        [] => unreachable!("empty term list rejected at entry"),
+        [(c0, s0)] => {
+            for (p, &x0) in s0.row(i).iter().enumerate() {
+                out[p * stride] = *c0 * x0;
+            }
+        }
+        [(c0, s0), (c1, s1)] => {
+            let (r0, r1) = (s0.row(i), s1.row(i));
+            for p in 0..kc {
+                out[p * stride] = c0.mul_add(r0[p], *c1 * r1[p]);
+            }
+        }
+        [(c0, s0), (c1, s1), (c2, s2)] => {
+            let (r0, r1, r2) = (s0.row(i), s1.row(i), s2.row(i));
+            for p in 0..kc {
+                out[p * stride] = c0.mul_add(r0[p], c1.mul_add(r1[p], *c2 * r2[p]));
+            }
+        }
+        [(c0, s0), (c1, s1), (c2, s2), (c3, s3)] => {
+            let (r0, r1, r2, r3) = (s0.row(i), s1.row(i), s2.row(i), s3.row(i));
+            for p in 0..kc {
+                out[p * stride] =
+                    c0.mul_add(r0[p], c1.mul_add(r1[p], c2.mul_add(r2[p], *c3 * r3[p])));
+            }
+        }
+        _ => {
+            let (head, tail) = terms.split_at(4);
+            combined_row_strided(head, i, out, stride, kc);
+            accumulate_row_strided(tail, i, out, stride, kc);
+        }
+    }
+}
+
+#[inline]
+fn accumulate_row_strided<T: Scalar>(
+    terms: &[(T, MatRef<'_, T>)],
+    i: usize,
+    out: &mut [T],
+    stride: usize,
+    kc: usize,
+) {
+    match terms {
+        [] => {}
+        [(c0, s0)] => {
+            let r0 = s0.row(i);
+            for p in 0..kc {
+                out[p * stride] = c0.mul_add(r0[p], out[p * stride]);
+            }
+        }
+        [(c0, s0), (c1, s1)] => {
+            let (r0, r1) = (s0.row(i), s1.row(i));
+            for p in 0..kc {
+                out[p * stride] += c0.mul_add(r0[p], *c1 * r1[p]);
+            }
+        }
+        [(c0, s0), (c1, s1), (c2, s2)] => {
+            let (r0, r1, r2) = (s0.row(i), s1.row(i), s2.row(i));
+            for p in 0..kc {
+                out[p * stride] += c0.mul_add(r0[p], c1.mul_add(r1[p], *c2 * r2[p]));
+            }
+        }
+        [(c0, s0), (c1, s1), (c2, s2), (c3, s3)] => {
+            let (r0, r1, r2, r3) = (s0.row(i), s1.row(i), s2.row(i), s3.row(i));
+            for p in 0..kc {
+                out[p * stride] +=
+                    c0.mul_add(r0[p], c1.mul_add(r1[p], c2.mul_add(r2[p], *c3 * r3[p])));
+            }
+        }
+        _ => {
+            let (head, tail) = terms.split_at(4);
+            accumulate_row_strided(head, i, out, stride, kc);
+            accumulate_row_strided(tail, i, out, stride, kc);
         }
     }
 }
@@ -111,6 +378,77 @@ mod tests {
                 } else {
                     assert_eq!(v, 0.0);
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn panel_reuse_rezeros_ragged_pads() {
+        // A big no-pad pack followed by a same-length ragged pack must not
+        // leak stale interior values into the pad region.
+        let mr = f32::MR;
+        let mut buf = Vec::new();
+        let full = Mat::<f32>::from_fn(2 * mr, 4, |_, _| 5.0);
+        pack_a(full.as_ref(), &mut buf);
+        let ragged = Mat::<f32>::from_fn(mr + 1, 8, |_, _| 3.0);
+        pack_a(ragged.as_ref(), &mut buf); // resize path (len changes)
+        pack_a(ragged.as_ref(), &mut buf); // same-len reuse path
+        for p in 0..8 {
+            for i in 1..mr {
+                assert_eq!(buf[8 * mr + p * mr + i], 0.0, "pad ({i},{p})");
+            }
+        }
+        let nr = f32::NR;
+        let mut bbuf = Vec::new();
+        let bfull = Mat::<f32>::from_fn(3, 2 * nr, |_, _| 7.0);
+        pack_b(bfull.as_ref(), &mut bbuf);
+        let bragged = Mat::<f32>::from_fn(3, nr + 1, |_, _| 2.0);
+        pack_b(bragged.as_ref(), &mut bbuf);
+        pack_b(bragged.as_ref(), &mut bbuf);
+        for p in 0..3 {
+            for j in 1..nr {
+                assert_eq!(bbuf[3 * nr + p * nr + j], 0.0, "pad ({p},{j})");
+            }
+        }
+    }
+
+    fn combo_mats(rows: usize, cols: usize, count: usize) -> Vec<Mat<f32>> {
+        (0..count)
+            .map(|s| {
+                Mat::from_fn(rows, cols, |i, j| {
+                    ((i * 31 + j * 7 + s * 13) as f32).sin() * 2.0
+                })
+            })
+            .collect()
+    }
+
+    fn check_combined_bitwise(rows: usize, cols: usize, arity: usize) {
+        use crate::add::combine;
+        let srcs = combo_mats(rows, cols, arity);
+        let coeffs: Vec<f32> = (0..arity).map(|t| 0.5 * (t as f32) - 0.7).collect();
+        let terms: Vec<(f32, _)> = coeffs
+            .iter()
+            .zip(&srcs)
+            .map(|(&c, m)| (c, m.as_ref()))
+            .collect();
+        // Reference: materialize Σ coeff·src then pack.
+        let mut s = Mat::<f32>::zeros(rows, cols);
+        combine(s.as_mut(), false, &terms);
+        let (mut want_a, mut got_a) = (Vec::new(), Vec::new());
+        pack_a(s.as_ref(), &mut want_a);
+        pack_a_combined(&terms, &mut got_a);
+        assert_eq!(want_a, got_a, "pack_a arity {arity} ({rows}x{cols})");
+        let (mut want_b, mut got_b) = (Vec::new(), Vec::new());
+        pack_b(s.as_ref(), &mut want_b);
+        pack_b_combined(&terms, &mut got_b);
+        assert_eq!(want_b, got_b, "pack_b arity {arity} ({rows}x{cols})");
+    }
+
+    #[test]
+    fn combined_pack_bitwise_matches_materialized() {
+        for arity in 1..=7 {
+            for &(rows, cols) in &[(8, 8), (9, 5), (17, 19), (3, 33)] {
+                check_combined_bitwise(rows, cols, arity);
             }
         }
     }

@@ -7,7 +7,7 @@
 //! plateau) — which is precisely the behaviour the paper's §3.4 analysis
 //! of the hybrid strategy leans on.
 
-use crate::blocked::gemm_st;
+use crate::blocked::{gemm_combined_st, gemm_st, with_subviews};
 use crate::matrix::{Mat, MatMut, MatRef};
 use crate::pool::{pool, Par, PoolError};
 use crate::scalar::Scalar;
@@ -83,6 +83,81 @@ fn gemm_mt<T: Scalar>(
     })
 }
 
+/// Fused-operand GEMM with the requested parallelism:
+/// `C ← α·(Σ cᵃᵢ·Aᵢ)·(Σ cᵇⱼ·Bⱼ) + β·C`, operand combinations formed inside
+/// the pack sweep (see [`gemm_combined_st`]). Row-parallel like [`gemm`]:
+/// each worker packs/combines its own stripe of the A terms against the
+/// full B term list. Panics if a worker lane panics; [`try_gemm_combined`]
+/// is the non-panicking variant.
+pub fn gemm_combined<T: Scalar>(
+    alpha: T,
+    a_terms: &[(T, MatRef<'_, T>)],
+    b_terms: &[(T, MatRef<'_, T>)],
+    beta: T,
+    c: MatMut<'_, T>,
+    par: Par,
+) {
+    try_gemm_combined(alpha, a_terms, b_terms, beta, c, par)
+        .unwrap_or_else(|e| panic!("apa_gemm::gemm_combined: {e}"));
+}
+
+/// [`gemm_combined`] surfacing a panicked worker lane as a typed
+/// [`PoolError::WorkerPanicked`]. Same drain/partial-write semantics as
+/// [`try_gemm`].
+pub fn try_gemm_combined<T: Scalar>(
+    alpha: T,
+    a_terms: &[(T, MatRef<'_, T>)],
+    b_terms: &[(T, MatRef<'_, T>)],
+    beta: T,
+    c: MatMut<'_, T>,
+    par: Par,
+) -> Result<(), PoolError> {
+    match par.normalize() {
+        Par::Seq => {
+            gemm_combined_st(alpha, a_terms, b_terms, beta, c);
+            Ok(())
+        }
+        Par::Threads(t) => gemm_combined_mt(alpha, a_terms, b_terms, beta, c, t),
+    }
+}
+
+fn gemm_combined_mt<T: Scalar>(
+    alpha: T,
+    a_terms: &[(T, MatRef<'_, T>)],
+    b_terms: &[(T, MatRef<'_, T>)],
+    beta: T,
+    c: MatMut<'_, T>,
+    threads: usize,
+) -> Result<(), PoolError> {
+    assert!(
+        !a_terms.is_empty() && !b_terms.is_empty(),
+        "gemm_combined needs at least one term per operand"
+    );
+    let (m, k) = (a_terms[0].1.rows(), a_terms[0].1.cols());
+    assert_eq!(m, c.rows(), "C row count mismatch");
+    if m == 0 || c.cols() == 0 {
+        return Ok(());
+    }
+    // Same stripe geometry as the plain parallel driver.
+    let mr = T::MR;
+    let stripe = m.div_ceil(threads).div_ceil(mr).max(1) * mr;
+    pool(threads).try_scope(|s| {
+        let mut c_rest = c;
+        let mut r0 = 0;
+        while r0 < m {
+            let rows = stripe.min(m - r0);
+            let (head, tail) = c_rest.split_at_row(rows);
+            c_rest = tail;
+            s.spawn(move |_| {
+                with_subviews(a_terms, r0, 0, rows, k, |a_sub| {
+                    gemm_combined_st(alpha, a_sub, b_terms, beta, head)
+                });
+            });
+            r0 += rows;
+        }
+    })
+}
+
 /// Convenience: allocate and return `C = A · B` with given parallelism.
 pub fn matmul_par<T: Scalar>(a: MatRef<'_, T>, b: MatRef<'_, T>, par: Par) -> Mat<T> {
     let mut c = Mat::zeros(a.rows(), b.cols());
@@ -154,6 +229,39 @@ mod tests {
         let got = matmul_par(a.as_ref(), b.as_ref(), Par::Threads(8));
         let expect = matmul_naive(a.as_ref(), b.as_ref());
         assert!(got.rel_frobenius_error(&expect) < 1e-6);
+    }
+
+    #[test]
+    fn combined_parallel_matches_sequential_bitwise() {
+        let a0 = rand_mat::<f32>(67, 41, 30);
+        let a1 = rand_mat::<f32>(67, 41, 31);
+        let b0 = rand_mat::<f32>(41, 53, 32);
+        let b1 = rand_mat::<f32>(41, 53, 33);
+        let a_terms = [(1.0f32, a0.as_ref()), (-0.5, a1.as_ref())];
+        let b_terms = [(0.25f32, b0.as_ref()), (2.0, b1.as_ref())];
+        let mut seq = Mat::<f32>::zeros(67, 53);
+        gemm_combined(1.0, &a_terms, &b_terms, 0.0, seq.as_mut(), Par::Seq);
+        for threads in [2, 3, 4] {
+            let mut par = Mat::<f32>::zeros(67, 53);
+            gemm_combined(
+                1.0,
+                &a_terms,
+                &b_terms,
+                0.0,
+                par.as_mut(),
+                Par::Threads(threads),
+            );
+            // Row-striping does not change any per-element FMA order.
+            for i in 0..67 {
+                for j in 0..53 {
+                    assert_eq!(
+                        par.at(i, j).to_bits(),
+                        seq.at(i, j).to_bits(),
+                        "threads={threads} ({i},{j})"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,77 @@
+//! Allocation guard for [`apa_gemm::combine_par`].
+//!
+//! The sequential path must be strictly allocation-free, and the parallel
+//! fan-out must not allocate *per term* or *per call* beyond the pool's
+//! constant spawn overhead — the per-stripe `Vec<(T, MatRef)>` of subviews
+//! was replaced by a fixed-capacity inline buffer.
+
+use apa_gemm::{combine_par, thread_allocation_counters, Mat, Par};
+
+#[global_allocator]
+static ALLOC: apa_gemm::CountingAlloc = apa_gemm::CountingAlloc;
+
+fn mats(n: usize, count: usize) -> Vec<Mat<f32>> {
+    (0..count)
+        .map(|s| Mat::from_fn(n, n, |i, j| ((i * n + j + s) as f32).sin()))
+        .collect()
+}
+
+fn terms(srcs: &[Mat<f32>]) -> Vec<(f32, apa_gemm::MatRef<'_, f32>)> {
+    srcs.iter()
+        .enumerate()
+        .map(|(i, m)| (0.5 * i as f32 - 0.6, m.as_ref()))
+        .collect()
+}
+
+#[test]
+fn sequential_combine_par_is_allocation_free() {
+    let srcs = mats(48, 5);
+    let t = terms(&srcs);
+    let mut dst = Mat::<f32>::zeros(48, 48);
+    combine_par(dst.as_mut(), false, &t, Par::Seq); // warm nothing — must already be free
+    let before = thread_allocation_counters();
+    for _ in 0..5 {
+        combine_par(dst.as_mut(), false, &t, Par::Seq);
+        combine_par(dst.as_mut(), true, &t, Par::Seq);
+    }
+    let delta = thread_allocation_counters().since(before);
+    assert_eq!(
+        delta.calls, 0,
+        "sequential combine_par allocated {} times ({} bytes)",
+        delta.calls, delta.bytes
+    );
+}
+
+#[test]
+fn parallel_combine_par_cost_is_independent_of_arity() {
+    // The caller-side cost of the fan-out is the pool's constant spawn
+    // overhead; with the inline term buffer it must not grow with the
+    // number of terms (it used to: a subview Vec per stripe per term).
+    let n = 64;
+    let srcs = mats(n, 24);
+    let t_all = terms(&srcs);
+    let mut dst = Mat::<f32>::zeros(n, n);
+    let par = Par::Threads(3);
+    // Warm the pool and any lazily-built machinery.
+    combine_par(dst.as_mut(), false, &t_all[..2], par);
+    combine_par(dst.as_mut(), false, &t_all, par);
+
+    let mut measure = |terms: &[(f32, apa_gemm::MatRef<'_, f32>)]| {
+        let before = thread_allocation_counters();
+        for _ in 0..4 {
+            combine_par(dst.as_mut(), false, terms, par);
+        }
+        thread_allocation_counters().since(before)
+    };
+    let narrow = measure(&t_all[..2]);
+    let wide = measure(&t_all);
+    assert_eq!(
+        narrow.calls, wide.calls,
+        "arity-24 fan-out allocates more than arity-2 ({} vs {} calls)",
+        wide.calls, narrow.calls
+    );
+    assert_eq!(
+        narrow.bytes, wide.bytes,
+        "arity-24 fan-out allocates more bytes than arity-2"
+    );
+}

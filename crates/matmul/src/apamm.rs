@@ -31,7 +31,7 @@ use crate::peel::{
     fast_matmul_any_into, fast_matmul_chain_any_into, fast_matmul_chain_any_into_ws, PeelMode,
 };
 use crate::plan::ExecPlan;
-use crate::schedule::Strategy;
+use crate::schedule::{FusionPolicy, Strategy};
 use crate::workspace::Workspace;
 use apa_core::{brent, error_model, BilinearAlgorithm};
 use apa_gemm::{Mat, MatMut, MatRef, Scalar};
@@ -84,6 +84,7 @@ pub struct ApaMatmul {
     strategy: Strategy,
     threads: usize,
     peel: PeelMode,
+    fusion: FusionPolicy,
     /// σ from validation (None = exact rule); cached for λ re-derivation.
     sigma: Option<u32>,
     /// Set once the user pins λ via [`Self::lambda`]; suppresses automatic
@@ -106,6 +107,7 @@ impl Clone for ApaMatmul {
             strategy: self.strategy,
             threads: self.threads,
             peel: self.peel,
+            fusion: self.fusion,
             sigma: self.sigma,
             explicit_lambda: self.explicit_lambda,
             // Workspaces are cheap to rebuild; clones start cold.
@@ -124,6 +126,7 @@ impl std::fmt::Debug for ApaMatmul {
             .field("strategy", &self.strategy)
             .field("threads", &self.threads)
             .field("peel", &self.peel)
+            .field("fusion", &self.fusion)
             .field("cached_workspaces", &self.cached_workspaces())
             .finish()
     }
@@ -147,6 +150,7 @@ impl ApaMatmul {
             strategy: Strategy::Hybrid,
             threads: 1,
             peel: PeelMode::Dynamic,
+            fusion: FusionPolicy::Auto,
             sigma,
             explicit_lambda: false,
             cache: Mutex::new(Vec::new()),
@@ -200,6 +204,14 @@ impl ApaMatmul {
         self
     }
 
+    /// Choose how the engine fuses the framework's additions into the gemm
+    /// leaves (see [`FusionPolicy`]). Changing the policy invalidates
+    /// cached workspaces by key — stale entries stop matching and age out.
+    pub fn fusion(mut self, fusion: FusionPolicy) -> Self {
+        self.fusion = fusion;
+        self
+    }
+
     pub fn algorithm(&self) -> &BilinearAlgorithm {
         &self.alg
     }
@@ -222,6 +234,10 @@ impl ApaMatmul {
 
     pub fn current_peel(&self) -> PeelMode {
         self.peel
+    }
+
+    pub fn current_fusion(&self) -> FusionPolicy {
+        self.fusion
     }
 
     /// Approximation order σ from Brent validation (None for exact rules).
@@ -281,7 +297,16 @@ impl ApaMatmul {
             let found = cache.iter().position(|e| {
                 e.type_id == TypeId::of::<T>()
                     && e.ws.downcast_ref::<Workspace<T>>().is_some_and(|w| {
-                        w.matches(chain, m, k, n, self.strategy, self.threads, self.peel)
+                        w.matches(
+                            chain,
+                            m,
+                            k,
+                            n,
+                            self.strategy,
+                            self.threads,
+                            self.peel,
+                            self.fusion,
+                        )
                     })
             });
             let idx = match found {
@@ -298,6 +323,7 @@ impl ApaMatmul {
                         self.strategy,
                         self.threads,
                         self.peel,
+                        self.fusion,
                     );
                     cache.push(CacheEntry {
                         type_id: TypeId::of::<T>(),
@@ -318,6 +344,7 @@ impl ApaMatmul {
                 self.strategy,
                 self.threads,
                 self.peel,
+                self.fusion,
                 ws,
             );
         });
@@ -351,7 +378,16 @@ impl ApaMatmul {
                     !cache.iter().any(|e| {
                         e.type_id == TypeId::of::<T>()
                             && e.ws.downcast_ref::<Workspace<T>>().is_some_and(|w| {
-                                w.matches(chain, m, k, n, self.strategy, self.threads, self.peel)
+                                w.matches(
+                                    chain,
+                                    m,
+                                    k,
+                                    n,
+                                    self.strategy,
+                                    self.threads,
+                                    self.peel,
+                                    self.fusion,
+                                )
                             })
                     })
                 })
@@ -393,6 +429,7 @@ impl ApaMatmul {
             self.strategy,
             self.threads,
             self.peel,
+            self.fusion,
         );
     }
 
@@ -409,6 +446,7 @@ impl ApaMatmul {
             self.strategy,
             self.threads,
             self.peel,
+            self.fusion,
         )
     }
 
@@ -431,6 +469,7 @@ impl ApaMatmul {
                 self.strategy,
                 self.threads,
                 self.peel,
+                self.fusion,
                 ws,
             )
         });
@@ -470,6 +509,7 @@ pub struct ApaChain {
     strategy: Strategy,
     threads: usize,
     peel: PeelMode,
+    fusion: FusionPolicy,
 }
 
 impl ApaChain {
@@ -491,6 +531,7 @@ impl ApaChain {
             strategy: Strategy::Hybrid,
             threads: 1,
             peel: PeelMode::Dynamic,
+            fusion: FusionPolicy::Auto,
         }
     }
 
@@ -506,6 +547,13 @@ impl ApaChain {
 
     pub fn peel_mode(mut self, peel: PeelMode) -> Self {
         self.peel = peel;
+        self
+    }
+
+    /// Choose how the engine fuses the framework's additions into the gemm
+    /// leaves (see [`FusionPolicy`]).
+    pub fn fusion(mut self, fusion: FusionPolicy) -> Self {
+        self.fusion = fusion;
         self
     }
 
@@ -536,14 +584,32 @@ impl ApaChain {
         )?;
         // The Borrow-generic engine takes the owned plans directly — no
         // per-call Vec<&ExecPlan> is built anymore.
-        fast_matmul_chain_any_into(&self.plans, a, b, c, self.strategy, self.threads, self.peel);
+        fast_matmul_chain_any_into(
+            &self.plans,
+            a,
+            b,
+            c,
+            self.strategy,
+            self.threads,
+            self.peel,
+            self.fusion,
+        );
         Ok(())
     }
 
     /// Build a reusable workspace for this chain on an `m×k · k×n`
     /// product, for [`Self::multiply_into_with`].
     pub fn make_workspace<T: Scalar>(&self, m: usize, k: usize, n: usize) -> Workspace<T> {
-        Workspace::for_chain(&self.plans, m, k, n, self.strategy, self.threads, self.peel)
+        Workspace::for_chain(
+            &self.plans,
+            m,
+            k,
+            n,
+            self.strategy,
+            self.threads,
+            self.peel,
+            self.fusion,
+        )
     }
 
     /// Workspace-backed [`Self::multiply_into`].
@@ -562,6 +628,7 @@ impl ApaChain {
             self.strategy,
             self.threads,
             self.peel,
+            self.fusion,
             ws,
         );
     }

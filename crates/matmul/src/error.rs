@@ -6,7 +6,7 @@
 
 use crate::peel::{fast_matmul_any_into, PeelMode};
 use crate::plan::ExecPlan;
-use crate::schedule::Strategy;
+use crate::schedule::{FusionPolicy, Strategy};
 use apa_core::BilinearAlgorithm;
 use apa_gemm::{matmul, Mat};
 
@@ -119,6 +119,7 @@ pub fn measure_error(alg: &BilinearAlgorithm, lambda: f64, n: usize, steps: u32,
         Strategy::Seq,
         1,
         PeelMode::Dynamic,
+        FusionPolicy::Auto,
     );
 
     // f64 classical reference (blocked kernel, double precision).

@@ -19,6 +19,34 @@
 //! per thread), or the paper's Hybrid (q products per thread on
 //! single-threaded gemm, then the ℓ remainder products on all threads).
 //!
+//! # Fused execution
+//!
+//! Under [`FusionPolicy::Auto`]/[`FusionPolicy::Always`] the framework's
+//! additions fold into the gemm leaves instead of materializing:
+//!
+//! * **Pack-time operand combination** — steps 2–3 merge: the term lists
+//!   `Σᵢ uᵢ·A_i` / `Σᵢ vᵢ·B_i` go straight to
+//!   [`gemm_combined`], whose packers form the combination while packing
+//!   panels. The packers mirror the `combine` kernels' FMA chains exactly,
+//!   so this is **bitwise identical** to materializing `S_t`/`T_t` first —
+//!   and each operand element is read once instead of written to and
+//!   re-read from a scratch buffer.
+//! * **Epilogue W-accumulation** — step 4 merges into step 3 for every
+//!   output block whose products all have fan-out 1 (and, under Hybrid,
+//!   whose owned-phase writers share one thread's chunk): the product is
+//!   written as `C_blk ← w·α·(S_t·T_t) + β·C_blk` from the register tile,
+//!   eliminating the `M_t` buffer and a full write+read of it. This
+//!   *reorders* the final accumulation — `w·(α·acc)` instead of
+//!   `(w·α)·acc`, and a running gemm-epilogue sum instead of `combine`'s
+//!   single FMA chain — so fused results match the materialized path to
+//!   rounding, not bitwise: each fused output element differs by at most
+//!   `(n_w + 1)·ε·Σ|w_t·M_t|` where `n_w` is the block's writer count
+//!   (≤ 2 ulp of the accumulated magnitude for every catalog rule, which
+//!   is far below the APA rules' own `O(λ)` approximation error).
+//!
+//! [`FusionPolicy::Never`] runs the fully materialized path above,
+//! unchanged — the bitwise sentinel the property tests compare against.
+//!
 //! Every buffer the engine touches lives in a [`LevelWs`] tree: the
 //! public entry points here build a transient one per call, while the
 //! `*_ws` entry points in [`crate::peel`] (and [`crate::ApaMatmul`]'s
@@ -27,9 +55,9 @@
 //! code and produce bitwise-identical results.
 
 use crate::plan::{Combo, ExecPlan};
-use crate::schedule::{effective_strategy, Strategy};
-use crate::workspace::{build_level, LaneWs, LevelWs};
-use apa_gemm::{combine_par, gemm, pool, Mat, MatMut, MatRef, Par, Scalar};
+use crate::schedule::{effective_strategy, FusionPolicy, Strategy};
+use crate::workspace::{build_level, FusionSpec, LaneWs, LevelWs};
+use apa_gemm::{combine_par, gemm, gemm_combined, pool, Mat, MatMut, MatRef, Par, Scalar};
 use std::borrow::Borrow;
 
 /// Recursion chains up to this depth are staged on the stack; deeper
@@ -40,7 +68,7 @@ pub(crate) const MAX_INLINE_STEPS: usize = 16;
 /// Combination/output term lists up to this arity are staged on the
 /// stack. The largest catalog rule (`fast444`, rank 49) has combos of at
 /// most ~16 terms; the fallback `Vec` keeps arbitrary plans correct.
-const MAX_INLINE_TERMS: usize = 24;
+pub(crate) const MAX_INLINE_TERMS: usize = 24;
 
 /// Run `f` on the uniform chain `[plan; steps]` without allocating for
 /// typical step counts.
@@ -61,6 +89,7 @@ pub(crate) fn with_uniform_chain<R>(
 
 /// `C ← Â·B̂` by the compiled plan. Dimensions must be divisible by the
 /// rule's base dims (use [`crate::peel`] for arbitrary shapes).
+#[allow(clippy::too_many_arguments)]
 pub fn fast_matmul_into<T: Scalar>(
     plan: &ExecPlan,
     a: MatRef<'_, T>,
@@ -69,9 +98,10 @@ pub fn fast_matmul_into<T: Scalar>(
     steps: u32,
     strategy: Strategy,
     threads: usize,
+    fusion: FusionPolicy,
 ) {
     with_uniform_chain(plan, steps, |chain| {
-        fast_matmul_chain_into(chain, a, b, c, strategy, threads)
+        fast_matmul_chain_into(chain, a, b, c, strategy, threads, fusion)
     })
 }
 
@@ -93,8 +123,17 @@ pub fn fast_matmul_chain_into<T: Scalar, P: Borrow<ExecPlan> + Sync>(
     c: MatMut<'_, T>,
     strategy: Strategy,
     threads: usize,
+    fusion: FusionPolicy,
 ) {
-    let mut level = build_level(chain, a.rows(), a.cols(), b.cols(), strategy, threads);
+    let mut level = build_level(
+        chain,
+        a.rows(),
+        a.cols(),
+        b.cols(),
+        strategy,
+        threads,
+        fusion,
+    );
     run_level(chain, a, b, c, strategy, threads, &mut level);
 }
 
@@ -174,6 +213,27 @@ impl<'a, T: Scalar> Blocks<'a, T> {
     }
 }
 
+/// Where a product's result lands.
+enum Target<'w, 'c, T: Scalar> {
+    /// Materialize `M_t = α·S_t·T_t` into the workspace product buffer.
+    Buf(&'w mut Mat<T>),
+    /// Epilogue-fused: `C_blk ← w·α·(S_t·T_t) + β·C_blk` straight from the
+    /// gemm register tile. The bool marks the block's first writer in
+    /// execution order (β = 0; later writers accumulate with β = 1).
+    Block(MatMut<'c, T>, f64, bool),
+}
+
+/// The output coefficient of fused product `t` in `block`, read from the
+/// caller's plan (the workspace schedule stores only structure so that
+/// structurally identical plans with different coefficients can share it).
+fn output_weight(plan: &ExecPlan, block: usize, t: usize) -> f64 {
+    plan.c_outputs[block]
+        .iter()
+        .find(|&&(tt, _)| tt == t)
+        .map(|&(_, w)| w)
+        .expect("fused product contributes to its block")
+}
+
 #[allow(clippy::too_many_arguments)]
 fn one_step<T: Scalar, P: Borrow<ExecPlan> + Sync>(
     plan: &ExecPlan,
@@ -191,22 +251,41 @@ fn one_step<T: Scalar, P: Borrow<ExecPlan> + Sync>(
     let r = plan.rank;
     let (strategy, threads) = effective_strategy(strategy, threads, r);
 
-    let LevelWs { products, lanes } = level;
+    let LevelWs {
+        products,
+        lanes,
+        fusion,
+    } = level;
+    let fusion = &*fusion;
+    let policy = fusion.policy;
     debug_assert_eq!(products.len(), r, "workspace product count mismatch");
     debug_assert!(!lanes.is_empty(), "workspace has no lanes");
+    let (bm, bn) = (c.rows() / d.m, c.cols() / d.n);
+    let mut c = c;
 
     match strategy {
         Strategy::Seq | Strategy::Dfs => {
             let par = leaf_par(strategy, threads);
             let lane = &mut lanes[0];
             for (t, m_out) in products.iter_mut().enumerate() {
-                compute_product(plan, rest, t, a_blocks, b_blocks, m_out, par, lane);
+                let target = match fusion.epilogue_of(t) {
+                    Some((block, init)) => {
+                        let (bi, bj) = (block / d.n, block % d.n);
+                        let dst = c.rb().into_subview(bi * bm, bj * bn, bm, bn);
+                        Target::Block(dst, output_weight(plan, block, t), init)
+                    }
+                    None => Target::Buf(m_out),
+                };
+                compute_product(plan, rest, t, a_blocks, b_blocks, target, par, lane, policy);
             }
         }
         Strategy::Bfs => {
             // Contiguous chunks (instead of the round-robin lists of
             // `bfs_schedule`) carry the same work distribution with no
             // per-call list allocation; threads is already capped at r.
+            // BFS never epilogue-fuses (see `fused_block_mask`), so every
+            // product materializes.
+            debug_assert_eq!(fusion.fused_products(), 0);
             let chunk = r.div_ceil(threads);
             pool(threads).scope(|s| {
                 for (ci, (chunk_prods, lane)) in
@@ -221,9 +300,10 @@ fn one_step<T: Scalar, P: Borrow<ExecPlan> + Sync>(
                                 t,
                                 a_blocks,
                                 b_blocks,
-                                m_out,
+                                Target::Buf(m_out),
                                 Par::Seq,
                                 lane,
+                                policy,
                             );
                         }
                     });
@@ -237,40 +317,106 @@ fn one_step<T: Scalar, P: Borrow<ExecPlan> + Sync>(
             let q = r / threads;
             let owned = threads * q;
             let (own_slice, rem_slice) = products.split_at_mut(owned);
-            pool(threads).scope(|s| {
-                for (i, (chunk_prods, lane)) in
-                    own_slice.chunks_mut(q).zip(lanes.iter_mut()).enumerate()
-                {
-                    s.spawn(move |_| {
-                        for (j, m_out) in chunk_prods.iter_mut().enumerate() {
-                            let t = i * q + j;
-                            compute_product(
-                                plan,
-                                rest,
-                                t,
-                                a_blocks,
-                                b_blocks,
-                                m_out,
-                                Par::Seq,
-                                lane,
-                            );
+            if fusion.any_fused_below(owned) {
+                // Hand each lane the C blocks its chunk epilogue-fuses
+                // into. A fused block's owned-phase writers all live in
+                // one chunk (the schedule demotes blocks that straddle),
+                // so the block views distribute race-free. The grid
+                // allocation is amortized against the spawn boxing the
+                // parallel path already pays.
+                let mut grid: Vec<Option<MatMut<'_, T>>> =
+                    c.rb().into_grid(d.m, d.n).into_iter().map(Some).collect();
+                pool(threads).scope(|s| {
+                    for (i, (chunk_prods, lane)) in
+                        own_slice.chunks_mut(q).zip(lanes.iter_mut()).enumerate()
+                    {
+                        let mut owned_blocks: Vec<(usize, MatMut<'_, T>)> = Vec::new();
+                        for j in 0..chunk_prods.len() {
+                            if let Some((block, _)) = fusion.epilogue_of(i * q + j) {
+                                if let Some(view) = grid[block].take() {
+                                    owned_blocks.push((block, view));
+                                }
+                            }
                         }
-                    });
-                }
-            });
-            // The spawned tasks are done; lane 0 is free again.
+                        s.spawn(move |_| {
+                            for (j, m_out) in chunk_prods.iter_mut().enumerate() {
+                                let t = i * q + j;
+                                let target = match fusion.epilogue_of(t) {
+                                    Some((block, init)) => {
+                                        let dst = owned_blocks
+                                            .iter_mut()
+                                            .find(|(b, _)| *b == block)
+                                            .expect("chunk owns its fused blocks")
+                                            .1
+                                            .rb();
+                                        Target::Block(dst, output_weight(plan, block, t), init)
+                                    }
+                                    None => Target::Buf(m_out),
+                                };
+                                compute_product(
+                                    plan,
+                                    rest,
+                                    t,
+                                    a_blocks,
+                                    b_blocks,
+                                    target,
+                                    Par::Seq,
+                                    lane,
+                                    policy,
+                                );
+                            }
+                        });
+                    }
+                });
+            } else {
+                pool(threads).scope(|s| {
+                    for (i, (chunk_prods, lane)) in
+                        own_slice.chunks_mut(q).zip(lanes.iter_mut()).enumerate()
+                    {
+                        s.spawn(move |_| {
+                            for (j, m_out) in chunk_prods.iter_mut().enumerate() {
+                                compute_product(
+                                    plan,
+                                    rest,
+                                    i * q + j,
+                                    a_blocks,
+                                    b_blocks,
+                                    Target::Buf(m_out),
+                                    Par::Seq,
+                                    lane,
+                                    policy,
+                                );
+                            }
+                        });
+                    }
+                });
+            }
+            // The spawned tasks are done; lane 0 and the C grid borrows
+            // are free again. Remainder writers run sequentially (in t
+            // order, after every owned chunk), so fused accumulation into
+            // a shared block stays ordered.
             let par = Par::Threads(threads);
             let lane = &mut lanes[0];
             for (j, m_out) in rem_slice.iter_mut().enumerate() {
-                compute_product(plan, rest, owned + j, a_blocks, b_blocks, m_out, par, lane);
+                let t = owned + j;
+                let target = match fusion.epilogue_of(t) {
+                    Some((block, init)) => {
+                        let (bi, bj) = (block / d.n, block % d.n);
+                        let dst = c.rb().into_subview(bi * bm, bj * bn, bm, bn);
+                        Target::Block(dst, output_weight(plan, block, t), init)
+                    }
+                    None => Target::Buf(m_out),
+                };
+                compute_product(plan, rest, t, a_blocks, b_blocks, target, par, lane, policy);
             }
         }
     }
 
-    write_outputs(plan, c, products, strategy, threads);
+    write_outputs(plan, c, products, strategy, threads, fusion);
 }
 
-/// Form `S_t`, `T_t` in the lane's buffers and run `M_t = α · S_t · T_t`.
+/// Compute product `t` into its target: form `S_t`/`T_t` (in the lane's
+/// buffers, or as pack-time term lists) and run the gemm.
 #[allow(clippy::too_many_arguments)]
 fn compute_product<T: Scalar, P: Borrow<ExecPlan> + Sync>(
     plan: &ExecPlan,
@@ -278,9 +424,10 @@ fn compute_product<T: Scalar, P: Borrow<ExecPlan> + Sync>(
     t: usize,
     a_blocks: Blocks<'_, T>,
     b_blocks: Blocks<'_, T>,
-    m_out: &mut Mat<T>,
+    target: Target<'_, '_, T>,
     par: Par,
     lane: &mut LaneWs<T>,
+    policy: FusionPolicy,
 ) {
     let recursive = !rest.is_empty();
     let LaneWs {
@@ -289,52 +436,146 @@ fn compute_product<T: Scalar, P: Borrow<ExecPlan> + Sync>(
         child,
     } = lane;
 
-    let (s_view, alpha_a) = match &plan.a_combos[t] {
-        Combo::Single { block, coeff } if !recursive || *coeff == 1.0 => {
-            (a_blocks.get(*block), *coeff)
-        }
-        combo => {
-            debug_assert_eq!(
-                (s_buf.rows(), s_buf.cols()),
-                (a_blocks.rows, a_blocks.cols),
-                "workspace S-buffer shape mismatch"
-            );
-            form_combo(s_buf.as_mut(), combo, a_blocks, par);
-            (s_buf.as_ref(), 1.0)
-        }
-    };
-    let (t_view, alpha_b) = match &plan.b_combos[t] {
-        Combo::Single { block, coeff } if !recursive || *coeff == 1.0 => {
-            (b_blocks.get(*block), *coeff)
-        }
-        combo => {
-            debug_assert_eq!(
-                (t_buf.rows(), t_buf.cols()),
-                (b_blocks.rows, b_blocks.cols),
-                "workspace T-buffer shape mismatch"
-            );
-            form_combo(t_buf.as_mut(), combo, b_blocks, par);
-            (t_buf.as_ref(), 1.0)
-        }
-    };
+    if recursive || policy == FusionPolicy::Never {
+        // Materialized path: combinations form in the lane buffers, the
+        // product lands in M_t. Under `Never` this is the engine's
+        // pre-fusion reference, bit for bit.
+        let Target::Buf(m_out) = target else {
+            unreachable!("recursive and Never-policy products never epilogue-fuse")
+        };
+        let (s_view, alpha_a) = match &plan.a_combos[t] {
+            Combo::Single { block, coeff } if !recursive || *coeff == 1.0 => {
+                (a_blocks.get(*block), *coeff)
+            }
+            combo => {
+                debug_assert_eq!(
+                    (s_buf.rows(), s_buf.cols()),
+                    (a_blocks.rows, a_blocks.cols),
+                    "workspace S-buffer shape mismatch"
+                );
+                form_combo(s_buf.as_mut(), combo, a_blocks, par);
+                (s_buf.as_ref(), 1.0)
+            }
+        };
+        let (t_view, alpha_b) = match &plan.b_combos[t] {
+            Combo::Single { block, coeff } if !recursive || *coeff == 1.0 => {
+                (b_blocks.get(*block), *coeff)
+            }
+            combo => {
+                debug_assert_eq!(
+                    (t_buf.rows(), t_buf.cols()),
+                    (b_blocks.rows, b_blocks.cols),
+                    "workspace T-buffer shape mismatch"
+                );
+                form_combo(t_buf.as_mut(), combo, b_blocks, par);
+                (t_buf.as_ref(), 1.0)
+            }
+        };
 
-    if recursive {
-        debug_assert!((alpha_a - 1.0).abs() < f64::EPSILON && (alpha_b - 1.0).abs() < f64::EPSILON);
-        let child = child
-            .as_deref_mut()
-            .expect("recursive level carries a child workspace");
-        run_level(
-            rest,
-            s_view,
-            t_view,
-            m_out.as_mut(),
-            Strategy::Seq,
-            1,
-            child,
-        );
-    } else {
-        let alpha = T::from_f64(alpha_a * alpha_b);
-        gemm(alpha, s_view, t_view, T::ZERO, m_out.as_mut(), par);
+        if recursive {
+            debug_assert!(
+                (alpha_a - 1.0).abs() < f64::EPSILON && (alpha_b - 1.0).abs() < f64::EPSILON
+            );
+            let child = child
+                .as_deref_mut()
+                .expect("recursive level carries a child workspace");
+            run_level(
+                rest,
+                s_view,
+                t_view,
+                m_out.as_mut(),
+                Strategy::Seq,
+                1,
+                child,
+            );
+        } else {
+            let alpha = T::from_f64(alpha_a * alpha_b);
+            gemm(alpha, s_view, t_view, T::ZERO, m_out.as_mut(), par);
+        }
+        return;
+    }
+
+    // Fused leaf: the operand combinations form during the gemm pack
+    // sweep (`pack_*_combined` mirrors the `combine` kernels FMA for FMA,
+    // so this is bitwise identical to materializing first), and the
+    // product lands in its target straight from the register tile.
+    let (dst, w, init) = match target {
+        Target::Buf(m_out) => {
+            debug_assert_eq!(
+                (m_out.rows(), m_out.cols()),
+                (a_blocks.rows, b_blocks.cols),
+                "workspace product-buffer shape mismatch"
+            );
+            (m_out.as_mut(), 1.0, true)
+        }
+        Target::Block(dst, w, init) => (dst, w, init),
+    };
+    let beta = if init { T::ZERO } else { T::ONE };
+    with_combo_terms(
+        &plan.a_combos[t],
+        a_blocks,
+        s_buf,
+        policy,
+        par,
+        |a_terms, alpha_a| {
+            with_combo_terms(
+                &plan.b_combos[t],
+                b_blocks,
+                t_buf,
+                policy,
+                par,
+                |b_terms, alpha_b| {
+                    let alpha = T::from_f64(w * alpha_a * alpha_b);
+                    gemm_combined(alpha, a_terms, b_terms, beta, dst, par);
+                },
+            );
+        },
+    );
+}
+
+/// Hand `f` the pack-time term list for `combo`, plus the scalar that
+/// folds into gemm's α. Singletons pass their block view directly with
+/// the coefficient folded into α (`1.0·x` in the pack is exact, so the
+/// fold matches the materialized path bit for bit). Term lists wider than
+/// the inline stage heap-stage under `Always` and materialize into the
+/// lane buffer under `Auto` — in lockstep with
+/// [`crate::workspace`]'s `combo_pack_fusable`.
+fn with_combo_terms<T: Scalar, R>(
+    combo: &Combo,
+    blocks: Blocks<'_, T>,
+    buf: &mut Mat<T>,
+    policy: FusionPolicy,
+    par: Par,
+    f: impl FnOnce(&[(T, MatRef<'_, T>)], f64) -> R,
+) -> R {
+    match combo {
+        Combo::Single { block, coeff } => f(&[(T::ONE, blocks.get(*block))], *coeff),
+        Combo::Multi(v) if v.len() <= MAX_INLINE_TERMS => {
+            // Stack-staged term list; slots past v.len() are never read.
+            let mut terms = [(T::ZERO, blocks.mat); MAX_INLINE_TERMS];
+            for (slot, &(b, coeff)) in terms.iter_mut().zip(v) {
+                *slot = (T::from_f64(coeff), blocks.get(b));
+            }
+            f(&terms[..v.len()], 1.0)
+        }
+        Combo::Multi(v) if policy == FusionPolicy::Always => {
+            let terms: Vec<(T, MatRef<'_, T>)> = v
+                .iter()
+                .map(|&(b, coeff)| (T::from_f64(coeff), blocks.get(b)))
+                .collect();
+            f(&terms, 1.0)
+        }
+        combo => {
+            // Auto keeps the zero-alloc steady state: a term list too wide
+            // for the inline stage materializes into the lane buffer.
+            debug_assert_eq!(
+                (buf.rows(), buf.cols()),
+                (blocks.rows, blocks.cols),
+                "workspace combination-buffer shape mismatch"
+            );
+            form_combo(buf.as_mut(), combo, blocks, par);
+            f(&[(T::ONE, buf.as_ref())], 1.0)
+        }
     }
 }
 
@@ -372,12 +613,16 @@ fn write_outputs<T: Scalar>(
     products: &[Mat<T>],
     strategy: Strategy,
     threads: usize,
+    fusion: &FusionSpec,
 ) {
     let d = plan.dims;
     let (bm, bn) = (c.rows() / d.m, c.cols() / d.n);
     let par = leaf_par(strategy, threads);
     let mut c = c;
     for block in 0..d.m * d.n {
+        if fusion.is_block_fused(block) {
+            continue; // already landed in C from the gemm epilogue
+        }
         let (bi, bj) = (block / d.n, block % d.n);
         let dst = c.rb().into_subview(bi * bm, bj * bn, bm, bn);
         let contrib = &plan.c_outputs[block];
@@ -409,9 +654,10 @@ pub fn fast_matmul<T: Scalar>(
     steps: u32,
     strategy: Strategy,
     threads: usize,
+    fusion: FusionPolicy,
 ) -> Mat<T> {
     let mut c = Mat::zeros(a.rows(), b.cols());
-    fast_matmul_into(plan, a, b, c.as_mut(), steps, strategy, threads);
+    fast_matmul_into(plan, a, b, c.as_mut(), steps, strategy, threads, fusion);
     c
 }
 
@@ -431,6 +677,30 @@ mod tests {
         })
     }
 
+    fn check_fusion(
+        alg_name: &str,
+        lambda: f64,
+        mult: usize,
+        tol: f64,
+        strategy: Strategy,
+        threads: usize,
+        fusion: FusionPolicy,
+    ) {
+        let alg = catalog::by_name(alg_name).unwrap();
+        let d = alg.dims;
+        let (m, k, n) = (d.m * mult, d.k * mult, d.n * mult);
+        let a = rand_mat(m, k, 1);
+        let b = rand_mat(k, n, 2);
+        let plan = ExecPlan::compile(&alg, lambda);
+        let got = fast_matmul(&plan, a.as_ref(), b.as_ref(), 1, strategy, threads, fusion);
+        let expect = matmul_naive(a.as_ref(), b.as_ref());
+        let err = got.rel_frobenius_error(&expect);
+        assert!(
+            err < tol,
+            "{alg_name} ({strategy:?}, t={threads}, {fusion:?}): rel err {err} > {tol}"
+        );
+    }
+
     fn check(
         alg_name: &str,
         lambda: f64,
@@ -439,19 +709,9 @@ mod tests {
         strategy: Strategy,
         threads: usize,
     ) {
-        let alg = catalog::by_name(alg_name).unwrap();
-        let d = alg.dims;
-        let (m, k, n) = (d.m * mult, d.k * mult, d.n * mult);
-        let a = rand_mat(m, k, 1);
-        let b = rand_mat(k, n, 2);
-        let plan = ExecPlan::compile(&alg, lambda);
-        let got = fast_matmul(&plan, a.as_ref(), b.as_ref(), 1, strategy, threads);
-        let expect = matmul_naive(a.as_ref(), b.as_ref());
-        let err = got.rel_frobenius_error(&expect);
-        assert!(
-            err < tol,
-            "{alg_name} ({strategy:?}, t={threads}): rel err {err} > {tol}"
-        );
+        for fusion in [FusionPolicy::Auto, FusionPolicy::Never] {
+            check_fusion(alg_name, lambda, mult, tol, strategy, threads, fusion);
+        }
     }
 
     #[test]
@@ -508,7 +768,15 @@ mod tests {
         let plan = ExecPlan::compile(&alg, 0.0);
         let a = rand_mat(32, 32, 7);
         let b = rand_mat(32, 32, 8);
-        let got = fast_matmul(&plan, a.as_ref(), b.as_ref(), 2, Strategy::Seq, 1);
+        let got = fast_matmul(
+            &plan,
+            a.as_ref(),
+            b.as_ref(),
+            2,
+            Strategy::Seq,
+            1,
+            FusionPolicy::Auto,
+        );
         let expect = matmul_naive(a.as_ref(), b.as_ref());
         assert!(got.rel_frobenius_error(&expect) < 1e-12);
     }
@@ -520,7 +788,15 @@ mod tests {
         let plan = ExecPlan::compile(&alg, 2.0_f64.powi(-18));
         let a = rand_mat(27, 12, 9);
         let b = rand_mat(12, 12, 10);
-        let got = fast_matmul(&plan, a.as_ref(), b.as_ref(), 2, Strategy::Seq, 1);
+        let got = fast_matmul(
+            &plan,
+            a.as_ref(),
+            b.as_ref(),
+            2,
+            Strategy::Seq,
+            1,
+            FusionPolicy::Auto,
+        );
         let expect = matmul_naive(a.as_ref(), b.as_ref());
         // two steps double φ's effect; stay lenient.
         assert!(got.rel_frobenius_error(&expect) < 1e-3);
@@ -532,7 +808,15 @@ mod tests {
         let plan = ExecPlan::compile(&alg, 0.0);
         let a = rand_mat(7, 9, 11);
         let b = rand_mat(9, 5, 12);
-        let got = fast_matmul(&plan, a.as_ref(), b.as_ref(), 1, Strategy::Seq, 1);
+        let got = fast_matmul(
+            &plan,
+            a.as_ref(),
+            b.as_ref(),
+            1,
+            Strategy::Seq,
+            1,
+            FusionPolicy::Auto,
+        );
         let expect = matmul_naive(a.as_ref(), b.as_ref());
         assert!(got.rel_frobenius_error(&expect) < 1e-12);
     }
@@ -543,7 +827,15 @@ mod tests {
         let plan = ExecPlan::compile(&alg, 0.5); // huge λ — must not matter
         let a = rand_mat(6, 4, 13);
         let b = rand_mat(4, 4, 14);
-        let got = fast_matmul(&plan, a.as_ref(), b.as_ref(), 0, Strategy::Seq, 1);
+        let got = fast_matmul(
+            &plan,
+            a.as_ref(),
+            b.as_ref(),
+            0,
+            Strategy::Seq,
+            1,
+            FusionPolicy::Auto,
+        );
         let expect = matmul_naive(a.as_ref(), b.as_ref());
         assert!(got.rel_frobenius_error(&expect) < 1e-12);
     }
@@ -564,6 +856,7 @@ mod tests {
             c.as_mut(),
             Strategy::Seq,
             1,
+            FusionPolicy::Auto,
         );
         let expect = matmul_naive(a.as_ref(), b.as_ref());
         assert!(c.rel_frobenius_error(&expect) < 1e-4);
@@ -580,7 +873,15 @@ mod tests {
         let a = rand_mat(16, 16, 60);
         let b = rand_mat(16, 16, 61);
         let mut c = Mat::zeros(16, 16);
-        fast_matmul_chain_into(&chain, a.as_ref(), b.as_ref(), c.as_mut(), Strategy::Seq, 1);
+        fast_matmul_chain_into(
+            &chain,
+            a.as_ref(),
+            b.as_ref(),
+            c.as_mut(),
+            Strategy::Seq,
+            1,
+            FusionPolicy::Auto,
+        );
         let expect = matmul_naive(a.as_ref(), b.as_ref());
         assert!(c.rel_frobenius_error(&expect) < 1e-12);
     }
@@ -596,7 +897,15 @@ mod tests {
         let expect = matmul_naive(a.as_ref(), b.as_ref());
         for chain in [vec![&strassen, &bini], vec![&bini, &strassen]] {
             let mut c = Mat::zeros(8, 8);
-            fast_matmul_chain_into(&chain, a.as_ref(), b.as_ref(), c.as_mut(), Strategy::Seq, 1);
+            fast_matmul_chain_into(
+                &chain,
+                a.as_ref(),
+                b.as_ref(),
+                c.as_mut(),
+                Strategy::Seq,
+                1,
+                FusionPolicy::Auto,
+            );
             assert!(c.rel_frobenius_error(&expect) < 1e-4);
         }
     }
@@ -613,6 +922,7 @@ mod tests {
             c.as_mut(),
             Strategy::Seq,
             1,
+            FusionPolicy::Auto,
         );
         let expect = matmul_naive(a.as_ref(), b.as_ref());
         assert!(c.rel_frobenius_error(&expect) < 1e-12);
@@ -625,10 +935,144 @@ mod tests {
         let plan = ExecPlan::compile(&alg, lambda);
         let a = Mat::<f32>::from_fn(30, 20, |i, j| ((i * 31 + j * 17) % 13) as f32 * 0.1 - 0.6);
         let b = Mat::<f32>::from_fn(20, 20, |i, j| ((i * 7 + j * 3) % 11) as f32 * 0.1 - 0.5);
-        let got = fast_matmul(&plan, a.as_ref(), b.as_ref(), 1, Strategy::Seq, 1);
+        let got = fast_matmul(
+            &plan,
+            a.as_ref(),
+            b.as_ref(),
+            1,
+            Strategy::Seq,
+            1,
+            FusionPolicy::Auto,
+        );
         let expect = matmul_naive(a.as_ref(), b.as_ref());
         let err = got.rel_frobenius_error(&expect);
         // paper Table 1: ⟨3,2,2⟩ error ≈ 3.5e-4 at single precision.
         assert!(err < 5e-3, "err {err}");
+    }
+
+    fn assert_bitwise(got: &Mat<f64>, reference: &Mat<f64>, what: &str) {
+        assert_eq!(
+            (got.rows(), got.cols()),
+            (reference.rows(), reference.cols())
+        );
+        for i in 0..got.rows() {
+            for j in 0..got.cols() {
+                assert!(
+                    got.at(i, j).to_bits() == reference.at(i, j).to_bits(),
+                    "{what}: ({i},{j}) {} != {}",
+                    got.at(i, j),
+                    reference.at(i, j)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fused_matches_materialized_across_catalog() {
+        // Pack-time fusion alone is bitwise identical to the materialized
+        // path; epilogue fusion reorders the C accumulation, so rules with
+        // fused blocks match within the documented rounding bound instead.
+        for alg in catalog::paper_lineup() {
+            let lambda = if alg.is_exact_rule() {
+                0.0
+            } else {
+                2.0_f64.powi(-26)
+            };
+            let plan = ExecPlan::compile(&alg, lambda);
+            let d = alg.dims;
+            let (m, k, n) = (d.m * 4, d.k * 4, d.n * 4);
+            let a = rand_mat(m, k, 21);
+            let b = rand_mat(k, n, 22);
+            let run =
+                |fusion| fast_matmul(&plan, a.as_ref(), b.as_ref(), 1, Strategy::Seq, 1, fusion);
+            let auto = run(FusionPolicy::Auto);
+            let always = run(FusionPolicy::Always);
+            let never = run(FusionPolicy::Never);
+            // Auto and Always agree bitwise for every catalog rule (no
+            // combo exceeds the inline term stage).
+            assert_bitwise(&auto, &always, &alg.name);
+            let mask = crate::workspace::fused_block_mask(
+                &plan,
+                Strategy::Seq,
+                1,
+                false,
+                FusionPolicy::Auto,
+            );
+            if mask == 0 {
+                assert_bitwise(&auto, &never, &alg.name);
+            } else {
+                let err = auto.rel_frobenius_error(&never);
+                assert!(err < 1e-14, "{}: epilogue reorder err {err}", alg.name);
+            }
+        }
+    }
+
+    #[test]
+    fn epilogue_fusion_agrees_across_strategies() {
+        use apa_core::bilinear::Dims;
+        // ⟨2,2,2;8⟩ classical epilogue-fuses every block under Seq/Dfs —
+        // and under Hybrid exactly where the chunk rule allows.
+        let plan = ExecPlan::compile(&catalog::classical(Dims::new(2, 2, 2)), 0.0);
+        let a = rand_mat(32, 32, 31);
+        let b = rand_mat(32, 32, 32);
+        let expect = matmul_naive(a.as_ref(), b.as_ref());
+        for (strategy, threads) in [
+            (Strategy::Seq, 1),
+            (Strategy::Dfs, 2),
+            (Strategy::Hybrid, 2),
+            (Strategy::Hybrid, 3),
+            (Strategy::Hybrid, 4),
+            (Strategy::Bfs, 3),
+        ] {
+            for fusion in [FusionPolicy::Auto, FusionPolicy::Never] {
+                let got = fast_matmul(&plan, a.as_ref(), b.as_ref(), 1, strategy, threads, fusion);
+                let err = got.rel_frobenius_error(&expect);
+                assert!(
+                    err < 1e-13,
+                    "classical ({strategy:?}, t={threads}, {fusion:?}): {err}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn hybrid_fused_run_matches_sequential() {
+        use apa_core::bilinear::Dims;
+        // The owned-phase grid distribution and the sequential path must
+        // produce identical fused placements; 3×3 classical (r = 27) with
+        // 3 threads gives q = 9 with several fused blocks per chunk.
+        let plan = ExecPlan::compile(&catalog::classical(Dims::new(3, 3, 3)), 0.0);
+        let a = rand_mat(27, 27, 41);
+        let b = rand_mat(27, 27, 42);
+        let seq = fast_matmul(
+            &plan,
+            a.as_ref(),
+            b.as_ref(),
+            1,
+            Strategy::Seq,
+            1,
+            FusionPolicy::Auto,
+        );
+        let hybrid = fast_matmul(
+            &plan,
+            a.as_ref(),
+            b.as_ref(),
+            1,
+            Strategy::Hybrid,
+            3,
+            FusionPolicy::Auto,
+        );
+        let mask =
+            |s, t| crate::workspace::fused_block_mask(&plan, s, t, false, FusionPolicy::Auto);
+        if mask(Strategy::Hybrid, 3) == mask(Strategy::Seq, 1) {
+            // Same fused placements → same t-ordered accumulation per
+            // block, whichever lane ran it.
+            assert_bitwise(&hybrid, &seq, "hybrid fused vs seq fused");
+        } else {
+            // The chunk rule demoted some blocks to the materialized
+            // combine; those reassociate the final sum.
+            let err = hybrid.rel_frobenius_error(&seq);
+            assert!(err < 1e-14, "hybrid vs seq err {err}");
+        }
     }
 }

@@ -54,7 +54,9 @@ pub use peel::{
     fast_matmul_chain_any_into_ws, PeelMode,
 };
 pub use plan::{Combo, ExecPlan};
-pub use schedule::{bfs_schedule, effective_strategy, hybrid_schedule, HybridSchedule, Strategy};
+pub use schedule::{
+    bfs_schedule, effective_strategy, hybrid_schedule, FusionPolicy, HybridSchedule, Strategy,
+};
 pub use sentinel::{check_product, scan_nonfinite, ProbeScratch, SentinelConfig, Verdict};
 pub use stats::{profile_one_step, profile_one_step_with_workspace, ExecProfile, HealthStats};
 pub use tune::{tune_lambda, TunedLambda};

@@ -19,7 +19,7 @@
 
 use crate::exec::{fast_matmul_chain_into, run_level, with_uniform_chain};
 use crate::plan::ExecPlan;
-use crate::schedule::Strategy;
+use crate::schedule::{FusionPolicy, Strategy};
 use crate::workspace::{chain_divisor, PadBufs, Workspace};
 use apa_gemm::{gemm, Mat, MatMut, MatRef, Par, Scalar};
 use serde::Serialize;
@@ -45,10 +45,11 @@ pub fn fast_matmul_any_into<T: Scalar>(
     strategy: Strategy,
     threads: usize,
     mode: PeelMode,
+    fusion: FusionPolicy,
 ) {
     // steps = 0 yields an empty chain, i.e. plain gemm.
     with_uniform_chain(plan, steps, |chain| {
-        fast_matmul_chain_any_into(chain, a, b, c, strategy, threads, mode)
+        fast_matmul_chain_any_into(chain, a, b, c, strategy, threads, mode, fusion)
     })
 }
 
@@ -64,16 +65,18 @@ pub fn fast_matmul_any_into_ws<T: Scalar>(
     strategy: Strategy,
     threads: usize,
     mode: PeelMode,
+    fusion: FusionPolicy,
     ws: &mut Workspace<T>,
 ) {
     with_uniform_chain(plan, steps, |chain| {
-        fast_matmul_chain_any_into_ws(chain, a, b, c, strategy, threads, mode, ws)
+        fast_matmul_chain_any_into_ws(chain, a, b, c, strategy, threads, mode, fusion, ws)
     })
 }
 
 /// Non-stationary variant of [`fast_matmul_any_into`]: arbitrary shapes
 /// with a chain of rules (one per recursion level). The peel divisor is
 /// the elementwise product of the chain's base dims.
+#[allow(clippy::too_many_arguments)]
 pub fn fast_matmul_chain_any_into<T: Scalar, P: Borrow<ExecPlan> + Sync>(
     chain: &[P],
     a: MatRef<'_, T>,
@@ -82,6 +85,7 @@ pub fn fast_matmul_chain_any_into<T: Scalar, P: Borrow<ExecPlan> + Sync>(
     strategy: Strategy,
     threads: usize,
     mode: PeelMode,
+    fusion: FusionPolicy,
 ) {
     let (m, k, n) = (a.rows(), a.cols(), b.cols());
     assert_eq!(k, b.rows(), "inner dimensions must match");
@@ -89,13 +93,13 @@ pub fn fast_matmul_chain_any_into<T: Scalar, P: Borrow<ExecPlan> + Sync>(
 
     let (dm, dk, dn) = chain_divisor(chain);
     if m % dm == 0 && k % dk == 0 && n % dn == 0 {
-        fast_matmul_chain_into(chain, a, b, c, strategy, threads);
+        fast_matmul_chain_into(chain, a, b, c, strategy, threads, fusion);
         return;
     }
 
     match mode {
         PeelMode::Dynamic => peel_dynamic(a, b, c, threads, (dm, dk, dn), |ac, bc, cc| {
-            fast_matmul_chain_into(chain, ac, bc, cc, strategy, threads)
+            fast_matmul_chain_into(chain, ac, bc, cc, strategy, threads, fusion)
         }),
         PeelMode::Pad => {
             let (mp, kp, np) = (
@@ -109,7 +113,7 @@ pub fn fast_matmul_chain_any_into<T: Scalar, P: Borrow<ExecPlan> + Sync>(
                 cp: Mat::<T>::zeros(mp, np),
             };
             run_padded(a, b, c, &mut pad, |ac, bc, cc| {
-                fast_matmul_chain_into(chain, ac, bc, cc, strategy, threads)
+                fast_matmul_chain_into(chain, ac, bc, cc, strategy, threads, fusion)
             });
         }
     }
@@ -128,14 +132,15 @@ pub fn fast_matmul_chain_any_into_ws<T: Scalar, P: Borrow<ExecPlan> + Sync>(
     strategy: Strategy,
     threads: usize,
     mode: PeelMode,
+    fusion: FusionPolicy,
     ws: &mut Workspace<T>,
 ) {
     let (m, k, n) = (a.rows(), a.cols(), b.cols());
     assert_eq!(k, b.rows(), "inner dimensions must match");
     assert_eq!((m, n), (c.rows(), c.cols()), "C shape mismatch");
     assert!(
-        ws.matches(chain, m, k, n, strategy, threads, mode),
-        "workspace was built for {:?}, called with ({m}×{k}×{n}, {strategy:?}, {threads} threads, {mode:?})",
+        ws.matches(chain, m, k, n, strategy, threads, mode, fusion),
+        "workspace was built for {:?}, called with ({m}×{k}×{n}, {strategy:?}, {threads} threads, {mode:?}, {fusion:?})",
         ws.key()
     );
     ws.note_run();
@@ -268,47 +273,56 @@ mod tests {
         let plan = ExecPlan::compile(&alg, lambda);
         let a = rand_mat(m, k, 21);
         let b = rand_mat(k, n, 22);
-        let mut c = Mat::zeros(m, n);
-        fast_matmul_any_into(
-            &plan,
-            a.as_ref(),
-            b.as_ref(),
-            c.as_mut(),
-            1,
-            Strategy::Seq,
-            1,
-            mode,
-        );
         let expect = matmul_naive(a.as_ref(), b.as_ref());
-        let err = c.rel_frobenius_error(&expect);
-        assert!(err < tol, "{alg_name} {mode:?} ({m},{k},{n}): err {err}");
-
-        // The workspace-backed path must agree bitwise, warm or cold.
-        let mut ws = Workspace::<f64>::for_plan(&plan, m, k, n, 1, Strategy::Seq, 1, mode);
-        for _ in 0..2 {
-            let mut c_ws = Mat::zeros(m, n);
-            fast_matmul_any_into_ws(
+        for fusion in [FusionPolicy::Auto, FusionPolicy::Never] {
+            let mut c = Mat::zeros(m, n);
+            fast_matmul_any_into(
                 &plan,
                 a.as_ref(),
                 b.as_ref(),
-                c_ws.as_mut(),
+                c.as_mut(),
                 1,
                 Strategy::Seq,
                 1,
                 mode,
-                &mut ws,
+                fusion,
             );
-            for i in 0..m {
-                for j in 0..n {
-                    assert_eq!(
-                        c.at(i, j).to_bits(),
-                        c_ws.at(i, j).to_bits(),
-                        "workspace path diverged at ({i},{j})"
-                    );
+            let err = c.rel_frobenius_error(&expect);
+            assert!(
+                err < tol,
+                "{alg_name} {mode:?} {fusion:?} ({m},{k},{n}): err {err}"
+            );
+
+            // The workspace-backed path must agree bitwise, warm or cold,
+            // under the same fusion policy.
+            let mut ws =
+                Workspace::<f64>::for_plan(&plan, m, k, n, 1, Strategy::Seq, 1, mode, fusion);
+            for _ in 0..2 {
+                let mut c_ws = Mat::zeros(m, n);
+                fast_matmul_any_into_ws(
+                    &plan,
+                    a.as_ref(),
+                    b.as_ref(),
+                    c_ws.as_mut(),
+                    1,
+                    Strategy::Seq,
+                    1,
+                    mode,
+                    fusion,
+                    &mut ws,
+                );
+                for i in 0..m {
+                    for j in 0..n {
+                        assert_eq!(
+                            c.at(i, j).to_bits(),
+                            c_ws.at(i, j).to_bits(),
+                            "workspace path diverged at ({i},{j}) under {fusion:?}"
+                        );
+                    }
                 }
             }
+            assert_eq!(ws.runs(), 2);
         }
-        assert_eq!(ws.runs(), 2);
     }
 
     #[test]
@@ -371,6 +385,7 @@ mod tests {
             Strategy::Seq,
             1,
             PeelMode::Dynamic,
+            FusionPolicy::Auto,
         );
         let expect = matmul_naive(a.as_ref(), b.as_ref());
         assert!(c.rel_frobenius_error(&expect) < 1e-12);
@@ -394,6 +409,7 @@ mod tests {
                 Strategy::Seq,
                 1,
                 mode,
+                FusionPolicy::Auto,
             );
             let expect = matmul_naive(a.as_ref(), b.as_ref());
             assert!(c.rel_frobenius_error(&expect) < 1e-5, "{mode:?}");
@@ -417,6 +433,7 @@ mod tests {
             Strategy::Seq,
             1,
             PeelMode::Dynamic,
+            FusionPolicy::Auto,
         );
         fast_matmul_any_into(
             &plan,
@@ -427,6 +444,7 @@ mod tests {
             Strategy::Hybrid,
             3,
             PeelMode::Dynamic,
+            FusionPolicy::Auto,
         );
         assert!(par.rel_frobenius_error(&seq) < 1e-12);
     }
@@ -434,8 +452,17 @@ mod tests {
     #[test]
     fn workspace_mismatch_panics() {
         let plan = ExecPlan::compile(&catalog::strassen(), 0.0);
-        let mut ws =
-            Workspace::<f64>::for_plan(&plan, 16, 16, 16, 1, Strategy::Seq, 1, PeelMode::Dynamic);
+        let mut ws = Workspace::<f64>::for_plan(
+            &plan,
+            16,
+            16,
+            16,
+            1,
+            Strategy::Seq,
+            1,
+            PeelMode::Dynamic,
+            FusionPolicy::Auto,
+        );
         let a = rand_mat(18, 16, 70);
         let b = rand_mat(16, 16, 71);
         let mut c = Mat::zeros(18, 16);
@@ -449,6 +476,7 @@ mod tests {
                 Strategy::Seq,
                 1,
                 PeelMode::Dynamic,
+                FusionPolicy::Auto,
                 &mut ws,
             )
         }));

@@ -29,6 +29,35 @@ pub enum Strategy {
     Hybrid,
 }
 
+/// Whether the engine may fuse the APA framework's additions into the
+/// gemm leaves (pack-time operand combination, epilogue W-accumulation)
+/// instead of materializing `S_t`/`T_t`/`M_t` buffers.
+///
+/// * [`FusionPolicy::Auto`] (the default) fuses wherever the combination
+///   arity fits the engine's inline term stage and the strategy keeps the
+///   fused `C` writes race-free — this preserves the engine's
+///   zero-allocation steady state.
+/// * [`FusionPolicy::Always`] fuses every eligible site even when a term
+///   list is too wide for the inline stage (the staging then heap-
+///   allocates). Identical to `Auto` for every catalog rule.
+/// * [`FusionPolicy::Never`] runs the fully materialized pre-fusion path,
+///   kept as the bitwise sentinel/fallback reference.
+///
+/// Pack-time fusion alone is bitwise identical to the materialized path
+/// (the combined packers mirror the write-once `combine` kernels FMA for
+/// FMA). Epilogue fusion reorders the final accumulation into `C` — see
+/// the closeness bounds documented on [`crate::exec`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash, Serialize)]
+pub enum FusionPolicy {
+    /// Fuse wherever arity and strategy permit (zero-alloc preserved).
+    #[default]
+    Auto,
+    /// Fuse every eligible site, heap-staging over-wide term lists.
+    Always,
+    /// Fully materialized execution (the pre-fusion reference path).
+    Never,
+}
+
 /// The strategy and thread count a request actually executes with, after
 /// the engine's edge-case coercions. Making these explicit (instead of
 /// silent special cases inside the executor) lets profiles and workspaces

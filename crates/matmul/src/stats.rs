@@ -14,9 +14,9 @@
 //! workspace had been reused.
 
 use crate::plan::{Combo, ExecPlan};
-use crate::schedule::{effective_strategy, Strategy};
-use crate::workspace::{build_level, LevelWs, Workspace};
-use apa_gemm::{combine, gemm_st, Mat, MatRef, Scalar};
+use crate::schedule::{effective_strategy, FusionPolicy, Strategy};
+use crate::workspace::{build_level, combo_pack_fusable, LevelWs, Workspace};
+use apa_gemm::{combine, gemm_combined_st, Mat, MatRef, Scalar};
 use std::time::Instant;
 
 /// Timing and traffic breakdown of one instrumented execution.
@@ -47,6 +47,19 @@ pub struct ExecProfile {
     /// How many times the supplied workspace had been used *before* this
     /// run (0 for the allocate-per-call path).
     pub workspace_reuses: u64,
+    /// Multi-term operand combinations folded into the gemm pack sweep
+    /// instead of being materialized into an `S`/`T` buffer.
+    pub fused_packs: usize,
+    /// Products whose `w_t` contribution accumulated into `C` straight
+    /// from the gemm epilogue instead of through an `M_t` buffer.
+    pub fused_epilogues: usize,
+    /// Estimated intermediate-buffer traffic (bytes read + written) of the
+    /// framework's additions under the executed fusion schedule: operand
+    /// reads during packing/combination, `S`/`T`/`M` buffer round-trips,
+    /// and `C` epilogue traffic. A model, not a hardware counter — use it
+    /// to compare fusion policies on the same shape, where the gemm-side
+    /// traffic cancels out.
+    pub est_bytes_moved: u64,
 }
 
 impl ExecProfile {
@@ -130,10 +143,11 @@ pub fn profile_one_step<T: Scalar>(
     plan: &ExecPlan,
     a: MatRef<'_, T>,
     b: MatRef<'_, T>,
+    fusion: FusionPolicy,
 ) -> (Mat<T>, ExecProfile) {
     let (m, k, n) = (a.rows(), a.cols(), b.cols());
     check_dims(plan, m, k, n, b.rows());
-    let mut level = build_level(&[plan], m, k, n, Strategy::Seq, 1);
+    let mut level = build_level(&[plan], m, k, n, Strategy::Seq, 1, fusion);
     let mut profile = base_profile();
     profile.alloc_bytes = (level.elems() * std::mem::size_of::<T>()) as u64;
     let c = instrumented_one_step(plan, a, b, &mut level, &mut profile);
@@ -152,7 +166,16 @@ pub fn profile_one_step_with_workspace<T: Scalar>(
     let (m, k, n) = (a.rows(), a.cols(), b.cols());
     check_dims(plan, m, k, n, b.rows());
     assert!(
-        ws.matches(&[plan], m, k, n, Strategy::Seq, 1, ws.key().peel),
+        ws.matches(
+            &[plan],
+            m,
+            k,
+            n,
+            Strategy::Seq,
+            1,
+            ws.key().peel,
+            ws.key().fusion
+        ),
         "workspace was built for {:?}, profiling ({m}×{k}×{n}, Seq, 1 thread)",
         ws.key()
     );
@@ -192,52 +215,92 @@ fn instrumented_one_step<T: Scalar>(
     let d = plan.dims;
     let (m, n) = (a.rows(), b.cols());
     let (bm, bk, bn) = (a.rows() / d.m, a.cols() / d.k, b.cols() / d.n);
+    let elem = std::mem::size_of::<T>();
     let a_blocks = a.grid(d.m, d.k);
     let b_blocks = b.grid(d.k, d.n);
-    let LevelWs { products, lanes } = level;
+    let LevelWs {
+        products,
+        lanes,
+        fusion,
+    } = level;
+    let policy = fusion.policy;
     debug_assert_eq!(products.len(), plan.rank);
     let lane = &mut lanes[0];
 
+    let mut c = Mat::zeros(m, n);
     for (t, product) in products.iter_mut().enumerate() {
-        // Operand combinations (timed as additions).
+        // Operand staging (timed as additions): singletons are used in
+        // place, fusable multi-term combinations become pack-sweep term
+        // lists, the rest materialize into S/T scratch.
         let t0 = Instant::now();
-        let alpha_a = materialize(&plan.a_combos[t], &a_blocks, &mut lane.s_buf, profile);
-        let alpha_b = materialize(&plan.b_combos[t], &b_blocks, &mut lane.t_buf, profile);
+        let (a_terms, alpha_a) = stage(
+            &plan.a_combos[t],
+            &a_blocks,
+            &mut lane.s_buf,
+            policy,
+            profile,
+        );
+        let (b_terms, alpha_b) = stage(
+            &plan.b_combos[t],
+            &b_blocks,
+            &mut lane.t_buf,
+            policy,
+            profile,
+        );
         profile.add_seconds += t0.elapsed().as_secs_f64();
 
-        let s_view = match &plan.a_combos[t] {
-            Combo::Single { block, .. } => a_blocks[*block],
-            Combo::Multi(_) => lane.s_buf.as_ref(),
-        };
-        let t_view = match &plan.b_combos[t] {
-            Combo::Single { block, .. } => b_blocks[*block],
-            Combo::Multi(_) => lane.t_buf.as_ref(),
+        // Destination: the product's own M_t buffer, or — when the
+        // schedule epilogue-fuses it — its C sub-block directly, with
+        // w_t folded into α and β selecting init vs accumulate.
+        let (dst, w, beta) = match fusion.epilogue_of(t) {
+            Some((block, init)) => {
+                let (bi, bj) = (block / d.n, block % d.n);
+                let w = plan.c_outputs[block]
+                    .iter()
+                    .find(|&&(pt, _)| pt == t)
+                    .map(|&(_, w)| w)
+                    .expect("fused product contributes to its block");
+                profile.fused_epilogues += 1;
+                profile.est_bytes_moved += ((if init { 1 } else { 2 }) * bm * bn * elem) as u64;
+                (
+                    c.as_mut().into_subview(bi * bm, bj * bn, bm, bn),
+                    w,
+                    if init { T::ZERO } else { T::ONE },
+                )
+            }
+            None => {
+                profile.est_bytes_moved += (bm * bn * elem) as u64;
+                (product.as_mut(), 1.0, T::ZERO)
+            }
         };
 
         let t1 = Instant::now();
-        gemm_st(
-            T::from_f64(alpha_a * alpha_b),
-            s_view,
-            t_view,
-            T::ZERO,
-            product.as_mut(),
+        gemm_combined_st(
+            T::from_f64(w * alpha_a * alpha_b),
+            &a_terms,
+            &b_terms,
+            beta,
+            dst,
         );
         profile.mult_seconds += t1.elapsed().as_secs_f64();
         profile.gemm_calls += 1;
         profile.mult_flops += 2.0 * bm as f64 * bk as f64 * bn as f64;
     }
 
-    // Output combinations.
-    let mut c = Mat::zeros(m, n);
+    // Output combinations for the blocks the epilogue did not absorb.
     let t2 = Instant::now();
     {
         let c_blocks = c.as_mut().into_grid(d.m, d.n);
         for (block, mut dst) in c_blocks.into_iter().enumerate() {
+            if fusion.is_block_fused(block) {
+                continue;
+            }
             let terms: Vec<(T, MatRef<'_, T>)> = plan.c_outputs[block]
                 .iter()
                 .map(|&(t, coeff)| (T::from_f64(coeff), products[t].as_ref()))
                 .collect();
             profile.add_elems += (terms.len() + 1) * bm * bn;
+            profile.est_bytes_moved += ((terms.len() + 1) * bm * bn * elem) as u64;
             combine(dst.rb(), false, &terms);
         }
     }
@@ -245,25 +308,43 @@ fn instrumented_one_step<T: Scalar>(
     c
 }
 
-/// Form a multi-term combination into `buf` (timing and traffic are
-/// charged by the caller); singletons are used in place with their
-/// coefficient folded into gemm's α.
-fn materialize<T: Scalar>(
+/// Stage one operand combination for the instrumented gemm call. Returns
+/// the term list plus the scalar to fold into gemm's α: singletons are
+/// used in place with their coefficient as α, pack-fusable multi-term
+/// lists pass every `(coeff, block)` through for the sweep to combine in
+/// flight, and everything else is materialized into `buf` by the combine
+/// kernel (timing charged by the caller, traffic recorded here).
+fn stage<'v, T: Scalar>(
     combo: &Combo,
-    blocks: &[MatRef<'_, T>],
-    buf: &mut Mat<T>,
+    blocks: &[MatRef<'v, T>],
+    buf: &'v mut Mat<T>,
+    policy: FusionPolicy,
     profile: &mut ExecProfile,
-) -> f64 {
+) -> (Vec<(T, MatRef<'v, T>)>, f64) {
+    let elem = std::mem::size_of::<T>();
     match combo {
-        Combo::Single { coeff, .. } => *coeff,
+        Combo::Single { block, coeff } => {
+            let v = blocks[*block];
+            profile.est_bytes_moved += (v.rows() * v.cols() * elem) as u64;
+            (vec![(T::ONE, v)], *coeff)
+        }
         Combo::Multi(terms) => {
+            let b0 = blocks[terms[0].0];
+            let elems = b0.rows() * b0.cols();
             let views: Vec<(T, MatRef<'_, T>)> = terms
                 .iter()
                 .map(|&(b, c)| (T::from_f64(c), blocks[b]))
                 .collect();
-            profile.add_elems += (views.len() + 1) * buf.rows() * buf.cols();
-            combine(buf.as_mut(), false, &views);
-            1.0
+            if combo_pack_fusable(combo, policy) {
+                profile.fused_packs += 1;
+                profile.est_bytes_moved += (terms.len() * elems * elem) as u64;
+                (views, 1.0)
+            } else {
+                profile.add_elems += (views.len() + 1) * elems;
+                profile.est_bytes_moved += ((terms.len() + 2) * elems * elem) as u64;
+                combine(buf.as_mut(), false, &views);
+                (vec![(T::ONE, buf.as_ref())], 1.0)
+            }
         }
     }
 }
@@ -290,10 +371,13 @@ mod tests {
         let plan = ExecPlan::compile(&catalog::strassen(), 0.0);
         let a = probe(64, 1);
         let b = probe(64, 2);
-        let (c, profile) = profile_one_step(&plan, a.as_ref(), b.as_ref());
+        let (c, profile) = profile_one_step(&plan, a.as_ref(), b.as_ref(), FusionPolicy::Never);
         let expect = matmul_naive(a.as_ref(), b.as_ref());
         assert!(c.rel_frobenius_error(&expect) < 1e-12);
         assert_eq!(profile.gemm_calls, 7);
+        assert_eq!(profile.fused_packs, 0);
+        assert_eq!(profile.fused_epilogues, 0);
+        assert!(profile.est_bytes_moved > 0);
         assert!(profile.mult_seconds > 0.0);
         assert!(profile.add_seconds > 0.0);
         // 7 products of 32³ blocks.
@@ -311,9 +395,18 @@ mod tests {
         let plan = ExecPlan::compile(&catalog::strassen(), 0.0);
         let a = probe(64, 1);
         let b = probe(64, 2);
-        let (fresh, _) = profile_one_step(&plan, a.as_ref(), b.as_ref());
-        let mut ws =
-            Workspace::<f64>::for_plan(&plan, 64, 64, 64, 1, Strategy::Seq, 1, PeelMode::Dynamic);
+        let (fresh, _) = profile_one_step(&plan, a.as_ref(), b.as_ref(), FusionPolicy::Never);
+        let mut ws = Workspace::<f64>::for_plan(
+            &plan,
+            64,
+            64,
+            64,
+            1,
+            Strategy::Seq,
+            1,
+            PeelMode::Dynamic,
+            FusionPolicy::Never,
+        );
         for round in 0..3u64 {
             let (c, profile) =
                 profile_one_step_with_workspace(&plan, a.as_ref(), b.as_ref(), &mut ws);
@@ -334,7 +427,7 @@ mod tests {
         let plan = ExecPlan::compile(&catalog::fast444(), 0.0);
         let a = probe(256, 3);
         let b = probe(256, 4);
-        let (_, profile) = profile_one_step(&plan, a.as_ref(), b.as_ref());
+        let (_, profile) = profile_one_step(&plan, a.as_ref(), b.as_ref(), FusionPolicy::Never);
         let f = profile.add_fraction();
         assert!(f > 0.0 && f < 1.0, "add fraction {f}");
         assert_eq!(profile.gemm_calls, 49);
@@ -347,9 +440,53 @@ mod tests {
         let w = ExecPlan::compile(&catalog::winograd(), 0.0);
         let a = probe(32, 5);
         let b = probe(32, 6);
-        let (_, ps) = profile_one_step(&s, a.as_ref(), b.as_ref());
-        let (_, pw) = profile_one_step(&w, a.as_ref(), b.as_ref());
+        let (_, ps) = profile_one_step(&s, a.as_ref(), b.as_ref(), FusionPolicy::Never);
+        let (_, pw) = profile_one_step(&w, a.as_ref(), b.as_ref(), FusionPolicy::Never);
         assert!(pw.add_elems > ps.add_elems);
+    }
+
+    #[test]
+    fn pack_fusion_drops_scratch_and_traffic() {
+        let plan = ExecPlan::compile(&catalog::strassen(), 0.0);
+        let a = probe(64, 9);
+        let b = probe(64, 10);
+        let (c_never, never) = profile_one_step(&plan, a.as_ref(), b.as_ref(), FusionPolicy::Never);
+        let (c_auto, auto) = profile_one_step(&plan, a.as_ref(), b.as_ref(), FusionPolicy::Auto);
+        // Pack fusion is bitwise identical to the materialized path.
+        for i in 0..64 {
+            for j in 0..64 {
+                assert_eq!(c_never.at(i, j).to_bits(), c_auto.at(i, j).to_bits());
+            }
+        }
+        // Strassen: 5 of 7 A-combos and 5 of 7 B-combos are multi-term and
+        // all fit the inline stage; no C block is all-fanout-1, so the
+        // epilogue stays materialized.
+        assert_eq!(auto.fused_packs, 10);
+        assert_eq!(auto.fused_epilogues, 0);
+        assert_eq!(never.fused_packs, 0);
+        // S/T scratch gone: 7 products of 32×32 f64, nothing else.
+        assert_eq!(auto.alloc_bytes, 7 * 32 * 32 * 8);
+        assert!(never.alloc_bytes > auto.alloc_bytes);
+        // Each fused combo saves an S/T write plus its gemm-side read-back.
+        assert!(auto.est_bytes_moved < never.est_bytes_moved);
+        assert!(auto.add_elems < never.add_elems);
+    }
+
+    #[test]
+    fn classical_rule_fuses_every_epilogue() {
+        let plan = ExecPlan::compile(&catalog::classical(apa_core::Dims::new(2, 2, 2)), 0.0);
+        let a = probe(32, 11);
+        let b = probe(32, 12);
+        let (c, profile) = profile_one_step(&plan, a.as_ref(), b.as_ref(), FusionPolicy::Auto);
+        let expect = matmul_naive(a.as_ref(), b.as_ref());
+        assert!(c.rel_frobenius_error(&expect) < 1e-12);
+        // All 8 products stream straight into their C blocks: no M_t
+        // buffers, no combine pass at all.
+        assert_eq!(profile.gemm_calls, 8);
+        assert_eq!(profile.fused_epilogues, 8);
+        assert_eq!(profile.fused_packs, 0);
+        assert_eq!(profile.alloc_bytes, 0);
+        assert_eq!(profile.add_elems, 0);
     }
 
     #[test]
@@ -358,6 +495,6 @@ mod tests {
         let plan = ExecPlan::compile(&catalog::strassen(), 0.0);
         let a = probe(9, 7);
         let b = probe(9, 8);
-        let _ = profile_one_step(&plan, a.as_ref(), b.as_ref());
+        let _ = profile_one_step(&plan, a.as_ref(), b.as_ref(), FusionPolicy::Auto);
     }
 }

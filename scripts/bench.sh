@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Fusion-ablation benchmark runner (ISSUE 5 acceptance evidence).
+#
+#   1. criterion micro-benchmarks: the new `fusion` group (pack+epilogue
+#      fusion vs materialized on ParaDnn widths) and the existing
+#      `workspace` reuse group
+#   2. the `fusionbench` harness, which emits machine-readable
+#      BENCH_5.json (median GFLOP/s, workspace bytes and modeled traffic
+#      per rule x width x policy)
+#
+# Usage: scripts/bench.sh [extra fusionbench args...]
+#   e.g. scripts/bench.sh --widths 512,1024 --reps 5
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== bench: cargo bench -p apa-bench --bench fusion =="
+cargo bench -p apa-bench --bench fusion
+
+echo "== bench: cargo bench -p apa-bench --bench workspace =="
+cargo bench -p apa-bench --bench workspace
+
+echo "== bench: fusionbench -> BENCH_5.json =="
+cargo run --release -p apa-bench --bin fusionbench -- --out BENCH_5.json "$@"
+
+echo "== bench: OK (results in BENCH_5.json) =="

@@ -19,6 +19,12 @@ cargo build --release
 echo "== tier1: cargo test =="
 cargo test -q
 
+echo "== tier1: cargo test -p apa-gemm (fused pack / gemm_combined) =="
+cargo test -q -p apa-gemm
+
+echo "== tier1: cargo test -p apa-matmul --test fusion_equivalence =="
+cargo test -q -p apa-matmul --test fusion_equivalence
+
 echo "== tier1: cargo test -p apa-matmul --features fault-inject =="
 cargo test -q -p apa-matmul --features fault-inject
 
