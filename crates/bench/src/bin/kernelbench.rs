@@ -1,0 +1,304 @@
+//! Microkernel dispatch benchmark: measures the single-threaded gemm leaf
+//! under every kernel tier the host CPU exposes (scalar / AVX2 / AVX-512),
+//! then reruns the ParaDnn-style fused sweep of BENCH_5 on top of the
+//! dispatched kernel, and emits the machine-readable `BENCH_6.json`
+//! consumed by EXPERIMENTS.md.
+//!
+//! The point of the exercise: the binary is now built **without**
+//! `-C target-cpu=native` (runtime dispatch picks the tier), so these
+//! numbers are what a portable release artifact delivers, not what a
+//! host-tuned rebuild delivers. The acceptance gate compares the leaf
+//! GFLOPS at width 1024 against the best width-1024 median recorded in
+//! `BENCH_5.json` (which was measured through the same gemm but with the
+//! old build regime) and requires >= 2x.
+//!
+//! Usage: `cargo run --release -p apa-bench --bin kernelbench
+//!         [--widths 512,1024,2048] [--rules bini322,fast444]
+//!         [--batch 64] [--steps 1] [--threads 1] [--reps 5]
+//!         [--baseline BENCH_5.json] [--out BENCH_6.json]`
+
+use apa_bench::{banner, print_csv, print_table, Args};
+use apa_core::catalog;
+use apa_gemm::{
+    available_tiers, block_report, dispatch_report, gemm_st_with_spec, selected_tier,
+    spec_for_tier, Mat, Scratch,
+};
+use apa_matmul::{ApaMatmul, FusionPolicy, Strategy};
+use serde_json::{json, Value};
+use std::time::Instant;
+
+fn probe_rect(rows: usize, cols: usize, seed: u64) -> Mat<f32> {
+    let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+    Mat::from_fn(rows, cols, |_, _| {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (((state >> 32) as u32 as f64 / (1u64 << 31) as f64) - 1.0) as f32
+    })
+}
+
+fn median(mut times: Vec<f64>) -> f64 {
+    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    times[times.len() / 2]
+}
+
+struct LeafCell {
+    tier: &'static str,
+    m: usize,
+    k: usize,
+    n: usize,
+    seconds: f64,
+    gflops: f64,
+}
+
+/// Single-threaded gemm leaf at (m,k,n) under one explicit kernel tier.
+fn measure_leaf(tier: apa_gemm::KernelTier, m: usize, k: usize, n: usize, reps: usize) -> LeafCell {
+    let spec = spec_for_tier::<f32>(tier).expect("available tier has a spec");
+    let a = probe_rect(m, k, 11);
+    let b = probe_rect(k, n, 13);
+    let mut c = Mat::<f32>::zeros(m, n);
+    let mut scratch = Scratch::new();
+    let mut run = || {
+        gemm_st_with_spec(
+            &spec,
+            1.0,
+            a.as_ref(),
+            b.as_ref(),
+            0.0,
+            c.as_mut(),
+            &mut scratch,
+        );
+    };
+    run(); // warmup: packs buffers, faults pages
+    let mut lane = Vec::with_capacity(reps);
+    for _ in 0..reps.max(1) {
+        let t0 = Instant::now();
+        run();
+        lane.push(t0.elapsed().as_secs_f64());
+    }
+    let seconds = median(lane);
+    LeafCell {
+        tier: tier.name(),
+        m,
+        k,
+        n,
+        seconds,
+        gflops: 2.0 * (m * k * n) as f64 / seconds / 1e9,
+    }
+}
+
+struct SweepCell {
+    rule: String,
+    width: usize,
+    seconds: f64,
+    gflops: f64,
+}
+
+/// ParaDnn MLP training product `(batch x width) · (width x width)` under
+/// the dispatched kernel, fused Hybrid execution — the BENCH_5 "fused"
+/// configuration rerun on top of runtime dispatch.
+fn measure_sweep(
+    rule: &str,
+    width: usize,
+    batch: usize,
+    steps: u32,
+    threads: usize,
+    reps: usize,
+) -> SweepCell {
+    let alg = catalog::by_name(rule).unwrap_or_else(|| panic!("unknown rule {rule}"));
+    let m = if batch == 0 { width } else { batch };
+    let a = probe_rect(m, width, 1);
+    let b = probe_rect(width, width, 2);
+    let mut out = Mat::<f32>::zeros(m, width);
+    let mm = ApaMatmul::new(alg)
+        .steps(steps)
+        .strategy(Strategy::Hybrid)
+        .threads(threads)
+        .fusion(FusionPolicy::Auto);
+    mm.multiply_into(a.as_ref(), b.as_ref(), out.as_mut());
+    let mut lane = Vec::with_capacity(reps);
+    for _ in 0..reps.max(1) {
+        let t0 = Instant::now();
+        mm.multiply_into(a.as_ref(), b.as_ref(), out.as_mut());
+        lane.push(t0.elapsed().as_secs_f64());
+    }
+    let seconds = median(lane);
+    SweepCell {
+        rule: rule.to_string(),
+        width,
+        seconds,
+        gflops: 2.0 * (m * width * width) as f64 / seconds / 1e9,
+    }
+}
+
+/// Best width-1024 median GFLOPS recorded in the BENCH_5 baseline file,
+/// if it exists and parses.
+fn bench5_best_at_1024(path: &str) -> Option<f64> {
+    let text = std::fs::read_to_string(path).ok()?;
+    let doc: Value = serde_json::from_str(&text).ok()?;
+    doc.get("results")?
+        .as_array()?
+        .iter()
+        .filter(|cell| cell.get("width").and_then(Value::as_u64) == Some(1024))
+        .filter_map(|cell| cell.get("median_gflops").and_then(Value::as_f64))
+        .fold(None, |best: Option<f64>, g| {
+            Some(best.map_or(g, |b| b.max(g)))
+        })
+}
+
+fn main() {
+    let args = Args::parse();
+    let widths: Vec<usize> = args
+        .get_str("widths")
+        .unwrap_or("512,1024,2048")
+        .split(',')
+        .map(|s| s.trim().parse().expect("bad --widths"))
+        .collect();
+    let rules: Vec<String> = args
+        .get_str("rules")
+        .unwrap_or("bini322,fast444")
+        .split(',')
+        .map(|s| s.trim().to_string())
+        .collect();
+    let steps: u32 = args.get("steps", 1);
+    let batch: usize = args.get("batch", 64);
+    let threads: usize = args.get("threads", 1);
+    let reps: usize = args.get("reps", 5);
+    let baseline_path = args
+        .get_str("baseline")
+        .unwrap_or("BENCH_5.json")
+        .to_string();
+    let out_path = args.get_str("out").unwrap_or("BENCH_6.json").to_string();
+
+    banner(
+        "kernelbench",
+        &[
+            "single-threaded gemm leaf per kernel tier + fused ParaDnn sweep",
+            "built WITHOUT -C target-cpu=native: runtime dispatch picks the tier",
+            "gate: leaf GFLOPS at width 1024 >= 2x best BENCH_5 width-1024 median",
+        ],
+    );
+    // scripts/bench.sh asserts on this line: the run must say which tier ran.
+    println!("{}", dispatch_report());
+    println!("{}", block_report::<f32>());
+    println!();
+
+    // --- Leaf GFLOPS per tier -------------------------------------------
+    // Square 1024 (the gate shape) and the ParaDnn training-product shape.
+    let leaf_shapes = [
+        (1024usize, 1024usize, 1024usize),
+        (batch.max(1), 1024, 1024),
+    ];
+    let mut leaf: Vec<LeafCell> = Vec::new();
+    for &tier in available_tiers() {
+        for &(m, k, n) in &leaf_shapes {
+            leaf.push(measure_leaf(tier, m, k, n, reps));
+        }
+    }
+    let header = ["tier", "m", "k", "n", "median_s", "gflops"];
+    let rows: Vec<Vec<String>> = leaf
+        .iter()
+        .map(|c| {
+            vec![
+                c.tier.to_string(),
+                c.m.to_string(),
+                c.k.to_string(),
+                c.n.to_string(),
+                format!("{:.4}", c.seconds),
+                format!("{:.2}", c.gflops),
+            ]
+        })
+        .collect();
+    print_table(&header, &rows);
+    print_csv(&header, &rows);
+    println!();
+
+    // --- Fused ParaDnn sweep under dispatch -----------------------------
+    let mut sweep: Vec<SweepCell> = Vec::new();
+    for rule in &rules {
+        for &w in &widths {
+            sweep.push(measure_sweep(rule, w, batch, steps, threads, reps));
+        }
+    }
+    let header = ["rule", "width", "median_s", "gflops"];
+    let rows: Vec<Vec<String>> = sweep
+        .iter()
+        .map(|c| {
+            vec![
+                c.rule.clone(),
+                c.width.to_string(),
+                format!("{:.4}", c.seconds),
+                format!("{:.2}", c.gflops),
+            ]
+        })
+        .collect();
+    print_table(&header, &rows);
+    print_csv(&header, &rows);
+
+    // --- Gate vs BENCH_5 ------------------------------------------------
+    let selected = selected_tier();
+    let leaf_1024 = leaf
+        .iter()
+        .find(|c| c.tier == selected.name() && c.m == 1024 && c.n == 1024)
+        .map(|c| c.gflops)
+        .unwrap_or(0.0);
+    let baseline = bench5_best_at_1024(&baseline_path);
+    let ratio = baseline.map(|b| leaf_1024 / b);
+    match (baseline, ratio) {
+        (Some(b), Some(r)) => println!(
+            "\nleaf @1024 under dispatched tier ({}): {leaf_1024:.2} GFLOPS; \
+             BENCH_5 best @1024: {b:.2} GFLOPS; ratio {r:.2}x ({})",
+            selected.name(),
+            if r >= 2.0 { "PASS >= 2x" } else { "below 2x" }
+        ),
+        _ => println!(
+            "\nleaf @1024 under dispatched tier ({}): {leaf_1024:.2} GFLOPS; \
+             no {baseline_path} baseline found, gate skipped",
+            selected.name()
+        ),
+    }
+
+    let leaf_values: Vec<Value> = leaf
+        .iter()
+        .map(|c| {
+            json!({
+                "tier": (c.tier),
+                "m": (c.m),
+                "k": (c.k),
+                "n": (c.n),
+                "median_seconds": (c.seconds),
+                "median_gflops": (c.gflops),
+            })
+        })
+        .collect();
+    let sweep_values: Vec<Value> = sweep
+        .iter()
+        .map(|c| {
+            json!({
+                "rule": (c.rule.clone()),
+                "width": (c.width),
+                "median_seconds": (c.seconds),
+                "median_gflops": (c.gflops),
+            })
+        })
+        .collect();
+    let doc = json!({
+        "bench": "kernel",
+        "dispatch": (dispatch_report()),
+        "selected_tier": (selected.name()),
+        "available_tiers": (available_tiers().iter().map(|t| t.name()).collect::<Vec<_>>()),
+        "threads": threads,
+        "steps": steps,
+        "batch": batch,
+        "reps": reps,
+        "leaf": leaf_values,
+        "paradnn_fused": sweep_values,
+        "leaf_gflops_at_1024": leaf_1024,
+        "bench5_best_gflops_at_1024": baseline,
+        "leaf_vs_bench5_ratio": ratio,
+        "gate_pass_2x": (ratio.map(|r| r >= 2.0)),
+    });
+    let text = serde_json::to_string_pretty(&doc).expect("serialize BENCH_6");
+    std::fs::write(&out_path, text + "\n").expect("write BENCH_6.json");
+    println!("wrote {out_path}");
+}

@@ -20,16 +20,70 @@ pub fn combine<T: Scalar>(mut dst: MatMut<'_, T>, accumulate: bool, terms: &[(T,
         assert_eq!(src.rows(), dst.rows(), "source shape mismatch");
         assert_eq!(src.cols(), dst.cols(), "source shape mismatch");
     }
+    #[cfg(target_arch = "x86_64")]
+    if crate::kernel::hardware_fma_enabled() {
+        // SAFETY: avx2+fma presence was verified at runtime.
+        unsafe { combine_sweep_fma(&mut dst, accumulate, terms) };
+        return;
+    }
+    combine_sweep(&mut dst, accumulate, terms);
+}
+
+/// The row sweep of [`combine`]. The `_fma` twin runs the identical code
+/// inside an `avx2,fma` target-feature scope so the `mul_add` chains
+/// compile to FMA vector code instead of per-element libm calls — same
+/// IEEE-754 results, picked once per process by the kernel dispatch.
+#[inline(always)]
+fn combine_sweep<T: Scalar>(
+    dst: &mut MatMut<'_, T>,
+    accumulate: bool,
+    terms: &[(T, MatRef<'_, T>)],
+) {
     let rows = dst.rows();
     for i in 0..rows {
         combine_row(dst.row_mut(i), accumulate, terms, i);
     }
 }
 
-#[inline]
+/// # Safety
+/// CPU must support avx2+fma (see [`crate::kernel::hardware_fma_enabled`]).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn combine_sweep_fma<T: Scalar>(
+    dst: &mut MatMut<'_, T>,
+    accumulate: bool,
+    terms: &[(T, MatRef<'_, T>)],
+) {
+    combine_sweep(dst, accumulate, terms)
+}
+
+/// One destination row. Non-recursive: arities above 4 run the ≤4-term
+/// bodies over 4-term chunks (the identical chain shapes the old
+/// recursion produced), and everything is `inline(always)` so the row
+/// sweep inlines into the target-feature wrapper and the mul_adds pick up
+/// FMA codegen.
+#[inline(always)]
 fn combine_row<T: Scalar>(out: &mut [T], accumulate: bool, terms: &[(T, MatRef<'_, T>)], i: usize) {
-    // Specialize the common small arities so the inner loops fuse into a
-    // single vectorized sweep.
+    if terms.len() <= 4 {
+        combine_row_small(out, accumulate, terms, i);
+    } else {
+        let (head, tail) = terms.split_at(4);
+        combine_row_small(out, accumulate, head, i);
+        for chunk in tail.chunks(4) {
+            combine_row_small(out, true, chunk, i);
+        }
+    }
+}
+
+/// The ≤4-term bodies of [`combine_row`], specialized so the inner loops
+/// fuse into a single vectorized sweep.
+#[inline(always)]
+fn combine_row_small<T: Scalar>(
+    out: &mut [T],
+    accumulate: bool,
+    terms: &[(T, MatRef<'_, T>)],
+    i: usize,
+) {
     match terms {
         [] => {
             if !accumulate {
@@ -69,12 +123,7 @@ fn combine_row<T: Scalar>(out: &mut [T], accumulate: bool, terms: &[(T, MatRef<'
                 *o = if accumulate { *o + v } else { v };
             }
         }
-        _ => {
-            // General arity: still one pass over dst, sources streamed.
-            let (head, tail) = terms.split_at(4);
-            combine_row(out, accumulate, head, i);
-            combine_row(out, true, tail, i);
-        }
+        _ => unreachable!("combine_row chunks terms to at most 4"),
     }
 }
 
@@ -143,6 +192,17 @@ pub fn combine_axpy<T: Scalar>(
     if !accumulate {
         dst.fill(T::ZERO);
     }
+    #[cfg(target_arch = "x86_64")]
+    if crate::kernel::hardware_fma_enabled() {
+        // SAFETY: avx2+fma presence was verified at runtime.
+        unsafe { combine_axpy_sweep_fma(&mut dst, terms) };
+        return;
+    }
+    combine_axpy_sweep(&mut dst, terms);
+}
+
+#[inline(always)]
+fn combine_axpy_sweep<T: Scalar>(dst: &mut MatMut<'_, T>, terms: &[(T, MatRef<'_, T>)]) {
     for (c, src) in terms {
         assert_eq!(src.rows(), dst.rows());
         assert_eq!(src.cols(), dst.cols());
@@ -153,6 +213,14 @@ pub fn combine_axpy<T: Scalar>(
             }
         }
     }
+}
+
+/// # Safety
+/// CPU must support avx2+fma (see [`crate::kernel::hardware_fma_enabled`]).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn combine_axpy_sweep_fma<T: Scalar>(dst: &mut MatMut<'_, T>, terms: &[(T, MatRef<'_, T>)]) {
+    combine_axpy_sweep(dst, terms)
 }
 
 #[cfg(test)]

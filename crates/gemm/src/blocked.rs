@@ -7,17 +7,19 @@
 //! small dimensions* (packing amortizes poorly), which is the property the
 //! paper's crossover analysis (§2.4, §3.3) depends on.
 
+use crate::blocktune::block_sizes;
+use crate::kernel::{kernel_spec, KernelSpec, MAX_TILE_ELEMS};
 use crate::matrix::{Mat, MatMut, MatRef};
-use crate::microkernel::microkernel;
 use crate::pack::{pack_a, pack_a_combined, pack_b, pack_b_combined, MAX_PACK_TERMS};
 use crate::scalar::Scalar;
 use std::any::{Any, TypeId};
 use std::cell::RefCell;
 
-/// Cache-blocking parameters. The defaults target a ~32 KB L1 / 256 KB L2 /
-/// multi-MB L3 hierarchy (the paper's Sandy Bridge and most of what came
-/// after).
-#[derive(Clone, Copy, Debug)]
+/// Cache-blocking parameters. The active values come from
+/// [`crate::blocktune::block_sizes`] (cache-hierarchy analytic sizing, a
+/// persisted tune, or env overrides); [`BlockSizes::for_scalar`] keeps the
+/// pre-dispatch static defaults for reference.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct BlockSizes {
     pub mc: usize,
     pub kc: usize,
@@ -25,6 +27,10 @@ pub struct BlockSizes {
 }
 
 impl BlockSizes {
+    /// The static pre-dispatch defaults (a ~32 KB L1 / 256 KB L2 budget —
+    /// the paper's Sandy Bridge). The drivers now use the tuned
+    /// [`crate::blocktune::block_sizes`] instead; this stays as the
+    /// deterministic baseline for tests and comparisons.
     pub fn for_scalar<T: Scalar>() -> Self {
         // Element-count budgets scale inversely with element size.
         let shrink = std::mem::size_of::<T>() / 4; // 1 for f32, 2 for f64
@@ -114,6 +120,49 @@ pub fn gemm_st_with_scratch<T: Scalar>(
     a: MatRef<'_, T>,
     b: MatRef<'_, T>,
     beta: T,
+    c: MatMut<'_, T>,
+    scratch: &mut Scratch<T>,
+) {
+    gemm_st_with_spec(&kernel_spec::<T>(), alpha, a, b, beta, c, scratch);
+}
+
+/// [`gemm_st_with_scratch`] on an explicit kernel (tier forced by the
+/// caller — the dispatch-matrix tests and tier benches). Block sizes stay
+/// the process-wide tuned ones, so different tiers split k identically
+/// and results are bitwise equal across tiers.
+pub fn gemm_st_with_spec<T: Scalar>(
+    spec: &KernelSpec<T>,
+    alpha: T,
+    a: MatRef<'_, T>,
+    b: MatRef<'_, T>,
+    beta: T,
+    c: MatMut<'_, T>,
+    scratch: &mut Scratch<T>,
+) {
+    gemm_st_core(spec, block_sizes::<T>(), alpha, a, b, beta, c, scratch);
+}
+
+/// One plain gemm with explicit blocking — the probe the measured
+/// autotune races candidates through (`α = 1`, `β = 0`, cached scratch).
+pub(crate) fn gemm_st_probe<T: Scalar>(
+    bs: BlockSizes,
+    a: MatRef<'_, T>,
+    b: MatRef<'_, T>,
+    c: MatMut<'_, T>,
+) {
+    with_cached_scratch(|scratch| {
+        gemm_st_core(&kernel_spec::<T>(), bs, T::ONE, a, b, T::ZERO, c, scratch)
+    });
+}
+
+#[allow(clippy::too_many_arguments)]
+fn gemm_st_core<T: Scalar>(
+    spec: &KernelSpec<T>,
+    bs: BlockSizes,
+    alpha: T,
+    a: MatRef<'_, T>,
+    b: MatRef<'_, T>,
+    beta: T,
     mut c: MatMut<'_, T>,
     scratch: &mut Scratch<T>,
 ) {
@@ -131,21 +180,19 @@ pub fn gemm_st_with_scratch<T: Scalar>(
         return;
     }
 
-    let bs = BlockSizes::for_scalar::<T>();
-
     for jc in (0..n).step_by(bs.nc) {
         let nc = bs.nc.min(n - jc);
         for pc in (0..k).step_by(bs.kc) {
             let kc = bs.kc.min(k - pc);
-            pack_b(b.subview(pc, jc, kc, nc), &mut scratch.b_pack);
+            pack_b(b.subview(pc, jc, kc, nc), &mut scratch.b_pack, spec.nr);
             // First rank-k update applies the caller's β, later ones add.
             let beta_eff = if pc == 0 { beta } else { T::ONE };
             let beta_zero = pc == 0 && beta == T::ZERO;
             for ic in (0..m).step_by(bs.mc) {
                 let mc = bs.mc.min(m - ic);
-                pack_a(a.subview(ic, pc, mc, kc), &mut scratch.a_pack);
+                pack_a(a.subview(ic, pc, mc, kc), &mut scratch.a_pack, spec.mr);
                 run_tiles(
-                    alpha, beta_eff, beta_zero, scratch, kc, mc, nc, ic, jc, &mut c,
+                    spec, alpha, beta_eff, beta_zero, scratch, kc, mc, nc, ic, jc, &mut c,
                 );
             }
         }
@@ -153,10 +200,11 @@ pub fn gemm_st_with_scratch<T: Scalar>(
 }
 
 /// Dispatch the MR×NR register tiles of one packed (mc × kc)·(kc × nc)
-/// block product into `C` — the shared inner loops of [`gemm_st_with_scratch`]
-/// and [`gemm_combined_st_with_scratch`].
+/// block product into `C` — the shared inner loops of the plain and
+/// combined drivers. Tile shape comes from the dispatched kernel spec.
 #[allow(clippy::too_many_arguments)]
 fn run_tiles<T: Scalar>(
+    spec: &KernelSpec<T>,
     alpha: T,
     beta_eff: T,
     beta_zero: bool,
@@ -168,7 +216,7 @@ fn run_tiles<T: Scalar>(
     jc: usize,
     c: &mut MatMut<'_, T>,
 ) {
-    let (mr, nr) = (T::MR, T::NR);
+    let (mr, nr) = (spec.mr, spec.nr);
     let cs = c.row_stride();
     for jr in (0..nc).step_by(nr) {
         let nrr = nr.min(nc - jr);
@@ -183,7 +231,7 @@ fn run_tiles<T: Scalar>(
                 // stride cs; slivers hold kc·MR / kc·NR packed
                 // elements by construction of pack_a/pack_b.
                 unsafe {
-                    microkernel(
+                    spec.run(
                         kc,
                         alpha,
                         a_sliver.as_ptr(),
@@ -195,15 +243,19 @@ fn run_tiles<T: Scalar>(
                     );
                 }
             } else {
-                // Ragged edge: compute into a scratch tile then
-                // merge the valid region.
-                let mut tmp = [T::ZERO; 64]; // MR·NR ≤ 64 for both types
-                debug_assert!(mr * nr <= 64);
+                // Ragged edge: compute the *raw* accumulator (α = 1,
+                // β = 0 leaves the FMA chain unscaled and bitwise equal
+                // across tiers) into a scratch tile, then apply the same
+                // α/β epilogue the kernel uses on full tiles — so a tile
+                // that is full for one tier and ragged for another still
+                // rounds identically.
+                let mut tmp = [T::ZERO; MAX_TILE_ELEMS];
+                debug_assert!(mr * nr <= MAX_TILE_ELEMS);
                 // SAFETY: tmp is a full MR×NR tile (stride NR).
                 unsafe {
-                    microkernel(
+                    spec.run(
                         kc,
-                        alpha,
+                        T::ONE,
                         a_sliver.as_ptr(),
                         b_sliver.as_ptr(),
                         T::ZERO,
@@ -214,7 +266,7 @@ fn run_tiles<T: Scalar>(
                 }
                 for i in 0..mrr {
                     let crow = c.subview_mut(ic + ir + i, jc + jr, 1, nrr);
-                    merge_row(crow, &tmp[i * nr..i * nr + nrr], beta_eff, beta_zero);
+                    merge_row(crow, &tmp[i * nr..i * nr + nrr], alpha, beta_eff, beta_zero);
                 }
             }
         }
@@ -262,6 +314,30 @@ pub fn gemm_combined_st_with_scratch<T: Scalar>(
     a_terms: &[(T, MatRef<'_, T>)],
     b_terms: &[(T, MatRef<'_, T>)],
     beta: T,
+    c: MatMut<'_, T>,
+    scratch: &mut Scratch<T>,
+) {
+    gemm_combined_st_with_spec(
+        &kernel_spec::<T>(),
+        alpha,
+        a_terms,
+        b_terms,
+        beta,
+        c,
+        scratch,
+    );
+}
+
+/// [`gemm_combined_st_with_scratch`] on an explicit kernel (tier forced
+/// by the caller). Block sizes stay the process-wide tuned ones so tiers
+/// agree bitwise.
+#[allow(clippy::too_many_arguments)]
+pub fn gemm_combined_st_with_spec<T: Scalar>(
+    spec: &KernelSpec<T>,
+    alpha: T,
+    a_terms: &[(T, MatRef<'_, T>)],
+    b_terms: &[(T, MatRef<'_, T>)],
+    beta: T,
     mut c: MatMut<'_, T>,
     scratch: &mut Scratch<T>,
 ) {
@@ -292,14 +368,14 @@ pub fn gemm_combined_st_with_scratch<T: Scalar>(
         return;
     }
 
-    let bs = BlockSizes::for_scalar::<T>();
+    let bs = block_sizes::<T>();
 
     for jc in (0..n).step_by(bs.nc) {
         let nc = bs.nc.min(n - jc);
         for pc in (0..k).step_by(bs.kc) {
             let kc = bs.kc.min(k - pc);
             with_subviews(b_terms, pc, jc, kc, nc, |sub| {
-                pack_b_combined(sub, &mut scratch.b_pack)
+                pack_b_combined(sub, &mut scratch.b_pack, spec.nr)
             });
             // First rank-k update applies the caller's β, later ones add.
             let beta_eff = if pc == 0 { beta } else { T::ONE };
@@ -307,10 +383,10 @@ pub fn gemm_combined_st_with_scratch<T: Scalar>(
             for ic in (0..m).step_by(bs.mc) {
                 let mc = bs.mc.min(m - ic);
                 with_subviews(a_terms, ic, pc, mc, kc, |sub| {
-                    pack_a_combined(sub, &mut scratch.a_pack)
+                    pack_a_combined(sub, &mut scratch.a_pack, spec.mr)
                 });
                 run_tiles(
-                    alpha, beta_eff, beta_zero, scratch, kc, mc, nc, ic, jc, &mut c,
+                    spec, alpha, beta_eff, beta_zero, scratch, kc, mc, nc, ic, jc, &mut c,
                 );
             }
         }
@@ -331,17 +407,20 @@ pub fn gemm_combined_st<T: Scalar>(
     });
 }
 
-fn merge_row<T: Scalar>(mut crow: MatMut<'_, T>, vals: &[T], beta: T, beta_zero: bool) {
+/// Apply the microkernel's α/β epilogue to one ragged row: `vals` holds
+/// the raw accumulator, and the update uses the *same* operations as the
+/// in-kernel full-tile epilogue (`α·v` for β = 0, `fma(α, v, β·c)`
+/// otherwise) so ragged and full tiles round identically — the bitwise
+/// cross-tier contract depends on it.
+fn merge_row<T: Scalar>(mut crow: MatMut<'_, T>, vals: &[T], alpha: T, beta: T, beta_zero: bool) {
     let row = crow.row_mut(0);
     if beta_zero {
-        row.copy_from_slice(vals);
-    } else if beta == T::ONE {
         for (dst, &v) in row.iter_mut().zip(vals) {
-            *dst += v;
+            *dst = alpha * v;
         }
     } else {
         for (dst, &v) in row.iter_mut().zip(vals) {
-            *dst = beta.mul_add(*dst, v);
+            *dst = alpha.mul_add(v, beta * *dst);
         }
     }
 }

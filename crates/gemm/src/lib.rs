@@ -14,6 +14,11 @@
 //!   experiments, double for references, matching the paper);
 //! * [`pack`] / [`microkernel`] / [`blocked`] — the BLIS-style kernel
 //!   stack, single-threaded;
+//! * [`kernel`] — explicit AVX2/AVX-512 register-tile kernels behind
+//!   one-time runtime CPU dispatch ([`microkernel`] is the scalar tier),
+//!   bitwise-identical across tiers;
+//! * [`blocktune`] — MC/KC/NC blocking derived from the detected cache
+//!   hierarchy, with opt-in measured autotune persisted across runs;
 //! * [`parallel`] — row-parallel multithreaded GEMM over cached,
 //!   panic-isolated worker pools ([`pool`]);
 //! * [`add`] — fused "write-once" linear-combination kernels, the matrix
@@ -31,7 +36,9 @@
 
 pub mod add;
 pub mod blocked;
+pub mod blocktune;
 pub mod counting_alloc;
+pub mod kernel;
 pub mod matrix;
 pub mod microkernel;
 pub mod naive;
@@ -43,11 +50,16 @@ pub mod transpose;
 
 pub use add::{combine, combine_axpy, combine_par, MAX_INLINE_COMBINE};
 pub use blocked::{
-    gemm_combined_st, gemm_combined_st_with_scratch, gemm_st, gemm_st_with_scratch, matmul,
-    BlockSizes, Scratch,
+    gemm_combined_st, gemm_combined_st_with_scratch, gemm_combined_st_with_spec, gemm_st,
+    gemm_st_with_scratch, gemm_st_with_spec, matmul, BlockSizes, Scratch,
 };
+pub use blocktune::{block_report, block_sizes, CacheHierarchy, TuneSource};
 pub use counting_alloc::{
     allocation_counters, thread_allocation_counters, AllocationCounters, CountingAlloc,
+};
+pub use kernel::{
+    available_tiers, dispatch_report, kernel_spec, selected_tier, spec_for_tier, KernelSpec,
+    KernelTier, MAX_TILE_ELEMS,
 };
 pub use matrix::{Mat, MatMut, MatRef};
 pub use naive::{matmul_naive, matmul_naive_f64};
@@ -64,11 +76,12 @@ mod tests {
     #[test]
     #[allow(clippy::assertions_on_constants)]
     fn microkernel_tile_shapes_match_scalar_consts() {
-        // The dispatch in `microkernel` hard-codes the monomorphizations;
-        // keep them in lockstep with the Scalar consts.
+        // The scalar tier hard-codes these monomorphizations; keep them
+        // in lockstep with the Scalar consts and the shared ragged-edge
+        // scratch budget that every dispatch tier must fit.
         assert_eq!((f32::MR, f32::NR), (8, 8));
         assert_eq!((f64::MR, f64::NR), (4, 8));
-        assert!(f32::MR * f32::NR <= 64, "ragged-edge scratch tile budget");
-        assert!(f64::MR * f64::NR <= 64, "ragged-edge scratch tile budget");
+        assert!(f32::MR * f32::NR <= MAX_TILE_ELEMS);
+        assert!(f64::MR * f64::NR <= MAX_TILE_ELEMS);
     }
 }

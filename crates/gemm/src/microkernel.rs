@@ -1,10 +1,12 @@
-//! The register-blocked microkernel.
+//! The portable register-blocked microkernel — the always-correct
+//! **scalar tier** of the runtime dispatch in [`crate::kernel`].
 //!
 //! Computes an `MR × NR` tile of `C ← α·(Â·B̂) + β·C` from packed slivers.
-//! The body is plain indexed arithmetic over fixed-size accumulator arrays;
-//! with `target-cpu=native` LLVM turns the `mul_add` lattice into FMA
-//! vector code, which is the portable-Rust equivalent of the hand-written
-//! intrinsic kernels in BLIS/MKL.
+//! The body is plain indexed arithmetic over fixed-size accumulator
+//! arrays; it compiles on every target and needs no `target-cpu` flags.
+//! The explicit AVX2/AVX-512 kernels in [`crate::kernel`] compute each
+//! C element with the identical FMA chain (same k order, same epilogue
+//! ops), so all tiers agree bitwise — dispatch is a pure speed choice.
 
 use crate::scalar::Scalar;
 
@@ -117,8 +119,8 @@ mod tests {
             }
         }
         let (mut ap, mut bp) = (Vec::new(), Vec::new());
-        pack_a(a.as_ref(), &mut ap);
-        pack_b(b.as_ref(), &mut bp);
+        pack_a(a.as_ref(), &mut ap, mr);
+        pack_b(b.as_ref(), &mut bp, nr);
         let rs = c.cols();
         unsafe {
             microkernel(

@@ -4,6 +4,12 @@
 //! rearranged into MR-row slivers stored k-major (`ap[p·MR + i]`), `B`
 //! blocks into NR-column slivers (`bp[p·NR + j]`). Ragged edges are
 //! zero-padded so the kernel never branches on tile size.
+//!
+//! Since the register-tile shape is chosen at runtime by the kernel
+//! dispatch ([`crate::kernel`]), the packers take the sliver height/width
+//! (`mr`/`nr`) as a parameter — callers pass the active
+//! [`crate::kernel::KernelSpec`]'s shape so panels always match the kernel
+//! that will consume them.
 
 use crate::matrix::MatRef;
 use crate::scalar::Scalar;
@@ -25,14 +31,13 @@ fn size_panel<T: Scalar>(buf: &mut Vec<T>, len: usize) {
     }
 }
 
-/// Pack an `mc × kc` block of `A` into MR-row slivers.
+/// Pack an `mc × kc` block of `A` into `mr`-row slivers.
 ///
-/// Output layout: sliver `s` (rows `s·MR .. s·MR+MR`, zero-padded past
-/// `mc`) occupies `kc·MR` consecutive elements; within a sliver the layout
-/// is k-major: element `(i, p)` is at `p·MR + i`.
-pub fn pack_a<T: Scalar>(a: MatRef<'_, T>, buf: &mut Vec<T>) {
+/// Output layout: sliver `s` (rows `s·mr .. s·mr+mr`, zero-padded past
+/// `mc`) occupies `kc·mr` consecutive elements; within a sliver the layout
+/// is k-major: element `(i, p)` is at `p·mr + i`.
+pub fn pack_a<T: Scalar>(a: MatRef<'_, T>, buf: &mut Vec<T>, mr: usize) {
     let (mc, kc) = (a.rows(), a.cols());
-    let mr = T::MR;
     let slivers = mc.div_ceil(mr);
     size_panel(buf, slivers * kc * mr);
     for s in 0..slivers {
@@ -60,14 +65,13 @@ fn zero_a_pad<T: Scalar>(buf: &mut [T], base: usize, kc: usize, mr: usize, rows:
     }
 }
 
-/// Pack a `kc × nc` block of `B` into NR-column slivers.
+/// Pack a `kc × nc` block of `B` into `nr`-column slivers.
 ///
-/// Output layout: sliver `s` (columns `s·NR .. s·NR+NR`, zero-padded past
-/// `nc`) occupies `kc·NR` consecutive elements; within a sliver element
-/// `(p, j)` is at `p·NR + j`.
-pub fn pack_b<T: Scalar>(b: MatRef<'_, T>, buf: &mut Vec<T>) {
+/// Output layout: sliver `s` (columns `s·nr .. s·nr+nr`, zero-padded past
+/// `nc`) occupies `kc·nr` consecutive elements; within a sliver element
+/// `(p, j)` is at `p·nr + j`.
+pub fn pack_b<T: Scalar>(b: MatRef<'_, T>, buf: &mut Vec<T>, nr: usize) {
     let (kc, nc) = (b.rows(), b.cols());
-    let nr = T::NR;
     let slivers = nc.div_ceil(nr);
     size_panel(buf, slivers * kc * nr);
     for p in 0..kc {
@@ -92,15 +96,36 @@ pub fn pack_b<T: Scalar>(b: MatRef<'_, T>, buf: &mut Vec<T>) {
 /// equal to `combine`-then-`pack_a`.
 ///
 /// All sources must share one shape; `terms` must be non-empty.
-pub fn pack_a_combined<T: Scalar>(terms: &[(T, MatRef<'_, T>)], buf: &mut Vec<T>) {
+pub fn pack_a_combined<T: Scalar>(terms: &[(T, MatRef<'_, T>)], buf: &mut Vec<T>, mr: usize) {
     assert!(!terms.is_empty(), "pack_a_combined needs at least one term");
     let (mc, kc) = (terms[0].1.rows(), terms[0].1.cols());
     for (_, src) in terms {
         assert_eq!((src.rows(), src.cols()), (mc, kc), "source shape mismatch");
     }
-    let mr = T::MR;
     let slivers = mc.div_ceil(mr);
     size_panel(buf, slivers * kc * mr);
+    #[cfg(target_arch = "x86_64")]
+    if crate::kernel::hardware_fma_enabled() {
+        // SAFETY: avx2+fma presence was verified at runtime.
+        unsafe { pack_a_combined_sweep_fma(terms, buf, mr, mc, kc) };
+        return;
+    }
+    pack_a_combined_sweep(terms, buf, mr, mc, kc);
+}
+
+/// The sliver sweep of [`pack_a_combined`]. Kept monomorphic over the
+/// dispatch decision: the `_fma` twin runs the identical code inside an
+/// `avx2,fma` target-feature scope so the `mul_add` chains compile to FMA
+/// vector code instead of per-element libm calls. Same IEEE-754 results.
+#[inline(always)]
+fn pack_a_combined_sweep<T: Scalar>(
+    terms: &[(T, MatRef<'_, T>)],
+    buf: &mut [T],
+    mr: usize,
+    mc: usize,
+    kc: usize,
+) {
+    let slivers = mc.div_ceil(mr);
     for s in 0..slivers {
         let base = s * kc * mr;
         let i0 = s * mr;
@@ -112,19 +137,52 @@ pub fn pack_a_combined<T: Scalar>(terms: &[(T, MatRef<'_, T>)], buf: &mut Vec<T>
     }
 }
 
+/// # Safety
+/// CPU must support avx2+fma (see [`crate::kernel::hardware_fma_enabled`]).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn pack_a_combined_sweep_fma<T: Scalar>(
+    terms: &[(T, MatRef<'_, T>)],
+    buf: &mut [T],
+    mr: usize,
+    mc: usize,
+    kc: usize,
+) {
+    pack_a_combined_sweep(terms, buf, mr, mc, kc)
+}
+
 /// Pack the `kc × nc` block `Σ coeff_t · B_t` into NR-column slivers,
 /// forming the combination during the pack sweep. Layout, padding and
 /// bitwise-vs-`combine` guarantees mirror [`pack_a_combined`] /
 /// [`pack_b`].
-pub fn pack_b_combined<T: Scalar>(terms: &[(T, MatRef<'_, T>)], buf: &mut Vec<T>) {
+pub fn pack_b_combined<T: Scalar>(terms: &[(T, MatRef<'_, T>)], buf: &mut Vec<T>, nr: usize) {
     assert!(!terms.is_empty(), "pack_b_combined needs at least one term");
     let (kc, nc) = (terms[0].1.rows(), terms[0].1.cols());
     for (_, src) in terms {
         assert_eq!((src.rows(), src.cols()), (kc, nc), "source shape mismatch");
     }
-    let nr = T::NR;
     let slivers = nc.div_ceil(nr);
     size_panel(buf, slivers * kc * nr);
+    #[cfg(target_arch = "x86_64")]
+    if crate::kernel::hardware_fma_enabled() {
+        // SAFETY: avx2+fma presence was verified at runtime.
+        unsafe { pack_b_combined_sweep_fma(terms, buf, nr, nc, kc) };
+        return;
+    }
+    pack_b_combined_sweep(terms, buf, nr, nc, kc);
+}
+
+/// The row sweep of [`pack_b_combined`]; same dispatch story as
+/// [`pack_a_combined_sweep`].
+#[inline(always)]
+fn pack_b_combined_sweep<T: Scalar>(
+    terms: &[(T, MatRef<'_, T>)],
+    buf: &mut [T],
+    nr: usize,
+    nc: usize,
+    kc: usize,
+) {
+    let slivers = nc.div_ceil(nr);
     for p in 0..kc {
         for s in 0..slivers {
             let base = s * kc * nr + p * nr;
@@ -136,10 +194,48 @@ pub fn pack_b_combined<T: Scalar>(terms: &[(T, MatRef<'_, T>)], buf: &mut Vec<T>
     }
 }
 
+/// # Safety
+/// CPU must support avx2+fma (see [`crate::kernel::hardware_fma_enabled`]).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn pack_b_combined_sweep_fma<T: Scalar>(
+    terms: &[(T, MatRef<'_, T>)],
+    buf: &mut [T],
+    nr: usize,
+    nc: usize,
+    kc: usize,
+) {
+    pack_b_combined_sweep(terms, buf, nr, nc, kc)
+}
+
 /// Write `out[q] ← Σ_t coeff_t · src_t[i, j0 + q]` for a contiguous column
 /// segment of row `i`, using `combine`'s arity-specialized mul_add chains.
-#[inline]
+///
+/// Non-recursive: arities above 4 run the ≤4-term bodies over 4-term
+/// chunks (the identical chain shapes the old recursion produced), and
+/// everything is `inline(always)` so the sweep inlines into the
+/// target-feature wrappers and the mul_adds pick up FMA codegen.
+#[inline(always)]
 fn combined_segment<T: Scalar>(terms: &[(T, MatRef<'_, T>)], i: usize, j0: usize, out: &mut [T]) {
+    if terms.len() <= 4 {
+        combined_segment_small(terms, i, j0, out);
+    } else {
+        let (head, tail) = terms.split_at(4);
+        combined_segment_small(head, i, j0, out);
+        for chunk in tail.chunks(4) {
+            accumulate_segment_small(chunk, i, j0, out);
+        }
+    }
+}
+
+/// The ≤4-term overwrite bodies of [`combined_segment`].
+#[inline(always)]
+fn combined_segment_small<T: Scalar>(
+    terms: &[(T, MatRef<'_, T>)],
+    i: usize,
+    j0: usize,
+    out: &mut [T],
+) {
     let w = out.len();
     match terms {
         [] => unreachable!("empty term list rejected at entry"),
@@ -176,19 +272,20 @@ fn combined_segment<T: Scalar>(terms: &[(T, MatRef<'_, T>)], i: usize, j0: usize
                 *o = c0.mul_add(r0[q], c1.mul_add(r1[q], c2.mul_add(r2[q], *c3 * r3[q])));
             }
         }
-        _ => {
-            let (head, tail) = terms.split_at(4);
-            combined_segment(head, i, j0, out);
-            accumulate_segment(tail, i, j0, out);
-        }
+        _ => unreachable!("combined_segment chunks terms to at most 4"),
     }
 }
 
 /// `out[q] += Σ_t coeff_t · src_t[i, j0 + q]` with the accumulate-mode
 /// arithmetic of `combine` (single-term FMA into the accumulator; wider
-/// arities form the chain then add).
-#[inline]
-fn accumulate_segment<T: Scalar>(terms: &[(T, MatRef<'_, T>)], i: usize, j0: usize, out: &mut [T]) {
+/// arities form the chain then add). At most 4 terms per call.
+#[inline(always)]
+fn accumulate_segment_small<T: Scalar>(
+    terms: &[(T, MatRef<'_, T>)],
+    i: usize,
+    j0: usize,
+    out: &mut [T],
+) {
     let w = out.len();
     match terms {
         [] => {}
@@ -225,19 +322,35 @@ fn accumulate_segment<T: Scalar>(terms: &[(T, MatRef<'_, T>)], i: usize, j0: usi
                 *o += c0.mul_add(r0[q], c1.mul_add(r1[q], c2.mul_add(r2[q], *c3 * r3[q])));
             }
         }
-        _ => {
-            let (head, tail) = terms.split_at(4);
-            accumulate_segment(head, i, j0, out);
-            accumulate_segment(tail, i, j0, out);
-        }
+        _ => unreachable!("accumulate_segment_small takes at most 4 terms"),
     }
 }
 
 /// Strided variant of [`combined_segment`]: write the combined row `i`
 /// (all `kc` columns) into `out[p · stride]` for `p = 0..kc`, the k-major
-/// A-sliver layout.
-#[inline]
+/// A-sliver layout. Same non-recursive chunking.
+#[inline(always)]
 fn combined_row_strided<T: Scalar>(
+    terms: &[(T, MatRef<'_, T>)],
+    i: usize,
+    out: &mut [T],
+    stride: usize,
+    kc: usize,
+) {
+    if terms.len() <= 4 {
+        combined_row_strided_small(terms, i, out, stride, kc);
+    } else {
+        let (head, tail) = terms.split_at(4);
+        combined_row_strided_small(head, i, out, stride, kc);
+        for chunk in tail.chunks(4) {
+            accumulate_row_strided_small(chunk, i, out, stride, kc);
+        }
+    }
+}
+
+/// The ≤4-term overwrite bodies of [`combined_row_strided`].
+#[inline(always)]
+fn combined_row_strided_small<T: Scalar>(
     terms: &[(T, MatRef<'_, T>)],
     i: usize,
     out: &mut [T],
@@ -270,16 +383,14 @@ fn combined_row_strided<T: Scalar>(
                     c0.mul_add(r0[p], c1.mul_add(r1[p], c2.mul_add(r2[p], *c3 * r3[p])));
             }
         }
-        _ => {
-            let (head, tail) = terms.split_at(4);
-            combined_row_strided(head, i, out, stride, kc);
-            accumulate_row_strided(tail, i, out, stride, kc);
-        }
+        _ => unreachable!("combined_row_strided chunks terms to at most 4"),
     }
 }
 
-#[inline]
-fn accumulate_row_strided<T: Scalar>(
+/// Accumulate counterpart of [`combined_row_strided_small`]; at most 4
+/// terms per call.
+#[inline(always)]
+fn accumulate_row_strided_small<T: Scalar>(
     terms: &[(T, MatRef<'_, T>)],
     i: usize,
     out: &mut [T],
@@ -313,11 +424,7 @@ fn accumulate_row_strided<T: Scalar>(
                     c0.mul_add(r0[p], c1.mul_add(r1[p], c2.mul_add(r2[p], *c3 * r3[p])));
             }
         }
-        _ => {
-            let (head, tail) = terms.split_at(4);
-            accumulate_row_strided(head, i, out, stride, kc);
-            accumulate_row_strided(tail, i, out, stride, kc);
-        }
+        _ => unreachable!("accumulate_row_strided_small takes at most 4 terms"),
     }
 }
 
@@ -332,7 +439,7 @@ mod tests {
         let mr = f32::MR;
         let a = Mat::<f32>::from_fn(mr, 2, |i, j| (i * 2 + j) as f32);
         let mut buf = Vec::new();
-        pack_a(a.as_ref(), &mut buf);
+        pack_a(a.as_ref(), &mut buf, mr);
         assert_eq!(buf.len(), mr * 2);
         for i in 0..mr {
             assert_eq!(buf[i], a.at(i, 0)); // p = 0 sliver column
@@ -345,7 +452,7 @@ mod tests {
         let mr = f32::MR;
         let a = Mat::<f32>::from_fn(mr + 3, 4, |i, j| (i * 10 + j) as f32 + 1.0);
         let mut buf = Vec::new();
-        pack_a(a.as_ref(), &mut buf);
+        pack_a(a.as_ref(), &mut buf, mr);
         assert_eq!(buf.len(), 2 * 4 * mr);
         // Second sliver has 3 valid rows; the rest are zeros.
         for p in 0..4 {
@@ -365,7 +472,7 @@ mod tests {
         let nr = f32::NR;
         let b = Mat::<f32>::from_fn(3, nr + 2, |i, j| (i * 100 + j) as f32);
         let mut buf = Vec::new();
-        pack_b(b.as_ref(), &mut buf);
+        pack_b(b.as_ref(), &mut buf, nr);
         assert_eq!(buf.len(), 2 * 3 * nr);
         for p in 0..3 {
             for j in 0..nr {
@@ -389,10 +496,10 @@ mod tests {
         let mr = f32::MR;
         let mut buf = Vec::new();
         let full = Mat::<f32>::from_fn(2 * mr, 4, |_, _| 5.0);
-        pack_a(full.as_ref(), &mut buf);
+        pack_a(full.as_ref(), &mut buf, mr);
         let ragged = Mat::<f32>::from_fn(mr + 1, 8, |_, _| 3.0);
-        pack_a(ragged.as_ref(), &mut buf); // resize path (len changes)
-        pack_a(ragged.as_ref(), &mut buf); // same-len reuse path
+        pack_a(ragged.as_ref(), &mut buf, mr); // resize path (len changes)
+        pack_a(ragged.as_ref(), &mut buf, mr); // same-len reuse path
         for p in 0..8 {
             for i in 1..mr {
                 assert_eq!(buf[8 * mr + p * mr + i], 0.0, "pad ({i},{p})");
@@ -401,10 +508,10 @@ mod tests {
         let nr = f32::NR;
         let mut bbuf = Vec::new();
         let bfull = Mat::<f32>::from_fn(3, 2 * nr, |_, _| 7.0);
-        pack_b(bfull.as_ref(), &mut bbuf);
+        pack_b(bfull.as_ref(), &mut bbuf, nr);
         let bragged = Mat::<f32>::from_fn(3, nr + 1, |_, _| 2.0);
-        pack_b(bragged.as_ref(), &mut bbuf);
-        pack_b(bragged.as_ref(), &mut bbuf);
+        pack_b(bragged.as_ref(), &mut bbuf, nr);
+        pack_b(bragged.as_ref(), &mut bbuf, nr);
         for p in 0..3 {
             for j in 1..nr {
                 assert_eq!(bbuf[3 * nr + p * nr + j], 0.0, "pad ({p},{j})");
@@ -435,12 +542,12 @@ mod tests {
         let mut s = Mat::<f32>::zeros(rows, cols);
         combine(s.as_mut(), false, &terms);
         let (mut want_a, mut got_a) = (Vec::new(), Vec::new());
-        pack_a(s.as_ref(), &mut want_a);
-        pack_a_combined(&terms, &mut got_a);
+        pack_a(s.as_ref(), &mut want_a, f32::MR);
+        pack_a_combined(&terms, &mut got_a, f32::MR);
         assert_eq!(want_a, got_a, "pack_a arity {arity} ({rows}x{cols})");
         let (mut want_b, mut got_b) = (Vec::new(), Vec::new());
-        pack_b(s.as_ref(), &mut want_b);
-        pack_b_combined(&terms, &mut got_b);
+        pack_b(s.as_ref(), &mut want_b, f32::NR);
+        pack_b_combined(&terms, &mut got_b, f32::NR);
         assert_eq!(want_b, got_b, "pack_b arity {arity} ({rows}x{cols})");
     }
 
@@ -462,8 +569,8 @@ mod tests {
         let a = Mat::<f64>::from_fn(mr, kc, |i, j| (i + 1) as f64 * (j + 1) as f64);
         let b = Mat::<f64>::from_fn(kc, nr, |i, j| (i as f64) - (j as f64));
         let (mut ab, mut bb) = (Vec::new(), Vec::new());
-        pack_a(a.as_ref(), &mut ab);
-        pack_b(b.as_ref(), &mut bb);
+        pack_a(a.as_ref(), &mut ab, mr);
+        pack_b(b.as_ref(), &mut bb, nr);
         for i in 0..mr {
             for j in 0..nr {
                 let mut s = 0.0;

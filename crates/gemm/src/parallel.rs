@@ -8,9 +8,33 @@
 //! of the hybrid strategy leans on.
 
 use crate::blocked::{gemm_combined_st, gemm_st, with_subviews};
+use crate::kernel::kernel_spec;
 use crate::matrix::{Mat, MatMut, MatRef};
 use crate::pool::{pool, Par, PoolError};
 use crate::scalar::Scalar;
+
+/// Rows per worker stripe. `m` is split into MR-tiles (stripes never cut
+/// a microkernel row block) and the tiles are dealt round-robin: the
+/// first `tiles % workers` stripes get one extra tile. Every returned
+/// count is positive and they sum to `m` — the old
+/// `m.div_ceil(threads)` rounding could hand the head workers everything
+/// and leave trailing workers idle (m=64, MR=8, threads=6 → 2 idle).
+fn stripe_row_counts(m: usize, mr: usize, threads: usize) -> Vec<usize> {
+    debug_assert!(m > 0 && mr > 0);
+    let tiles = m.div_ceil(mr);
+    let workers = threads.max(1).min(tiles);
+    let (base, extra) = (tiles / workers, tiles % workers);
+    let mut counts = Vec::with_capacity(workers);
+    let mut left = m;
+    for w in 0..workers {
+        let t = base + usize::from(w < extra);
+        let rows = (t * mr).min(left);
+        counts.push(rows);
+        left -= rows;
+    }
+    debug_assert_eq!(left, 0);
+    counts
+}
 
 /// `C ← α·A·B + β·C` with the requested parallelism. Panics if a worker
 /// lane panics; [`try_gemm`] is the non-panicking variant.
@@ -59,15 +83,13 @@ fn gemm_mt<T: Scalar>(
     if m == 0 || c.cols() == 0 {
         return Ok(());
     }
-    // Stripe height: balanced across workers, rounded up to the register
-    // tile so stripes don't split microkernel rows.
-    let mr = T::MR;
-    let stripe = m.div_ceil(threads).div_ceil(mr).max(1) * mr;
+    // Stripe heights: MR-tiles dealt round-robin across workers (tile
+    // shape from the dispatched kernel), so no trailing worker idles.
+    let mr = kernel_spec::<T>().mr;
     let mut jobs: Vec<(MatRef<'_, T>, MatMut<'_, T>)> = Vec::new();
     let mut c_rest = c;
     let mut r0 = 0;
-    while r0 < m {
-        let rows = stripe.min(m - r0);
+    for rows in stripe_row_counts(m, mr, threads) {
         let (head, tail) = c_rest.split_at_row(rows);
         jobs.push((a.subview(r0, 0, rows, a.cols()), head));
         c_rest = tail;
@@ -139,13 +161,11 @@ fn gemm_combined_mt<T: Scalar>(
         return Ok(());
     }
     // Same stripe geometry as the plain parallel driver.
-    let mr = T::MR;
-    let stripe = m.div_ceil(threads).div_ceil(mr).max(1) * mr;
+    let mr = kernel_spec::<T>().mr;
     pool(threads).try_scope(|s| {
         let mut c_rest = c;
         let mut r0 = 0;
-        while r0 < m {
-            let rows = stripe.min(m - r0);
+        for rows in stripe_row_counts(m, mr, threads) {
             let (head, tail) = c_rest.split_at_row(rows);
             c_rest = tail;
             s.spawn(move |_| {
@@ -261,6 +281,68 @@ mod tests {
                     );
                 }
             }
+        }
+    }
+
+    #[test]
+    fn stripes_use_every_worker_on_awkward_shapes() {
+        // The motivating regression: m=64, MR=8, threads=6 used to give
+        // stripes of 16 rows → 4 workers busy, 2 idle. Round-robin tiles
+        // give [16, 16, 8, 8, 8, 8].
+        assert_eq!(stripe_row_counts(64, 8, 6), vec![16, 16, 8, 8, 8, 8]);
+    }
+
+    #[test]
+    fn stripe_counts_cover_m_without_idle_workers() {
+        for mr in [4usize, 6, 8, 14] {
+            for m in [1usize, 5, 7, 8, 9, 63, 64, 65, 97, 128, 200] {
+                for threads in 1..=9 {
+                    let counts = stripe_row_counts(m, mr, threads);
+                    let tiles = m.div_ceil(mr);
+                    assert_eq!(
+                        counts.len(),
+                        threads.min(tiles),
+                        "worker count (m={m}, mr={mr}, threads={threads})"
+                    );
+                    assert_eq!(
+                        counts.iter().sum::<usize>(),
+                        m,
+                        "coverage (m={m}, mr={mr}, threads={threads})"
+                    );
+                    assert!(
+                        counts.iter().all(|&r| r > 0),
+                        "idle worker (m={m}, mr={mr}, threads={threads}): {counts:?}"
+                    );
+                    // Balanced to within one MR-tile.
+                    let tile_counts: Vec<usize> = counts.iter().map(|&r| r.div_ceil(mr)).collect();
+                    let (lo, hi) = (
+                        *tile_counts.iter().min().unwrap(),
+                        *tile_counts.iter().max().unwrap(),
+                    );
+                    assert!(
+                        hi - lo <= 1,
+                        "imbalance (m={m}, mr={mr}, threads={threads}): {counts:?}"
+                    );
+                    // Only the last stripe may be ragged.
+                    for &r in &counts[..counts.len() - 1] {
+                        assert_eq!(r % mr, 0, "interior stripe not MR-aligned");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn awkward_shapes_match_naive_under_parallelism() {
+        for &(m, threads) in &[(64usize, 6usize), (65, 7), (17, 5), (9, 8), (33, 2)] {
+            let a = rand_mat::<f64>(m, 40, m as u64);
+            let b = rand_mat::<f64>(40, 31, threads as u64);
+            let got = matmul_par(a.as_ref(), b.as_ref(), Par::Threads(threads));
+            let expect = matmul_naive(a.as_ref(), b.as_ref());
+            assert!(
+                got.rel_frobenius_error(&expect) < 1e-12,
+                "m={m} threads={threads}"
+            );
         }
     }
 

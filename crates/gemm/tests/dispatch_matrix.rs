@@ -1,0 +1,188 @@
+//! Dispatch matrix: every SIMD tier the host exposes must agree
+//! **bitwise** with the portable scalar tier, for both element types,
+//! both β classes, and both the plain and fused-combined gemm paths,
+//! across ragged shapes that exercise full tiles, edge tiles and
+//! single-row/column slivers of every tier's MR×NR geometry.
+//!
+//! Bitwise (not tolerance-based) agreement is the contract that makes
+//! runtime dispatch invisible: results must not depend on which CPU the
+//! binary landed on. The kernels uphold it by running the same FMA chain
+//! per C element in every tier; this suite is the fence around that
+//! property.
+
+use apa_gemm::{
+    available_tiers, gemm_combined_st_with_spec, gemm_st_with_spec, spec_for_tier, KernelTier, Mat,
+    Scratch,
+};
+
+/// Ragged (m, n, k) triples: smaller than one tile, exactly one tile,
+/// edge-remainder and multi-block shapes for every tier's MR/NR
+/// (scalar 8×8 / 4×8, AVX2 6×16 / 6×8, AVX-512 14×32 / 14×16).
+const SHAPES: [(usize, usize, usize); 12] = [
+    (1, 1, 1),
+    (1, 33, 5),
+    (3, 5, 7),
+    (6, 16, 17),
+    (8, 8, 8),
+    (13, 17, 19),
+    (14, 32, 33),
+    (15, 33, 31),
+    (16, 48, 48),
+    (31, 29, 40),
+    (97, 65, 33),
+    (130, 70, 129),
+];
+
+macro_rules! dispatch_matrix_for {
+    ($ty:ty, $plain:ident, $combined:ident) => {
+        #[test]
+        fn $plain() {
+            let scalar = spec_for_tier::<$ty>(KernelTier::Scalar).unwrap();
+            let mut scratch = Scratch::new();
+            for &tier in available_tiers() {
+                let Some(spec) = spec_for_tier::<$ty>(tier) else {
+                    panic!("available tier {tier:?} has no {} spec", stringify!($ty));
+                };
+                for &(m, n, k) in &SHAPES {
+                    let a = Mat::<$ty>::from_fn(m, k, |i, j| {
+                        ((i * 7 + j * 3) % 23) as $ty * 0.11 - 1.2
+                    });
+                    let b =
+                        Mat::<$ty>::from_fn(k, n, |i, j| ((i * 5 + j) % 19) as $ty * 0.07 - 0.6);
+                    let init = Mat::<$ty>::from_fn(m, n, |i, j| ((i + j) % 9) as $ty * 0.3 - 1.0);
+                    for beta in [0.0 as $ty, 1.0] {
+                        let mut want = init.clone();
+                        gemm_st_with_spec(
+                            &scalar,
+                            1.25,
+                            a.as_ref(),
+                            b.as_ref(),
+                            beta,
+                            want.as_mut(),
+                            &mut scratch,
+                        );
+                        let mut got = init.clone();
+                        gemm_st_with_spec(
+                            &spec,
+                            1.25,
+                            a.as_ref(),
+                            b.as_ref(),
+                            beta,
+                            got.as_mut(),
+                            &mut scratch,
+                        );
+                        for (g, w) in got.as_slice().iter().zip(want.as_slice()) {
+                            assert_eq!(
+                                g.to_bits(),
+                                w.to_bits(),
+                                "tier {tier:?} diverges from scalar at ({m},{n},{k}) β={beta}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+
+        #[test]
+        fn $combined() {
+            let scalar = spec_for_tier::<$ty>(KernelTier::Scalar).unwrap();
+            let mut scratch = Scratch::new();
+            for &tier in available_tiers() {
+                let spec = spec_for_tier::<$ty>(tier).unwrap();
+                for &(m, n, k) in &SHAPES {
+                    let a0 =
+                        Mat::<$ty>::from_fn(m, k, |i, j| ((i + j * 2) % 13) as $ty * 0.1 - 0.5);
+                    let a1 =
+                        Mat::<$ty>::from_fn(m, k, |i, j| ((i * 3 + j) % 11) as $ty * 0.1 - 0.4);
+                    let b0 =
+                        Mat::<$ty>::from_fn(k, n, |i, j| ((i + 2 * j) % 17) as $ty * 0.1 - 0.7);
+                    let b1 = Mat::<$ty>::from_fn(k, n, |i, j| ((i + 5 * j) % 7) as $ty * 0.1 - 0.3);
+                    let a_terms = [(1.0 as $ty, a0.as_ref()), (-0.5, a1.as_ref())];
+                    let b_terms = [(0.25 as $ty, b0.as_ref()), (2.0, b1.as_ref())];
+                    let init = Mat::<$ty>::from_fn(m, n, |i, j| ((2 * i + j) % 5) as $ty * 0.2);
+                    for beta in [0.0 as $ty, 1.0] {
+                        let mut want = init.clone();
+                        gemm_combined_st_with_spec(
+                            &scalar,
+                            0.75,
+                            &a_terms,
+                            &b_terms,
+                            beta,
+                            want.as_mut(),
+                            &mut scratch,
+                        );
+                        let mut got = init.clone();
+                        gemm_combined_st_with_spec(
+                            &spec,
+                            0.75,
+                            &a_terms,
+                            &b_terms,
+                            beta,
+                            got.as_mut(),
+                            &mut scratch,
+                        );
+                        for (g, w) in got.as_slice().iter().zip(want.as_slice()) {
+                            assert_eq!(
+                                g.to_bits(),
+                                w.to_bits(),
+                                "fused tier {tier:?} diverges at ({m},{n},{k}) β={beta}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    };
+}
+
+dispatch_matrix_for!(
+    f32,
+    plain_tiers_agree_bitwise_f32,
+    combined_tiers_agree_bitwise_f32
+);
+dispatch_matrix_for!(
+    f64,
+    plain_tiers_agree_bitwise_f64,
+    combined_tiers_agree_bitwise_f64
+);
+
+/// The scalar tier is always present and always first, so the suite above
+/// is never vacuous — on a machine with no SIMD it still pins the scalar
+/// path against itself and the naive reference below.
+#[test]
+fn scalar_tier_always_available() {
+    let tiers = available_tiers();
+    assert_eq!(tiers.first(), Some(&KernelTier::Scalar));
+}
+
+/// Anchor the whole matrix to ground truth: the scalar tier must match a
+/// naive triple loop to tight tolerance (bitwise equality between tiers
+/// would otherwise allow all tiers to be identically wrong).
+#[test]
+fn scalar_tier_matches_naive_reference() {
+    let scalar = spec_for_tier::<f64>(KernelTier::Scalar).unwrap();
+    let mut scratch = Scratch::new();
+    for &(m, n, k) in &SHAPES {
+        let a = Mat::<f64>::from_fn(m, k, |i, j| ((i * 7 + j * 3) % 23) as f64 * 0.11 - 1.2);
+        let b = Mat::<f64>::from_fn(k, n, |i, j| ((i * 5 + j) % 19) as f64 * 0.07 - 0.6);
+        let mut got = Mat::<f64>::zeros(m, n);
+        gemm_st_with_spec(
+            &scalar,
+            1.0,
+            a.as_ref(),
+            b.as_ref(),
+            0.0,
+            got.as_mut(),
+            &mut scratch,
+        );
+        let want = apa_gemm::matmul_naive(a.as_ref(), b.as_ref());
+        for i in 0..m {
+            for j in 0..n {
+                assert!(
+                    (got.at(i, j) - want.at(i, j)).abs() <= 1e-12 * k as f64,
+                    "scalar tier wrong at ({i},{j}) for shape ({m},{n},{k})"
+                );
+            }
+        }
+    }
+}

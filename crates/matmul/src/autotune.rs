@@ -5,6 +5,14 @@
 //! dimension, the thread count and whether the sub-multiplication count
 //! divides the threads; an end user should not have to read the figures —
 //! this module reruns the relevant race at their actual operating point.
+//!
+//! Probing at a scaled-down shape is only honest if the probe keeps the
+//! real shape's *divisibility class*: a ⟨3,2,2⟩ rule pads `n = 1000` but
+//! splits `n = 996` cleanly, and a probe that silently rounds both to 512
+//! measures a different regime than the one the caller will run. Each
+//! candidate is therefore probed at the largest `d ≤ probe_n` congruent to
+//! `n` modulo its split period, scored against a classical baseline at the
+//! *same* `d`, and the winner is re-validated once at the real shape.
 
 use crate::apamm::{ApaMatmul, ClassicalMatmul};
 use crate::schedule::Strategy;
@@ -17,25 +25,79 @@ use std::time::Instant;
 pub struct Candidate {
     /// Algorithm name, or "classical".
     pub name: String,
+    /// Best-of-two seconds at this candidate's probe shape. Candidates may
+    /// probe at different dimensions, so compare `relative`, not seconds.
     pub seconds: f64,
-    /// Relative to the classical baseline (< 1.0 is faster).
+    /// Relative to the classical baseline at the same probe shape
+    /// (< 1.0 is faster).
     pub relative: f64,
 }
 
 /// Result of an autotuning race.
 #[derive(Debug)]
 pub struct TuneOutcome {
-    /// The winner, configured and ready to use; `None` when classical won.
+    /// The winner, configured and ready to use; `None` when classical won
+    /// (either outright, or after the full-shape re-validation).
     pub best: Option<ApaMatmul>,
     pub best_name: String,
-    /// All measurements, fastest first.
+    /// All measurements, fastest first by `relative`.
     pub candidates: Vec<Candidate>,
 }
 
-/// Probe dimension: scale the race down to `probe_n` (capped at the real
-/// `n`) so tuning costs a few gemms, not a full-size multiply per entry.
-fn probe_dim(n: usize, probe_n: usize) -> usize {
-    n.min(probe_n)
+fn gcd(a: usize, b: usize) -> usize {
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
+}
+
+fn lcm(a: usize, b: usize) -> usize {
+    if a == 0 || b == 0 {
+        0
+    } else {
+        a / gcd(a, b) * b
+    }
+}
+
+/// Probe dimension for one candidate: the largest `d ≤ min(n, probe_n)`
+/// with `d ≡ n (mod period)`, where `period` is the candidate's split
+/// period (lcm of its `⟨m̂, k̂, n̂⟩` dims). Keeping the residue keeps the
+/// padding overhead and sub-multiplication geometry of the real shape —
+/// the very things the module doc says decide the Fig. 3/6 winner. Falls
+/// back to the plain cap when the class has no representative in range.
+fn probe_dim(n: usize, probe_n: usize, period: usize) -> usize {
+    let cap = n.min(probe_n);
+    if n <= probe_n || period == 0 {
+        return cap;
+    }
+    let rem = n % period;
+    if rem > cap {
+        return cap;
+    }
+    let d = cap - ((cap - rem) % period);
+    if d == 0 {
+        cap
+    } else {
+        d
+    }
+}
+
+fn probe_mats(d: usize) -> (Mat<f32>, Mat<f32>) {
+    let a = Mat::<f32>::from_fn(d, d, |i, j| ((i * 7 + j) % 13) as f32 * 0.077 - 0.5);
+    let b = Mat::<f32>::from_fn(d, d, |i, j| ((i + j * 3) % 11) as f32 * 0.09 - 0.45);
+    (a, b)
+}
+
+/// Best of two timed runs after one warmup.
+fn time2(f: &mut dyn FnMut()) -> f64 {
+    f(); // warmup
+    let t0 = Instant::now();
+    f();
+    let first = t0.elapsed().as_secs_f64();
+    let t1 = Instant::now();
+    f();
+    first.min(t1.elapsed().as_secs_f64())
 }
 
 /// Race the paper lineup (plus classical) at shape `n×n×n` with the given
@@ -51,51 +113,88 @@ pub fn autotune_with(
     threads: usize,
     probe_n: usize,
 ) -> TuneOutcome {
-    let d = probe_dim(n, probe_n);
-    let a = Mat::<f32>::from_fn(d, d, |i, j| ((i * 7 + j) % 13) as f32 * 0.077 - 0.5);
-    let b = Mat::<f32>::from_fn(d, d, |i, j| ((i + j * 3) % 11) as f32 * 0.09 - 0.45);
-    let mut c = Mat::<f32>::zeros(d, d);
+    let classical = ClassicalMatmul::new().threads(threads);
 
-    let time2 = |f: &mut dyn FnMut()| {
-        f(); // warmup
-        let t0 = Instant::now();
-        f();
-        let first = t0.elapsed().as_secs_f64();
-        let t1 = Instant::now();
-        f();
-        first.min(t1.elapsed().as_secs_f64())
+    // Classical baseline per distinct probe dimension, memoized: seconds
+    // at two different dimensions are not comparable, so every candidate
+    // is scored against classical at its *own* probe shape.
+    let mut baselines: Vec<(usize, f64)> = Vec::new();
+    let mut classical_at = |d: usize| -> f64 {
+        if let Some(&(_, t)) = baselines.iter().find(|&&(bd, _)| bd == d) {
+            return t;
+        }
+        let (a, b) = probe_mats(d);
+        let mut c = Mat::<f32>::zeros(d, d);
+        let t = time2(&mut || {
+            classical.multiply_into(a.as_ref(), b.as_ref(), c.as_mut());
+        });
+        baselines.push((d, t));
+        t
     };
 
-    let classical = ClassicalMatmul::new().threads(threads);
-    let t_classical = time2(&mut || {
-        classical.multiply_into(a.as_ref(), b.as_ref(), c.as_mut());
-    });
-
+    let d_ref = n.min(probe_n);
     let mut candidates = vec![Candidate {
         name: "classical".into(),
-        seconds: t_classical,
+        seconds: classical_at(d_ref),
         relative: 1.0,
     }];
-    let mut best: Option<(f64, ApaMatmul)> = None;
+
+    // (relative speed, probe dim, configured multiplier) of the leader.
+    let mut leader: Option<(f64, usize, ApaMatmul)> = None;
     for alg in algorithms {
         let name = alg.name.clone();
+        let period = lcm(lcm(alg.dims.m, alg.dims.k), alg.dims.n);
+        let d = probe_dim(n, probe_n, period);
         let mm = ApaMatmul::new(alg)
             .strategy(Strategy::Hybrid)
             .threads(threads);
+        let (a, b) = probe_mats(d);
+        let mut c = Mat::<f32>::zeros(d, d);
         let t = time2(&mut || {
             mm.multiply_into(a.as_ref(), b.as_ref(), c.as_mut());
         });
+        let relative = t / classical_at(d);
         candidates.push(Candidate {
             name,
             seconds: t,
-            relative: t / t_classical,
+            relative,
         });
-        if t < t_classical && best.as_ref().map(|(bt, _)| t < *bt).unwrap_or(true) {
-            best = Some((t, mm));
+        if relative < 1.0
+            && leader
+                .as_ref()
+                .map(|(r, _, _)| relative < *r)
+                .unwrap_or(true)
+        {
+            leader = Some((relative, d, mm));
         }
     }
-    candidates.sort_by(|x, y| x.seconds.total_cmp(&y.seconds));
-    let best_name = candidates[0].name.clone();
+    candidates.sort_by(|x, y| x.relative.total_cmp(&y.relative));
+
+    // Re-validate the probe winner once at the real shape. The probe kept
+    // the divisibility class, but cache behaviour does not always
+    // extrapolate; one head-to-head pair of full-size multiplies is cheap
+    // insurance against shipping a probe-only winner.
+    let mut best = leader.map(|(_, d, mm)| (d, mm));
+    if let Some((d, mm)) = &best {
+        if *d < n {
+            let (a, b) = probe_mats(n);
+            let mut c = Mat::<f32>::zeros(n, n);
+            let t0 = Instant::now();
+            mm.multiply_into(a.as_ref(), b.as_ref(), c.as_mut());
+            let t_apa = t0.elapsed().as_secs_f64();
+            let t1 = Instant::now();
+            classical.multiply_into(a.as_ref(), b.as_ref(), c.as_mut());
+            let t_classical = t1.elapsed().as_secs_f64();
+            if t_apa >= t_classical {
+                best = None;
+            }
+        }
+    }
+
+    let best_name = match &best {
+        Some(_) => candidates[0].name.clone(),
+        None => "classical".into(),
+    };
     TuneOutcome {
         best: best.map(|(_, mm)| mm),
         best_name,
@@ -113,9 +212,8 @@ mod tests {
         let outcome = autotune_with(vec![catalog::strassen(), catalog::bini322()], 256, 1, 128);
         assert_eq!(outcome.candidates.len(), 3);
         for w in outcome.candidates.windows(2) {
-            assert!(w[0].seconds <= w[1].seconds, "not sorted");
+            assert!(w[0].relative <= w[1].relative, "not sorted by relative");
         }
-        assert_eq!(outcome.best_name, outcome.candidates[0].name);
         // classical has relative exactly 1.0 by definition.
         let classical = outcome
             .candidates
@@ -123,6 +221,12 @@ mod tests {
             .find(|c| c.name == "classical")
             .unwrap();
         assert_eq!(classical.relative, 1.0);
+        match &outcome.best {
+            // A surviving winner is the relative-fastest candidate.
+            Some(_) => assert_eq!(outcome.best_name, outcome.candidates[0].name),
+            // Classical won, either at the probe or at the full-shape check.
+            None => assert_eq!(outcome.best_name, "classical"),
+        }
     }
 
     #[test]
@@ -138,8 +242,16 @@ mod tests {
     }
 
     #[test]
-    fn probe_dim_caps_at_n() {
-        assert_eq!(probe_dim(100, 512), 100);
-        assert_eq!(probe_dim(4096, 512), 512);
+    fn probe_dim_preserves_divisibility_class() {
+        // Real n within budget: probe at the exact shape.
+        assert_eq!(probe_dim(100, 512, 2), 100);
+        // Scaled down, the probe keeps n's residue mod the split period.
+        assert_eq!(probe_dim(4096, 512, 2), 512); // 4096 ≡ 0 ≡ 512 (mod 2)
+        assert_eq!(probe_dim(4097, 512, 2), 511); // 4097 ≡ 1 ≡ 511 (mod 2)
+        assert_eq!(probe_dim(1000, 512, 6), 508); // 1000 ≡ 4 ≡ 508 (mod 6)
+        assert_eq!(probe_dim(996, 512, 6), 510); // 996 ≡ 0 ≡ 510 (mod 6)
+                                                 // Degenerate budgets fall back to the plain cap.
+        assert_eq!(probe_dim(4096, 3, 6), 3);
+        assert_eq!(probe_dim(4096, 512, 0), 512);
     }
 }

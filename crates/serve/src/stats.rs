@@ -22,6 +22,9 @@ pub const LATENCY_BUCKET_BOUNDS_US: [u64; 14] = [
 pub struct LatencyHistogram {
     counts: [u64; LATENCY_BUCKET_BOUNDS_US.len() + 1],
     total: u64,
+    /// Largest latency seen, in microseconds — the honest upper bound the
+    /// open tail bucket reports for quantiles.
+    max_us: u64,
 }
 
 impl LatencyHistogram {
@@ -33,6 +36,7 @@ impl LatencyHistogram {
             .unwrap_or(LATENCY_BUCKET_BOUNDS_US.len());
         self.counts[idx] += 1;
         self.total += 1;
+        self.max_us = self.max_us.max(us);
     }
 
     /// Requests recorded.
@@ -46,9 +50,22 @@ impl LatencyHistogram {
         &self.counts
     }
 
+    /// Requests that landed in the open-ended tail bucket (above the last
+    /// finite bound).
+    pub fn overflow_count(&self) -> u64 {
+        self.counts[LATENCY_BUCKET_BOUNDS_US.len()]
+    }
+
+    /// Largest latency recorded. Zero when nothing was recorded.
+    pub fn max_observed(&self) -> Duration {
+        Duration::from_micros(self.max_us)
+    }
+
     /// Latency quantile `q ∈ (0, 1]`, reported as the upper bound of the
-    /// bucket holding that rank (the open tail reports twice the last
-    /// bound). Zero when nothing was recorded.
+    /// bucket holding that rank. A rank that lands in the open tail
+    /// reports the **max observed latency** — a fabricated
+    /// `2 × last_bound` would silently understate real p99s once requests
+    /// exceed twice the last bound. Zero when nothing was recorded.
     pub fn quantile(&self, q: f64) -> Duration {
         if self.total == 0 {
             return Duration::ZERO;
@@ -58,11 +75,10 @@ impl LatencyHistogram {
         for (i, &count) in self.counts.iter().enumerate() {
             seen += count;
             if seen >= rank {
-                let bound = LATENCY_BUCKET_BOUNDS_US
-                    .get(i)
-                    .copied()
-                    .unwrap_or(2 * LATENCY_BUCKET_BOUNDS_US[LATENCY_BUCKET_BOUNDS_US.len() - 1]);
-                return Duration::from_micros(bound);
+                return match LATENCY_BUCKET_BOUNDS_US.get(i) {
+                    Some(&bound) => Duration::from_micros(bound),
+                    None => self.max_observed(),
+                };
             }
         }
         Duration::ZERO
@@ -259,10 +275,28 @@ mod tests {
     }
 
     #[test]
-    fn histogram_tail_bucket_is_open_ended() {
+    fn histogram_tail_bucket_reports_max_observed() {
         let mut h = LatencyHistogram::default();
         h.record(Duration::from_secs(30));
-        assert_eq!(h.quantile(1.0), Duration::from_micros(2_000_000));
+        // The tail quantile is the real max, not a fabricated 2×last_bound.
+        assert_eq!(h.quantile(1.0), Duration::from_secs(30));
+        assert_eq!(h.max_observed(), Duration::from_secs(30));
+        assert_eq!(h.overflow_count(), 1);
+        // A later, larger overflow pushes the reported tail up with it.
+        h.record(Duration::from_secs(90));
+        assert_eq!(h.quantile(1.0), Duration::from_secs(90));
+        assert_eq!(h.overflow_count(), 2);
+    }
+
+    #[test]
+    fn overflow_count_ignores_bucketed_requests() {
+        let mut h = LatencyHistogram::default();
+        h.record(Duration::from_micros(40));
+        h.record(Duration::from_micros(900_000));
+        assert_eq!(h.overflow_count(), 0);
+        assert_eq!(h.max_observed(), Duration::from_micros(900_000));
+        h.record(Duration::from_micros(1_000_001));
+        assert_eq!(h.overflow_count(), 1);
     }
 
     #[test]

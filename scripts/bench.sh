@@ -1,10 +1,16 @@
 #!/usr/bin/env bash
-# Fusion-ablation benchmark runner (ISSUE 5 acceptance evidence).
+# Benchmark runner.
 #
-#   1. criterion micro-benchmarks: the new `fusion` group (pack+epilogue
-#      fusion vs materialized on ParaDnn widths) and the existing
-#      `workspace` reuse group
-#   2. the `fusionbench` harness, which emits machine-readable
+#   1. criterion micro-benchmarks: the `fusion` group (pack+epilogue
+#      fusion vs materialized on ParaDnn widths) and the `workspace`
+#      reuse group
+#   2. the `kernelbench` harness (ISSUE 6 acceptance evidence): per-tier
+#      gemm leaf GFLOPS + fused ParaDnn sweep under runtime dispatch,
+#      emitting BENCH_6.json. The run MUST report which kernel tier it
+#      dispatched to — asserted below, so a silent fall-through to the
+#      scalar tier on SIMD hardware fails the script instead of quietly
+#      producing slow-but-green numbers.
+#   3. the `fusionbench` harness (ISSUE 5 evidence), which emits
 #      BENCH_5.json (median GFLOP/s, workspace bytes and modeled traffic
 #      per rule x width x policy)
 #
@@ -20,7 +26,17 @@ cargo bench -p apa-bench --bench fusion
 echo "== bench: cargo bench -p apa-bench --bench workspace =="
 cargo bench -p apa-bench --bench workspace
 
+echo "== bench: kernelbench -> BENCH_6.json =="
+kernel_out=$(cargo run --release -p apa-bench --bin kernelbench -- --out BENCH_6.json | tee /dev/stderr)
+
+# The dispatch report line is the proof of which microkernel actually ran.
+if ! grep -q "kernel dispatch: tier=" <<<"$kernel_out"; then
+    echo "== bench: FAIL — kernelbench did not report its dispatched kernel tier ==" >&2
+    exit 1
+fi
+echo "== bench: dispatched $(grep -o 'tier=[a-z0-9]*' <<<"$kernel_out" | head -n1) =="
+
 echo "== bench: fusionbench -> BENCH_5.json =="
 cargo run --release -p apa-bench --bin fusionbench -- --out BENCH_5.json "$@"
 
-echo "== bench: OK (results in BENCH_5.json) =="
+echo "== bench: OK (results in BENCH_5.json, BENCH_6.json) =="

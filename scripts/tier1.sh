@@ -1,12 +1,18 @@
 #!/usr/bin/env bash
 # Tier-1 gate: everything that must stay green on every commit.
 #
-#   1. release build of the whole workspace
-#   2. full test suite (unit + integration + doc tests)
-#   3. fault-injection suites (lane panics/stalls, torn checkpoint writes,
+#   1. release build of the whole workspace (no target-cpu=native — the
+#      build must be portable; SIMD is selected at runtime)
+#   2. full test suite, TWICE: once under the host's native kernel
+#      dispatch (AVX-512/AVX2 where available) and once with
+#      APA_FORCE_SCALAR_KERNEL=1 pinning the portable scalar tier — the
+#      same binary must be correct on both paths
+#   3. the dispatch-matrix suite (bitwise cross-tier agreement) as an
+#      explicit gate
+#   4. fault-injection suites (lane panics/stalls, torn checkpoint writes,
 #      crash drills with bitwise-identical resume)
-#   4. rustfmt check
-#   5. clippy with warnings promoted to errors
+#   5. rustfmt check
+#   6. clippy with warnings promoted to errors
 #
 # Usage: scripts/tier1.sh   (from anywhere inside the repo)
 
@@ -16,8 +22,17 @@ cd "$(dirname "$0")/.."
 echo "== tier1: cargo build --release =="
 cargo build --release
 
-echo "== tier1: cargo test =="
+echo "== tier1: cargo test (native kernel dispatch) =="
 cargo test -q
+
+echo "== tier1: cargo test (APA_FORCE_SCALAR_KERNEL=1, portable scalar tier) =="
+APA_FORCE_SCALAR_KERNEL=1 cargo test -q
+
+echo "== tier1: cargo test -p apa-gemm --test dispatch_matrix (bitwise cross-tier agreement) =="
+cargo test -q -p apa-gemm --test dispatch_matrix
+
+echo "== tier1: cargo test -p apa-gemm --test forced_scalar (env override) =="
+cargo test -q -p apa-gemm --test forced_scalar
 
 echo "== tier1: cargo test -p apa-gemm (fused pack / gemm_combined) =="
 cargo test -q -p apa-gemm
