@@ -1,0 +1,529 @@
+//! Overload goodput: brownout enabled vs disabled at ≥2× measured
+//! capacity (ISSUE 7 acceptance evidence → `BENCH_7.json`).
+//!
+//! Three phases:
+//!
+//! 1. **Capacity** — a closed-loop load generator saturates a guarded
+//!    service with no robustness layer armed and measures steady-state
+//!    requests/s. This is the denominator for "≥ 2× capacity".
+//! 2. **Overload, brownout off** — an open-loop pacer offers
+//!    `--overload`× that rate with a per-request deadline. Admission
+//!    control and per-lane breakers are armed; every rejection must be
+//!    typed and every accepted ticket must resolve.
+//! 3. **Overload, brownout on** — identical offered load and
+//!    configuration, plus a one-level brownout ladder that pins the
+//!    rung this harness measures cheapest for its serving shapes. At the
+//!    paper's large-`n` regime that is rung 0 (the approximating rule);
+//!    at this harness's small serving widths the exact classical floor
+//!    out-runs the APA pipeline (see EXPERIMENTS.md Fig. 3: the
+//!    crossover sits at n ≈ 1500–2000), so the level pins the floor via
+//!    [`QualityOverride::pin_rung`] and stretches the probe stride — the
+//!    sticky health ladder is untouched either way.
+//!
+//! **Goodput** = deadline-met completions per second. The acceptance
+//! gate is goodput(on) ≥ 1.3× goodput(off) at the same offered load,
+//! with zero client hangs (every submission gets a typed answer) and the
+//! admitted-request p99 inside the configured deadline. Phases 2 and 3
+//! repeat `--reps` times interleaved and the per-mode *median* goodput
+//! is gated, since a shared vCPU drifts between runs.
+//!
+//! Built with `--features fault-inject`, every overload run additionally
+//! arms an identical sparse schedule of lane stalls and in-lane panics
+//! (the acceptance drill's "injected lane panics and stalls"); without
+//! the feature the harness runs fault-free.
+//!
+//! Usage: `cargo run --release -p apa-bench [--features fault-inject]
+//!         --bin overloadbench -- [--width 768] [--lanes 2] [--threads 1]
+//!         [--batch 0 (= width/2)] [--overload 2.0] [--deadline-ms 80]
+//!         [--secs 2.0] [--reps 3] [--out BENCH_7.json]`
+
+use apa_bench::{banner, print_table, Args};
+use apa_core::catalog;
+use apa_matmul::{ApaMatmul, GuardedApaMatmul, PeelMode, QualityOverride, Strategy};
+use apa_nn::{Backend, GuardedBackend, Mlp};
+use apa_serve::{
+    AdmissionConfig, BreakerConfig, BrownoutConfig, InferenceService, Replica, ServeConfig,
+    ServeError, ServeStats, SubmitOptions,
+};
+use serde_json::json;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Request payload width. Kept small and fixed so the submit path (one
+/// input clone per request) stays cheap relative to the hidden-layer
+/// gemm — the quantity under test is the rung choice, not `memcpy`.
+const IN_WIDTH: usize = 64;
+
+struct Setup {
+    width: usize,
+    lanes: usize,
+    threads: usize,
+    batch: usize,
+    steps: u32,
+}
+
+impl Setup {
+    fn replicas(&self) -> Vec<Replica> {
+        (0..self.lanes)
+            .map(|lane| {
+                // The paper's aggressive deployment config: a multi-step
+                // recursive APA rule, tuned for the large-`n` regime. At
+                // this harness's serving widths its recursion overhead is
+                // what the brownout pin trades away.
+                let guard =
+                    std::sync::Arc::new(GuardedBackend::from_guard(GuardedApaMatmul::from_matmul(
+                        ApaMatmul::new(catalog::bini322())
+                            .steps(self.steps)
+                            .strategy(Strategy::Hybrid)
+                            .threads(self.threads)
+                            .peel_mode(PeelMode::Dynamic),
+                    )));
+                let backend: Backend = guard.clone();
+                let mlp = Mlp::new(
+                    &[IN_WIDTH, self.width, self.width, 10],
+                    vec![backend.clone(), backend.clone(), backend],
+                    0xC0FFEE + lane as u64,
+                );
+                Replica::with_guards(mlp, vec![guard])
+            })
+            .collect()
+    }
+
+    fn input(&self) -> Vec<f32> {
+        (0..IN_WIDTH).map(|i| (i as f32 * 0.13).sin()).collect()
+    }
+}
+
+/// The sparse chaos schedule for the overload phases: a lane stall and an
+/// in-lane panic land every few dozen guard calls, identically in both
+/// modes (the registry is re-installed per run, so both runs replay the
+/// same strikes). No-op without `--features fault-inject`.
+#[cfg(feature = "fault-inject")]
+fn arm_faults() {
+    use apa_matmul::fault::{self, Fault, FaultKind};
+    let mut plan = Vec::new();
+    for k in 0..64u64 {
+        plan.push(Fault {
+            at_call: 64 * k + 17,
+            kind: FaultKind::StallLane { millis: 10 },
+        });
+        plan.push(Fault {
+            at_call: 96 * k + 41,
+            kind: FaultKind::PanicInLane,
+        });
+    }
+    fault::install(&plan);
+}
+
+#[cfg(not(feature = "fault-inject"))]
+fn arm_faults() {}
+
+#[cfg(feature = "fault-inject")]
+fn disarm_faults() -> u64 {
+    let n = apa_matmul::fault::injected_count();
+    apa_matmul::fault::clear();
+    n
+}
+
+#[cfg(not(feature = "fault-inject"))]
+fn disarm_faults() -> u64 {
+    0
+}
+
+/// Phase 1: closed-loop saturation, no robustness layer; returns req/s.
+fn measure_capacity(setup: &Setup, requests: usize) -> f64 {
+    let service = InferenceService::start(
+        setup.replicas(),
+        ServeConfig {
+            target_batch: setup.batch,
+            queue_capacity: (4 * setup.batch).max(64),
+            max_linger: Duration::from_millis(2),
+            warm_batches: vec![setup.batch / 2],
+            ..ServeConfig::default()
+        },
+    );
+    let remaining = Arc::new(AtomicUsize::new(requests));
+    let input: Arc<Vec<f32>> = Arc::new(setup.input());
+    let clients = 3;
+    let burst = (2 * setup.batch).div_ceil(clients).max(1);
+
+    let t0 = Instant::now();
+    std::thread::scope(|s| {
+        for _ in 0..clients {
+            let handle = service.handle();
+            let remaining = remaining.clone();
+            let input = input.clone();
+            s.spawn(move || loop {
+                let mut claimed = 0;
+                while claimed < burst {
+                    if remaining
+                        .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| n.checked_sub(1))
+                        .is_err()
+                    {
+                        break;
+                    }
+                    claimed += 1;
+                }
+                if claimed == 0 {
+                    return;
+                }
+                let mut tickets = Vec::with_capacity(claimed);
+                for _ in 0..claimed {
+                    loop {
+                        match handle.submit(input.as_ref().clone()) {
+                            Ok(t) => break tickets.push(t),
+                            Err(ServeError::QueueFull { .. }) => std::thread::yield_now(),
+                            Err(e) => panic!("capacity phase submit failed: {e}"),
+                        }
+                    }
+                }
+                for t in tickets {
+                    t.wait().expect("capacity phase inference failed");
+                }
+            });
+        }
+    });
+    let elapsed = t0.elapsed().as_secs_f64();
+    let stats = service.shutdown();
+    assert_eq!(stats.completed as usize, requests, "lost responses");
+    requests as f64 / elapsed
+}
+
+struct ModeResult {
+    stats: ServeStats,
+    goodput: f64,
+    offered: f64,
+    attempts: u64,
+    rejected: u64,
+    injected: u64,
+}
+
+/// One open-loop overload run at `offered` req/s for `secs`, then a full
+/// drain. Every submission must end in a typed outcome or this panics.
+fn run_overload(
+    setup: &Setup,
+    offered: f64,
+    deadline: Duration,
+    secs: f64,
+    queue_capacity: usize,
+    brownout: bool,
+) -> ModeResult {
+    let brownout_cfg = brownout.then(|| BrownoutConfig {
+        // One level: pin the measured-cheapest rung (the classical floor
+        // at these widths — see the module docs) and probe 8× less often.
+        levels: vec![QualityOverride {
+            probe_stride_factor: 8,
+            budget_slack: 16.0,
+            pin_rung: Some(usize::MAX),
+            ..QualityOverride::default()
+        }],
+        // Sticky by design for this drill: engage on the first hint of a
+        // backlog and hold the level longer than the overload burst, so
+        // the measurement sees the two steady states — not the flapping
+        // in between (a fast brownout lane drains the queue under
+        // `exit_fill`, pops back to full quality, re-drowns, repeats;
+        // every flap is a latency wave of late completions).
+        enter_fill: 0.05,
+        exit_fill: 0.01,
+        enter_p99: None,
+        hold: Duration::from_secs_f64(secs.max(1.0)),
+        sample_every: Duration::from_millis(1),
+    });
+    let service = InferenceService::start(
+        setup.replicas(),
+        ServeConfig {
+            target_batch: setup.batch,
+            queue_capacity,
+            max_linger: Duration::from_millis(2),
+            warm_batches: vec![setup.batch / 2],
+            admission: Some(AdmissionConfig::default()),
+            breaker: Some(BreakerConfig::default()),
+            brownout: brownout_cfg,
+            ..ServeConfig::default()
+        },
+    );
+    let handle = service.handle();
+    let input: Arc<Vec<f32>> = Arc::new(setup.input());
+    arm_faults();
+
+    let opts = SubmitOptions {
+        deadline: Some(deadline),
+        ..SubmitOptions::default()
+    };
+    let mut tickets = Vec::new();
+    let mut rejected = 0u64;
+    let mut attempts = 0u64;
+    let t0 = Instant::now();
+    // Open-loop pacer: every 2ms, top the submitted count up to the
+    // offered schedule. Rejections are final (open-loop clients do not
+    // retry) but must be typed.
+    loop {
+        let elapsed = t0.elapsed().as_secs_f64();
+        if elapsed >= secs {
+            break;
+        }
+        let due = (offered * elapsed) as u64;
+        while attempts < due {
+            attempts += 1;
+            match handle.submit_with(input.as_ref().clone(), opts) {
+                Ok(t) => tickets.push(t),
+                Err(
+                    ServeError::QueueFull { .. }
+                    | ServeError::RateLimited { .. }
+                    | ServeError::Overloaded { .. },
+                ) => rejected += 1,
+                Err(e) => panic!("untyped/unexpected rejection: {e}"),
+            }
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    // Drain: every accepted ticket must resolve with a typed answer.
+    let accepted = tickets.len() as u64;
+    let (mut ok, mut expired, mut failed) = (0u64, 0u64, 0u64);
+    for t in tickets {
+        match t
+            .wait_timeout(Duration::from_secs(30))
+            .expect("ticket hung past 30s — a client was never answered")
+        {
+            Ok(_) => ok += 1,
+            Err(ServeError::DeadlineExceeded { .. }) => expired += 1,
+            Err(ServeError::Inference { .. }) => failed += 1,
+            Err(e) => panic!("unexpected terminal error: {e}"),
+        }
+    }
+    let elapsed = t0.elapsed().as_secs_f64();
+    let stats = service.shutdown();
+    let injected = disarm_faults();
+    if std::env::var_os("OVERLOADBENCH_DEBUG").is_some() {
+        for q in [0.5, 0.9, 0.95, 0.99, 0.999] {
+            eprintln!(
+                "  q{q}: {:.1}ms",
+                stats.latency.quantile(q).as_secs_f64() * 1e3
+            );
+        }
+        eprintln!(
+            "  completed {} late {} expired {} (assembly {})",
+            stats.completed, stats.completed_late, stats.expired, stats.shed_at_assembly
+        );
+        eprintln!(
+            "  calls_by_rung {:?} probe_failures {} nonfinite {} demotions {} capped {}",
+            stats.health.calls_by_rung,
+            stats.health.probe_failures,
+            stats.health.nonfinite_detected,
+            stats.health.demotions,
+            stats.health.brownout_capped_calls
+        );
+    }
+    assert_eq!(accepted + rejected, attempts, "submissions leaked");
+    assert_eq!(ok, stats.completed, "client Oks vs stats.completed");
+    assert_eq!(expired, stats.expired, "client vs stats expiries");
+    assert_eq!(failed, stats.failed, "client vs stats failures");
+    let goodput = (stats.completed - stats.completed_late) as f64 / elapsed;
+    ModeResult {
+        stats,
+        goodput,
+        offered,
+        attempts,
+        rejected,
+        injected,
+    }
+}
+
+fn median(xs: &mut [f64]) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    xs[xs.len() / 2]
+}
+
+fn mode_json(name: &str, runs: &[ModeResult], goodput_med: f64) -> serde_json::Value {
+    let last = runs.last().expect("at least one run per mode");
+    json!({
+        "mode": name,
+        "goodput_rps_median": goodput_med,
+        "goodput_rps_runs": (runs.iter().map(|r| r.goodput).collect::<Vec<_>>()),
+        "offered_rps": (last.offered),
+        "attempts": (last.attempts),
+        "accepted": (last.attempts - last.rejected),
+        "rejected_typed": (last.rejected),
+        "completed": (last.stats.completed),
+        "completed_late": (last.stats.completed_late),
+        "expired": (last.stats.expired),
+        "shed_at_assembly": (last.stats.shed_at_assembly),
+        "failed": (last.stats.failed),
+        "rejected_overloaded": (last.stats.rejected_overloaded),
+        "rejected_queue_full": (last.stats.rejected_queue_full),
+        "breaker_trips": (last.stats.breaker_trips),
+        "brownout_steps_down": (last.stats.brownout_steps_down),
+        "brownout_capped_calls": (last.stats.health.brownout_capped_calls),
+        "p50_ms": (last.stats.latency.p50().as_secs_f64() * 1e3),
+        "p99_ms": (last.stats.latency.p99().as_secs_f64() * 1e3),
+        "faults_injected": (last.injected),
+    })
+}
+
+fn main() {
+    let args = Args::parse();
+    let width = args.get("width", 768usize);
+    let batch = match args.get("batch", 0usize) {
+        0 => (width / 2).max(32),
+        b => b,
+    };
+    let setup = Setup {
+        width,
+        lanes: args.get("lanes", 2usize),
+        // One gemm thread per lane: on the small shared-CPU boxes this
+        // harness targets, pool handoff under oversubscription costs more
+        // than it buys, and it muddies the rung comparison.
+        threads: args.get("threads", 1usize),
+        batch,
+        steps: args.get("steps", 3u32),
+    };
+    let overload = args.get("overload", 2.0f64);
+    let deadline = Duration::from_secs_f64(args.get("deadline-ms", 80.0f64) / 1e3);
+    let secs = args.get("secs", 2.0f64);
+    let reps = args.get("reps", 3usize).max(1);
+    let out_path = args.get_str("out").unwrap_or("BENCH_7.json").to_string();
+
+    banner(
+        "Overload goodput: brownout on vs off at >= 2x capacity",
+        &[
+            &format!(
+                "MLP [{IN_WIDTH}, {width}, {width}, 10], guarded bini322 x{} steps, {} lane(s) x {} thread(s), batch {batch}",
+                setup.steps, setup.lanes, setup.threads
+            ),
+            &format!(
+                "offered = {overload}x measured capacity, deadline {:.0}ms, {reps} rep(s) x {secs}s",
+                deadline.as_secs_f64() * 1e3
+            ),
+            &format!(
+                "fault injection: {}",
+                if cfg!(feature = "fault-inject") {
+                    "lane stalls + in-lane panics (identical schedule per mode)"
+                } else {
+                    "off (build with --features fault-inject)"
+                }
+            ),
+        ],
+    );
+
+    let capacity = measure_capacity(&setup, 6 * batch);
+    let offered = overload * capacity;
+    // Queue sized past the deadline cliff for the full-quality pipeline:
+    // at ~2x the closed-loop capacity a full queue takes longer than the
+    // deadline to drain, so sustained overload turns into late/expired
+    // answers. The brownout lane serves the same depth well inside the
+    // deadline — that headroom is exactly what the goodput ratio measures.
+    let queue_capacity = ((2.0 * capacity * deadline.as_secs_f64()) as usize).max(64);
+    println!(
+        "\nmeasured capacity: {capacity:.0} req/s -> offering {offered:.0} req/s, queue {queue_capacity}\n"
+    );
+
+    let mut off_runs = Vec::new();
+    let mut on_runs = Vec::new();
+    for rep in 0..reps {
+        println!("rep {}/{reps}: brownout off ...", rep + 1);
+        off_runs.push(run_overload(
+            &setup,
+            offered,
+            deadline,
+            secs,
+            queue_capacity,
+            false,
+        ));
+        println!("rep {}/{reps}: brownout on ...", rep + 1);
+        on_runs.push(run_overload(
+            &setup,
+            offered,
+            deadline,
+            secs,
+            queue_capacity,
+            true,
+        ));
+    }
+    let goodput_off = median(&mut off_runs.iter().map(|r| r.goodput).collect::<Vec<_>>());
+    let goodput_on = median(&mut on_runs.iter().map(|r| r.goodput).collect::<Vec<_>>());
+    let ratio = goodput_on / goodput_off;
+
+    let header = [
+        "mode",
+        "goodput/s",
+        "completed",
+        "late",
+        "expired",
+        "rejected",
+        "p99 ms",
+        "capped",
+    ];
+    let row = |name: &str, med: f64, r: &ModeResult| {
+        vec![
+            name.to_string(),
+            format!("{med:.0}"),
+            format!("{}", r.stats.completed),
+            format!("{}", r.stats.completed_late),
+            format!("{}", r.stats.expired),
+            format!("{}", r.rejected),
+            format!("{:.1}", r.stats.latency.p99().as_secs_f64() * 1e3),
+            format!("{}", r.stats.health.brownout_capped_calls),
+        ]
+    };
+    let rows = vec![
+        row("off", goodput_off, off_runs.last().unwrap()),
+        row("on", goodput_on, on_runs.last().unwrap()),
+    ];
+    print_table(&header, &rows);
+
+    // Deadline criterion straight from the ledger, not the histogram:
+    // every completion is tallied on-time or late against its own
+    // deadline at completion, so "p99 within deadline" is exactly "less
+    // than 1% of completions were late", pooled over the on-mode reps.
+    // (The bucketed histogram p99 is reported too, but its upper-bound
+    // quantization cannot resolve an 80ms deadline inside a 50–100ms
+    // bucket.)
+    let on_last = on_runs.last().unwrap();
+    let p99_on = on_last.stats.latency.p99();
+    let on_completed: u64 = on_runs.iter().map(|r| r.stats.completed).sum();
+    let on_late: u64 = on_runs.iter().map(|r| r.stats.completed_late).sum();
+    let on_late_fraction = on_late as f64 / (on_completed.max(1)) as f64;
+    let doc = json!({
+        "bench": "overloadbench",
+        "config": {
+            "width": width,
+            "lanes": (setup.lanes),
+            "threads": (setup.threads),
+            "steps": (setup.steps),
+            "target_batch": batch,
+            "overload_factor": overload,
+            "deadline_ms": (deadline.as_secs_f64() * 1e3),
+            "secs_per_run": secs,
+            "reps": reps,
+            "queue_capacity": queue_capacity,
+            "fault_inject": (cfg!(feature = "fault-inject")),
+        },
+        "capacity_rps": capacity,
+        "offered_rps": offered,
+        "modes": [
+            (mode_json("brownout_off", &off_runs, goodput_off)),
+            (mode_json("brownout_on", &on_runs, goodput_on)),
+        ],
+        "goodput_ratio_on_over_off": ratio,
+        "criteria": {
+            "goodput_ratio_gate": 1.3,
+            "goodput_ratio_pass": (ratio >= 1.3),
+            "on_late_fraction": on_late_fraction,
+            "p99_within_deadline_on": (on_late_fraction <= 0.01),
+            "p99_bucket_ms_on": (p99_on.as_secs_f64() * 1e3),
+            "all_responses_typed": true,
+        },
+    });
+    let text = serde_json::to_string_pretty(&doc).expect("serialize BENCH_7");
+    std::fs::write(&out_path, text + "\n").expect("write BENCH_7.json");
+    println!("\nwrote {out_path}");
+    println!(
+        "goodput ratio (brownout on / off): {ratio:.2}x (criterion: >= 1.3x); \
+         on-mode late completions {on_late}/{on_completed} ({:.2}% vs <=1% for \
+         p99-in-deadline; histogram p99 bucket {:.0}ms, deadline {:.0}ms)",
+        on_late_fraction * 1e2,
+        p99_on.as_secs_f64() * 1e3,
+        deadline.as_secs_f64() * 1e3
+    );
+}

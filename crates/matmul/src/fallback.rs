@@ -64,6 +64,16 @@ pub struct DegradePolicy {
     /// Cap on the exponential backoff: after `max_backoff` re-demotions
     /// the required streak stops doubling.
     pub max_backoff: u32,
+    /// Fraction by which the required promotion streak is *extended* by a
+    /// deterministic per-(shape, backoff) hash, so many shapes (or many
+    /// lanes' guards) demoted by one fault do not re-probe the expensive
+    /// rung in lockstep. The jitter only lengthens the streak (never
+    /// below the configured base), and is a pure function of
+    /// [`DegradePolicy::jitter_seed`], the shape and the backoff count —
+    /// replayed runs make identical ladder decisions. `0.0` disables it.
+    pub promotion_jitter: f64,
+    /// Seed of the deterministic promotion-streak jitter.
+    pub jitter_seed: u64,
 }
 
 impl Default for DegradePolicy {
@@ -71,6 +81,80 @@ impl Default for DegradePolicy {
         Self {
             promote_after: 32,
             max_backoff: 8,
+            promotion_jitter: 0.25,
+            jitter_seed: 0x5EED_AB1E_7E55_E11A,
+        }
+    }
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E3779B97F4A7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D049BB133111EB);
+    x ^ (x >> 31)
+}
+
+/// The promotion streak a shape at `backoff` re-demotions must reach:
+/// `promote_after << backoff`, extended by up to `promotion_jitter` of
+/// itself by a deterministic hash of the shape — desynchronizing the
+/// re-probe of an expensive rung across shapes and guards.
+fn required_streak(policy: &DegradePolicy, shape: (usize, usize, usize), backoff: u32) -> u64 {
+    let base = policy.promote_after << backoff.min(policy.max_backoff);
+    if policy.promotion_jitter <= 0.0 {
+        return base;
+    }
+    let h = splitmix64(
+        policy
+            .jitter_seed
+            .wrapping_add((shape.0 as u64).rotate_left(17))
+            .wrapping_add((shape.1 as u64).rotate_left(34))
+            .wrapping_add((shape.2 as u64).rotate_left(51))
+            .wrapping_add(u64::from(backoff)),
+    );
+    let frac = (h >> 11) as f64 / (1u64 << 53) as f64; // [0, 1)
+    base + (base as f64 * policy.promotion_jitter * frac).round() as u64
+}
+
+/// Serving-layer quality override ("brownout"): trades answer quality for
+/// throughput when offered load exceeds capacity — the *inverse* direction
+/// of the health-driven degradation ladder. Installed and cleared with
+/// [`GuardedApaMatmul::set_quality_override`]; affects how calls execute
+/// while installed but never mutates the sticky per-shape health state,
+/// so clearing the override restores exactly the ladder the sentinel had
+/// built.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct QualityOverride {
+    /// Deepest (slowest, most conservative) rung a call may *start* on:
+    /// a shape stickily demoted below this cap executes on
+    /// `min(sticky, rung_cap)` instead — `0` forces every call back onto
+    /// the configured APA multiplier. Demotions *within* the call (the
+    /// sentinel still runs) remain possible.
+    pub rung_cap: usize,
+    /// Multiplies the sentinel's probe sampling stride (≥ 1): probe less
+    /// often under load, since each Freivalds pass is pure overhead.
+    pub probe_stride_factor: u64,
+    /// Multiplies every rung's residual budget (≥ 1): a relaxed λ/error
+    /// budget accepts products the strict budget would demote, keeping
+    /// traffic on the fast rungs at a bounded, configured quality cost.
+    pub budget_slack: f64,
+    /// Pin every call's *starting* rung outright, ignoring both the
+    /// sticky state and [`QualityOverride::rung_cap`] (clamped to the
+    /// ladder length, so `usize::MAX` pins the classical floor). The cap
+    /// assumes rung 0 is the cheapest execution — true in the paper's
+    /// large-`n` regime — but on hardware/shapes where a *deeper* rung is
+    /// the measured-cheapest (small widths, where exact classical gemm
+    /// out-runs the APA pipeline), a brownout level can pin that rung
+    /// instead. Within-call demotion below the pin still applies.
+    pub pin_rung: Option<usize>,
+}
+
+impl Default for QualityOverride {
+    fn default() -> Self {
+        Self {
+            rung_cap: 0,
+            probe_stride_factor: 4,
+            budget_slack: 8.0,
+            pin_rung: None,
         }
     }
 }
@@ -282,6 +366,8 @@ pub struct GuardedApaMatmul {
     sentinel: SentinelConfig,
     /// Per-call deadline; a rung that exceeds it demotes (lane watchdog).
     watchdog: Option<Duration>,
+    /// Load-driven quality override (brownout), if installed.
+    quality: Mutex<Option<QualityOverride>>,
     rungs: OnceLock<Vec<Rung>>,
     state: Mutex<HashMap<(usize, usize, usize), ShapeState>>,
     scratch: Mutex<ProbeScratch>,
@@ -303,6 +389,7 @@ impl GuardedApaMatmul {
             policy: DegradePolicy::default(),
             sentinel: SentinelConfig::default(),
             watchdog: None,
+            quality: Mutex::new(None),
             rungs: OnceLock::new(),
             state: Mutex::new(HashMap::new()),
             scratch: Mutex::new(ProbeScratch::new()),
@@ -363,6 +450,22 @@ impl GuardedApaMatmul {
     /// The armed watchdog deadline, if any.
     pub fn current_watchdog(&self) -> Option<Duration> {
         self.watchdog
+    }
+
+    /// Install (or with `None` clear) a load-driven [`QualityOverride`].
+    /// Takes effect on the next call; `&self` so a serving-layer brownout
+    /// controller can drive a guard that lanes are concurrently using.
+    /// The override caps the *starting* rung, stretches the probe stride
+    /// and relaxes the residual budget, but never touches the sticky
+    /// per-shape health state — clearing it restores the sentinel's own
+    /// ladder decisions unchanged.
+    pub fn set_quality_override(&self, quality: Option<QualityOverride>) {
+        *self.quality.lock().unwrap_or_else(PoisonError::into_inner) = quality;
+    }
+
+    /// The installed [`QualityOverride`], if any.
+    pub fn quality_override(&self) -> Option<QualityOverride> {
+        *self.quality.lock().unwrap_or_else(PoisonError::into_inner)
     }
 
     /// The guarded (rung-0) multiplier configuration.
@@ -602,16 +705,35 @@ impl GuardedApaMatmul {
         let rungs = self.ladder();
         let call = self.calls.fetch_add(1, Ordering::Relaxed);
         let shape = (a.rows(), a.cols(), b.cols());
+        let quality = self.quality_override();
 
         // Read the shape's rung and whether this call samples the probe.
-        let (start, probe_sampled) = {
+        // A brownout override caps (or pins) the starting rung and
+        // stretches the probe stride; `capped` records that the sticky
+        // health state was overridden so `settle` leaves it alone.
+        let (start, probe_sampled, capped) = {
             let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
             let s = state.entry(shape).or_default();
-            let sampled =
-                self.sentinel.probe_every > 0 && s.tick.is_multiple_of(self.sentinel.probe_every);
+            let stride = self
+                .sentinel
+                .probe_every
+                .saturating_mul(quality.map_or(1, |q| q.probe_stride_factor.max(1)));
+            let sampled = stride > 0 && s.tick.is_multiple_of(stride);
             s.tick = s.tick.wrapping_add(1);
-            (s.rung.min(rungs.len() - 1), sampled)
+            let sticky = s.rung.min(rungs.len() - 1);
+            let start = quality.map_or(sticky, |q| match q.pin_rung {
+                Some(pin) => pin.min(rungs.len() - 1),
+                None => sticky.min(q.rung_cap),
+            });
+            (start, sampled, start != sticky)
         };
+        let slack = quality.map_or(1.0, |q| q.budget_slack.max(1.0));
+        if capped {
+            self.stats
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .brownout_capped_calls += 1;
+        }
 
         let mut idx = start;
         let mut demoted = false;
@@ -650,7 +772,7 @@ impl GuardedApaMatmul {
                     a,
                     b,
                     c.as_ref(),
-                    rungs[idx].budget,
+                    rungs[idx].budget * slack,
                     self.sentinel.seed ^ call,
                     &mut scratch,
                 )
@@ -662,7 +784,7 @@ impl GuardedApaMatmul {
             };
             self.record_check(last, probe_sampled || demoted, &verdict);
             if verdict.is_healthy() {
-                self.settle(shape, idx, demoted);
+                self.settle(shape, idx, demoted, capped);
                 return Ok(());
             }
             idx += 1;
@@ -743,8 +865,12 @@ impl GuardedApaMatmul {
     }
 
     /// Commit the call's outcome: final rung, demotion/promotion
-    /// bookkeeping, per-rung call counts.
-    fn settle(&self, shape: (usize, usize, usize), landed: usize, demoted: bool) {
+    /// bookkeeping, per-rung call counts. A call whose starting rung was
+    /// capped by a [`QualityOverride`] (`capped`) counts in the per-rung
+    /// totals but leaves the sticky health state untouched: its execution
+    /// rung was the brownout controller's choice, not evidence about the
+    /// rung the sentinel had assigned.
+    fn settle(&self, shape: (usize, usize, usize), landed: usize, demoted: bool, capped: bool) {
         let rung_count = self.ladder().len();
         let mut stats = self.stats.lock().unwrap_or_else(PoisonError::into_inner);
         stats.calls += 1;
@@ -752,6 +878,9 @@ impl GuardedApaMatmul {
             stats.calls_by_rung.resize(rung_count, 0);
         }
         stats.calls_by_rung[landed] += 1;
+        if capped {
+            return;
+        }
 
         let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
         let s = state.entry(shape).or_default();
@@ -762,8 +891,7 @@ impl GuardedApaMatmul {
             s.backoff = (s.backoff + 1).min(self.policy.max_backoff);
         } else if s.rung > 0 && self.policy.promote_after > 0 {
             s.clean += 1;
-            let required = self.policy.promote_after << s.backoff.min(self.policy.max_backoff);
-            if s.clean >= required {
+            if s.clean >= required_streak(&self.policy, shape, s.backoff) {
                 s.rung -= 1;
                 s.clean = 0;
                 stats.promotions += 1;
@@ -879,6 +1007,8 @@ mod tests {
         let guard = GuardedApaMatmul::new(catalog::bini322()).policy(DegradePolicy {
             promote_after: 3,
             max_backoff: 4,
+            promotion_jitter: 0.0, // exact streak arithmetic below
+            ..DegradePolicy::default()
         });
         let a = probe_mat(12, 8, 5);
         let b = probe_mat(8, 10, 6);
@@ -1033,6 +1163,135 @@ mod tests {
         let err = exact.restore_state(&snapshot).unwrap_err();
         assert!(matches!(err, RestoreError::LadderMismatch { .. }), "{err}");
         assert!(err.to_string().contains("rungs"), "{err}");
+    }
+
+    #[test]
+    fn promotion_jitter_is_deterministic_and_only_extends() {
+        let policy = DegradePolicy {
+            promote_after: 32,
+            max_backoff: 8,
+            promotion_jitter: 0.25,
+            jitter_seed: 7,
+        };
+        let base = 32u64 << 3;
+        let r1 = required_streak(&policy, (64, 128, 64), 3);
+        let r2 = required_streak(&policy, (64, 128, 64), 3);
+        assert_eq!(r1, r2, "same shape+backoff must jitter identically");
+        assert!(r1 >= base, "jitter never weakens the hysteresis");
+        assert!(r1 <= base + base / 4 + 1, "jitter bounded by the fraction");
+        // Different shapes desynchronize: with a 25% window over a base of
+        // 256 the odds of 8 shapes colliding by chance are negligible.
+        let all: Vec<u64> = (0..8)
+            .map(|i| required_streak(&policy, (64 + i, 128, 64), 3))
+            .collect();
+        assert!(
+            all.windows(2).any(|w| w[0] != w[1]),
+            "shapes re-probe in lockstep: {all:?}"
+        );
+        // Disabled jitter reproduces the exact shifted base.
+        let exact = DegradePolicy {
+            promotion_jitter: 0.0,
+            ..policy
+        };
+        assert_eq!(required_streak(&exact, (64, 128, 64), 3), base);
+    }
+
+    #[test]
+    fn quality_override_caps_the_start_rung_without_touching_sticky_state() {
+        let guard = GuardedApaMatmul::new(catalog::bini322());
+        let a = probe_mat(12, 8, 31);
+        let b = probe_mat(8, 10, 32);
+        guard.multiply(a.as_ref(), b.as_ref());
+        // Pretend the sentinel stickily demoted the shape to the floor.
+        let floor = guard.rungs().len() - 1;
+        {
+            let mut state = guard.state.lock().unwrap();
+            state.get_mut(&(12, 8, 10)).unwrap().rung = floor;
+        }
+        let calls_on_rung0_before = guard.health().calls_by_rung[0];
+
+        // Brownout: force execution back onto the configured multiplier.
+        guard.set_quality_override(Some(QualityOverride {
+            rung_cap: 0,
+            probe_stride_factor: 1,
+            budget_slack: 1.0,
+            pin_rung: None,
+        }));
+        assert!(guard.quality_override().is_some());
+        let expect = matmul_naive(a.as_ref(), b.as_ref());
+        for _ in 0..3 {
+            let c = guard.multiply(a.as_ref(), b.as_ref());
+            assert!(c.rel_frobenius_error(&expect) < 5e-3);
+        }
+        let h = guard.health();
+        assert_eq!(h.brownout_capped_calls, 3, "{h:?}");
+        assert_eq!(h.calls_by_rung[0], calls_on_rung0_before + 3, "{h:?}");
+        // The sticky state still remembers the sentinel's demotion.
+        assert_eq!(guard.current_rung(12, 8, 10), Some(floor));
+
+        // Clearing the override restores the sentinel's ladder unchanged.
+        guard.set_quality_override(None);
+        guard.multiply(a.as_ref(), b.as_ref());
+        assert_eq!(guard.health().brownout_capped_calls, 3);
+        assert_eq!(
+            guard.health().calls_by_rung[floor],
+            1,
+            "uncapped call runs on the sticky floor again"
+        );
+    }
+
+    #[test]
+    fn quality_override_pin_rung_forces_a_deeper_start_without_touching_sticky_state() {
+        let guard = GuardedApaMatmul::new(catalog::bini322());
+        let a = probe_mat(12, 8, 35);
+        let b = probe_mat(8, 10, 36);
+        guard.multiply(a.as_ref(), b.as_ref());
+        assert_eq!(guard.current_rung(12, 8, 10), Some(0));
+        let floor = guard.rungs().len() - 1;
+
+        // Pin the classical floor (usize::MAX clamps to the ladder end):
+        // the shape is healthy at rung 0, but the brownout controller has
+        // measured the exact floor as the cheaper execution at this width.
+        guard.set_quality_override(Some(QualityOverride {
+            pin_rung: Some(usize::MAX),
+            ..QualityOverride::default()
+        }));
+        let expect = matmul_naive(a.as_ref(), b.as_ref());
+        for _ in 0..3 {
+            let c = guard.multiply(a.as_ref(), b.as_ref());
+            assert!(c.rel_frobenius_error(&expect) < 1e-6, "floor is exact");
+        }
+        let h = guard.health();
+        assert_eq!(h.calls_by_rung[floor], 3, "{h:?}");
+        assert_eq!(h.brownout_capped_calls, 3, "{h:?}");
+        // The sticky ladder never saw the pin: the shape is still healthy
+        // at rung 0 and runs there again once the override lifts.
+        assert_eq!(guard.current_rung(12, 8, 10), Some(0));
+        guard.set_quality_override(None);
+        guard.multiply(a.as_ref(), b.as_ref());
+        assert_eq!(guard.health().calls_by_rung[floor], 3);
+    }
+
+    #[test]
+    fn quality_override_stride_factor_stretches_probe_sampling() {
+        let guard = GuardedApaMatmul::new(catalog::bini322()).sentinel(SentinelConfig {
+            probe_every: 2,
+            ..SentinelConfig::default()
+        });
+        guard.set_quality_override(Some(QualityOverride {
+            rung_cap: 0,
+            probe_stride_factor: 4,
+            budget_slack: 1.0,
+            pin_rung: None,
+        }));
+        let a = probe_mat(12, 8, 33);
+        let b = probe_mat(8, 10, 34);
+        for _ in 0..8 {
+            guard.multiply(a.as_ref(), b.as_ref());
+        }
+        let h = guard.health();
+        assert_eq!(h.probes, 1, "stride 2×4 = 8 → ticks 0 only: {h:?}");
+        assert_eq!(h.nonfinite_scans, 7, "{h:?}");
     }
 
     #[test]

@@ -47,7 +47,8 @@ pub use autotune::{autotune, autotune_with, Candidate, TuneOutcome};
 pub use error::{measure_error, MatmulError};
 pub use exec::{fast_matmul, fast_matmul_chain_into, fast_matmul_into};
 pub use fallback::{
-    DegradePolicy, GuardedApaMatmul, GuardedState, RestoreError, RungKind, ShapeEntry,
+    DegradePolicy, GuardedApaMatmul, GuardedState, QualityOverride, RestoreError, RungKind,
+    ShapeEntry,
 };
 pub use peel::{
     fast_matmul_any_into, fast_matmul_any_into_ws, fast_matmul_chain_any_into,

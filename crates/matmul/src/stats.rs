@@ -102,6 +102,12 @@ pub struct HealthStats {
     /// Rung executions killed by the watchdog deadline (each also
     /// demotes).
     pub watchdog_timeouts: u64,
+    /// Calls whose starting rung was forced *up* the ladder (toward the
+    /// fast configured multiplier) by a serving-layer
+    /// [`crate::fallback::QualityOverride`] — load-shedding brownout
+    /// traded quality for throughput on these. Not persisted in training
+    /// checkpoints (brownout is a serving-time, not training-time, mode).
+    pub brownout_capped_calls: u64,
     /// Calls whose *final* (accepted) execution ran on each rung,
     /// indexed like [`crate::fallback::GuardedApaMatmul::rungs`].
     pub calls_by_rung: Vec<u64>,
@@ -126,6 +132,7 @@ impl HealthStats {
         self.promotions += other.promotions;
         self.worker_panics += other.worker_panics;
         self.watchdog_timeouts += other.watchdog_timeouts;
+        self.brownout_capped_calls += other.brownout_capped_calls;
         if self.calls_by_rung.len() < other.calls_by_rung.len() {
             self.calls_by_rung.resize(other.calls_by_rung.len(), 0);
         }

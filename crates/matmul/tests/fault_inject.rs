@@ -302,6 +302,8 @@ fn hysteresis_repromotes_after_the_fault_clears() {
     let mm = guard().policy(apa_matmul::DegradePolicy {
         promote_after: 3,
         max_backoff: 4,
+        promotion_jitter: 0.0, // the drill counts exact streak lengths
+        ..apa_matmul::DegradePolicy::default()
     });
     fault::install(&[Fault {
         at_call: 0,

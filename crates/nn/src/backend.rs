@@ -7,7 +7,9 @@
 
 use apa_core::BilinearAlgorithm;
 use apa_gemm::{Mat, MatMut, MatRef};
-use apa_matmul::{ApaMatmul, ClassicalMatmul, GuardedApaMatmul, HealthStats, PeelMode, Strategy};
+use apa_matmul::{
+    ApaMatmul, ClassicalMatmul, GuardedApaMatmul, HealthStats, PeelMode, QualityOverride, Strategy,
+};
 use std::sync::Arc;
 
 /// A matrix-multiplication provider used by network layers. All NN compute
@@ -179,6 +181,15 @@ impl GuardedBackend {
     /// through this backend.
     pub fn health(&self) -> HealthStats {
         self.inner.health()
+    }
+
+    /// Install (or clear) a load-driven [`QualityOverride`] on the guard —
+    /// the hook a serving-layer brownout controller uses to trade answer
+    /// quality for throughput on a warm replica without touching its
+    /// sticky health state (see
+    /// [`GuardedApaMatmul::set_quality_override`]).
+    pub fn set_quality_override(&self, quality: Option<QualityOverride>) {
+        self.inner.set_quality_override(quality);
     }
 }
 

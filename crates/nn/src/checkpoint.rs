@@ -363,6 +363,9 @@ fn read_guard(r: &mut Reader<'_>) -> Result<GuardedState, CheckpointError> {
         promotions: r.u64()?,
         worker_panics: r.u64()?,
         watchdog_timeouts: r.u64()?,
+        // Serving-time brownout counter: never non-zero during training,
+        // so the checkpoint format does not carry it.
+        brownout_capped_calls: 0,
         calls_by_rung: Vec::new(),
     };
     let n_rungs = r.usize()?;

@@ -9,7 +9,7 @@
 //! * during drain every remaining request is flushed immediately;
 //! * otherwise the lane sleeps until the linger deadline (or new work).
 
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Tuning knobs of the micro-batcher, fixed at service start.
 #[derive(Clone, Copy, Debug)]
@@ -61,6 +61,14 @@ pub fn decide(
     }
 }
 
+/// Is a request with this absolute deadline dead at `now`? The single
+/// definition of expiry shared by the queue's front sweep and the lanes'
+/// batch-assembly shed, so the two paths can never disagree about whether
+/// a request is still worth computing.
+pub fn expired_at(deadline: Option<Instant>, now: Instant) -> bool {
+    deadline.is_some_and(|d| d <= now)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -109,5 +117,14 @@ mod tests {
     fn draining_flushes_partials_immediately() {
         let p = policy(8, 5_000);
         assert_eq!(decide(1, Some(Duration::ZERO), true, &p), Decision::Take);
+    }
+
+    #[test]
+    fn expiry_is_inclusive_at_the_deadline() {
+        let now = Instant::now();
+        assert!(!expired_at(None, now));
+        assert!(!expired_at(Some(now + Duration::from_millis(1)), now));
+        assert!(expired_at(Some(now), now));
+        assert!(expired_at(Some(now - Duration::from_millis(1)), now));
     }
 }

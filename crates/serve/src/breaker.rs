@@ -1,0 +1,381 @@
+//! Per-lane circuit breakers: route around a sick replica instead of
+//! feeding it batches that keep panicking.
+//!
+//! Classic three-state machine, one breaker per lane:
+//!
+//! ```text
+//!   Closed ──(trip_after consecutive batch failures)──► Open
+//!   Open ──(cool-down elapses)──► HalfOpen
+//!   HalfOpen ──(half_open_successes clean batches)──► Closed
+//!   HalfOpen ──(any failure)──► Open (cool-down doubles, capped)
+//! ```
+//!
+//! While open, [`CircuitBreaker::gate`] answers [`Gate::Blocked`] and the
+//! lane *leaves its work in the queue* — the other lanes' `next_batch`
+//! calls pick it up, which is the routing-around. The cool-down backs off
+//! exponentially per consecutive trip and carries a deterministic,
+//! seed-derived jitter so a fleet of lanes tripped by the same fault does
+//! not re-probe in lockstep.
+//!
+//! The breaker never mutates replica state; recovery happens because the
+//! replica's own guarded ladder demotes while the breaker holds traffic
+//! off it.
+
+use std::sync::{Mutex, PoisonError};
+use std::time::{Duration, Instant};
+
+/// Breaker tuning knobs, fixed at service start.
+#[derive(Clone, Copy, Debug)]
+pub struct BreakerConfig {
+    /// Consecutive batch failures (all attempts exhausted) that trip the
+    /// breaker open.
+    pub trip_after: u32,
+    /// Cool-down after the first trip; doubles per consecutive trip.
+    pub open_base: Duration,
+    /// Upper bound of the cool-down.
+    pub open_cap: Duration,
+    /// Clean half-open batches required to close again.
+    pub half_open_successes: u32,
+    /// Jitter fraction on the cool-down: the actual cool-down is
+    /// `base × (1 + jitter × u)` with a deterministic `u ∈ [0, 1)`.
+    pub jitter: f64,
+    /// Seed of the jitter stream (salted per lane by the service).
+    pub seed: u64,
+    /// Watchdog: a batch that takes longer than this counts as a breaker
+    /// failure even when it eventually succeeds — a synchronous lane
+    /// cannot abort a stalled inference, but it *can* stop taking new
+    /// work afterwards. Its responses are still delivered. `None`
+    /// disables the watchdog.
+    pub stall_timeout: Option<Duration>,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        Self {
+            trip_after: 3,
+            open_base: Duration::from_millis(25),
+            open_cap: Duration::from_secs(1),
+            half_open_successes: 2,
+            jitter: 0.2,
+            seed: 0xB4EA_4E55_0C1C_0FF5,
+            stall_timeout: None,
+        }
+    }
+}
+
+/// Observable breaker state.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BreakerState {
+    Closed,
+    Open,
+    HalfOpen,
+}
+
+/// What the lane should do with the next batch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Gate {
+    /// Healthy: serve normally.
+    Serve,
+    /// Half-open: serve, but this batch is a probe — its outcome decides
+    /// whether the breaker closes or re-opens.
+    Probe,
+    /// Open: do not take work before `until`.
+    Blocked { until: Instant },
+}
+
+struct Inner {
+    state: BreakerState,
+    consecutive_failures: u32,
+    /// Consecutive trips (resets on close) — drives the backoff doubling.
+    streak: u32,
+    /// Lifetime trips, for stats.
+    trips: u64,
+    open_until: Instant,
+    half_open_successes: u32,
+    /// splitmix64 counter for the jitter stream.
+    jitter_ctr: u64,
+}
+
+/// One lane's breaker.
+pub struct CircuitBreaker {
+    config: BreakerConfig,
+    inner: Mutex<Inner>,
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+impl CircuitBreaker {
+    /// A closed breaker for `lane` (the lane index salts the jitter seed
+    /// so co-tripped lanes de-synchronize).
+    pub fn new(config: BreakerConfig, lane: usize) -> Self {
+        let salt = splitmix64(config.seed ^ (lane as u64).rotate_left(17));
+        Self {
+            config,
+            inner: Mutex::new(Inner {
+                state: BreakerState::Closed,
+                consecutive_failures: 0,
+                streak: 0,
+                trips: 0,
+                open_until: Instant::now(),
+                half_open_successes: 0,
+                jitter_ctr: salt,
+            }),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    pub fn config(&self) -> &BreakerConfig {
+        &self.config
+    }
+
+    pub fn state(&self) -> BreakerState {
+        self.lock().state
+    }
+
+    /// Lifetime closed→open transitions.
+    pub fn trips(&self) -> u64 {
+        self.lock().trips
+    }
+
+    /// The lane's decision point before taking a batch.
+    pub fn gate(&self, now: Instant) -> Gate {
+        let mut inner = self.lock();
+        match inner.state {
+            BreakerState::Closed => Gate::Serve,
+            BreakerState::HalfOpen => Gate::Probe,
+            BreakerState::Open => {
+                if now >= inner.open_until {
+                    inner.state = BreakerState::HalfOpen;
+                    inner.half_open_successes = 0;
+                    Gate::Probe
+                } else {
+                    Gate::Blocked {
+                        until: inner.open_until,
+                    }
+                }
+            }
+        }
+    }
+
+    /// A batch completed cleanly.
+    pub fn on_success(&self) {
+        let mut inner = self.lock();
+        match inner.state {
+            BreakerState::Closed => inner.consecutive_failures = 0,
+            BreakerState::HalfOpen => {
+                inner.half_open_successes += 1;
+                if inner.half_open_successes >= self.config.half_open_successes.max(1) {
+                    inner.state = BreakerState::Closed;
+                    inner.consecutive_failures = 0;
+                    inner.streak = 0;
+                }
+            }
+            // A success while open can only be a race with gate(); the
+            // cool-down stands.
+            BreakerState::Open => {}
+        }
+    }
+
+    /// A batch exhausted every attempt (or the lane's watchdog fired).
+    /// `allow_open` is the last-lane guard: when the caller knows every
+    /// *other* lane is already blocked, pass `false` and the breaker
+    /// stays closed — a degraded answer beats no lane serving at all.
+    /// Returns `true` when this failure tripped the breaker open.
+    pub fn on_failure(&self, now: Instant, allow_open: bool) -> bool {
+        let mut inner = self.lock();
+        match inner.state {
+            BreakerState::Closed => {
+                inner.consecutive_failures += 1;
+                if inner.consecutive_failures >= self.config.trip_after.max(1) && allow_open {
+                    self.trip(&mut inner, now);
+                    return true;
+                }
+                false
+            }
+            BreakerState::HalfOpen => {
+                if allow_open {
+                    self.trip(&mut inner, now);
+                    true
+                } else {
+                    // Stay half-open: keep probing, it's the only lane.
+                    inner.half_open_successes = 0;
+                    false
+                }
+            }
+            BreakerState::Open => false,
+        }
+    }
+
+    fn trip(&self, inner: &mut Inner, now: Instant) {
+        let shift = inner.streak.min(20);
+        let base = self
+            .config
+            .open_base
+            .saturating_mul(1u32 << shift.min(31))
+            .min(self.config.open_cap)
+            .max(Duration::from_millis(1));
+        inner.jitter_ctr = inner.jitter_ctr.wrapping_add(1);
+        let u = (splitmix64(inner.jitter_ctr) >> 11) as f64 / (1u64 << 53) as f64;
+        let cooldown = base.mul_f64(1.0 + self.config.jitter.max(0.0) * u);
+        inner.state = BreakerState::Open;
+        inner.open_until = now + cooldown;
+        inner.streak = inner.streak.saturating_add(1);
+        inner.trips += 1;
+        inner.consecutive_failures = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> BreakerConfig {
+        BreakerConfig {
+            trip_after: 3,
+            open_base: Duration::from_millis(10),
+            open_cap: Duration::from_millis(100),
+            half_open_successes: 2,
+            jitter: 0.0,
+            seed: 1,
+            stall_timeout: None,
+        }
+    }
+
+    #[test]
+    fn trips_after_consecutive_failures_then_blocks() {
+        let b = CircuitBreaker::new(cfg(), 0);
+        let t0 = Instant::now();
+        assert_eq!(b.gate(t0), Gate::Serve);
+        assert!(!b.on_failure(t0, true));
+        assert!(!b.on_failure(t0, true));
+        assert!(b.on_failure(t0, true));
+        assert_eq!(b.state(), BreakerState::Open);
+        assert_eq!(b.trips(), 1);
+        let Gate::Blocked { until } = b.gate(t0) else {
+            panic!("expected Blocked");
+        };
+        assert_eq!(until, t0 + Duration::from_millis(10));
+    }
+
+    #[test]
+    fn success_resets_the_failure_streak() {
+        let b = CircuitBreaker::new(cfg(), 0);
+        let t0 = Instant::now();
+        b.on_failure(t0, true);
+        b.on_failure(t0, true);
+        b.on_success();
+        b.on_failure(t0, true);
+        b.on_failure(t0, true);
+        assert_eq!(b.state(), BreakerState::Closed);
+    }
+
+    #[test]
+    fn half_open_probe_closes_after_clean_batches() {
+        let b = CircuitBreaker::new(cfg(), 0);
+        let t0 = Instant::now();
+        for _ in 0..3 {
+            b.on_failure(t0, true);
+        }
+        // Cool-down over → probe.
+        let t1 = t0 + Duration::from_millis(11);
+        assert_eq!(b.gate(t1), Gate::Probe);
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        b.on_success();
+        assert_eq!(b.state(), BreakerState::HalfOpen);
+        b.on_success();
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert_eq!(b.gate(t1), Gate::Serve);
+    }
+
+    #[test]
+    fn half_open_failure_reopens_with_doubled_cooldown() {
+        let b = CircuitBreaker::new(cfg(), 0);
+        let t0 = Instant::now();
+        for _ in 0..3 {
+            b.on_failure(t0, true);
+        }
+        let t1 = t0 + Duration::from_millis(11);
+        assert_eq!(b.gate(t1), Gate::Probe);
+        assert!(b.on_failure(t1, true));
+        assert_eq!(b.trips(), 2);
+        let Gate::Blocked { until } = b.gate(t1) else {
+            panic!("expected Blocked");
+        };
+        // Second trip: 10ms << 1 = 20ms.
+        assert_eq!(until, t1 + Duration::from_millis(20));
+    }
+
+    #[test]
+    fn cooldown_backoff_is_capped() {
+        let b = CircuitBreaker::new(cfg(), 0);
+        let mut now = Instant::now();
+        for _ in 0..10 {
+            for _ in 0..3 {
+                b.on_failure(now, true);
+            }
+            // Walk past the cool-down so the next round trips from
+            // half-open.
+            now += Duration::from_millis(500);
+            let _ = b.gate(now);
+        }
+        for _ in 0..3 {
+            b.on_failure(now, true);
+        }
+        let Gate::Blocked { until } = b.gate(now) else {
+            panic!("expected Blocked");
+        };
+        assert!(until - now <= Duration::from_millis(100));
+    }
+
+    #[test]
+    fn last_lane_guard_keeps_the_breaker_closed() {
+        let b = CircuitBreaker::new(cfg(), 0);
+        let t0 = Instant::now();
+        for _ in 0..10 {
+            assert!(!b.on_failure(t0, false));
+        }
+        assert_eq!(b.state(), BreakerState::Closed);
+        assert_eq!(b.trips(), 0);
+    }
+
+    #[test]
+    fn jitter_extends_cooldown_deterministically_per_lane() {
+        let mk = |lane| {
+            CircuitBreaker::new(
+                BreakerConfig {
+                    jitter: 0.5,
+                    seed: 7,
+                    ..cfg()
+                },
+                lane,
+            )
+        };
+        let t0 = Instant::now();
+        let open_until = |b: &CircuitBreaker| {
+            for _ in 0..3 {
+                b.on_failure(t0, true);
+            }
+            match b.gate(t0) {
+                Gate::Blocked { until } => until,
+                g => panic!("expected Blocked, got {g:?}"),
+            }
+        };
+        let a1 = open_until(&mk(0));
+        let a2 = open_until(&mk(0));
+        let c = open_until(&mk(1));
+        // Same lane + seed → identical; base ≤ jittered ≤ 1.5 × base.
+        assert_eq!(a1, a2);
+        assert!(a1 >= t0 + Duration::from_millis(10));
+        assert!(a1 <= t0 + Duration::from_millis(15));
+        // Different lanes de-synchronize.
+        assert_ne!(a1, c);
+    }
+}

@@ -1,0 +1,286 @@
+//! The brownout controller: trade answer quality for throughput when the
+//! service is drowning, and give the quality back once it isn't.
+//!
+//! The guarded ladder of [`apa_matmul::fallback`] moves *down* in quality
+//! to protect numerics. Brownout is the inverse lever, exercised from the
+//! serving layer: under queue-depth or tail-latency pressure, install a
+//! [`QualityOverride`] on every warm replica's guard that (a) caps the
+//! starting rung back at the fast APA rule even for stickily-demoted
+//! shapes — or, via [`QualityOverride::pin_rung`], pins whichever rung is
+//! the measured-cheapest for the serving shapes (on small widths that can
+//! be the exact classical floor) — (b) stretches the Freivalds probe
+//! stride, and (c) relaxes the probe budget — all without touching the
+//! sticky health state, so lifting the override restores the exact
+//! pre-brownout ladder.
+//!
+//! The controller is a pure state machine sampled periodically by the
+//! service's monitor thread. Hysteresis comes from two places: distinct
+//! enter/exit watermarks ([`BrownoutConfig::enter_fill`] well above
+//! [`BrownoutConfig::exit_fill`]), and a [`BrownoutConfig::hold`] dwell
+//! time between consecutive level changes so one noisy sample can't
+//! oscillate the fleet.
+
+use apa_matmul::QualityOverride;
+use std::time::{Duration, Instant};
+
+/// Brownout tuning knobs, fixed at service start.
+#[derive(Clone, Debug)]
+pub struct BrownoutConfig {
+    /// Degradation ladder, mild → aggressive. Level `0` is "off" (no
+    /// override); level `i ≥ 1` installs `levels[i - 1]`.
+    pub levels: Vec<QualityOverride>,
+    /// Queue fill factor (depth / capacity) at or above which the
+    /// controller steps one level deeper.
+    pub enter_fill: f64,
+    /// Fill factor at or below which it steps one level back up. Keep
+    /// well below `enter_fill` — the gap is the hysteresis band.
+    pub exit_fill: f64,
+    /// Optional second trigger: step deeper when the windowed p99 of
+    /// completed requests exceeds this, even if the queue looks shallow
+    /// (a slow replica can hold fill low while latency explodes).
+    pub enter_p99: Option<Duration>,
+    /// Minimum dwell between consecutive level changes.
+    pub hold: Duration,
+    /// Cadence at which the monitor thread samples the controller.
+    pub sample_every: Duration,
+}
+
+impl Default for BrownoutConfig {
+    fn default() -> Self {
+        Self {
+            // Two stock levels: first stop probing so often and give the
+            // budget slack; then also force execution back onto the
+            // configured fast rung regardless of sticky demotions.
+            levels: vec![
+                QualityOverride {
+                    rung_cap: usize::MAX,
+                    probe_stride_factor: 4,
+                    budget_slack: 8.0,
+                    pin_rung: None,
+                },
+                QualityOverride {
+                    rung_cap: 0,
+                    probe_stride_factor: 8,
+                    budget_slack: 16.0,
+                    pin_rung: None,
+                },
+            ],
+            enter_fill: 0.60,
+            exit_fill: 0.25,
+            enter_p99: None,
+            hold: Duration::from_millis(50),
+            sample_every: Duration::from_millis(10),
+        }
+    }
+}
+
+/// One observation handed to [`BrownoutController::observe`].
+#[derive(Clone, Copy, Debug)]
+pub struct Pressure {
+    /// Queue depth / capacity at the sample instant.
+    pub fill: f64,
+    /// p99 of request latencies completed since the previous sample
+    /// (`None` when nothing completed in the window).
+    pub window_p99: Option<Duration>,
+}
+
+/// The level state machine. Owned by one monitor thread — not `Sync`,
+/// mutate via `&mut`.
+pub struct BrownoutController {
+    config: BrownoutConfig,
+    level: usize,
+    last_change: Option<Instant>,
+    steps_down: u64,
+    steps_up: u64,
+}
+
+impl BrownoutController {
+    pub fn new(config: BrownoutConfig) -> Self {
+        Self {
+            config,
+            level: 0,
+            last_change: None,
+            steps_down: 0,
+            steps_up: 0,
+        }
+    }
+
+    pub fn config(&self) -> &BrownoutConfig {
+        &self.config
+    }
+
+    /// Current level: `0` = full quality, `config.levels.len()` = deepest.
+    pub fn level(&self) -> usize {
+        self.level
+    }
+
+    /// Quality-degrading level changes so far.
+    pub fn steps_down(&self) -> u64 {
+        self.steps_down
+    }
+
+    /// Quality-restoring level changes so far.
+    pub fn steps_up(&self) -> u64 {
+        self.steps_up
+    }
+
+    /// The override the replicas should run at `level` (`None` = clear).
+    pub fn override_for(&self, level: usize) -> Option<QualityOverride> {
+        if level == 0 {
+            None
+        } else {
+            self.config.levels.get(level - 1).copied()
+        }
+    }
+
+    /// Feed one pressure sample; returns `Some(new_level)` when the level
+    /// changed (the caller then re-installs overrides on the replicas).
+    pub fn observe(&mut self, p: Pressure, now: Instant) -> Option<usize> {
+        if self.config.levels.is_empty() {
+            return None;
+        }
+        let held = self
+            .last_change
+            .is_some_and(|t| now.saturating_duration_since(t) < self.config.hold);
+        if held {
+            return None;
+        }
+        let latency_pressure = self
+            .config
+            .enter_p99
+            .zip(p.window_p99)
+            .is_some_and(|(limit, got)| got > limit);
+        let pressured = p.fill >= self.config.enter_fill || latency_pressure;
+        // Quality comes back only when BOTH signals are calm: shallow
+        // queue and (when configured) a tail back under the limit.
+        let calm = p.fill <= self.config.exit_fill && !latency_pressure;
+
+        if pressured && self.level < self.config.levels.len() {
+            self.level += 1;
+            self.steps_down += 1;
+            self.last_change = Some(now);
+            Some(self.level)
+        } else if calm && self.level > 0 {
+            self.level -= 1;
+            self.steps_up += 1;
+            self.last_change = Some(now);
+            Some(self.level)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> BrownoutConfig {
+        BrownoutConfig {
+            enter_fill: 0.6,
+            exit_fill: 0.2,
+            hold: Duration::from_millis(10),
+            ..BrownoutConfig::default()
+        }
+    }
+
+    fn quiet() -> Pressure {
+        Pressure {
+            fill: 0.0,
+            window_p99: None,
+        }
+    }
+
+    fn busy(fill: f64) -> Pressure {
+        Pressure {
+            fill,
+            window_p99: None,
+        }
+    }
+
+    #[test]
+    fn steps_down_one_level_at_a_time_with_dwell() {
+        let mut c = BrownoutController::new(cfg());
+        let t0 = Instant::now();
+        assert_eq!(c.observe(busy(0.9), t0), Some(1));
+        // Still pressured, but inside the hold window: no change.
+        assert_eq!(c.observe(busy(0.9), t0 + Duration::from_millis(5)), None);
+        assert_eq!(
+            c.observe(busy(0.9), t0 + Duration::from_millis(11)),
+            Some(2)
+        );
+        // Deepest level: stays put.
+        assert_eq!(c.observe(busy(0.9), t0 + Duration::from_millis(30)), None);
+        assert_eq!(c.level(), 2);
+        assert_eq!(c.steps_down(), 2);
+    }
+
+    #[test]
+    fn hysteresis_band_prevents_oscillation() {
+        let mut c = BrownoutController::new(cfg());
+        let t0 = Instant::now();
+        assert_eq!(c.observe(busy(0.7), t0), Some(1));
+        // Fill drops below enter but stays above exit: hold the level.
+        let mid = busy(0.4);
+        assert_eq!(c.observe(mid, t0 + Duration::from_millis(20)), None);
+        assert_eq!(c.observe(mid, t0 + Duration::from_millis(40)), None);
+        assert_eq!(c.level(), 1);
+        // Only a genuinely calm queue restores quality.
+        assert_eq!(
+            c.observe(busy(0.1), t0 + Duration::from_millis(60)),
+            Some(0)
+        );
+        assert_eq!(c.steps_up(), 1);
+    }
+
+    #[test]
+    fn latency_trigger_steps_down_even_with_a_shallow_queue() {
+        let base = cfg();
+        let mut c = BrownoutController::new(BrownoutConfig {
+            enter_p99: Some(Duration::from_millis(5)),
+            levels: vec![base.levels[0]],
+            ..base
+        });
+        let t0 = Instant::now();
+        let slow = Pressure {
+            fill: 0.05,
+            window_p99: Some(Duration::from_millis(50)),
+        };
+        assert_eq!(c.observe(slow, t0), Some(1));
+        // Shallow queue alone is not calm while the tail is still over
+        // the limit.
+        assert_eq!(c.observe(slow, t0 + Duration::from_millis(20)), None);
+        let recovered = Pressure {
+            fill: 0.05,
+            window_p99: Some(Duration::from_millis(1)),
+        };
+        assert_eq!(
+            c.observe(recovered, t0 + Duration::from_millis(40)),
+            Some(0)
+        );
+    }
+
+    #[test]
+    fn override_for_maps_levels_to_configured_ladder() {
+        let c = BrownoutController::new(cfg());
+        assert!(c.override_for(0).is_none());
+        let l1 = c.override_for(1).unwrap();
+        assert_eq!(l1.probe_stride_factor, 4);
+        assert_eq!(l1.rung_cap, usize::MAX);
+        let l2 = c.override_for(2).unwrap();
+        assert_eq!(l2.rung_cap, 0);
+        assert!(c.override_for(3).is_none());
+    }
+
+    #[test]
+    fn quiet_service_never_enters_brownout() {
+        let mut c = BrownoutController::new(cfg());
+        let mut now = Instant::now();
+        for _ in 0..50 {
+            assert_eq!(c.observe(quiet(), now), None);
+            now += Duration::from_millis(20);
+        }
+        assert_eq!(c.level(), 0);
+        assert_eq!(c.steps_down(), 0);
+    }
+}

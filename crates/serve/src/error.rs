@@ -11,6 +11,15 @@ pub enum ServeError {
     /// waiting requests. This is the backpressure signal — callers shed
     /// load or retry later; the service never buffers unboundedly.
     QueueFull { capacity: usize },
+    /// Submission rejected by the tenant's token bucket
+    /// ([`crate::AdmissionController`]): the tenant spent its budget.
+    /// `retry_after` is the honest refill time — a client that sleeps
+    /// this long will find tokens waiting.
+    RateLimited { retry_after: Duration },
+    /// Submission shed by the overload gate: the queue fill factor is in
+    /// (or past) the shedding band and this request lost the cost-weighted
+    /// coin flip. Back off at least `retry_after` before retrying.
+    Overloaded { retry_after: Duration },
     /// The request waited in the queue past the configured deadline and
     /// was dropped before reaching a lane.
     DeadlineExceeded { waited: Duration },
@@ -32,6 +41,15 @@ impl std::fmt::Display for ServeError {
         match self {
             ServeError::QueueFull { capacity } => {
                 write!(f, "submission queue full ({capacity} requests waiting)")
+            }
+            ServeError::RateLimited { retry_after } => {
+                write!(
+                    f,
+                    "tenant rate limit exhausted, retry after {retry_after:?}"
+                )
+            }
+            ServeError::Overloaded { retry_after } => {
+                write!(f, "service overloaded, retry after {retry_after:?}")
             }
             ServeError::DeadlineExceeded { waited } => {
                 write!(f, "request exceeded its queue deadline after {waited:?}")

@@ -27,6 +27,22 @@
 //!   merged [`apa_matmul::HealthStats`] of every replica's guarded
 //!   ladder.
 //!
+//! Overload robustness (all opt-in via [`ServeConfig`]):
+//!
+//! * [`admission`] — per-tenant token buckets plus cost-weighted
+//!   probabilistic shedding by queue fill, rejecting with typed
+//!   retry-after hints ([`ServeError::RateLimited`],
+//!   [`ServeError::Overloaded`]) *before* a doomed request occupies queue
+//!   space;
+//! * [`breaker`] — a circuit breaker per lane
+//!   (closed → open → half-open, jittered exponential cool-down) that
+//!   parks a lane whose replica keeps panicking or stalling, routing its
+//!   work to the healthy lanes;
+//! * [`brownout`] — a watermark/hysteresis controller that steps warm
+//!   replicas down an [`apa_matmul::QualityOverride`] ladder under
+//!   queue-depth or tail-latency pressure (faster, less-probed APA
+//!   execution) and restores full quality once pressure clears.
+//!
 //! ```
 //! use apa_nn::{classical, Mlp};
 //! use apa_serve::{InferenceService, Replica, ServeConfig};
@@ -43,13 +59,21 @@
 //! assert_eq!(stats.completed, 1);
 //! ```
 
+pub mod admission;
 pub mod batcher;
+pub mod breaker;
+pub mod brownout;
 pub mod error;
 pub mod queue;
 pub mod service;
 pub mod stats;
 
-pub use batcher::{decide, BatchPolicy, Decision};
+pub use admission::{AdmissionConfig, AdmissionController, AdmitDecision, RateLimit};
+pub use batcher::{decide, expired_at, BatchPolicy, Decision};
+pub use breaker::{BreakerConfig, BreakerState, CircuitBreaker, Gate};
+pub use brownout::{BrownoutConfig, BrownoutController, Pressure};
 pub use error::ServeError;
-pub use service::{InferenceService, Replica, Response, ServeConfig, ServiceHandle, Ticket};
+pub use service::{
+    InferenceService, Replica, Response, ServeConfig, ServiceHandle, SubmitOptions, Ticket,
+};
 pub use stats::{LatencyHistogram, ServeStats, LATENCY_BUCKET_BOUNDS_US};

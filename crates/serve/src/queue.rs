@@ -24,8 +24,13 @@ use std::time::Instant;
 pub(crate) struct Pending {
     pub input: Vec<f32>,
     pub submitted: Instant,
-    /// Absolute queue deadline (uniform per service, so the queue's front
-    /// always expires first).
+    /// Absolute deadline: the tighter of the service-wide queue deadline
+    /// and the request's own (`SubmitOptions::deadline`). When every
+    /// request carries the uniform service deadline the queue's front
+    /// expires first and the sweep in [`SubmissionQueue::next_batch`]
+    /// catches everything; per-request deadlines can expire out of order,
+    /// which the lanes' batch-assembly shed backstops (see
+    /// `service::run_batch`).
     pub deadline: Option<Instant>,
     pub tx: Sender<Result<Response, ServeError>>,
 }
@@ -95,6 +100,13 @@ impl SubmissionQueue {
         self.work.notify_all();
     }
 
+    /// True once [`Self::close`] was called. Lanes parked by an open
+    /// circuit breaker poll this so a drain is never held hostage by a
+    /// cool-down.
+    pub fn is_closed(&self) -> bool {
+        !self.lock().open
+    }
+
     /// Block until a batch is due per `policy` and take it (up to
     /// `policy.target_batch` requests). Requests that out-waited their
     /// deadline are moved into `expired` for the caller to answer; when
@@ -113,7 +125,7 @@ impl SubmissionQueue {
             while st
                 .items
                 .front()
-                .is_some_and(|p| p.deadline.is_some_and(|d| d <= now))
+                .is_some_and(|p| crate::batcher::expired_at(p.deadline, now))
             {
                 expired.push(st.items.pop_front().expect("front checked above"));
             }
@@ -154,5 +166,114 @@ impl SubmissionQueue {
                 }
             }
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batcher::BatchPolicy;
+    use std::sync::mpsc::channel;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    /// Concurrent submitters racing lane drains and a mid-flight close:
+    /// every request that entered the queue must resolve **exactly once**
+    /// (an answer from a drainer), and every rejected submit must have
+    /// failed with a typed error — no request may hang or be answered
+    /// twice.
+    #[test]
+    fn hammered_queue_resolves_every_request_exactly_once() {
+        const SUBMITTERS: usize = 4;
+        const PER_THREAD: usize = 200;
+        let queue = Arc::new(SubmissionQueue::new(64));
+        let policy = BatchPolicy {
+            target_batch: 8,
+            max_linger: Duration::from_micros(200),
+            attempts: 1,
+        };
+
+        // Lane stand-ins: take batches, answer each request Ok.
+        let reply = |p: Pending| {
+            let _ = p.tx.send(Ok(Response {
+                output: p.input,
+                lane: 0,
+                batch_rows: 1,
+                padded_rows: 1,
+                latency: p.submitted.elapsed(),
+            }));
+        };
+        let mut drainers = Vec::new();
+        for _ in 0..2 {
+            let queue = queue.clone();
+            drainers.push(std::thread::spawn(move || {
+                let mut expired = Vec::new();
+                while let Some(batch) = queue.next_batch(&policy, &mut expired) {
+                    for p in expired.drain(..) {
+                        let _ = p.tx.send(Err(ServeError::DeadlineExceeded {
+                            waited: p.submitted.elapsed(),
+                        }));
+                    }
+                    for p in batch {
+                        reply(p);
+                    }
+                }
+            }));
+        }
+
+        let mut submitters = Vec::new();
+        for t in 0..SUBMITTERS {
+            let queue = queue.clone();
+            submitters.push(std::thread::spawn(move || {
+                let mut tickets = Vec::new();
+                let mut rejected = 0usize;
+                for i in 0..PER_THREAD {
+                    let (tx, rx) = channel();
+                    let pending = Pending {
+                        input: vec![(t * PER_THREAD + i) as f32],
+                        submitted: Instant::now(),
+                        deadline: None,
+                        tx,
+                    };
+                    match queue.try_push(pending) {
+                        Ok(_) => tickets.push(rx),
+                        Err(ServeError::QueueFull { .. }) | Err(ServeError::ShuttingDown) => {
+                            rejected += 1;
+                        }
+                        Err(e) => panic!("untyped rejection: {e}"),
+                    }
+                    if i.is_multiple_of(64) {
+                        std::thread::yield_now();
+                    }
+                }
+                (tickets, rejected)
+            }));
+        }
+
+        // Close while submitters are still racing — late pushes must see
+        // ShuttingDown, in-queue requests must still drain.
+        std::thread::sleep(Duration::from_millis(2));
+        queue.close();
+
+        let mut accepted = 0usize;
+        let mut rejected = 0usize;
+        for s in submitters {
+            let (tickets, r) = s.join().unwrap();
+            rejected += r;
+            for rx in tickets {
+                accepted += 1;
+                // Exactly once: one answer arrives…
+                let first = rx.recv_timeout(Duration::from_secs(10));
+                assert!(first.is_ok(), "an accepted request was never answered");
+                // …and the channel then closes without a second.
+                assert!(rx.recv().is_err(), "request answered twice");
+            }
+        }
+        for d in drainers {
+            d.join().unwrap();
+        }
+        assert_eq!(accepted + rejected, SUBMITTERS * PER_THREAD);
+        assert!(accepted > 0, "nothing was accepted — drill proved nothing");
+        assert_eq!(queue.depth(), 0);
     }
 }

@@ -19,16 +19,20 @@
 //! only a second failure surfaces as [`ServeError::Inference`] to that
 //! batch's requests.
 
-use crate::batcher::BatchPolicy;
+use crate::admission::{AdmissionConfig, AdmissionController, AdmitDecision};
+use crate::batcher::{expired_at, BatchPolicy};
+use crate::breaker::{BreakerConfig, CircuitBreaker, Gate};
+use crate::brownout::{BrownoutConfig, BrownoutController, Pressure};
 use crate::error::ServeError;
 use crate::queue::{Pending, SubmissionQueue};
-use crate::stats::{ServeStats, StatsCollector};
+use crate::stats::{LatencyHistogram, ServeStats, StatsCollector};
 use apa_gemm::{Mat, WorkerPool};
 use apa_matmul::HealthStats;
 use apa_nn::{GuardedBackend, InferenceScratch, Mlp};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Receiver};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -52,6 +56,16 @@ pub struct ServeConfig {
     pub warm_batches: Vec<usize>,
     /// Inference attempts per batch before failing its requests (≥ 1).
     pub batch_attempts: u32,
+    /// Admission control in front of the queue (token buckets + overload
+    /// shedding). `None` = every width-valid request reaches the queue.
+    pub admission: Option<AdmissionConfig>,
+    /// Per-lane circuit breakers. `None` = lanes never route around a
+    /// sick replica (pre-existing behavior).
+    pub breaker: Option<BreakerConfig>,
+    /// Load-driven quality brownout over the replicas' guarded backends.
+    /// `None` = quality is owned solely by the health ladder. Only
+    /// effective for replicas built with [`Replica::with_guards`].
+    pub brownout: Option<BrownoutConfig>,
 }
 
 impl Default for ServeConfig {
@@ -63,8 +77,23 @@ impl Default for ServeConfig {
             request_deadline: None,
             warm_batches: Vec::new(),
             batch_attempts: 2,
+            admission: None,
+            breaker: None,
+            brownout: None,
         }
     }
+}
+
+/// Per-request submission options (see [`ServiceHandle::submit_with`]).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SubmitOptions {
+    /// Tenant charged by the admission controller's token buckets.
+    /// `None` = the shared anonymous tenant.
+    pub tenant: Option<u64>,
+    /// Per-request deadline (from submission). Combined with
+    /// [`ServeConfig::request_deadline`] by taking the tighter of the
+    /// two.
+    pub deadline: Option<Duration>,
 }
 
 /// One lane's model: an [`Mlp`] plus handles to its guarded backends so
@@ -137,6 +166,17 @@ struct Shared {
     in_width: usize,
     deadline: Option<Duration>,
     guards: Vec<Arc<GuardedBackend>>,
+    admission: Option<AdmissionController>,
+    /// One breaker per lane (empty when breakers are disabled).
+    breakers: Vec<CircuitBreaker>,
+    /// Lanes currently parked by an open breaker — the last-lane guard:
+    /// a breaker may only trip while at least one other lane still
+    /// serves.
+    breaker_open: AtomicUsize,
+    lanes: usize,
+    /// Brownout-monitor shutdown flag + wakeup.
+    monitor_stop: Mutex<bool>,
+    monitor_cvar: Condvar,
 }
 
 /// Cloneable submit handle (safe to share across client threads).
@@ -147,20 +187,29 @@ pub struct ServiceHandle {
 
 impl ServiceHandle {
     /// Enqueue one input row. Returns immediately with a [`Ticket`] or a
-    /// typed rejection ([`ServeError::QueueFull`] under backpressure).
+    /// typed rejection ([`ServeError::QueueFull`] under backpressure,
+    /// [`ServeError::RateLimited`] / [`ServeError::Overloaded`] from the
+    /// admission controller when one is configured).
     pub fn submit(&self, input: Vec<f32>) -> Result<Ticket, ServeError> {
+        self.submit_with(input, SubmitOptions::default())
+    }
+
+    /// [`Self::submit`] with a tenant identity and/or per-request
+    /// deadline.
+    pub fn submit_with(&self, input: Vec<f32>, opts: SubmitOptions) -> Result<Ticket, ServeError> {
         if input.len() != self.shared.in_width {
             return Err(ServeError::BadInput {
                 expected: self.shared.in_width,
                 got: input.len(),
             });
         }
-        let (tx, rx) = channel();
         let now = Instant::now();
+        self.admit(opts.tenant, 1, now)?;
+        let (tx, rx) = channel();
         let pending = Pending {
             input,
             submitted: now,
-            deadline: self.shared.deadline.map(|d| now + d),
+            deadline: self.effective_deadline(opts.deadline, now),
             tx,
         };
         match self.shared.queue.try_push(pending) {
@@ -177,6 +226,85 @@ impl ServiceHandle {
         }
     }
 
+    /// Submit several rows as one admission unit: the admission
+    /// controller sees the *batch-weighted* cost (heavy batches are the
+    /// first shed under overload and charge their full weight against the
+    /// tenant's bucket) — an all-or-nothing gate. Past admission each row
+    /// is queued individually; the inner results carry per-row queue
+    /// rejections.
+    pub fn submit_batch(
+        &self,
+        inputs: Vec<Vec<f32>>,
+        opts: SubmitOptions,
+    ) -> Result<Vec<Result<Ticket, ServeError>>, ServeError> {
+        for input in &inputs {
+            if input.len() != self.shared.in_width {
+                return Err(ServeError::BadInput {
+                    expected: self.shared.in_width,
+                    got: input.len(),
+                });
+            }
+        }
+        let now = Instant::now();
+        let cost = inputs.len().min(u32::MAX as usize) as u32;
+        if cost == 0 {
+            return Ok(Vec::new());
+        }
+        self.admit(opts.tenant, cost, now)?;
+        let deadline = self.effective_deadline(opts.deadline, now);
+        Ok(inputs
+            .into_iter()
+            .map(|input| {
+                let (tx, rx) = channel();
+                let pending = Pending {
+                    input,
+                    submitted: now,
+                    deadline,
+                    tx,
+                };
+                match self.shared.queue.try_push(pending) {
+                    Ok(depth) => {
+                        self.shared.stats.note_submitted(depth);
+                        Ok(Ticket { rx })
+                    }
+                    Err(e) => {
+                        if matches!(e, ServeError::QueueFull { .. }) {
+                            self.shared.stats.note_rejected_full();
+                        }
+                        Err(e)
+                    }
+                }
+            })
+            .collect())
+    }
+
+    fn admit(&self, tenant: Option<u64>, cost: u32, now: Instant) -> Result<(), ServeError> {
+        let Some(ctl) = &self.shared.admission else {
+            return Ok(());
+        };
+        let fill = self.shared.queue.depth() as f64 / self.shared.queue.capacity() as f64;
+        match ctl.admit(tenant, cost, fill, now) {
+            AdmitDecision::Admit => Ok(()),
+            AdmitDecision::RateLimited { retry_after } => {
+                self.shared.stats.note_rejected_rate_limited();
+                Err(ServeError::RateLimited { retry_after })
+            }
+            AdmitDecision::Overloaded { retry_after } => {
+                self.shared.stats.note_rejected_overloaded();
+                Err(ServeError::Overloaded { retry_after })
+            }
+        }
+    }
+
+    fn effective_deadline(&self, requested: Option<Duration>, now: Instant) -> Option<Instant> {
+        match (self.shared.deadline, requested) {
+            (Some(s), Some(r)) => Some(now + s.min(r)),
+            (Some(s), None) => Some(now + s),
+            (None, Some(r)) => Some(now + r),
+            (None, None) => None,
+        }
+    }
+
     /// Submit and block for the response.
     pub fn infer(&self, input: Vec<f32>) -> Result<Response, ServeError> {
         self.submit(input)?.wait()
@@ -190,6 +318,7 @@ pub struct InferenceService {
     shared: Arc<Shared>,
     lanes: usize,
     supervisor: Option<JoinHandle<()>>,
+    monitor: Option<JoinHandle<()>>,
 }
 
 impl InferenceService {
@@ -224,6 +353,7 @@ impl InferenceService {
         warm.sort_unstable_by(|a, b| b.cmp(a));
         warm.dedup();
 
+        let lanes = replicas.len();
         let shared = Arc::new(Shared {
             queue: SubmissionQueue::new(config.queue_capacity),
             policy: BatchPolicy {
@@ -235,9 +365,20 @@ impl InferenceService {
             in_width,
             deadline: config.request_deadline,
             guards: replicas.iter().flat_map(|r| r.guards.clone()).collect(),
+            admission: config.admission.clone().map(AdmissionController::new),
+            breakers: config
+                .breaker
+                .map(|b| {
+                    (0..lanes)
+                        .map(|lane| CircuitBreaker::new(b, lane))
+                        .collect()
+                })
+                .unwrap_or_default(),
+            breaker_open: AtomicUsize::new(0),
+            lanes,
+            monitor_stop: Mutex::new(false),
+            monitor_cvar: Condvar::new(),
         });
-
-        let lanes = replicas.len();
         let shared_for_lanes = shared.clone();
         let supervisor = std::thread::Builder::new()
             .name("apa-serve-supervisor".into())
@@ -259,10 +400,26 @@ impl InferenceService {
             })
             .expect("supervisor thread spawn cannot fail");
 
+        // The brownout monitor samples queue fill and windowed tail
+        // latency, stepping every guarded replica up or down the quality
+        // ladder. Pointless without guards to steer.
+        let monitor =
+            config
+                .brownout
+                .filter(|_| !shared.guards.is_empty())
+                .map(|brownout_config| {
+                    let shared = shared.clone();
+                    std::thread::Builder::new()
+                        .name("apa-serve-brownout".into())
+                        .spawn(move || monitor_loop(&shared, brownout_config))
+                        .expect("monitor thread spawn cannot fail")
+                });
+
         Self {
             shared,
             lanes,
             supervisor: Some(supervisor),
+            monitor,
         }
     }
 
@@ -307,6 +464,15 @@ impl InferenceService {
         if let Some(h) = self.supervisor.take() {
             let _ = h.join();
         }
+        *self
+            .shared
+            .monitor_stop
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner) = true;
+        self.shared.monitor_cvar.notify_all();
+        if let Some(h) = self.monitor.take() {
+            let _ = h.join();
+        }
     }
 }
 
@@ -339,13 +505,58 @@ fn lane_loop(lane: usize, replica: Replica, shared: &Shared, warm: &[usize]) {
         }
     }));
 
+    let breaker = shared.breakers.get(lane);
+    let mut parked = false;
     let mut expired = Vec::new();
-    while let Some(batch) = shared.queue.next_batch(&shared.policy, &mut expired) {
-        fail_expired(&mut expired, shared);
+    loop {
+        // Circuit-breaker gate. A blocked lane naps in short slices so it
+        // notices both the cool-down ending and a drain beginning — a
+        // drain always overrides the breaker, so shutdown can never be
+        // held hostage by a cool-down (and the drain path tolerates every
+        // lane being sick: a degraded answer beats an unanswered ticket).
+        let mut probing = false;
+        if let Some(b) = breaker {
+            loop {
+                if shared.queue.is_closed() {
+                    break;
+                }
+                match b.gate(Instant::now()) {
+                    Gate::Serve => break,
+                    Gate::Probe => {
+                        probing = true;
+                        break;
+                    }
+                    Gate::Blocked { until } => {
+                        if !parked {
+                            parked = true;
+                            shared.breaker_open.fetch_add(1, Ordering::SeqCst);
+                        }
+                        let nap = until
+                            .saturating_duration_since(Instant::now())
+                            .min(Duration::from_millis(5))
+                            .max(Duration::from_micros(100));
+                        std::thread::sleep(nap);
+                    }
+                }
+            }
+            if parked {
+                parked = false;
+                shared.breaker_open.fetch_sub(1, Ordering::SeqCst);
+            }
+        }
+
+        let Some(batch) = shared.queue.next_batch(&shared.policy, &mut expired) else {
+            break;
+        };
+        fail_expired(&mut expired, shared, false);
         if batch.is_empty() {
             continue;
         }
-        run_batch(
+        if probing {
+            shared.stats.note_breaker_probe();
+        }
+        let started = Instant::now();
+        let clean = run_batch(
             lane,
             &replica,
             batch,
@@ -355,20 +566,83 @@ fn lane_loop(lane: usize, replica: Replica, shared: &Shared, warm: &[usize]) {
             &mut input,
             &mut output,
         );
+        if let Some(b) = breaker {
+            let stalled = b
+                .config()
+                .stall_timeout
+                .is_some_and(|t| started.elapsed() > t);
+            if clean && !stalled {
+                b.on_success();
+            } else {
+                // Last-lane guard: only trip while at least one other
+                // lane is still taking work.
+                let open_elsewhere = shared.breaker_open.load(Ordering::SeqCst);
+                let allow_open = open_elsewhere + 1 < shared.lanes;
+                if b.on_failure(Instant::now(), allow_open) {
+                    shared.stats.note_breaker_trip();
+                }
+            }
+        }
     }
     // `next_batch` may move expirations out even on the final (None) pop.
-    fail_expired(&mut expired, shared);
+    fail_expired(&mut expired, shared, false);
 }
 
-fn fail_expired(expired: &mut Vec<Pending>, shared: &Shared) {
+/// The brownout monitor: periodically sample queue fill and the p99 of
+/// the *window* since the previous sample, let the controller pick a
+/// level, and install the level's [`apa_matmul::QualityOverride`] on
+/// every guarded backend. Overrides are cleared when the service stops.
+fn monitor_loop(shared: &Shared, config: BrownoutConfig) {
+    let sample_every = config.sample_every.max(Duration::from_millis(1));
+    let mut ctl = BrownoutController::new(config);
+    let mut prev = LatencyHistogram::default();
+    let mut stop = shared
+        .monitor_stop
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner);
+    while !*stop {
+        let (guard, _timeout) = shared
+            .monitor_cvar
+            .wait_timeout(stop, sample_every)
+            .unwrap_or_else(PoisonError::into_inner);
+        stop = guard;
+        if *stop {
+            break;
+        }
+        let fill = shared.queue.depth() as f64 / shared.queue.capacity() as f64;
+        let hist = shared.stats.latency_snapshot();
+        let window = hist.since(&prev);
+        prev = hist;
+        let window_p99 = (window.total() > 0).then(|| window.p99());
+        let pressure = Pressure { fill, window_p99 };
+        if let Some(level) = ctl.observe(pressure, Instant::now()) {
+            let quality = ctl.override_for(level);
+            for g in &shared.guards {
+                g.set_quality_override(quality);
+            }
+            shared
+                .stats
+                .note_brownout(level, ctl.steps_down(), ctl.steps_up());
+        }
+    }
+    drop(stop);
+    for g in &shared.guards {
+        g.set_quality_override(None);
+    }
+}
+
+fn fail_expired(expired: &mut Vec<Pending>, shared: &Shared, at_assembly: bool) {
     for p in expired.drain(..) {
-        shared.stats.note_expired();
+        shared.stats.note_expired(at_assembly);
         let _ = p.tx.send(Err(ServeError::DeadlineExceeded {
             waited: p.submitted.elapsed(),
         }));
     }
 }
 
+/// Serve one batch; returns `false` when every inference attempt failed
+/// (the breaker's definition of a failed batch — shed or expired requests
+/// are not the replica's fault).
 #[allow(clippy::too_many_arguments)]
 fn run_batch(
     lane: usize,
@@ -379,7 +653,21 @@ fn run_batch(
     scratch: &mut InferenceScratch,
     input: &mut Mat<f32>,
     output: &mut Mat<f32>,
-) {
+) -> bool {
+    // Assembly-time shed: a request whose deadline already passed gets
+    // its typed answer *now*, before any padding or inference is spent on
+    // it. The queue's front sweep only catches in-order expiry (uniform
+    // service deadlines); per-request deadlines expire out of order and
+    // land here.
+    let now = Instant::now();
+    let (batch, dead): (Vec<Pending>, Vec<Pending>) = batch
+        .into_iter()
+        .partition(|p| !expired_at(p.deadline, now));
+    let mut dead = dead;
+    fail_expired(&mut dead, shared, true);
+    if batch.is_empty() {
+        return true;
+    }
     let rows = batch.len();
     // Pad ragged tails up to the nearest warmed batch size (the target
     // batch is always warmed, so a fallback to `rows` is only reachable
@@ -421,7 +709,12 @@ fn run_batch(
 
     match outcome {
         Ok(()) => {
+            let done = Instant::now();
             for (i, p) in batch.into_iter().enumerate() {
+                // A deadline that expired mid-inference: the work is
+                // already paid for, so deliver the answer — but count it,
+                // the client may have stopped waiting.
+                let late = expired_at(p.deadline, done);
                 let response = Response {
                     output: output.as_ref().row(i).to_vec(),
                     lane,
@@ -429,9 +722,10 @@ fn run_batch(
                     padded_rows: padded,
                     latency: p.submitted.elapsed(),
                 };
-                shared.stats.note_completed(response.latency);
+                shared.stats.note_completed(response.latency, late);
                 let _ = p.tx.send(Ok(response));
             }
+            true
         }
         Err(detail) => {
             shared.stats.note_failed(rows);
@@ -440,6 +734,7 @@ fn run_batch(
                     detail: detail.clone(),
                 }));
             }
+            false
         }
     }
 }

@@ -84,6 +84,23 @@ impl LatencyHistogram {
         Duration::ZERO
     }
 
+    /// The histogram of everything recorded after `prev` was snapshotted
+    /// (per-bucket saturating difference). Used by the brownout monitor
+    /// for a *windowed* p99 — a long-lived cumulative histogram reacts
+    /// far too slowly to be a control signal. Caveat: `max_observed` of
+    /// the window is not recoverable from two cumulative snapshots, so
+    /// the delta inherits the cumulative max — an honest upper bound for
+    /// tail quantiles, never an understatement.
+    pub fn since(&self, prev: &LatencyHistogram) -> LatencyHistogram {
+        let mut out = LatencyHistogram::default();
+        for (i, count) in self.counts.iter().enumerate() {
+            out.counts[i] = count.saturating_sub(prev.counts[i]);
+        }
+        out.total = self.total.saturating_sub(prev.total);
+        out.max_us = self.max_us;
+        out
+    }
+
     pub fn p50(&self) -> Duration {
         self.quantile(0.50)
     }
@@ -107,8 +124,22 @@ pub struct ServeStats {
     pub completed: u64,
     /// Submissions rejected with [`crate::ServeError::QueueFull`].
     pub rejected_queue_full: u64,
+    /// Submissions rejected with [`crate::ServeError::RateLimited`]
+    /// (tenant token bucket dry).
+    pub rejected_rate_limited: u64,
+    /// Submissions shed with [`crate::ServeError::Overloaded`] by the
+    /// admission controller's fill-factor gate.
+    pub rejected_overloaded: u64,
     /// Requests dropped with [`crate::ServeError::DeadlineExceeded`].
     pub expired: u64,
+    /// Of [`Self::expired`]: requests a lane shed at batch-assembly time
+    /// — already dequeued, found dead before any padding or inference was
+    /// spent on them (the rest expired inside the queue).
+    pub shed_at_assembly: u64,
+    /// Requests answered successfully but after their deadline had passed
+    /// (the deadline expired mid-inference; the work was already paid
+    /// for, so the answer is delivered and counted here, not shed).
+    pub completed_late: u64,
     /// Requests failed with [`crate::ServeError::Inference`].
     pub failed: u64,
     /// Batches whose first inference attempt panicked and was retried.
@@ -124,6 +155,18 @@ pub struct ServeStats {
     pub queue_depth: usize,
     /// High-water mark of the queue depth.
     pub max_queue_depth: usize,
+    /// Lifetime closed→open transitions summed over every lane's circuit
+    /// breaker.
+    pub breaker_trips: u64,
+    /// Batches served as half-open probes while a breaker was testing its
+    /// lane's recovery.
+    pub breaker_probe_batches: u64,
+    /// Current brownout level (0 = full quality).
+    pub brownout_level: usize,
+    /// Quality-degrading brownout level changes so far.
+    pub brownout_steps_down: u64,
+    /// Quality-restoring brownout level changes so far.
+    pub brownout_steps_up: u64,
     /// Time since the service started.
     pub uptime: Duration,
     /// Request-latency histogram (submit → response).
@@ -164,12 +207,21 @@ struct Counters {
     submitted: u64,
     completed: u64,
     rejected_queue_full: u64,
+    rejected_rate_limited: u64,
+    rejected_overloaded: u64,
     expired: u64,
+    shed_at_assembly: u64,
+    completed_late: u64,
     failed: u64,
     batch_retries: u64,
     batches: u64,
     batch_size_counts: Vec<u64>,
     padded_rows: u64,
+    breaker_trips: u64,
+    breaker_probe_batches: u64,
+    brownout_level: usize,
+    brownout_steps_down: u64,
+    brownout_steps_up: u64,
     max_queue_depth: usize,
     latency: LatencyHistogram,
 }
@@ -205,8 +257,45 @@ impl StatsCollector {
         self.lock().rejected_queue_full += 1;
     }
 
-    pub fn note_expired(&self) {
-        self.lock().expired += 1;
+    pub fn note_rejected_rate_limited(&self) {
+        self.lock().rejected_rate_limited += 1;
+    }
+
+    pub fn note_rejected_overloaded(&self) {
+        self.lock().rejected_overloaded += 1;
+    }
+
+    /// A request dropped for out-waiting its deadline. `at_assembly` is
+    /// true when a lane caught it while assembling a batch (it had been
+    /// dequeued) rather than inside the queue's front sweep.
+    pub fn note_expired(&self, at_assembly: bool) {
+        let mut c = self.lock();
+        c.expired += 1;
+        if at_assembly {
+            c.shed_at_assembly += 1;
+        }
+    }
+
+    pub fn note_breaker_trip(&self) {
+        self.lock().breaker_trips += 1;
+    }
+
+    pub fn note_breaker_probe(&self) {
+        self.lock().breaker_probe_batches += 1;
+    }
+
+    pub fn note_brownout(&self, level: usize, steps_down: u64, steps_up: u64) {
+        let mut c = self.lock();
+        c.brownout_level = level;
+        c.brownout_steps_down = steps_down;
+        c.brownout_steps_up = steps_up;
+    }
+
+    /// A cheap clone of the cumulative latency histogram — the brownout
+    /// monitor diffs consecutive snapshots via [`LatencyHistogram::since`]
+    /// for its windowed p99.
+    pub fn latency_snapshot(&self) -> LatencyHistogram {
+        self.lock().latency.clone()
     }
 
     pub fn note_batch(&self, rows: usize, padded_to: usize) {
@@ -222,9 +311,14 @@ impl StatsCollector {
         self.lock().batch_retries += 1;
     }
 
-    pub fn note_completed(&self, latency: Duration) {
+    /// A request answered. `late` marks an answer delivered after its
+    /// deadline had already passed (deadline expired mid-inference).
+    pub fn note_completed(&self, latency: Duration, late: bool) {
         let mut c = self.lock();
         c.completed += 1;
+        if late {
+            c.completed_late += 1;
+        }
         c.latency.record(latency);
     }
 
@@ -238,12 +332,21 @@ impl StatsCollector {
             submitted: c.submitted,
             completed: c.completed,
             rejected_queue_full: c.rejected_queue_full,
+            rejected_rate_limited: c.rejected_rate_limited,
+            rejected_overloaded: c.rejected_overloaded,
             expired: c.expired,
+            shed_at_assembly: c.shed_at_assembly,
+            completed_late: c.completed_late,
             failed: c.failed,
             batch_retries: c.batch_retries,
             batches: c.batches,
             batch_size_counts: c.batch_size_counts.clone(),
             padded_rows: c.padded_rows,
+            breaker_trips: c.breaker_trips,
+            breaker_probe_batches: c.breaker_probe_batches,
+            brownout_level: c.brownout_level,
+            brownout_steps_down: c.brownout_steps_down,
+            brownout_steps_up: c.brownout_steps_up,
             queue_depth,
             max_queue_depth: c.max_queue_depth,
             uptime: self.start.elapsed(),
@@ -297,6 +400,42 @@ mod tests {
         assert_eq!(h.max_observed(), Duration::from_micros(900_000));
         h.record(Duration::from_micros(1_000_001));
         assert_eq!(h.overflow_count(), 1);
+    }
+
+    #[test]
+    fn histogram_since_diffs_cumulative_snapshots() {
+        let mut h = LatencyHistogram::default();
+        h.record(Duration::from_micros(40));
+        h.record(Duration::from_micros(900));
+        let prev = h.clone();
+        // Nothing new: empty window.
+        let idle = h.since(&prev);
+        assert_eq!(idle.total(), 0);
+        assert_eq!(idle.p99(), Duration::ZERO);
+        // A slow window must dominate the windowed p99 even though the
+        // cumulative history is fast.
+        for _ in 0..10 {
+            h.record(Duration::from_micros(90_000));
+        }
+        let window = h.since(&prev);
+        assert_eq!(window.total(), 10);
+        assert_eq!(window.p99(), Duration::from_micros(100_000));
+        // The cumulative histogram itself is unchanged by the diff.
+        assert_eq!(h.total(), 12);
+    }
+
+    #[test]
+    fn expired_and_completed_split_assembly_and_late_counts() {
+        let collector = StatsCollector::new(4);
+        collector.note_expired(false);
+        collector.note_expired(true);
+        collector.note_completed(Duration::from_micros(10), false);
+        collector.note_completed(Duration::from_micros(10), true);
+        let stats = collector.snapshot(0, HealthStats::default());
+        assert_eq!(stats.expired, 2);
+        assert_eq!(stats.shed_at_assembly, 1);
+        assert_eq!(stats.completed, 2);
+        assert_eq!(stats.completed_late, 1);
     }
 
     #[test]

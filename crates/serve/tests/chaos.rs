@@ -1,0 +1,321 @@
+//! The overload chaos drill (`--features fault-inject` only): drive the
+//! service at well over 2× its capacity with hostile everything — lane
+//! stalls, lane panics, seeded NaNs, corrupted products, a deadline
+//! storm, a rate-limited tenant — with every robustness subsystem armed
+//! at once (admission control, per-lane circuit breakers, brownout).
+//!
+//! The contract under test is blunt: **every client interaction ends in a
+//! typed answer**. Every accepted ticket resolves (no hangs, no
+//! `Disconnected`), every rejection is a typed backpressure error, and
+//! the stats ledger balances exactly against what the clients saw.
+//!
+//! The fault registry and gemm lane switches are process-global, so this
+//! drill serializes on [`LOCK`] like the other fault drills.
+
+#![cfg(feature = "fault-inject")]
+
+use apa_core::catalog;
+use apa_matmul::fault::{self, Fault, FaultKind};
+use apa_matmul::{ApaMatmul, GuardedApaMatmul, PeelMode, Strategy};
+use apa_nn::{Backend, GuardedBackend, Mlp};
+use apa_serve::{
+    AdmissionConfig, BreakerConfig, BrownoutConfig, InferenceService, RateLimit, Replica,
+    ServeConfig, ServeError, SubmitOptions,
+};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::Duration;
+
+static LOCK: Mutex<()> = Mutex::new(());
+
+fn lock() -> std::sync::MutexGuard<'static, ()> {
+    LOCK.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+const IN_WIDTH: usize = 48;
+const LANES: usize = 3;
+const CLIENTS: usize = 4;
+const PER_CLIENT: usize = 250;
+
+/// One guarded replica: bini322, hybrid over 2 gemm threads (so lane
+/// panic/stall switches find a worker to strike), a 20ms rung watchdog.
+fn replica(seed: u64) -> (Replica, Arc<GuardedBackend>) {
+    let guard = Arc::new(GuardedBackend::from_guard(
+        GuardedApaMatmul::from_matmul(
+            ApaMatmul::new(catalog::bini322())
+                .steps(1)
+                .strategy(Strategy::Hybrid)
+                .threads(2)
+                .peel_mode(PeelMode::Dynamic),
+        )
+        .watchdog(Duration::from_millis(20)),
+    ));
+    let backend: Backend = guard.clone();
+    let mlp = Mlp::new(&[IN_WIDTH, 48, 10], vec![backend.clone(), backend], seed);
+    (Replica::with_guards(mlp, vec![guard.clone()]), guard)
+}
+
+fn input(seed: usize) -> Vec<f32> {
+    (0..IN_WIDTH)
+        .map(|i| ((i + seed) as f32 * 0.17).sin())
+        .collect()
+}
+
+#[test]
+fn overload_chaos_every_client_gets_a_typed_answer() {
+    let _g = lock();
+    let replicas: Vec<Replica> = (0..LANES).map(|l| replica(21 + l as u64).0).collect();
+    let service = InferenceService::start(
+        replicas,
+        ServeConfig {
+            queue_capacity: 64,
+            max_linger: Duration::from_millis(1),
+            admission: Some(AdmissionConfig {
+                // Tenant 1 is throttled hard — its clients must see typed
+                // RateLimited answers mid-storm.
+                tenant_limits: vec![(
+                    1,
+                    RateLimit {
+                        per_sec: 50.0,
+                        burst: 10.0,
+                    },
+                )],
+                ..AdmissionConfig::default()
+            }),
+            breaker: Some(BreakerConfig {
+                trip_after: 1,
+                open_base: Duration::from_millis(10),
+                open_cap: Duration::from_millis(100),
+                // A 30ms injected stall overshoots this: the batch still
+                // answers, but the lane's breaker counts it as sick.
+                stall_timeout: Some(Duration::from_millis(25)),
+                ..BreakerConfig::default()
+            }),
+            brownout: Some(BrownoutConfig {
+                enter_fill: 0.20,
+                exit_fill: 0.05,
+                hold: Duration::from_millis(2),
+                sample_every: Duration::from_millis(1),
+                ..BrownoutConfig::default()
+            }),
+            ..ServeConfig::default()
+        },
+    );
+    let handle = service.handle();
+
+    // Prove warm-up is over, then lay the minefield. The registry is
+    // keyed by each guard's OWN call counter (NOT the merged
+    // `stats().health.calls`, which sums all three lanes), and each
+    // lane's guard only advances by its share of the batches — so the
+    // schedule is dense from index 0: indices a guard already passed
+    // during warm-up are inert, the rest strike as each lane walks into
+    // them.
+    handle.infer(input(0)).expect("clean call before the storm");
+    let mut plan = Vec::new();
+    for k in 0..48u64 {
+        let base = 8 * k;
+        plan.push(Fault {
+            at_call: base,
+            kind: FaultKind::StallLane { millis: 30 },
+        });
+        plan.push(Fault {
+            at_call: base + 2,
+            kind: FaultKind::PanicInLane,
+        });
+        plan.push(Fault {
+            at_call: base + 4,
+            kind: FaultKind::SeedNan,
+        });
+        plan.push(Fault {
+            at_call: base + 6,
+            kind: FaultKind::CorruptOutput { scale: 1e4 },
+        });
+    }
+    fault::install(&plan);
+
+    // The storm: every client floods its submissions without pacing —
+    // far over capacity — with a mixed deadline profile. Client 0 rides
+    // the throttled tenant.
+    let mut clients = Vec::new();
+    for c in 0..CLIENTS {
+        let handle = handle.clone();
+        clients.push(std::thread::spawn(move || {
+            let mut tickets = Vec::new();
+            let mut rejected_full = 0u64;
+            let mut rejected_rate = 0u64;
+            let mut rejected_over = 0u64;
+            for i in 0..PER_CLIENT {
+                // Brief pacing every few dozen submissions: on a single
+                // shared CPU an unpaced spin-submit loop finishes the
+                // whole storm in a few ms and starves the lanes and the
+                // brownout monitor of any chance to run *while* the
+                // queue is deep — the sleep keeps the pressured window
+                // open long enough for the 1ms sampler to see it.
+                if i % 25 == 24 {
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+                let opts = SubmitOptions {
+                    tenant: (c == 0).then_some(1),
+                    deadline: match i % 3 {
+                        0 => None,
+                        1 => Some(Duration::from_millis(40)),
+                        _ => Some(Duration::from_millis(3)),
+                    },
+                };
+                match handle.submit_with(input(c * PER_CLIENT + i), opts) {
+                    Ok(t) => tickets.push(t),
+                    Err(ServeError::QueueFull { .. }) => rejected_full += 1,
+                    Err(ServeError::RateLimited { retry_after })
+                    | Err(ServeError::Overloaded { retry_after }) => {
+                        assert!(retry_after > Duration::ZERO, "empty backoff hint");
+                        match opts.tenant {
+                            Some(_) => rejected_rate += 1,
+                            None => rejected_over += 1,
+                        }
+                    }
+                    Err(other) => panic!("untyped/unexpected rejection: {other}"),
+                }
+            }
+            // Every accepted ticket must resolve to a typed answer —
+            // a None here is a hang, the one unforgivable outcome.
+            let mut ok = 0u64;
+            let mut expired = 0u64;
+            let mut failed = 0u64;
+            for t in tickets {
+                match t
+                    .wait_timeout(Duration::from_secs(15))
+                    .expect("ticket hung past 15s — a client was never answered")
+                {
+                    Ok(r) => {
+                        assert_eq!(r.output.len(), 10);
+                        assert!(
+                            r.output.iter().all(|v| v.is_finite()),
+                            "non-finite output escaped the sentinel: {:?}",
+                            r.output
+                        );
+                        ok += 1;
+                    }
+                    Err(ServeError::DeadlineExceeded { .. }) => expired += 1,
+                    Err(ServeError::Inference { .. }) => failed += 1,
+                    Err(other) => panic!("unexpected terminal error: {other}"),
+                }
+            }
+            (
+                ok,
+                expired,
+                failed,
+                rejected_full,
+                rejected_rate,
+                rejected_over,
+            )
+        }));
+    }
+
+    let mut ok = 1u64; // the pre-storm warm call
+    let (mut expired, mut failed) = (0u64, 0u64);
+    let (mut rej_full, mut rej_rate, mut rej_over) = (0u64, 0u64, 0u64);
+    for c in clients {
+        let (o, e, f, rf, rr, ro) = c.join().expect("client thread must not die");
+        ok += o;
+        expired += e;
+        failed += f;
+        rej_full += rf;
+        rej_rate += rr;
+        rej_over += ro;
+    }
+    fault::clear();
+    let stats = service.shutdown();
+
+    // A tenant-1 rejection can be RateLimited *or* Overloaded (the shed
+    // gate also applies); the split the client saw groups by tenant, so
+    // compare the combined pools, then the ledger.
+    assert_eq!(ok, stats.completed, "client Oks vs stats.completed");
+    assert_eq!(expired, stats.expired, "client expiries vs stats.expired");
+    assert_eq!(failed, stats.failed, "client failures vs stats.failed");
+    assert_eq!(rej_full, stats.rejected_queue_full);
+    assert_eq!(
+        rej_rate + rej_over,
+        stats.rejected_rate_limited + stats.rejected_overloaded
+    );
+    // The ledger: everything accepted was terminally answered.
+    assert_eq!(
+        stats.submitted,
+        stats.completed + stats.expired + stats.failed,
+        "accepted requests leaked: {stats:?}"
+    );
+    assert_eq!(stats.queue_depth, 0);
+    // The storm must have actually stormed.
+    assert!(fault::injected_count() > 0, "no fault ever fired");
+    assert!(
+        ok + expired + failed == stats.submitted && stats.submitted > 0,
+        "nothing was accepted — the drill proved nothing"
+    );
+    assert!(
+        stats.expired + stats.rejected_overloaded + stats.rejected_queue_full > 0,
+        "the service was never actually overloaded"
+    );
+    // Robustness machinery engaged: injected 30ms stalls overshoot the
+    // 25ms stall watchdog, so at least one lane breaker must have
+    // tripped; sustained overload past the 0.20 enter watermark must
+    // have browned the replicas out at least once.
+    assert!(stats.breaker_trips >= 1, "no breaker tripped: {stats:?}");
+    assert!(
+        stats.brownout_steps_down >= 1,
+        "brownout never engaged: {stats:?}"
+    );
+}
+
+/// Drain-under-chaos: closing the service while faults are still armed
+/// and the queue holds a backlog must answer every ticket and return —
+/// an open breaker is not allowed to hold the drain hostage.
+#[test]
+fn shutdown_mid_storm_answers_every_ticket_and_returns() {
+    let _g = lock();
+    let replicas: Vec<Replica> = (0..2).map(|l| replica(77 + l as u64).0).collect();
+    let service = InferenceService::start(
+        replicas,
+        ServeConfig {
+            queue_capacity: 256,
+            // A huge linger: only the drain flush can serve partials, so
+            // the backlog is guaranteed to still be queued at shutdown.
+            max_linger: Duration::from_secs(30),
+            target_batch: 64,
+            breaker: Some(BreakerConfig {
+                trip_after: 1,
+                open_base: Duration::from_secs(5),
+                stall_timeout: Some(Duration::ZERO),
+                ..BreakerConfig::default()
+            }),
+            ..ServeConfig::default()
+        },
+    );
+    let handle = service.handle();
+    // No pre-storm infer: with a 30s linger a lone request would wait
+    // out the full linger. Faults are scheduled densely from call 0 —
+    // any that strike warm-up multiplies are absorbed there too.
+    let plan: Vec<Fault> = (0..40)
+        .map(|k| Fault {
+            at_call: 2 * k,
+            kind: FaultKind::SeedNan,
+        })
+        .collect();
+    fault::install(&plan);
+
+    let tickets: Vec<_> = (0..40)
+        .map(|i| handle.submit(input(i)).expect("queue has room"))
+        .collect();
+    let stats = service.shutdown();
+    fault::clear();
+    for t in tickets {
+        let answer = t
+            .wait_timeout(Duration::from_secs(10))
+            .expect("drain left a ticket unanswered");
+        if let Ok(r) = answer {
+            assert!(r.output.iter().all(|v| v.is_finite()));
+        }
+    }
+    assert_eq!(
+        stats.submitted,
+        stats.completed + stats.expired + stats.failed
+    );
+    assert_eq!(stats.queue_depth, 0);
+}

@@ -5,7 +5,10 @@
 use apa_core::catalog;
 use apa_gemm::{Mat, MatMut, MatRef};
 use apa_nn::{classical, guarded, Backend, MatmulBackend, Mlp};
-use apa_serve::{InferenceService, Replica, ServeConfig, ServeError};
+use apa_serve::{
+    AdmissionConfig, BreakerConfig, InferenceService, RateLimit, Replica, ServeConfig, ServeError,
+    SubmitOptions,
+};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
@@ -354,6 +357,188 @@ fn batch_that_keeps_panicking_fails_typed_and_service_stays_up() {
     assert_eq!(stats.failed, 1);
     assert_eq!(stats.completed, 2);
     assert_eq!(stats.batch_retries, 1);
+}
+
+#[test]
+fn rate_limited_tenant_gets_typed_retry_after_and_others_pass() {
+    let service = InferenceService::start(
+        vec![Replica::new(classical_mlp(&[6, 8, 3], 31))],
+        ServeConfig {
+            max_linger: Duration::from_millis(1),
+            admission: Some(AdmissionConfig {
+                tenant_limits: vec![(
+                    9,
+                    RateLimit {
+                        per_sec: 0.5,
+                        burst: 2.0,
+                    },
+                )],
+                ..AdmissionConfig::default()
+            }),
+            ..ServeConfig::default()
+        },
+    );
+    let handle = service.handle();
+    let tenant = SubmitOptions {
+        tenant: Some(9),
+        ..SubmitOptions::default()
+    };
+    // The burst of 2 passes…
+    for i in 0..2 {
+        handle
+            .submit_with(probe_row(6, i), tenant)
+            .expect("within burst")
+            .wait()
+            .expect("served");
+    }
+    // …the third is rejected before touching the queue, with an honest
+    // refill hint (deficit 1 token at 0.5/s ≈ 2s).
+    match handle.submit_with(probe_row(6, 3), tenant) {
+        Err(ServeError::RateLimited { retry_after }) => {
+            assert!(retry_after >= Duration::from_secs(1), "{retry_after:?}");
+        }
+        other => panic!("expected RateLimited, got {other:?}"),
+    }
+    // An unlimited tenant is unaffected.
+    assert!(handle.infer(probe_row(6, 4)).is_ok());
+    let stats = service.shutdown();
+    assert_eq!(stats.rejected_rate_limited, 1);
+    assert_eq!(stats.completed, 3);
+    assert_eq!(stats.submitted, 3);
+}
+
+#[test]
+fn overload_shed_is_typed_with_backoff_hint() {
+    // A shedding band pinned below fill 0 makes every submission an
+    // overload candidate with shed probability 1 — deterministic without
+    // having to race the lanes into a deep queue.
+    let service = InferenceService::start(
+        vec![Replica::new(classical_mlp(&[6, 8, 3], 37))],
+        ServeConfig {
+            admission: Some(AdmissionConfig {
+                shed_start: -2.0,
+                shed_full: -1.0,
+                retry_after_base: Duration::from_millis(10),
+                ..AdmissionConfig::default()
+            }),
+            ..ServeConfig::default()
+        },
+    );
+    let handle = service.handle();
+    match handle.submit(probe_row(6, 1)) {
+        Err(ServeError::Overloaded { retry_after }) => {
+            assert!(retry_after >= Duration::from_millis(10), "{retry_after:?}");
+        }
+        other => panic!("expected Overloaded, got {other:?}"),
+    }
+    let stats = service.shutdown();
+    assert_eq!(stats.rejected_overloaded, 1);
+    assert_eq!(stats.submitted, 0);
+}
+
+#[test]
+fn per_request_deadline_is_shed_at_batch_assembly() {
+    // Request A (no deadline) sits at the queue front, so the queue's
+    // front sweep never reaches the already-dead request B behind it —
+    // B must be shed at batch assembly, after dequeue but before any
+    // inference is spent on it.
+    let service = InferenceService::start(
+        vec![Replica::new(classical_mlp(&[6, 8, 3], 41))],
+        ServeConfig {
+            target_batch: 2,
+            max_linger: Duration::from_millis(300),
+            ..ServeConfig::default()
+        },
+    );
+    let handle = service.handle();
+    let a = handle.submit(probe_row(6, 1)).unwrap();
+    let b = handle
+        .submit_with(
+            probe_row(6, 2),
+            SubmitOptions {
+                deadline: Some(Duration::ZERO),
+                ..SubmitOptions::default()
+            },
+        )
+        .unwrap();
+    assert!(a.wait().is_ok(), "the live co-rider must still be served");
+    match b.wait() {
+        Err(ServeError::DeadlineExceeded { .. }) => {}
+        other => panic!("expected DeadlineExceeded, got {other:?}"),
+    }
+    let stats = service.shutdown();
+    assert_eq!(stats.completed, 1);
+    assert_eq!(stats.expired, 1);
+    assert_eq!(
+        stats.shed_at_assembly, 1,
+        "the out-of-order expiry must be caught at assembly, not in the queue sweep"
+    );
+}
+
+#[test]
+fn submit_batch_serves_every_row_of_an_admitted_batch() {
+    let widths = [12, 24, 24, 5];
+    let reference = classical_mlp(&widths, 42);
+    let service = InferenceService::start(
+        vec![Replica::new(classical_mlp(&widths, 42))],
+        ServeConfig {
+            target_batch: 8,
+            max_linger: Duration::from_millis(1),
+            ..ServeConfig::default()
+        },
+    );
+    let handle = service.handle();
+    let inputs: Vec<Vec<f32>> = (0..5).map(|i| probe_row(12, 300 + i)).collect();
+    let tickets = handle
+        .submit_batch(inputs.clone(), SubmitOptions::default())
+        .expect("admitted");
+    assert_eq!(tickets.len(), 5);
+    for (row, ticket) in inputs.iter().zip(tickets) {
+        let response = ticket.expect("queued").wait().expect("served");
+        let x = Mat::from_vec(1, 12, row.clone());
+        let expect = reference.predict(&x);
+        for (j, &got) in response.output.iter().enumerate() {
+            assert_eq!(got.to_bits(), expect.at(0, j).to_bits());
+        }
+    }
+    let stats = service.shutdown();
+    assert_eq!(stats.completed, 5);
+}
+
+#[test]
+fn slow_lane_trips_its_breaker_and_the_healthy_lane_keeps_serving() {
+    // A zero stall-timeout makes every batch a watchdog "stall", so the
+    // first lane to serve trip_after batches trips its breaker — while
+    // the last-lane guard must keep at least one lane closed so traffic
+    // always has somewhere to go. Responses are still delivered (a stall
+    // fails the *breaker*, not the batch).
+    let service = InferenceService::start(
+        vec![
+            Replica::new(classical_mlp(&[6, 8, 3], 43)),
+            Replica::new(classical_mlp(&[6, 8, 3], 43)),
+        ],
+        ServeConfig {
+            target_batch: 2,
+            max_linger: Duration::from_millis(1),
+            breaker: Some(BreakerConfig {
+                trip_after: 2,
+                open_base: Duration::from_millis(20),
+                stall_timeout: Some(Duration::ZERO),
+                ..BreakerConfig::default()
+            }),
+            ..ServeConfig::default()
+        },
+    );
+    let handle = service.handle();
+    for i in 0..30 {
+        handle
+            .infer(probe_row(6, i))
+            .expect("every request must still be answered");
+    }
+    let stats = service.shutdown();
+    assert_eq!(stats.completed, 30);
+    assert_eq!(stats.failed, 0);
+    assert!(stats.breaker_trips >= 1, "no breaker ever tripped");
 }
 
 #[test]

@@ -13,6 +13,11 @@
 #   3. the `fusionbench` harness (ISSUE 5 evidence), which emits
 #      BENCH_5.json (median GFLOP/s, workspace bytes and modeled traffic
 #      per rule x width x policy)
+#   4. the `overloadbench` drill (ISSUE 7 acceptance evidence): brownout
+#      on vs off at 2x measured capacity with the chaos schedule armed,
+#      emitting BENCH_7.json. The JSON's own criteria block is asserted
+#      below: goodput(on) >= 1.3x goodput(off) and the on-mode late
+#      fraction holds p99 inside the deadline.
 #
 # Usage: scripts/bench.sh [extra fusionbench args...]
 #   e.g. scripts/bench.sh --widths 512,1024 --reps 5
@@ -39,4 +44,14 @@ echo "== bench: dispatched $(grep -o 'tier=[a-z0-9]*' <<<"$kernel_out" | head -n
 echo "== bench: fusionbench -> BENCH_5.json =="
 cargo run --release -p apa-bench --bin fusionbench -- --out BENCH_5.json "$@"
 
-echo "== bench: OK (results in BENCH_5.json, BENCH_6.json) =="
+echo "== bench: overloadbench -> BENCH_7.json =="
+cargo run --release -p apa-bench --features fault-inject --bin overloadbench -- --out BENCH_7.json
+
+for crit in '"goodput_ratio_pass": true' '"p99_within_deadline_on": true'; do
+    if ! grep -qF "$crit" BENCH_7.json; then
+        echo "== bench: FAIL — overloadbench criterion not met: $crit ==" >&2
+        exit 1
+    fi
+done
+
+echo "== bench: OK (results in BENCH_5.json, BENCH_6.json, BENCH_7.json) =="

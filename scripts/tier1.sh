@@ -10,7 +10,10 @@
 #   3. the dispatch-matrix suite (bitwise cross-tier agreement) as an
 #      explicit gate
 #   4. fault-injection suites (lane panics/stalls, torn checkpoint writes,
-#      crash drills with bitwise-identical resume)
+#      crash drills with bitwise-identical resume), including the
+#      apa-serve overload chaos drill — a bounded (~tens of seconds)
+#      >2x-capacity storm with panics, stalls, NaNs and corrupted
+#      products that asserts every client gets a typed answer
 #   5. rustfmt check
 #   6. clippy with warnings promoted to errors
 #
@@ -46,8 +49,11 @@ cargo test -q -p apa-matmul --features fault-inject
 echo "== tier1: cargo test -p apa-nn --features fault-inject (crash drills) =="
 cargo test -q -p apa-nn --features fault-inject
 
-echo "== tier1: cargo test -p apa-serve --features fault-inject (serving fault drills) =="
+echo "== tier1: cargo test -p apa-serve --features fault-inject (serving fault drills + overload chaos) =="
 cargo test -q -p apa-serve --features fault-inject
+
+echo "== tier1: cargo test -p apa-serve --test chaos --features fault-inject (typed-answer contract under storm) =="
+cargo test -q -p apa-serve --test chaos --features fault-inject
 
 echo "== tier1: cargo fmt --check =="
 cargo fmt --all -- --check
@@ -63,5 +69,8 @@ cargo clippy -p apa-nn --all-targets --features fault-inject -- -D warnings
 
 echo "== tier1: cargo clippy -p apa-serve --features fault-inject (deny warnings) =="
 cargo clippy -p apa-serve --all-targets --features fault-inject -- -D warnings
+
+echo "== tier1: cargo clippy -p apa-bench --features fault-inject (deny warnings) =="
+cargo clippy -p apa-bench --all-targets --features fault-inject -- -D warnings
 
 echo "== tier1: OK =="
