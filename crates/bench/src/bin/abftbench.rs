@@ -1,0 +1,259 @@
+//! ABFT overhead + efficacy harness (ISSUE 8 acceptance evidence).
+//!
+//! Part 1 — overhead: guarded APA multiplies on ParaDnn-style training
+//! shapes `(batch x width) · (width x width)`, ABFT off vs on (the
+//! default), interleaved reps, best wall-clock per call per mode. The acceptance gate is <= 5%
+//! overhead at width 1024: the checksum work is O(mk + kn + mn) against
+//! the O(mkn) multiply, so it must vanish at training widths. The
+//! fault-free on-mode pass doubles as the false-positive gate — a single
+//! detection at catalog λ fails the run.
+//!
+//! Part 2 — efficacy (`--features fault-inject` only): a deterministic
+//! storm of single-bit exponent flips across packed A, packed B and
+//! finished C tiles, one per guarded call, counting per-call detection
+//! and in-place repair. The gate is 100% of both.
+//!
+//! Emits `BENCH_8.json`; `scripts/bench.sh` asserts the criteria block.
+//!
+//! Usage: `cargo run --release -p apa-bench [--features fault-inject]
+//!         --bin abftbench -- [--widths 512,1024] [--batch 64]
+//!         [--reps 9] [--trials 60] [--out BENCH_8.json]`
+
+use apa_bench::{banner, print_csv, print_table, Args};
+use apa_core::catalog;
+use apa_gemm::Mat;
+use apa_matmul::{AbftMode, ApaMatmul, GuardedApaMatmul, PeelMode, SentinelConfig, Strategy};
+use serde_json::json;
+use std::time::Instant;
+
+fn probe_rect(rows: usize, cols: usize, seed: u64) -> Mat<f32> {
+    let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+    Mat::from_fn(rows, cols, |_, _| {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (((state >> 32) as u32 as f64 / (1u64 << 31) as f64) - 1.0) as f32
+    })
+}
+
+fn guard(abft: AbftMode) -> GuardedApaMatmul {
+    GuardedApaMatmul::from_matmul(
+        ApaMatmul::new(catalog::bini322())
+            .steps(1)
+            .strategy(Strategy::Hybrid)
+            .threads(1)
+            .peel_mode(PeelMode::Dynamic),
+    )
+    .sentinel(SentinelConfig {
+        abft,
+        ..SentinelConfig::default()
+    })
+}
+
+struct OverheadRow {
+    width: usize,
+    batch: usize,
+    seconds_off: f64,
+    seconds_on: f64,
+    overhead_pct: f64,
+}
+
+/// Per-call seconds of `batch x width · width x width` through warmed
+/// guards, ABFT off vs on. The two modes run *interleaved* (off, on, off,
+/// on, …) and each lane takes its minimum: background load on a shared
+/// machine drifts over seconds, so sequential off-then-on medians can
+/// attribute a load spike to whichever mode ran during it, while paired
+/// minima compare both modes under the same best-case conditions.
+fn measure_overhead(batch: usize, width: usize, reps: usize) -> OverheadRow {
+    let g_off = guard(AbftMode::Off);
+    let g_on = guard(AbftMode::default());
+    let a = probe_rect(batch, width, 7);
+    let b = probe_rect(width, width, 8);
+    let mut c = Mat::<f32>::zeros(batch, width);
+    g_off.warm::<f32>(&[(batch, width, width)]);
+    g_on.warm::<f32>(&[(batch, width, width)]);
+    let (mut lane_off, mut lane_on) = (Vec::with_capacity(reps), Vec::with_capacity(reps));
+    for _ in 0..reps.max(1) {
+        let t0 = Instant::now();
+        g_off.multiply_into(a.as_ref(), b.as_ref(), c.as_mut());
+        lane_off.push(t0.elapsed().as_secs_f64());
+        let t0 = Instant::now();
+        g_on.multiply_into(a.as_ref(), b.as_ref(), c.as_mut());
+        lane_on.push(t0.elapsed().as_secs_f64());
+    }
+    let h_off = g_off.health();
+    let h_on = g_on.health();
+    assert_eq!(h_off.abft_checks, 0, "Off mode must not check");
+    assert!(h_on.abft_checks > 0, "On mode never checked");
+    assert_eq!(
+        h_on.abft_detected, 0,
+        "false positive on a fault-free run at catalog lambda: {h_on:?}"
+    );
+    let best = |lane: &[f64]| lane.iter().copied().fold(f64::INFINITY, f64::min);
+    let (seconds_off, seconds_on) = (best(&lane_off), best(&lane_on));
+    OverheadRow {
+        width,
+        batch,
+        seconds_off,
+        seconds_on,
+        overhead_pct: (seconds_on / seconds_off - 1.0) * 100.0,
+    }
+}
+
+/// One armed exponent flip per guarded call, targets in rotation;
+/// returns (trials, detected_trials, repaired_trials).
+#[cfg(feature = "fault-inject")]
+fn flip_drill(trials: u64) -> (u64, u64, u64) {
+    use apa_matmul::fault::{self, Fault, FaultKind, FlipTarget};
+    let g = guard(AbftMode::default());
+    let (m, k, n) = (96usize, 64usize, 80usize);
+    let a = probe_rect(m, k, 17);
+    let b = probe_rect(k, n, 18);
+    let mut c = Mat::<f32>::zeros(m, n);
+    g.warm::<f32>(&[(m, k, n)]);
+    let targets = [FlipTarget::PackA, FlipTarget::PackB, FlipTarget::Output];
+    let (mut detected, mut repaired) = (0u64, 0u64);
+    for t in 0..trials {
+        let before = g.health();
+        fault::install(&[Fault {
+            at_call: before.calls,
+            kind: FaultKind::BitFlip {
+                target: targets[(t % 3) as usize],
+                index: (t % 23) as usize,
+                bit: 30,
+            },
+        }]);
+        g.multiply_into(a.as_ref(), b.as_ref(), c.as_mut());
+        let after = g.health();
+        if after.abft_detected > before.abft_detected {
+            detected += 1;
+        }
+        if after.abft_detected > before.abft_detected
+            && after.abft_repaired - before.abft_repaired
+                == after.abft_detected - before.abft_detected
+        {
+            repaired += 1;
+        }
+    }
+    fault::clear();
+    (trials, detected, repaired)
+}
+
+fn main() {
+    let args = Args::parse();
+    let widths: Vec<usize> = args
+        .get_str("widths")
+        .unwrap_or("512,1024")
+        .split(',')
+        .map(|w| w.trim().parse().expect("bad --widths"))
+        .collect();
+    let batch = args.get("batch", 64usize);
+    let reps = args.get("reps", 9usize).max(3);
+    let trials = args.get("trials", 60u64).max(1);
+    let out_path = args.get_str("out").unwrap_or("BENCH_8.json").to_string();
+
+    banner(
+        "ABFT checksum tier: wall-clock overhead + detection/repair rates",
+        &[
+            &format!(
+                "guarded bini322 x1 step, Hybrid, 1 thread, ParaDnn shapes {batch} x w · w x w"
+            ),
+            &format!("widths {widths:?}, {reps} interleaved reps (best), ABFT off vs on"),
+            &format!(
+                "fault injection: {}",
+                if cfg!(feature = "fault-inject") {
+                    "exponent-bit flip storm (one flip per call)"
+                } else {
+                    "off (build with --features fault-inject for efficacy rates)"
+                }
+            ),
+        ],
+    );
+
+    let rows: Vec<OverheadRow> = widths
+        .iter()
+        .map(|&w| measure_overhead(batch, w, reps))
+        .collect();
+
+    let header = ["width", "batch", "off_ms", "on_ms", "overhead_%"];
+    let cells: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.width.to_string(),
+                r.batch.to_string(),
+                format!("{:.3}", r.seconds_off * 1e3),
+                format!("{:.3}", r.seconds_on * 1e3),
+                format!("{:+.2}", r.overhead_pct),
+            ]
+        })
+        .collect();
+    print_table(&header, &cells);
+    println!();
+    print_csv(&header, &cells);
+
+    // The gate rides on the largest measured width (1024 by default).
+    let gate_row = rows.iter().max_by_key(|r| r.width).expect("widths empty");
+    let overhead_pass = gate_row.overhead_pct <= 5.0;
+
+    #[cfg(feature = "fault-inject")]
+    let efficacy = {
+        let (t, d, r) = flip_drill(trials);
+        println!(
+            "\nflip drill: {t} armed exponent flips -> {d} detected, {r} fully repaired in place"
+        );
+        json!({
+            "trials": t,
+            "detected_trials": d,
+            "repaired_trials": r,
+            "detection_rate": (d as f64 / t as f64),
+            "repair_rate": (r as f64 / t as f64),
+            "all_flips_detected_and_repaired": (d == t && r == t),
+        })
+    };
+    #[cfg(not(feature = "fault-inject"))]
+    let efficacy = {
+        let _ = trials;
+        serde_json::Value::Null
+    };
+
+    let doc = json!({
+        "bench": "abftbench",
+        "config": {
+            "rule": "bini322",
+            "steps": 1,
+            "threads": 1,
+            "batch": batch,
+            "widths": widths,
+            "reps": reps,
+            "fault_inject": (cfg!(feature = "fault-inject")),
+        },
+        "overhead": (rows.iter().map(|r| json!({
+            "width": (r.width),
+            "batch": (r.batch),
+            "seconds_off": (r.seconds_off),
+            "seconds_on": (r.seconds_on),
+            "overhead_pct": (r.overhead_pct),
+        })).collect::<Vec<_>>()),
+        "efficacy": efficacy,
+        "criteria": {
+            "overhead_gate_pct": 5.0,
+            "gate_width": (gate_row.width),
+            "overhead_pct_at_gate_width": (gate_row.overhead_pct),
+            "overhead_pass": overhead_pass,
+            "fault_free_false_positives": 0,
+        },
+    });
+    let text = serde_json::to_string_pretty(&doc).expect("serialize BENCH_8");
+    std::fs::write(&out_path, text + "\n").expect("write BENCH_8.json");
+    println!("\nwrote {out_path}");
+    println!(
+        "overhead at width {}: {:+.2}% (gate: <= 5%)",
+        gate_row.width, gate_row.overhead_pct
+    );
+    assert!(
+        overhead_pass,
+        "ABFT overhead gate failed: {:.2}% > 5%",
+        gate_row.overhead_pct
+    );
+}

@@ -7,10 +7,14 @@
 //! small dimensions* (packing amortizes poorly), which is the property the
 //! paper's crossover analysis (§2.4, §3.3) depends on.
 
+use crate::abft::{self, AbftBufs, AbftSession};
 use crate::blocktune::block_sizes;
 use crate::kernel::{kernel_spec, KernelSpec, MAX_TILE_ELEMS};
 use crate::matrix::{Mat, MatMut, MatRef};
-use crate::pack::{pack_a, pack_a_combined, pack_b, pack_b_combined, MAX_PACK_TERMS};
+use crate::pack::{
+    pack_a, pack_a_combined, pack_b, pack_b_combined, pack_b_combined_with_sums, pack_b_with_sums,
+    MAX_PACK_TERMS,
+};
 use crate::scalar::Scalar;
 use std::any::{Any, TypeId};
 use std::cell::RefCell;
@@ -49,6 +53,9 @@ impl BlockSizes {
 pub struct Scratch<T> {
     a_pack: Vec<T>,
     b_pack: Vec<T>,
+    /// ABFT checksum scratch (empty until a session is installed; all
+    /// buffers grow-only, so checked steady state stays allocation-free).
+    ab: AbftBufs<T>,
 }
 
 impl<T> Default for Scratch<T> {
@@ -62,12 +69,14 @@ impl<T> Scratch<T> {
         Self {
             a_pack: Vec::new(),
             b_pack: Vec::new(),
+            ab: AbftBufs::default(),
         }
     }
 
     /// Bytes currently held by the pack buffers.
     pub fn capacity_bytes(&self) -> usize {
         (self.a_pack.capacity() + self.b_pack.capacity()) * std::mem::size_of::<T>()
+            + self.ab.capacity_bytes()
     }
 }
 
@@ -139,11 +148,23 @@ pub fn gemm_st_with_spec<T: Scalar>(
     c: MatMut<'_, T>,
     scratch: &mut Scratch<T>,
 ) {
-    gemm_st_core(spec, block_sizes::<T>(), alpha, a, b, beta, c, scratch);
+    let session = abft::current();
+    gemm_st_core(
+        spec,
+        block_sizes::<T>(),
+        alpha,
+        a,
+        b,
+        beta,
+        c,
+        scratch,
+        session.as_deref(),
+    );
 }
 
 /// One plain gemm with explicit blocking — the probe the measured
 /// autotune races candidates through (`α = 1`, `β = 0`, cached scratch).
+/// Never ABFT-checked: candidate block sizes are being timed, not trusted.
 pub(crate) fn gemm_st_probe<T: Scalar>(
     bs: BlockSizes,
     a: MatRef<'_, T>,
@@ -151,10 +172,25 @@ pub(crate) fn gemm_st_probe<T: Scalar>(
     c: MatMut<'_, T>,
 ) {
     with_cached_scratch(|scratch| {
-        gemm_st_core(&kernel_spec::<T>(), bs, T::ONE, a, b, T::ZERO, c, scratch)
+        gemm_st_core(
+            &kernel_spec::<T>(),
+            bs,
+            T::ONE,
+            a,
+            b,
+            T::ZERO,
+            c,
+            scratch,
+            None,
+        );
     });
 }
 
+/// The blocked driver. With an ABFT session the pack sweeps accumulate
+/// checksums, every `(jc, pc, ic)` block update is verified, and flagged
+/// regions are recomputed with the scalar-tier kernel before returning.
+/// Returns the number of regions that violated their checksums (0 on a
+/// clean run) — the recursive repair verification keys off it.
 #[allow(clippy::too_many_arguments)]
 fn gemm_st_core<T: Scalar>(
     spec: &KernelSpec<T>,
@@ -165,7 +201,8 @@ fn gemm_st_core<T: Scalar>(
     beta: T,
     mut c: MatMut<'_, T>,
     scratch: &mut Scratch<T>,
-) {
+    abft: Option<&AbftSession>,
+) -> usize {
     let (m, k) = (a.rows(), a.cols());
     let n = b.cols();
     assert_eq!(k, b.rows(), "inner dimensions must match");
@@ -173,30 +210,133 @@ fn gemm_st_core<T: Scalar>(
     assert_eq!(n, c.cols(), "C column count mismatch");
 
     if m == 0 || n == 0 {
-        return;
+        return 0;
     }
     if k == 0 || alpha == T::ZERO {
         scale_in_place(beta, &mut c);
-        return;
+        return 0;
+    }
+
+    if abft.is_some() {
+        scratch.ab.begin_call(beta, &c);
     }
 
     for jc in (0..n).step_by(bs.nc) {
         let nc = bs.nc.min(n - jc);
+        if abft.is_some() {
+            scratch.ab.begin_jc(m);
+        }
         for pc in (0..k).step_by(bs.kc) {
             let kc = bs.kc.min(k - pc);
-            pack_b(b.subview(pc, jc, kc, nc), &mut scratch.b_pack, spec.nr);
+            if abft.is_some() {
+                pack_b_with_sums(
+                    b.subview(pc, jc, kc, nc),
+                    &mut scratch.b_pack,
+                    spec.nr,
+                    &mut scratch.ab.b_sum,
+                    &mut scratch.ab.b_mag,
+                );
+            } else {
+                pack_b(b.subview(pc, jc, kc, nc), &mut scratch.b_pack, spec.nr);
+            }
+            #[cfg(feature = "fault-inject")]
+            flip_pack_b(&mut scratch.b_pack, nc, kc, spec.nr);
             // First rank-k update applies the caller's β, later ones add.
             let beta_eff = if pc == 0 { beta } else { T::ONE };
             let beta_zero = pc == 0 && beta == T::ZERO;
             for ic in (0..m).step_by(bs.mc) {
                 let mc = bs.mc.min(m - ic);
                 pack_a(a.subview(ic, pc, mc, kc), &mut scratch.a_pack, spec.mr);
+                #[cfg(feature = "fault-inject")]
+                flip_pack_a(&mut scratch.a_pack, mc, kc, spec.mr);
                 run_tiles(
-                    spec, alpha, beta_eff, beta_zero, scratch, kc, mc, nc, ic, jc, &mut c,
+                    spec,
+                    alpha,
+                    beta_eff,
+                    beta_zero,
+                    &scratch.a_pack,
+                    &scratch.b_pack,
+                    kc,
+                    mc,
+                    nc,
+                    ic,
+                    jc,
+                    &mut c,
                 );
+                #[cfg(feature = "fault-inject")]
+                flip_output(&mut c, ic, jc, mc, nc);
+                if abft.is_some() {
+                    scratch.ab.accum_rows(&[(T::ONE, a)], ic, pc, mc, kc);
+                }
+            }
+        }
+        // Deferred full-k row check per ic block; column localization
+        // (from the source operands) runs only on detection.
+        if let Some(session) = abft {
+            for ic in (0..m).step_by(bs.mc) {
+                let mc = bs.mc.min(m - ic);
+                if scratch
+                    .ab
+                    .check_rows(session, alpha, beta, &c, ic, jc, mc, nc, k)
+                {
+                    scratch.ab.localize(
+                        session,
+                        &[(T::ONE, a)],
+                        &[(T::ONE, b)],
+                        alpha,
+                        beta,
+                        &c,
+                        ic,
+                        jc,
+                        mc,
+                        nc,
+                        spec.nr,
+                        k,
+                    );
+                }
             }
         }
     }
+
+    let Some(session) = abft else { return 0 };
+    let violations = scratch.ab.flags.len();
+    if violations > 0 && session.cfg.repair {
+        let mut flags = std::mem::take(&mut scratch.ab.flags);
+        let scalar_spec = KernelSpec::<T>::scalar();
+        let nested = AbftSession::verify_only(session.cfg.slack);
+        let mut repair_scratch = Scratch::new();
+        for reg in &flags {
+            // Replay the caller's β against the pristine entry values.
+            if beta != T::ZERO {
+                scratch.ab.restore_region(&mut c, *reg);
+            }
+            // Restricted recompute over the full k: the region is a whole
+            // ic block × an NR-aligned stripe, so the same BlockSizes
+            // reproduce identical kc splits, sliver layouts and FMA chains
+            // — bitwise equal to an uncorrupted run by the cross-tier
+            // kernel contract.
+            let sub_c = c.subview_mut(reg.r0, reg.c0, reg.rows, reg.cols);
+            let bad = gemm_st_core(
+                &scalar_spec,
+                bs,
+                alpha,
+                a.subview(reg.r0, 0, reg.rows, k),
+                b.subview(0, reg.c0, k, reg.cols),
+                beta,
+                sub_c,
+                &mut repair_scratch,
+                Some(&nested),
+            );
+            if bad == 0 {
+                session.stats.bump_repaired();
+            } else {
+                session.stats.bump_unrepaired();
+            }
+        }
+        flags.clear();
+        scratch.ab.flags = flags;
+    }
+    violations
 }
 
 /// Dispatch the MR×NR register tiles of one packed (mc × kc)·(kc × nc)
@@ -208,7 +348,8 @@ fn run_tiles<T: Scalar>(
     alpha: T,
     beta_eff: T,
     beta_zero: bool,
-    scratch: &Scratch<T>,
+    a_pack: &[T],
+    b_pack: &[T],
     kc: usize,
     mc: usize,
     nc: usize,
@@ -220,10 +361,10 @@ fn run_tiles<T: Scalar>(
     let cs = c.row_stride();
     for jr in (0..nc).step_by(nr) {
         let nrr = nr.min(nc - jr);
-        let b_sliver = &scratch.b_pack[(jr / nr) * kc * nr..];
+        let b_sliver = &b_pack[(jr / nr) * kc * nr..];
         for ir in (0..mc).step_by(mr) {
             let mrr = mr.min(mc - ir);
-            let a_sliver = &scratch.a_pack[(ir / mr) * kc * mr..];
+            let a_sliver = &a_pack[(ir / mr) * kc * mr..];
             if mrr == mr && nrr == nr {
                 // Full tile: write straight into C.
                 let mut tile = c.subview_mut(ic + ir, jc + jr, mr, nr);
@@ -338,9 +479,36 @@ pub fn gemm_combined_st_with_spec<T: Scalar>(
     a_terms: &[(T, MatRef<'_, T>)],
     b_terms: &[(T, MatRef<'_, T>)],
     beta: T,
-    mut c: MatMut<'_, T>,
+    c: MatMut<'_, T>,
     scratch: &mut Scratch<T>,
 ) {
+    let session = abft::current();
+    gemm_combined_core(
+        spec,
+        alpha,
+        a_terms,
+        b_terms,
+        beta,
+        c,
+        scratch,
+        session.as_deref(),
+    );
+}
+
+/// The fused-operand driver body; same ABFT story as [`gemm_st_core`]
+/// (repairs re-run the *combined* product over the flagged region, so a
+/// fused leaf never needs its operands materialized even when repairing).
+#[allow(clippy::too_many_arguments)]
+fn gemm_combined_core<T: Scalar>(
+    spec: &KernelSpec<T>,
+    alpha: T,
+    a_terms: &[(T, MatRef<'_, T>)],
+    b_terms: &[(T, MatRef<'_, T>)],
+    beta: T,
+    mut c: MatMut<'_, T>,
+    scratch: &mut Scratch<T>,
+    abft: Option<&AbftSession>,
+) -> usize {
     assert!(
         !a_terms.is_empty() && !b_terms.is_empty(),
         "gemm_combined needs at least one term per operand"
@@ -361,22 +529,43 @@ pub fn gemm_combined_st_with_spec<T: Scalar>(
     assert_eq!(n, c.cols(), "C column count mismatch");
 
     if m == 0 || n == 0 {
-        return;
+        return 0;
     }
     if k == 0 || alpha == T::ZERO {
         scale_in_place(beta, &mut c);
-        return;
+        return 0;
     }
 
     let bs = block_sizes::<T>();
 
+    if abft.is_some() {
+        scratch.ab.begin_call(beta, &c);
+    }
+
     for jc in (0..n).step_by(bs.nc) {
         let nc = bs.nc.min(n - jc);
+        if abft.is_some() {
+            scratch.ab.begin_jc(m);
+        }
         for pc in (0..k).step_by(bs.kc) {
             let kc = bs.kc.min(k - pc);
+            // ABFT row sums ride the pack sweep itself (from the packed
+            // combined values), so checksums cost no extra pass over B.
             with_subviews(b_terms, pc, jc, kc, nc, |sub| {
-                pack_b_combined(sub, &mut scratch.b_pack, spec.nr)
+                if abft.is_some() {
+                    pack_b_combined_with_sums(
+                        sub,
+                        &mut scratch.b_pack,
+                        spec.nr,
+                        &mut scratch.ab.b_sum,
+                        &mut scratch.ab.b_mag,
+                    )
+                } else {
+                    pack_b_combined(sub, &mut scratch.b_pack, spec.nr)
+                }
             });
+            #[cfg(feature = "fault-inject")]
+            flip_pack_b(&mut scratch.b_pack, nc, kc, spec.nr);
             // First rank-k update applies the caller's β, later ones add.
             let beta_eff = if pc == 0 { beta } else { T::ONE };
             let beta_zero = pc == 0 && beta == T::ZERO;
@@ -385,12 +574,82 @@ pub fn gemm_combined_st_with_spec<T: Scalar>(
                 with_subviews(a_terms, ic, pc, mc, kc, |sub| {
                     pack_a_combined(sub, &mut scratch.a_pack, spec.mr)
                 });
+                #[cfg(feature = "fault-inject")]
+                flip_pack_a(&mut scratch.a_pack, mc, kc, spec.mr);
                 run_tiles(
-                    spec, alpha, beta_eff, beta_zero, scratch, kc, mc, nc, ic, jc, &mut c,
+                    spec,
+                    alpha,
+                    beta_eff,
+                    beta_zero,
+                    &scratch.a_pack,
+                    &scratch.b_pack,
+                    kc,
+                    mc,
+                    nc,
+                    ic,
+                    jc,
+                    &mut c,
                 );
+                #[cfg(feature = "fault-inject")]
+                flip_output(&mut c, ic, jc, mc, nc);
+                if abft.is_some() {
+                    scratch.ab.accum_rows(a_terms, ic, pc, mc, kc);
+                }
+            }
+        }
+        // Deferred full-k row check per ic block; column localization
+        // (from the source operands) runs only on detection.
+        if let Some(session) = abft {
+            for ic in (0..m).step_by(bs.mc) {
+                let mc = bs.mc.min(m - ic);
+                if scratch
+                    .ab
+                    .check_rows(session, alpha, beta, &c, ic, jc, mc, nc, k)
+                {
+                    scratch.ab.localize(
+                        session, a_terms, b_terms, alpha, beta, &c, ic, jc, mc, nc, spec.nr, k,
+                    );
+                }
             }
         }
     }
+
+    let Some(session) = abft else { return 0 };
+    let violations = scratch.ab.flags.len();
+    if violations > 0 && session.cfg.repair {
+        let mut flags = std::mem::take(&mut scratch.ab.flags);
+        let scalar_spec = KernelSpec::<T>::scalar();
+        let nested = AbftSession::verify_only(session.cfg.slack);
+        let mut repair_scratch = Scratch::new();
+        for reg in &flags {
+            if beta != T::ZERO {
+                scratch.ab.restore_region(&mut c, *reg);
+            }
+            let sub_c = c.subview_mut(reg.r0, reg.c0, reg.rows, reg.cols);
+            let bad = with_subviews(a_terms, reg.r0, 0, reg.rows, k, |asub| {
+                with_subviews(b_terms, 0, reg.c0, k, reg.cols, |bsub| {
+                    gemm_combined_core(
+                        &scalar_spec,
+                        alpha,
+                        asub,
+                        bsub,
+                        beta,
+                        sub_c,
+                        &mut repair_scratch,
+                        Some(&nested),
+                    )
+                })
+            });
+            if bad == 0 {
+                session.stats.bump_repaired();
+            } else {
+                session.stats.bump_unrepaired();
+            }
+        }
+        flags.clear();
+        scratch.ab.flags = flags;
+    }
+    violations
 }
 
 /// [`gemm_combined_st_with_scratch`] with pack buffers from the
@@ -422,6 +681,46 @@ fn merge_row<T: Scalar>(mut crow: MatMut<'_, T>, vals: &[T], alpha: T, beta: T, 
         for (dst, &v) in row.iter_mut().zip(vals) {
             *dst = alpha.mul_add(v, beta * *dst);
         }
+    }
+}
+
+/// Consume an armed [`abft::sdc`] flip targeting the packed A panel:
+/// `index` selects a valid (non-pad) element of the current `mc × kc`
+/// block, mapped into the k-major sliver layout.
+#[cfg(feature = "fault-inject")]
+fn flip_pack_a<T: Scalar>(buf: &mut [T], mc: usize, kc: usize, mr: usize) {
+    use crate::abft::sdc::{self, FlipTarget};
+    if let Some(f) = sdc::take(FlipTarget::PackA) {
+        let r = f.index % mc;
+        let p = (f.index / mc) % kc;
+        let pos = (r / mr) * kc * mr + p * mr + (r % mr);
+        buf[pos] = buf[pos].flip_bit(f.bit);
+    }
+}
+
+/// Consume an armed flip targeting the packed B panel (valid element of
+/// the current `kc × nc` block, NR-sliver layout).
+#[cfg(feature = "fault-inject")]
+fn flip_pack_b<T: Scalar>(buf: &mut [T], nc: usize, kc: usize, nr: usize) {
+    use crate::abft::sdc::{self, FlipTarget};
+    if let Some(f) = sdc::take(FlipTarget::PackB) {
+        let j = f.index % nc;
+        let p = (f.index / nc) % kc;
+        let pos = (j / nr) * kc * nr + p * nr + (j % nr);
+        buf[pos] = buf[pos].flip_bit(f.bit);
+    }
+}
+
+/// Consume an armed flip targeting the C block just written by the tile
+/// sweep.
+#[cfg(feature = "fault-inject")]
+fn flip_output<T: Scalar>(c: &mut MatMut<'_, T>, ic: usize, jc: usize, mc: usize, nc: usize) {
+    use crate::abft::sdc::{self, FlipTarget};
+    if let Some(f) = sdc::take(FlipTarget::Output) {
+        let i = f.index % mc;
+        let j = (f.index / mc) % nc;
+        let row = c.row_mut(ic + i);
+        row[jc + j] = row[jc + j].flip_bit(f.bit);
     }
 }
 

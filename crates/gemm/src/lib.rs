@@ -34,6 +34,7 @@
 //! assert!(c.at(0, 0).is_finite());
 //! ```
 
+pub mod abft;
 pub mod add;
 pub mod blocked;
 pub mod blocktune;
@@ -48,6 +49,7 @@ pub mod pool;
 pub mod scalar;
 pub mod transpose;
 
+pub use abft::{AbftConfig, AbftCounts, AbftSession, AbftStats, DEFAULT_SLACK};
 pub use add::{combine, combine_axpy, combine_par, MAX_INLINE_COMBINE};
 pub use blocked::{
     gemm_combined_st, gemm_combined_st_with_scratch, gemm_combined_st_with_spec, gemm_st,

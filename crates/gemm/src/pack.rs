@@ -31,6 +31,21 @@ fn size_panel<T: Scalar>(buf: &mut Vec<T>, len: usize) {
     }
 }
 
+/// ABFT checksum accumulators fused into a pack sweep: per-`p` sums and
+/// abs-sums (in f64) of the block being packed, taken from the source
+/// reads so later corruption of the packed panel stays detectable.
+pub(crate) type PackSums<'s> = (&'s mut [f64], &'s mut [f64]);
+
+/// Clear-and-zero `sum`/`mag` to length `kc`, reborrowed as [`PackSums`].
+#[inline]
+fn prep_sums<'s>(sum: &'s mut Vec<f64>, mag: &'s mut Vec<f64>, kc: usize) -> PackSums<'s> {
+    sum.clear();
+    sum.resize(kc, 0.0);
+    mag.clear();
+    mag.resize(kc, 0.0);
+    (&mut sum[..], &mut mag[..])
+}
+
 /// Pack an `mc × kc` block of `A` into `mr`-row slivers.
 ///
 /// Output layout: sliver `s` (rows `s·mr .. s·mr+mr`, zero-padded past
@@ -45,8 +60,7 @@ pub fn pack_a<T: Scalar>(a: MatRef<'_, T>, buf: &mut Vec<T>, mr: usize) {
         let i0 = s * mr;
         let rows = mr.min(mc - i0);
         for i in 0..rows {
-            let arow = a.row(i0 + i);
-            for (p, &v) in arow.iter().enumerate() {
+            for (p, &v) in a.row(i0 + i).iter().enumerate() {
                 buf[base + p * mr + i] = v;
             }
         }
@@ -71,9 +85,56 @@ fn zero_a_pad<T: Scalar>(buf: &mut [T], base: usize, kc: usize, mr: usize, rows:
 /// `nc`) occupies `kc·nr` consecutive elements; within a sliver element
 /// `(p, j)` is at `p·nr + j`.
 pub fn pack_b<T: Scalar>(b: MatRef<'_, T>, buf: &mut Vec<T>, nr: usize) {
+    pack_b_sums(b, buf, nr, None);
+}
+
+/// [`pack_b`] plus fused ABFT row sums: `sum[p] = Σ_j B[p, j]` and
+/// `mag[p] = Σ_j |B[p, j]|`, accumulated in 8-wide vector lanes from the
+/// source values during the same sweep that writes the panel — this is
+/// the only per-element ABFT cost on the hot path, so it must stay a few
+/// vector ops per cache line.
+pub(crate) fn pack_b_with_sums<T: Scalar>(
+    b: MatRef<'_, T>,
+    buf: &mut Vec<T>,
+    nr: usize,
+    sum: &mut Vec<f64>,
+    mag: &mut Vec<f64>,
+) {
+    let kc = b.rows();
+    pack_b_sums(b, buf, nr, Some(prep_sums(sum, mag, kc)));
+}
+
+fn pack_b_sums<T: Scalar>(
+    b: MatRef<'_, T>,
+    buf: &mut Vec<T>,
+    nr: usize,
+    sums: Option<PackSums<'_>>,
+) {
     let (kc, nc) = (b.rows(), b.cols());
     let slivers = nc.div_ceil(nr);
     size_panel(buf, slivers * kc * nr);
+    #[cfg(target_arch = "x86_64")]
+    if crate::kernel::hardware_fma_enabled() {
+        // SAFETY: avx2+fma presence was verified at runtime.
+        unsafe { pack_b_sweep_fma(b, buf, nr, nc, kc, sums) };
+        return;
+    }
+    pack_b_sweep(b, buf, nr, nc, kc, sums);
+}
+
+/// The row sweep of [`pack_b`]; same dispatch story as
+/// [`pack_a_combined_sweep`] — the `_fma` twin only changes codegen
+/// (vectorizing the checksum lanes), never the IEEE-754 results.
+#[inline(always)]
+fn pack_b_sweep<T: Scalar>(
+    b: MatRef<'_, T>,
+    buf: &mut [T],
+    nr: usize,
+    nc: usize,
+    kc: usize,
+    mut sums: Option<PackSums<'_>>,
+) {
+    let slivers = nc.div_ceil(nr);
     for p in 0..kc {
         let brow = b.row(p);
         for s in 0..slivers {
@@ -83,7 +144,27 @@ pub fn pack_b<T: Scalar>(b: MatRef<'_, T>, buf: &mut Vec<T>, nr: usize) {
             buf[base..base + cols].copy_from_slice(&brow[j0..j0 + cols]);
             buf[base + cols..base + nr].fill(T::ZERO);
         }
+        if let Some((sum, mag)) = &mut sums {
+            let (rs, ra) = crate::abft::row_sum_abs_fast(&brow[..nc]);
+            sum[p] = rs;
+            mag[p] = ra;
+        }
     }
+}
+
+/// # Safety
+/// CPU must support avx2+fma (see [`crate::kernel::hardware_fma_enabled`]).
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2,fma")]
+unsafe fn pack_b_sweep_fma<T: Scalar>(
+    b: MatRef<'_, T>,
+    buf: &mut [T],
+    nr: usize,
+    nc: usize,
+    kc: usize,
+    sums: Option<PackSums<'_>>,
+) {
+    pack_b_sweep(b, buf, nr, nc, kc, sums)
 }
 
 /// Pack the `mc × kc` block `Σ coeff_t · A_t` into MR-row slivers, forming
@@ -170,6 +251,437 @@ pub fn pack_b_combined<T: Scalar>(terms: &[(T, MatRef<'_, T>)], buf: &mut Vec<T>
         return;
     }
     pack_b_combined_sweep(terms, buf, nr, nc, kc);
+}
+
+/// [`pack_b_combined`] plus fused ABFT row sums of the **packed combined
+/// values**: `sum[p] = Σ_j packed[p, j]` (f64 accumulation of the exact
+/// f32/f64 values the kernel will consume) and `mag[p] = Σ_j |packed[p,
+/// j]|`. Taking the checksums from the combined values rather than the
+/// term sources keeps them exact with respect to the kernel's actual
+/// input, so operand-combination rounding never enters the row residual,
+/// and it rides the pack's own source reads — no second pass over B.
+/// Corruption of the packed panel *after* this sweep (the ABFT fault
+/// model) still diverges from the recorded sums and stays detectable.
+///
+/// The packed panel is bitwise identical to [`pack_b_combined`]'s: the
+/// vector bodies replicate `combine`'s mul_add chains lane-wise.
+pub(crate) fn pack_b_combined_with_sums<T: Scalar>(
+    terms: &[(T, MatRef<'_, T>)],
+    buf: &mut Vec<T>,
+    nr: usize,
+    sum: &mut Vec<f64>,
+    mag: &mut Vec<f64>,
+) {
+    assert!(!terms.is_empty(), "pack_b_combined needs at least one term");
+    assert!(terms.len() <= MAX_PACK_TERMS, "term arity over pack budget");
+    let (kc, nc) = (terms[0].1.rows(), terms[0].1.cols());
+    for (_, src) in terms {
+        assert_eq!((src.rows(), src.cols()), (kc, nc), "source shape mismatch");
+    }
+    let slivers = nc.div_ceil(nr);
+    size_panel(buf, slivers * kc * nr);
+    let sums = prep_sums(sum, mag, kc);
+    #[cfg(target_arch = "x86_64")]
+    if crate::kernel::hardware_fma_enabled() {
+        use core::any::TypeId;
+        if TypeId::of::<T>() == TypeId::of::<f32>() {
+            // SAFETY: avx2+fma verified at runtime; T is f32 (same layout).
+            unsafe {
+                let terms =
+                    &*(terms as *const [(T, MatRef<'_, T>)] as *const [(f32, MatRef<'_, f32>)]);
+                let fbuf = std::slice::from_raw_parts_mut(buf.as_mut_ptr() as *mut f32, buf.len());
+                csimd::pack_b_combined_sums_f32(terms, fbuf, nr, nc, kc, sums);
+            }
+            return;
+        }
+        if TypeId::of::<T>() == TypeId::of::<f64>() {
+            // SAFETY: avx2+fma verified at runtime; T is f64 (same layout).
+            unsafe {
+                let terms =
+                    &*(terms as *const [(T, MatRef<'_, T>)] as *const [(f64, MatRef<'_, f64>)]);
+                let fbuf = std::slice::from_raw_parts_mut(buf.as_mut_ptr() as *mut f64, buf.len());
+                csimd::pack_b_combined_sums_f64(terms, fbuf, nr, nc, kc, sums);
+            }
+            return;
+        }
+    }
+    pack_b_combined_sweep_sums(terms, buf, nr, nc, kc, sums);
+}
+
+/// Portable fallback for [`pack_b_combined_with_sums`] (scalar kernel
+/// tier / non-x86): the plain combined sweep plus a per-row read-back of
+/// the just-written (L1-hot) segments. Packed values are identical to
+/// [`pack_b_combined_sweep`]'s; only checksum speed differs.
+fn pack_b_combined_sweep_sums<T: Scalar>(
+    terms: &[(T, MatRef<'_, T>)],
+    buf: &mut [T],
+    nr: usize,
+    nc: usize,
+    kc: usize,
+    sums: PackSums<'_>,
+) {
+    let (sum, mag) = sums;
+    let slivers = nc.div_ceil(nr);
+    for p in 0..kc {
+        for s in 0..slivers {
+            let base = s * kc * nr + p * nr;
+            let j0 = s * nr;
+            let cols = nr.min(nc - j0);
+            combined_segment(terms, p, j0, &mut buf[base..base + cols]);
+            buf[base + cols..base + nr].fill(T::ZERO);
+        }
+        let (mut rs, mut ra) = (0.0f64, 0.0f64);
+        for s in 0..slivers {
+            let base = s * kc * nr + p * nr;
+            let cols = nr.min(nc - s * nr);
+            for &v in &buf[base..base + cols] {
+                let v = v.to_f64();
+                rs += v;
+                ra += v.abs();
+            }
+        }
+        sum[p] = rs;
+        mag[p] = ra;
+    }
+}
+
+/// Hand-written AVX2+FMA bodies of [`pack_b_combined_with_sums`]. The
+/// combine chains mirror [`combined_segment`] lane-wise (vector FMA has
+/// the same single-rounding semantics as scalar `mul_add`), so the packed
+/// panel stays bitwise equal across dispatch paths; the f64 checksum
+/// lanes ride for free under the sweep's memory traffic.
+#[cfg(target_arch = "x86_64")]
+mod csimd {
+    use super::{PackSums, MAX_PACK_TERMS};
+    use crate::matrix::MatRef;
+    use core::arch::x86_64::*;
+
+    /// Overwrite-combine chain `Σ_{e in o..o+n} co[e]·row_e[j..j+8]` for
+    /// `n ≤ 4`, innermost term multiplied then FMA'd outward — the exact
+    /// chain shape of `combined_segment_small`.
+    ///
+    /// # Safety
+    /// Caller verified avx2+fma; every `rp[e]` (`e < o + n`) must be
+    /// readable for `j + 8` elements.
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn chain8_f32(
+        co: &[f32; MAX_PACK_TERMS],
+        rp: &[*const f32; MAX_PACK_TERMS],
+        o: usize,
+        n: usize,
+        j: usize,
+    ) -> __m256 {
+        let term = |e: usize| (_mm256_set1_ps(co[e]), _mm256_loadu_ps(rp[e].add(j)));
+        let (c0, r0) = term(o);
+        if n == 1 {
+            return _mm256_mul_ps(c0, r0);
+        }
+        let (c1, r1) = term(o + 1);
+        if n == 2 {
+            return _mm256_fmadd_ps(c0, r0, _mm256_mul_ps(c1, r1));
+        }
+        let (c2, r2) = term(o + 2);
+        if n == 3 {
+            return _mm256_fmadd_ps(c0, r0, _mm256_fmadd_ps(c1, r1, _mm256_mul_ps(c2, r2)));
+        }
+        let (c3, r3) = term(o + 3);
+        _mm256_fmadd_ps(
+            c0,
+            r0,
+            _mm256_fmadd_ps(c1, r1, _mm256_fmadd_ps(c2, r2, _mm256_mul_ps(c3, r3))),
+        )
+    }
+
+    /// Full-arity combined segment (8 f32 lanes), chunked ≤4 exactly like
+    /// `combined_segment` / `accumulate_segment_small`.
+    ///
+    /// # Safety
+    /// As [`chain8_f32`], for all `t` terms.
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn combine8_f32(
+        co: &[f32; MAX_PACK_TERMS],
+        rp: &[*const f32; MAX_PACK_TERMS],
+        t: usize,
+        j: usize,
+    ) -> __m256 {
+        let mut v = chain8_f32(co, rp, 0, t.min(4), j);
+        let mut o = 4;
+        while o < t {
+            let n = (t - o).min(4);
+            if n == 1 {
+                v = _mm256_fmadd_ps(_mm256_set1_ps(co[o]), _mm256_loadu_ps(rp[o].add(j)), v);
+            } else {
+                v = _mm256_add_ps(v, chain8_f32(co, rp, o, n, j));
+            }
+            o += 4;
+        }
+        v
+    }
+
+    /// Scalar one-column combine with the identical mul_add chains, for
+    /// the `nc % 8` tail.
+    ///
+    /// # Safety
+    /// Every `rp[e]` must be readable at offset `j`.
+    unsafe fn combine1_f32(
+        co: &[f32; MAX_PACK_TERMS],
+        rp: &[*const f32; MAX_PACK_TERMS],
+        t: usize,
+        j: usize,
+    ) -> f32 {
+        let x = |e: usize| *rp[e].add(j);
+        let chain = |o: usize, n: usize| match n {
+            1 => co[o] * x(o),
+            2 => co[o].mul_add(x(o), co[o + 1] * x(o + 1)),
+            3 => co[o].mul_add(x(o), co[o + 1].mul_add(x(o + 1), co[o + 2] * x(o + 2))),
+            _ => co[o].mul_add(
+                x(o),
+                co[o + 1].mul_add(x(o + 1), co[o + 2].mul_add(x(o + 2), co[o + 3] * x(o + 3))),
+            ),
+        };
+        let mut v = chain(0, t.min(4));
+        let mut o = 4;
+        while o < t {
+            let n = (t - o).min(4);
+            if n == 1 {
+                v = co[o].mul_add(x(o), v);
+            } else {
+                v += chain(o, n);
+            }
+            o += 4;
+        }
+        v
+    }
+
+    /// # Safety
+    /// CPU must support avx2+fma; `nr` must be a multiple of 8; `buf`
+    /// must hold `nc.div_ceil(nr)·kc·nr` elements; `sum`/`mag` length
+    /// `kc`.
+    #[target_feature(enable = "avx2,fma")]
+    pub(super) unsafe fn pack_b_combined_sums_f32(
+        terms: &[(f32, MatRef<'_, f32>)],
+        buf: &mut [f32],
+        nr: usize,
+        nc: usize,
+        kc: usize,
+        sums: PackSums<'_>,
+    ) {
+        debug_assert_eq!(nr % 8, 0);
+        let (sum, mag) = sums;
+        let t = terms.len();
+        let mut co = [0.0f32; MAX_PACK_TERMS];
+        for (e, (c, _)) in terms.iter().enumerate() {
+            co[e] = *c;
+        }
+        let sign = _mm256_set1_ps(-0.0);
+        let mut rp = [core::ptr::null::<f32>(); MAX_PACK_TERMS];
+        let full = nc & !7;
+        for p in 0..kc {
+            for (e, (_, src)) in terms.iter().enumerate() {
+                rp[e] = src.row(p).as_ptr();
+            }
+            let mut s0 = _mm256_setzero_pd();
+            let mut s1 = _mm256_setzero_pd();
+            let mut m0 = _mm256_setzero_pd();
+            let mut m1 = _mm256_setzero_pd();
+            let mut j = 0usize;
+            while j < full {
+                let v = combine8_f32(&co, &rp, t, j);
+                let sl = j / nr;
+                let dst = sl * kc * nr + p * nr + (j - sl * nr);
+                _mm256_storeu_ps(buf.as_mut_ptr().add(dst), v);
+                s0 = _mm256_add_pd(s0, _mm256_cvtps_pd(_mm256_castps256_ps128(v)));
+                s1 = _mm256_add_pd(s1, _mm256_cvtps_pd(_mm256_extractf128_ps(v, 1)));
+                let av = _mm256_andnot_ps(sign, v);
+                m0 = _mm256_add_pd(m0, _mm256_cvtps_pd(_mm256_castps256_ps128(av)));
+                m1 = _mm256_add_pd(m1, _mm256_cvtps_pd(_mm256_extractf128_ps(av, 1)));
+                j += 8;
+            }
+            let mut lane = [0.0f64; 4];
+            let (mut rs, mut ra) = (0.0f64, 0.0f64);
+            _mm256_storeu_pd(lane.as_mut_ptr(), _mm256_add_pd(s0, s1));
+            for &l in &lane {
+                rs += l;
+            }
+            _mm256_storeu_pd(lane.as_mut_ptr(), _mm256_add_pd(m0, m1));
+            for &l in &lane {
+                ra += l;
+            }
+            while j < nc {
+                let v = combine1_f32(&co, &rp, t, j);
+                let sl = j / nr;
+                buf[sl * kc * nr + p * nr + (j - sl * nr)] = v;
+                let vd = v as f64;
+                rs += vd;
+                ra += vd.abs();
+                j += 1;
+            }
+            if !nc.is_multiple_of(nr) {
+                let sl = nc / nr;
+                let base = sl * kc * nr + p * nr;
+                buf[base + (nc - sl * nr)..base + nr].fill(0.0);
+            }
+            sum[p] = rs;
+            mag[p] = ra;
+        }
+    }
+
+    /// f64 overwrite-combine chain (4 lanes), mirroring [`chain8_f32`].
+    ///
+    /// # Safety
+    /// As [`chain8_f32`], reading `j + 4` elements.
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn chain4_f64(
+        co: &[f64; MAX_PACK_TERMS],
+        rp: &[*const f64; MAX_PACK_TERMS],
+        o: usize,
+        n: usize,
+        j: usize,
+    ) -> __m256d {
+        let term = |e: usize| (_mm256_set1_pd(co[e]), _mm256_loadu_pd(rp[e].add(j)));
+        let (c0, r0) = term(o);
+        if n == 1 {
+            return _mm256_mul_pd(c0, r0);
+        }
+        let (c1, r1) = term(o + 1);
+        if n == 2 {
+            return _mm256_fmadd_pd(c0, r0, _mm256_mul_pd(c1, r1));
+        }
+        let (c2, r2) = term(o + 2);
+        if n == 3 {
+            return _mm256_fmadd_pd(c0, r0, _mm256_fmadd_pd(c1, r1, _mm256_mul_pd(c2, r2)));
+        }
+        let (c3, r3) = term(o + 3);
+        _mm256_fmadd_pd(
+            c0,
+            r0,
+            _mm256_fmadd_pd(c1, r1, _mm256_fmadd_pd(c2, r2, _mm256_mul_pd(c3, r3))),
+        )
+    }
+
+    /// # Safety
+    /// As [`chain4_f64`], for all `t` terms.
+    #[target_feature(enable = "avx2,fma")]
+    unsafe fn combine4_f64(
+        co: &[f64; MAX_PACK_TERMS],
+        rp: &[*const f64; MAX_PACK_TERMS],
+        t: usize,
+        j: usize,
+    ) -> __m256d {
+        let mut v = chain4_f64(co, rp, 0, t.min(4), j);
+        let mut o = 4;
+        while o < t {
+            let n = (t - o).min(4);
+            if n == 1 {
+                v = _mm256_fmadd_pd(_mm256_set1_pd(co[o]), _mm256_loadu_pd(rp[o].add(j)), v);
+            } else {
+                v = _mm256_add_pd(v, chain4_f64(co, rp, o, n, j));
+            }
+            o += 4;
+        }
+        v
+    }
+
+    /// Scalar one-column f64 combine for the `nc % 4` tail.
+    ///
+    /// # Safety
+    /// Every `rp[e]` must be readable at offset `j`.
+    unsafe fn combine1_f64(
+        co: &[f64; MAX_PACK_TERMS],
+        rp: &[*const f64; MAX_PACK_TERMS],
+        t: usize,
+        j: usize,
+    ) -> f64 {
+        let x = |e: usize| *rp[e].add(j);
+        let chain = |o: usize, n: usize| match n {
+            1 => co[o] * x(o),
+            2 => co[o].mul_add(x(o), co[o + 1] * x(o + 1)),
+            3 => co[o].mul_add(x(o), co[o + 1].mul_add(x(o + 1), co[o + 2] * x(o + 2))),
+            _ => co[o].mul_add(
+                x(o),
+                co[o + 1].mul_add(x(o + 1), co[o + 2].mul_add(x(o + 2), co[o + 3] * x(o + 3))),
+            ),
+        };
+        let mut v = chain(0, t.min(4));
+        let mut o = 4;
+        while o < t {
+            let n = (t - o).min(4);
+            if n == 1 {
+                v = co[o].mul_add(x(o), v);
+            } else {
+                v += chain(o, n);
+            }
+            o += 4;
+        }
+        v
+    }
+
+    /// # Safety
+    /// CPU must support avx2+fma; `nr` must be a multiple of 4; `buf`
+    /// must hold `nc.div_ceil(nr)·kc·nr` elements; `sum`/`mag` length
+    /// `kc`.
+    #[target_feature(enable = "avx2,fma")]
+    pub(super) unsafe fn pack_b_combined_sums_f64(
+        terms: &[(f64, MatRef<'_, f64>)],
+        buf: &mut [f64],
+        nr: usize,
+        nc: usize,
+        kc: usize,
+        sums: PackSums<'_>,
+    ) {
+        debug_assert_eq!(nr % 4, 0);
+        let (sum, mag) = sums;
+        let t = terms.len();
+        let mut co = [0.0f64; MAX_PACK_TERMS];
+        for (e, (c, _)) in terms.iter().enumerate() {
+            co[e] = *c;
+        }
+        let sign = _mm256_set1_pd(-0.0);
+        let mut rp = [core::ptr::null::<f64>(); MAX_PACK_TERMS];
+        let full = nc & !3;
+        for p in 0..kc {
+            for (e, (_, src)) in terms.iter().enumerate() {
+                rp[e] = src.row(p).as_ptr();
+            }
+            let mut s0 = _mm256_setzero_pd();
+            let mut m0 = _mm256_setzero_pd();
+            let mut j = 0usize;
+            while j < full {
+                let v = combine4_f64(&co, &rp, t, j);
+                let sl = j / nr;
+                let dst = sl * kc * nr + p * nr + (j - sl * nr);
+                _mm256_storeu_pd(buf.as_mut_ptr().add(dst), v);
+                s0 = _mm256_add_pd(s0, v);
+                m0 = _mm256_add_pd(m0, _mm256_andnot_pd(sign, v));
+                j += 4;
+            }
+            let mut lane = [0.0f64; 4];
+            let (mut rs, mut ra) = (0.0f64, 0.0f64);
+            _mm256_storeu_pd(lane.as_mut_ptr(), s0);
+            for &l in &lane {
+                rs += l;
+            }
+            _mm256_storeu_pd(lane.as_mut_ptr(), m0);
+            for &l in &lane {
+                ra += l;
+            }
+            while j < nc {
+                let v = combine1_f64(&co, &rp, t, j);
+                let sl = j / nr;
+                buf[sl * kc * nr + p * nr + (j - sl * nr)] = v;
+                rs += v;
+                ra += v.abs();
+                j += 1;
+            }
+            if !nc.is_multiple_of(nr) {
+                let sl = nc / nr;
+                let base = sl * kc * nr + p * nr;
+                buf[base + (nc - sl * nr)..base + nr].fill(0.0);
+            }
+            sum[p] = rs;
+            mag[p] = ra;
+        }
+    }
 }
 
 /// The row sweep of [`pack_b_combined`]; same dispatch story as
@@ -556,6 +1068,54 @@ mod tests {
         for arity in 1..=7 {
             for &(rows, cols) in &[(8, 8), (9, 5), (17, 19), (3, 33)] {
                 check_combined_bitwise(rows, cols, arity);
+            }
+        }
+    }
+
+    fn check_combined_sums<T: Scalar>(kc: usize, nc: usize, arity: usize, nr: usize) {
+        let srcs: Vec<Mat<T>> = (0..arity)
+            .map(|s| {
+                Mat::from_fn(kc, nc, |i, j| {
+                    T::from_f64((((i * 31 + j * 7 + s * 13) as f64).sin() - 0.3) * 2.0)
+                })
+            })
+            .collect();
+        let terms: Vec<(T, _)> = srcs
+            .iter()
+            .enumerate()
+            .map(|(t, m)| (T::from_f64(0.5 * t as f64 - 0.7), m.as_ref()))
+            .collect();
+        let mut plain = Vec::new();
+        pack_b_combined(&terms, &mut plain, nr);
+        let (mut fused, mut sum, mut mag) = (Vec::new(), Vec::new(), Vec::new());
+        pack_b_combined_with_sums(&terms, &mut fused, nr, &mut sum, &mut mag);
+        assert_eq!(plain, fused, "packed panel must be bitwise identical");
+        // Sums must match an f64 reference over the packed values (lane
+        // order differs, so compare to a tight relative tolerance).
+        let slivers = nc.div_ceil(nr);
+        for p in 0..kc {
+            let (mut rs, mut ra) = (0.0f64, 0.0f64);
+            for s in 0..slivers {
+                let cols = nr.min(nc - s * nr);
+                for q in 0..cols {
+                    let v = fused[s * kc * nr + p * nr + q].to_f64();
+                    rs += v;
+                    ra += v.abs();
+                }
+            }
+            let tol = 1e-12 * (1.0 + ra.abs());
+            assert!((sum[p] - rs).abs() <= tol, "sum[{p}] {} vs {rs}", sum[p]);
+            assert!((mag[p] - ra).abs() <= tol, "mag[{p}] {} vs {ra}", mag[p]);
+        }
+    }
+
+    #[test]
+    fn combined_pack_with_sums_matches_plain_pack() {
+        for arity in 1..=7 {
+            for &(kc, nc) in &[(3, 33), (5, 8), (7, 19), (4, 64), (2, 3)] {
+                check_combined_sums::<f32>(kc, nc, arity, f32::NR);
+                check_combined_sums::<f64>(kc, nc, arity, f64::NR);
+                check_combined_sums::<f32>(kc, nc, arity, 16);
             }
         }
     }

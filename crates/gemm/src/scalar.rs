@@ -24,12 +24,18 @@ pub trait Scalar:
     const MR: usize;
     /// Register-tile columns used by the microkernel for this type.
     const NR: usize;
+    /// Machine epsilon of this type, widened to f64 — the unit used by
+    /// the ABFT residual tolerance.
+    const EPS64: f64;
 
     fn from_f64(v: f64) -> Self;
     fn to_f64(self) -> f64;
     /// Fused (or contracted) multiply-add `self * b + c`.
     fn mul_add(self, b: Self, c: Self) -> Self;
     fn abs(self) -> Self;
+    /// Flip one bit of the IEEE-754 representation (`bit` wraps to the
+    /// element width). SDC injection and drill helper.
+    fn flip_bit(self, bit: u32) -> Self;
 }
 
 impl Scalar for f32 {
@@ -38,6 +44,7 @@ impl Scalar for f32 {
     // 8×8 f32 accumulator tile: 8 YMM registers on AVX2, 4 ZMM on AVX-512.
     const MR: usize = 8;
     const NR: usize = 8;
+    const EPS64: f64 = f32::EPSILON as f64;
 
     #[inline(always)]
     fn from_f64(v: f64) -> Self {
@@ -59,6 +66,11 @@ impl Scalar for f32 {
     fn abs(self) -> Self {
         f32::abs(self)
     }
+
+    #[inline(always)]
+    fn flip_bit(self, bit: u32) -> Self {
+        f32::from_bits(self.to_bits() ^ (1u32 << (bit % 32)))
+    }
 }
 
 impl Scalar for f64 {
@@ -67,6 +79,7 @@ impl Scalar for f64 {
     // 4×8 f64 tile: 8 YMM accumulators, leaving registers for the panels.
     const MR: usize = 4;
     const NR: usize = 8;
+    const EPS64: f64 = f64::EPSILON;
 
     #[inline(always)]
     fn from_f64(v: f64) -> Self {
@@ -87,6 +100,11 @@ impl Scalar for f64 {
     fn abs(self) -> Self {
         f64::abs(self)
     }
+
+    #[inline(always)]
+    fn flip_bit(self, bit: u32) -> Self {
+        f64::from_bits(self.to_bits() ^ (1u64 << (bit % 64)))
+    }
 }
 
 #[cfg(test)]
@@ -98,6 +116,15 @@ mod tests {
         assert_eq!(T::ONE.mul_add(T::ONE, T::ONE).to_f64(), 2.0);
         assert_eq!(T::from_f64(-1.5).abs().to_f64(), 1.5);
         assert!(T::MR > 0 && T::NR > 0);
+        assert!(T::EPS64 > 0.0);
+        // Flipping the sign bit negates; double flip restores bitwise.
+        let v = T::from_f64(3.25);
+        let neg = v.flip_bit(if T::EPS64 == f64::EPSILON { 63 } else { 31 });
+        assert_eq!(neg.to_f64(), -3.25);
+        assert_eq!(
+            neg.flip_bit(if T::EPS64 == f64::EPSILON { 63 } else { 31 }),
+            v
+        );
     }
 
     #[test]

@@ -41,6 +41,11 @@ pub enum MatmulError {
     /// The multiply exceeded the watchdog deadline (milliseconds shown)
     /// on every rung it was allowed to try.
     LaneTimeout { deadline_ms: u64 },
+    /// The ABFT checksum tier found corruption in the classical floor's
+    /// product that the scalar-tier recompute could not repair (the
+    /// re-verification still failed) — there is no rung below to retry
+    /// on and the output buffer cannot be trusted.
+    SilentCorruption { regions: u64 },
 }
 
 impl std::fmt::Display for MatmulError {
@@ -63,6 +68,13 @@ impl std::fmt::Display for MatmulError {
                 write!(
                     f,
                     "multiply exceeded the {deadline_ms} ms watchdog deadline"
+                )
+            }
+            MatmulError::SilentCorruption { regions } => {
+                write!(
+                    f,
+                    "silent data corruption in {regions} region(s) of the classical \
+                     floor's product could not be repaired"
                 )
             }
         }

@@ -25,6 +25,20 @@
 //! configuration settles low instead of oscillating. All transitions are
 //! counted in [`HealthStats`].
 //!
+//! Below the sampled probe sits the **ABFT checksum tier** (on by
+//! default, see [`crate::sentinel::AbftMode`]): every gemm leaf of every
+//! rung execution verifies Huang–Abraham row/column checksums of its
+//! rank-k updates, localizes a violation to the `MC×NR` tile that took
+//! the hit and recomputes just that tile on the scalar kernel tier
+//! (bitwise identical by the cross-tier contract). A clean repair is
+//! invisible to the ladder — the call completes on its rung with no
+//! demotion and no client-visible corruption. The ladder is only
+//! involved when a repair fails its re-verification (the call retries
+//! one rung down, or surfaces [`MatmulError::SilentCorruption`] from the
+//! classical floor) or when a shape keeps re-offending (the
+//! `escalate_after` streak of [`crate::sentinel::AbftMode::On`]
+//! consecutive detecting calls), modelling a lane with sick hardware.
+//!
 //! Execution failures demote exactly like sentinel violations: a panicked
 //! gemm worker lane (typed [`MatmulError::WorkerPanicked`] from the rung)
 //! or a multiply that blows through the optional per-call
@@ -44,11 +58,12 @@ use crate::apamm::{ApaMatmul, ClassicalMatmul};
 use crate::error::{check_operands, MatmulError};
 use crate::peel::PeelMode;
 use crate::schedule::Strategy;
-use crate::sentinel::{self, ProbeScratch, SentinelConfig, Verdict};
+use crate::sentinel::{self, AbftMode, ProbeScratch, SentinelConfig, Verdict};
 use crate::stats::HealthStats;
 use crate::tune::tune_lambda;
 use apa_core::{catalog, BilinearAlgorithm};
-use apa_gemm::{Mat, MatMut, MatRef, Scalar};
+use apa_gemm::abft as gemm_abft;
+use apa_gemm::{AbftConfig, AbftCounts, AbftSession, Mat, MatMut, MatRef, Scalar};
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -284,6 +299,11 @@ struct ShapeState {
     backoff: u32,
     /// Per-shape call tick for probe sampling.
     tick: u64,
+    /// Consecutive ABFT-detecting calls (repaired or not); reset by a
+    /// checked call that detects nothing, and on escalation. Not part of
+    /// the exported [`ShapeEntry`]: it is short-horizon hardware-health
+    /// evidence, not an experiment-defining ladder decision.
+    abft_offenses: u32,
 }
 
 /// One shape's sticky ladder state, as exported by
@@ -369,6 +389,11 @@ pub struct GuardedApaMatmul {
     /// Load-driven quality override (brownout), if installed.
     quality: Mutex<Option<QualityOverride>>,
     rungs: OnceLock<Vec<Rung>>,
+    /// The guard's ABFT session (None when [`AbftMode::Off`]); installed
+    /// process-globally around each rung execution so every gemm leaf —
+    /// plain, fused, parallel worker stripes, peel fringes — checks
+    /// against it.
+    abft: OnceLock<Option<Arc<AbftSession>>>,
     state: Mutex<HashMap<(usize, usize, usize), ShapeState>>,
     scratch: Mutex<ProbeScratch>,
     stats: Mutex<HealthStats>,
@@ -391,6 +416,7 @@ impl GuardedApaMatmul {
             watchdog: None,
             quality: Mutex::new(None),
             rungs: OnceLock::new(),
+            abft: OnceLock::new(),
             state: Mutex::new(HashMap::new()),
             scratch: Mutex::new(ProbeScratch::new()),
             stats: Mutex::new(HealthStats::default()),
@@ -558,6 +584,7 @@ impl GuardedApaMatmul {
                     clean: e.clean,
                     backoff: e.backoff,
                     tick: e.tick,
+                    abft_offenses: 0,
                 },
             );
         }
@@ -575,6 +602,13 @@ impl GuardedApaMatmul {
     /// call this on the thread that will run the real multiplies.
     pub fn warm<T: Scalar>(&self, shapes: &[(usize, usize, usize)]) {
         let rungs = self.ladder();
+        // Warm under a *throwaway* ABFT session with the same config: the
+        // warm-up multiplies grow the thread-local checksum scratch to its
+        // high-water mark exactly like the real calls will, without the
+        // warm-up checks polluting the guard's counters.
+        let _abft_scope = self
+            .abft_session()
+            .map(|s| gemm_abft::scoped(Arc::new(AbftSession::new(s.cfg))));
         match &rungs[0].exec {
             RungExec::Apa(mm) => mm.warm::<T>(shapes),
             RungExec::Classical(cm) => {
@@ -612,6 +646,29 @@ impl GuardedApaMatmul {
 
     fn ladder(&self) -> &[Rung] {
         self.rungs.get_or_init(|| self.build_ladder())
+    }
+
+    /// The guard's ABFT session (built lazily from the sentinel config;
+    /// `None` when the checksum tier is off).
+    fn abft_session(&self) -> Option<&Arc<AbftSession>> {
+        self.abft
+            .get_or_init(|| match self.sentinel.abft {
+                AbftMode::Off => None,
+                AbftMode::On { slack, .. } => Some(Arc::new(AbftSession::new(AbftConfig {
+                    slack,
+                    repair: true,
+                }))),
+            })
+            .as_ref()
+    }
+
+    /// The `escalate_after` streak threshold of [`AbftMode::On`]
+    /// (0 when off or disabled).
+    fn abft_escalate_after(&self) -> u32 {
+        match self.sentinel.abft {
+            AbftMode::On { escalate_after, .. } => escalate_after,
+            AbftMode::Off => 0,
+        }
     }
 
     fn build_ladder(&self) -> Vec<Rung> {
@@ -735,11 +792,29 @@ impl GuardedApaMatmul {
                 .brownout_capped_calls += 1;
         }
 
+        let abft = self.abft_session();
         let mut idx = start;
         let mut demoted = false;
         loop {
             let last = idx == rungs.len() - 1;
-            if let Err(failure) = self.exec_rung::<T>(idx, a, b, c.rb(), call, !demoted) {
+            let abft_before = abft.map(|s| s.stats.snapshot());
+            let exec_result = self.exec_rung::<T>(idx, a, b, c.rb(), call, !demoted, abft);
+            // Fold this attempt's ABFT activity into the health counters
+            // (whatever the attempt's fate — checks that ran, ran).
+            let abft_delta = match (abft, abft_before) {
+                (Some(s), Some(before)) => {
+                    let d = s.stats.snapshot() - before;
+                    if d.checks > 0 {
+                        let mut stats = self.stats.lock().unwrap_or_else(PoisonError::into_inner);
+                        stats.abft_checks += d.checks;
+                        stats.abft_detected += d.detected;
+                        stats.abft_repaired += d.repaired;
+                    }
+                    d
+                }
+                _ => AbftCounts::default(),
+            };
+            if let Err(failure) = exec_result {
                 {
                     let mut stats = self.stats.lock().unwrap_or_else(PoisonError::into_inner);
                     match &failure {
@@ -760,6 +835,54 @@ impl GuardedApaMatmul {
                 idx += 1;
                 demoted = true;
                 continue;
+            }
+            // ABFT escalation: a repair that failed its re-verification
+            // always escalates; a shape whose calls keep *detecting*
+            // corruption — even when every region repaired clean —
+            // escalates after the configured streak. Everything else
+            // (including a successfully repaired hit) is invisible to
+            // the ladder.
+            let abft_escalate = if abft_delta.unrepaired > 0 {
+                true
+            } else if abft_delta.detected > 0 {
+                let escalate_after = self.abft_escalate_after();
+                let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+                let s = state.entry(shape).or_default();
+                s.abft_offenses = s.abft_offenses.saturating_add(1);
+                if escalate_after > 0 && s.abft_offenses >= escalate_after {
+                    s.abft_offenses = 0;
+                    true
+                } else {
+                    false
+                }
+            } else {
+                if abft_delta.checks > 0 {
+                    let mut state = self.state.lock().unwrap_or_else(PoisonError::into_inner);
+                    state.entry(shape).or_default().abft_offenses = 0;
+                }
+                false
+            };
+            if abft_escalate {
+                self.stats
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .abft_escalations += 1;
+                if last {
+                    // Nothing below the classical floor to retry on. An
+                    // unrepaired region means the buffer cannot be
+                    // trusted; a repeat-offense streak whose regions all
+                    // repaired clean falls through — the product itself
+                    // re-verified.
+                    if abft_delta.unrepaired > 0 {
+                        return Err(MatmulError::SilentCorruption {
+                            regions: abft_delta.unrepaired,
+                        });
+                    }
+                } else {
+                    idx += 1;
+                    demoted = true;
+                    continue;
+                }
             }
             // The classical floor is exact — never probed. Elsewhere the
             // probe runs when sampled, and always on a post-demotion
@@ -800,6 +923,7 @@ impl GuardedApaMatmul {
     }
 
     #[allow(unused_variables)] // `call`, `first_attempt`: fault-inject hooks
+    #[allow(clippy::too_many_arguments)] // internal ladder plumbing
     fn exec_rung<T: Scalar>(
         &self,
         idx: usize,
@@ -808,8 +932,13 @@ impl GuardedApaMatmul {
         mut c: MatMut<'_, T>,
         call: u64,
         first_attempt: bool,
+        abft: Option<&Arc<AbftSession>>,
     ) -> Result<(), RungFailure> {
         let rung = &self.ladder()[idx];
+        // Install the checksum session for the duration of this rung's
+        // execution: the global is read by every gemm leaf, including
+        // pool worker threads and the watchdog helper thread.
+        let _abft_scope = abft.map(|s| gemm_abft::scoped(s.clone()));
         #[cfg(feature = "fault-inject")]
         let perturbed = first_attempt
             .then(|| crate::fault::lambda_factor(call))

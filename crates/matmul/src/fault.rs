@@ -13,9 +13,12 @@
 //! The registry is process-global (the guard has no test-only plumbing);
 //! tests that install plans must serialize on their own lock.
 
+use apa_gemm::abft::sdc;
 use apa_gemm::{MatMut, Scalar};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, PoisonError};
+
+pub use apa_gemm::abft::sdc::{FlipSpec, FlipTarget};
 
 /// What to do to the victim call.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -40,6 +43,17 @@ pub enum FaultKind {
     /// for watchdog drills. Same parallel-execution requirement as
     /// [`FaultKind::PanicInLane`].
     StallLane { millis: u64 },
+    /// Flip one bit of one element inside the call's gemm leaves: `index`
+    /// maps onto a valid (non-pad) element of the first targeted packed
+    /// A/B panel or finished C tile after arming (arms the one-shot
+    /// switch of [`apa_gemm::abft::sdc`]). The corrupted value flows
+    /// through the kernel on the real read path, exactly like a hardware
+    /// single-event upset — the ABFT checksum tier's prey.
+    BitFlip {
+        target: FlipTarget,
+        index: usize,
+        bit: u32,
+    },
 }
 
 /// One scheduled fault.
@@ -70,6 +84,7 @@ pub fn install(faults: &[Fault]) {
 pub fn clear() {
     plan().clear();
     apa_gemm::pool::lane_fault::disarm();
+    sdc::disarm();
     TORN_WRITES.store(0, Ordering::SeqCst);
 }
 
@@ -96,6 +111,10 @@ pub(crate) fn arm_crash_faults(call: u64) {
                 apa_gemm::pool::lane_fault::arm_stall(millis);
                 INJECTED.fetch_add(1, Ordering::Relaxed);
             }
+            FaultKind::BitFlip { target, index, bit } => {
+                sdc::arm(FlipSpec { target, index, bit });
+                INJECTED.fetch_add(1, Ordering::Relaxed);
+            }
             _ => {}
         }
     }
@@ -104,6 +123,7 @@ pub(crate) fn arm_crash_faults(call: u64) {
 /// Disarm leftover crash-fault switches (see [`arm_crash_faults`]).
 pub(crate) fn disarm_crash_faults() {
     apa_gemm::pool::lane_fault::disarm();
+    sdc::disarm();
 }
 
 static TORN_WRITES: AtomicU64 = AtomicU64::new(0);
@@ -175,7 +195,8 @@ pub(crate) fn corrupt_output<T: Scalar>(call: u64, mut c: MatMut<'_, T>) {
             // Handled pre-execution.
             FaultKind::PerturbLambda { .. }
             | FaultKind::PanicInLane
-            | FaultKind::StallLane { .. } => {}
+            | FaultKind::StallLane { .. }
+            | FaultKind::BitFlip { .. } => {}
         }
     }
 }

@@ -58,7 +58,9 @@ pub use plan::{Combo, ExecPlan};
 pub use schedule::{
     bfs_schedule, effective_strategy, hybrid_schedule, FusionPolicy, HybridSchedule, Strategy,
 };
-pub use sentinel::{check_product, scan_nonfinite, ProbeScratch, SentinelConfig, Verdict};
+pub use sentinel::{
+    check_product, scan_nonfinite, AbftMode, ProbeScratch, SentinelConfig, Verdict,
+};
 pub use stats::{profile_one_step, profile_one_step_with_workspace, ExecProfile, HealthStats};
 pub use tune::{tune_lambda, TunedLambda};
 pub use workspace::{LevelKey, Workspace, WsKey};

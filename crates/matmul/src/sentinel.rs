@@ -26,6 +26,48 @@
 use apa_core::error_model;
 use apa_gemm::{MatRef, Scalar};
 
+/// The ABFT checksum tier of the sentinel: Huang–Abraham row/column
+/// checksums verified inside **every** gemm leaf of every rung execution
+/// (see [`apa_gemm::abft`]). Unlike the sampled Freivalds probe this
+/// tier, when enabled, is always on: it detects silent data corruption
+/// at the `MC×NR` tile that took the hit and repairs it in place with a
+/// scalar-tier recompute (bitwise identical by the cross-tier kernel
+/// contract). The degradation ladder only hears about it —
+/// [`crate::fallback::GuardedApaMatmul`] demotes the rung — when a
+/// repair fails its re-verification or a shape keeps re-offending.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum AbftMode {
+    /// Gemm leaves run unchecked; the Freivalds probe and the non-finite
+    /// scans are the only sentinels.
+    Off,
+    /// Checksums verified on every gemm leaf of every guarded call.
+    On {
+        /// Multiplier on the leaf residual envelope
+        /// `ε·√(kc + mc|nc)·magnitude` (see [`apa_gemm::DEFAULT_SLACK`]).
+        /// The leaves are *exact* gemms — the APA framework's λ-scaled
+        /// approximation error lives in the operand/output combinations
+        /// *between* leaves, and the magnitude normalization absorbs the
+        /// `1/λ^d` coefficient scaling — so this budget is pure rounding
+        /// growth, independent of the rung's (σ, φ, λ, steps).
+        slack: f64,
+        /// Escalate to rung demotion after this many consecutive
+        /// corruption-detecting calls on one shape, even when every
+        /// flagged region repaired clean (a lane that keeps taking hits
+        /// is hardware-suspect). `0` disables streak escalation; a call
+        /// that ends with an *unrepaired* region always escalates.
+        escalate_after: u32,
+    },
+}
+
+impl Default for AbftMode {
+    fn default() -> Self {
+        AbftMode::On {
+            slack: apa_gemm::DEFAULT_SLACK,
+            escalate_after: 3,
+        }
+    }
+}
+
 /// Tunable knobs of the sentinel.
 #[derive(Clone, Copy, Debug)]
 pub struct SentinelConfig {
@@ -42,6 +84,8 @@ pub struct SentinelConfig {
     /// Seed mixed into the per-call probe vector derivation, so runs are
     /// deterministic yet successive probes use fresh random projections.
     pub seed: u64,
+    /// The ABFT checksum tier below the probe (on by default).
+    pub abft: AbftMode,
 }
 
 impl Default for SentinelConfig {
@@ -51,6 +95,7 @@ impl Default for SentinelConfig {
             slack: 64.0,
             min_budget: 1e-4,
             seed: 0x5EED_CAFE_F00D_D00D,
+            abft: AbftMode::default(),
         }
     }
 }

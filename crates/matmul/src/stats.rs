@@ -108,6 +108,21 @@ pub struct HealthStats {
     /// traded quality for throughput on these. Not persisted in training
     /// checkpoints (brownout is a serving-time, not training-time, mode).
     pub brownout_capped_calls: u64,
+    /// ABFT block-level checksum verifications run inside the gemm
+    /// leaves (the always-on tier below the Freivalds probe; see
+    /// [`crate::sentinel::AbftMode`]).
+    pub abft_checks: u64,
+    /// ABFT regions flagged by a checksum violation (localized silent
+    /// data corruption).
+    pub abft_detected: u64,
+    /// Flagged regions surgically recomputed in place and re-verified
+    /// clean — the call completed with no demotion and no client-visible
+    /// corruption.
+    pub abft_repaired: u64,
+    /// ABFT escalations to the rung ladder: a repair failed its
+    /// re-verification, or a lane repeated offenses — handled by the
+    /// existing demotion machinery.
+    pub abft_escalations: u64,
     /// Calls whose *final* (accepted) execution ran on each rung,
     /// indexed like [`crate::fallback::GuardedApaMatmul::rungs`].
     pub calls_by_rung: Vec<u64>,
@@ -133,6 +148,10 @@ impl HealthStats {
         self.worker_panics += other.worker_panics;
         self.watchdog_timeouts += other.watchdog_timeouts;
         self.brownout_capped_calls += other.brownout_capped_calls;
+        self.abft_checks += other.abft_checks;
+        self.abft_detected += other.abft_detected;
+        self.abft_repaired += other.abft_repaired;
+        self.abft_escalations += other.abft_escalations;
         if self.calls_by_rung.len() < other.calls_by_rung.len() {
             self.calls_by_rung.resize(other.calls_by_rung.len(), 0);
         }

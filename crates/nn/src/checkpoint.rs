@@ -44,7 +44,8 @@ use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 const MAGIC: &[u8; 8] = b"APACKPT1";
-const VERSION: u32 = 1;
+// v2 added the four ABFT checksum-tier counters to the guard section.
+const VERSION: u32 = 2;
 
 const TAG_META: [u8; 4] = *b"META";
 const TAG_WEIGHTS: [u8; 4] = *b"WGTS";
@@ -327,6 +328,10 @@ fn write_guard(w: &mut Writer, g: &GuardedState) {
         st.promotions,
         st.worker_panics,
         st.watchdog_timeouts,
+        st.abft_checks,
+        st.abft_detected,
+        st.abft_repaired,
+        st.abft_escalations,
     ] {
         w.u64(v);
     }
@@ -363,6 +368,10 @@ fn read_guard(r: &mut Reader<'_>) -> Result<GuardedState, CheckpointError> {
         promotions: r.u64()?,
         worker_panics: r.u64()?,
         watchdog_timeouts: r.u64()?,
+        abft_checks: r.u64()?,
+        abft_detected: r.u64()?,
+        abft_repaired: r.u64()?,
+        abft_escalations: r.u64()?,
         // Serving-time brownout counter: never non-zero during training,
         // so the checkpoint format does not carry it.
         brownout_capped_calls: 0,
@@ -537,19 +546,59 @@ impl TrainState {
 /// generations newest-first and returns the first one that passes full
 /// verification, so a torn or corrupted newest file costs one generation
 /// of progress, never the run.
+///
+/// Opening a directory CRC-verifies **every** retained generation (not
+/// just the one a resume would load): silent disk corruption in an older
+/// generation is a fallback target that would fail exactly when it is
+/// needed most. Corrupt files are pruned on the spot and counted in
+/// [`CheckpointManager::pruned_at_startup`].
 pub struct CheckpointManager {
     dir: PathBuf,
     keep: usize,
+    pruned_at_startup: usize,
 }
 
 impl CheckpointManager {
     pub fn new(dir: impl Into<PathBuf>, keep: usize) -> Result<Self, CheckpointError> {
         let dir = dir.into();
         fs::create_dir_all(&dir).map_err(|e| io_err(&dir, e))?;
-        Ok(Self {
+        let mut mgr = Self {
             dir,
             keep: keep.max(1),
-        })
+            pruned_at_startup: 0,
+        };
+        mgr.pruned_at_startup = mgr.verify_retained();
+        Ok(mgr)
+    }
+
+    /// Full-verify every retained generation and delete the ones that fail
+    /// (bad magic, torn, section or file CRC mismatch). Returns how many
+    /// were pruned.
+    fn verify_retained(&self) -> usize {
+        let mut pruned = 0usize;
+        for generation in self.generations() {
+            let path = self.path_for(generation);
+            let ok = fs::read(&path)
+                .ok()
+                .is_some_and(|bytes| TrainState::from_bytes(&bytes).is_ok());
+            if !ok {
+                let _ = fs::remove_file(&path);
+                pruned += 1;
+            }
+        }
+        if pruned > 0 {
+            eprintln!(
+                "checkpoint: pruned {pruned} corrupt generation(s) from {}",
+                self.dir.display()
+            );
+        }
+        pruned
+    }
+
+    /// Corrupt generations found (and deleted) when this manager opened
+    /// its directory.
+    pub fn pruned_at_startup(&self) -> usize {
+        self.pruned_at_startup
     }
 
     pub fn dir(&self) -> &Path {
@@ -702,6 +751,17 @@ impl CheckpointedTrainer {
     /// `(epoch, next_batch)` cursor.
     pub fn cursor(&self) -> (u32, u32) {
         (self.epoch, self.next_batch)
+    }
+
+    /// Merged sentinel/ladder/ABFT counters across every registered
+    /// guarded backend — the training-side health ledger (probe failures,
+    /// demotions, `abft_detected`/`abft_repaired`, …).
+    pub fn merged_health(&self) -> HealthStats {
+        let mut h = HealthStats::default();
+        for g in &self.guards {
+            h.merge(&g.health());
+        }
+        h
     }
 
     fn capture(&self) -> TrainState {
@@ -902,6 +962,10 @@ mod tests {
                     probe_failures: 1,
                     nonfinite_scans: 31,
                     demotions: 1,
+                    abft_checks: 40,
+                    abft_detected: 2,
+                    abft_repaired: 2,
+                    abft_escalations: 1,
                     calls_by_rung: vec![30, 12, 0, 0, 0],
                     ..HealthStats::default()
                 },
@@ -981,6 +1045,45 @@ mod tests {
         // No checkpoint at all → Ok(None).
         let empty = CheckpointManager::new(tmpdir("empty"), 2).unwrap();
         assert_eq!(empty.load_latest().unwrap(), None);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn startup_verifies_all_retained_generations_and_prunes_corrupt_ones() {
+        let dir = tmpdir("startup-verify");
+        let mgr = CheckpointManager::new(&dir, 4).unwrap();
+        assert_eq!(mgr.pruned_at_startup(), 0);
+        let mut state = sample_state();
+        for epoch in 1..=4 {
+            state.epoch = epoch;
+            mgr.save(&state).unwrap();
+        }
+        // Corrupt two retained generations two different ways: tear one
+        // (truncate) and bit-flip another *older* one — the older file is
+        // exactly the fallback target load_latest would need later.
+        let torn = mgr.path_for(2);
+        let bytes = fs::read(&torn).unwrap();
+        fs::write(&torn, &bytes[..bytes.len() / 3]).unwrap();
+        let flipped = mgr.path_for(3);
+        let mut bytes = fs::read(&flipped).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x10;
+        fs::write(&flipped, &bytes).unwrap();
+
+        let reopened = CheckpointManager::new(&dir, 4).unwrap();
+        assert_eq!(reopened.pruned_at_startup(), 2);
+        assert_eq!(
+            reopened.generations(),
+            vec![1, 4],
+            "corrupt generations must be gone from disk"
+        );
+        let (generation, loaded) = reopened.load_latest().unwrap().unwrap();
+        assert_eq!((generation, loaded.epoch), (4, 4));
+        // A clean re-open prunes nothing.
+        assert_eq!(
+            CheckpointManager::new(&dir, 4).unwrap().pruned_at_startup(),
+            0
+        );
         let _ = fs::remove_dir_all(&dir);
     }
 

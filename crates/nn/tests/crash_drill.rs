@@ -123,20 +123,33 @@ fn torn_checkpoint_write_falls_back_a_generation_and_still_resumes_exactly() {
     // Run to step 10 cleanly (several good generations), then tear the
     // *next* checkpoint write and crash right after it.
     assert_eq!(victim.run_steps(&data, 10).unwrap(), 10);
+    let injected_before = fault::injected_count();
     fault::arm_torn_checkpoint_writes(1);
     assert_eq!(victim.run_steps(&data, 2).unwrap(), 2); // step 12 writes torn ckpt
-    assert_eq!(fault::injected_count(), 1, "the torn write must have fired");
+    assert_eq!(
+        fault::injected_count() - injected_before,
+        1,
+        "the torn write must have fired"
+    );
     fault::clear();
     drop(victim);
 
-    // The newest file on disk is torn; load_latest must skip it.
+    // The newest file on disk is torn; re-opening the directory CRC-scans
+    // every retained generation and prunes it before a resume can trip on
+    // it.
     let mgr = CheckpointManager::new(&dir, 4).unwrap();
+    assert_eq!(
+        mgr.pruned_at_startup(),
+        1,
+        "the torn generation must be pruned at startup"
+    );
     let gens = mgr.generations();
-    let newest = *gens.last().unwrap();
+    assert!(!gens.is_empty(), "older good generations must survive");
     let (loaded_gen, _) = mgr.load_latest().unwrap().unwrap();
-    assert!(
-        loaded_gen < newest,
-        "resume must fall back past the torn generation {newest}"
+    assert_eq!(
+        loaded_gen,
+        *gens.last().unwrap(),
+        "resume lands on the newest *good* generation"
     );
 
     let mut resumed = fresh_trainer().with_checkpoints(mgr);
@@ -147,6 +160,80 @@ fn torn_checkpoint_write_falls_back_a_generation_and_still_resumes_exactly() {
     resumed.run(&data).unwrap();
     assert_bitwise_equal(&resumed.net, &expect, "torn-write drill");
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn mid_epoch_bit_flip_is_repaired_onto_the_fault_free_trajectory() {
+    let _g = LOCK.lock().unwrap();
+    fault::clear();
+    let data = blob_dataset(60);
+    let cfg = TrainerConfig {
+        epochs: 2,
+        batch_size: 10,
+        checkpoint_every: 0,
+    };
+    // Both layers share one guarded backend (ABFT on by default).
+    let build = || {
+        let g = guarded(catalog::bini322(), 1);
+        let net = Mlp::new(&[8, 16, 2], vec![g.clone(), g.clone()], 31);
+        let opt = Optimizer::new(
+            SgdConfig {
+                lr: 0.1,
+                momentum: 0.9,
+                weight_decay: 0.0,
+            },
+            &net,
+        );
+        CheckpointedTrainer::new(net, opt, cfg).with_guards(vec![g])
+    };
+
+    let mut reference = build();
+    reference.run(&data).unwrap();
+    let expect: Vec<_> = reference
+        .net
+        .layers
+        .iter()
+        .map(|l| (l.w.clone(), l.b.clone()))
+        .collect();
+    let href = reference.merged_health();
+    assert_eq!(
+        href.abft_detected, 0,
+        "fault-free run must not trip: {href:?}"
+    );
+    assert!(href.abft_checks > 0, "ABFT must be on by default: {href:?}");
+
+    // Strike a single exponent bit in a gemm leaf mid-epoch-0 (call 17 of
+    // the shared guard lands inside a training step's matmuls).
+    let mut faulted = build();
+    let fired_before = apa_gemm::abft::sdc::injected();
+    fault::install(&[fault::Fault {
+        at_call: 17,
+        kind: fault::FaultKind::BitFlip {
+            target: fault::FlipTarget::Output,
+            index: 5,
+            bit: 30,
+        },
+    }]);
+    faulted.run(&data).unwrap();
+    fault::clear();
+    assert_eq!(
+        apa_gemm::abft::sdc::injected(),
+        fired_before + 1,
+        "the bit flip must actually have fired"
+    );
+
+    let h = faulted.merged_health();
+    assert!(h.abft_detected >= 1, "flip went undetected: {h:?}");
+    assert!(h.abft_repaired >= 1, "flip was not repaired: {h:?}");
+    assert_eq!(h.abft_escalations, 0, "{h:?}");
+    // Bitwise-transparent repair means the guard's ladder evolves exactly
+    // as in the fault-free run — the flip adds no demotions or probe
+    // failures beyond whatever the reference run itself accrued.
+    assert_eq!(h.demotions, href.demotions, "{h:?} vs {href:?}");
+    assert_eq!(h.probe_failures, href.probe_failures, "{h:?} vs {href:?}");
+    // Surgical repair means the corrupted step's product was bitwise what
+    // the clean run computed — so the whole trajectory is.
+    assert_bitwise_equal(&faulted.net, &expect, "bit-flip drill");
 }
 
 #[test]

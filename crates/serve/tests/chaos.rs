@@ -264,6 +264,129 @@ fn overload_chaos_every_client_gets_a_typed_answer() {
     );
 }
 
+/// The silent-corruption storm: flood the service past capacity while a
+/// dense schedule of single-bit flips strikes the gemm leaves (packed A,
+/// packed B and finished C tiles in rotation). The ABFT checksum tier
+/// must absorb every strike invisibly: each affected batch is either
+/// repaired in place (finite, clean output) or surfaces as a typed
+/// inference error — never silent garbage — the stats ledger balances,
+/// and the repairs are visible in the merged [`apa_serve::ServeStats`]
+/// health view.
+#[test]
+fn bit_flip_storm_is_repaired_or_typed_errored_and_ledger_balances() {
+    let _g = lock();
+    let replicas: Vec<Replica> = (0..LANES).map(|l| replica(55 + l as u64).0).collect();
+    let service = InferenceService::start(
+        replicas,
+        ServeConfig {
+            queue_capacity: 64,
+            max_linger: Duration::from_millis(1),
+            ..ServeConfig::default()
+        },
+    );
+    let handle = service.handle();
+    handle.infer(input(0)).expect("clean call before the storm");
+
+    // Dense flip schedule keyed by each guard's own call counter, hitting
+    // all three targets in rotation with an exponent bit (always above
+    // any plausible residual tolerance, so detection is guaranteed).
+    let targets = [
+        fault::FlipTarget::PackA,
+        fault::FlipTarget::PackB,
+        fault::FlipTarget::Output,
+    ];
+    let plan: Vec<Fault> = (0..90u64)
+        .map(|k| Fault {
+            at_call: 2 * k,
+            kind: FaultKind::BitFlip {
+                target: targets[(k % 3) as usize],
+                index: 3 + (k % 5) as usize,
+                bit: 30,
+            },
+        })
+        .collect();
+    let fired_before = apa_gemm::abft::sdc::injected();
+    fault::install(&plan);
+
+    let mut clients = Vec::new();
+    for c in 0..CLIENTS {
+        let handle = handle.clone();
+        clients.push(std::thread::spawn(move || {
+            let mut tickets = Vec::new();
+            let mut rejected = 0u64;
+            for i in 0..150usize {
+                if i % 25 == 24 {
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                match handle.submit(input(c * 1000 + i)) {
+                    Ok(t) => tickets.push(t),
+                    Err(ServeError::QueueFull { .. }) => rejected += 1,
+                    Err(other) => panic!("untyped/unexpected rejection: {other}"),
+                }
+            }
+            let (mut ok, mut failed) = (0u64, 0u64);
+            for t in tickets {
+                match t
+                    .wait_timeout(Duration::from_secs(15))
+                    .expect("ticket hung past 15s")
+                {
+                    Ok(r) => {
+                        assert!(
+                            r.output.iter().all(|v| v.is_finite()),
+                            "corrupt output reached a client: {:?}",
+                            r.output
+                        );
+                        ok += 1;
+                    }
+                    Err(ServeError::Inference { .. }) => failed += 1,
+                    Err(other) => panic!("unexpected terminal error: {other}"),
+                }
+            }
+            (ok, failed, rejected)
+        }));
+    }
+
+    let mut ok = 1u64; // the pre-storm warm call
+    let (mut failed, mut rejected) = (0u64, 0u64);
+    for c in clients {
+        let (o, f, r) = c.join().expect("client thread must not die");
+        ok += o;
+        failed += f;
+        rejected += r;
+    }
+    fault::clear();
+    let stats = service.shutdown();
+
+    assert_eq!(ok, stats.completed, "client Oks vs stats.completed");
+    assert_eq!(failed, stats.failed, "client failures vs stats.failed");
+    assert_eq!(rejected, stats.rejected_queue_full);
+    assert_eq!(
+        stats.submitted,
+        stats.completed + stats.expired + stats.failed,
+        "accepted requests leaked: {stats:?}"
+    );
+    assert_eq!(stats.queue_depth, 0);
+
+    // The flips actually landed in leaves, and every detected region was
+    // repaired — unrepaired corruption would either escalate or surface
+    // as typed failures, never as silent client-visible garbage.
+    assert!(
+        apa_gemm::abft::sdc::injected() > fired_before,
+        "no bit flip ever fired"
+    );
+    let h = &stats.health;
+    assert!(h.abft_checks > 0, "checksum tier never ran: {h:?}");
+    assert!(h.abft_detected >= 1, "no flip was detected: {h:?}");
+    assert!(
+        h.abft_repaired >= 1,
+        "abft_repaired must be visible in merged ServeStats: {h:?}"
+    );
+    assert_eq!(
+        h.abft_repaired, h.abft_detected,
+        "every detected region must have been repaired: {h:?}"
+    );
+}
+
 /// Drain-under-chaos: closing the service while faults are still armed
 /// and the queue holds a backlog must answer every ticket and return —
 /// an open breaker is not allowed to hold the drain hostage.

@@ -18,6 +18,13 @@
 #      emitting BENCH_7.json. The JSON's own criteria block is asserted
 #      below: goodput(on) >= 1.3x goodput(off) and the on-mode late
 #      fraction holds p99 inside the deadline.
+#   5. the `abftbench` harness (ISSUE 8 acceptance evidence): ABFT
+#      checksums off vs on at ParaDnn training widths (interleaved reps,
+#      paired minima), plus a storm of single-bit exponent flips into
+#      packed A / packed B / finished C tiles, emitting BENCH_8.json.
+#      Asserted below: <= 5% overhead at width 1024, zero false-positive
+#      detections on the fault-free run, and 100% of injected flips
+#      detected AND repaired in place.
 #
 # Usage: scripts/bench.sh [extra fusionbench args...]
 #   e.g. scripts/bench.sh --widths 512,1024 --reps 5
@@ -54,4 +61,14 @@ for crit in '"goodput_ratio_pass": true' '"p99_within_deadline_on": true'; do
     fi
 done
 
-echo "== bench: OK (results in BENCH_5.json, BENCH_6.json, BENCH_7.json) =="
+echo "== bench: abftbench -> BENCH_8.json =="
+cargo run --release -p apa-bench --features fault-inject --bin abftbench -- --out BENCH_8.json
+
+for crit in '"overhead_pass": true' '"all_flips_detected_and_repaired": true'; do
+    if ! grep -qF "$crit" BENCH_8.json; then
+        echo "== bench: FAIL — abftbench criterion not met: $crit ==" >&2
+        exit 1
+    fi
+done
+
+echo "== bench: OK (results in BENCH_5.json, BENCH_6.json, BENCH_7.json, BENCH_8.json) =="

@@ -14,8 +14,13 @@
 #      apa-serve overload chaos drill — a bounded (~tens of seconds)
 #      >2x-capacity storm with panics, stalls, NaNs and corrupted
 #      products that asserts every client gets a typed answer
-#   5. rustfmt check
-#   6. clippy with warnings promoted to errors
+#   5. ABFT checksum suites: single-bit flips injected into packed A,
+#      packed B and finished C tiles must be detected, localized and
+#      repaired in place, on BOTH the native SIMD tiers and the forced
+#      scalar tier (the repair path recomputes with the scalar tier, so
+#      it must hold when scalar is also the primary)
+#   6. rustfmt check
+#   7. clippy with warnings promoted to errors
 #
 # Usage: scripts/tier1.sh   (from anywhere inside the repo)
 
@@ -55,11 +60,24 @@ cargo test -q -p apa-serve --features fault-inject
 echo "== tier1: cargo test -p apa-serve --test chaos --features fault-inject (typed-answer contract under storm) =="
 cargo test -q -p apa-serve --test chaos --features fault-inject
 
+echo "== tier1: ABFT flip suites, native dispatch (detect + localize + in-place repair) =="
+cargo test -q -p apa-gemm --features fault-inject
+cargo test -q -p apa-matmul --test abft_guard --features fault-inject
+
+echo "== tier1: ABFT flip suites, APA_FORCE_SCALAR_KERNEL=1 (scalar primary + scalar repair tier) =="
+APA_FORCE_SCALAR_KERNEL=1 cargo test -q -p apa-gemm --features fault-inject
+APA_FORCE_SCALAR_KERNEL=1 cargo test -q -p apa-matmul --features fault-inject
+APA_FORCE_SCALAR_KERNEL=1 cargo test -q -p apa-nn --features fault-inject
+APA_FORCE_SCALAR_KERNEL=1 cargo test -q -p apa-serve --features fault-inject
+
 echo "== tier1: cargo fmt --check =="
 cargo fmt --all -- --check
 
 echo "== tier1: cargo clippy (deny warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== tier1: cargo clippy -p apa-gemm --features fault-inject (deny warnings) =="
+cargo clippy -p apa-gemm --all-targets --features fault-inject -- -D warnings
 
 echo "== tier1: cargo clippy -p apa-matmul --features fault-inject (deny warnings) =="
 cargo clippy -p apa-matmul --all-targets --features fault-inject -- -D warnings
