@@ -1,0 +1,245 @@
+//! Plan-compiler evaluation harness (ISSUE 9 acceptance evidence).
+//!
+//! On ParaDnn-style training shapes `(batch × width) · (width × width)`
+//! the harness times every *hand-flagged* APA configuration the previous
+//! PRs hard-coded into layer backends — each paper-lineup rule at the
+//! standard training setup (1 step, hybrid strategy, dynamic peel) —
+//! then asks the `apa-planner` compiler (measured refinement on) for its
+//! plan and times that. Classical gemm is measured alongside as the
+//! reference floor. Gates:
+//!
+//! * at **every** width the compiled plan is within 2% of the best
+//!   hand-flagged rule (the compiler never loses meaningfully to a
+//!   hand-picked algorithm);
+//! * at **≥ 1** width the compiled plan strictly beats the best
+//!   hand-flagged rule — on hosts below the Fig-3 crossover that win is
+//!   precisely *knowing when not to approximate* (EXPERIMENTS.md puts
+//!   this machine's crossover at n ≈ 1500–2000, above every ParaDnn
+//!   width, so a fixed APA rule loses to shape-adaptive fallback);
+//! * a warm [`apa_planner::PlanCompiler`] answers in < 1 ms per shape.
+//!
+//! Also reports the addition-CSE savings per chosen plan. Emits
+//! `BENCH_9.json`; `scripts/bench.sh` asserts the criteria block.
+//!
+//! Usage: `cargo run --release -p apa-bench --bin planbench --
+//!         [--widths 256,512,768,1024] [--batch 64] [--reps 7]
+//!         [--threads 1] [--out BENCH_9.json]`
+
+use apa_bench::{banner, print_csv, print_table, Args};
+use apa_core::catalog;
+use apa_gemm::Mat;
+use apa_matmul::{ApaMatmul, ClassicalMatmul, PeelMode, Strategy};
+use apa_planner::{PlanCompiler, PlanRequest};
+use serde_json::json;
+use std::time::Instant;
+
+fn probe_rect(rows: usize, cols: usize, seed: u64) -> Mat<f32> {
+    let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+    Mat::from_fn(rows, cols, |_, _| {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (((state >> 32) as u32 as f64 / (1u64 << 31) as f64) - 1.0) as f32
+    })
+}
+
+/// Best wall-clock for one multiply closure over `reps` interleaved calls.
+fn time_best(reps: usize, mut call: impl FnMut()) -> f64 {
+    call(); // warm: workspaces, pack buffers, plan caches
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        call();
+        best = best.min(t0.elapsed().as_secs_f64());
+    }
+    best
+}
+
+struct WidthRow {
+    width: usize,
+    classical_seconds: f64,
+    best_hand_name: String,
+    best_hand_seconds: f64,
+    compiler_rule: String,
+    compiler_seconds: f64,
+    ratio: f64,
+    additions_before: u32,
+    additions_after: u32,
+}
+
+fn main() {
+    let args = Args::parse();
+    let widths: Vec<usize> = args
+        .get_str("widths")
+        .unwrap_or("256,512,768,1024")
+        .split(',')
+        .map(|w| w.trim().parse().expect("bad --widths"))
+        .collect();
+    let batch = args.get("batch", 64usize);
+    let reps = args.get("reps", 7usize);
+    let threads = args.get("threads", 1usize);
+    let out_path = args.get_str("out").unwrap_or("BENCH_9.json").to_string();
+
+    println!("{}", apa_repro::diagnostics());
+    banner(
+        "Plan compiler vs hand-flagged configurations (ParaDnn shapes)",
+        &[
+            &format!("shape (batch x width)·(width x width), batch {batch}, {threads} thread(s)"),
+            &format!("widths {widths:?}, best of {reps} interleaved reps"),
+            "criteria: compiled <= 1.02x best hand everywhere, < 1x somewhere",
+        ],
+    );
+
+    // Measured refinement on: the compiler may micro-time its analytic
+    // short-list, exactly what a deployment enabling APA_PLAN_TUNE gets.
+    let compiler = PlanCompiler::new().measured(true);
+    let mut rows: Vec<WidthRow> = Vec::new();
+
+    for &width in &widths {
+        let (m, k, n) = (batch, width, width);
+        let a = probe_rect(m, k, 0xA11CE ^ width as u64);
+        let b = probe_rect(k, n, 0xB0B ^ width as u64);
+        let mut c = Mat::<f32>::zeros(m, n);
+
+        // The classical reference floor.
+        let classical = ClassicalMatmul::new().threads(threads);
+        let classical_seconds = time_best(reps, || {
+            classical.multiply_into(a.as_ref(), b.as_ref(), c.as_mut())
+        });
+
+        // Hand-flagged field: every paper rule at the standard training
+        // knobs — what a fixed-rule backend (pre-planner) would run.
+        let mut best_hand: Option<(String, f64)> = None;
+        for alg in catalog::paper_lineup() {
+            let name = alg.name.clone();
+            let mm = ApaMatmul::new(alg)
+                .steps(1)
+                .strategy(Strategy::Hybrid)
+                .threads(threads)
+                .peel_mode(PeelMode::Dynamic);
+            let secs = time_best(reps, || {
+                mm.multiply_into(a.as_ref(), b.as_ref(), c.as_mut())
+            });
+            if best_hand.as_ref().is_none_or(|(_, t)| secs < *t) {
+                best_hand = Some((name, secs));
+            }
+        }
+        let best_hand = best_hand.expect("paper lineup is non-empty");
+
+        // Compiler-selected plan for the same request.
+        let req = PlanRequest::new(m, k, n).threads(threads);
+        let plan = compiler.compile(&req);
+        let exec = plan.build().expect("compiled plan builds");
+        let compiler_seconds = time_best(reps, || {
+            exec.multiply_into(a.as_ref(), b.as_ref(), c.as_mut())
+        });
+
+        let ratio = compiler_seconds / best_hand.1;
+        println!(
+            "width {width}: classical {:.3} ms | hand best {} ({:.3} ms) | compiled {}{} ({:.3} ms) ratio {:.3}",
+            classical_seconds * 1e3,
+            best_hand.0,
+            best_hand.1 * 1e3,
+            plan.rule,
+            if plan.cse { "+cse" } else { "" },
+            compiler_seconds * 1e3,
+            ratio
+        );
+        rows.push(WidthRow {
+            width,
+            classical_seconds,
+            best_hand_name: best_hand.0,
+            best_hand_seconds: best_hand.1,
+            compiler_rule: format!("{}{}", plan.rule, if plan.cse { "+cse" } else { "" }),
+            compiler_seconds,
+            ratio,
+            additions_before: plan.additions_before,
+            additions_after: plan.additions_after,
+        });
+    }
+
+    // Warm-compile latency gate: every request above is already in the
+    // compiler's memory cache; re-asking must be sub-millisecond.
+    let warm_t0 = Instant::now();
+    let warm_lookups = 100 * widths.len();
+    for _ in 0..100 {
+        for &width in &widths {
+            compiler.compile(&PlanRequest::new(batch, width, width).threads(threads));
+        }
+    }
+    let warm_compile_seconds = warm_t0.elapsed().as_secs_f64() / warm_lookups as f64;
+
+    let within_tolerance = rows.iter().all(|r| r.ratio <= 1.02);
+    let strictly_better_somewhere = rows.iter().any(|r| r.ratio < 1.0);
+    let warm_under_1ms = warm_compile_seconds < 1e-3;
+
+    let header = [
+        "width",
+        "classical ms",
+        "hand best",
+        "hand ms",
+        "compiled",
+        "compiled ms",
+        "ratio",
+        "adds before",
+        "adds after",
+    ];
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.width.to_string(),
+                format!("{:.3}", r.classical_seconds * 1e3),
+                r.best_hand_name.clone(),
+                format!("{:.3}", r.best_hand_seconds * 1e3),
+                r.compiler_rule.clone(),
+                format!("{:.3}", r.compiler_seconds * 1e3),
+                format!("{:.3}", r.ratio),
+                r.additions_before.to_string(),
+                r.additions_after.to_string(),
+            ]
+        })
+        .collect();
+    print_table(&header, &table);
+    print_csv(&header, &table);
+
+    println!(
+        "\nwarm compile: {:.1} µs/shape | within 2% everywhere: {} | strictly better somewhere: {}",
+        warm_compile_seconds * 1e6,
+        within_tolerance,
+        strictly_better_somewhere
+    );
+
+    let doc = json!({
+        "bench": "planbench",
+        "config": {
+            "batch": batch,
+            "widths": widths,
+            "threads": threads,
+            "reps": reps,
+            "measured_refinement": true,
+        },
+        "widths": (rows.iter().map(|r| json!({
+            "width": (r.width),
+            "classical_seconds": (r.classical_seconds),
+            "best_hand": (r.best_hand_name),
+            "best_hand_seconds": (r.best_hand_seconds),
+            "compiler_rule": (r.compiler_rule),
+            "compiler_seconds": (r.compiler_seconds),
+            "ratio": (r.ratio),
+            "additions_before": (r.additions_before),
+            "additions_after": (r.additions_after),
+            "additions_saved": (r.additions_before - r.additions_after),
+        })).collect::<Vec<_>>()),
+        "warm_compile_seconds_per_shape": warm_compile_seconds,
+        "criteria": {
+            "tolerance": 1.02,
+            "compiler_within_tolerance": within_tolerance,
+            "compiler_strictly_better_somewhere": strictly_better_somewhere,
+            "warm_compile_under_1ms": warm_under_1ms,
+        },
+    });
+    let text = serde_json::to_string_pretty(&doc).expect("serialize BENCH_9");
+    std::fs::write(&out_path, text + "\n").expect("write BENCH_9.json");
+    println!("wrote {out_path}");
+}

@@ -11,11 +11,11 @@
 //! Usage: `cargo run --release -p apa-bench --bin servebench
 //!         [--width 1024] [--lanes 2] [--threads 1] [--clients 8]
 //!         [--burst 0 (= target batch)] [--requests 0 (= 4×width)]
-//!         [--backend classical|apa|guarded]`
+//!         [--backend classical|apa|guarded|planned]`
 
 use apa_bench::{banner, print_csv, print_table, Args};
 use apa_core::catalog;
-use apa_nn::{apa, classical, guarded, Backend, Mlp};
+use apa_nn::{apa, classical, guarded, planned, Backend, Mlp};
 use apa_serve::{InferenceService, Replica, ServeConfig, ServeError, ServeStats};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
@@ -35,7 +35,8 @@ fn make_backend(kind: &str, threads: usize) -> Backend {
         "classical" => classical(threads),
         "apa" => apa(catalog::bini322(), threads),
         "guarded" => guarded(catalog::bini322(), threads),
-        other => panic!("unknown --backend {other} (classical|apa|guarded)"),
+        "planned" => planned(threads),
+        other => panic!("unknown --backend {other} (classical|apa|guarded|planned)"),
     }
 }
 
@@ -142,6 +143,10 @@ fn main() {
         burst,
         requests,
     };
+
+    // What is this machine actually running? One merged report: kernel
+    // dispatch tier, gemm blocking, planner cache state.
+    println!("{}", apa_repro::diagnostics());
 
     banner(
         "Serving throughput: dynamic batching vs unbatched",

@@ -137,6 +137,14 @@ fn fingerprint(es: usize) -> String {
 }
 
 fn tune_dir() -> Option<PathBuf> {
+    // APA_PLAN_DIR is the unified persistence root (block tunes live under
+    // `blocks/`, compiled plans under `plans/` — see `apa-planner`). The
+    // legacy APA_TUNE_DIR env var is honoured as a back-compat fallback.
+    if let Ok(dir) = std::env::var("APA_PLAN_DIR") {
+        if !dir.is_empty() {
+            return Some(PathBuf::from(dir).join("blocks"));
+        }
+    }
     if let Ok(dir) = std::env::var("APA_TUNE_DIR") {
         if !dir.is_empty() {
             return Some(PathBuf::from(dir));

@@ -85,6 +85,8 @@ pub struct ApaMatmul {
     threads: usize,
     peel: PeelMode,
     fusion: FusionPolicy,
+    /// Run the [`crate::cse`] addition-elimination pass on every compile.
+    cse: bool,
     /// σ from validation (None = exact rule); cached for λ re-derivation.
     sigma: Option<u32>,
     /// Set once the user pins λ via [`Self::lambda`]; suppresses automatic
@@ -108,6 +110,7 @@ impl Clone for ApaMatmul {
             threads: self.threads,
             peel: self.peel,
             fusion: self.fusion,
+            cse: self.cse,
             sigma: self.sigma,
             explicit_lambda: self.explicit_lambda,
             // Workspaces are cheap to rebuild; clones start cold.
@@ -127,6 +130,7 @@ impl std::fmt::Debug for ApaMatmul {
             .field("threads", &self.threads)
             .field("peel", &self.peel)
             .field("fusion", &self.fusion)
+            .field("cse", &self.cse)
             .field("cached_workspaces", &self.cached_workspaces())
             .finish()
     }
@@ -142,7 +146,7 @@ impl ApaMatmul {
             Err(e) => panic!("invalid algorithm {}: {e}", alg.name),
         };
         let lambda = Self::default_lambda(&alg, sigma, 1);
-        let plan = ExecPlan::compile(&alg, lambda);
+        let plan = Self::compile_plan(&alg, lambda, false);
         Self {
             alg,
             plan,
@@ -151,6 +155,7 @@ impl ApaMatmul {
             threads: 1,
             peel: PeelMode::Dynamic,
             fusion: FusionPolicy::Auto,
+            cse: false,
             sigma,
             explicit_lambda: false,
             cache: Mutex::new(Vec::new()),
@@ -167,10 +172,21 @@ impl ApaMatmul {
         }
     }
 
+    /// Compile `alg` at `lambda`, running the CSE pass when enabled — the
+    /// single compile path, so every recompile site (λ pin, step change)
+    /// reapplies the configured rewrite.
+    fn compile_plan(alg: &BilinearAlgorithm, lambda: f64, cse: bool) -> ExecPlan {
+        let mut plan = ExecPlan::compile(alg, lambda);
+        if cse {
+            crate::cse::apply(&mut plan);
+        }
+        plan
+    }
+
     /// Override λ (recompiles the plan). A pinned λ is kept verbatim even
     /// if the step count changes afterwards.
     pub fn lambda(mut self, lambda: f64) -> Self {
-        self.plan = ExecPlan::compile(&self.alg, lambda);
+        self.plan = Self::compile_plan(&self.alg, lambda, self.cse);
         self.explicit_lambda = true;
         self
     }
@@ -184,7 +200,19 @@ impl ApaMatmul {
         self.steps = steps;
         if !self.explicit_lambda {
             let lambda = Self::default_lambda(&self.alg, self.sigma, steps);
-            self.plan = ExecPlan::compile(&self.alg, lambda);
+            self.plan = Self::compile_plan(&self.alg, lambda, self.cse);
+        }
+        self
+    }
+
+    /// Enable the addition-minimizing CSE rewrite (see [`crate::cse`]):
+    /// repeated two-term subexpressions in the rule's U/V/W combination
+    /// trees materialize once as shared temporaries. Off by default — the
+    /// unrewritten plan is the bitwise reference. Recompiles the plan.
+    pub fn cse(mut self, on: bool) -> Self {
+        if self.cse != on {
+            self.cse = on;
+            self.plan = Self::compile_plan(&self.alg, self.plan.lambda, on);
         }
         self
     }
@@ -238,6 +266,11 @@ impl ApaMatmul {
 
     pub fn current_fusion(&self) -> FusionPolicy {
         self.fusion
+    }
+
+    /// Whether the CSE rewrite is enabled (see [`Self::cse`]).
+    pub fn current_cse(&self) -> bool {
+        self.cse
     }
 
     /// Approximation order σ from Brent validation (None for exact rules).

@@ -185,16 +185,23 @@ fn leaf_par(strategy: Strategy, threads: usize) -> Par {
 /// Zero-copy accessor for the `gr×gc` block grid of an operand, indexed
 /// row-major like the plan's combo block indices. Replaces the old
 /// `Vec<MatRef>` grids so the hot path builds no per-call lists.
+///
+/// Indices at or beyond the grid size (`gr·gc`) resolve to the level's
+/// CSE temp buffers (see [`crate::cse`]): virtual block `gr·gc + i` is
+/// `temps[i]`, matching the plan's temp index space.
 #[derive(Clone, Copy)]
 struct Blocks<'a, T> {
     mat: MatRef<'a, T>,
     grid_cols: usize,
     rows: usize,
     cols: usize,
+    /// First virtual temp index (= `gr·gc`).
+    base: usize,
+    temps: &'a [Mat<T>],
 }
 
 impl<'a, T: Scalar> Blocks<'a, T> {
-    fn new(mat: MatRef<'a, T>, gr: usize, gc: usize) -> Self {
+    fn new(mat: MatRef<'a, T>, gr: usize, gc: usize, temps: &'a [Mat<T>]) -> Self {
         debug_assert_eq!(mat.rows() % gr, 0);
         debug_assert_eq!(mat.cols() % gc, 0);
         Blocks {
@@ -202,14 +209,62 @@ impl<'a, T: Scalar> Blocks<'a, T> {
             grid_cols: gc,
             rows: mat.rows() / gr,
             cols: mat.cols() / gc,
+            base: gr * gc,
+            temps,
         }
     }
 
     #[inline]
     fn get(&self, idx: usize) -> MatRef<'a, T> {
+        if idx >= self.base {
+            return self.temps[idx - self.base].as_ref();
+        }
         let (i, j) = (idx / self.grid_cols, idx % self.grid_cols);
         self.mat
             .subview(i * self.rows, j * self.cols, self.rows, self.cols)
+    }
+}
+
+/// Stage `Σ coeff·lookup(idx)` into `dst` with the same write-once
+/// `combine` kernels as [`form_combo`], resolving indices through a
+/// caller-supplied lookup (grid blocks + temps, or products + W-temps).
+fn combine_indexed<'p, T: Scalar + 'p>(
+    dst: MatMut<'_, T>,
+    terms: &[(usize, f64)],
+    lookup: impl Fn(usize) -> MatRef<'p, T>,
+    par: Par,
+) {
+    if !terms.is_empty() && terms.len() <= MAX_INLINE_TERMS {
+        // Stack-staged term list; slots past terms.len() are never read.
+        let mut staged = [(T::ZERO, lookup(terms[0].0)); MAX_INLINE_TERMS];
+        for (slot, &(idx, coeff)) in staged.iter_mut().zip(terms) {
+            *slot = (T::from_f64(coeff), lookup(idx));
+        }
+        combine_par(dst, false, &staged[..terms.len()], par);
+    } else {
+        let staged: Vec<(T, MatRef<'_, T>)> = terms
+            .iter()
+            .map(|&(idx, coeff)| (T::from_f64(coeff), lookup(idx)))
+            .collect();
+        combine_par(dst, false, &staged, par);
+    }
+}
+
+/// Materialize one operand side's CSE temps in definition order (temp `i`
+/// may reference temps `< i`, so the buffer slice splits incrementally).
+fn materialize_operand_temps<T: Scalar>(
+    spec: &[Vec<(usize, f64)>],
+    mat: MatRef<'_, T>,
+    gr: usize,
+    gc: usize,
+    bufs: &mut [Mat<T>],
+    par: Par,
+) {
+    debug_assert_eq!(spec.len(), bufs.len(), "workspace temp count mismatch");
+    for (i, terms) in spec.iter().enumerate() {
+        let (done, rest) = bufs.split_at_mut(i);
+        let blocks = Blocks::new(mat, gr, gc, done);
+        combine_indexed(rest[0].as_mut(), terms, |idx| blocks.get(idx), par);
     }
 }
 
@@ -246,8 +301,6 @@ fn one_step<T: Scalar, P: Borrow<ExecPlan> + Sync>(
     level: &mut LevelWs<T>,
 ) {
     let d = plan.dims;
-    let a_blocks = Blocks::new(a, d.m, d.k);
-    let b_blocks = Blocks::new(b, d.k, d.n);
     let r = plan.rank;
     let (strategy, threads) = effective_strategy(strategy, threads, r);
 
@@ -255,10 +308,24 @@ fn one_step<T: Scalar, P: Borrow<ExecPlan> + Sync>(
         products,
         lanes,
         fusion,
+        a_temps,
+        b_temps,
+        w_temps,
     } = level;
     let fusion = &*fusion;
     let policy = fusion.policy;
     debug_assert_eq!(products.len(), r, "workspace product count mismatch");
+
+    // CSE temps for the operand sides materialize once, before the
+    // product loop (and before any lane spawns — the temp buffers are
+    // read-shared by every lane afterwards).
+    if !plan.a_temps.is_empty() || !plan.b_temps.is_empty() {
+        let par = leaf_par(strategy, threads);
+        materialize_operand_temps(&plan.a_temps, a, d.m, d.k, a_temps, par);
+        materialize_operand_temps(&plan.b_temps, b, d.k, d.n, b_temps, par);
+    }
+    let a_blocks = Blocks::new(a, d.m, d.k, &*a_temps);
+    let b_blocks = Blocks::new(b, d.k, d.n, &*b_temps);
     debug_assert!(!lanes.is_empty(), "workspace has no lanes");
     let (bm, bn) = (c.rows() / d.m, c.cols() / d.n);
     let mut c = c;
@@ -412,7 +479,34 @@ fn one_step<T: Scalar, P: Borrow<ExecPlan> + Sync>(
         }
     }
 
-    write_outputs(plan, c, products, strategy, threads, fusion);
+    // W-side CSE temps are shared partial sums over the products; they
+    // materialize (in definition order — temp i may read temps < i)
+    // before the output pass resolves them like virtual products.
+    if !plan.w_temps.is_empty() {
+        debug_assert_eq!(
+            w_temps.len(),
+            plan.w_temps.len(),
+            "workspace W-temp count mismatch"
+        );
+        let par = leaf_par(strategy, threads);
+        for (i, terms) in plan.w_temps.iter().enumerate() {
+            let (done, rest) = w_temps.split_at_mut(i);
+            combine_indexed(
+                rest[0].as_mut(),
+                terms,
+                |t| {
+                    if t < r {
+                        products[t].as_ref()
+                    } else {
+                        done[t - r].as_ref()
+                    }
+                },
+                par,
+            );
+        }
+    }
+
+    write_outputs(plan, c, products, w_temps, strategy, threads, fusion);
 }
 
 /// Compute product `t` into its target: form `S_t`/`T_t` (in the lane's
@@ -589,21 +683,7 @@ fn form_combo<T: Scalar>(dst: MatMut<'_, T>, combo: &Combo, blocks: Blocks<'_, T
                 par,
             );
         }
-        Combo::Multi(v) if v.len() <= MAX_INLINE_TERMS => {
-            // Stack-staged term list; slots past v.len() are never read.
-            let mut terms = [(T::ZERO, blocks.mat); MAX_INLINE_TERMS];
-            for (slot, &(b, coeff)) in terms.iter_mut().zip(v) {
-                *slot = (T::from_f64(coeff), blocks.get(b));
-            }
-            combine_par(dst, false, &terms[..v.len()], par);
-        }
-        Combo::Multi(v) => {
-            let terms: Vec<(T, MatRef<'_, T>)> = v
-                .iter()
-                .map(|&(b, coeff)| (T::from_f64(coeff), blocks.get(b)))
-                .collect();
-            combine_par(dst, false, &terms, par);
-        }
+        Combo::Multi(v) => combine_indexed(dst, v, |b| blocks.get(b), par),
     }
 }
 
@@ -611,11 +691,13 @@ fn write_outputs<T: Scalar>(
     plan: &ExecPlan,
     c: MatMut<'_, T>,
     products: &[Mat<T>],
+    w_temps: &[Mat<T>],
     strategy: Strategy,
     threads: usize,
     fusion: &FusionSpec,
 ) {
     let d = plan.dims;
+    let r = plan.rank;
     let (bm, bn) = (c.rows() / d.m, c.cols() / d.n);
     let par = leaf_par(strategy, threads);
     let mut c = c;
@@ -630,19 +712,18 @@ fn write_outputs<T: Scalar>(
             !contrib.is_empty(),
             "output block {block} receives no products"
         );
-        if contrib.len() <= MAX_INLINE_TERMS {
-            let mut terms = [(T::ZERO, products[0].as_ref()); MAX_INLINE_TERMS];
-            for (slot, &(t, coeff)) in terms.iter_mut().zip(contrib) {
-                *slot = (T::from_f64(coeff), products[t].as_ref());
-            }
-            combine_par(dst, false, &terms[..contrib.len()], par);
-        } else {
-            let terms: Vec<(T, MatRef<'_, T>)> = contrib
-                .iter()
-                .map(|&(t, coeff)| (T::from_f64(coeff), products[t].as_ref()))
-                .collect();
-            combine_par(dst, false, &terms, par);
-        }
+        combine_indexed(
+            dst,
+            contrib,
+            |t| {
+                if t < r {
+                    products[t].as_ref()
+                } else {
+                    w_temps[t - r].as_ref()
+                }
+            },
+            par,
+        );
     }
 }
 

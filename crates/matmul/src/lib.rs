@@ -29,6 +29,7 @@
 
 pub mod apamm;
 pub mod autotune;
+pub mod cse;
 pub mod error;
 pub mod exec;
 pub mod fallback;
@@ -44,6 +45,7 @@ pub mod workspace;
 
 pub use apamm::{ApaChain, ApaMatmul, ClassicalMatmul};
 pub use autotune::{autotune, autotune_with, Candidate, TuneOutcome};
+pub use cse::{plan_additions, CseReport};
 pub use error::{measure_error, MatmulError};
 pub use exec::{fast_matmul, fast_matmul_chain_into, fast_matmul_into};
 pub use fallback::{
@@ -61,6 +63,9 @@ pub use schedule::{
 pub use sentinel::{
     check_product, scan_nonfinite, AbftMode, ProbeScratch, SentinelConfig, Verdict,
 };
-pub use stats::{profile_one_step, profile_one_step_with_workspace, ExecProfile, HealthStats};
+pub use stats::{
+    modeled_bytes_moved, profile_one_step, profile_one_step_with_workspace, ExecProfile,
+    HealthStats,
+};
 pub use tune::{tune_lambda, TunedLambda};
 pub use workspace::{LevelKey, Workspace, WsKey};

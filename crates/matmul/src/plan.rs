@@ -63,6 +63,18 @@ pub struct ExecPlan {
     pub c_outputs: Vec<Vec<(usize, f64)>>,
     /// Name of the source algorithm (diagnostics).
     pub name: String,
+    /// A-side shared temporaries introduced by [`crate::cse`]. Temp `i` is
+    /// the combination `Σ coeff·source` over A-grid blocks and earlier
+    /// A-temps; combos address it as virtual block `dims.m·dims.k + i`.
+    /// Empty (the [`Self::compile`] default) means no CSE — the bitwise
+    /// reference mode.
+    pub a_temps: Vec<Vec<(usize, f64)>>,
+    /// B-side temporaries, addressed as `dims.k·dims.n + i`.
+    pub b_temps: Vec<Vec<(usize, f64)>>,
+    /// W-side temporaries over products (and earlier W-temps), addressed
+    /// by output terms as `rank + i`. A plan with W-temps never
+    /// epilogue-fuses (the shared partial sums must materialize).
+    pub w_temps: Vec<Vec<(usize, f64)>>,
 }
 
 impl ExecPlan {
@@ -94,7 +106,15 @@ impl ExecPlan {
             b_combos,
             c_outputs,
             name: alg.name.clone(),
+            a_temps: Vec::new(),
+            b_temps: Vec::new(),
+            w_temps: Vec::new(),
         }
+    }
+
+    /// Whether any CSE temporaries are present (see [`crate::cse`]).
+    pub fn has_temps(&self) -> bool {
+        !self.a_temps.is_empty() || !self.b_temps.is_empty() || !self.w_temps.is_empty()
     }
 
     /// Every output block must receive at least one product — otherwise the

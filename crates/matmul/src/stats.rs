@@ -242,16 +242,32 @@ fn instrumented_one_step<T: Scalar>(
     let (m, n) = (a.rows(), b.cols());
     let (bm, bk, bn) = (a.rows() / d.m, a.cols() / d.k, b.cols() / d.n);
     let elem = std::mem::size_of::<T>();
-    let a_blocks = a.grid(d.m, d.k);
-    let b_blocks = b.grid(d.k, d.n);
     let LevelWs {
         products,
         lanes,
         fusion,
+        a_temps,
+        b_temps,
+        w_temps,
     } = level;
     let policy = fusion.policy;
     debug_assert_eq!(products.len(), plan.rank);
     let lane = &mut lanes[0];
+
+    // CSE temps materialize first (timed as additions), then join the
+    // block lists as virtual sources past the grid.
+    let t_temps = Instant::now();
+    {
+        let grid = a.grid(d.m, d.k);
+        instrument_temps(&plan.a_temps, &grid, a_temps, profile);
+        let grid = b.grid(d.k, d.n);
+        instrument_temps(&plan.b_temps, &grid, b_temps, profile);
+    }
+    profile.add_seconds += t_temps.elapsed().as_secs_f64();
+    let mut a_blocks = a.grid(d.m, d.k);
+    a_blocks.extend(a_temps.iter().map(|t| t.as_ref()));
+    let mut b_blocks = b.grid(d.k, d.n);
+    b_blocks.extend(b_temps.iter().map(|t| t.as_ref()));
 
     let mut c = Mat::zeros(m, n);
     for (t, product) in products.iter_mut().enumerate() {
@@ -316,6 +332,11 @@ fn instrumented_one_step<T: Scalar>(
     // Output combinations for the blocks the epilogue did not absorb.
     let t2 = Instant::now();
     {
+        // W-side CSE temps form from the products before the output pass
+        // resolves them like virtual products (index `rank + i`).
+        let product_refs: Vec<MatRef<'_, T>> = products.iter().map(|p| p.as_ref()).collect();
+        instrument_temps(&plan.w_temps, &product_refs, w_temps, profile);
+        let r = plan.rank;
         let c_blocks = c.as_mut().into_grid(d.m, d.n);
         for (block, mut dst) in c_blocks.into_iter().enumerate() {
             if fusion.is_block_fused(block) {
@@ -323,7 +344,14 @@ fn instrumented_one_step<T: Scalar>(
             }
             let terms: Vec<(T, MatRef<'_, T>)> = plan.c_outputs[block]
                 .iter()
-                .map(|&(t, coeff)| (T::from_f64(coeff), products[t].as_ref()))
+                .map(|&(t, coeff)| {
+                    let src = if t < r {
+                        products[t].as_ref()
+                    } else {
+                        w_temps[t - r].as_ref()
+                    };
+                    (T::from_f64(coeff), src)
+                })
                 .collect();
             profile.add_elems += (terms.len() + 1) * bm * bn;
             profile.est_bytes_moved += ((terms.len() + 1) * bm * bn * elem) as u64;
@@ -332,6 +360,134 @@ fn instrumented_one_step<T: Scalar>(
     }
     profile.add_seconds += t2.elapsed().as_secs_f64();
     c
+}
+
+/// Materialize one side's CSE temps for the instrumented path, charging
+/// each as a combination: `(L + 1)·elems` moved per temp (L source reads
+/// plus the write). Temp `i` may reference earlier temps via indices past
+/// `sources.len()`.
+fn instrument_temps<T: Scalar>(
+    spec: &[Vec<(usize, f64)>],
+    sources: &[MatRef<'_, T>],
+    bufs: &mut [Mat<T>],
+    profile: &mut ExecProfile,
+) {
+    let elem = std::mem::size_of::<T>();
+    let base = sources.len();
+    for (i, terms) in spec.iter().enumerate() {
+        let (done, rest) = bufs.split_at_mut(i);
+        let views: Vec<(T, MatRef<'_, T>)> = terms
+            .iter()
+            .map(|&(idx, coeff)| {
+                let v = if idx < base {
+                    sources[idx]
+                } else {
+                    done[idx - base].as_ref()
+                };
+                (T::from_f64(coeff), v)
+            })
+            .collect();
+        let dst = rest[0].as_mut();
+        let elems = dst.rows() * dst.cols();
+        profile.add_elems += (views.len() + 1) * elems;
+        profile.est_bytes_moved += ((views.len() + 1) * elems * elem) as u64;
+        combine(dst, false, &views);
+    }
+}
+
+/// Analytic mirror of [`ExecProfile::est_bytes_moved`] for a uniform
+/// `steps`-deep execution of `plan` on an `m×k·k×n` product — the traffic
+/// the framework's additions and buffer round-trips would generate under
+/// the given schedule, *without running anything*. The `apa-planner` cost
+/// model ranks candidate plans by `flops/rate + modeled_bytes/bandwidth`.
+///
+/// Accounting (per level, mirroring the instrumented path):
+/// * operand combination: a singleton reads its block once; a pack-fused
+///   multi-term list reads `L` blocks; a materialized combination reads
+///   `L` blocks and round-trips the scratch buffer (`L + 2`);
+/// * CSE temps: `L + 1` (reads plus one write) each;
+/// * products: one write each, or `2L − 1` block-writes for an
+///   epilogue-fused output block with `L` contributors;
+/// * outputs: `L + 1` per non-fused block;
+/// * a non-divisible or exhausted level is a classical gemm reading both
+///   operands and writing `C`.
+#[allow(clippy::too_many_arguments)]
+pub fn modeled_bytes_moved(
+    plan: &ExecPlan,
+    m: usize,
+    k: usize,
+    n: usize,
+    steps: u32,
+    strategy: Strategy,
+    threads: usize,
+    fusion: FusionPolicy,
+    elem_size: usize,
+) -> u64 {
+    let es = elem_size as u64;
+    if steps == 0 || !crate::exec::divisible(plan, m, k, n) {
+        return ((m * k + k * n + m * n) as u64) * es;
+    }
+    let d = plan.dims;
+    let (bm, bk, bn) = (m / d.m, k / d.k, n / d.n);
+    let recursive = steps > 1 && crate::exec::divisible(plan, bm, bk, bn);
+    let mask = crate::workspace::fused_block_mask(plan, strategy, threads, recursive, fusion);
+
+    let temp_bytes = |spec: &[Vec<(usize, f64)>], elems: usize| -> u64 {
+        spec.iter()
+            .map(|t| ((t.len() + 1) * elems) as u64 * es)
+            .sum()
+    };
+    let side_bytes = |combos: &[Combo], elems: usize| -> u64 {
+        combos
+            .iter()
+            .map(|c| {
+                let blocks = match c {
+                    Combo::Single { .. } => 1,
+                    Combo::Multi(v) if !recursive && combo_pack_fusable(c, fusion) => v.len(),
+                    Combo::Multi(v) => v.len() + 2,
+                };
+                (blocks * elems) as u64 * es
+            })
+            .sum()
+    };
+
+    let mut bytes = temp_bytes(&plan.a_temps, bm * bk)
+        + temp_bytes(&plan.b_temps, bk * bn)
+        + temp_bytes(&plan.w_temps, bm * bn)
+        + side_bytes(&plan.a_combos, bm * bk)
+        + side_bytes(&plan.b_combos, bk * bn);
+
+    let block_elems = (bm * bn) as u64 * es;
+    let mut fused_products = 0usize;
+    for (block, contrib) in plan.c_outputs.iter().enumerate() {
+        let l = contrib.len();
+        if block < 64 && mask & (1u64 << block) != 0 {
+            // Fused: the first writer streams once (β = 0), later writers
+            // read-modify-write; no output combine pass.
+            bytes += ((2 * l).saturating_sub(1)) as u64 * block_elems;
+            fused_products += l;
+        } else {
+            bytes += (l + 1) as u64 * block_elems;
+        }
+    }
+    // Non-fused products each write their M_t buffer once.
+    bytes += (plan.rank - fused_products) as u64 * block_elems;
+
+    if recursive {
+        bytes += plan.rank as u64
+            * modeled_bytes_moved(
+                plan,
+                bm,
+                bk,
+                bn,
+                steps - 1,
+                Strategy::Seq,
+                1,
+                fusion,
+                elem_size,
+            );
+    }
+    bytes
 }
 
 /// Stage one operand combination for the instrumented gemm call. Returns

@@ -41,6 +41,14 @@ pub(crate) struct LevelWs<T> {
     pub(crate) lanes: Vec<LaneWs<T>>,
     /// The fused-execution schedule, fixed at build time.
     pub(crate) fusion: FusionSpec,
+    /// CSE temporaries (see [`crate::cse`]): A-side shared combinations
+    /// (`bm×bk` each), materialized once per call before the product loop.
+    pub(crate) a_temps: Vec<Mat<T>>,
+    /// B-side CSE temporaries (`bk×bn` each).
+    pub(crate) b_temps: Vec<Mat<T>>,
+    /// W-side CSE temporaries (`bm×bn` each), formed from the products
+    /// before the output pass.
+    pub(crate) w_temps: Vec<Mat<T>>,
 }
 
 /// Per-level fusion decisions, computed once when the buffer tree is
@@ -126,6 +134,11 @@ pub struct LevelKey {
     /// Whether any A-side / B-side combination materializes at this level.
     pub need_s: bool,
     pub need_t: bool,
+    /// CSE temp buffer counts `(a, b, w)`. Only the *counts* matter for
+    /// sharing: the executor reads temp term lists from the caller's plan
+    /// (like the output weights), so the buffers are shape-compatible
+    /// whenever the counts match.
+    pub temps: (usize, usize, usize),
     /// FNV-1a digest of the epilogue-fusion structure (0 when nothing
     /// fuses at this level). The product-buffer layout depends on which
     /// products fuse, so two plans may share a workspace only when they
@@ -204,6 +217,7 @@ fn level_key(
             .b_combos
             .iter()
             .any(|c| combo_needs_buffer(c, recursive, fusion)),
+        temps: (plan.a_temps.len(), plan.b_temps.len(), plan.w_temps.len()),
         epilogue: epilogue_digest(plan, mask),
     }
 }
@@ -244,6 +258,11 @@ pub(crate) fn fused_block_mask(
         || policy == FusionPolicy::Never
         || eff == Strategy::Bfs
         || plan.c_outputs.len() > 64
+        // W-side CSE temps are shared partial sums over products — the
+        // products they read must materialize, so the level cannot
+        // epilogue-fuse. (A/B-side temps are formed *before* the product
+        // loop and coexist with pack fusion.)
+        || !plan.w_temps.is_empty()
     {
         return 0;
     }
@@ -360,11 +379,16 @@ impl<T: Scalar> LevelWs<T> {
             products: Vec::new(),
             lanes: Vec::new(),
             fusion: FusionSpec::materialized(FusionPolicy::Never),
+            a_temps: Vec::new(),
+            b_temps: Vec::new(),
+            w_temps: Vec::new(),
         }
     }
 
     pub(crate) fn elems(&self) -> usize {
-        let products: usize = self.products.iter().map(|p| p.rows() * p.cols()).sum();
+        let area = |ms: &[Mat<T>]| ms.iter().map(|p| p.rows() * p.cols()).sum::<usize>();
+        let products = area(&self.products);
+        let temps = area(&self.a_temps) + area(&self.b_temps) + area(&self.w_temps);
         let lanes: usize = self
             .lanes
             .iter()
@@ -374,7 +398,7 @@ impl<T: Scalar> LevelWs<T> {
                     + l.child.as_ref().map_or(0, |c| c.elems())
             })
             .sum();
-        products + lanes
+        products + temps + lanes
     }
 }
 
@@ -440,6 +464,9 @@ pub(crate) fn build_level<T: Scalar, P: Borrow<ExecPlan>>(
             epilogue,
             block_fused,
         },
+        a_temps: (0..key.temps.0).map(|_| Mat::zeros(bm, bk)).collect(),
+        b_temps: (0..key.temps.1).map(|_| Mat::zeros(bk, bn)).collect(),
+        w_temps: (0..key.temps.2).map(|_| Mat::zeros(bm, bn)).collect(),
     }
 }
 
@@ -760,6 +787,9 @@ mod tests {
                 .collect(),
             c_outputs,
             name: "synthetic".into(),
+            a_temps: Vec::new(),
+            b_temps: Vec::new(),
+            w_temps: Vec::new(),
         }
     }
 

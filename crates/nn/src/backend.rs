@@ -213,6 +213,133 @@ impl MatmulBackend for GuardedBackend {
     }
 }
 
+/// A shape-adaptive backend driven by the `apa-planner` compiler: instead
+/// of fixing one algorithm for every layer, each `(m, k, n)` a layer
+/// multiplies gets its own [`apa_planner::CompiledPlan`] — rule, depth,
+/// λ, strategy, fusion, CSE — chosen by the cost model (and remembered in
+/// the process-wide plan store). [`MatmulBackend::warm`] is the compile
+/// point: one plan per declared shape, then the executor itself is
+/// warmed, so training/serving steps never compile on the hot path. A
+/// shape that was never warmed compiles lazily on first multiply.
+pub struct PlannedBackend {
+    threads: usize,
+    target_error: f64,
+    guarded: bool,
+    slots: std::sync::Mutex<std::collections::HashMap<(usize, usize, usize), Arc<PlannedSlot>>>,
+}
+
+enum PlannedSlot {
+    Exec(apa_planner::PlanExec),
+    Guarded(Box<GuardedApaMatmul>),
+}
+
+impl PlannedBackend {
+    /// Plain planned backend at the paper's training-safe error band
+    /// (1e-2 relative, single precision).
+    pub fn new(threads: usize) -> Self {
+        Self {
+            threads: threads.max(1),
+            target_error: 1e-2,
+            guarded: false,
+            slots: std::sync::Mutex::new(std::collections::HashMap::new()),
+        }
+    }
+
+    /// Wrap every compiled (non-classical) plan in the sentinel guard.
+    pub fn guarded(mut self) -> Self {
+        self.guarded = true;
+        self
+    }
+
+    /// Tighten/loosen the §2.3 error target the compiler filters with.
+    pub fn target_error(mut self, target: f64) -> Self {
+        self.target_error = target;
+        self
+    }
+
+    fn slot(&self, shape: (usize, usize, usize)) -> Arc<PlannedSlot> {
+        if let Some(slot) = self.slots.lock().unwrap().get(&shape) {
+            return slot.clone();
+        }
+        // Compile outside the slot lock: the planner global has its own
+        // cache, and a slow first compile must not stall sibling shapes.
+        let (m, k, n) = shape;
+        let req = apa_planner::PlanRequest::new(m, k, n)
+            .threads(self.threads)
+            .target_error(self.target_error)
+            .robustness(if self.guarded {
+                apa_planner::Robustness::Guarded
+            } else {
+                apa_planner::Robustness::Plain
+            });
+        let plan = apa_planner::compile(&req);
+        let slot = Arc::new(if self.guarded && !plan.is_classical() {
+            use apa_planner::FromPlan;
+            PlannedSlot::Guarded(Box::new(
+                GuardedApaMatmul::from_plan(&plan).expect("non-classical plan"),
+            ))
+        } else {
+            PlannedSlot::Exec(plan.build().expect("compiled plan builds"))
+        });
+        self.slots
+            .lock()
+            .unwrap()
+            .entry(shape)
+            .or_insert(slot)
+            .clone()
+    }
+
+    /// The rules chosen so far, per shape (diagnostics; sorted by shape).
+    pub fn chosen_rules(&self) -> Vec<((usize, usize, usize), String)> {
+        let mut out: Vec<_> = self
+            .slots
+            .lock()
+            .unwrap()
+            .iter()
+            .map(|(&shape, slot)| {
+                let rule = match slot.as_ref() {
+                    PlannedSlot::Exec(exec) => exec.rule_name().to_string(),
+                    PlannedSlot::Guarded(g) => format!("guarded-{}", g.base().algorithm().name),
+                };
+                (shape, rule)
+            })
+            .collect();
+        out.sort();
+        out
+    }
+}
+
+impl MatmulBackend for PlannedBackend {
+    fn matmul_into(&self, a: MatRef<'_, f32>, b: MatRef<'_, f32>, c: MatMut<'_, f32>) {
+        let slot = self.slot((a.rows(), a.cols(), b.cols()));
+        match slot.as_ref() {
+            PlannedSlot::Exec(exec) => exec.multiply_into(a, b, c),
+            PlannedSlot::Guarded(guard) => guard.multiply_into(a, b, c),
+        }
+    }
+
+    fn name(&self) -> String {
+        format!(
+            "planned{}(t={},err<={:.0e})",
+            if self.guarded { "-guarded" } else { "" },
+            self.threads,
+            self.target_error
+        )
+    }
+
+    fn warm(&self, shapes: &[(usize, usize, usize)]) {
+        for &shape in shapes {
+            if shape.0 == 0 || shape.1 == 0 || shape.2 == 0 {
+                continue;
+            }
+            match self.slot(shape).as_ref() {
+                PlannedSlot::Exec(exec) => exec.warm::<f32>(&[shape]),
+                PlannedSlot::Guarded(guard) => guard.warm::<f32>(&[shape]),
+            }
+        }
+    }
+}
+
 /// Shared-pointer alias used throughout the network code.
 pub type Backend = Arc<dyn MatmulBackend>;
 
@@ -230,6 +357,19 @@ pub fn apa(alg: BilinearAlgorithm, threads: usize) -> Backend {
 /// while handing clones to layers as `Backend`.
 pub fn guarded(alg: BilinearAlgorithm, threads: usize) -> Arc<GuardedBackend> {
     Arc::new(GuardedBackend::new(alg, threads))
+}
+
+/// Compiler-driven backend: one plan per layer shape, chosen by
+/// `apa-planner` at warm time (see [`PlannedBackend`]).
+pub fn planned(threads: usize) -> Backend {
+    Arc::new(PlannedBackend::new(threads))
+}
+
+/// [`planned`], with every non-classical plan behind the sentinel guard.
+/// Returns the concrete `Arc` so callers can inspect
+/// [`PlannedBackend::chosen_rules`].
+pub fn planned_guarded(threads: usize) -> Arc<PlannedBackend> {
+    Arc::new(PlannedBackend::new(threads).guarded())
 }
 
 #[cfg(test)]
@@ -277,6 +417,41 @@ mod tests {
         assert!(guarded(catalog::bini322(), 2)
             .name()
             .contains("guarded-bini322"));
+    }
+
+    #[test]
+    fn planned_backend_compiles_per_shape_and_is_accurate() {
+        let be = PlannedBackend::new(1);
+        let a = probe(64, 48, 7);
+        let b = probe(48, 32, 8);
+        let expect = matmul_naive(a.as_ref(), b.as_ref());
+        MatmulBackend::warm(&be, &[(64, 48, 32), (32, 48, 32)]);
+        assert_eq!(be.chosen_rules().len(), 2, "one plan per warmed shape");
+        let got = be.matmul(a.as_ref(), b.as_ref());
+        assert!(got.rel_frobenius_error(&expect) < 1e-2);
+        // An unwarmed shape compiles lazily on first multiply.
+        let c = probe(16, 24, 9);
+        let d = probe(24, 16, 10);
+        let got = be.matmul(c.as_ref(), d.as_ref());
+        assert!(got.rel_frobenius_error(&matmul_naive(c.as_ref(), d.as_ref())) < 1e-2);
+        assert_eq!(be.chosen_rules().len(), 3);
+        assert!(be.name().contains("planned"));
+    }
+
+    #[test]
+    fn planned_guarded_backend_guards_apa_plans() {
+        let be = planned_guarded(1);
+        let a = probe(64, 64, 11);
+        let b = probe(64, 64, 12);
+        let expect = matmul_naive(a.as_ref(), b.as_ref());
+        let got = be.matmul(a.as_ref(), b.as_ref());
+        assert!(got.rel_frobenius_error(&expect) < 1e-2);
+        for (_, rule) in be.chosen_rules() {
+            assert!(
+                rule.starts_with("guarded-") || rule == "classical",
+                "unguarded APA rule {rule}"
+            );
+        }
     }
 
     #[test]

@@ -34,7 +34,8 @@ pub mod tensor;
 pub mod vgg;
 
 pub use backend::{
-    apa, classical, guarded, ApaBackend, Backend, ClassicalBackend, GuardedBackend, MatmulBackend,
+    apa, classical, guarded, planned, planned_guarded, ApaBackend, Backend, ClassicalBackend,
+    GuardedBackend, MatmulBackend, PlannedBackend,
 };
 pub use checkpoint::{
     CheckpointError, CheckpointManager, CheckpointedTrainer, EpochProgress, LayerState, TrainState,

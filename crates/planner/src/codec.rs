@@ -1,0 +1,184 @@
+//! Hand-rolled little-endian binary encoding plus IEEE CRC32 — the same
+//! zero-dependency approach as the training-checkpoint format, so the
+//! [`crate::PlanStore`] file can be verified byte for byte without any
+//! serialization crate.
+
+const fn crc_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+static CRC_TABLE: [u32; 256] = crc_table();
+
+/// IEEE CRC32 (the checkpoint-format polynomial).
+pub(crate) fn crc32(data: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &byte in data {
+        crc = (crc >> 8) ^ CRC_TABLE[((crc ^ byte as u32) & 0xFF) as usize];
+    }
+    !crc
+}
+
+/// Little-endian append-only encoder.
+#[derive(Default)]
+pub(crate) struct Enc {
+    buf: Vec<u8>,
+}
+
+impl Enc {
+    pub fn new() -> Self {
+        Enc::default()
+    }
+
+    pub fn put_u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    pub fn put_u32(&mut self, v: u32) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    pub fn put_u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    /// f64 by bit pattern — round-trips are bitwise exact.
+    pub fn put_f64(&mut self, v: f64) {
+        self.put_u64(v.to_bits());
+    }
+
+    pub fn put_str(&mut self, s: &str) {
+        self.put_u32(s.len() as u32);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+
+    pub fn put_bytes(&mut self, b: &[u8]) {
+        self.put_u32(b.len() as u32);
+        self.buf.extend_from_slice(b);
+    }
+
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// The decoder's only failure mode: the buffer ended (or a length prefix
+/// pointed past it). The store maps this to
+/// [`crate::PlanStoreError::Truncated`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) struct ShortRead;
+
+/// Little-endian cursor decoder.
+pub(crate) struct Dec<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Dec<'a> {
+    pub fn new(data: &'a [u8]) -> Self {
+        Dec { data, pos: 0 }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ShortRead> {
+        let end = self.pos.checked_add(n).ok_or(ShortRead)?;
+        if end > self.data.len() {
+            return Err(ShortRead);
+        }
+        let slice = &self.data[self.pos..end];
+        self.pos = end;
+        Ok(slice)
+    }
+
+    pub fn get_u8(&mut self) -> Result<u8, ShortRead> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub fn get_u32(&mut self) -> Result<u32, ShortRead> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    pub fn get_u64(&mut self) -> Result<u64, ShortRead> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    pub fn get_f64(&mut self) -> Result<f64, ShortRead> {
+        Ok(f64::from_bits(self.get_u64()?))
+    }
+
+    pub fn get_str(&mut self) -> Result<String, ShortRead> {
+        let len = self.get_u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| ShortRead)
+    }
+
+    pub fn get_bytes(&mut self) -> Result<Vec<u8>, ShortRead> {
+        let len = self.get_u32()? as usize;
+        Ok(self.take(len)?.to_vec())
+    }
+
+    pub fn remaining(&self) -> usize {
+        self.data.len() - self.pos
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_types() {
+        let mut enc = Enc::new();
+        enc.put_u8(7);
+        enc.put_u32(0xDEAD_BEEF);
+        enc.put_u64(u64::MAX - 1);
+        enc.put_f64(-0.0);
+        enc.put_f64(f64::from_bits(0x7FF8_0000_0000_0001)); // a NaN payload
+        enc.put_str("bini322");
+        enc.put_bytes(&[1, 2, 3]);
+        let bytes = enc.into_bytes();
+
+        let mut dec = Dec::new(&bytes);
+        assert_eq!(dec.get_u8(), Ok(7));
+        assert_eq!(dec.get_u32(), Ok(0xDEAD_BEEF));
+        assert_eq!(dec.get_u64(), Ok(u64::MAX - 1));
+        assert_eq!(dec.get_f64().unwrap().to_bits(), (-0.0f64).to_bits());
+        assert_eq!(
+            dec.get_f64().unwrap().to_bits(),
+            0x7FF8_0000_0000_0001,
+            "NaN bit patterns survive"
+        );
+        assert_eq!(dec.get_str().unwrap(), "bini322");
+        assert_eq!(dec.get_bytes().unwrap(), vec![1, 2, 3]);
+        assert_eq!(dec.remaining(), 0);
+    }
+
+    #[test]
+    fn short_reads_are_errors_not_panics() {
+        let mut dec = Dec::new(&[1, 2]);
+        assert_eq!(dec.get_u32(), Err(ShortRead));
+        let mut dec = Dec::new(&[4, 0, 0, 0, b'a']); // claims 4 bytes, has 1
+        assert_eq!(dec.get_str(), Err(ShortRead));
+    }
+
+    #[test]
+    fn crc_matches_known_vector() {
+        // The canonical IEEE check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+}

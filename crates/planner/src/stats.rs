@@ -1,0 +1,45 @@
+//! Process-wide planner cache counters, merged into the facade's
+//! `diagnostics()` report next to the kernel dispatch and block-tune
+//! reports.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static HITS: AtomicU64 = AtomicU64::new(0);
+static MISSES: AtomicU64 = AtomicU64::new(0);
+static RETUNES: AtomicU64 = AtomicU64::new(0);
+
+pub(crate) fn note_hit() {
+    HITS.fetch_add(1, Ordering::Relaxed);
+}
+
+pub(crate) fn note_miss() {
+    MISSES.fetch_add(1, Ordering::Relaxed);
+}
+
+pub(crate) fn note_retune() {
+    RETUNES.fetch_add(1, Ordering::Relaxed);
+}
+
+/// `(hits, misses, retunes)`: compiles served from the memory/disk cache,
+/// compiles that ran the full search, and searches forced by an invalid
+/// or foreign store (corruption, truncation, fingerprint mismatch).
+pub fn cache_counts() -> (u64, u64, u64) {
+    (
+        HITS.load(Ordering::Relaxed),
+        MISSES.load(Ordering::Relaxed),
+        RETUNES.load(Ordering::Relaxed),
+    )
+}
+
+/// One printable line for the merged diagnostics report.
+pub fn cache_report() -> String {
+    let (hits, misses, retunes) = cache_counts();
+    format!("plan cache: {hits} hits, {misses} misses, {retunes} retunes")
+}
+
+/// Zero the counters (test isolation).
+pub fn reset_cache_counts() {
+    HITS.store(0, Ordering::Relaxed);
+    MISSES.store(0, Ordering::Relaxed);
+    RETUNES.store(0, Ordering::Relaxed);
+}

@@ -1,0 +1,263 @@
+//! The on-disk plan store: a versioned, CRC-checked flat file of
+//! `(request key → compiled plan)` records, keyed as a whole by a
+//! hardware fingerprint (CPU dispatch tier + cache hierarchy).
+//!
+//! ## File format (`plans.bin`)
+//!
+//! ```text
+//! magic "APLN" | version u32 | fingerprint str | count u32
+//! per record: key bytes (len-prefixed) | plan bytes (len-prefixed)
+//! trailer: CRC32 of everything above
+//! ```
+//!
+//! All integers little-endian; strings and byte blobs are u32
+//! length-prefixed; the CRC is the IEEE polynomial (same as the
+//! checkpoint format). Every failure is a typed [`PlanStoreError`]; the
+//! compiler treats any load failure as "start empty and re-tune" — a
+//! corrupted, truncated or foreign store can produce a slow first
+//! compile, never a wrong or stale plan. In particular a store copied
+//! between machines fails the fingerprint check
+//! ([`PlanStoreError::FingerprintMismatch`]) and is ignored wholesale:
+//! measured timings from different silicon would otherwise *lie*.
+
+use crate::codec::{crc32, Dec, Enc};
+use crate::compiler::CompiledPlan;
+use apa_gemm::{selected_tier, CacheHierarchy};
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+
+const MAGIC: &[u8; 4] = b"APLN";
+const VERSION: u32 = 1;
+const FILE_NAME: &str = "plans.bin";
+
+/// Why a plan store could not be read or written.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PlanStoreError {
+    /// Filesystem failure (path and OS message).
+    Io { path: String, msg: String },
+    /// The file does not start with the plan-store magic.
+    BadMagic,
+    /// The file's format version is not understood.
+    BadVersion { got: u32 },
+    /// The file ended before a declared structure was complete.
+    Truncated,
+    /// The trailer CRC failed, or a record failed to decode.
+    Corrupt,
+    /// The store was written on different hardware (kernel tier or cache
+    /// config changed); its measurements don't transfer.
+    FingerprintMismatch { stored: String, current: String },
+}
+
+impl std::fmt::Display for PlanStoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PlanStoreError::Io { path, msg } => write!(f, "plan store I/O at {path}: {msg}"),
+            PlanStoreError::BadMagic => write!(f, "not a plan store (bad magic)"),
+            PlanStoreError::BadVersion { got } => {
+                write!(
+                    f,
+                    "unsupported plan store version {got} (expected {VERSION})"
+                )
+            }
+            PlanStoreError::Truncated => write!(f, "plan store file is truncated"),
+            PlanStoreError::Corrupt => write!(f, "plan store failed its checksum"),
+            PlanStoreError::FingerprintMismatch { stored, current } => write!(
+                f,
+                "plan store was tuned on different hardware ({stored}, this machine is {current})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for PlanStoreError {}
+
+/// The loaded store: an in-memory map plus the path and fingerprint it
+/// will be saved back with.
+#[derive(Debug)]
+pub struct PlanStore {
+    path: PathBuf,
+    fingerprint: String,
+    entries: HashMap<Vec<u8>, CompiledPlan>,
+    dirty: bool,
+}
+
+/// The fingerprint of the machine this process runs on: SIMD dispatch
+/// tier plus cache hierarchy plus store version.
+pub fn current_fingerprint() -> String {
+    let c = CacheHierarchy::detect();
+    format!(
+        "v{VERSION}-{}-{}-{}-{}",
+        selected_tier().name(),
+        c.l1d,
+        c.l2,
+        c.l3
+    )
+}
+
+impl PlanStore {
+    /// Load the store under `dir` (file `plans.bin`), validating magic,
+    /// version, CRC and hardware fingerprint. A missing file is an empty
+    /// store, not an error.
+    pub fn load(dir: &Path) -> Result<Self, PlanStoreError> {
+        Self::load_with(dir, &current_fingerprint())
+    }
+
+    /// A fresh empty store rooted at `dir` with the current fingerprint —
+    /// the recovery path when [`Self::load`] reports an invalid or
+    /// foreign file (the next [`Self::save`] overwrites it atomically).
+    pub fn empty(dir: &Path) -> Self {
+        PlanStore {
+            path: dir.join(FILE_NAME),
+            fingerprint: current_fingerprint(),
+            entries: HashMap::new(),
+            dirty: false,
+        }
+    }
+
+    /// [`Self::load`] against an explicit fingerprint (the public seam
+    /// the tier-mismatch tests use; production callers use [`Self::load`]).
+    pub fn load_with(dir: &Path, fingerprint: &str) -> Result<Self, PlanStoreError> {
+        let path = dir.join(FILE_NAME);
+        let empty = || PlanStore {
+            path: path.clone(),
+            fingerprint: fingerprint.to_string(),
+            entries: HashMap::new(),
+            dirty: false,
+        };
+        let bytes = match std::fs::read(&path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(empty()),
+            Err(e) => {
+                return Err(PlanStoreError::Io {
+                    path: path.display().to_string(),
+                    msg: e.to_string(),
+                })
+            }
+        };
+        let entries = Self::parse(&bytes, fingerprint)?;
+        Ok(PlanStore {
+            path,
+            fingerprint: fingerprint.to_string(),
+            entries,
+            dirty: false,
+        })
+    }
+
+    fn parse(
+        bytes: &[u8],
+        fingerprint: &str,
+    ) -> Result<HashMap<Vec<u8>, CompiledPlan>, PlanStoreError> {
+        if bytes.len() < MAGIC.len() {
+            return Err(PlanStoreError::Truncated);
+        }
+        if &bytes[..MAGIC.len()] != MAGIC {
+            return Err(PlanStoreError::BadMagic);
+        }
+        // The trailer CRC covers everything before it — verify first so a
+        // torn write or bit flip is reported as corruption, not as a
+        // bogus decoded value.
+        if bytes.len() < MAGIC.len() + 4 + 4 {
+            return Err(PlanStoreError::Truncated);
+        }
+        let (body, trailer) = bytes.split_at(bytes.len() - 4);
+        let stored_crc = u32::from_le_bytes(trailer.try_into().unwrap());
+        if crc32(body) != stored_crc {
+            return Err(PlanStoreError::Corrupt);
+        }
+
+        let mut dec = Dec::new(&body[MAGIC.len()..]);
+        let version = dec.get_u32().map_err(|_| PlanStoreError::Truncated)?;
+        if version != VERSION {
+            return Err(PlanStoreError::BadVersion { got: version });
+        }
+        let stored_fp = dec.get_str().map_err(|_| PlanStoreError::Truncated)?;
+        if stored_fp != fingerprint {
+            return Err(PlanStoreError::FingerprintMismatch {
+                stored: stored_fp,
+                current: fingerprint.to_string(),
+            });
+        }
+        let count = dec.get_u32().map_err(|_| PlanStoreError::Truncated)?;
+        let mut entries = HashMap::with_capacity(count as usize);
+        for _ in 0..count {
+            let key = dec.get_bytes().map_err(|_| PlanStoreError::Truncated)?;
+            let plan_bytes = dec.get_bytes().map_err(|_| PlanStoreError::Truncated)?;
+            let plan = CompiledPlan::decode(&plan_bytes).ok_or(PlanStoreError::Corrupt)?;
+            entries.insert(key, plan);
+        }
+        if dec.remaining() != 0 {
+            return Err(PlanStoreError::Corrupt);
+        }
+        Ok(entries)
+    }
+
+    pub fn get(&self, key: &[u8]) -> Option<&CompiledPlan> {
+        self.entries.get(key)
+    }
+
+    pub fn insert(&mut self, key: Vec<u8>, plan: CompiledPlan) {
+        self.entries.insert(key, plan);
+        self.dirty = true;
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    pub fn fingerprint(&self) -> &str {
+        &self.fingerprint
+    }
+
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Whether [`Self::insert`] has been called since load/save.
+    pub fn dirty(&self) -> bool {
+        self.dirty
+    }
+
+    fn encode(&self) -> Vec<u8> {
+        let mut enc = Enc::new();
+        enc.put_u32(VERSION);
+        enc.put_str(&self.fingerprint);
+        enc.put_u32(self.entries.len() as u32);
+        // Deterministic record order: sort by key so the same entry set
+        // always produces the identical file (round-trip tests compare
+        // bytes).
+        let mut keys: Vec<&Vec<u8>> = self.entries.keys().collect();
+        keys.sort();
+        for key in keys {
+            enc.put_bytes(key);
+            enc.put_bytes(&self.entries[key].encode());
+        }
+        let mut out = MAGIC.to_vec();
+        out.extend_from_slice(&enc.into_bytes());
+        let crc = crc32(&out);
+        out.extend_from_slice(&crc.to_le_bytes());
+        out
+    }
+
+    /// Atomically persist (write temp file, rename over the target). The
+    /// parent directory is created on demand.
+    pub fn save(&mut self) -> Result<(), PlanStoreError> {
+        let io_err = |e: std::io::Error| PlanStoreError::Io {
+            path: self.path.display().to_string(),
+            msg: e.to_string(),
+        };
+        if let Some(dir) = self.path.parent() {
+            std::fs::create_dir_all(dir).map_err(io_err)?;
+        }
+        let tmp = self
+            .path
+            .with_extension(format!("tmp.{}", std::process::id()));
+        std::fs::write(&tmp, self.encode()).map_err(io_err)?;
+        std::fs::rename(&tmp, &self.path).map_err(io_err)?;
+        self.dirty = false;
+        Ok(())
+    }
+}

@@ -19,6 +19,9 @@ fn random(n: usize, seed: u64) -> Mat<f32> {
 fn main() {
     let n = 2048;
     println!("APA quickstart: {n}x{n} single-precision matrix multiplication\n");
+    // What is this machine actually running? Kernel dispatch tier, gemm
+    // cache blocking and the planner cache state in one merged report.
+    println!("{}\n", apa_repro::diagnostics());
     let a = random(n, 1);
     let b = random(n, 2);
 
@@ -54,6 +57,21 @@ fn main() {
             }
         );
     }
+
+    // 3. Or skip the hand-picking: the plan compiler weighs the whole
+    // catalog against this machine's cost model and error targets, then
+    // micro-times the analytic short-list (measured refinement).
+    let plan = PlanCompiler::new()
+        .measured(true)
+        .compile(&PlanRequest::new(n, n, n));
+    println!(
+        "\nplan compiler would run: {}{} (steps {}, predicted {:.3}s, error bound {:.1e})",
+        plan.rule,
+        if plan.cse { "+cse" } else { "" },
+        plan.steps,
+        plan.predicted_seconds,
+        plan.predicted_error
+    );
 
     println!(
         "\nAPA algorithms trade a ~sqrt(machine-precision) error for fewer\n\

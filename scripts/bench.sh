@@ -25,6 +25,12 @@
 #      Asserted below: <= 5% overhead at width 1024, zero false-positive
 #      detections on the fault-free run, and 100% of injected flips
 #      detected AND repaired in place.
+#   6. the `planbench` harness (ISSUE 9 acceptance evidence): the
+#      apa-planner compiler's plan vs every hand-flagged paper-lineup
+#      rule on the ParaDnn width sweep, emitting BENCH_9.json. Asserted
+#      below: the compiled plan is within 2% of the best hand rule at
+#      every width, strictly beats it at >= 1 width, and a warm
+#      PlanCompiler answers in < 1 ms per shape.
 #
 # Usage: scripts/bench.sh [extra fusionbench args...]
 #   e.g. scripts/bench.sh --widths 512,1024 --reps 5
@@ -71,4 +77,14 @@ for crit in '"overhead_pass": true' '"all_flips_detected_and_repaired": true'; d
     fi
 done
 
-echo "== bench: OK (results in BENCH_5.json, BENCH_6.json, BENCH_7.json, BENCH_8.json) =="
+echo "== bench: planbench -> BENCH_9.json =="
+cargo run --release -p apa-bench --bin planbench -- --out BENCH_9.json
+
+for crit in '"compiler_within_tolerance": true' '"compiler_strictly_better_somewhere": true' '"warm_compile_under_1ms": true'; do
+    if ! grep -qF "$crit" BENCH_9.json; then
+        echo "== bench: FAIL — planbench criterion not met: $crit ==" >&2
+        exit 1
+    fi
+done
+
+echo "== bench: OK (results in BENCH_5.json, BENCH_6.json, BENCH_7.json, BENCH_8.json, BENCH_9.json) =="

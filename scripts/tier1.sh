@@ -19,8 +19,13 @@
 #      repaired in place, on BOTH the native SIMD tiers and the forced
 #      scalar tier (the repair path recomputes with the scalar tier, so
 #      it must hold when scalar is also the primary)
-#   6. rustfmt check
-#   7. clippy with warnings promoted to errors
+#   6. planner suites (plan compiler + persistent store), natively and
+#      under the forced scalar tier — a compiled plan must be the same
+#      decision on both dispatch paths of the same fingerprint, and the
+#      cold-store vs warm-store determinism gate (same plan bitwise on
+#      first compile and on reload) is run as an explicit check
+#   7. rustfmt check
+#   8. clippy with warnings promoted to errors
 #
 # Usage: scripts/tier1.sh   (from anywhere inside the repo)
 
@@ -70,6 +75,15 @@ APA_FORCE_SCALAR_KERNEL=1 cargo test -q -p apa-matmul --features fault-inject
 APA_FORCE_SCALAR_KERNEL=1 cargo test -q -p apa-nn --features fault-inject
 APA_FORCE_SCALAR_KERNEL=1 cargo test -q -p apa-serve --features fault-inject
 
+echo "== tier1: cargo test -p apa-planner (plan compiler + store, native dispatch) =="
+cargo test -q -p apa-planner
+
+echo "== tier1: cargo test -p apa-planner (APA_FORCE_SCALAR_KERNEL=1) =="
+APA_FORCE_SCALAR_KERNEL=1 cargo test -q -p apa-planner
+
+echo "== tier1: cold-store vs warm-store determinism gate =="
+cargo test -q -p apa-planner --test store_integrity roundtrip_is_bitwise_and_file_is_deterministic
+
 echo "== tier1: cargo fmt --check =="
 cargo fmt --all -- --check
 
@@ -90,5 +104,8 @@ cargo clippy -p apa-serve --all-targets --features fault-inject -- -D warnings
 
 echo "== tier1: cargo clippy -p apa-bench --features fault-inject (deny warnings) =="
 cargo clippy -p apa-bench --all-targets --features fault-inject -- -D warnings
+
+echo "== tier1: cargo clippy -p apa-planner (deny warnings) =="
+cargo clippy -p apa-planner --all-targets -- -D warnings
 
 echo "== tier1: OK =="

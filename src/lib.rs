@@ -15,6 +15,8 @@
 //!   pluggable matmul backends;
 //! * [`serve`] (`apa-serve`) — the dynamic-batching inference service
 //!   (bounded queue, micro-batcher, pre-warmed worker lanes);
+//! * [`planner`] (`apa-planner`) — the shape-adaptive plan compiler with
+//!   its persistent cost/autotune store;
 //! * [`discovery`] (`apa-discovery`) — ALS-based algorithm search.
 //!
 //! Quick start (also in `examples/quickstart.rs`):
@@ -35,6 +37,7 @@ pub use apa_discovery as discovery;
 pub use apa_gemm as gemm;
 pub use apa_matmul as matmul;
 pub use apa_nn as nn;
+pub use apa_planner as planner;
 pub use apa_serve as serve;
 
 /// The names most programs need, importable in one line.
@@ -43,12 +46,35 @@ pub mod prelude {
     pub use apa_gemm::{Mat, MatMut, MatRef, Par};
     pub use apa_matmul::{ApaMatmul, ClassicalMatmul, PeelMode, Strategy};
     pub use apa_nn::{accuracy_network, apa, classical, performance_network, Mlp, Vgg19Fc};
+    pub use apa_planner::{CompiledPlan, PlanCompiler, PlanRequest};
     pub use apa_serve::{InferenceService, Replica, ServeConfig, ServeError};
+}
+
+/// One merged diagnostics report: which SIMD kernel tier runtime dispatch
+/// selected, the gemm cache-blocking parameters in effect for both
+/// element types, and the planner's cache counters. The single line to
+/// print at startup when asking "what is this machine actually running?"
+/// — surfaced by `examples/quickstart.rs` and the servebench harness.
+pub fn diagnostics() -> String {
+    format!(
+        "{}\n{}\n{}\n{}",
+        apa_gemm::dispatch_report(),
+        apa_gemm::block_report::<f32>(),
+        apa_gemm::block_report::<f64>(),
+        apa_planner::cache_report(),
+    )
 }
 
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+
+    #[test]
+    fn diagnostics_merges_all_reports() {
+        let report = crate::diagnostics();
+        assert!(report.contains("kernel"), "dispatch section: {report}");
+        assert!(report.contains("plan cache:"), "planner section: {report}");
+    }
 
     #[test]
     fn facade_exposes_the_pipeline() {
