@@ -87,6 +87,24 @@ thread_local! {
     static PACK_CACHE: RefCell<Vec<(TypeId, Box<dyn Any>)>> = const { RefCell::new(Vec::new()) };
 }
 
+/// Source of pre-packed B panels shared between the workers of one
+/// parallel call (see `crate::parallel`). `panel(slab)` returns the packed
+/// panel of KC-slab `slab` (`pc = slab · kc`) for the jc block the driver
+/// was constructed for, packing it cooperatively on first demand. The
+/// optional pair carries the fused ABFT row sums `(b_sum, b_mag)` of the
+/// panel; it is `Some` exactly when the call runs under an ABFT session.
+///
+/// The packed bytes must be bitwise identical to what the local
+/// `pack_b`/`pack_b_combined` sweep would produce for the same sub-block —
+/// the parallel ≡ single-threaded bitwise contract rests on it.
+pub(crate) trait BPanelSource<T: Scalar>: Sync {
+    fn panel(&self, slab: usize) -> PackedPanel<'_, T>;
+}
+
+/// A packed B panel plus, when the call runs under an ABFT session, its
+/// fused `(row_sum, row_mag)` checksum pair.
+pub(crate) type PackedPanel<'a, T> = (&'a [T], Option<(&'a [f64], &'a [f64])>);
+
 /// `C ← α·A·B + β·C`, single-threaded. Pack buffers come from a
 /// thread-local cache, so steady-state calls do not touch the heap; use
 /// [`gemm_st_with_scratch`] to manage the buffers explicitly instead.
@@ -97,7 +115,7 @@ pub fn gemm_st<T: Scalar>(alpha: T, a: MatRef<'_, T>, b: MatRef<'_, T>, beta: T,
 /// Run `f` with this thread's cached [`Scratch`] for `T`. The scratch is
 /// taken *out* of the cache (ending the RefCell borrow) before `f` runs,
 /// then put back — re-entrancy can never observe an outstanding borrow.
-fn with_cached_scratch<T: Scalar, R>(f: impl FnOnce(&mut Scratch<T>) -> R) -> R {
+pub(crate) fn with_cached_scratch<T: Scalar, R>(f: impl FnOnce(&mut Scratch<T>) -> R) -> R {
     let mut scratch: Scratch<T> = PACK_CACHE.with(|cell| {
         let mut cache = cell.borrow_mut();
         match cache.iter_mut().find(|(id, _)| *id == TypeId::of::<T>()) {
@@ -159,6 +177,7 @@ pub fn gemm_st_with_spec<T: Scalar>(
         c,
         scratch,
         session.as_deref(),
+        None,
     );
 }
 
@@ -182,6 +201,7 @@ pub(crate) fn gemm_st_probe<T: Scalar>(
             c,
             scratch,
             None,
+            None,
         );
     });
 }
@@ -191,8 +211,15 @@ pub(crate) fn gemm_st_probe<T: Scalar>(
 /// regions are recomputed with the scalar-tier kernel before returning.
 /// Returns the number of regions that violated their checksums (0 on a
 /// clean run) — the recursive repair verification keys off it.
+///
+/// `panels`, when present, supplies pre-packed B panels for every KC slab
+/// (the caller guarantees the view of `b` spans exactly the jc block the
+/// source was built for, i.e. `n ≤ bs.nc`); the local `pack_b` sweep is
+/// skipped and the first rank-k loop reads the shared panel instead —
+/// this is how the 2D parallel driver packs each B panel once per call
+/// rather than once per worker.
 #[allow(clippy::too_many_arguments)]
-fn gemm_st_core<T: Scalar>(
+pub(crate) fn gemm_st_core<T: Scalar>(
     spec: &KernelSpec<T>,
     bs: BlockSizes,
     alpha: T,
@@ -202,7 +229,12 @@ fn gemm_st_core<T: Scalar>(
     mut c: MatMut<'_, T>,
     scratch: &mut Scratch<T>,
     abft: Option<&AbftSession>,
+    panels: Option<&dyn BPanelSource<T>>,
 ) -> usize {
+    debug_assert!(
+        panels.is_none() || b.cols() <= bs.nc,
+        "shared panels cover exactly one jc block"
+    );
     let (m, k) = (a.rows(), a.cols());
     let n = b.cols();
     assert_eq!(k, b.rows(), "inner dimensions must match");
@@ -228,19 +260,42 @@ fn gemm_st_core<T: Scalar>(
         }
         for pc in (0..k).step_by(bs.kc) {
             let kc = bs.kc.min(k - pc);
-            if abft.is_some() {
-                pack_b_with_sums(
-                    b.subview(pc, jc, kc, nc),
-                    &mut scratch.b_pack,
-                    spec.nr,
-                    &mut scratch.ab.b_sum,
-                    &mut scratch.ab.b_mag,
-                );
-            } else {
-                pack_b(b.subview(pc, jc, kc, nc), &mut scratch.b_pack, spec.nr);
+            let shared = panels.map(|p| p.panel(pc / bs.kc));
+            match shared {
+                Some((_, sums)) => {
+                    // The arena packed (and fault-injected) this panel
+                    // exactly once; adopt its fused row sums so the
+                    // per-cell ABFT checks see the same checksums a local
+                    // pack sweep would have produced.
+                    if abft.is_some() {
+                        let (b_sum, b_mag) =
+                            sums.expect("shared panels carry ABFT sums under a session");
+                        scratch.ab.b_sum.clear();
+                        scratch.ab.b_sum.extend_from_slice(b_sum);
+                        scratch.ab.b_mag.clear();
+                        scratch.ab.b_mag.extend_from_slice(b_mag);
+                    }
+                }
+                None => {
+                    if abft.is_some() {
+                        pack_b_with_sums(
+                            b.subview(pc, jc, kc, nc),
+                            &mut scratch.b_pack,
+                            spec.nr,
+                            &mut scratch.ab.b_sum,
+                            &mut scratch.ab.b_mag,
+                        );
+                    } else {
+                        pack_b(b.subview(pc, jc, kc, nc), &mut scratch.b_pack, spec.nr);
+                    }
+                    #[cfg(feature = "fault-inject")]
+                    flip_pack_b(&mut scratch.b_pack, nc, kc, spec.nr);
+                }
             }
-            #[cfg(feature = "fault-inject")]
-            flip_pack_b(&mut scratch.b_pack, nc, kc, spec.nr);
+            let b_panel: &[T] = match shared {
+                Some((buf, _)) => buf,
+                None => &scratch.b_pack,
+            };
             // First rank-k update applies the caller's β, later ones add.
             let beta_eff = if pc == 0 { beta } else { T::ONE };
             let beta_zero = pc == 0 && beta == T::ZERO;
@@ -255,7 +310,7 @@ fn gemm_st_core<T: Scalar>(
                     beta_eff,
                     beta_zero,
                     &scratch.a_pack,
-                    &scratch.b_pack,
+                    b_panel,
                     kc,
                     mc,
                     nc,
@@ -326,6 +381,7 @@ fn gemm_st_core<T: Scalar>(
                 sub_c,
                 &mut repair_scratch,
                 Some(&nested),
+                None,
             );
             if bad == 0 {
                 session.stats.bump_repaired();
@@ -485,6 +541,7 @@ pub fn gemm_combined_st_with_spec<T: Scalar>(
     let session = abft::current();
     gemm_combined_core(
         spec,
+        block_sizes::<T>(),
         alpha,
         a_terms,
         b_terms,
@@ -492,15 +549,19 @@ pub fn gemm_combined_st_with_spec<T: Scalar>(
         c,
         scratch,
         session.as_deref(),
+        None,
     );
 }
 
 /// The fused-operand driver body; same ABFT story as [`gemm_st_core`]
 /// (repairs re-run the *combined* product over the flagged region, so a
 /// fused leaf never needs its operands materialized even when repairing).
+/// `panels` has the same contract as in [`gemm_st_core`]: pre-packed
+/// *combined* B panels for every KC slab of the (single) jc block.
 #[allow(clippy::too_many_arguments)]
-fn gemm_combined_core<T: Scalar>(
+pub(crate) fn gemm_combined_core<T: Scalar>(
     spec: &KernelSpec<T>,
+    bs: BlockSizes,
     alpha: T,
     a_terms: &[(T, MatRef<'_, T>)],
     b_terms: &[(T, MatRef<'_, T>)],
@@ -508,6 +569,7 @@ fn gemm_combined_core<T: Scalar>(
     mut c: MatMut<'_, T>,
     scratch: &mut Scratch<T>,
     abft: Option<&AbftSession>,
+    panels: Option<&dyn BPanelSource<T>>,
 ) -> usize {
     assert!(
         !a_terms.is_empty() && !b_terms.is_empty(),
@@ -536,7 +598,10 @@ fn gemm_combined_core<T: Scalar>(
         return 0;
     }
 
-    let bs = block_sizes::<T>();
+    debug_assert!(
+        panels.is_none() || n <= bs.nc,
+        "shared panels cover exactly one jc block"
+    );
 
     if abft.is_some() {
         scratch.ab.begin_call(beta, &c);
@@ -549,23 +614,43 @@ fn gemm_combined_core<T: Scalar>(
         }
         for pc in (0..k).step_by(bs.kc) {
             let kc = bs.kc.min(k - pc);
-            // ABFT row sums ride the pack sweep itself (from the packed
-            // combined values), so checksums cost no extra pass over B.
-            with_subviews(b_terms, pc, jc, kc, nc, |sub| {
-                if abft.is_some() {
-                    pack_b_combined_with_sums(
-                        sub,
-                        &mut scratch.b_pack,
-                        spec.nr,
-                        &mut scratch.ab.b_sum,
-                        &mut scratch.ab.b_mag,
-                    )
-                } else {
-                    pack_b_combined(sub, &mut scratch.b_pack, spec.nr)
+            let shared = panels.map(|p| p.panel(pc / bs.kc));
+            match shared {
+                Some((_, sums)) => {
+                    if abft.is_some() {
+                        let (b_sum, b_mag) =
+                            sums.expect("shared panels carry ABFT sums under a session");
+                        scratch.ab.b_sum.clear();
+                        scratch.ab.b_sum.extend_from_slice(b_sum);
+                        scratch.ab.b_mag.clear();
+                        scratch.ab.b_mag.extend_from_slice(b_mag);
+                    }
                 }
-            });
-            #[cfg(feature = "fault-inject")]
-            flip_pack_b(&mut scratch.b_pack, nc, kc, spec.nr);
+                None => {
+                    // ABFT row sums ride the pack sweep itself (from the
+                    // packed combined values), so checksums cost no extra
+                    // pass over B.
+                    with_subviews(b_terms, pc, jc, kc, nc, |sub| {
+                        if abft.is_some() {
+                            pack_b_combined_with_sums(
+                                sub,
+                                &mut scratch.b_pack,
+                                spec.nr,
+                                &mut scratch.ab.b_sum,
+                                &mut scratch.ab.b_mag,
+                            )
+                        } else {
+                            pack_b_combined(sub, &mut scratch.b_pack, spec.nr)
+                        }
+                    });
+                    #[cfg(feature = "fault-inject")]
+                    flip_pack_b(&mut scratch.b_pack, nc, kc, spec.nr);
+                }
+            }
+            let b_panel: &[T] = match shared {
+                Some((buf, _)) => buf,
+                None => &scratch.b_pack,
+            };
             // First rank-k update applies the caller's β, later ones add.
             let beta_eff = if pc == 0 { beta } else { T::ONE };
             let beta_zero = pc == 0 && beta == T::ZERO;
@@ -582,7 +667,7 @@ fn gemm_combined_core<T: Scalar>(
                     beta_eff,
                     beta_zero,
                     &scratch.a_pack,
-                    &scratch.b_pack,
+                    b_panel,
                     kc,
                     mc,
                     nc,
@@ -630,6 +715,7 @@ fn gemm_combined_core<T: Scalar>(
                 with_subviews(b_terms, 0, reg.c0, k, reg.cols, |bsub| {
                     gemm_combined_core(
                         &scalar_spec,
+                        bs,
                         alpha,
                         asub,
                         bsub,
@@ -637,6 +723,7 @@ fn gemm_combined_core<T: Scalar>(
                         sub_c,
                         &mut repair_scratch,
                         Some(&nested),
+                        None,
                     )
                 })
             });
@@ -699,9 +786,10 @@ fn flip_pack_a<T: Scalar>(buf: &mut [T], mc: usize, kc: usize, mr: usize) {
 }
 
 /// Consume an armed flip targeting the packed B panel (valid element of
-/// the current `kc × nc` block, NR-sliver layout).
+/// the current `kc × nc` block, NR-sliver layout). `pub(crate)` so the
+/// parallel shared-packing arena applies flips at its (single) pack site.
 #[cfg(feature = "fault-inject")]
-fn flip_pack_b<T: Scalar>(buf: &mut [T], nc: usize, kc: usize, nr: usize) {
+pub(crate) fn flip_pack_b<T: Scalar>(buf: &mut [T], nc: usize, kc: usize, nr: usize) {
     use crate::abft::sdc::{self, FlipTarget};
     if let Some(f) = sdc::take(FlipTarget::PackB) {
         let j = f.index % nc;

@@ -334,6 +334,62 @@ pub fn block_report<T: Scalar>() -> String {
     )
 }
 
+/// Measure the parallel gemm throughput at `threads` lanes on an `n`×`n`×`n`
+/// product, in GFLOP/s (best of `reps` timed runs after one warmup).
+///
+/// This is the calibration primitive behind the planner's parallel-scaling
+/// model: probing a handful of thread counts yields measured speedup points
+/// that replace the naive linear-scaling assumption in cost prediction.
+pub fn probe_parallel_gflops<T: Scalar>(threads: usize, n: usize, reps: usize) -> f64 {
+    use crate::matrix::Mat;
+    use crate::pool::Par;
+    let a = Mat::<T>::from_fn(n, n, |i, j| {
+        T::from_f64(((i * 7 + j) % 13) as f64 * 0.05 - 0.3)
+    });
+    let b = Mat::<T>::from_fn(n, n, |i, j| {
+        T::from_f64(((i + j * 5) % 11) as f64 * 0.07 - 0.35)
+    });
+    let mut c = Mat::<T>::zeros(n, n);
+    let par = if threads <= 1 {
+        Par::Seq
+    } else {
+        Par::Threads(threads)
+    };
+    crate::parallel::gemm(T::ONE, a.as_ref(), b.as_ref(), T::ZERO, c.as_mut(), par); // warm
+    let mut fastest = f64::INFINITY;
+    for _ in 0..reps.max(1) {
+        let t0 = std::time::Instant::now();
+        crate::parallel::gemm(T::ONE, a.as_ref(), b.as_ref(), T::ZERO, c.as_mut(), par);
+        fastest = fastest.min(t0.elapsed().as_secs_f64());
+    }
+    let flops = 2.0 * (n as f64).powi(3);
+    flops / fastest / 1e9
+}
+
+/// Measure sustained main-memory streaming bandwidth in bytes/second with a
+/// large out-of-cache copy sweep (best of three passes over a buffer sized
+/// to at least 4× the detected L3).
+///
+/// Feeds the planner's memory-traffic cost term so the bandwidth ceiling is
+/// measured rather than assumed.
+pub fn probe_bandwidth_bytes() -> f64 {
+    let l3 = CacheHierarchy::detect().l3;
+    let words = (4 * l3 / 8).max(8 * 1024 * 1024 / 8); // >= 8 MiB of u64s
+    let src: Vec<u64> = (0..words as u64)
+        .map(|i| i.wrapping_mul(0x9E37_79B9))
+        .collect();
+    let mut dst: Vec<u64> = vec![0u64; words];
+    let mut fastest = f64::INFINITY;
+    for _ in 0..3 {
+        let t0 = std::time::Instant::now();
+        dst.copy_from_slice(&src);
+        fastest = fastest.min(t0.elapsed().as_secs_f64());
+    }
+    std::hint::black_box(&mut dst);
+    // A copy reads and writes every byte: 2 × buffer size moved.
+    (2 * words * 8) as f64 / fastest
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -386,6 +442,14 @@ mod tests {
         assert!(parse_blocks("mc=128\nkc=256\n").is_none());
         assert!(parse_blocks("mc=0\nkc=256\nnc=1024\n").is_none());
         assert!(parse_blocks("nonsense").is_none());
+    }
+
+    #[test]
+    fn probes_report_positive_rates() {
+        let gf = probe_parallel_gflops::<f32>(1, 96, 1);
+        assert!(gf.is_finite() && gf > 0.0, "gflops probe: {gf}");
+        let bw = probe_bandwidth_bytes();
+        assert!(bw.is_finite() && bw > 0.0, "bandwidth probe: {bw}");
     }
 
     #[test]

@@ -19,8 +19,9 @@
 //!   bitwise-identical across tiers;
 //! * [`blocktune`] — MC/KC/NC blocking derived from the detected cache
 //!   hierarchy, with opt-in measured autotune persisted across runs;
-//! * [`parallel`] — row-parallel multithreaded GEMM over cached,
-//!   panic-isolated worker pools ([`pool`]);
+//! * [`parallel`] — 2D cooperative-packing multithreaded GEMM (shared
+//!   B-panel arenas, MC×NC cell work-stealing) over cached,
+//!   panic-isolated, core-pinned worker pools ([`pool`]);
 //! * [`add`] — fused "write-once" linear-combination kernels, the matrix
 //!   additions of the APA framework;
 //! * [`naive`] — triple-loop oracles for testing and f64 references.
@@ -55,7 +56,10 @@ pub use blocked::{
     gemm_combined_st, gemm_combined_st_with_scratch, gemm_combined_st_with_spec, gemm_st,
     gemm_st_with_scratch, gemm_st_with_spec, matmul, BlockSizes, Scratch,
 };
-pub use blocktune::{block_report, block_sizes, CacheHierarchy, TuneSource};
+pub use blocktune::{
+    block_report, block_sizes, probe_bandwidth_bytes, probe_parallel_gflops, CacheHierarchy,
+    TuneSource,
+};
 pub use counting_alloc::{
     allocation_counters, thread_allocation_counters, AllocationCounters, CountingAlloc,
 };
@@ -66,8 +70,13 @@ pub use kernel::{
 pub use matrix::{Mat, MatMut, MatRef};
 pub use naive::{matmul_naive, matmul_naive_f64};
 pub use pack::{pack_a, pack_a_combined, pack_b, pack_b_combined, MAX_PACK_TERMS};
-pub use parallel::{gemm, gemm_combined, matmul_par, try_gemm, try_gemm_combined};
-pub use pool::{pool, rebuild, Par, PoolError, WorkerPool};
+pub use parallel::{
+    gemm, gemm_combined, live_arenas, matmul_par, par_stats, try_gemm, try_gemm_combined, ParStats,
+};
+pub use pool::{
+    default_threads, pool, rebuild, topology, topology_report, CpuSlot, Par, PoolError, Topology,
+    WorkerPool,
+};
 pub use scalar::Scalar;
 pub use transpose::{gemm_op, transpose, transpose_into, Op};
 

@@ -255,6 +255,29 @@ impl<'a, T: Scalar> MatMut<'a, T> {
         self.ptr
     }
 
+    /// Reassemble a view from raw parts — the seam the 2D parallel driver
+    /// uses to hand each worker its disjoint output cell.
+    ///
+    /// # Safety
+    /// `ptr` must point at the `(0,0)` element of a live allocation such
+    /// that `ptr + i·rs .. + cols` is in-bounds for every `i < rows`, and
+    /// the caller must guarantee exclusivity of the viewed elements for
+    /// lifetime `'a` (no other live view, mutable or shared, overlaps it).
+    pub(crate) unsafe fn from_raw_parts(
+        ptr: *mut T,
+        rows: usize,
+        cols: usize,
+        rs: usize,
+    ) -> MatMut<'a, T> {
+        MatMut {
+            ptr,
+            rows,
+            cols,
+            rs,
+            _marker: PhantomData,
+        }
+    }
+
     /// Reborrow: a shorter-lived mutable view of the same block.
     pub fn rb(&mut self) -> MatMut<'_, T> {
         MatMut {

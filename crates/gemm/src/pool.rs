@@ -25,8 +25,9 @@ use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::marker::PhantomData;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
-use std::sync::{Arc, Condvar, Mutex as StdMutex, PoisonError};
+use std::sync::{Arc, Condvar, Mutex as StdMutex, OnceLock, PoisonError};
 use std::thread::JoinHandle;
 
 /// Typed failure of pooled work: the only way pooled execution can fail
@@ -53,6 +54,234 @@ impl std::error::Error for PoolError {}
 type Job = Box<dyn FnOnce() + Send + 'static>;
 
 static POOLS: Mutex<Option<HashMap<usize, Arc<WorkerPool>>>> = Mutex::new(None);
+
+/// One schedulable CPU the pool may pin a worker to: the logical CPU id
+/// plus the physical (package, core) pair it belongs to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CpuSlot {
+    /// Logical CPU index (`/sys/devices/system/cpu/cpuN`).
+    pub cpu: usize,
+    /// `topology/core_id` of that CPU.
+    pub core: usize,
+    /// `topology/physical_package_id` of that CPU.
+    pub package: usize,
+}
+
+/// CPU topology read once from sysfs. `slots` holds one logical CPU per
+/// *physical* core (hyperthread siblings deduplicated, lowest cpu id
+/// kept), sorted by cpu id — the pinning order for pool workers.
+#[derive(Clone, Debug)]
+pub struct Topology {
+    /// Logical CPUs enumerated online.
+    pub cpus_online: usize,
+    /// One pinnable slot per physical core.
+    pub slots: Vec<CpuSlot>,
+    /// Distinct physical packages (sockets).
+    pub packages: usize,
+    /// NUMA nodes (`/sys/devices/system/node`), 1 when absent.
+    pub numa_nodes: usize,
+}
+
+fn parse_sysfs_usize(path: &str) -> Option<usize> {
+    std::fs::read_to_string(path)
+        .ok()?
+        .trim()
+        .parse::<usize>()
+        .ok()
+}
+
+fn detect_topology() -> Topology {
+    let mut cpus: Vec<usize> = Vec::new();
+    if let Ok(entries) = std::fs::read_dir("/sys/devices/system/cpu") {
+        for e in entries.flatten() {
+            let name = e.file_name();
+            let name = name.to_string_lossy();
+            if let Some(idx) = name.strip_prefix("cpu") {
+                if let Ok(n) = idx.parse::<usize>() {
+                    // Only CPUs with a topology directory are schedulable
+                    // candidates (offline CPUs lack one).
+                    if e.path().join("topology").is_dir() {
+                        cpus.push(n);
+                    }
+                }
+            }
+        }
+    }
+    cpus.sort_unstable();
+    let mut slots: Vec<CpuSlot> = Vec::new();
+    let mut seen: Vec<(usize, usize)> = Vec::new();
+    for &cpu in &cpus {
+        let base = format!("/sys/devices/system/cpu/cpu{cpu}/topology");
+        let core = parse_sysfs_usize(&format!("{base}/core_id")).unwrap_or(cpu);
+        let package = parse_sysfs_usize(&format!("{base}/physical_package_id")).unwrap_or(0);
+        if !seen.contains(&(package, core)) {
+            seen.push((package, core));
+            slots.push(CpuSlot { cpu, core, package });
+        }
+    }
+    let mut packages: Vec<usize> = slots.iter().map(|s| s.package).collect();
+    packages.sort_unstable();
+    packages.dedup();
+    let numa_nodes = std::fs::read_dir("/sys/devices/system/node")
+        .map(|entries| {
+            entries
+                .flatten()
+                .filter(|e| {
+                    let name = e.file_name();
+                    let name = name.to_string_lossy();
+                    name.strip_prefix("node")
+                        .is_some_and(|s| s.parse::<usize>().is_ok())
+                })
+                .count()
+        })
+        .unwrap_or(0)
+        .max(1);
+    Topology {
+        cpus_online: cpus.len(),
+        slots,
+        packages: packages.len().max(1),
+        numa_nodes,
+    }
+}
+
+/// The machine topology, detected once per process.
+pub fn topology() -> &'static Topology {
+    static TOPOLOGY: OnceLock<Topology> = OnceLock::new();
+    TOPOLOGY.get_or_init(detect_topology)
+}
+
+/// `true` when `APA_NO_PIN` disables worker pinning (any non-empty value
+/// except `0`).
+fn pin_disabled() -> bool {
+    std::env::var("APA_NO_PIN").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
+/// Worker lanes successfully pinned / pins skipped (CPU not in our
+/// affinity mask, kernel refusal, or unsupported platform) since process
+/// start. Counts accumulate across pool builds.
+static PINNED_LANES: AtomicUsize = AtomicUsize::new(0);
+static PINS_SKIPPED: AtomicUsize = AtomicUsize::new(0);
+
+/// Raw `sched_{get,set}affinity` syscalls. The workspace carries no libc
+/// dependency, and these two calls are stable kernel ABI on x86_64, so a
+/// two-instruction wrapper keeps pinning dependency-free.
+#[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+mod sched {
+    const SCHED_SETAFFINITY: u64 = 203;
+    const SCHED_GETAFFINITY: u64 = 204;
+    /// 16 × u64 = 1024 CPUs, the kernel's historical default mask size.
+    pub const MASK_WORDS: usize = 16;
+
+    /// # Safety
+    /// `nr` must be a syscall taking (pid, len, ptr) with `ptr` valid for
+    /// `len` bytes in the required direction.
+    unsafe fn syscall3(nr: u64, a1: u64, a2: u64, a3: u64) -> i64 {
+        let ret: i64;
+        core::arch::asm!(
+            "syscall",
+            inlateout("rax") nr => ret,
+            in("rdi") a1,
+            in("rsi") a2,
+            in("rdx") a3,
+            lateout("rcx") _,
+            lateout("r11") _,
+            options(nostack),
+        );
+        ret
+    }
+
+    /// Affinity mask of the calling thread (pid 0), or `None` on failure.
+    pub fn current_mask() -> Option<[u64; MASK_WORDS]> {
+        let mut mask = [0u64; MASK_WORDS];
+        // SAFETY: mask is writable for MASK_WORDS·8 bytes.
+        let rc = unsafe {
+            syscall3(
+                SCHED_GETAFFINITY,
+                0,
+                (MASK_WORDS * 8) as u64,
+                mask.as_mut_ptr() as u64,
+            )
+        };
+        (rc > 0).then_some(mask)
+    }
+
+    /// Restrict the calling thread to `mask`; `true` on success.
+    pub fn set_mask(mask: &[u64; MASK_WORDS]) -> bool {
+        // SAFETY: mask is readable for MASK_WORDS·8 bytes.
+        let rc = unsafe {
+            syscall3(
+                SCHED_SETAFFINITY,
+                0,
+                (MASK_WORDS * 8) as u64,
+                mask.as_ptr() as u64,
+            )
+        };
+        rc == 0
+    }
+}
+
+/// Pin the calling thread to `cpu`. Deliberately conservative: the pin is
+/// attempted only when `cpu` is already in the thread's allowed mask, so
+/// inside a cgroup/CI cpuset that excludes the CPU the call is a silent
+/// no-op — pinning degrades to inert, never to an error.
+fn pin_current_thread(cpu: usize) -> bool {
+    #[cfg(all(target_os = "linux", target_arch = "x86_64"))]
+    {
+        if cpu >= sched::MASK_WORDS * 64 {
+            return false;
+        }
+        let Some(allowed) = sched::current_mask() else {
+            return false;
+        };
+        if allowed[cpu / 64] & (1u64 << (cpu % 64)) == 0 {
+            return false;
+        }
+        let mut want = [0u64; sched::MASK_WORDS];
+        want[cpu / 64] = 1u64 << (cpu % 64);
+        sched::set_mask(&want)
+    }
+    #[cfg(not(all(target_os = "linux", target_arch = "x86_64")))]
+    {
+        let _ = cpu;
+        false
+    }
+}
+
+/// The thread budget "use the machine" callers should default to:
+/// `APA_THREADS` when set to a positive integer, otherwise one worker per
+/// physical core, and at least 1.
+pub fn default_threads() -> usize {
+    if let Ok(v) = std::env::var("APA_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    topology().slots.len().max(1)
+}
+
+/// One-line topology/pinning summary alongside the dispatch and block
+/// reports: CPU counts, package/NUMA layout, whether pinning is active and
+/// how many lanes have been pinned (or had their pin skipped) so far.
+pub fn topology_report() -> String {
+    let t = topology();
+    format!(
+        "topology: cpus_online={} physical_cores={} packages={} numa_nodes={} \
+         pinning={} pinned_lanes={} pins_skipped={}",
+        t.cpus_online,
+        t.slots.len(),
+        t.packages,
+        t.numa_nodes,
+        if pin_disabled() {
+            "off (APA_NO_PIN)"
+        } else {
+            "on"
+        },
+        PINNED_LANES.load(Ordering::Relaxed),
+        PINS_SKIPPED.load(Ordering::Relaxed),
+    )
+}
 
 /// A cached pool with exactly `threads` workers (≥ 1). If the cached pool
 /// for this width was shut down, a fresh one transparently replaces it.
@@ -98,17 +327,39 @@ pub struct WorkerPool {
 }
 
 impl WorkerPool {
-    /// Spawn `threads` workers (≥ 1) sharing one job queue.
+    /// Spawn `threads` workers (≥ 1) sharing one job queue. Unless
+    /// `APA_NO_PIN` is set, worker `i` pins itself to physical core
+    /// `i mod cores` (distinct cores first, hyperthreads never doubled up
+    /// until the core list wraps). Shared packed arenas are first-touched
+    /// by the worker that claims each panel, so with pinning the pages
+    /// land on the consuming worker's NUMA node without any explicit
+    /// placement call.
     pub fn new(threads: usize) -> Self {
         let threads = threads.max(1);
+        let pin = !pin_disabled();
+        let slots = &topology().slots;
         let (sender, receiver) = channel::<Job>();
         let receiver = Arc::new(StdMutex::new(receiver));
         let workers = (0..threads)
             .map(|i| {
                 let rx = receiver.clone();
+                let pin_cpu = if pin && !slots.is_empty() {
+                    Some(slots[i % slots.len()].cpu)
+                } else {
+                    None
+                };
                 std::thread::Builder::new()
                     .name(format!("apa-gemm-{threads}-{i}"))
-                    .spawn(move || worker_loop(&rx))
+                    .spawn(move || {
+                        if let Some(cpu) = pin_cpu {
+                            if pin_current_thread(cpu) {
+                                PINNED_LANES.fetch_add(1, Ordering::Relaxed);
+                            } else {
+                                PINS_SKIPPED.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                        worker_loop(&rx)
+                    })
                     .expect("worker thread spawn cannot fail")
             })
             .collect();
@@ -411,6 +662,37 @@ mod tests {
     use super::*;
     use std::sync::atomic::{AtomicUsize, Ordering};
     use std::time::Duration;
+
+    #[test]
+    fn topology_names_distinct_physical_cores() {
+        let t = topology();
+        assert!(t.cpus_online >= 1);
+        assert!(!t.slots.is_empty());
+        assert!(t.slots.len() <= t.cpus_online);
+        assert!(t.packages >= 1);
+        assert!(t.numa_nodes >= 1);
+        for (i, a) in t.slots.iter().enumerate() {
+            for b in &t.slots[..i] {
+                assert_ne!(
+                    (a.package, a.core),
+                    (b.package, b.core),
+                    "hyperthread siblings must be deduplicated"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn default_threads_is_at_least_one() {
+        assert!(default_threads() >= 1);
+    }
+
+    #[test]
+    fn topology_report_summarizes_the_machine() {
+        let r = topology_report();
+        assert!(r.contains("physical_cores="), "{r}");
+        assert!(r.contains("pinning="), "{r}");
+    }
 
     #[test]
     fn pool_is_cached_and_sized() {

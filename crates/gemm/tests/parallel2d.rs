@@ -1,0 +1,237 @@
+//! 2D-parallel gemm contract (ISSUE 10): the cooperative-packing
+//! multithreaded driver is **bitwise identical** to the single-threaded
+//! blocked kernel — plain and fused, f32 and f64, ragged shapes, any
+//! thread count — and the sequential path stays entirely outside the
+//! pool's claim machinery.
+//!
+//! The proptests force multi-cell grids with small explicit block sizes
+//! (via the `parallel::hooks` test seam); the public entry points use the
+//! same driver with the tuned blocking.
+
+use apa_gemm::blocked::BlockSizes;
+use apa_gemm::parallel::hooks;
+use apa_gemm::{gemm, gemm_st, matmul_naive_f64, Mat, Par, Scalar};
+use proptest::prelude::*;
+
+fn rand_mat<T: Scalar>(rows: usize, cols: usize, seed: u64) -> Mat<T> {
+    let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(1);
+    Mat::from_fn(rows, cols, |_, _| {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        T::from_f64(((state >> 32) as u32 as f64 / (1u64 << 31) as f64) - 1.0)
+    })
+}
+
+/// Tiny blocking that turns even 64×64 shapes into many MC×NC cells and
+/// several KC slabs, exercising panel sharing, stealing and beta chaining.
+const SMALL: BlockSizes = BlockSizes {
+    mc: 24,
+    kc: 16,
+    nc: 24,
+};
+
+fn assert_bitwise<T: Scalar + Bits>(par: &Mat<T>, seq: &Mat<T>, ctx: &str) {
+    for i in 0..seq.rows() {
+        for j in 0..seq.cols() {
+            assert!(
+                par.at(i, j).to_bits_u64() == seq.at(i, j).to_bits_u64(),
+                "{ctx}: C[{i},{j}] differs: {:?} vs {:?}",
+                par.at(i, j),
+                seq.at(i, j)
+            );
+        }
+    }
+}
+
+/// Bit-pattern access without requiring new Scalar API in the test.
+trait Bits: Copy {
+    fn to_bits_u64(self) -> u64;
+}
+impl Bits for f32 {
+    fn to_bits_u64(self) -> u64 {
+        self.to_bits() as u64
+    }
+}
+impl Bits for f64 {
+    fn to_bits_u64(self) -> u64 {
+        self.to_bits()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    #[test]
+    fn plain_f32_parallel_is_bitwise_st(
+        m in 1usize..90, k in 1usize..90, n in 1usize..90,
+        threads in 1usize..=8, seed in 0u64..1_000
+    ) {
+        let a = rand_mat::<f32>(m, k, seed);
+        let b = rand_mat::<f32>(k, n, seed ^ 0xABCD);
+        let c0 = rand_mat::<f32>(m, n, seed ^ 0x1234);
+        let (mut seq, mut par) = (c0.clone(), c0.clone());
+        hooks::gemm_st_with_blocks(1.5f32, a.as_ref(), b.as_ref(), -0.5, seq.as_mut(), SMALL);
+        hooks::gemm_2d_with_blocks(1.5f32, a.as_ref(), b.as_ref(), -0.5, par.as_mut(), threads, SMALL)
+            .unwrap();
+        for i in 0..m {
+            for j in 0..n {
+                prop_assert_eq!(par.at(i, j).to_bits(), seq.at(i, j).to_bits(),
+                    "({},{},{}) t={} C[{},{}]", m, k, n, threads, i, j);
+            }
+        }
+    }
+
+    #[test]
+    fn plain_f64_parallel_is_bitwise_st(
+        m in 1usize..70, k in 1usize..70, n in 1usize..70,
+        threads in 1usize..=8, seed in 0u64..1_000
+    ) {
+        let a = rand_mat::<f64>(m, k, seed);
+        let b = rand_mat::<f64>(k, n, seed ^ 0xBEEF);
+        let (mut seq, mut par) = (Mat::<f64>::zeros(m, n), Mat::<f64>::zeros(m, n));
+        hooks::gemm_st_with_blocks(1.0f64, a.as_ref(), b.as_ref(), 0.0, seq.as_mut(), SMALL);
+        hooks::gemm_2d_with_blocks(1.0f64, a.as_ref(), b.as_ref(), 0.0, par.as_mut(), threads, SMALL)
+            .unwrap();
+        for i in 0..m {
+            for j in 0..n {
+                prop_assert_eq!(par.at(i, j).to_bits(), seq.at(i, j).to_bits(),
+                    "({},{},{}) t={} C[{},{}]", m, k, n, threads, i, j);
+            }
+        }
+    }
+
+    #[test]
+    fn fused_combined_parallel_is_bitwise_st(
+        m in 1usize..60, k in 1usize..60, n in 1usize..60,
+        threads in 1usize..=8, seed in 0u64..1_000
+    ) {
+        // Two-term linear combinations on both sides — the APA leaf shape.
+        let a1 = rand_mat::<f32>(m, k, seed);
+        let a2 = rand_mat::<f32>(m, k, seed ^ 0x11);
+        let b1 = rand_mat::<f32>(k, n, seed ^ 0x22);
+        let b2 = rand_mat::<f32>(k, n, seed ^ 0x33);
+        let a_terms = [(1.0f32, a1.as_ref()), (-0.25f32, a2.as_ref())];
+        let b_terms = [(0.5f32, b1.as_ref()), (2.0f32, b2.as_ref())];
+        let (mut seq, mut par) = (Mat::<f32>::zeros(m, n), Mat::<f32>::zeros(m, n));
+        hooks::gemm_combined_st_with_blocks(1.0f32, &a_terms, &b_terms, 0.0, seq.as_mut(), SMALL);
+        hooks::gemm_combined_2d_with_blocks(
+            1.0f32, &a_terms, &b_terms, 0.0, par.as_mut(), threads, SMALL,
+        )
+        .unwrap();
+        for i in 0..m {
+            for j in 0..n {
+                prop_assert_eq!(par.at(i, j).to_bits(), seq.at(i, j).to_bits(),
+                    "({},{},{}) t={} C[{},{}]", m, k, n, threads, i, j);
+            }
+        }
+    }
+
+    #[test]
+    fn fused_f64_parallel_is_bitwise_st(
+        m in 1usize..50, k in 1usize..50, n in 1usize..50,
+        threads in 1usize..=8, seed in 0u64..1_000
+    ) {
+        let a1 = rand_mat::<f64>(m, k, seed);
+        let a2 = rand_mat::<f64>(m, k, seed ^ 0x44);
+        let b1 = rand_mat::<f64>(k, n, seed ^ 0x55);
+        let a_terms = [(1.0f64, a1.as_ref()), (0.125f64, a2.as_ref())];
+        let b_terms = [(-1.5f64, b1.as_ref())];
+        let (mut seq, mut par) = (Mat::<f64>::zeros(m, n), Mat::<f64>::zeros(m, n));
+        hooks::gemm_combined_st_with_blocks(2.0f64, &a_terms, &b_terms, 0.0, seq.as_mut(), SMALL);
+        hooks::gemm_combined_2d_with_blocks(
+            2.0f64, &a_terms, &b_terms, 0.0, par.as_mut(), threads, SMALL,
+        )
+        .unwrap();
+        for i in 0..m {
+            for j in 0..n {
+                prop_assert_eq!(par.at(i, j).to_bits(), seq.at(i, j).to_bits(),
+                    "({},{},{}) t={} C[{},{}]", m, k, n, threads, i, j);
+            }
+        }
+    }
+}
+
+#[test]
+fn public_entry_points_are_bitwise_across_thread_counts() {
+    // The tuned-blocking public path: every thread count produces the
+    // byte-identical result of the sequential call.
+    let a = rand_mat::<f32>(130, 75, 9);
+    let b = rand_mat::<f32>(75, 110, 10);
+    let mut seq = Mat::<f32>::zeros(130, 110);
+    gemm_st(1.0, a.as_ref(), b.as_ref(), 0.0, seq.as_mut());
+    for threads in [1usize, 2, 3, 4, 6, 8] {
+        let mut par = Mat::<f32>::zeros(130, 110);
+        gemm(
+            1.0,
+            a.as_ref(),
+            b.as_ref(),
+            0.0,
+            par.as_mut(),
+            Par::Threads(threads),
+        );
+        assert_bitwise(&par, &seq, &format!("threads={threads}"));
+    }
+}
+
+#[test]
+fn parallel_result_is_numerically_correct() {
+    // Bitwise-equal to ST is the strong contract; anchor ST itself to the
+    // f64 oracle so the pair can't be "equal but wrong".
+    let a = rand_mat::<f32>(64, 48, 21);
+    let b = rand_mat::<f32>(48, 57, 22);
+    let mut par = Mat::<f32>::zeros(64, 57);
+    hooks::gemm_2d_with_blocks(1.0f32, a.as_ref(), b.as_ref(), 0.0, par.as_mut(), 4, SMALL)
+        .unwrap();
+    let oracle = matmul_naive_f64(a.as_ref(), b.as_ref());
+    let mut err: f64 = 0.0;
+    for i in 0..64 {
+        for j in 0..57 {
+            err = err.max((par.at(i, j) as f64 - oracle.at(i, j)).abs());
+        }
+    }
+    assert!(err < 1e-4, "max abs error {err}");
+}
+
+#[test]
+fn seq_path_touches_no_claim_machinery() {
+    // ISSUE 10 satellite: a `Par::Seq` (or degenerate `Threads(1)`) call
+    // must never route through the arena/queue claim protocol. The
+    // thread-local op counter ticks on every arena build, panel claim and
+    // queue pop — it must not move.
+    let a = rand_mat::<f32>(96, 64, 31);
+    let b = rand_mat::<f32>(64, 80, 32);
+    let mut c = Mat::<f32>::zeros(96, 80);
+    gemm(1.0, a.as_ref(), b.as_ref(), 0.0, c.as_mut(), Par::Seq); // warm pools/blocks
+    let before = apa_gemm::parallel::thread_par_ops();
+    for par in [Par::Seq, Par::Threads(1), Par::Threads(0)] {
+        gemm(1.0, a.as_ref(), b.as_ref(), 0.5, c.as_mut(), par);
+    }
+    assert_eq!(
+        apa_gemm::parallel::thread_par_ops(),
+        before,
+        "sequential path performed parallel claim ops"
+    );
+}
+
+#[test]
+fn stats_show_cooperative_packing_once_per_slab() {
+    // 64×64×64 with kc=16, nc=24 → 4 slabs × 3 jc blocks = 12 panels;
+    // they must be packed exactly once each no matter how many workers
+    // race, and reuse accounts for the rest of the touches.
+    let a = rand_mat::<f32>(64, 64, 41);
+    let b = rand_mat::<f32>(64, 64, 42);
+    let mut c = Mat::<f32>::zeros(64, 64);
+    let stats =
+        hooks::gemm_2d_with_blocks(1.0f32, a.as_ref(), b.as_ref(), 0.0, c.as_mut(), 4, SMALL)
+            .unwrap();
+    let slabs = 64usize.div_ceil(SMALL.kc);
+    let jc_blocks = 64usize.div_ceil(SMALL.nc);
+    assert_eq!(stats.panels_packed, (slabs * jc_blocks) as u64);
+    // Every (cell, slab) touch is either the one pack or a reuse.
+    let cells = 64usize.div_ceil(SMALL.mc) * jc_blocks;
+    assert_eq!(
+        stats.panels_packed + stats.panels_reused,
+        (cells * slabs) as u64
+    );
+}

@@ -227,6 +227,14 @@ impl ApaMatmul {
         self
     }
 
+    /// Size the thread budget to this machine: `APA_THREADS` when set,
+    /// otherwise one lane per physical core (see
+    /// [`apa_gemm::default_threads`]).
+    pub fn auto_threads(self) -> Self {
+        let lanes = apa_gemm::default_threads();
+        self.threads(lanes)
+    }
+
     pub fn peel_mode(mut self, peel: PeelMode) -> Self {
         self.peel = peel;
         self
@@ -578,6 +586,14 @@ impl ApaChain {
         self
     }
 
+    /// Size the thread budget to this machine: `APA_THREADS` when set,
+    /// otherwise one lane per physical core (see
+    /// [`apa_gemm::default_threads`]).
+    pub fn auto_threads(self) -> Self {
+        let lanes = apa_gemm::default_threads();
+        self.threads(lanes)
+    }
+
     pub fn peel_mode(mut self, peel: PeelMode) -> Self {
         self.peel = peel;
         self
@@ -689,6 +705,14 @@ impl ClassicalMatmul {
     pub fn threads(mut self, threads: usize) -> Self {
         self.threads = threads.max(1);
         self
+    }
+
+    /// Size the thread budget to this machine: `APA_THREADS` when set,
+    /// otherwise one lane per physical core (see
+    /// [`apa_gemm::default_threads`]).
+    pub fn auto_threads(self) -> Self {
+        let lanes = apa_gemm::default_threads();
+        self.threads(lanes)
     }
 
     pub fn multiply_into<T: Scalar>(&self, a: MatRef<'_, T>, b: MatRef<'_, T>, c: MatMut<'_, T>) {

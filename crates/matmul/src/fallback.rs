@@ -442,6 +442,13 @@ impl GuardedApaMatmul {
         self
     }
 
+    /// Size the thread budget to this machine (see
+    /// [`apa_gemm::default_threads`]).
+    pub fn auto_threads(mut self) -> Self {
+        self.base = self.base.auto_threads();
+        self
+    }
+
     pub fn peel_mode(mut self, peel: PeelMode) -> Self {
         self.base = self.base.peel_mode(peel);
         self

@@ -12,7 +12,7 @@
 
 use crate::cost::MachineModel;
 use crate::request::{DType, PlanRequest};
-use crate::store::PlanStore;
+use crate::store::{Calibration, PlanStore};
 use apa_core::{brent, catalog, error_model};
 use apa_gemm::Mat;
 use apa_matmul::{
@@ -342,6 +342,29 @@ impl PlanCompiler {
             }
         }
 
+        // Measured mode probes the machine once per store: streaming
+        // bandwidth plus the parallel-scaling curve, persisted in the v2
+        // calibration block so later (analytic) processes benefit too.
+        if (self.measured || measured_env())
+            && state
+                .store
+                .as_ref()
+                .is_some_and(|s| s.calibration().is_none())
+        {
+            let cal = measure_calibration();
+            if let Some(store) = state.store.as_mut() {
+                store.set_calibration(cal);
+                let _ = store.save();
+            }
+        }
+        let model = match state.store.as_ref().and_then(|s| s.calibration()) {
+            Some(cal) => self
+                .model
+                .clone()
+                .calibrated(cal.bandwidth_bytes_per_sec, &cal.parallel_points),
+            None => self.model.clone(),
+        };
+
         if let Some(plan) = state.store.as_ref().and_then(|s| s.get(&key)).cloned() {
             crate::stats::note_hit();
             state.mem.insert(key, plan.clone());
@@ -349,7 +372,7 @@ impl PlanCompiler {
         }
 
         crate::stats::note_miss();
-        let plan = self.search(req);
+        let plan = self.search(req, &model);
         state.mem.insert(key.clone(), plan.clone());
         if let Some(store) = state.store.as_mut() {
             store.insert(key, plan.clone());
@@ -368,21 +391,54 @@ impl PlanCompiler {
     /// Enumerate, filter, rank — see the module docs. Always returns a
     /// plan: classical is unconditionally a candidate and satisfies every
     /// error target at working precision.
-    fn search(&self, req: &PlanRequest) -> CompiledPlan {
+    ///
+    /// `model` is the effective machine model — the compiler's analytic
+    /// model overlaid with any persisted calibration. With a measured
+    /// scaling curve the thread budget is *enumerated* (powers of two up
+    /// to the request's budget) per candidate instead of assumed: on a
+    /// machine where 8 threads measure like 3, the byte traffic and
+    /// load-imbalance penalties can make a smaller lane count win, and
+    /// `CompiledPlan::threads` records the measured-best choice.
+    /// Uncalibrated models keep the historical "use the full budget"
+    /// behavior exactly (a linear curve always weakly prefers it).
+    fn search(&self, req: &PlanRequest, model: &MachineModel) -> CompiledPlan {
         let d = req.dtype.mantissa_digits();
+        let thread_options: Vec<usize> = if model.parallel_points.is_empty() {
+            vec![req.threads]
+        } else {
+            let mut opts = Vec::new();
+            let mut t = 1usize;
+            while t < req.threads.max(1) {
+                opts.push(t);
+                t *= 2;
+            }
+            opts.push(req.threads.max(1));
+            opts
+        };
+        // Ties resolve toward more threads, so a saturated (flat) scaling
+        // curve still fills the requested budget rather than shrinking it.
+        let best_over_threads = |cost: &dyn Fn(usize) -> f64| -> (usize, f64) {
+            let mut best = (thread_options[0], cost(thread_options[0]));
+            for &t in &thread_options[1..] {
+                let s = cost(t);
+                if s <= best.1 {
+                    best = (t, s);
+                }
+            }
+            best
+        };
+
+        let (cl_threads, cl_seconds) =
+            best_over_threads(&|t| model.predict_classical_seconds(&req.shapes, t, req.dtype));
         let mut candidates = vec![CompiledPlan {
             rule: CLASSICAL_RULE.to_string(),
             steps: 0,
             lambda: 0.0,
             strategy: Strategy::Seq,
             fusion: FusionPolicy::Auto,
-            threads: req.threads,
+            threads: cl_threads,
             cse: false,
-            predicted_seconds: self.model.predict_classical_seconds(
-                &req.shapes,
-                req.threads,
-                req.dtype,
-            ),
+            predicted_seconds: cl_seconds,
             predicted_error: (2.0f64).powi(-(d as i32)),
             additions_before: 0,
             additions_after: 0,
@@ -421,15 +477,17 @@ impl PlanCompiler {
                     };
                     let strategy = Strategy::Hybrid;
                     let fusion = FusionPolicy::Auto;
-                    let mut seconds = self.model.predict_seconds(
-                        &plan,
-                        &req.shapes,
-                        steps,
-                        strategy,
-                        req.threads,
-                        fusion,
-                        req.dtype,
-                    );
+                    let (threads, mut seconds) = best_over_threads(&|t| {
+                        model.predict_seconds(
+                            &plan,
+                            &req.shapes,
+                            steps,
+                            strategy,
+                            t,
+                            fusion,
+                            req.dtype,
+                        )
+                    });
                     if cse {
                         // CSE trims combination additions, not products;
                         // credit it proportionally so ties break toward
@@ -443,7 +501,7 @@ impl PlanCompiler {
                         lambda,
                         strategy,
                         fusion,
-                        threads: req.threads,
+                        threads,
                         cse,
                         predicted_seconds: seconds,
                         predicted_error: err,
@@ -507,6 +565,34 @@ impl PlanCompiler {
 impl Default for PlanCompiler {
     fn default() -> Self {
         Self::new()
+    }
+}
+
+/// Probe this machine once: streaming bandwidth plus the parallel gemm
+/// speedup curve at power-of-two lane counts up to the physical core
+/// count. Only invoked under measured tuning (`APA_PLAN_TUNE=1` or
+/// [`PlanCompiler::measured`]) — the probes cost real gemm time.
+fn measure_calibration() -> Calibration {
+    let cores = apa_gemm::topology().slots.len().max(1);
+    let mut lane_counts = vec![1usize];
+    let mut t = 2usize;
+    while t <= cores {
+        lane_counts.push(t);
+        t *= 2;
+    }
+    if *lane_counts.last().unwrap() != cores {
+        lane_counts.push(cores);
+    }
+    let n = 256;
+    let base = apa_gemm::probe_parallel_gflops::<f32>(1, n, 2).max(1e-9);
+    let mut points = vec![(1u32, 1.0f64)];
+    for &lanes in &lane_counts[1..] {
+        let gflops = apa_gemm::probe_parallel_gflops::<f32>(lanes, n, 2);
+        points.push((lanes as u32, (gflops / base).max(0.01)));
+    }
+    Calibration {
+        bandwidth_bytes_per_sec: apa_gemm::probe_bandwidth_bytes(),
+        parallel_points: points,
     }
 }
 
@@ -721,6 +807,45 @@ mod tests {
             "expected classical below the crossover, got {}",
             plan.rule
         );
+    }
+
+    #[test]
+    fn flat_measured_scaling_shrinks_the_thread_choice() {
+        // A machine that measures *no* speedup past one lane: the
+        // Hybrid load-imbalance penalty is never paid back, so the
+        // enumerated thread budget collapses to 1 for APA rules.
+        let model = crate::cost::MachineModel::for_tier("scalar").calibrated(16.0e9, &[(1, 1.0)]);
+        let compiler = PlanCompiler::with_model(model);
+        let req = PlanRequest::new(1024, 1024, 1024)
+            .threads(8)
+            .target_error(1e-2);
+        let plan = compiler.compile(&req);
+        assert!(!plan.is_classical());
+        assert_eq!(
+            plan.threads, 1,
+            "flat scaling must not keep the full thread budget"
+        );
+    }
+
+    #[test]
+    fn linear_measured_scaling_keeps_the_full_budget() {
+        // A perfectly-scaling calibration must reproduce the historical
+        // uncalibrated choice: use every requested thread.
+        let model = crate::cost::MachineModel::for_tier("scalar")
+            .calibrated(16.0e9, &[(2, 2.0), (4, 4.0), (8, 8.0)]);
+        let calibrated = PlanCompiler::with_model(model).compile(
+            &PlanRequest::new(1024, 1024, 1024)
+                .threads(8)
+                .target_error(1e-2),
+        );
+        let linear = PlanCompiler::with_model(crate::cost::MachineModel::for_tier("scalar"))
+            .compile(
+                &PlanRequest::new(1024, 1024, 1024)
+                    .threads(8)
+                    .target_error(1e-2),
+            );
+        assert_eq!(calibrated.threads, 8);
+        assert_eq!(calibrated.rule, linear.rule);
     }
 
     #[test]

@@ -26,6 +26,13 @@ pub struct MachineModel {
     pub flops_f64: f64,
     /// Sustained main-memory bandwidth (bytes/sec), shared by all threads.
     pub bytes_per_sec: f64,
+    /// Measured parallel-scaling curve: `(threads, speedup-vs-1-thread)`
+    /// points, sorted by thread count. **Empty means linear scaling** —
+    /// the uncalibrated default, which keeps the analytic ordering
+    /// identical to the historical model. Populated from the persisted
+    /// plan-store calibration block (probed by `apa_gemm`'s
+    /// `probe_parallel_gflops` under measured tuning).
+    pub parallel_points: Vec<(u32, f64)>,
 }
 
 impl MachineModel {
@@ -47,7 +54,61 @@ impl MachineModel {
             flops_f32,
             flops_f64,
             bytes_per_sec: 16.0e9,
+            parallel_points: Vec::new(),
         }
+    }
+
+    /// Overlay measured calibration onto the analytic model: a probed
+    /// memory bandwidth (ignored unless finite and positive) and a set of
+    /// `(threads, speedup)` scaling points (invalid entries dropped, the
+    /// rest sorted). With no valid points the model keeps the linear
+    /// default.
+    pub fn calibrated(mut self, bandwidth: f64, points: &[(u32, f64)]) -> Self {
+        if bandwidth.is_finite() && bandwidth > 0.0 {
+            self.bytes_per_sec = bandwidth;
+        }
+        let mut pts: Vec<(u32, f64)> = points
+            .iter()
+            .copied()
+            .filter(|&(t, s)| t >= 1 && s.is_finite() && s > 0.0)
+            .collect();
+        pts.sort_by_key(|&(t, _)| t);
+        pts.dedup_by_key(|&mut (t, _)| t);
+        self.parallel_points = pts;
+        self
+    }
+
+    /// Effective speedup of `threads` lanes over one lane. Uncalibrated
+    /// (no measured points) this is the historical linear assumption
+    /// `threads`; with measured points it interpolates the curve
+    /// piecewise-linearly (anchored at `(1, 1.0)`), holds the last point
+    /// flat beyond the probed range, and clamps to `[1, threads]` so a
+    /// noisy probe can never predict super-linear scaling or a slowdown
+    /// below the single-thread baseline.
+    pub fn parallel_speedup(&self, threads: usize) -> f64 {
+        if threads <= 1 {
+            return 1.0;
+        }
+        if self.parallel_points.is_empty() {
+            return threads as f64;
+        }
+        let t = threads as f64;
+        let mut prev = (1.0f64, 1.0f64);
+        let mut speedup = None;
+        for &(pt, ps) in &self.parallel_points {
+            let (pt, ps) = (pt as f64, ps);
+            if pt >= t {
+                speedup = Some(if pt > prev.0 {
+                    prev.1 + (ps - prev.1) * (t - prev.0) / (pt - prev.0)
+                } else {
+                    ps
+                });
+                break;
+            }
+            prev = (pt, ps);
+        }
+        // Past the probed range: hold the last measured speedup flat.
+        speedup.unwrap_or(prev.1).clamp(1.0, t)
     }
 
     fn rate(&self, dtype: DType) -> f64 {
@@ -109,7 +170,7 @@ impl MachineModel {
         for &(m, k, n) in shapes {
             let flops = Self::gemm_flops(plan, m, k, n, steps);
             let util = Self::utilization(strategy, plan.rank, threads);
-            let compute = flops / (self.rate(dtype) * threads as f64 * util);
+            let compute = flops / (self.rate(dtype) * self.parallel_speedup(threads) * util);
             let bytes = modeled_bytes_moved(
                 plan,
                 m,
@@ -139,7 +200,8 @@ impl MachineModel {
         for &(m, k, n) in shapes {
             let flops = 2.0 * (m as f64) * (k as f64) * (n as f64);
             let bytes = ((m * k + k * n + 2 * m * n) * dtype.elem_size()) as f64;
-            total += flops / (self.rate(dtype) * threads as f64) + bytes / self.bytes_per_sec;
+            total += flops / (self.rate(dtype) * self.parallel_speedup(threads))
+                + bytes / self.bytes_per_sec;
         }
         total
     }
@@ -189,6 +251,52 @@ mod tests {
         // Sequential strategy wastes the other threads.
         assert_eq!(MachineModel::utilization(Strategy::Seq, 7, 4), 0.25);
         assert_eq!(MachineModel::utilization(Strategy::Hybrid, 7, 1), 1.0);
+    }
+
+    #[test]
+    fn uncalibrated_speedup_is_linear() {
+        let model = MachineModel::for_tier("scalar");
+        assert_eq!(model.parallel_speedup(1), 1.0);
+        assert_eq!(model.parallel_speedup(4), 4.0);
+        assert_eq!(model.parallel_speedup(16), 16.0);
+    }
+
+    #[test]
+    fn calibrated_speedup_interpolates_and_saturates() {
+        let model =
+            MachineModel::for_tier("scalar").calibrated(20.0e9, &[(2, 1.8), (4, 3.0), (8, 4.0)]);
+        assert_eq!(model.bytes_per_sec, 20.0e9);
+        assert_eq!(model.parallel_speedup(1), 1.0);
+        assert!((model.parallel_speedup(2) - 1.8).abs() < 1e-12);
+        // Between probes: linear interpolation (3 threads → midpoint).
+        assert!((model.parallel_speedup(3) - 2.4).abs() < 1e-12);
+        assert!((model.parallel_speedup(4) - 3.0).abs() < 1e-12);
+        // Beyond the probed range: hold flat, never extrapolate upward.
+        assert!((model.parallel_speedup(32) - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn calibration_rejects_garbage_points() {
+        let model = MachineModel::for_tier("scalar")
+            .calibrated(f64::NAN, &[(0, 2.0), (4, f64::INFINITY), (2, -1.0)]);
+        // Bad bandwidth and bad points are all dropped → linear default.
+        assert_eq!(model.bytes_per_sec, 16.0e9);
+        assert!(model.parallel_points.is_empty());
+        assert_eq!(model.parallel_speedup(8), 8.0);
+    }
+
+    #[test]
+    fn sublinear_calibration_raises_predicted_seconds() {
+        let linear = MachineModel::for_tier("scalar");
+        let measured = linear.clone().calibrated(16.0e9, &[(4, 2.0)]);
+        let shapes = [(512usize, 512usize, 512usize)];
+        let fast = linear.predict_classical_seconds(&shapes, 4, DType::F32);
+        let slow = measured.predict_classical_seconds(&shapes, 4, DType::F32);
+        assert!(slow > fast, "measured sublinear scaling must cost more");
+        // Single-threaded predictions are untouched by calibration points.
+        let st_a = linear.predict_classical_seconds(&shapes, 1, DType::F32);
+        let st_b = measured.predict_classical_seconds(&shapes, 1, DType::F32);
+        assert_eq!(st_a, st_b);
     }
 
     #[test]

@@ -46,7 +46,7 @@ pub use compiler::{compile, global, CompiledPlan, FromPlan, PlanCompiler, PlanEr
 pub use cost::MachineModel;
 pub use request::{DType, PlanRequest, Robustness};
 pub use stats::{cache_counts, cache_report};
-pub use store::{PlanStore, PlanStoreError};
+pub use store::{Calibration, PlanStore, PlanStoreError};
 
 use std::path::PathBuf;
 

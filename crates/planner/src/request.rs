@@ -102,6 +102,14 @@ impl PlanRequest {
         self
     }
 
+    /// Size the thread budget to this machine: `APA_THREADS` when set,
+    /// otherwise one lane per physical core (see
+    /// [`apa_gemm::default_threads`]).
+    pub fn auto_threads(self) -> Self {
+        let lanes = apa_gemm::default_threads();
+        self.threads(lanes)
+    }
+
     pub fn robustness(mut self, robustness: Robustness) -> Self {
         self.robustness = robustness;
         self
@@ -134,6 +142,13 @@ impl PlanRequest {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn auto_threads_matches_the_machine_budget() {
+        let req = PlanRequest::new(128, 128, 128).auto_threads();
+        assert_eq!(req.threads, apa_gemm::default_threads());
+        assert!(req.threads >= 1);
+    }
 
     #[test]
     fn key_bytes_distinguish_every_field() {

@@ -5,10 +5,17 @@
 //! ## File format (`plans.bin`)
 //!
 //! ```text
-//! magic "APLN" | version u32 | fingerprint str | count u32
+//! magic "APLN" | version u32 | fingerprint str
+//! calibration: has u8 | [bandwidth f64 | count u32 | (threads u32, speedup f64)*]
+//! count u32
 //! per record: key bytes (len-prefixed) | plan bytes (len-prefixed)
 //! trailer: CRC32 of everything above
 //! ```
+//!
+//! Version 2 added the machine-calibration block (measured memory
+//! bandwidth and parallel-scaling points, probed once under measured
+//! tuning). Version-1 files fail [`PlanStoreError::BadVersion`] and take
+//! the normal "start empty and re-tune" path.
 //!
 //! All integers little-endian; strings and byte blobs are u32
 //! length-prefixed; the CRC is the IEEE polynomial (same as the
@@ -27,7 +34,7 @@ use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 
 const MAGIC: &[u8; 4] = b"APLN";
-const VERSION: u32 = 1;
+const VERSION: u32 = 2;
 const FILE_NAME: &str = "plans.bin";
 
 /// Why a plan store could not be read or written.
@@ -71,12 +78,25 @@ impl std::fmt::Display for PlanStoreError {
 
 impl std::error::Error for PlanStoreError {}
 
+/// Machine calibration measured once (opt-in, under measured tuning) and
+/// persisted alongside the plans: the probed memory bandwidth and the
+/// parallel-scaling curve that replace the cost model's flat-bandwidth /
+/// linear-scaling defaults.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Calibration {
+    /// Sustained streaming bandwidth in bytes/second.
+    pub bandwidth_bytes_per_sec: f64,
+    /// `(threads, speedup-vs-1-thread)` points, sorted by thread count.
+    pub parallel_points: Vec<(u32, f64)>,
+}
+
 /// The loaded store: an in-memory map plus the path and fingerprint it
 /// will be saved back with.
 #[derive(Debug)]
 pub struct PlanStore {
     path: PathBuf,
     fingerprint: String,
+    calibration: Option<Calibration>,
     entries: HashMap<Vec<u8>, CompiledPlan>,
     dirty: bool,
 }
@@ -109,6 +129,7 @@ impl PlanStore {
         PlanStore {
             path: dir.join(FILE_NAME),
             fingerprint: current_fingerprint(),
+            calibration: None,
             entries: HashMap::new(),
             dirty: false,
         }
@@ -121,6 +142,7 @@ impl PlanStore {
         let empty = || PlanStore {
             path: path.clone(),
             fingerprint: fingerprint.to_string(),
+            calibration: None,
             entries: HashMap::new(),
             dirty: false,
         };
@@ -134,19 +156,21 @@ impl PlanStore {
                 })
             }
         };
-        let entries = Self::parse(&bytes, fingerprint)?;
+        let (calibration, entries) = Self::parse(&bytes, fingerprint)?;
         Ok(PlanStore {
             path,
             fingerprint: fingerprint.to_string(),
+            calibration,
             entries,
             dirty: false,
         })
     }
 
+    #[allow(clippy::type_complexity)]
     fn parse(
         bytes: &[u8],
         fingerprint: &str,
-    ) -> Result<HashMap<Vec<u8>, CompiledPlan>, PlanStoreError> {
+    ) -> Result<(Option<Calibration>, HashMap<Vec<u8>, CompiledPlan>), PlanStoreError> {
         if bytes.len() < MAGIC.len() {
             return Err(PlanStoreError::Truncated);
         }
@@ -177,6 +201,33 @@ impl PlanStore {
                 current: fingerprint.to_string(),
             });
         }
+        let calibration = match dec.get_u8().map_err(|_| PlanStoreError::Truncated)? {
+            0 => None,
+            1 => {
+                let bandwidth = dec.get_f64().map_err(|_| PlanStoreError::Truncated)?;
+                if !(bandwidth.is_finite() && bandwidth > 0.0) {
+                    return Err(PlanStoreError::Corrupt);
+                }
+                let n = dec.get_u32().map_err(|_| PlanStoreError::Truncated)?;
+                let mut points = Vec::with_capacity(n as usize);
+                for _ in 0..n {
+                    let threads = dec.get_u32().map_err(|_| PlanStoreError::Truncated)?;
+                    let speedup = dec.get_f64().map_err(|_| PlanStoreError::Truncated)?;
+                    if threads == 0 || !(speedup.is_finite() && speedup > 0.0) {
+                        return Err(PlanStoreError::Corrupt);
+                    }
+                    points.push((threads, speedup));
+                }
+                if !points.is_sorted_by_key(|&(t, _)| t) {
+                    return Err(PlanStoreError::Corrupt);
+                }
+                Some(Calibration {
+                    bandwidth_bytes_per_sec: bandwidth,
+                    parallel_points: points,
+                })
+            }
+            _ => return Err(PlanStoreError::Corrupt),
+        };
         let count = dec.get_u32().map_err(|_| PlanStoreError::Truncated)?;
         let mut entries = HashMap::with_capacity(count as usize);
         for _ in 0..count {
@@ -188,7 +239,18 @@ impl PlanStore {
         if dec.remaining() != 0 {
             return Err(PlanStoreError::Corrupt);
         }
-        Ok(entries)
+        Ok((calibration, entries))
+    }
+
+    /// The persisted machine calibration, if one has been measured.
+    pub fn calibration(&self) -> Option<&Calibration> {
+        self.calibration.as_ref()
+    }
+
+    /// Record a measured calibration; persisted on the next [`Self::save`].
+    pub fn set_calibration(&mut self, cal: Calibration) {
+        self.calibration = Some(cal);
+        self.dirty = true;
     }
 
     pub fn get(&self, key: &[u8]) -> Option<&CompiledPlan> {
@@ -225,6 +287,18 @@ impl PlanStore {
         let mut enc = Enc::new();
         enc.put_u32(VERSION);
         enc.put_str(&self.fingerprint);
+        match &self.calibration {
+            None => enc.put_u8(0),
+            Some(cal) => {
+                enc.put_u8(1);
+                enc.put_f64(cal.bandwidth_bytes_per_sec);
+                enc.put_u32(cal.parallel_points.len() as u32);
+                for &(threads, speedup) in &cal.parallel_points {
+                    enc.put_u32(threads);
+                    enc.put_f64(speedup);
+                }
+            }
+        }
         enc.put_u32(self.entries.len() as u32);
         // Deterministic record order: sort by key so the same entry set
         // always produces the identical file (round-trip tests compare

@@ -4,7 +4,7 @@
 //! recovers from every rejection by re-tuning cleanly — an invalid store
 //! can cost a recompile, never a wrong plan.
 
-use apa_planner::{PlanCompiler, PlanRequest, PlanStore, PlanStoreError};
+use apa_planner::{Calibration, PlanCompiler, PlanRequest, PlanStore, PlanStoreError};
 use std::path::{Path, PathBuf};
 
 fn scratch_dir(tag: &str) -> PathBuf {
@@ -142,6 +142,54 @@ fn fingerprint_mismatch_triggers_recompile_not_reuse() {
     let healed = PlanStore::load(&dir).unwrap();
     assert_eq!(healed.len(), 1);
 
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn calibration_block_round_trips_bitwise() {
+    let dir = scratch_dir("calibration");
+    let mut store = PlanStore::load(&dir).unwrap();
+    assert!(store.calibration().is_none());
+    let cal = Calibration {
+        bandwidth_bytes_per_sec: 23.5e9,
+        parallel_points: vec![(1, 1.0), (2, 1.8), (4, 2.9)],
+    };
+    store.set_calibration(cal.clone());
+    assert!(store.dirty());
+    store.save().unwrap();
+
+    let reloaded = PlanStore::load(&dir).unwrap();
+    let got = reloaded.calibration().expect("calibration persisted");
+    assert_eq!(got, &cal);
+    assert_eq!(
+        got.bandwidth_bytes_per_sec.to_bits(),
+        cal.bandwidth_bytes_per_sec.to_bits(),
+        "f64 survives bitwise"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn version_one_store_is_rejected_then_retuned() {
+    let dir = scratch_dir("v1-upgrade");
+    // A pre-calibration (version 1) file: valid magic and CRC but the old
+    // layout. The typed BadVersion rejection must flow into the normal
+    // "start empty and re-tune" recovery, upgrading the file in place.
+    let mut body = b"APLN".to_vec();
+    body.extend_from_slice(&1u32.to_le_bytes());
+    body.extend_from_slice(&0u32.to_le_bytes()); // empty fingerprint
+    body.extend_from_slice(&0u32.to_le_bytes()); // zero records
+    let crc = ieee_crc32(&body);
+    body.extend_from_slice(&crc.to_le_bytes());
+    std::fs::write(store_file(&dir), &body).unwrap();
+    assert_eq!(
+        PlanStore::load(&dir).unwrap_err(),
+        PlanStoreError::BadVersion { got: 1 }
+    );
+
+    let plan = PlanCompiler::with_store(&dir).compile(&some_request());
+    assert_eq!(plan, PlanCompiler::new().compile(&some_request()));
+    assert!(PlanStore::load(&dir).is_ok(), "store upgraded on save");
     let _ = std::fs::remove_dir_all(&dir);
 }
 

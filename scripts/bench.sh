@@ -31,6 +31,15 @@
 #      below: the compiled plan is within 2% of the best hand rule at
 #      every width, strictly beats it at >= 1 width, and a warm
 #      PlanCompiler answers in < 1 ms per shape.
+#   7. the `parbench` harness (ISSUE 10 acceptance evidence): the 2D
+#      cooperative-packing parallel gemm swept across thread counts on
+#      the 1024^3 f32 leaf plus the fused ParaDnn sweep single- and
+#      all-core, emitting BENCH_10.json. The two machine-scaled gate
+#      lines parbench prints are asserted below: parallel efficiency at
+#      half the physical cores >= 60%, and all-core leaf speedup >=
+#      max(1, min(4, 0.75 * cores)). On a 1-core container both gates
+#      reduce to the single-threaded identity — the JSON records `cores`
+#      so the numbers stay honest.
 #
 # Usage: scripts/bench.sh [extra fusionbench args...]
 #   e.g. scripts/bench.sh --widths 512,1024 --reps 5
@@ -87,4 +96,25 @@ for crit in '"compiler_within_tolerance": true' '"compiler_strictly_better_somew
     fi
 done
 
-echo "== bench: OK (results in BENCH_5.json, BENCH_6.json, BENCH_7.json, BENCH_8.json, BENCH_9.json) =="
+echo "== bench: parbench -> BENCH_10.json =="
+par_out=$(cargo run --release -p apa-bench --bin parbench -- --out BENCH_10.json | tee /dev/stderr)
+
+# parbench prints both scaling gates with a trailing PASS/FAIL verdict;
+# a FAIL (or a silent format drift that hides the line) fails the script.
+if ! grep -Eq '^parallel efficiency at half cores \([0-9]+\): [0-9]+% \(target 60%\): PASS$' <<<"$par_out"; then
+    echo "== bench: FAIL — parbench parallel-efficiency gate not met ==" >&2
+    exit 1
+fi
+if ! grep -Eq '^all-core speedup: [0-9.]+x \(target [0-9.]+x, cores=[0-9]+\): PASS$' <<<"$par_out"; then
+    echo "== bench: FAIL — parbench all-core speedup gate not met ==" >&2
+    exit 1
+fi
+
+for crit in '"efficiency_pass": true' '"speedup_pass": true'; do
+    if ! grep -qF "$crit" BENCH_10.json; then
+        echo "== bench: FAIL — parbench criterion not met: $crit ==" >&2
+        exit 1
+    fi
+done
+
+echo "== bench: OK (results in BENCH_5.json, BENCH_6.json, BENCH_7.json, BENCH_8.json, BENCH_9.json, BENCH_10.json) =="

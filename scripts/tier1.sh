@@ -24,8 +24,14 @@
 #      decision on both dispatch paths of the same fingerprint, and the
 #      cold-store vs warm-store determinism gate (same plan bitwise on
 #      first compile and on reload) is run as an explicit check
-#   7. rustfmt check
-#   8. clippy with warnings promoted to errors
+#   7. the 2D cooperative-packing parallel suites (bitwise parallel ==
+#      single-threaded across plain/fused x f32/f64 x ragged shapes x
+#      thread counts, the Seq zero-atomics gate, and the panic-in-lane
+#      drill), run natively AND again under APA_THREADS=2 APA_NO_PIN=1 —
+#      the oversubscribed, unpinned configuration every CI container
+#      sees must be just as correct as the pinned native one
+#   8. rustfmt check
+#   9. clippy with warnings promoted to errors
 #
 # Usage: scripts/tier1.sh   (from anywhere inside the repo)
 
@@ -75,11 +81,29 @@ APA_FORCE_SCALAR_KERNEL=1 cargo test -q -p apa-matmul --features fault-inject
 APA_FORCE_SCALAR_KERNEL=1 cargo test -q -p apa-nn --features fault-inject
 APA_FORCE_SCALAR_KERNEL=1 cargo test -q -p apa-serve --features fault-inject
 
+echo "== tier1: cargo test -p apa-gemm --test parallel2d (2D cooperative packing, native) =="
+cargo test -q -p apa-gemm --test parallel2d
+
+echo "== tier1: cargo test -p apa-gemm --test parallel2d (APA_THREADS=2 APA_NO_PIN=1) =="
+APA_THREADS=2 APA_NO_PIN=1 cargo test -q -p apa-gemm --test parallel2d
+
+echo "== tier1: cargo test -p apa-gemm --test parallel_fault --features fault-inject (panic-in-lane drill, native) =="
+cargo test -q -p apa-gemm --test parallel_fault --features fault-inject
+
+echo "== tier1: cargo test -p apa-gemm --test parallel_fault --features fault-inject (APA_THREADS=2 APA_NO_PIN=1) =="
+APA_THREADS=2 APA_NO_PIN=1 cargo test -q -p apa-gemm --test parallel_fault --features fault-inject
+
+echo "== tier1: cargo test -p apa-gemm (APA_THREADS=2 APA_NO_PIN=1, full crate) =="
+APA_THREADS=2 APA_NO_PIN=1 cargo test -q -p apa-gemm
+
 echo "== tier1: cargo test -p apa-planner (plan compiler + store, native dispatch) =="
 cargo test -q -p apa-planner
 
 echo "== tier1: cargo test -p apa-planner (APA_FORCE_SCALAR_KERNEL=1) =="
 APA_FORCE_SCALAR_KERNEL=1 cargo test -q -p apa-planner
+
+echo "== tier1: cargo test -p apa-planner (APA_THREADS=2 APA_NO_PIN=1) =="
+APA_THREADS=2 APA_NO_PIN=1 cargo test -q -p apa-planner
 
 echo "== tier1: cold-store vs warm-store determinism gate =="
 cargo test -q -p apa-planner --test store_integrity roundtrip_is_bitwise_and_file_is_deterministic
